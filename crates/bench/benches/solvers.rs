@@ -1,0 +1,107 @@
+//! Criterion benches for the hot paths that determine how many scaling
+//! configurations ATOM can evaluate within its 2-minute optimisation
+//! bound (§IV-C), plus the simulators' event throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use atom_cluster::{Cluster, ClusterOptions};
+use atom_core::optimizer::search;
+use atom_ga::{Budget, GaOptions};
+use atom_lqn::analytic::{solve, SolverOptions};
+use atom_lqn::sim::{simulate, SimOptions};
+use atom_mva::closed::solve_exact;
+use atom_mva::{ClassSpec, ClosedNetwork, Station};
+use atom_sockshop::{scenarios, SockShop};
+use atom_workload::WorkloadSpec;
+
+fn bench_exact_mva(c: &mut Criterion) {
+    let net = ClosedNetwork::new(
+        vec![
+            Station::queueing("a", 1, vec![0.01]),
+            Station::queueing("b", 2, vec![0.02]),
+            Station::queueing("c", 4, vec![0.005]),
+        ],
+        vec![ClassSpec::new("users", 2000, 7.0)],
+    )
+    .unwrap();
+    c.bench_function("exact_mva_n2000", |b| {
+        b.iter(|| solve_exact(std::hint::black_box(&net)).unwrap())
+    });
+}
+
+fn bench_lqn_solve(c: &mut Criterion) {
+    let shop = SockShop::default();
+    for users in [500usize, 3000] {
+        let model = shop.lqn_model(users, 7.0, &[0.33, 0.17, 0.50]);
+        c.bench_function(&format!("lqn_solve_sockshop_n{users}"), |b| {
+            b.iter(|| solve(std::hint::black_box(&model), SolverOptions::default()).unwrap())
+        });
+    }
+}
+
+fn bench_ga_search(c: &mut Criterion) {
+    let shop = SockShop::default();
+    let binding = shop.binding(2000, 7.0, &[0.33, 0.17, 0.50]);
+    let objective = shop.objective();
+    c.bench_function("ga_search_100_evals", |b| {
+        b.iter(|| {
+            search(
+                std::hint::black_box(&binding),
+                &binding.model,
+                &objective,
+                GaOptions {
+                    budget: Budget::Evaluations(100),
+                    ..Default::default()
+                },
+            )
+        })
+    });
+}
+
+fn bench_lqn_sim(c: &mut Criterion) {
+    let shop = SockShop::default();
+    let model = shop.validation_lqn(1000, 7.0, &[0.57, 0.29, 0.14]);
+    c.bench_function("lqn_sim_60s_n1000", |b| {
+        b.iter(|| {
+            simulate(
+                std::hint::black_box(&model),
+                SimOptions {
+                    horizon: 60.0,
+                    warmup: 10.0,
+                    seed: 1,
+                    demand_cv: 1.0,
+                },
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_cluster_sim(c: &mut Criterion) {
+    let shop = SockShop::default();
+    let spec = shop.app_spec();
+    c.bench_function("cluster_sim_60s_n1000", |b| {
+        b.iter_batched(
+            || {
+                Cluster::new(
+                    &spec,
+                    WorkloadSpec::constant(scenarios::ordering_mix(), 1000, 7.0),
+                    ClusterOptions::default(),
+                )
+                .unwrap()
+            },
+            |mut cluster| cluster.run_window(60.0),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_exact_mva,
+    bench_lqn_solve,
+    bench_ga_search,
+    bench_lqn_sim,
+    bench_cluster_sim
+);
+criterion_main!(benches);

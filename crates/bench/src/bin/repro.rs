@@ -1,0 +1,124 @@
+//! `repro` — regenerate every table and figure of the ATOM paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] [--seed N] [--out DIR] <command> [command...]
+//! commands: fig2 fig4 table3 fig5 table4 fig7 fig8 fig9 fig10 fig11
+//!           fig12 fig13 setup validation evaluation all
+//! ```
+
+use atom_bench::figures::{ablation, fig11, fig12, fig13, fig2, fig4, fig7, fig8910, validation};
+use atom_bench::{eval, HarnessOptions};
+
+fn print_setup() {
+    println!("== Tables I/V/VI: experimental setup (encoded constants) ==");
+    println!("Table I  : case A: N=1000, fe share 0.2; case B: N=4000, fe share 1.0; mix 57/29/14, Z=7s");
+    println!("Table V  : server-1: 4 cores @1.2 (router, front-end, carts-db)");
+    println!("           server-2: 4 cores @0.8 (catalogue, carts, catalogue-db)");
+    println!("Table VI : browsing 63/32/5, shopping 54/26/20, ordering 33/17/50; N in {{1000,2000,3000}}, Z=7s");
+    println!("protocol : 40-minute runs, workload ramps 500->N over the first 25 minutes, 5-minute windows");
+}
+
+fn main() {
+    let mut opts = HarnessOptions::default();
+    let mut commands: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--out" => {
+                opts.out_dir = args.next().expect("--out needs a directory").into();
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--quick] [--seed N] [--out DIR] <command>...\n\
+                     commands: setup fig2 fig4 table3 fig5 table4 validation fig7 \
+                     fig8 fig9 fig10 evaluation fig11 fig12 fig13 ablation all"
+                );
+                return;
+            }
+            other => commands.push(other.to_string()),
+        }
+    }
+    if commands.is_empty() {
+        commands.push("all".into());
+    }
+    const KNOWN: [&str; 17] = [
+        "setup", "fig2", "fig4", "table3", "fig5", "table4", "validation", "fig7", "fig8",
+        "fig9", "fig10", "evaluation", "fig11", "fig12", "fig13", "ablation", "all",
+    ];
+    for c in &commands {
+        if !KNOWN.contains(&c.as_str()) {
+            eprintln!("unknown command `{c}`; run with --help for the list");
+            std::process::exit(2);
+        }
+    }
+    std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
+
+    let wants = |what: &str| {
+        commands.iter().any(|c| c == what || c == "all")
+            || (matches!(what, "table3" | "fig5" | "table4")
+                && commands.iter().any(|c| c == "validation"))
+            || (matches!(what, "fig8" | "fig9" | "fig10")
+                && commands.iter().any(|c| c == "evaluation"))
+    };
+
+    if wants("setup") {
+        print_setup();
+    }
+    if wants("fig2") {
+        fig2::run(&opts);
+    }
+    if wants("fig4") {
+        fig4::run(&opts);
+    }
+    if wants("table3") || wants("fig5") || wants("table4") {
+        eprintln!("running the Table II validation sweep (12 runs)...");
+        let runs = validation::sweep(&opts);
+        if wants("table3") {
+            validation::table3(&runs, &opts);
+        }
+        if wants("fig5") {
+            validation::fig5(&runs, &opts);
+        }
+        if wants("table4") {
+            validation::table4(&runs, &opts);
+        }
+    }
+    if wants("fig7") {
+        fig7::run(&opts);
+    }
+    if wants("fig8") || wants("fig9") || wants("fig10") {
+        eprintln!("running the evaluation matrix (27 runs)...");
+        let matrix = eval::evaluation_matrix(&opts);
+        if wants("fig8") {
+            fig8910::fig8(&matrix, &opts);
+        }
+        if wants("fig9") {
+            fig8910::fig9(&matrix, &opts);
+        }
+        if wants("fig10") {
+            fig8910::fig10(&matrix, &opts);
+        }
+    }
+    if wants("fig11") {
+        fig11::run(&opts);
+    }
+    if wants("fig12") {
+        fig12::run(&opts);
+    }
+    if wants("fig13") {
+        fig13::run(&opts);
+    }
+    if wants("ablation") {
+        ablation::run(&opts);
+    }
+    println!("\nartefacts written to {}", opts.out_dir.display());
+}

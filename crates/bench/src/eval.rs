@@ -1,0 +1,186 @@
+//! Shared §V evaluation machinery: scaler construction and the
+//! mix × population × scaler experiment matrix reused by Figs. 8–11.
+
+use atom_core::baselines::RuleConfig;
+use atom_core::{
+    run_experiment, Atom, AtomConfig, Autoscaler, ExperimentConfig, ExperimentResult,
+    PlannerMode, UhScaler, UvScaler,
+};
+use atom_cluster::ClusterOptions;
+use atom_ga::Budget;
+use atom_sockshop::{scenarios, SockShop};
+use atom_workload::WorkloadSpec;
+
+use crate::HarnessOptions;
+
+/// Which autoscaler drives a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalerKind {
+    /// Utilisation-triggered horizontal doubling.
+    Uh,
+    /// Utilisation-triggered vertical doubling.
+    Uv,
+    /// ATOM with the standard planner.
+    Atom,
+    /// ATOM-T (conservative on predicted TPS improvement).
+    AtomT,
+    /// ATOM-S (conservative on total CPU change).
+    AtomS,
+}
+
+impl ScalerKind {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScalerKind::Uh => "UH",
+            ScalerKind::Uv => "UV",
+            ScalerKind::Atom => "ATOM",
+            ScalerKind::AtomT => "ATOM-T",
+            ScalerKind::AtomS => "ATOM-S",
+        }
+    }
+
+    /// All paper-comparison scalers (Figs. 8–10).
+    pub fn baselines_and_atom() -> [ScalerKind; 3] {
+        [ScalerKind::Uh, ScalerKind::Uv, ScalerKind::Atom]
+    }
+}
+
+/// Runs one §V experiment: `workload` against the Sock Shop under the
+/// given scaler, for `windows × window_secs` simulated seconds.
+pub fn run_one(
+    shop: &SockShop,
+    workload: WorkloadSpec,
+    kind: ScalerKind,
+    windows: usize,
+    window_secs: f64,
+    opts: &HarnessOptions,
+) -> ExperimentResult {
+    // UH cannot scale stateful services; the paper pre-allocates a full
+    // core to each of them in UH scenarios.
+    let spec = if kind == ScalerKind::Uh {
+        shop.app_spec_stateful_full_core()
+    } else {
+        shop.app_spec()
+    };
+    let config = ExperimentConfig {
+        windows,
+        window_secs,
+        cluster: ClusterOptions {
+            seed: opts.seed,
+            ..Default::default()
+        },
+    };
+    let mut uh;
+    let mut uv;
+    let mut atom;
+    let scaler: &mut dyn Autoscaler = match kind {
+        ScalerKind::Uh => {
+            uh = UhScaler::new(&spec, RuleConfig::default());
+            &mut uh
+        }
+        ScalerKind::Uv => {
+            uv = UvScaler::new(&spec, RuleConfig::default());
+            &mut uv
+        }
+        ScalerKind::Atom | ScalerKind::AtomT | ScalerKind::AtomS => {
+            let binding = shop.binding(
+                scenarios::INITIAL_USERS,
+                workload.think_time,
+                workload.mix.fractions(),
+            );
+            let mut cfg = AtomConfig::new(shop.objective());
+            cfg.ga.budget = Budget::Evaluations(opts.ga_budget());
+            cfg.seed = opts.seed;
+            cfg.planner_mode = match kind {
+                ScalerKind::AtomT => PlannerMode::ConservativeTps {
+                    min_improvement: 0.05,
+                },
+                ScalerKind::AtomS => PlannerMode::ConservativeShare {
+                    max_relative_change: 0.5,
+                },
+                _ => PlannerMode::Standard,
+            };
+            atom = Atom::new(binding, cfg);
+            &mut atom
+        }
+    };
+    run_experiment(&spec, workload, scaler, config).expect("experiment must run")
+}
+
+/// One cell of the evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Mix name ("browsing" / "shopping" / "ordering").
+    pub mix: &'static str,
+    /// Target population.
+    pub users: usize,
+    /// Scaler.
+    pub scaler: ScalerKind,
+    /// The full experiment result.
+    pub result: ExperimentResult,
+}
+
+/// The full Fig. 8–10 matrix: 3 mixes × 3 populations × 3 scalers.
+pub fn evaluation_matrix(opts: &HarnessOptions) -> Vec<MatrixCell> {
+    let shop = SockShop::default();
+    let mut cells = Vec::new();
+    for (mix_name, mix) in scenarios::evaluation_mixes() {
+        for &users in &[1000usize, 2000, 3000] {
+            for kind in ScalerKind::baselines_and_atom() {
+                eprintln!("  running {mix_name} N={users} {}", kind.name());
+                let workload = scenarios::evaluation_workload(mix.clone(), users);
+                let result = run_one(
+                    &shop,
+                    workload,
+                    kind,
+                    opts.windows(),
+                    opts.window_secs(),
+                    opts,
+                );
+                cells.push(MatrixCell {
+                    mix: mix_name,
+                    users,
+                    scaler: kind,
+                    result,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Indices of the three stateless services over which the paper computes
+/// `T_u` and `A_u` ("the results are considering 3 microservices since UH
+/// does not scale the router and 2 database services").
+pub const STATELESS: [usize; 3] = [
+    atom_sockshop::SVC_FRONT_END,
+    atom_sockshop::SVC_CATALOGUE,
+    atom_sockshop::SVC_CARTS,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaler_names() {
+        assert_eq!(ScalerKind::Uh.name(), "UH");
+        assert_eq!(ScalerKind::Atom.name(), "ATOM");
+        assert_eq!(ScalerKind::baselines_and_atom().len(), 3);
+    }
+
+    #[test]
+    fn run_one_produces_reports() {
+        let shop = SockShop::default();
+        let opts = HarnessOptions {
+            quick: true,
+            ..Default::default()
+        };
+        let workload = scenarios::evaluation_workload(scenarios::browsing_mix(), 800);
+        let r = run_one(&shop, workload, ScalerKind::Uv, 3, 120.0, &opts);
+        assert_eq!(r.reports.len(), 3);
+        assert_eq!(r.scaler, "UV");
+        assert!(r.tps.points().len() == 3);
+    }
+}

@@ -1,0 +1,11 @@
+//! One module per paper artefact.
+
+pub mod ablation;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig2;
+pub mod fig4;
+pub mod fig7;
+pub mod fig8910;
+pub mod validation;

@@ -1,0 +1,285 @@
+//! §III-C model validation: Table III (percent errors over the Table II
+//! sweep), Fig. 5 (per-server utilisation), and Table IV (per-feature
+//! detail at workload 1, N = 3000).
+
+use atom_cluster::{Cluster, ClusterOptions, WindowReport};
+use atom_lqn::analytic::{solve, SolverOptions};
+use atom_lqn::{LqnModel, LqnSolution};
+use atom_sockshop::{scenarios, SockShop};
+use atom_workload::{RequestMix, WorkloadSpec};
+
+use crate::output::{f, pct_err, Table};
+use crate::HarnessOptions;
+
+/// Validation service names, in the validation spec's service order.
+const SERVICES: [&str; 5] = ["front-end", "carts", "catalogue", "catalogue-db", "carts-db"];
+
+/// One validation run: the analytic solution and the measured window.
+#[derive(Debug, Clone)]
+pub struct ValidationRun {
+    /// The workload that was run.
+    pub workload: scenarios::ValidationWorkload,
+    /// Analytic model solution.
+    pub model: LqnSolution,
+    /// The LQN that was solved (for id lookups).
+    pub lqn: LqnModel,
+    /// Measured window from the cluster.
+    pub measured: WindowReport,
+}
+
+/// Executes one Table II workload on both paths.
+pub fn run_workload(
+    shop: &SockShop,
+    w: &scenarios::ValidationWorkload,
+    opts: &HarnessOptions,
+) -> ValidationRun {
+    let lqn = shop.validation_lqn_with(w.users, w.think_time, &w.mix, w.single_host);
+    let model = solve(&lqn, SolverOptions::default()).expect("model solve");
+    let spec = shop.validation_app_spec(w.single_host);
+    let workload = WorkloadSpec::constant(
+        RequestMix::new(w.mix.to_vec()).expect("mix"),
+        w.users,
+        w.think_time,
+    );
+    let mut cluster = Cluster::new(
+        &spec,
+        workload,
+        ClusterOptions {
+            seed: opts.seed ^ (w.pattern as u64) << 8 ^ w.users as u64,
+            ..Default::default()
+        },
+    )
+    .expect("cluster");
+    cluster.run_window(if opts.quick { 120.0 } else { 300.0 });
+    let measured = cluster.run_window(if opts.quick { 400.0 } else { 1200.0 });
+    ValidationRun {
+        workload: w.clone(),
+        model,
+        lqn,
+        measured,
+    }
+}
+
+/// Per-service model-vs-measured TPS and utilisation for one run.
+fn service_rows(run: &ValidationRun) -> Vec<(String, f64, f64, f64, f64)> {
+    // (name, model_tps, measured_tps, model_util, measured_util)
+    SERVICES
+        .iter()
+        .enumerate()
+        .map(|(si, name)| {
+            let task = run.lqn.task_by_name(name).expect("task");
+            let model_tps: f64 = run.lqn.task(task)
+                .entries
+                .iter()
+                .map(|&e| run.model.entry_throughput(e))
+                .sum();
+            let measured_tps: f64 = run.measured.endpoint_tps[si].iter().sum();
+            (
+                name.to_string(),
+                model_tps,
+                measured_tps,
+                run.model.task_utilization(task),
+                run.measured.service_utilization[si],
+            )
+        })
+        .collect()
+}
+
+/// Runs the whole Table II sweep once (12 runs).
+pub fn sweep(opts: &HarnessOptions) -> Vec<ValidationRun> {
+    let shop = SockShop::default();
+    scenarios::validation_workloads()
+        .iter()
+        .map(|w| {
+            eprintln!(
+                "  validation pattern {} N={} ({})",
+                w.pattern,
+                w.users,
+                if w.single_host { "single host" } else { "swarm" }
+            );
+            run_workload(&shop, w, opts)
+        })
+        .collect()
+}
+
+/// Table III: min/max/avg percent error per service across the sweep.
+pub fn table3(runs: &[ValidationRun], opts: &HarnessOptions) {
+    println!("\n== Table III: % error between model and measurement ==");
+    let mut table = Table::new(&[
+        "service",
+        "TPS err min",
+        "TPS err max",
+        "TPS err avg",
+        "Util err min",
+        "Util err max",
+        "Util err avg",
+    ]);
+    for (si, name) in SERVICES.iter().enumerate() {
+        let mut tps_errors = Vec::new();
+        let mut util_errors = Vec::new();
+        for run in runs {
+            let rows = service_rows(run);
+            let (_, m_tps, s_tps, m_u, s_u) = rows[si].clone();
+            tps_errors.push(pct_err(m_tps, s_tps));
+            util_errors.push(pct_err(m_u, s_u));
+        }
+        let stats = |v: &[f64]| {
+            let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = v.iter().cloned().fold(0.0, f64::max);
+            let avg = v.iter().sum::<f64>() / v.len() as f64;
+            (min, max, avg)
+        };
+        let (tmin, tmax, tavg) = stats(&tps_errors);
+        let (umin, umax, uavg) = stats(&util_errors);
+        table.row(vec![
+            name.to_string(),
+            f(tmin, 2),
+            f(tmax, 2),
+            f(tavg, 2),
+            f(umin, 2),
+            f(umax, 2),
+            f(uavg, 2),
+        ]);
+    }
+    table.print();
+    println!("paper: all average errors below 5.05%, max error 9.98%");
+    table.write_csv(&opts.out_dir.join("table3.csv"));
+}
+
+/// Fig. 5: per-server utilisation, model vs measurement, for the swarm
+/// placements (patterns 1 and 3).
+pub fn fig5(runs: &[ValidationRun], opts: &HarnessOptions) {
+    println!("\n== Fig. 5: server utilisation, model vs measurement ==");
+    let mut table = Table::new(&[
+        "pattern",
+        "users",
+        "server",
+        "model util",
+        "measured util",
+        "% error",
+    ]);
+    for run in runs.iter().filter(|r| !r.workload.single_host) {
+        for (pi, server) in ["server-1", "server-2"].iter().enumerate() {
+            let model = run.model.processor_utilization[pi];
+            let measured = run.measured.server_utilization[pi];
+            table.row(vec![
+                run.workload.pattern.to_string(),
+                run.workload.users.to_string(),
+                server.to_string(),
+                f(model, 3),
+                f(measured, 3),
+                f(pct_err(model, measured), 2),
+            ]);
+        }
+    }
+    table.print();
+    table.write_csv(&opts.out_dir.join("fig5.csv"));
+}
+
+/// Paper Table IV reference values: (label, model TPS, measured TPS).
+const PAPER_TPS: [(&str, f64, f64); 10] = [
+    ("front-end/home", 236.3, 221.3),
+    ("front-end/catalogue", 120.2, 110.9),
+    ("front-end/carts", 58.0, 55.6),
+    ("carts/get", 19.1, 18.5),
+    ("carts/add", 19.1, 18.5),
+    ("carts/delete", 19.7, 18.5),
+    ("catalogue/list", 60.2, 55.5),
+    ("catalogue/item", 60.1, 55.5),
+    ("catalogue-db/query", 120.2, 110.9),
+    ("carts-db/query", 58.1, 55.6),
+];
+
+/// Paper Table IV utilisations: (service, model %, measured %).
+const PAPER_UTIL: [(&str, f64, f64); 5] = [
+    ("front-end", 75.2, 65.9),
+    ("carts", 16.0, 14.2),
+    ("catalogue", 19.2, 15.4),
+    ("catalogue-db", 12.0, 12.6),
+    ("carts-db", 48.2, 44.3),
+];
+
+/// Table IV: per-endpoint TPS and per-service utilisation at workload 1,
+/// N = 3000.
+pub fn table4(runs: &[ValidationRun], opts: &HarnessOptions) {
+    println!("\n== Table IV: workload 1, N = 3000 ==");
+    let run = runs
+        .iter()
+        .find(|r| r.workload.pattern == 1 && r.workload.users == 3000)
+        .expect("pattern 1 / 3000 present in sweep");
+
+    let mut table = Table::new(&[
+        "endpoint",
+        "model TPS",
+        "measured TPS",
+        "% err",
+        "paper model",
+        "paper measured",
+    ]);
+    let endpoints: [(&str, usize, &str); 10] = [
+        ("home", 0, "front-end/home"),
+        ("catalogue", 0, "front-end/catalogue"),
+        ("carts", 0, "front-end/carts"),
+        ("get", 1, "carts/get"),
+        ("add", 1, "carts/add"),
+        ("delete", 1, "carts/delete"),
+        ("list", 2, "catalogue/list"),
+        ("item", 2, "catalogue/item"),
+        ("cat-query", 3, "catalogue-db/query"),
+        ("cart-query", 4, "carts-db/query"),
+    ];
+    for (i, (entry_name, si, label)) in endpoints.iter().enumerate() {
+        let entry = run.lqn.entry_by_name(entry_name).expect("entry");
+        let model = run.model.entry_throughput(entry);
+        // Within a service, endpoint order matches the LQN entry order.
+        let local = run.lqn.task(run.lqn.entry(entry).task)
+            .entries
+            .iter()
+            .position(|&e| e == entry)
+            .expect("entry in its task");
+        let measured = run.measured.endpoint_tps[*si][local];
+        table.row(vec![
+            label.to_string(),
+            f(model, 1),
+            f(measured, 1),
+            f(pct_err(model, measured), 1),
+            f(PAPER_TPS[i].1, 1),
+            f(PAPER_TPS[i].2, 1),
+        ]);
+    }
+    table.print();
+    table.write_csv(&opts.out_dir.join("table4_tps.csv"));
+
+    let mut util = Table::new(&[
+        "service",
+        "model util%",
+        "measured util%",
+        "% err",
+        "paper model",
+        "paper measured",
+    ]);
+    for (i, (name, _, _)) in [
+        ("front-end", 0, ""),
+        ("carts", 1, ""),
+        ("catalogue", 2, ""),
+        ("catalogue-db", 3, ""),
+        ("carts-db", 4, ""),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let task = run.lqn.task_by_name(name).expect("task");
+        let model = 100.0 * run.model.task_utilization(task);
+        let measured = 100.0 * run.measured.service_utilization[i];
+        util.row(vec![
+            name.to_string(),
+            f(model, 1),
+            f(measured, 1),
+            f(pct_err(model, measured), 1),
+            f(PAPER_UTIL[i].1, 1),
+            f(PAPER_UTIL[i].2, 1),
+        ]);
+    }
+    util.print();
+    util.write_csv(&opts.out_dir.join("table4_util.csv"));
+}

@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! Experiment harness regenerating every table and figure of the ATOM
+//! paper's evaluation (§III-C and §V).
+//!
+//! The `repro` binary exposes one subcommand per artefact:
+//!
+//! | command   | paper artefact |
+//! |-----------|----------------|
+//! | `fig2`    | motivating example: vertical vs horizontal front-end doubling |
+//! | `fig4`    | demand estimation: utilisation law vs response time |
+//! | `table3`  | model-vs-measurement % errors over the Table II sweep |
+//! | `fig5`    | per-server utilisation, model vs measurement (patterns 1 & 3) |
+//! | `table4`  | per-feature TPS / per-service utilisation at workload 1, N=3000 |
+//! | `fig7`    | ATOM vs ATOM-T vs ATOM-S |
+//! | `fig8`    | TPS over time, ATOM vs UH vs UV (3 mixes × 3 Ns) |
+//! | `fig9`    | T_u / A_u / TPS vs N |
+//! | `fig10`   | T_u / A_u / TPS vs request mix |
+//! | `fig11`   | layered bottleneck: demand vs supply per window |
+//! | `fig12`   | monitoring-window sweep (2/5/10 min) |
+//! | `fig13`   | bursty workload (I = 4000) |
+//! | `all`     | everything above |
+//!
+//! Results are printed as paper-style tables and also written as CSV
+//! under `results/`. Everything is deterministic given `--seed`.
+
+pub mod eval;
+pub mod figures;
+pub mod output;
+
+/// Harness-wide options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Quick mode: reduced GA budgets and shorter windows, for smoke
+    /// runs; the full protocol matches the paper's timings.
+    pub quick: bool,
+    /// Output directory for CSV artefacts.
+    pub out_dir: std::path::PathBuf,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            seed: 42,
+            quick: false,
+            out_dir: std::path::PathBuf::from("results"),
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// GA evaluation budget for ATOM decisions.
+    pub fn ga_budget(&self) -> usize {
+        if self.quick {
+            300
+        } else {
+            600
+        }
+    }
+
+    /// Monitoring window length (seconds). Fixed at the paper's 5
+    /// minutes: shortening it would break the 25-minute ramp protocol.
+    pub fn window_secs(&self) -> f64 {
+        300.0
+    }
+
+    /// Number of windows in a standard 40-minute evaluation run.
+    pub fn windows(&self) -> usize {
+        8
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for cluster construction and control.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building or controlling the simulated cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// Referenced an id that does not exist.
+    UnknownId {
+        /// What kind of id.
+        kind: &'static str,
+        /// The numeric id.
+        id: usize,
+    },
+    /// A parameter was out of range.
+    InvalidParameter {
+        /// Human-readable description.
+        what: String,
+    },
+    /// The application spec is structurally invalid (no features, cyclic
+    /// call graph, …).
+    InvalidSpec {
+        /// Why the spec is rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownId { kind, id } => write!(f, "unknown {kind} id {id}"),
+            ClusterError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            ClusterError::InvalidSpec { reason } => write!(f, "invalid app spec: {reason}"),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            ClusterError::UnknownId {
+                kind: "service",
+                id: 1,
+            },
+            ClusterError::InvalidParameter { what: "x".into() },
+            ClusterError::InvalidSpec { reason: "y".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

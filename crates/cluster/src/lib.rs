@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! A discrete-event simulated container cluster: the "testbed" of the
+//! ATOM reproduction.
+//!
+//! The paper evaluates ATOM against a two-node Docker Swarm running the
+//! Sock Shop (Table V). This crate replaces that physical testbed with a
+//! faithful simulation exposing the same operational surface:
+//!
+//! * [`spec::AppSpec`] — the deployed application: servers (cores ×
+//!   frequency), microservices (thread pools, CPU parallelism, stateful
+//!   flags, endpoint demands and call graph), and client-visible features;
+//! * [`runtime::Cluster`] — the live system: a closed, possibly bursty,
+//!   time-varying user population drives requests through the service
+//!   graph; containers execute demands on processor-sharing CPUs under
+//!   their share caps; replicas start up with a delay; scaling actions are
+//!   applied at run time exactly like `docker service update`;
+//! * [`monitor::WindowReport`] — what an autoscaler sees each monitoring
+//!   window: per-feature request counts and TPS, per-service utilisation,
+//!   allocations, response times, per-server utilisation;
+//! * a probe facility recording `(queue length at arrival, response
+//!   time)` samples for demand estimation (paper Fig. 4).
+//!
+//! The cluster deliberately differs from the LQN abstraction the
+//! controller reasons over: demands are stochastic (lognormal/exponential),
+//! start-up delays and actuation latencies exist, and the monitor reports
+//! sampled windows — so "model vs measurement" comparisons (Tables
+//! III/IV) are comparisons between genuinely different computations.
+//!
+//! # Example
+//!
+//! ```
+//! use atom_cluster::spec::AppSpec;
+//! use atom_cluster::runtime::{Cluster, ClusterOptions};
+//! use atom_workload::{WorkloadSpec, RequestMix};
+//!
+//! // A one-service app on a single server.
+//! let mut spec = AppSpec::new();
+//! let s = spec.add_server("node", 2, 1.0);
+//! let svc = spec.add_service("api", s, 8, 1, 1.0);
+//! let ep = spec.add_endpoint(svc, "get", 0.01, 1.0);
+//! spec.add_feature("get", svc, ep);
+//! let workload = WorkloadSpec::constant(RequestMix::uniform(1), 20, 1.0);
+//! let mut cluster = Cluster::new(&spec, workload, ClusterOptions::default()).unwrap();
+//! let report = cluster.run_window(60.0);
+//! assert!(report.total_tps > 0.0);
+//! ```
+
+pub mod error;
+pub mod monitor;
+pub mod runtime;
+pub mod spec;
+
+pub use error::ClusterError;
+pub use monitor::WindowReport;
+pub use runtime::{Cluster, ClusterOptions, RequestTrace, ScaleAction, TraceSpan};
+pub use spec::{AppSpec, EndpointId, ServerId, ServiceId};

@@ -1,0 +1,125 @@
+//! Monitoring-window reports: what autoscalers observe.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics collected over one monitoring window (paper §IV-A: the
+/// workload monitor counts requests per feature within a window; the
+/// baselines additionally read container CPU utilisation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowReport {
+    /// Window start (seconds).
+    pub start: f64,
+    /// Window end (seconds).
+    pub end: f64,
+    /// Completed client requests per feature.
+    pub feature_counts: Vec<u64>,
+    /// Completed requests/second per feature.
+    pub feature_tps: Vec<f64>,
+    /// Mean end-to-end response time per feature (seconds; 0 if none).
+    pub feature_response: Vec<f64>,
+    /// Completed invocations/second per endpoint: `endpoint_tps[s][e]`
+    /// for service `s`, endpoint `e` (includes nested calls, not just
+    /// client-visible features).
+    pub endpoint_tps: Vec<Vec<f64>>,
+    /// Per-service CPU utilisation: busy cores / allocated cores.
+    pub service_utilization: Vec<f64>,
+    /// Per-service busy cores (absolute, averaged over the window).
+    pub service_busy_cores: Vec<f64>,
+    /// Per-service allocated cores averaged over the window
+    /// (`replicas × share`, counting only replicas that are up).
+    pub service_alloc_cores: Vec<f64>,
+    /// Per-service ready replica count at window end.
+    pub service_replicas: Vec<usize>,
+    /// Per-service CPU share at window end.
+    pub service_shares: Vec<f64>,
+    /// Per-server utilisation: busy cores / total cores.
+    pub server_utilization: Vec<f64>,
+    /// Completed client requests/second over the window (all features).
+    pub total_tps: f64,
+    /// Mean concurrent users over the window.
+    pub avg_users: f64,
+    /// Concurrent users at window end (the `N` ATOM's analyzer feeds to
+    /// the model).
+    pub users_at_end: usize,
+    /// Peak client request *issue* rate over the monitor's sub-intervals
+    /// (requests/second). The paper's workload monitor samples "a set of
+    /// time intervals within a monitoring window" (§IV-A, [32]); the peak
+    /// sample is what lets ATOM see traffic surges that window-averaged
+    /// utilisation hides (§V-B, Fig. 13).
+    pub peak_arrival_rate: f64,
+    /// Peak number of users simultaneously *in the system* (issued a
+    /// request not yet answered) during the window. Unlike arrival or
+    /// completion rates, backlog is not throttled by missing capacity,
+    /// so it exposes traffic surges even when the system is saturated.
+    pub peak_in_system: f64,
+    /// Time-averaged in-system user count over the window. A peak far
+    /// above this average is the signature of a transient surge (as
+    /// opposed to a sustained ramp).
+    pub avg_in_system: f64,
+}
+
+impl WindowReport {
+    /// Window length in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Observed request mix (fractions per feature); `None` if the window
+    /// saw no requests.
+    pub fn observed_mix(&self) -> Option<Vec<f64>> {
+        let total: u64 = self.feature_counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        Some(
+            self.feature_counts
+                .iter()
+                .map(|&c| c as f64 / total as f64)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> WindowReport {
+        WindowReport {
+            start: 0.0,
+            end: 300.0,
+            feature_counts: vec![300, 100],
+            feature_tps: vec![1.0, 1.0 / 3.0],
+            feature_response: vec![0.1, 0.2],
+            endpoint_tps: vec![vec![1.0]],
+            service_utilization: vec![0.5],
+            service_busy_cores: vec![0.5],
+            service_alloc_cores: vec![1.0],
+            service_replicas: vec![1],
+            service_shares: vec![1.0],
+            server_utilization: vec![0.25],
+            total_tps: 4.0 / 3.0,
+            avg_users: 10.0,
+            users_at_end: 10,
+            peak_arrival_rate: 2.0,
+            peak_in_system: 3.0,
+            avg_in_system: 2.0,
+        }
+    }
+
+    #[test]
+    fn duration_and_mix() {
+        let r = report();
+        assert_eq!(r.duration(), 300.0);
+        let mix = r.observed_mix().unwrap();
+        assert!((mix[0] - 0.75).abs() < 1e-12);
+        assert!((mix[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_has_no_mix() {
+        let mut r = report();
+        r.feature_counts = vec![0, 0];
+        assert_eq!(r.observed_mix(), None);
+    }
+}

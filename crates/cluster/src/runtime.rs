@@ -1,0 +1,1410 @@
+//! The live cluster: discrete-event execution, monitoring, and runtime
+//! scaling.
+
+use std::collections::VecDeque;
+
+use atom_sim::processor::{GroupId, JobId, PsProcessor};
+use atom_sim::{EventQueue, SimRng, TimeWeighted};
+use atom_workload::burstiness::Mmpp2;
+use atom_workload::WorkloadSpec;
+
+use crate::error::ClusterError;
+use crate::monitor::WindowReport;
+use crate::spec::{AppSpec, EndpointId, ServiceId};
+
+/// Options for constructing a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterOptions {
+    /// RNG seed (everything downstream is deterministic in it).
+    pub seed: u64,
+    /// Latency of a vertical share change (seconds; `docker update` is
+    /// fast, default 1 s).
+    pub vertical_delay: f64,
+    /// Relative (multiplicative, Gaussian) noise on reported CPU
+    /// utilisations, mimicking real cAdvisor-style counters; `0`
+    /// disables it. The demand-estimation experiment (Fig. 4) uses a few
+    /// percent; control experiments default to exact readings.
+    pub monitor_noise: f64,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            seed: 1,
+            vertical_delay: 1.0,
+            monitor_noise: 0.0,
+        }
+    }
+}
+
+/// A scaling order for one service: the target replica count and
+/// per-replica CPU share (absolute, not a delta).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleAction {
+    /// Service to scale.
+    pub service: ServiceId,
+    /// Target number of replicas.
+    pub replicas: usize,
+    /// Target CPU share per replica (cores).
+    pub share: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ReplicaState {
+    /// Container created; serving from `ready_at`.
+    Starting { ready_at: f64 },
+    /// Serving traffic.
+    Ready,
+    /// No longer receiving new requests; finishing queued work.
+    Draining,
+    /// Gone.
+    Dead,
+}
+
+struct Replica {
+    group: GroupId,
+    state: ReplicaState,
+    busy_threads: usize,
+    queue: VecDeque<usize>,
+}
+
+struct ServiceRt {
+    server: usize,
+    threads: usize,
+    share: f64,
+    replicas: Vec<Replica>,
+    next_replica: usize,
+    alloc: TimeWeighted,
+    /// Busy core-seconds snapshot at the current window start.
+    busy_at_window: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum InvState {
+    Queued,
+    Executing,
+    Calling { idx: usize },
+}
+
+struct Invocation {
+    service: usize,
+    endpoint: usize,
+    replica: usize,
+    caller: Option<usize>,
+    /// Root invocations carry the feature index and issuing user.
+    root: Option<(usize, usize)>,
+    state: InvState,
+    calls: Vec<(usize, usize)>,
+    arrival: f64,
+    /// Queue length seen at arrival (for the demand-estimation probe).
+    seen_queue: usize,
+    /// Index of this invocation's span in the trace being captured.
+    span: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    UserReady { user: usize },
+    PopulationChange { population: usize },
+    ReplicaReady { service: usize, replica: usize },
+    ProcessorCheck { proc: usize, generation: u64 },
+    ApplyScaling { batch: usize },
+    LatencyDone { inv: usize },
+}
+
+/// One hop of a captured request trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSpan {
+    /// Service index.
+    pub service: usize,
+    /// Endpoint index within the service.
+    pub endpoint: usize,
+    /// Index of the calling span within the trace, if any.
+    pub parent: Option<usize>,
+    /// Arrival at the service (enqueue time).
+    pub arrival: f64,
+    /// Service start (thread acquired).
+    pub start: f64,
+    /// Completion (reply sent).
+    pub end: f64,
+}
+
+/// A captured end-to-end request trace (distributed-tracing style).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    /// The client-visible feature that issued the request.
+    pub feature: usize,
+    /// All spans, parents before children.
+    pub spans: Vec<TraceSpan>,
+}
+
+/// Usable rate cap of one replica: its share bounded by the service's
+/// CPU parallelism (`None` = unbounded by code structure).
+fn effective_cap(share: f64, parallelism: Option<usize>) -> f64 {
+    match parallelism {
+        Some(p) => share.min(p as f64),
+        None => share,
+    }
+}
+
+/// The running cluster. See the [crate docs](crate).
+pub struct Cluster {
+    spec: AppSpec,
+    workload: WorkloadSpec,
+    rng: SimRng,
+    events: EventQueue<Event>,
+    processors: Vec<PsProcessor>,
+    proc_jobs: Vec<std::collections::HashMap<JobId, usize>>,
+    services: Vec<ServiceRt>,
+    invocations: Vec<Option<Invocation>>,
+    free_invs: Vec<usize>,
+    users_alive: Vec<bool>,
+    target_population: usize,
+    users_tw: TimeWeighted,
+    mmpp: Option<Mmpp2>,
+    now: f64,
+    pending_batches: Vec<Vec<ScaleAction>>,
+    options: ClusterOptions,
+    // --- window accumulators ---
+    window_start: f64,
+    feature_counts: Vec<u64>,
+    feature_resp_sum: Vec<f64>,
+    endpoint_counts: Vec<Vec<u64>>,
+    /// Client request issues in the current monitor sub-interval, and the
+    /// largest completed sub-interval count so far this window.
+    subinterval_arrivals: u64,
+    subinterval_start: f64,
+    peak_subinterval_rate: f64,
+    in_system: usize,
+    in_system_tw: TimeWeighted,
+    peak_in_system: usize,
+    server_busy_at_window: Vec<f64>,
+    // --- probe ---
+    probe: Option<(usize, usize)>,
+    probe_samples: Vec<(f64, f64)>,
+    // --- tracing ---
+    trace_armed: Option<Option<usize>>, // Some(feature filter) when armed
+    trace_building: Vec<TraceSpan>,
+    trace_feature: usize,
+    completed_trace: Option<RequestTrace>,
+}
+
+impl Cluster {
+    /// Deploys `spec` under `workload`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AppSpec::validate`] failures and rejects a workload
+    /// whose mix length differs from the spec's feature count.
+    pub fn new(
+        spec: &AppSpec,
+        workload: WorkloadSpec,
+        options: ClusterOptions,
+    ) -> Result<Self, ClusterError> {
+        spec.validate()?;
+        if workload.mix.len() != spec.features.len() {
+            return Err(ClusterError::InvalidParameter {
+                what: format!(
+                    "workload mix has {} features, app has {}",
+                    workload.mix.len(),
+                    spec.features.len()
+                ),
+            });
+        }
+        let mut rng = SimRng::seed_from(options.seed);
+        let mut processors: Vec<PsProcessor> = spec
+            .servers
+            .iter()
+            .map(|s| PsProcessor::new(s.cores as f64, s.speed))
+            .collect();
+        let mut services = Vec::new();
+        for s in &spec.services {
+            // A replica's usable rate is capped by both its share and the
+            // CPU parallelism of its code (a single-threaded service
+            // cannot exploit a >1-core share — paper §II-B).
+            let cap = effective_cap(s.initial_share, s.parallelism);
+            let mut replicas = Vec::new();
+            for _ in 0..s.initial_replicas {
+                replicas.push(Replica {
+                    group: processors[s.server.0].add_group(cap),
+                    state: ReplicaState::Ready,
+                    busy_threads: 0,
+                    queue: VecDeque::new(),
+                });
+            }
+            let alloc0 = s.initial_replicas as f64 * s.initial_share;
+            services.push(ServiceRt {
+                server: s.server.0,
+                threads: s.threads,
+                share: s.initial_share,
+                replicas,
+                next_replica: 0,
+                alloc: TimeWeighted::new(0.0, alloc0),
+                busy_at_window: 0.0,
+            });
+        }
+        let mmpp = workload.burstiness.map(|b| {
+            let nominal = workload.profile.population_at(0.0) as f64
+                / workload.think_time.max(1e-9);
+            Mmpp2::calibrated(nominal.max(1e-9), b, &mut rng)
+        });
+        let mut cluster = Cluster {
+            spec: spec.clone(),
+            rng,
+            events: EventQueue::new(),
+            proc_jobs: (0..processors.len())
+                .map(|_| std::collections::HashMap::new())
+                .collect(),
+            processors,
+            services,
+            invocations: Vec::new(),
+            free_invs: Vec::new(),
+            users_alive: Vec::new(),
+            target_population: 0,
+            users_tw: TimeWeighted::new(0.0, 0.0),
+            mmpp,
+            now: 0.0,
+            pending_batches: Vec::new(),
+            options,
+            window_start: 0.0,
+            feature_counts: vec![0; spec.features.len()],
+            feature_resp_sum: vec![0.0; spec.features.len()],
+            endpoint_counts: spec
+                .services
+                .iter()
+                .map(|s| vec![0; s.endpoints.len()])
+                .collect(),
+            subinterval_arrivals: 0,
+            subinterval_start: 0.0,
+            peak_subinterval_rate: 0.0,
+            in_system: 0,
+            in_system_tw: TimeWeighted::new(0.0, 0.0),
+            peak_in_system: 0,
+            server_busy_at_window: vec![0.0; spec.servers.len()],
+            probe: None,
+            probe_samples: Vec::new(),
+            trace_armed: None,
+            trace_building: Vec::new(),
+            trace_feature: 0,
+            completed_trace: None,
+            workload,
+        };
+        // Spawn the initial population; future changes are scheduled
+        // window by window (an unbounded upfront scan would blow up for
+        // long-period or oscillating profiles).
+        let initial = cluster.workload.profile.population_at(0.0);
+        cluster.set_population(initial);
+        Ok(cluster)
+    }
+
+    /// Current simulation time (seconds).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The options the cluster was constructed with.
+    pub fn options(&self) -> ClusterOptions {
+        self.options
+    }
+
+    /// The deployed application spec.
+    pub fn spec(&self) -> &AppSpec {
+        &self.spec
+    }
+
+    /// Live (ready + starting + draining) replica count of a service.
+    pub fn replicas(&self, service: ServiceId) -> usize {
+        self.services[service.0]
+            .replicas
+            .iter()
+            .filter(|r| !matches!(r.state, ReplicaState::Dead))
+            .count()
+    }
+
+    /// Ready replica count of a service.
+    pub fn ready_replicas(&self, service: ServiceId) -> usize {
+        self.services[service.0]
+            .replicas
+            .iter()
+            .filter(|r| matches!(r.state, ReplicaState::Ready))
+            .count()
+    }
+
+    /// Current per-replica CPU share of a service.
+    pub fn share(&self, service: ServiceId) -> f64 {
+        self.services[service.0].share
+    }
+
+    /// Records `(queue length at arrival, response time)` samples for one
+    /// endpoint; collect them with [`Cluster::take_probe_samples`].
+    pub fn set_probe(&mut self, service: ServiceId, endpoint: EndpointId) {
+        self.probe = Some((service.0, endpoint.0));
+        self.probe_samples.clear();
+    }
+
+    /// Drains collected probe samples.
+    pub fn take_probe_samples(&mut self) -> Vec<(f64, f64)> {
+        std::mem::take(&mut self.probe_samples)
+    }
+
+    /// Arms a one-shot request trace: the next client request (of the
+    /// given feature, or any feature when `None`) is captured with a span
+    /// per service hop. Collect it with [`Cluster::take_trace`].
+    pub fn arm_trace(&mut self, feature: Option<usize>) {
+        self.trace_armed = Some(feature);
+        self.completed_trace = None;
+    }
+
+    /// The most recently completed trace, if any.
+    pub fn take_trace(&mut self) -> Option<RequestTrace> {
+        self.completed_trace.take()
+    }
+
+    /// Schedules a batch of scaling actions to be applied `delay` seconds
+    /// from now (an autoscaler's actuation latency, e.g. ATOM's 2.5 min
+    /// optimization-plus-planning delay).
+    pub fn schedule_scaling(&mut self, actions: Vec<ScaleAction>, delay: f64) {
+        let batch = self.pending_batches.len();
+        self.pending_batches.push(actions);
+        self.events
+            .push(self.now + delay.max(0.0), Event::ApplyScaling { batch });
+    }
+
+    /// Runs the simulation for `duration` seconds and reports the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive.
+    pub fn run_window(&mut self, duration: f64) -> WindowReport {
+        assert!(duration > 0.0, "window duration must be positive");
+        let end = self.now + duration;
+        // Schedule this window's population changes lazily.
+        for (t, pop) in self.workload.profile.change_points(self.now, end) {
+            self.events.push(t, Event::PopulationChange { population: pop });
+        }
+        while let Some(t) = self.events.peek_time() {
+            if t > end {
+                break;
+            }
+            let (t, ev) = self.events.pop().expect("peeked");
+            self.now = t.max(self.now);
+            self.dispatch(ev);
+        }
+        self.now = end;
+        self.collect_window(end)
+    }
+
+    // ------------------------------------------------------------------
+    // event dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::UserReady { user } => self.user_ready(user),
+            Event::PopulationChange { population } => self.set_population(population),
+            Event::ReplicaReady { service, replica } => self.replica_ready(service, replica),
+            Event::ProcessorCheck { proc, generation } => self.processor_check(proc, generation),
+            Event::ApplyScaling { batch } => {
+                let actions = std::mem::take(&mut self.pending_batches[batch]);
+                for a in actions {
+                    self.apply_action(a);
+                }
+            }
+            Event::LatencyDone { inv } => self.proceed_to_calls(inv),
+        }
+    }
+
+    fn set_population(&mut self, population: usize) {
+        self.target_population = population;
+        let alive = self.users_alive.iter().filter(|&&a| a).count();
+        if population > alive {
+            for _ in 0..(population - alive) {
+                // Reuse a dead slot or create a new user.
+                let slot = self.users_alive.iter().position(|&a| !a);
+                let user = match slot {
+                    Some(u) => {
+                        self.users_alive[u] = true;
+                        u
+                    }
+                    None => {
+                        self.users_alive.push(true);
+                        self.users_alive.len() - 1
+                    }
+                };
+                let think = self.sample_think();
+                self.events.push(self.now + think, Event::UserReady { user });
+            }
+        } else if population < alive {
+            // Retire the highest-indexed alive users; they stop at their
+            // next cycle boundary (their pending events are ignored).
+            let mut to_remove = alive - population;
+            for u in (0..self.users_alive.len()).rev() {
+                if to_remove == 0 {
+                    break;
+                }
+                if self.users_alive[u] {
+                    self.users_alive[u] = false;
+                    to_remove -= 1;
+                }
+            }
+        }
+        self.users_tw.update(
+            self.now,
+            self.users_alive.iter().filter(|&&a| a).count() as f64,
+        );
+    }
+
+    fn sample_think(&mut self) -> f64 {
+        let base = self.workload.think_time;
+        let mean = match &mut self.mmpp {
+            Some(m) => base / m.advance(self.now, &mut self.rng).max(1e-9),
+            None => base,
+        };
+        self.rng.exponential(mean.max(1e-12))
+    }
+
+    /// Monitor sub-interval length (seconds) for peak-rate sampling.
+    const SUBINTERVAL: f64 = 30.0;
+
+    fn roll_subinterval(&mut self) {
+        while self.now >= self.subinterval_start + Self::SUBINTERVAL {
+            let rate = self.subinterval_arrivals as f64 / Self::SUBINTERVAL;
+            self.peak_subinterval_rate = self.peak_subinterval_rate.max(rate);
+            self.subinterval_arrivals = 0;
+            self.subinterval_start += Self::SUBINTERVAL;
+        }
+    }
+
+    fn user_ready(&mut self, user: usize) {
+        if !self.users_alive.get(user).copied().unwrap_or(false) {
+            return; // retired while thinking
+        }
+        self.roll_subinterval();
+        self.subinterval_arrivals += 1;
+        self.in_system += 1;
+        self.in_system_tw.update(self.now, self.in_system as f64);
+        self.peak_in_system = self.peak_in_system.max(self.in_system);
+        let feature = self.rng.categorical(self.workload.mix.fractions());
+        let f = &self.spec.features[feature];
+        let (si, ei) = (f.service.0, f.endpoint.0);
+        self.start_call(si, ei, None, Some((feature, user)));
+    }
+
+    fn expand_calls(&mut self, si: usize, ei: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let calls = self.spec.services[si].endpoints[ei].calls.clone();
+        for c in calls {
+            let whole = c.mean.floor() as usize;
+            let frac = c.mean - c.mean.floor();
+            let count = whole + usize::from(frac > 0.0 && self.rng.bernoulli(frac));
+            for _ in 0..count {
+                out.push((c.service.0, c.endpoint.0));
+            }
+        }
+        out
+    }
+
+    /// Picks a ready replica round-robin; falls back to any non-dead one.
+    fn pick_replica(&mut self, si: usize) -> usize {
+        let svc = &mut self.services[si];
+        let n = svc.replicas.len();
+        for k in 0..n {
+            let idx = (svc.next_replica + k) % n;
+            if matches!(svc.replicas[idx].state, ReplicaState::Ready) {
+                svc.next_replica = idx + 1;
+                return idx;
+            }
+        }
+        // No ready replica (all still starting): queue on the first
+        // non-dead one so requests are not lost.
+        for (idx, r) in svc.replicas.iter().enumerate() {
+            if !matches!(r.state, ReplicaState::Dead) {
+                return idx;
+            }
+        }
+        unreachable!("a service always keeps at least one live replica");
+    }
+
+    fn start_call(
+        &mut self,
+        si: usize,
+        ei: usize,
+        caller: Option<usize>,
+        root: Option<(usize, usize)>,
+    ) {
+        let replica = self.pick_replica(si);
+        let calls = self.expand_calls(si, ei);
+        // Queue seen at arrival for the demand-estimation probe: jobs
+        // executing on the service's processor (the MVA arrival theorem
+        // applies at the contended resource — the CPU — cf. Kraft et
+        // al. [26]).
+        let seen_queue = self.processors[self.services[si].server].active_jobs();
+        // Trace propagation: a root request arms a new capture when one
+        // is pending; child calls inherit their caller's traced status.
+        let parent_span = caller.and_then(|c| self.invocations[c].as_ref().and_then(|i| i.span));
+        let span = if let Some(parent) = parent_span {
+            self.trace_building.push(TraceSpan {
+                service: si,
+                endpoint: ei,
+                parent: Some(parent),
+                arrival: self.now,
+                start: self.now,
+                end: self.now,
+            });
+            Some(self.trace_building.len() - 1)
+        } else if let (Some(filter), Some((feature, _))) = (self.trace_armed, root) {
+            if filter.is_none_or(|f| f == feature) {
+                self.trace_armed = None;
+                self.trace_feature = feature;
+                self.trace_building.clear();
+                self.trace_building.push(TraceSpan {
+                    service: si,
+                    endpoint: ei,
+                    parent: None,
+                    arrival: self.now,
+                    start: self.now,
+                    end: self.now,
+                });
+                Some(0)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let inv = self.alloc_invocation(Invocation {
+            service: si,
+            endpoint: ei,
+            replica,
+            caller,
+            root,
+            state: InvState::Queued,
+            calls,
+            arrival: self.now,
+            seen_queue,
+            span,
+        });
+        let svc = &mut self.services[si];
+        let can_start = matches!(
+            svc.replicas[replica].state,
+            ReplicaState::Ready | ReplicaState::Draining
+        ) && svc.replicas[replica].busy_threads < svc.threads;
+        if can_start {
+            svc.replicas[replica].busy_threads += 1;
+            self.begin_service(inv);
+        } else {
+            svc.replicas[replica].queue.push_back(inv);
+        }
+    }
+
+    fn alloc_invocation(&mut self, inv: Invocation) -> usize {
+        match self.free_invs.pop() {
+            Some(slot) => {
+                self.invocations[slot] = Some(inv);
+                slot
+            }
+            None => {
+                self.invocations.push(Some(inv));
+                self.invocations.len() - 1
+            }
+        }
+    }
+
+    fn begin_service(&mut self, inv: usize) {
+        let (si, ei, replica) = {
+            let i = self.invocations[inv].as_ref().unwrap();
+            (i.service, i.endpoint, i.replica)
+        };
+        if let Some(span) = self.invocations[inv].as_ref().unwrap().span {
+            self.trace_building[span].start = self.now;
+        }
+        self.invocations[inv].as_mut().unwrap().state = InvState::Executing;
+        let ep = &self.spec.services[si].endpoints[ei];
+        let demand = if ep.demand == 0.0 {
+            0.0
+        } else if ep.demand_cv == 0.0 {
+            ep.demand
+        } else if (ep.demand_cv - 1.0).abs() < 1e-12 {
+            self.rng.exponential(ep.demand)
+        } else {
+            self.rng.lognormal(ep.demand, ep.demand_cv)
+        };
+        if demand == 0.0 {
+            self.demand_done(inv);
+            return;
+        }
+        let pi = self.services[si].server;
+        let group = self.services[si].replicas[replica].group;
+        let job = self.processors[pi].add_job(self.now, group, demand);
+        self.proc_jobs[pi].insert(job, inv);
+        self.reschedule_processor(pi);
+    }
+
+    fn reschedule_processor(&mut self, pi: usize) {
+        if let Some((t, _)) = self.processors[pi].next_completion(self.now) {
+            let generation = self.processors[pi].generation();
+            self.events
+                .push(t, Event::ProcessorCheck { proc: pi, generation });
+        }
+    }
+
+    fn processor_check(&mut self, pi: usize, generation: u64) {
+        if self.processors[pi].generation() != generation {
+            return;
+        }
+        loop {
+            match self.processors[pi].next_completion(self.now) {
+                Some((t, job)) if t <= self.now + 1e-12 => {
+                    self.processors[pi].remove_job(self.now, job);
+                    let inv = self.proc_jobs[pi].remove(&job).expect("job maps to inv");
+                    self.demand_done(inv);
+                }
+                _ => break,
+            }
+        }
+        self.reschedule_processor(pi);
+    }
+
+    fn demand_done(&mut self, inv: usize) {
+        // Pure-latency (I/O) stage before the downstream calls.
+        let (si, ei) = {
+            let i = self.invocations[inv].as_ref().unwrap();
+            (i.service, i.endpoint)
+        };
+        let latency = self.spec.services[si].endpoints[ei].latency;
+        if latency > 0.0 {
+            let wait = self.rng.exponential(latency);
+            self.events.push(self.now + wait, Event::LatencyDone { inv });
+            return;
+        }
+        self.proceed_to_calls(inv);
+    }
+
+    fn proceed_to_calls(&mut self, inv: usize) {
+        let has_calls = !self.invocations[inv].as_ref().unwrap().calls.is_empty();
+        if has_calls {
+            self.invocations[inv].as_mut().unwrap().state = InvState::Calling { idx: 0 };
+            let (si, ei) = self.invocations[inv].as_ref().unwrap().calls[0];
+            self.start_call(si, ei, Some(inv), None);
+        } else {
+            self.finish_invocation(inv);
+        }
+    }
+
+    fn child_done(&mut self, inv: usize) {
+        let (next, total) = {
+            let i = self.invocations[inv].as_ref().unwrap();
+            let idx = match i.state {
+                InvState::Calling { idx } => idx + 1,
+                _ => unreachable!("caller must be in Calling state"),
+            };
+            (idx, i.calls.len())
+        };
+        if next < total {
+            self.invocations[inv].as_mut().unwrap().state = InvState::Calling { idx: next };
+            let (si, ei) = self.invocations[inv].as_ref().unwrap().calls[next];
+            self.start_call(si, ei, Some(inv), None);
+        } else {
+            self.finish_invocation(inv);
+        }
+    }
+
+    fn finish_invocation(&mut self, inv: usize) {
+        let (si, _ei, replica, caller, root, arrival, seen_queue, ei, span) = {
+            let i = self.invocations[inv].as_ref().unwrap();
+            (
+                i.service, i.endpoint, i.replica, i.caller, i.root, i.arrival, i.seen_queue,
+                i.endpoint, i.span,
+            )
+        };
+        if let Some(span) = span {
+            self.trace_building[span].end = self.now;
+            if span == 0 && self.completed_trace.is_none() {
+                self.completed_trace = Some(RequestTrace {
+                    feature: self.trace_feature,
+                    spans: std::mem::take(&mut self.trace_building),
+                });
+            }
+        }
+        self.endpoint_counts[si][ei] += 1;
+        if let Some((ps, pe)) = self.probe {
+            if ps == si && pe == ei {
+                self.probe_samples
+                    .push((seen_queue as f64, self.now - arrival));
+            }
+        }
+        self.invocations[inv] = None;
+        self.free_invs.push(inv);
+
+        // Release the thread / admit next.
+        let svc = &mut self.services[si];
+        let rep = &mut svc.replicas[replica];
+        if let Some(next) = rep.queue.pop_front() {
+            self.begin_service(next);
+        } else {
+            rep.busy_threads -= 1;
+            // A drained replica with no work left dies.
+            if matches!(rep.state, ReplicaState::Draining) && rep.busy_threads == 0 {
+                self.kill_replica(si, replica);
+            }
+        }
+
+        match (caller, root) {
+            (Some(parent), _) => self.child_done(parent),
+            (None, Some((feature, user))) => self.complete_request(feature, user, arrival),
+            (None, None) => unreachable!("invocation must have a caller or be a root"),
+        }
+    }
+
+    fn complete_request(&mut self, feature: usize, user: usize, arrival: f64) {
+        self.in_system = self.in_system.saturating_sub(1);
+        self.in_system_tw.update(self.now, self.in_system as f64);
+        self.feature_counts[feature] += 1;
+        self.feature_resp_sum[feature] += self.now - arrival;
+        if self.users_alive.get(user).copied().unwrap_or(false) {
+            let think = self.sample_think();
+            self.events.push(self.now + think, Event::UserReady { user });
+        } else {
+            self.users_tw.update(
+                self.now,
+                self.users_alive.iter().filter(|&&a| a).count() as f64,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // scaling
+    // ------------------------------------------------------------------
+
+    fn apply_action(&mut self, action: ScaleAction) {
+        let si = action.service.0;
+        if si >= self.services.len() {
+            return; // ignore unknown service ids from buggy controllers
+        }
+        let share = action.share.max(0.01);
+        let target = action.replicas.max(1);
+        // Vertical: retune every live replica's cap (bounded by the
+        // service's CPU parallelism).
+        let pi = self.services[si].server;
+        self.services[si].share = share;
+        let cap = effective_cap(share, self.spec.services[si].parallelism);
+        let groups: Vec<GroupId> = self.services[si]
+            .replicas
+            .iter()
+            .filter(|r| !matches!(r.state, ReplicaState::Dead))
+            .map(|r| r.group)
+            .collect();
+        for g in groups {
+            self.processors[pi].set_group_cap(self.now, g, cap);
+        }
+        self.reschedule_processor(pi);
+
+        // Horizontal.
+        let live: Vec<usize> = self.services[si]
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !matches!(r.state, ReplicaState::Dead))
+            .map(|(i, _)| i)
+            .collect();
+        if target > live.len() {
+            let startup = self.spec.services[si].startup_delay;
+            for _ in 0..(target - live.len()) {
+                let group = self.processors[pi].add_group(cap);
+                self.services[si].replicas.push(Replica {
+                    group,
+                    state: ReplicaState::Starting {
+                        ready_at: self.now + startup,
+                    },
+                    busy_threads: 0,
+                    queue: VecDeque::new(),
+                });
+                let replica = self.services[si].replicas.len() - 1;
+                self.events.push(
+                    self.now + startup,
+                    Event::ReplicaReady { service: si, replica },
+                );
+            }
+        } else if target < live.len() {
+            // Drain the newest replicas first.
+            for &idx in live.iter().rev().take(live.len() - target) {
+                let rep = &mut self.services[si].replicas[idx];
+                match rep.state {
+                    ReplicaState::Starting { .. } => {
+                        // Never served: kill immediately.
+                        rep.state = ReplicaState::Dead;
+                        let g = rep.group;
+                        self.processors[pi].set_group_cap(self.now, g, 0.0);
+                    }
+                    ReplicaState::Ready => {
+                        if rep.busy_threads == 0 && rep.queue.is_empty() {
+                            rep.state = ReplicaState::Dead;
+                            let g = rep.group;
+                            self.processors[pi].set_group_cap(self.now, g, 0.0);
+                        } else {
+                            rep.state = ReplicaState::Draining;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.update_alloc(si);
+    }
+
+    fn kill_replica(&mut self, si: usize, replica: usize) {
+        let pi = self.services[si].server;
+        let g = self.services[si].replicas[replica].group;
+        self.services[si].replicas[replica].state = ReplicaState::Dead;
+        self.processors[pi].set_group_cap(self.now, g, 0.0);
+        self.update_alloc(si);
+    }
+
+    fn replica_ready(&mut self, si: usize, replica: usize) {
+        let rep = &mut self.services[si].replicas[replica];
+        if let ReplicaState::Starting { .. } = rep.state {
+            rep.state = ReplicaState::Ready;
+            // Containers start with the service's current share.
+            let share = self.services[si].share;
+            let cap = effective_cap(share, self.spec.services[si].parallelism);
+            let pi = self.services[si].server;
+            let g = self.services[si].replicas[replica].group;
+            self.processors[pi].set_group_cap(self.now, g, cap);
+            self.update_alloc(si);
+        }
+    }
+
+    fn update_alloc(&mut self, si: usize) {
+        let svc = &self.services[si];
+        let live = svc
+            .replicas
+            .iter()
+            .filter(|r| matches!(r.state, ReplicaState::Ready | ReplicaState::Draining))
+            .count();
+        let value = live as f64 * svc.share;
+        self.services[si].alloc.update(self.now, value);
+    }
+
+    // ------------------------------------------------------------------
+    // monitoring
+    // ------------------------------------------------------------------
+
+    /// Multiplicative noise factor for one monitored reading.
+    fn monitor_noise_factor(&mut self) -> f64 {
+        if self.options.monitor_noise <= 0.0 {
+            1.0
+        } else {
+            (1.0 + self.options.monitor_noise * self.rng.standard_normal()).max(0.0)
+        }
+    }
+
+    fn collect_window(&mut self, end: f64) -> WindowReport {
+        let span = end - self.window_start;
+        let nf = self.spec.features.len();
+        let ns = self.services.len();
+        let np = self.processors.len();
+
+        let mut feature_tps = vec![0.0; nf];
+        let mut feature_response = vec![0.0; nf];
+        for f in 0..nf {
+            if self.feature_counts[f] > 0 {
+                feature_tps[f] = self.feature_counts[f] as f64 / span;
+                feature_response[f] = self.feature_resp_sum[f] / self.feature_counts[f] as f64;
+            }
+        }
+        let total_tps = self.feature_counts.iter().sum::<u64>() as f64 / span;
+
+        let endpoint_tps: Vec<Vec<f64>> = self
+            .endpoint_counts
+            .iter()
+            .map(|svc| svc.iter().map(|&c| c as f64 / span).collect())
+            .collect();
+        for svc in self.endpoint_counts.iter_mut() {
+            for c in svc.iter_mut() {
+                *c = 0;
+            }
+        }
+        let mut service_utilization = vec![0.0; ns];
+        let mut service_busy_cores = vec![0.0; ns];
+        let mut service_alloc_cores = vec![0.0; ns];
+        let mut service_replicas = vec![0; ns];
+        let mut service_shares = vec![0.0; ns];
+        for si in 0..ns {
+            let pi = self.services[si].server;
+            self.processors[pi].advance(end);
+            let busy_now: f64 = self.services[si]
+                .replicas
+                .iter()
+                .map(|r| self.processors[pi].group_busy_core_seconds(r.group))
+                .sum();
+            let busy = busy_now - self.services[si].busy_at_window;
+            self.services[si].busy_at_window = busy_now;
+            service_busy_cores[si] = (busy / span) * self.monitor_noise_factor();
+            service_alloc_cores[si] = self.services[si].alloc.average(end);
+            if service_alloc_cores[si] > 0.0 {
+                service_utilization[si] = service_busy_cores[si] / service_alloc_cores[si];
+            }
+            self.services[si].alloc.reset(end);
+            service_replicas[si] = self.services[si]
+                .replicas
+                .iter()
+                .filter(|r| matches!(r.state, ReplicaState::Ready | ReplicaState::Draining))
+                .count();
+            service_shares[si] = self.services[si].share;
+        }
+
+        let mut server_utilization = vec![0.0; np];
+        #[allow(clippy::needless_range_loop)] // parallel arrays + &mut self call
+        for pi in 0..np {
+            self.processors[pi].advance(end);
+            let busy_now = self.processors[pi].busy_core_seconds();
+            let busy = busy_now - self.server_busy_at_window[pi];
+            self.server_busy_at_window[pi] = busy_now;
+            server_utilization[pi] =
+                busy / (self.processors[pi].cores() * span) * self.monitor_noise_factor();
+        }
+
+        self.roll_subinterval();
+        // Include the (possibly partial) trailing sub-interval.
+        let elapsed = (end - self.subinterval_start).max(1e-9);
+        if elapsed >= 0.5 * Self::SUBINTERVAL {
+            self.peak_subinterval_rate = self
+                .peak_subinterval_rate
+                .max(self.subinterval_arrivals as f64 / elapsed);
+        }
+        let peak_arrival_rate = self.peak_subinterval_rate;
+        self.peak_subinterval_rate = 0.0;
+        let peak_in_system = self.peak_in_system as f64;
+        let avg_in_system = self.in_system_tw.average(end);
+        self.in_system_tw.update(end, self.in_system as f64);
+        self.in_system_tw.reset(end);
+        self.peak_in_system = self.in_system;
+
+        let avg_users = self.users_tw.average(end);
+        self.users_tw.update(end, self.users_tw.current());
+        self.users_tw.reset(end);
+
+        let report = WindowReport {
+            start: self.window_start,
+            end,
+            feature_counts: std::mem::replace(&mut self.feature_counts, vec![0; nf]),
+            feature_tps,
+            feature_response,
+            endpoint_tps,
+            service_utilization,
+            service_busy_cores,
+            service_alloc_cores,
+            service_replicas,
+            service_shares,
+            server_utilization,
+            total_tps,
+            avg_users,
+            users_at_end: self.users_alive.iter().filter(|&&a| a).count(),
+            peak_arrival_rate,
+            peak_in_system,
+            avg_in_system,
+        };
+        self.feature_resp_sum = vec![0.0; nf];
+        self.window_start = end;
+        report
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("now", &self.now)
+            .field("services", &self.services.len())
+            .field("users", &self.users_alive.iter().filter(|&&a| a).count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_workload::{LoadProfile, RequestMix};
+
+    fn one_service_spec(demand: f64, share: f64, threads: usize) -> AppSpec {
+        let mut spec = AppSpec::new();
+        let node = spec.add_server("node", 4, 1.0);
+        let svc = spec.add_service("api", node, threads, 1, share);
+        let ep = spec.add_endpoint(svc, "op", demand, 1.0);
+        spec.add_feature("op", svc, ep);
+        spec
+    }
+
+    fn constant_workload(users: usize, z: f64) -> WorkloadSpec {
+        WorkloadSpec::constant(RequestMix::uniform(1), users, z)
+    }
+
+    #[test]
+    fn throughput_matches_mva_reference() {
+        // 20 users, Z=1, D=0.05, ample threads: X ≈ exact M/M/1//N value.
+        let spec = one_service_spec(0.05, 1.0, 64);
+        let mut cluster =
+            Cluster::new(&spec, constant_workload(20, 1.0), ClusterOptions::default()).unwrap();
+        cluster.run_window(200.0); // warm-up
+        let r = cluster.run_window(2000.0);
+        let exact = {
+            use atom_mva::{closed::solve_exact, ClassSpec, ClosedNetwork, Station};
+            let net = ClosedNetwork::new(
+                vec![Station::queueing("s", 1, vec![0.05])],
+                vec![ClassSpec::new("c", 20, 1.0)],
+            )
+            .unwrap();
+            solve_exact(&net).unwrap().throughput[0]
+        };
+        let rel = (r.total_tps - exact).abs() / exact;
+        assert!(rel < 0.05, "sim {} vs exact {exact}", r.total_tps);
+    }
+
+    #[test]
+    fn share_cap_limits_capacity() {
+        let spec = one_service_spec(0.01, 0.2, 64);
+        let mut cluster =
+            Cluster::new(&spec, constant_workload(500, 1.0), ClusterOptions::default()).unwrap();
+        cluster.run_window(100.0);
+        let r = cluster.run_window(500.0);
+        // Capacity = 0.2/0.01 = 20/s.
+        assert!(r.total_tps < 21.0, "tps {}", r.total_tps);
+        assert!(r.total_tps > 18.0, "tps {}", r.total_tps);
+        let svc = ServiceId(0);
+        assert!(r.service_utilization[svc.0] > 0.9);
+    }
+
+    #[test]
+    fn horizontal_scale_up_increases_capacity() {
+        let spec = one_service_spec(0.01, 0.2, 64);
+        let mut cluster =
+            Cluster::new(&spec, constant_workload(500, 1.0), ClusterOptions::default()).unwrap();
+        cluster.run_window(200.0);
+        let before = cluster.run_window(300.0);
+        cluster.schedule_scaling(
+            vec![ScaleAction {
+                service: ServiceId(0),
+                replicas: 4,
+                share: 0.2,
+            }],
+            0.0,
+        );
+        cluster.run_window(60.0); // let startup + transient pass
+        let after = cluster.run_window(300.0);
+        assert!(
+            after.total_tps > 2.5 * before.total_tps,
+            "before {} after {}",
+            before.total_tps,
+            after.total_tps
+        );
+        assert_eq!(cluster.ready_replicas(ServiceId(0)), 4);
+        assert_eq!(after.service_replicas[0], 4);
+    }
+
+    #[test]
+    fn vertical_scale_up_increases_capacity() {
+        let spec = one_service_spec(0.01, 0.2, 64);
+        let mut cluster =
+            Cluster::new(&spec, constant_workload(500, 1.0), ClusterOptions::default()).unwrap();
+        cluster.run_window(200.0);
+        let before = cluster.run_window(300.0);
+        cluster.schedule_scaling(
+            vec![ScaleAction {
+                service: ServiceId(0),
+                replicas: 1,
+                share: 0.8,
+            }],
+            0.0,
+        );
+        cluster.run_window(30.0);
+        let after = cluster.run_window(300.0);
+        assert!(
+            after.total_tps > 3.0 * before.total_tps,
+            "before {} after {}",
+            before.total_tps,
+            after.total_tps
+        );
+        assert!((cluster.share(ServiceId(0)) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_down_drains_gracefully() {
+        let spec = one_service_spec(0.01, 0.5, 16);
+        let mut cluster =
+            Cluster::new(&spec, constant_workload(100, 1.0), ClusterOptions::default()).unwrap();
+        cluster.schedule_scaling(
+            vec![ScaleAction {
+                service: ServiceId(0),
+                replicas: 3,
+                share: 0.5,
+            }],
+            0.0,
+        );
+        cluster.run_window(100.0);
+        assert_eq!(cluster.ready_replicas(ServiceId(0)), 3);
+        cluster.schedule_scaling(
+            vec![ScaleAction {
+                service: ServiceId(0),
+                replicas: 1,
+                share: 0.5,
+            }],
+            0.0,
+        );
+        cluster.run_window(100.0);
+        assert_eq!(cluster.ready_replicas(ServiceId(0)), 1);
+        // The cluster keeps serving.
+        let r = cluster.run_window(100.0);
+        assert!(r.total_tps > 0.0);
+    }
+
+    #[test]
+    fn ramp_profile_grows_population() {
+        let spec = one_service_spec(0.001, 4.0, 64);
+        let workload = WorkloadSpec {
+            mix: RequestMix::uniform(1),
+            think_time: 1.0,
+            profile: LoadProfile::Ramp {
+                from: 10,
+                to: 100,
+                start: 0.0,
+                duration: 100.0,
+            },
+            burstiness: None,
+        };
+        let mut cluster = Cluster::new(&spec, workload, ClusterOptions::default()).unwrap();
+        let first = cluster.run_window(20.0);
+        cluster.run_window(80.0);
+        let last = cluster.run_window(50.0);
+        assert!(last.avg_users > 3.0 * first.avg_users);
+        assert_eq!(last.users_at_end, 100);
+        assert!(last.total_tps > 2.0 * first.total_tps);
+    }
+
+    #[test]
+    fn population_decrease_retires_users() {
+        let spec = one_service_spec(0.001, 4.0, 64);
+        let workload = WorkloadSpec {
+            mix: RequestMix::uniform(1),
+            think_time: 0.5,
+            profile: LoadProfile::Steps(vec![(0.0, 50), (100.0, 5)]),
+            burstiness: None,
+        };
+        let mut cluster = Cluster::new(&spec, workload, ClusterOptions::default()).unwrap();
+        cluster.run_window(100.0);
+        cluster.run_window(50.0);
+        let r = cluster.run_window(50.0);
+        assert_eq!(r.users_at_end, 5);
+        assert!(r.avg_users < 7.0);
+    }
+
+    #[test]
+    fn probe_collects_arrival_queue_samples() {
+        let spec = one_service_spec(0.02, 0.5, 8);
+        let mut cluster =
+            Cluster::new(&spec, constant_workload(30, 0.5), ClusterOptions::default()).unwrap();
+        cluster.set_probe(ServiceId(0), EndpointId(0));
+        cluster.run_window(200.0);
+        let samples = cluster.take_probe_samples();
+        assert!(samples.len() > 100);
+        assert!(samples.iter().all(|&(q, r)| q >= 0.0 && r > 0.0));
+        // Responses should correlate positively with seen queue length.
+        let n = samples.len() as f64;
+        let mq = samples.iter().map(|s| s.0).sum::<f64>() / n;
+        let mr = samples.iter().map(|s| s.1).sum::<f64>() / n;
+        let cov: f64 = samples.iter().map(|s| (s.0 - mq) * (s.1 - mr)).sum();
+        assert!(cov > 0.0, "queue length and response should correlate");
+        assert!(cluster.take_probe_samples().is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = one_service_spec(0.01, 1.0, 8);
+        let run = |seed| {
+            let mut c = Cluster::new(
+                &spec,
+                constant_workload(20, 1.0),
+                ClusterOptions {
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            c.run_window(100.0).total_tps
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn rejects_mix_feature_mismatch() {
+        let spec = one_service_spec(0.01, 1.0, 8);
+        let workload = WorkloadSpec::constant(RequestMix::uniform(2), 5, 1.0);
+        assert!(matches!(
+            Cluster::new(&spec, workload, ClusterOptions::default()),
+            Err(ClusterError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_service_chain_routes_calls() {
+        let mut spec = AppSpec::new();
+        let node = spec.add_server("node", 4, 1.0);
+        let web = spec.add_service("web", node, 32, 1, 1.0);
+        let db = spec.add_service("db", node, 8, 1, 1.0);
+        let page = spec.add_endpoint(web, "page", 0.002, 1.0);
+        let query = spec.add_endpoint(db, "query", 0.004, 1.0);
+        spec.add_call(web, page, db, query, 2.0);
+        spec.add_feature("page", web, page);
+        let mut cluster =
+            Cluster::new(&spec, constant_workload(50, 1.0), ClusterOptions::default()).unwrap();
+        cluster.run_window(100.0);
+        let r = cluster.run_window(400.0);
+        // db does 2x the calls: busy cores ratio ≈ (2*0.004)/(0.002) = 4.
+        let ratio = r.service_busy_cores[1] / r.service_busy_cores[0];
+        assert!((ratio - 4.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn peak_arrival_rate_tracks_offered_load() {
+        let spec = one_service_spec(0.001, 4.0, 64);
+        let mut cluster =
+            Cluster::new(&spec, constant_workload(100, 1.0), ClusterOptions::default()).unwrap();
+        cluster.run_window(60.0);
+        let r = cluster.run_window(300.0);
+        // Steady closed workload: the peak sub-interval rate is close to
+        // the mean rate (~100/s), not wildly above it.
+        assert!(r.peak_arrival_rate > 0.8 * r.total_tps, "peak {}", r.peak_arrival_rate);
+        assert!(r.peak_arrival_rate < 1.5 * r.total_tps, "peak {}", r.peak_arrival_rate);
+    }
+
+    #[test]
+    fn bursty_peak_rate_far_exceeds_average() {
+        use atom_workload::BurstinessSpec;
+        let spec = one_service_spec(0.0001, 4.0, 64);
+        let workload = WorkloadSpec {
+            mix: RequestMix::uniform(1),
+            think_time: 1.0,
+            profile: LoadProfile::Constant(200),
+            burstiness: Some(BurstinessSpec {
+                index_of_dispersion: 2000.0,
+                burst_fraction: 0.1,
+                burst_multiplier: 8.0,
+            }),
+        };
+        let mut cluster = Cluster::new(&spec, workload, ClusterOptions::default()).unwrap();
+        let mut max_ratio = 0.0f64;
+        for _ in 0..10 {
+            let r = cluster.run_window(300.0);
+            if r.total_tps > 0.0 {
+                max_ratio = max_ratio.max(r.peak_arrival_rate / r.total_tps);
+            }
+        }
+        assert!(
+            max_ratio > 2.0,
+            "bursts should push the peak sub-interval rate well above the window mean, got {max_ratio}"
+        );
+    }
+
+    #[test]
+    fn monitor_noise_perturbs_only_readings() {
+        let spec = one_service_spec(0.01, 1.0, 16);
+        let run = |noise: f64| {
+            let mut c = Cluster::new(
+                &spec,
+                constant_workload(20, 1.0),
+                ClusterOptions {
+                    seed: 5,
+                    monitor_noise: noise,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            c.run_window(400.0)
+        };
+        let clean = run(0.0);
+        let noisy = run(0.25);
+        // The workload dynamics are identical (noise applies at read
+        // time), so completions match exactly...
+        assert_eq!(clean.feature_counts, noisy.feature_counts);
+        // ...but the utilisation readings differ.
+        assert!(
+            (clean.service_busy_cores[0] - noisy.service_busy_cores[0]).abs() > 1e-6,
+            "noise should perturb utilisation readings"
+        );
+    }
+
+    #[test]
+    fn parallelism_caps_vertical_scaling() {
+        // A single-threaded service cannot use a 2-core share: Fig. 2b.
+        let mut spec = one_service_spec(0.01, 2.0, 64);
+        spec.services[0].parallelism = Some(1);
+        let mut cluster =
+            Cluster::new(&spec, constant_workload(500, 1.0), ClusterOptions::default()).unwrap();
+        cluster.run_window(100.0);
+        let r = cluster.run_window(400.0);
+        // Capacity is one core (100/s), not two.
+        assert!(r.total_tps < 103.0, "tps {}", r.total_tps);
+        assert!(r.total_tps > 90.0, "tps {}", r.total_tps);
+    }
+
+    #[test]
+    fn trace_captures_the_full_call_tree() {
+        let mut spec = AppSpec::new();
+        let node = spec.add_server("node", 4, 1.0);
+        let web = spec.add_service("web", node, 32, 1, 1.0);
+        let db = spec.add_service("db", node, 8, 1, 1.0);
+        let page = spec.add_endpoint(web, "page", 0.002, 1.0);
+        let query = spec.add_endpoint(db, "query", 0.004, 1.0);
+        spec.add_call(web, page, db, query, 2.0);
+        spec.add_feature("page", web, page);
+        let mut cluster =
+            Cluster::new(&spec, constant_workload(10, 1.0), ClusterOptions::default()).unwrap();
+        cluster.arm_trace(Some(0));
+        cluster.run_window(30.0);
+        let trace = cluster.take_trace().expect("a request completed");
+        assert_eq!(trace.feature, 0);
+        // Root span at web + (0..=2 sampled) db child spans.
+        assert_eq!(trace.spans[0].service, 0);
+        assert_eq!(trace.spans[0].parent, None);
+        for child in &trace.spans[1..] {
+            assert_eq!(child.service, 1);
+            assert_eq!(child.parent, Some(0));
+            // Children nest within the root's lifetime.
+            assert!(child.arrival >= trace.spans[0].start - 1e-9);
+            assert!(child.end <= trace.spans[0].end + 1e-9);
+            assert!(child.start >= child.arrival);
+            assert!(child.end >= child.start);
+        }
+        // One-shot: a second take yields nothing until re-armed.
+        assert!(cluster.take_trace().is_none());
+        cluster.arm_trace(None);
+        cluster.run_window(30.0);
+        assert!(cluster.take_trace().is_some());
+    }
+
+    #[test]
+    fn bursty_workload_produces_surges() {
+        use atom_workload::BurstinessSpec;
+        let spec = one_service_spec(0.001, 4.0, 64);
+        let workload = WorkloadSpec {
+            mix: RequestMix::uniform(1),
+            think_time: 1.0,
+            profile: LoadProfile::Constant(50),
+            burstiness: Some(BurstinessSpec {
+                index_of_dispersion: 4000.0,
+                burst_fraction: 0.1,
+                burst_multiplier: 8.0,
+            }),
+        };
+        let mut cluster = Cluster::new(&spec, workload, ClusterOptions::default()).unwrap();
+        let mut tps = Vec::new();
+        for _ in 0..60 {
+            tps.push(cluster.run_window(30.0).total_tps);
+        }
+        let mean = tps.iter().sum::<f64>() / tps.len() as f64;
+        let var = tps.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / tps.len() as f64;
+        let cv = var.sqrt() / mean;
+        // A Poisson-like closed workload would have tiny window-to-window
+        // variability; the bursty one must show pronounced surges.
+        assert!(cv > 0.3, "cv {cv} too small for bursty workload");
+    }
+}

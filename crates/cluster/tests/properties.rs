@@ -1,0 +1,166 @@
+//! Property-based tests for the cluster testbed: conservation laws that
+//! must hold for arbitrary topologies, workloads, and scaling actions.
+
+use atom_cluster::{AppSpec, Cluster, ClusterOptions, ScaleAction, ServiceId};
+use atom_workload::{LoadProfile, RequestMix, WorkloadSpec};
+use proptest::prelude::*;
+
+/// A small random two-service chain with a random workload.
+#[derive(Debug, Clone)]
+struct Setup {
+    d_front: f64,
+    d_back: f64,
+    calls: f64,
+    share_front: f64,
+    share_back: f64,
+    users: usize,
+    think: f64,
+    seed: u64,
+}
+
+fn setup_strategy() -> impl Strategy<Value = Setup> {
+    (
+        0.001f64..0.02,
+        0.001f64..0.02,
+        0.0f64..2.0,
+        0.05f64..1.0,
+        0.05f64..1.0,
+        1usize..150,
+        0.2f64..5.0,
+        0u64..1000,
+    )
+        .prop_map(
+            |(d_front, d_back, calls, share_front, share_back, users, think, seed)| Setup {
+                d_front,
+                d_back,
+                calls,
+                share_front,
+                share_back,
+                users,
+                think,
+                seed,
+            },
+        )
+}
+
+fn build(s: &Setup) -> (AppSpec, WorkloadSpec) {
+    let mut app = AppSpec::new();
+    let node = app.add_server("node", 4, 1.0);
+    let front = app.add_service("front", node, 32, 1, s.share_front);
+    let back = app.add_service("back", node, 16, 1, s.share_back);
+    let f_op = app.add_endpoint(front, "op", s.d_front, 1.0);
+    let b_op = app.add_endpoint(back, "op", s.d_back, 1.0);
+    app.add_call(front, f_op, back, b_op, s.calls);
+    app.add_feature("op", front, f_op);
+    let workload = WorkloadSpec::constant(RequestMix::uniform(1), s.users, s.think);
+    (app, workload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Throughput, utilisation, and capacity conservation for arbitrary
+    /// parameters.
+    #[test]
+    fn conservation_laws_hold(s in setup_strategy()) {
+        let (app, workload) = build(&s);
+        let mut cluster = Cluster::new(
+            &app,
+            workload,
+            ClusterOptions { seed: s.seed, ..Default::default() },
+        ).unwrap();
+        cluster.run_window(50.0);
+        let r = cluster.run_window(200.0);
+
+        // Throughput can never exceed the think-time bound...
+        prop_assert!(r.total_tps <= s.users as f64 / s.think * 1.05 + 0.5,
+            "tps {} users {} think {}", r.total_tps, s.users, s.think);
+        // ...or the front service's capacity.
+        let cap = s.share_front / s.d_front;
+        prop_assert!(r.total_tps <= cap * 1.10 + 0.5, "tps {} cap {cap}", r.total_tps);
+
+        // Busy cores never exceed allocation or machine capacity.
+        for si in 0..2 {
+            prop_assert!(r.service_busy_cores[si]
+                <= r.service_alloc_cores[si] * 1.001 + 1e-6);
+            prop_assert!((0.0..=1.001).contains(&r.service_utilization[si]),
+                "util {}", r.service_utilization[si]);
+        }
+        prop_assert!(r.server_utilization[0] <= 1.0 + 1e-9);
+
+        // The utilisation law ties busy cores to completed work:
+        // busy >= completions × demand (equality up to in-flight work and
+        // sampling noise; the back service does `calls` visits each).
+        let front_work = r.endpoint_tps[0][0] * s.d_front;
+        prop_assert!(r.service_busy_cores[0] >= front_work * 0.8 - 0.01,
+            "front busy {} vs work {}", r.service_busy_cores[0], front_work);
+
+        // Users are conserved.
+        prop_assert_eq!(r.users_at_end, s.users);
+        prop_assert!((r.avg_users - s.users as f64).abs() < 1.0);
+    }
+
+    /// Arbitrary scaling actions never break the cluster or lose requests.
+    #[test]
+    fn random_scaling_actions_are_safe(
+        s in setup_strategy(),
+        actions in proptest::collection::vec((0usize..2, 1usize..6, 0.05f64..2.0), 1..6),
+    ) {
+        let (app, workload) = build(&s);
+        let mut cluster = Cluster::new(
+            &app,
+            workload,
+            ClusterOptions { seed: s.seed, ..Default::default() },
+        ).unwrap();
+        let mut total_completed = 0u64;
+        for (svc, replicas, share) in actions {
+            cluster.schedule_scaling(
+                vec![ScaleAction {
+                    service: ServiceId(svc),
+                    replicas,
+                    share,
+                }],
+                1.0,
+            );
+            let r = cluster.run_window(60.0);
+            total_completed += r.feature_counts.iter().sum::<u64>();
+            // Replica accounting stays sane after every action.
+            for si in 0..2 {
+                prop_assert!(r.service_replicas[si] >= 1);
+                prop_assert!(cluster.ready_replicas(ServiceId(si)) <= 8);
+            }
+        }
+        // The system kept serving throughout.
+        if s.users > 10 && s.think < 2.0 {
+            prop_assert!(total_completed > 0, "no requests completed at all");
+        }
+    }
+
+    /// Ramp profiles reach their target exactly, whatever the shape.
+    #[test]
+    fn ramps_settle_at_target(
+        from in 1usize..50,
+        to in 1usize..200,
+        seed in 0u64..100,
+    ) {
+        let mut app = AppSpec::new();
+        let node = app.add_server("n", 4, 1.0);
+        let svc = app.add_service("s", node, 64, 1, 4.0);
+        let ep = app.add_endpoint(svc, "op", 0.0001, 1.0);
+        app.add_feature("op", svc, ep);
+        let workload = WorkloadSpec {
+            mix: RequestMix::uniform(1),
+            think_time: 1.0,
+            profile: LoadProfile::Ramp { from, to, start: 0.0, duration: 100.0 },
+            burstiness: None,
+        };
+        let mut cluster = Cluster::new(
+            &app,
+            workload,
+            ClusterOptions { seed, ..Default::default() },
+        ).unwrap();
+        cluster.run_window(100.0);
+        let r = cluster.run_window(50.0);
+        prop_assert_eq!(r.users_at_end, to);
+    }
+}

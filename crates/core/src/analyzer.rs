@@ -1,0 +1,272 @@
+//! The workload analyzer: writes a window's observations into the LQN
+//! (paper §IV-A).
+//!
+//! Two things change per monitoring window: the concurrent user count `N`
+//! (the reference task's multiplicity) and the request mix (the call
+//! means from the client entry to the feature entries).
+
+use atom_cluster::WindowReport;
+use atom_lqn::model::TaskKind;
+use atom_lqn::{LqnError, LqnModel};
+
+use crate::binding::ModelBinding;
+
+/// Updates an LQN from monitoring data.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadAnalyzer {
+    /// The mix used when a window saw no requests at all (carried over
+    /// from the previous window; uniform initially).
+    last_mix: Option<Vec<f64>>,
+    /// Peak sub-interval request rates of the most recent windows — part
+    /// of the MAPE-K knowledge base. Retaining a short history keeps the
+    /// system provisioned *between* traffic surges instead of scaling
+    /// down the moment a burst passes (Fig. 13).
+    recent_peaks: std::collections::VecDeque<f64>,
+    /// Effective think times inferred from backlog surges in recent
+    /// windows (same knowledge-base memory as `recent_peaks`).
+    recent_z_eff: std::collections::VecDeque<f64>,
+}
+
+/// Windows of peak-rate memory kept by the analyzer.
+const PEAK_MEMORY: usize = 3;
+
+impl WorkloadAnalyzer {
+    /// Creates an analyzer.
+    pub fn new() -> Self {
+        WorkloadAnalyzer::default()
+    }
+
+    /// Produces a model instance for this window: the binding's template
+    /// with `N` and the observed request mix applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-update failures (which indicate an inconsistent
+    /// binding).
+    pub fn instantiate(
+        &mut self,
+        binding: &ModelBinding,
+        report: &WindowReport,
+    ) -> Result<LqnModel, LqnError> {
+        let mut model = binding.model.clone();
+        // The monitor samples sub-intervals within the window (§IV-A);
+        // under bursty traffic the peak sampled request rate exceeds what
+        // `N` users at the nominal think time would produce, so the
+        // analyzer sizes the model for an *effective* population that
+        // reproduces the peak rate (this is what lets ATOM follow traffic
+        // surges while utilisation-averaging scalers cannot — Fig. 13).
+        let think = match model.task(binding.client).kind {
+            TaskKind::Reference { think_time } => think_time,
+            TaskKind::Server => 0.0,
+        };
+        self.recent_peaks.push_back(report.peak_arrival_rate);
+        while self.recent_peaks.len() > PEAK_MEMORY {
+            self.recent_peaks.pop_front();
+        }
+        let peak = self
+            .recent_peaks
+            .iter()
+            .cloned()
+            .fold(0.0_f64, f64::max);
+        let effective_n = (peak * think).ceil() as usize;
+        model.set_population(binding.client, report.users_at_end.max(effective_n))?;
+
+        // Traffic surges under a saturated system do not show up in
+        // arrival or completion rates (the closed loop throttles), but
+        // they do show up as a backlog spike: nearly every user is
+        // simultaneously in-system. When the window shows a *transient*
+        // spike (peak backlog well above its average — a sustained ramp
+        // has peak ≈ average and is handled by `N` directly), infer the
+        // effective think time from flow balance during the surge,
+        // `Z_eff = (N − I_peak) / X`, and size the model for it. This is
+        // what lets ATOM provision for surges that window-averaged
+        // utilisation hides (§V-B, Fig. 13).
+        let n = report.users_at_end as f64;
+        let window_x = report.total_tps;
+        let z_eff_now = if report.peak_in_system > 1.5 * report.avg_in_system
+            && window_x > 0.0
+            && n > 0.0
+        {
+            let thinkers = (n - report.peak_in_system).max(n * 0.02);
+            (thinkers / window_x).clamp(think / 10.0, think)
+        } else {
+            think
+        };
+        self.recent_z_eff.push_back(z_eff_now);
+        while self.recent_z_eff.len() > PEAK_MEMORY {
+            self.recent_z_eff.pop_front();
+        }
+        let z_eff = self
+            .recent_z_eff
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .min(think);
+        if z_eff < think {
+            // Applied *on top of* the arrival-peak population inflation:
+            // the two signals capture different phases of a surge (the
+            // arrival spike at its onset, the backlog once the system
+            // throttles) and are deliberately combined aggressively —
+            // the optimizer's CPU-cost term and the capacity constraints
+            // bound any over-provisioning, and under-reacting is what
+            // loses Fig. 13.
+            model.set_think_time(binding.client, z_eff)?;
+        }
+        let mix = match report.observed_mix() {
+            Some(m) => {
+                self.last_mix = Some(m.clone());
+                m
+            }
+            None => self
+                .last_mix
+                .clone()
+                .unwrap_or_else(|| {
+                    let n = binding.feature_entries.len();
+                    vec![1.0 / n.max(1) as f64; n]
+                }),
+        };
+        let client_entry = model.reference_entry(binding.client)?;
+        for (entry, frac) in binding.feature_entries.iter().zip(&mix) {
+            model.set_call_mean(client_entry, *entry, *frac)?;
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_cluster::ServiceId;
+    use atom_lqn::TaskId;
+    use crate::binding::ServiceBinding;
+
+    fn binding() -> ModelBinding {
+        let mut m = LqnModel::new();
+        let p = m.add_processor("p", 4, 1.0);
+        let t = m.add_task("svc", p, 8, 1).unwrap();
+        let e1 = m.add_entry("home", t, 0.01).unwrap();
+        let e2 = m.add_entry("cart", t, 0.02).unwrap();
+        let c = m.add_reference_task("users", 10, 1.0).unwrap();
+        let ce = m.reference_entry(c).unwrap();
+        m.add_call(ce, e1, 0.5).unwrap();
+        m.add_call(ce, e2, 0.5).unwrap();
+        ModelBinding {
+            model: m,
+            client: c,
+            services: vec![ServiceBinding {
+                name: "svc".into(),
+                service: ServiceId(0),
+                task: TaskId(0),
+                scalable: true,
+                max_replicas: 4,
+                share_bounds: (0.1, 1.0),
+            }],
+            feature_entries: vec![e1, e2],
+        }
+    }
+
+    fn report(counts: Vec<u64>, users: usize) -> WindowReport {
+        WindowReport {
+            start: 0.0,
+            end: 300.0,
+            feature_tps: counts.iter().map(|&c| c as f64 / 300.0).collect(),
+            feature_response: vec![0.0; counts.len()],
+            endpoint_tps: vec![],
+            feature_counts: counts,
+            service_utilization: vec![0.5],
+            service_busy_cores: vec![0.5],
+            service_alloc_cores: vec![1.0],
+            service_replicas: vec![1],
+            service_shares: vec![1.0],
+            server_utilization: vec![0.1],
+            total_tps: 1.0,
+            avg_users: users as f64,
+            users_at_end: users,
+        peak_arrival_rate: 0.0,
+        peak_in_system: 0.0,
+        avg_in_system: 0.0,
+        }
+    }
+
+    #[test]
+    fn writes_population_and_mix() {
+        let b = binding();
+        let mut analyzer = WorkloadAnalyzer::new();
+        let model = analyzer.instantiate(&b, &report(vec![300, 100], 777)).unwrap();
+        assert_eq!(model.task(b.client).multiplicity, 777);
+        let ce = model.reference_entry(b.client).unwrap();
+        let calls = &model.entry(ce).calls;
+        let mean_of = |target| {
+            calls
+                .iter()
+                .find(|c| c.target == target)
+                .map(|c| c.mean)
+                .unwrap_or(0.0)
+        };
+        assert!((mean_of(b.feature_entries[0]) - 0.75).abs() < 1e-12);
+        assert!((mean_of(b.feature_entries[1]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_reuses_previous_mix() {
+        let b = binding();
+        let mut analyzer = WorkloadAnalyzer::new();
+        analyzer.instantiate(&b, &report(vec![90, 10], 10)).unwrap();
+        let model = analyzer.instantiate(&b, &report(vec![0, 0], 10)).unwrap();
+        let ce = model.reference_entry(b.client).unwrap();
+        let first = model.entry(ce).calls.iter().find(|c| c.target == b.feature_entries[0]);
+        assert!((first.unwrap().mean - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_history_falls_back_to_uniform() {
+        let b = binding();
+        let mut analyzer = WorkloadAnalyzer::new();
+        let model = analyzer.instantiate(&b, &report(vec![0, 0], 10)).unwrap();
+        let ce = model.reference_entry(b.client).unwrap();
+        for c in &model.entry(ce).calls {
+            assert!((c.mean - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn peak_rate_raises_effective_population() {
+        let b = binding();
+        let mut analyzer = WorkloadAnalyzer::new();
+        let mut r = report(vec![100, 100], 500);
+        r.peak_arrival_rate = 300.0; // think time is 1.0 in the template
+        let model = analyzer.instantiate(&b, &r).unwrap();
+        assert_eq!(model.task(b.client).multiplicity, 500);
+        // A surge far above N inflates the effective population.
+        let mut r = report(vec![100, 100], 500);
+        r.peak_arrival_rate = 2000.0;
+        let model = analyzer.instantiate(&b, &r).unwrap();
+        assert_eq!(model.task(b.client).multiplicity, 2000);
+    }
+
+    #[test]
+    fn peak_memory_spans_windows() {
+        let b = binding();
+        let mut analyzer = WorkloadAnalyzer::new();
+        let mut bursty = report(vec![100, 100], 500);
+        bursty.peak_arrival_rate = 1500.0;
+        analyzer.instantiate(&b, &bursty).unwrap();
+        // Two quiet windows later the burst is still remembered...
+        let quiet = report(vec![100, 100], 500);
+        analyzer.instantiate(&b, &quiet).unwrap();
+        let model = analyzer.instantiate(&b, &quiet).unwrap();
+        assert_eq!(model.task(b.client).multiplicity, 1500);
+        // ...but it ages out of the knowledge base eventually.
+        let model = analyzer.instantiate(&b, &quiet).unwrap();
+        assert_eq!(model.task(b.client).multiplicity, 500);
+    }
+
+    #[test]
+    fn template_is_untouched() {
+        let b = binding();
+        let before = b.model.clone();
+        let mut analyzer = WorkloadAnalyzer::new();
+        analyzer.instantiate(&b, &report(vec![10, 0], 99)).unwrap();
+        assert_eq!(b.model, before);
+    }
+}

@@ -1,0 +1,386 @@
+//! The assembled ATOM controller (MAPE-K loop of Fig. 6).
+
+use atom_cluster::{ScaleAction, WindowReport};
+use atom_ga::{Budget, GaOptions};
+use atom_lqn::ScalingConfig;
+
+use crate::analyzer::WorkloadAnalyzer;
+use crate::autoscaler::Autoscaler;
+use crate::binding::ModelBinding;
+use crate::calibration::DemandCalibrator;
+use crate::objective::ObjectiveSpec;
+use crate::optimizer;
+use crate::planner::{Planner, PlannerMode};
+
+/// Configuration of the ATOM controller.
+#[derive(Debug, Clone)]
+pub struct AtomConfig {
+    /// Objective weights, SLA, and limits (§IV-B).
+    pub objective: ObjectiveSpec,
+    /// GA hyper-parameters; the budget plays the paper's 2-minute bound
+    /// (use evaluations for determinism).
+    pub ga: GaOptions,
+    /// Planner conservatism (`Standard`, ATOM-T, ATOM-S).
+    pub planner_mode: PlannerMode,
+    /// Seconds between window end and actions taking effect — ATOM's
+    /// optimisation + planning latency (paper: ~2.5 min on average).
+    pub actuation_delay: f64,
+    /// Base RNG seed; each window derives its own.
+    pub seed: u64,
+    /// Run the §IV-C planner quick fixes (ablation knob; default on).
+    pub quick_fixes: bool,
+    /// Use the monitor's peak sub-interval rate for effective-population
+    /// sizing (ablation knob; default on — §IV-A, Fig. 13).
+    pub peak_monitoring: bool,
+    /// Calibrate the model's service demands online from measurements
+    /// (the paper's §VII future work; default off = statically profiled
+    /// demands, as in the paper).
+    pub online_demands: bool,
+}
+
+impl AtomConfig {
+    /// Defaults matching the paper's setup: 600-solve budget (what the
+    /// 2-minute bound affords LQNS-style solvers), 150 s actuation delay,
+    /// standard planner.
+    pub fn new(objective: ObjectiveSpec) -> Self {
+        AtomConfig {
+            objective,
+            ga: GaOptions {
+                budget: Budget::Evaluations(600),
+                ..Default::default()
+            },
+            planner_mode: PlannerMode::Standard,
+            actuation_delay: 150.0,
+            seed: 1,
+            quick_fixes: true,
+            peak_monitoring: true,
+            online_demands: false,
+        }
+    }
+}
+
+/// The ATOM autoscaler.
+///
+/// # Examples
+///
+/// See `examples/quickstart.rs` for an end-to-end run against the Sock
+/// Shop scenario.
+#[derive(Debug, Clone)]
+pub struct Atom {
+    binding: ModelBinding,
+    config: AtomConfig,
+    analyzer: WorkloadAnalyzer,
+    calibrator: DemandCalibrator,
+    window: u64,
+    name: String,
+    last_explanation: Option<String>,
+}
+
+impl Atom {
+    /// Creates the controller from its knowledge base and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binding is internally inconsistent (programming
+    /// error in the scenario definition).
+    pub fn new(binding: ModelBinding, config: AtomConfig) -> Self {
+        binding.assert_consistent();
+        let name = match config.planner_mode {
+            PlannerMode::Standard => "ATOM",
+            PlannerMode::ConservativeTps { .. } => "ATOM-T",
+            PlannerMode::ConservativeShare { .. } => "ATOM-S",
+        };
+        Atom {
+            binding,
+            config,
+            analyzer: WorkloadAnalyzer::new(),
+            calibrator: DemandCalibrator::new(),
+            window: 0,
+            name: name.to_string(),
+            last_explanation: None,
+        }
+    }
+
+    /// The knowledge base.
+    pub fn binding(&self) -> &ModelBinding {
+        &self.binding
+    }
+
+    /// Builds the per-window operator explanation.
+    fn explain(
+        &self,
+        model: &atom_lqn::LqnModel,
+        current: &ScalingConfig,
+        planned: &ScalingConfig,
+    ) -> Option<String> {
+        use atom_lqn::analytic::{solve, SolverOptions};
+        use atom_lqn::bottleneck::analyze;
+        let mut observed = model.clone();
+        current.apply(&mut observed).ok()?;
+        let sol = solve(&observed, SolverOptions::default()).ok()?;
+        let report = analyze(&observed, &sol);
+        let mut text = String::new();
+        for &root in &report.root_bottlenecks {
+            text.push_str(&format!(
+                "root bottleneck: {} (util {:.0}%)",
+                observed.task(root).name,
+                sol.task_utilization(root) * 100.0
+            ));
+            let starved: Vec<&str> = report
+                .pressures
+                .iter()
+                .filter(|p| p.starved_by == Some(root))
+                .map(|p| observed.task(p.task).name.as_str())
+                .collect();
+            if !starved.is_empty() {
+                text.push_str(&format!(", starving {}", starved.join(", ")));
+            }
+            text.push_str("; ");
+        }
+        if report.root_bottlenecks.is_empty() {
+            text.push_str("no saturated service; ");
+        }
+        let mut changes = Vec::new();
+        for s in self.binding.scalable() {
+            if let (Some(new), Some(old)) = (planned.get(s.task), current.get(s.task)) {
+                if new.replicas != old.replicas || (new.cpu_share - old.cpu_share).abs() > 1e-3 {
+                    changes.push(format!(
+                        "{}: {}x{:.2} -> {}x{:.2}",
+                        s.name, old.replicas, old.cpu_share, new.replicas, new.cpu_share
+                    ));
+                }
+            }
+        }
+        if changes.is_empty() {
+            text.push_str("keeping the current configuration");
+        } else {
+            text.push_str(&format!("plan: {}", changes.join(", ")));
+        }
+        Some(text)
+    }
+
+    /// Reads the currently-executed configuration out of a window report.
+    fn current_config(&self, report: &WindowReport) -> ScalingConfig {
+        let mut cfg = ScalingConfig::new();
+        for s in self.binding.scalable() {
+            let si = s.service.0;
+            let replicas = report.service_replicas.get(si).copied().unwrap_or(1).max(1);
+            let share = report.service_shares.get(si).copied().unwrap_or(1.0);
+            cfg.set(s.task, replicas, share);
+        }
+        cfg
+    }
+}
+
+impl Autoscaler for Atom {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, report: &WindowReport) -> Vec<ScaleAction> {
+        self.window += 1;
+        // Analyze: write N and the mix into the model.
+        let effective_report = if self.config.peak_monitoring {
+            report.clone()
+        } else {
+            // Ablation: hide the sub-interval peak from the analyzer.
+            let mut r = report.clone();
+            r.peak_arrival_rate = 0.0;
+            r
+        };
+        let mut model = match self.analyzer.instantiate(&self.binding, &effective_report) {
+            Ok(m) => m,
+            Err(_) => return Vec::new(), // inconsistent binding: do nothing
+        };
+        if self.config.online_demands {
+            self.calibrator.observe(&self.binding, report);
+            self.calibrator.apply(&self.binding, &mut model);
+        }
+        if report.users_at_end == 0 {
+            return Vec::new();
+        }
+        let current = self.current_config(report);
+
+        // Optimize: GA over (r, s), seeded per window for determinism.
+        let ga = GaOptions {
+            seed: self.config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(self.window),
+            ..self.config.ga
+        };
+        let found = optimizer::search(&self.binding, &model, &self.config.objective, ga);
+
+        // Plan: quick fixes + conservatism.
+        let planner = Planner {
+            mode: self.config.planner_mode,
+            quick_fixes: self.config.quick_fixes,
+            ..Planner::default()
+        };
+        let planned = planner.plan(&self.binding, &model, found.config, &current);
+
+        // Diagnose the observed state for operators: solve the model at
+        // the *current* configuration and run the layered-bottleneck
+        // analysis (paper §V-B / Fig. 11).
+        self.last_explanation = self.explain(&model, &current, &planned);
+
+        // Execute: emit actions only where the configuration changed.
+        let mut actions = Vec::new();
+        for s in self.binding.scalable() {
+            let (Some(new), Some(old)) = (planned.get(s.task), current.get(s.task)) else {
+                continue;
+            };
+            let share_changed = (new.cpu_share - old.cpu_share).abs() > 1e-3;
+            if new.replicas != old.replicas || share_changed {
+                actions.push(ScaleAction {
+                    service: s.service,
+                    replicas: new.replicas,
+                    share: new.cpu_share,
+                });
+            }
+        }
+        actions
+    }
+
+    fn actuation_delay(&self) -> f64 {
+        self.config.actuation_delay
+    }
+
+    fn explain_last(&self) -> Option<String> {
+        self.last_explanation.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_cluster::ServiceId;
+    use atom_lqn::LqnModel;
+    use crate::binding::ServiceBinding;
+
+    fn binding(share: f64) -> ModelBinding {
+        let mut m = LqnModel::new();
+        let p = m.add_processor("p", 8, 1.0);
+        let web = m.add_task("web", p, 64, 1).unwrap();
+        m.set_cpu_share(web, Some(share)).unwrap();
+        let page = m.add_entry("page", web, 0.01).unwrap();
+        let c = m.add_reference_task("users", 100, 2.0).unwrap();
+        m.add_call(m.reference_entry(c).unwrap(), page, 1.0).unwrap();
+        ModelBinding {
+            model: m,
+            client: c,
+            services: vec![ServiceBinding {
+                name: "web".into(),
+                service: ServiceId(0),
+                task: web,
+                scalable: true,
+                max_replicas: 8,
+                share_bounds: (0.1, 1.0),
+            }],
+            feature_entries: vec![page],
+        }
+    }
+
+    fn report(users: usize, replicas: usize, share: f64) -> WindowReport {
+        WindowReport {
+            start: 0.0,
+            end: 300.0,
+            feature_counts: vec![1000],
+            feature_tps: vec![1000.0 / 300.0],
+            feature_response: vec![0.05],
+            endpoint_tps: vec![],
+            service_utilization: vec![0.9],
+            service_busy_cores: vec![share * 0.9],
+            service_alloc_cores: vec![replicas as f64 * share],
+            service_replicas: vec![replicas],
+            service_shares: vec![share],
+            server_utilization: vec![0.5],
+            total_tps: 1000.0 / 300.0,
+            avg_users: users as f64,
+            users_at_end: users,
+        peak_arrival_rate: 0.0,
+        peak_in_system: 0.0,
+        avg_in_system: 0.0,
+        }
+    }
+
+    fn fast_config() -> AtomConfig {
+        let mut obj = ObjectiveSpec::balanced(1);
+        obj.server_capacity = vec![(0, 8.0)];
+        let mut cfg = AtomConfig::new(obj);
+        cfg.ga.budget = atom_ga::Budget::Evaluations(400);
+        cfg
+    }
+
+    #[test]
+    fn scales_up_under_heavy_load() {
+        // Current: 1 replica × 0.2 share = 0.2 cores; offered load
+        // 2000/2 s × 0.01 = 10 cores worth of demand.
+        let mut atom = Atom::new(binding(0.2), fast_config());
+        let actions = atom.decide(&report(2000, 1, 0.2));
+        assert_eq!(actions.len(), 1, "must rescale the web service");
+        let a = actions[0];
+        let capacity = a.replicas as f64 * a.share;
+        assert!(capacity > 2.0, "capacity {capacity} too small");
+    }
+
+    #[test]
+    fn leaves_adequate_config_mostly_alone() {
+        // 100 users / 2 s = 50/s → 0.5 cores needed; current 1×1.0 is
+        // fine. ATOM may trim the share, but must not blow the
+        // allocation up.
+        let mut atom = Atom::new(binding(1.0), fast_config());
+        let actions = atom.decide(&report(100, 1, 1.0));
+        let total: f64 = actions
+            .iter()
+            .map(|a| a.replicas as f64 * a.share)
+            .sum::<f64>();
+        assert!(
+            actions.is_empty() || total <= 2.0,
+            "should not over-allocate: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn zero_users_is_a_noop() {
+        let mut atom = Atom::new(binding(0.5), fast_config());
+        assert!(atom.decide(&report(0, 1, 0.5)).is_empty());
+    }
+
+    #[test]
+    fn names_follow_planner_mode() {
+        let mk = |mode| {
+            let mut c = fast_config();
+            c.planner_mode = mode;
+            Atom::new(binding(0.5), c).name().to_string()
+        };
+        assert_eq!(mk(PlannerMode::Standard), "ATOM");
+        assert_eq!(
+            mk(PlannerMode::ConservativeTps {
+                min_improvement: 0.05
+            }),
+            "ATOM-T"
+        );
+        assert_eq!(
+            mk(PlannerMode::ConservativeShare {
+                max_relative_change: 0.25
+            }),
+            "ATOM-S"
+        );
+    }
+
+    #[test]
+    fn explanation_is_produced_after_decide() {
+        let mut atom = Atom::new(binding(0.2), fast_config());
+        assert_eq!(atom.explain_last(), None, "no decision yet");
+        let _ = atom.decide(&report(2000, 1, 0.2));
+        let text = atom.explain_last().expect("explanation after decide");
+        assert!(
+            text.contains("bottleneck") || text.contains("plan") || text.contains("keeping"),
+            "unexpected explanation: {text}"
+        );
+    }
+
+    #[test]
+    fn actuation_delay_is_config() {
+        let atom = Atom::new(binding(0.5), fast_config());
+        assert_eq!(atom.actuation_delay(), 150.0);
+    }
+}

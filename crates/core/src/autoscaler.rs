@@ -1,0 +1,81 @@
+//! The common autoscaler interface.
+
+use atom_cluster::{ScaleAction, WindowReport};
+
+/// An autoscaling controller: consumes one monitoring window, produces
+/// scaling orders.
+///
+/// Implemented by [`crate::Atom`], [`crate::UhScaler`], and
+/// [`crate::UvScaler`]; the experiment runner drives any of them
+/// uniformly.
+pub trait Autoscaler {
+    /// Human-readable name used in experiment outputs ("ATOM", "UH", …).
+    fn name(&self) -> &str;
+
+    /// Decides the scaling actions after observing `report`. An empty
+    /// vector means "no change this window".
+    fn decide(&mut self, report: &WindowReport) -> Vec<ScaleAction>;
+
+    /// Seconds between the end of the monitoring window and the actions
+    /// taking effect. Rule-based scalers act immediately; ATOM pays its
+    /// optimisation + planning latency (the paper reports ~2.5 minutes on
+    /// average).
+    fn actuation_delay(&self) -> f64 {
+        0.0
+    }
+
+    /// Human-readable explanation of the most recent decision (bottleneck
+    /// analysis, chosen configuration); `None` for scalers that do not
+    /// introspect.
+    fn explain_last(&self) -> Option<String> {
+        None
+    }
+}
+
+/// A no-op autoscaler: the "do nothing" control used to isolate the
+/// effect of scaling in experiments.
+#[derive(Debug, Clone, Default)]
+pub struct NoopScaler;
+
+impl Autoscaler for NoopScaler {
+    fn name(&self) -> &str {
+        "NOOP"
+    }
+
+    fn decide(&mut self, _report: &WindowReport) -> Vec<ScaleAction> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_never_acts() {
+        let mut s = NoopScaler;
+        let report = WindowReport {
+            start: 0.0,
+            end: 300.0,
+            feature_counts: vec![1],
+            feature_tps: vec![1.0],
+            feature_response: vec![0.1],
+            endpoint_tps: vec![],
+            service_utilization: vec![0.99],
+            service_busy_cores: vec![1.0],
+            service_alloc_cores: vec![1.0],
+            service_replicas: vec![1],
+            service_shares: vec![1.0],
+            server_utilization: vec![0.99],
+            total_tps: 1.0,
+            avg_users: 1.0,
+            users_at_end: 1,
+        peak_arrival_rate: 0.0,
+        peak_in_system: 0.0,
+        avg_in_system: 0.0,
+        };
+        assert!(s.decide(&report).is_empty());
+        assert_eq!(s.actuation_delay(), 0.0);
+        assert_eq!(s.name(), "NOOP");
+    }
+}

@@ -1,0 +1,221 @@
+//! The rule-based baseline autoscalers of §V-A.
+//!
+//! Both monitor per-service CPU utilisation. When a service's utilisation
+//! reaches the trigger level ("a value near the limit of 40%"), the
+//! scaler doubles its allocated CPU capacity:
+//!
+//! * **UH** doubles the replica count at unchanged per-replica share, but
+//!   only for *stateless* services (stateful services are pre-allocated a
+//!   full core, as in the paper's UH setup);
+//! * **UV** doubles the per-replica share, for all services.
+//!
+//! This is the control pattern of industrial autoscalers (AWS
+//! target-tracking, the Kubernetes HPA).
+
+use atom_cluster::{AppSpec, ScaleAction, ServiceId, WindowReport};
+
+use crate::autoscaler::Autoscaler;
+
+/// Shared configuration of the rule-based scalers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuleConfig {
+    /// Fraction of the *allocated* capacity that triggers a doubling.
+    /// The paper's example reads "if the CPU utilization reaches 35%, a
+    /// value near to the limit of 40%" for a container whose share is
+    /// 0.4 — i.e. utilisation is metered in cores against the share as
+    /// the limit, which is 35/40 = 0.875 of the allocation. Scaling
+    /// before ~87% of the allocation is busy would pre-scale starved
+    /// downstream services and erase the layered-bottleneck behaviour of
+    /// Fig. 11.
+    pub trigger_utilization: f64,
+    /// Hard cap on replicas per service.
+    pub max_replicas: usize,
+    /// Hard cap on per-replica share (cores).
+    pub max_share: f64,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        RuleConfig {
+            trigger_utilization: 0.875,
+            max_replicas: 16,
+            max_share: 4.0,
+        }
+    }
+}
+
+/// Utilisation-triggered **horizontal** doubling (stateless services
+/// only).
+#[derive(Debug, Clone)]
+pub struct UhScaler {
+    spec: AppSpec,
+    config: RuleConfig,
+}
+
+impl UhScaler {
+    /// Creates the scaler for an application.
+    pub fn new(spec: &AppSpec, config: RuleConfig) -> Self {
+        UhScaler {
+            spec: spec.clone(),
+            config,
+        }
+    }
+}
+
+impl Autoscaler for UhScaler {
+    fn name(&self) -> &str {
+        "UH"
+    }
+
+    fn decide(&mut self, report: &WindowReport) -> Vec<ScaleAction> {
+        let mut actions = Vec::new();
+        for (si, svc) in self.spec.services.iter().enumerate() {
+            if svc.stateful {
+                continue; // UH never scales stateful services
+            }
+            let util = report.service_utilization[si];
+            if util >= self.config.trigger_utilization {
+                // Respect both the deployment's per-service bound (the
+                // paper's Q_i) and the scaler's own cap.
+                let cap = svc.max_replicas.min(self.config.max_replicas);
+                let replicas = (report.service_replicas[si] * 2).min(cap);
+                if replicas > report.service_replicas[si] {
+                    actions.push(ScaleAction {
+                        service: ServiceId(si),
+                        replicas,
+                        share: report.service_shares[si],
+                    });
+                }
+            }
+        }
+        actions
+    }
+}
+
+/// Utilisation-triggered **vertical** doubling (all services).
+#[derive(Debug, Clone)]
+pub struct UvScaler {
+    spec: AppSpec,
+    config: RuleConfig,
+}
+
+impl UvScaler {
+    /// Creates the scaler for an application.
+    pub fn new(spec: &AppSpec, config: RuleConfig) -> Self {
+        UvScaler {
+            spec: spec.clone(),
+            config,
+        }
+    }
+}
+
+impl Autoscaler for UvScaler {
+    fn name(&self) -> &str {
+        "UV"
+    }
+
+    fn decide(&mut self, report: &WindowReport) -> Vec<ScaleAction> {
+        let mut actions = Vec::new();
+        for si in 0..self.spec.services.len() {
+            let util = report.service_utilization[si];
+            if util >= self.config.trigger_utilization {
+                let share = (report.service_shares[si] * 2.0).min(self.config.max_share);
+                if share > report.service_shares[si] {
+                    actions.push(ScaleAction {
+                        service: ServiceId(si),
+                        replicas: report.service_replicas[si],
+                        share,
+                    });
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> AppSpec {
+        let mut spec = AppSpec::new();
+        let node = spec.add_server("n", 4, 1.0);
+        let api = spec.add_service("api", node, 8, 1, 0.4);
+        let db = spec.add_service("db", node, 8, 1, 1.0);
+        spec.service_mut(db).stateful = true;
+        let ep = spec.add_endpoint(api, "op", 0.01, 1.0);
+        spec.add_feature("op", api, ep);
+        let _ = spec.add_endpoint(db, "q", 0.01, 1.0);
+        spec
+    }
+
+    fn report(utils: Vec<f64>) -> WindowReport {
+        WindowReport {
+            start: 0.0,
+            end: 300.0,
+            feature_counts: vec![100],
+            feature_tps: vec![1.0],
+            feature_response: vec![0.1],
+            endpoint_tps: vec![],
+            service_utilization: utils,
+            service_busy_cores: vec![0.2, 0.2],
+            service_alloc_cores: vec![0.4, 1.0],
+            service_replicas: vec![1, 1],
+            service_shares: vec![0.4, 1.0],
+            server_utilization: vec![0.2],
+            total_tps: 1.0,
+            avg_users: 10.0,
+            users_at_end: 10,
+        peak_arrival_rate: 0.0,
+        peak_in_system: 0.0,
+        avg_in_system: 0.0,
+        }
+    }
+
+    #[test]
+    fn uh_doubles_replicas_when_hot() {
+        let mut uh = UhScaler::new(&spec(), RuleConfig::default());
+        let actions = uh.decide(&report(vec![0.9, 0.95]));
+        // Only the stateless api scales; db is stateful.
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].service, ServiceId(0));
+        assert_eq!(actions[0].replicas, 2);
+        assert_eq!(actions[0].share, 0.4);
+    }
+
+    #[test]
+    fn uh_idle_does_nothing() {
+        let mut uh = UhScaler::new(&spec(), RuleConfig::default());
+        assert!(uh.decide(&report(vec![0.1, 0.1])).is_empty());
+        // Moderate load below the trigger does not scale either: this is
+        // what keeps starved downstream services unscaled (Fig. 11).
+        assert!(uh.decide(&report(vec![0.5, 0.5])).is_empty());
+    }
+
+    #[test]
+    fn uv_doubles_share_for_all() {
+        let mut uv = UvScaler::new(&spec(), RuleConfig::default());
+        let actions = uv.decide(&report(vec![0.9, 0.95]));
+        assert_eq!(actions.len(), 2);
+        assert_eq!(actions[0].share, 0.8);
+        assert_eq!(actions[0].replicas, 1);
+        assert_eq!(actions[1].share, 2.0);
+    }
+
+    #[test]
+    fn caps_respected() {
+        let cfg = RuleConfig {
+            max_replicas: 2,
+            max_share: 0.5,
+            ..Default::default()
+        };
+        let mut uh = UhScaler::new(&spec(), cfg);
+        let mut r = report(vec![0.95, 0.1]);
+        r.service_replicas = vec![2, 1];
+        assert!(uh.decide(&r).is_empty(), "already at max replicas");
+        let mut uv = UvScaler::new(&spec(), cfg);
+        let mut r = report(vec![0.95, 0.1]);
+        r.service_shares = vec![0.5, 1.0];
+        assert!(uv.decide(&r).is_empty(), "already at max share");
+    }
+}

@@ -1,0 +1,243 @@
+//! The knowledge base: the mapping between the LQN model and the running
+//! microservices (paper §IV-A, "a map between the LQN model and the
+//! microservices").
+
+use atom_cluster::{AppSpec, ServiceId};
+use atom_lqn::{EntryId, LqnModel, TaskId};
+
+/// Scaling surface of one microservice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceBinding {
+    /// Display name (matches both the cluster service and the LQN task).
+    pub name: String,
+    /// The cluster-side service.
+    pub service: ServiceId,
+    /// The model-side task.
+    pub task: TaskId,
+    /// Whether the controller may scale this service. Non-scalable
+    /// services keep their deployment configuration.
+    pub scalable: bool,
+    /// Upper bound on replicas (`Q_i`).
+    pub max_replicas: usize,
+    /// CPU-share bounds per replica (`s_lb`, `s_ub`).
+    pub share_bounds: (f64, f64),
+}
+
+/// The controller's knowledge base: LQN template plus mappings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelBinding {
+    /// LQN template of the application; the analyzer/optimizer clone and
+    /// mutate it per decision round.
+    pub model: LqnModel,
+    /// The reference (client) task in `model`.
+    pub client: TaskId,
+    /// Per-service scaling surfaces.
+    pub services: Vec<ServiceBinding>,
+    /// For each client-visible feature (cluster feature index order): the
+    /// model entry the client calls for it.
+    pub feature_entries: Vec<EntryId>,
+}
+
+impl ModelBinding {
+    /// Derives a complete knowledge base from a deployed application's
+    /// topology — the paper's §IV-A scenario where no design-time model
+    /// exists and "a suitable model may be developed in principle by only
+    /// monitoring the communication among the microservices": servers
+    /// become processors, services become tasks (with their thread
+    /// pools, parallelism, shares and replica bounds), endpoints become
+    /// entries, the observed call graph becomes the synchronous calls,
+    /// and the client-visible features seed the reference task's request
+    /// mix.
+    ///
+    /// Stateful services are marked vertical-only (`max_replicas = 1`)
+    /// with share bounds up to four cores; stateless services keep their
+    /// deployment replica bound with shares in `[0.05, 1.0]` (one core —
+    /// beyond that, horizontal scaling is the usable axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation or `mix` length differs from
+    /// the feature count (programming errors in the scenario).
+    pub fn from_app_spec(
+        spec: &AppSpec,
+        population: usize,
+        think_time: f64,
+        mix: &[f64],
+    ) -> ModelBinding {
+        spec.validate().expect("app spec must be valid");
+        assert_eq!(mix.len(), spec.features.len(), "mix/feature mismatch");
+        let mut model = LqnModel::new();
+        let processors: Vec<_> = spec
+            .servers
+            .iter()
+            .map(|srv| model.add_processor(&srv.name, srv.cores, srv.speed))
+            .collect();
+        let mut tasks = Vec::new();
+        let mut entry_ids: Vec<Vec<EntryId>> = Vec::new();
+        for svc in &spec.services {
+            let task = model
+                .add_task(&svc.name, processors[svc.server.0], svc.threads, svc.initial_replicas)
+                .expect("valid task");
+            model
+                .set_cpu_share(task, Some(svc.initial_share))
+                .expect("valid share");
+            model
+                .set_parallelism(task, svc.parallelism)
+                .expect("valid parallelism");
+            let mut ids = Vec::new();
+            for ep in &svc.endpoints {
+                // Entry names are namespaced by service: LQN entry names
+                // are a flat namespace, but endpoint names (e.g. "query")
+                // may repeat across services.
+                let e = model
+                    .add_entry(format!("{}.{}", svc.name, ep.name), task, ep.demand)
+                    .expect("valid entry");
+                model.set_latency(e, ep.latency).expect("valid latency");
+                ids.push(e);
+            }
+            tasks.push(task);
+            entry_ids.push(ids);
+        }
+        for (si, svc) in spec.services.iter().enumerate() {
+            for (ei, ep) in svc.endpoints.iter().enumerate() {
+                for call in &ep.calls {
+                    model
+                        .add_call(
+                            entry_ids[si][ei],
+                            entry_ids[call.service.0][call.endpoint.0],
+                            call.mean,
+                        )
+                        .expect("valid call");
+                }
+            }
+        }
+        let client = model
+            .add_reference_task("clients", population, think_time)
+            .expect("valid reference task");
+        let ce = model.reference_entry(client).expect("reference entry");
+        let mut feature_entries = Vec::new();
+        for (feature, &frac) in spec.features.iter().zip(mix) {
+            let entry = entry_ids[feature.service.0][feature.endpoint.0];
+            model.add_call(ce, entry, frac).expect("valid feature call");
+            feature_entries.push(entry);
+        }
+        let services = spec
+            .services
+            .iter()
+            .enumerate()
+            .map(|(si, svc)| {
+                let (max_replicas, share_bounds) = if svc.stateful {
+                    (1, (0.05, 4.0))
+                } else {
+                    (svc.max_replicas.max(1), (0.05, 1.0))
+                };
+                ServiceBinding {
+                    name: svc.name.clone(),
+                    service: ServiceId(si),
+                    task: tasks[si],
+                    scalable: true,
+                    max_replicas,
+                    share_bounds,
+                }
+            })
+            .collect();
+        let binding = ModelBinding {
+            model,
+            client,
+            services,
+            feature_entries,
+        };
+        binding.assert_consistent();
+        binding
+    }
+
+    /// The binding controlling `task`, if any.
+    pub fn by_task(&self, task: TaskId) -> Option<&ServiceBinding> {
+        self.services.iter().find(|s| s.task == task)
+    }
+
+    /// The binding controlling cluster `service`, if any.
+    pub fn by_service(&self, service: ServiceId) -> Option<&ServiceBinding> {
+        self.services.iter().find(|s| s.service == service)
+    }
+
+    /// The scalable bindings, in declaration order (the GA genome order).
+    pub fn scalable(&self) -> impl Iterator<Item = &ServiceBinding> {
+        self.services.iter().filter(|s| s.scalable)
+    }
+
+    /// Validates internal consistency against the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task id is out of range, a feature entry is missing,
+    /// or share bounds are inverted — these are programming errors in the
+    /// scenario definition, not runtime conditions.
+    pub fn assert_consistent(&self) {
+        for s in &self.services {
+            assert!(
+                s.task.0 < self.model.tasks().len(),
+                "binding `{}` references unknown task",
+                s.name
+            );
+            assert!(
+                s.share_bounds.0 > 0.0 && s.share_bounds.0 <= s.share_bounds.1,
+                "binding `{}` has invalid share bounds",
+                s.name
+            );
+            assert!(s.max_replicas >= 1, "binding `{}` allows no replicas", s.name);
+        }
+        for &e in &self.feature_entries {
+            assert!(
+                e.0 < self.model.entries().len(),
+                "feature entry out of range"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binding() -> ModelBinding {
+        let mut m = LqnModel::new();
+        let p = m.add_processor("p", 4, 1.0);
+        let t = m.add_task("svc", p, 8, 1).unwrap();
+        let e = m.add_entry("op", t, 0.01).unwrap();
+        let c = m.add_reference_task("users", 10, 1.0).unwrap();
+        m.add_call(m.reference_entry(c).unwrap(), e, 1.0).unwrap();
+        ModelBinding {
+            model: m,
+            client: c,
+            services: vec![ServiceBinding {
+                name: "svc".into(),
+                service: ServiceId(0),
+                task: t,
+                scalable: true,
+                max_replicas: 8,
+                share_bounds: (0.1, 1.0),
+            }],
+            feature_entries: vec![e],
+        }
+    }
+
+    #[test]
+    fn lookups_work() {
+        let b = binding();
+        let t = b.services[0].task;
+        assert_eq!(b.by_task(t).unwrap().name, "svc");
+        assert_eq!(b.by_service(ServiceId(0)).unwrap().name, "svc");
+        assert!(b.by_service(ServiceId(9)).is_none());
+        assert_eq!(b.scalable().count(), 1);
+        b.assert_consistent();
+    }
+
+    #[test]
+    #[should_panic(expected = "share bounds")]
+    fn inconsistent_bounds_panic() {
+        let mut b = binding();
+        b.services[0].share_bounds = (1.0, 0.5);
+        b.assert_consistent();
+    }
+}

@@ -1,0 +1,232 @@
+//! The experiment runner: drives an autoscaler against a cluster and
+//! collects the §V-B metrics.
+
+use atom_cluster::{AppSpec, Cluster, ClusterError, ClusterOptions, WindowReport};
+use atom_metrics::{ActionLog, CapacityTrace, CapacityWindow, TpsSeries};
+use atom_workload::WorkloadSpec;
+
+use crate::autoscaler::Autoscaler;
+
+/// Shape of one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Number of monitoring windows.
+    pub windows: usize,
+    /// Window length (seconds; the paper uses 300 s by default).
+    pub window_secs: f64,
+    /// Cluster options (seed, actuation latencies).
+    pub cluster: ClusterOptions,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            windows: 8,
+            window_secs: 300.0,
+            cluster: ClusterOptions::default(),
+        }
+    }
+}
+
+/// Everything measured during one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The autoscaler's name.
+    pub scaler: String,
+    /// Raw window reports.
+    pub reports: Vec<WindowReport>,
+    /// Per-window system TPS.
+    pub tps: TpsSeries,
+    /// Per-service capacity traces (required vs allocated) for the
+    /// `T_u` / `A_u` metrics.
+    pub capacity: Vec<CapacityTrace>,
+    /// Scaling actions issued.
+    pub actions: ActionLog,
+    /// Per-window decision explanations from introspective scalers
+    /// (`None` entries for windows without one).
+    pub explanations: Vec<Option<String>>,
+}
+
+impl ExperimentResult {
+    /// Total under-provisioned time `T_u` across the given services (all
+    /// when `services` is `None`) — paper eq. in §V-B.
+    pub fn underprovision_time(&self, services: Option<&[usize]>) -> f64 {
+        self.select(services)
+            .map(|t| t.underprovision_time())
+            .sum()
+    }
+
+    /// Total under-provisioned area `A_u` (core-seconds).
+    pub fn underprovision_area(&self, services: Option<&[usize]>) -> f64 {
+        self.select(services)
+            .map(|t| t.underprovision_area())
+            .sum()
+    }
+
+    fn select<'a>(
+        &'a self,
+        services: Option<&'a [usize]>,
+    ) -> Box<dyn Iterator<Item = &'a CapacityTrace> + 'a> {
+        match services {
+            Some(idx) => Box::new(idx.iter().map(move |&i| &self.capacity[i])),
+            None => Box::new(self.capacity.iter()),
+        }
+    }
+
+    /// Mean TPS over windows `[from_window, to_window)`.
+    pub fn mean_tps(&self, from_window: usize, to_window: usize) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
+        let from = self.reports[from_window.min(self.reports.len() - 1)].start;
+        let to = self.reports[(to_window.saturating_sub(1)).min(self.reports.len() - 1)].end;
+        self.tps.mean_tps(from, to)
+    }
+}
+
+/// Runs `scaler` against `spec` under `workload` for the configured
+/// number of monitoring windows, mirroring the paper's protocol: monitor
+/// a window → decide → schedule the actions after the scaler's actuation
+/// delay → continue.
+///
+/// # Errors
+///
+/// Propagates cluster construction failures.
+pub fn run_experiment(
+    spec: &AppSpec,
+    workload: WorkloadSpec,
+    scaler: &mut dyn Autoscaler,
+    config: ExperimentConfig,
+) -> Result<ExperimentResult, ClusterError> {
+    let mix = workload.mix.fractions().to_vec();
+    let think = workload.think_time;
+    let mut cluster = Cluster::new(spec, workload, config.cluster)?;
+    let mut tps = TpsSeries::new();
+    let mut capacity: Vec<CapacityTrace> =
+        (0..spec.services.len()).map(|_| CapacityTrace::new()).collect();
+    let mut actions_log = ActionLog::new();
+    let mut reports = Vec::with_capacity(config.windows);
+    let mut explanations = Vec::with_capacity(config.windows);
+
+    for _ in 0..config.windows {
+        let report = cluster.run_window(config.window_secs);
+        tps.push(report.start, report.end, report.total_tps);
+        // Required capacity from the *offered* workload of this window
+        // (avg users over the window at nominal think time).
+        let offered_rate = report.avg_users / think.max(1e-9);
+        let required = spec.required_cores(&mix, offered_rate);
+        for (si, trace) in capacity.iter_mut().enumerate() {
+            trace.push(CapacityWindow {
+                start: report.start,
+                end: report.end,
+                required: required[si],
+                allocated: report.service_alloc_cores[si],
+            });
+        }
+        let actions = scaler.decide(&report);
+        explanations.push(scaler.explain_last());
+        if !actions.is_empty() {
+            for a in &actions {
+                actions_log.record(
+                    report.end,
+                    format!(
+                        "{}: {} -> {} x {:.2}",
+                        scaler.name(),
+                        spec.services[a.service.0].name,
+                        a.replicas,
+                        a.share
+                    ),
+                );
+            }
+            cluster.schedule_scaling(actions, scaler.actuation_delay());
+        }
+        reports.push(report);
+    }
+
+    Ok(ExperimentResult {
+        scaler: scaler.name().to_string(),
+        reports,
+        tps,
+        capacity,
+        actions: actions_log,
+        explanations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoscaler::NoopScaler;
+    use crate::baselines::{RuleConfig, UvScaler};
+    use atom_workload::{LoadProfile, RequestMix};
+
+    fn app() -> AppSpec {
+        let mut spec = AppSpec::new();
+        let node = spec.add_server("node", 4, 1.0);
+        let api = spec.add_service("api", node, 64, 1, 0.2);
+        let ep = spec.add_endpoint(api, "op", 0.004, 1.0);
+        spec.add_feature("op", api, ep);
+        spec
+    }
+
+    fn ramp_workload() -> WorkloadSpec {
+        WorkloadSpec {
+            mix: RequestMix::uniform(1),
+            think_time: 2.0,
+            profile: LoadProfile::Ramp {
+                from: 50,
+                to: 400,
+                start: 0.0,
+                duration: 600.0,
+            },
+            burstiness: None,
+        }
+    }
+
+    fn config(windows: usize) -> ExperimentConfig {
+        ExperimentConfig {
+            windows,
+            window_secs: 120.0,
+            cluster: ClusterOptions::default(),
+        }
+    }
+
+    #[test]
+    fn noop_accumulates_underprovisioning() {
+        let mut noop = NoopScaler;
+        let result =
+            run_experiment(&app(), ramp_workload(), &mut noop, config(8)).unwrap();
+        assert_eq!(result.reports.len(), 8);
+        // 400 users / 2 s × 4 ms = 0.8 cores needed vs 0.2 allocated.
+        assert!(result.underprovision_time(None) > 0.0);
+        assert!(result.underprovision_area(None) > 0.0);
+        assert!(result.actions.is_empty());
+    }
+
+    #[test]
+    fn uv_reduces_underprovisioning_vs_noop() {
+        let mut noop = NoopScaler;
+        let base = run_experiment(&app(), ramp_workload(), &mut noop, config(8)).unwrap();
+        let mut uv = UvScaler::new(&app(), RuleConfig::default());
+        let scaled = run_experiment(&app(), ramp_workload(), &mut uv, config(8)).unwrap();
+        assert!(!scaled.actions.is_empty(), "UV must act on the hot service");
+        assert!(
+            scaled.underprovision_area(None) < base.underprovision_area(None),
+            "UV {} vs noop {}",
+            scaled.underprovision_area(None),
+            base.underprovision_area(None)
+        );
+        // And throughput improves late in the run.
+        assert!(scaled.mean_tps(5, 8) > base.mean_tps(5, 8));
+    }
+
+    #[test]
+    fn result_selectors_work() {
+        let mut noop = NoopScaler;
+        let result = run_experiment(&app(), ramp_workload(), &mut noop, config(4)).unwrap();
+        let all = result.underprovision_time(None);
+        let only = result.underprovision_time(Some(&[0]));
+        assert_eq!(all, only);
+        assert!(result.mean_tps(0, 4) > 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! ATOM: the model-driven autoscaling controller (the paper's primary
+//! contribution), its rule-based baselines, and the experiment runner.
+//!
+//! The controller follows MAPE-K (§IV-A):
+//!
+//! * **Monitor** — the cluster's [`atom_cluster::WindowReport`] plays the
+//!   workload monitor: per-feature request counts over a monitoring
+//!   window;
+//! * **Analyze** — [`analyzer::WorkloadAnalyzer`] writes the observed
+//!   concurrency `N` and request mix into the LQN, then
+//!   [`optimizer::SolutionSearch`] (Algorithm 1) runs a genetic algorithm
+//!   over `(r, s)` configurations, solving the model analytically for
+//!   each candidate and scoring it with [`objective::ObjectiveSpec`]
+//!   (equations (1)–(5): weighted-sum revenue vs CPU, SLA/capacity/
+//!   utilisation constraints);
+//! * **Plan** — [`planner::Planner`] applies the paper's two quick fixes
+//!   (reuse a cheaper previous allocation if TPS is unaffected;
+//!   consolidate replicas at equal total share) and optionally one of the
+//!   conservative modes **ATOM-T** (require a minimum predicted TPS
+//!   improvement) or **ATOM-S** (cap the change in total allocated CPU);
+//! * **Execute** — the experiment loop schedules the resulting
+//!   [`atom_cluster::ScaleAction`]s on the cluster after ATOM's
+//!   optimisation delay (the paper's ~2.5 minutes).
+//!
+//! [`baselines::UhScaler`] and [`baselines::UvScaler`] implement the
+//! utilisation-triggered horizontal/vertical doubling rules of §V-A.
+//! [`experiment::run_experiment`] drives any [`Autoscaler`] against a
+//! cluster and collects the elasticity metrics of §V-B.
+
+pub mod analyzer;
+pub mod autoscaler;
+pub mod baselines;
+pub mod binding;
+pub mod calibration;
+pub mod experiment;
+pub mod objective;
+pub mod optimizer;
+pub mod planner;
+pub mod whatif;
+
+mod atom_controller;
+
+pub use atom_controller::{Atom, AtomConfig};
+pub use calibration::DemandCalibrator;
+pub use autoscaler::Autoscaler;
+pub use baselines::{UhScaler, UvScaler};
+pub use binding::{ModelBinding, ServiceBinding};
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use objective::ObjectiveSpec;
+pub use planner::PlannerMode;
+pub use whatif::{what_if, Prediction};

@@ -1,0 +1,263 @@
+//! The optimisation objective and constraints (paper §IV-B, eqs. 1–5).
+//!
+//! ATOM maximises the weighted sum `Θ = τ₁·B̂ − τ₂·Ĉ` where `B̂` is the
+//! normalised revenue (feature throughputs weighted by business value ψ)
+//! and `Ĉ` the normalised total allocated CPU, subject to:
+//!
+//! * (3) per-feature response times within the SLA `W_max`;
+//! * (4) per-server total allocated share within the server's cores;
+//! * (5) per-microservice utilisation within `U_max`.
+//!
+//! Constraint violations are aggregated into a single non-negative
+//! magnitude consumed by the GA's feasibility-first selection, mirroring
+//! Algorithm 1's `tolerance` check.
+
+use atom_ga::Evaluation;
+use atom_lqn::model::TaskKind;
+use atom_lqn::{LqnModel, LqnSolution, ScalingConfig};
+
+use crate::binding::ModelBinding;
+
+/// Objective weights, SLA, and capacity limits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectiveSpec {
+    /// Business value ψ of one completed request per feature.
+    pub feature_weights: Vec<f64>,
+    /// τ₁ — weight of normalised revenue.
+    pub tau_revenue: f64,
+    /// τ₂ — weight of normalised CPU cost.
+    pub tau_cost: f64,
+    /// Per-feature response-time SLA `W_max` (seconds;
+    /// `f64::INFINITY` disables the constraint for a feature).
+    pub sla_response: Vec<f64>,
+    /// Per-microservice utilisation cap `U_max`.
+    pub max_utilization: f64,
+    /// Per-model-processor capacity `C_k^max` in cores, by processor
+    /// index; processors not listed are unconstrained.
+    pub server_capacity: Vec<(usize, f64)>,
+}
+
+impl ObjectiveSpec {
+    /// A balanced default: revenue-dominant weighting (τ₁ = 1, τ₂ =
+    /// 0.25), uniform ψ, no SLA, 95% utilisation cap.
+    pub fn balanced(features: usize) -> Self {
+        ObjectiveSpec {
+            feature_weights: vec![1.0; features],
+            tau_revenue: 1.0,
+            tau_cost: 0.25,
+            sla_response: vec![f64::INFINITY; features],
+            max_utilization: 0.95,
+            server_capacity: Vec::new(),
+        }
+    }
+
+    /// Revenue `B = Σ_f ψ_f X_f` of a solution (eq. 1).
+    pub fn revenue(&self, binding: &ModelBinding, solution: &LqnSolution) -> f64 {
+        binding
+            .feature_entries
+            .iter()
+            .zip(&self.feature_weights)
+            .map(|(&e, &w)| w * solution.entry_throughput(e))
+            .sum()
+    }
+
+    /// The ideal revenue used for normalisation: every user cycling at
+    /// pure think-time speed, weighted by the current mix.
+    pub fn ideal_revenue(&self, binding: &ModelBinding, model: &LqnModel) -> f64 {
+        let client = model.task(binding.client);
+        let think = match client.kind {
+            TaskKind::Reference { think_time } => think_time.max(1e-9),
+            TaskKind::Server => 1.0,
+        };
+        let offered = client.multiplicity as f64 / think;
+        let client_entry = match model.reference_entry(binding.client) {
+            Ok(e) => e,
+            Err(_) => return 1.0,
+        };
+        let weighted_mix: f64 = model
+            .entry(client_entry)
+            .calls
+            .iter()
+            .map(|c| {
+                let w = binding
+                    .feature_entries
+                    .iter()
+                    .position(|&e| e == c.target)
+                    .map(|i| self.feature_weights[i])
+                    .unwrap_or(1.0);
+                w * c.mean
+            })
+            .sum();
+        (offered * weighted_mix).max(1e-9)
+    }
+
+    /// Total capacity of the constrained servers (for cost
+    /// normalisation); falls back to the configured total share when no
+    /// server capacities are set.
+    fn capacity_scale(&self, config: &ScalingConfig) -> f64 {
+        let total: f64 = self.server_capacity.iter().map(|&(_, c)| c).sum();
+        if total > 0.0 {
+            total
+        } else {
+            config.total_cpu_share().max(1.0)
+        }
+    }
+
+    /// Scores a solved candidate configuration: objective Θ (eq. 2) and
+    /// aggregated constraint violation (eqs. 3–5).
+    pub fn evaluate(
+        &self,
+        binding: &ModelBinding,
+        model: &LqnModel,
+        config: &ScalingConfig,
+        solution: &LqnSolution,
+    ) -> Evaluation {
+        let revenue_hat = self.revenue(binding, solution) / self.ideal_revenue(binding, model);
+        let cost_hat = config.total_cpu_share() / self.capacity_scale(config);
+        let theta = self.tau_revenue * revenue_hat - self.tau_cost * cost_hat;
+
+        let mut violation = 0.0;
+        // (3) SLA response times per feature.
+        for ((&e, &w_max), _) in binding
+            .feature_entries
+            .iter()
+            .zip(&self.sla_response)
+            .zip(&self.feature_weights)
+        {
+            if w_max.is_finite() && w_max > 0.0 {
+                let w = solution.entry_residence(e);
+                if w > w_max {
+                    violation += (w - w_max) / w_max;
+                }
+            }
+        }
+        // (4) per-server allocated share.
+        let per_proc = config.per_processor_share(model);
+        for &(proc, cap) in &self.server_capacity {
+            if let Some(&alloc) = per_proc.get(&proc) {
+                if alloc > cap {
+                    violation += (alloc - cap) / cap;
+                }
+            }
+        }
+        // (5) per-microservice utilisation.
+        for s in binding.scalable() {
+            let u = solution.task_utilization(s.task);
+            if u > self.max_utilization {
+                violation += (u - self.max_utilization) / self.max_utilization;
+            }
+        }
+        if violation > 0.0 {
+            Evaluation::infeasible(theta, violation)
+        } else {
+            Evaluation::feasible(theta)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_cluster::ServiceId;
+    use atom_lqn::analytic::{solve, SolverOptions};
+    use atom_lqn::TaskId;
+    use crate::binding::ServiceBinding;
+
+    fn setup() -> (ModelBinding, ObjectiveSpec) {
+        let mut m = LqnModel::new();
+        let p = m.add_processor("p", 4, 1.0);
+        let t = m.add_task("svc", p, 8, 1).unwrap();
+        m.set_cpu_share(t, Some(1.0)).unwrap();
+        let e = m.add_entry("op", t, 0.01).unwrap();
+        let c = m.add_reference_task("users", 200, 1.0).unwrap();
+        m.add_call(m.reference_entry(c).unwrap(), e, 1.0).unwrap();
+        let binding = ModelBinding {
+            model: m,
+            client: c,
+            services: vec![ServiceBinding {
+                name: "svc".into(),
+                service: ServiceId(0),
+                task: t,
+                scalable: true,
+                max_replicas: 8,
+                share_bounds: (0.1, 1.0),
+            }],
+            feature_entries: vec![e],
+        };
+        let mut obj = ObjectiveSpec::balanced(1);
+        obj.server_capacity = vec![(0, 4.0)];
+        (binding, obj)
+    }
+
+    #[test]
+    fn feasible_config_scores_positive() {
+        let (binding, obj) = setup();
+        let mut model = binding.model.clone();
+        let mut cfg = ScalingConfig::new();
+        cfg.set(TaskId(0), 4, 1.0);
+        cfg.apply(&mut model).unwrap();
+        let sol = solve(&model, SolverOptions::default()).unwrap();
+        let eval = obj.evaluate(&binding, &model, &cfg, &sol);
+        assert_eq!(eval.violation, 0.0);
+        assert!(eval.objective > 0.0, "theta {}", eval.objective);
+    }
+
+    #[test]
+    fn undersized_config_violates_utilization() {
+        let (binding, obj) = setup();
+        let mut model = binding.model.clone();
+        let mut cfg = ScalingConfig::new();
+        cfg.set(TaskId(0), 1, 0.5); // capacity 50/s vs 200 offered
+        cfg.apply(&mut model).unwrap();
+        let sol = solve(&model, SolverOptions::default()).unwrap();
+        let eval = obj.evaluate(&binding, &model, &cfg, &sol);
+        assert!(eval.violation > 0.0, "should violate U_max");
+    }
+
+    #[test]
+    fn sla_violation_detected() {
+        let (binding, mut obj) = setup();
+        obj.max_utilization = 2.0; // disable the utilisation constraint
+        obj.sla_response = vec![0.001]; // impossible SLA
+        let mut model = binding.model.clone();
+        let mut cfg = ScalingConfig::new();
+        cfg.set(TaskId(0), 2, 1.0);
+        cfg.apply(&mut model).unwrap();
+        let sol = solve(&model, SolverOptions::default()).unwrap();
+        let eval = obj.evaluate(&binding, &model, &cfg, &sol);
+        assert!(eval.violation > 0.0);
+    }
+
+    #[test]
+    fn server_capacity_violation_detected() {
+        let (binding, mut obj) = setup();
+        obj.max_utilization = 10.0;
+        obj.server_capacity = vec![(0, 2.0)];
+        let mut model = binding.model.clone();
+        let mut cfg = ScalingConfig::new();
+        cfg.set(TaskId(0), 8, 1.0); // 8 cores on a 2-core budget
+        cfg.apply(&mut model).unwrap();
+        let sol = solve(&model, SolverOptions::default()).unwrap();
+        let eval = obj.evaluate(&binding, &model, &cfg, &sol);
+        assert!(eval.violation > 0.0);
+    }
+
+    #[test]
+    fn more_capacity_costs_more() {
+        let (binding, obj) = setup();
+        let score = |r: usize, s: f64| {
+            let mut model = binding.model.clone();
+            let mut cfg = ScalingConfig::new();
+            cfg.set(TaskId(0), r, s);
+            cfg.apply(&mut model).unwrap();
+            let sol = solve(&model, SolverOptions::default()).unwrap();
+            obj.evaluate(&binding, &model, &cfg, &sol)
+        };
+        // Both configs saturate the demand (200/s needs 2 cores); the
+        // cheaper one must score higher.
+        let lean = score(3, 1.0);
+        let fat = score(8, 1.0);
+        assert_eq!(lean.violation, 0.0);
+        assert!(lean.objective > fat.objective);
+    }
+}

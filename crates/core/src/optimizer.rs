@@ -1,0 +1,280 @@
+//! Algorithm 1: time-bounded candidate search with a genetic algorithm.
+//!
+//! The GA genome is the decision vector of §IV-B: per scalable
+//! microservice an integer replica count in `1..=Q_i` and a real CPU
+//! share in `[s_lb, s_ub]`. Each candidate is applied to the
+//! analyzer-instantiated LQN, solved analytically, and scored by
+//! [`ObjectiveSpec::evaluate`]; infeasible candidates survive with their
+//! violation magnitude (the `tolerance` check of Algorithm 1 lives in the
+//! GA's feasibility-first selection).
+
+use atom_ga::{optimize, Evaluation, GaOptions, Gene, GeneValue};
+use atom_lqn::analytic::{solve, SolverOptions};
+use atom_lqn::{LqnModel, ScalingConfig};
+
+use crate::binding::ModelBinding;
+use crate::objective::ObjectiveSpec;
+
+/// Result of one search round.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Best configuration found.
+    pub config: ScalingConfig,
+    /// Its evaluation.
+    pub eval: Evaluation,
+    /// Model solves spent.
+    pub evaluations: usize,
+}
+
+/// Runs the GA search over scaling configurations.
+///
+/// `model` must already carry the window's `N` and request mix (the
+/// analyzer's output). Solver failures (non-convergence on extreme
+/// candidates) are treated as maximally infeasible rather than aborting
+/// the search.
+pub fn search(
+    binding: &ModelBinding,
+    model: &LqnModel,
+    objective: &ObjectiveSpec,
+    ga: GaOptions,
+) -> SearchResult {
+    let scalable: Vec<_> = binding.scalable().collect();
+    if scalable.is_empty() {
+        // Nothing to optimise: return an empty (no-op) configuration
+        // instead of panicking in the GA on an empty genome.
+        return SearchResult {
+            config: ScalingConfig::new(),
+            eval: Evaluation::feasible(0.0),
+            evaluations: 0,
+        };
+    }
+    let mut genome = Vec::with_capacity(scalable.len() * 2);
+    for s in &scalable {
+        genome.push(Gene::Int {
+            lo: 1,
+            hi: s.max_replicas as i64,
+        });
+        genome.push(Gene::Float {
+            lo: s.share_bounds.0,
+            hi: s.share_bounds.1,
+        });
+    }
+    let solver = SolverOptions {
+        max_iterations: 8_000,
+        tolerance: 1e-7,
+        ..SolverOptions::default()
+    };
+    let result = optimize(&genome, ga, |genes| {
+        let config = decode(&scalable, genes);
+        let mut candidate = model.clone();
+        if config.apply(&mut candidate).is_err() {
+            return Evaluation::infeasible(f64::NEG_INFINITY, f64::MAX / 2.0);
+        }
+        match solve(&candidate, solver) {
+            Ok(solution) => objective.evaluate(binding, &candidate, &config, &solution),
+            Err(_) => Evaluation::infeasible(f64::NEG_INFINITY, f64::MAX / 2.0),
+        }
+    });
+    SearchResult {
+        config: decode(&scalable, &result.best_values),
+        eval: result.best,
+        evaluations: result.evaluations,
+    }
+}
+
+/// Pure random search at the same evaluation budget — the ablation
+/// baseline for the GA (§IV-C argues a meta-heuristic is needed; this
+/// quantifies the claim).
+pub fn random_search(
+    binding: &ModelBinding,
+    model: &LqnModel,
+    objective: &ObjectiveSpec,
+    evaluations: usize,
+    seed: u64,
+) -> SearchResult {
+    use atom_sim::SimRng;
+    let scalable: Vec<_> = binding.scalable().collect();
+    let solver = SolverOptions {
+        max_iterations: 8_000,
+        tolerance: 1e-7,
+        ..SolverOptions::default()
+    };
+    let mut rng = SimRng::seed_from(seed);
+    let mut best: Option<(ScalingConfig, Evaluation)> = None;
+    for _ in 0..evaluations {
+        let mut config = ScalingConfig::new();
+        for s in &scalable {
+            let replicas = 1 + (rng.uniform() * s.max_replicas as f64) as usize;
+            let share = rng.uniform_in(s.share_bounds.0, s.share_bounds.1);
+            config.set(s.task, replicas.min(s.max_replicas), share);
+        }
+        let mut candidate = model.clone();
+        if config.apply(&mut candidate).is_err() {
+            continue;
+        }
+        let eval = match solve(&candidate, solver) {
+            Ok(solution) => objective.evaluate(binding, &candidate, &config, &solution),
+            Err(_) => continue,
+        };
+        if best.as_ref().is_none_or(|(_, b)| eval.beats(b, 0.0)) {
+            best = Some((config, eval));
+        }
+    }
+    let (config, eval) = best.unwrap_or_else(|| {
+        let mut c = ScalingConfig::new();
+        for s in &scalable {
+            c.set(s.task, 1, s.share_bounds.0);
+        }
+        (c, Evaluation::infeasible(f64::NEG_INFINITY, f64::MAX / 2.0))
+    });
+    SearchResult {
+        config,
+        eval,
+        evaluations,
+    }
+}
+
+/// Predicted system TPS of a configuration on the window's model; used
+/// by the planner's quick fixes. Returns `None` if the solve fails.
+pub fn predicted_tps(model: &LqnModel, config: &ScalingConfig) -> Option<f64> {
+    let mut candidate = model.clone();
+    config.apply(&mut candidate).ok()?;
+    let solver = SolverOptions {
+        max_iterations: 8_000,
+        tolerance: 1e-7,
+        ..SolverOptions::default()
+    };
+    solve(&candidate, solver).ok().map(|s| s.client_throughput)
+}
+
+fn decode(
+    scalable: &[&crate::binding::ServiceBinding],
+    genes: &[GeneValue],
+) -> ScalingConfig {
+    let mut config = ScalingConfig::new();
+    for (i, s) in scalable.iter().enumerate() {
+        let replicas = genes[2 * i].as_i64().max(1) as usize;
+        let share = genes[2 * i + 1].as_f64();
+        config.set(s.task, replicas, share);
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_cluster::ServiceId;
+    use atom_ga::Budget;
+    use atom_lqn::TaskId;
+    use crate::binding::ServiceBinding;
+
+    /// Two-service chain where the bottleneck is the web tier.
+    fn setup(users: usize) -> (ModelBinding, ObjectiveSpec) {
+        let mut m = LqnModel::new();
+        let p = m.add_processor("p", 8, 1.0);
+        let web = m.add_task("web", p, 64, 1).unwrap();
+        m.set_cpu_share(web, Some(0.5)).unwrap();
+        let db = m.add_task("db", p, 16, 1).unwrap();
+        m.set_cpu_share(db, Some(1.0)).unwrap();
+        let page = m.add_entry("page", web, 0.008).unwrap();
+        let query = m.add_entry("query", db, 0.002).unwrap();
+        m.add_call(page, query, 1.0).unwrap();
+        let c = m.add_reference_task("users", users, 2.0).unwrap();
+        m.add_call(m.reference_entry(c).unwrap(), page, 1.0).unwrap();
+        let binding = ModelBinding {
+            model: m,
+            client: c,
+            services: vec![
+                ServiceBinding {
+                    name: "web".into(),
+                    service: ServiceId(0),
+                    task: web,
+                    scalable: true,
+                    max_replicas: 8,
+                    share_bounds: (0.1, 1.0),
+                },
+                ServiceBinding {
+                    name: "db".into(),
+                    service: ServiceId(1),
+                    task: db,
+                    scalable: true,
+                    max_replicas: 1,
+                    // The db is multi-threaded (16 threads), so vertical
+                    // scaling past one core is usable; without the extra
+                    // headroom the heavy-load case would be infeasible by
+                    // construction (1 core of demand at U_max = 0.95).
+                    share_bounds: (0.1, 2.0),
+                },
+            ],
+            feature_entries: vec![page],
+        };
+        let mut obj = ObjectiveSpec::balanced(1);
+        obj.server_capacity = vec![(0, 8.0)];
+        (binding, obj)
+    }
+
+    fn ga(seed: u64) -> GaOptions {
+        GaOptions {
+            budget: Budget::Evaluations(800),
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn finds_feasible_config_for_heavy_load() {
+        let (binding, obj) = setup(1000);
+        let result = search(&binding, &binding.model, &obj, ga(1));
+        assert_eq!(result.eval.violation, 0.0, "best must be feasible");
+        // Offered load = 500/s; web needs 500·0.008 = 4 cores.
+        let web_cfg = result.config.get(TaskId(0)).unwrap();
+        let capacity = web_cfg.replicas as f64 * web_cfg.cpu_share;
+        assert!(
+            capacity > 3.5,
+            "web capacity {capacity} too small for 4-core demand"
+        );
+    }
+
+    #[test]
+    fn scales_down_for_light_load() {
+        let (binding, obj) = setup(50);
+        let result = search(&binding, &binding.model, &obj, ga(2));
+        assert_eq!(result.eval.violation, 0.0);
+        // Offered 25/s → web needs 0.2 cores; the cost term should keep
+        // the allocation lean.
+        let web_cfg = result.config.get(TaskId(0)).unwrap();
+        let capacity = web_cfg.replicas as f64 * web_cfg.cpu_share;
+        assert!(capacity < 2.0, "capacity {capacity} wastefully large");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (binding, obj) = setup(300);
+        let a = search(&binding, &binding.model, &obj, ga(7));
+        let b = search(&binding, &binding.model, &obj, ga(7));
+        assert_eq!(a.config, b.config);
+    }
+
+    #[test]
+    fn predicted_tps_monotone_in_capacity() {
+        let (binding, _) = setup(1000);
+        let mut small = ScalingConfig::new();
+        small.set(TaskId(0), 1, 0.5).set(TaskId(1), 1, 1.0);
+        let mut big = ScalingConfig::new();
+        big.set(TaskId(0), 8, 1.0).set(TaskId(1), 1, 1.0);
+        let x_small = predicted_tps(&binding.model, &small).unwrap();
+        let x_big = predicted_tps(&binding.model, &big).unwrap();
+        assert!(x_big > x_small * 1.5, "big {x_big} small {x_small}");
+    }
+
+    #[test]
+    fn respects_replica_bounds() {
+        let (binding, obj) = setup(5000);
+        let result = search(&binding, &binding.model, &obj, ga(3));
+        let db_cfg = result.config.get(TaskId(1)).unwrap();
+        assert_eq!(db_cfg.replicas, 1, "db is capped at one replica");
+        let web_cfg = result.config.get(TaskId(0)).unwrap();
+        assert!(web_cfg.replicas <= 8);
+        assert!((0.1..=1.0).contains(&web_cfg.cpu_share));
+    }
+}

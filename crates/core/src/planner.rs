@@ -1,0 +1,316 @@
+//! The scaling planner: quick fixes and conservative modes (§IV-A/C).
+//!
+//! The GA's time-bounded answer can usually be polished. The paper's
+//! planner applies two *quick fixes*:
+//!
+//! 1. **Share reuse** — if a microservice had a *cheaper* allocation in
+//!    the previous window, try keeping it; adopt the cheaper allocation
+//!    when the predicted TPS is not significantly affected.
+//! 2. **Replica consolidation** — try halving the replica count while
+//!    doubling the per-replica share (same total CPU); fewer replicas
+//!    mean less multi-server inefficiency, so if predicted TPS does not
+//!    drop, keep the consolidated configuration.
+//!
+//! It can additionally run in one of two *conservative modes*:
+//! **ATOM-T** discards the new configuration unless it improves predicted
+//! TPS by a margin, and **ATOM-S** discards it when the total allocated
+//! CPU would change too drastically.
+
+use atom_lqn::{LqnModel, ScalingConfig};
+
+use crate::binding::ModelBinding;
+use crate::optimizer::predicted_tps;
+
+/// Conservatism of the planner (paper Fig. 7's variants).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlannerMode {
+    /// Plain ATOM: always adopt the (quick-fixed) GA answer.
+    Standard,
+    /// ATOM-T: adopt only if predicted TPS improves by at least this
+    /// fraction over keeping the current configuration.
+    ConservativeTps {
+        /// Minimum relative TPS improvement (e.g. 0.05 = 5%).
+        min_improvement: f64,
+    },
+    /// ATOM-S: bound the change in total allocated CPU per window; a
+    /// plan that moves further is interpolated toward the current
+    /// configuration so the system improves *steadily* (Fig. 7's
+    /// description) instead of stalling outright — the paper notes that a
+    /// reject-only threshold risks "completely stopping the improvement".
+    ConservativeShare {
+        /// Maximum relative change of `Σ r_i s_i` (e.g. 0.25 = 25%).
+        max_relative_change: f64,
+    },
+}
+
+/// The planner. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Planner {
+    /// Conservatism mode.
+    pub mode: PlannerMode,
+    /// Relative TPS loss considered insignificant by the quick fixes
+    /// (the paper's "does not affect the TPS significantly").
+    pub tps_tolerance: f64,
+    /// Whether the two §IV-C quick fixes run at all (disabled by the
+    /// ablation harness to quantify their contribution).
+    pub quick_fixes: bool,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner {
+            mode: PlannerMode::Standard,
+            tps_tolerance: 0.02,
+            quick_fixes: true,
+        }
+    }
+}
+
+impl Planner {
+    /// Polishes `candidate` against `current`, returning the
+    /// configuration to execute.
+    ///
+    /// `model` is the analyzer-instantiated LQN of this window.
+    pub fn plan(
+        &self,
+        binding: &ModelBinding,
+        model: &LqnModel,
+        candidate: ScalingConfig,
+        current: &ScalingConfig,
+    ) -> ScalingConfig {
+        let mut adopted = candidate;
+        let mut adopted_tps = match predicted_tps(model, &adopted) {
+            Some(x) => x,
+            None => return current.clone(),
+        };
+
+        // Quick fix 1: reuse cheaper previous allocations per service.
+        for s in binding.scalable().filter(|_| self.quick_fixes) {
+            let (Some(now), Some(prev)) = (adopted.get(s.task), current.get(s.task)) else {
+                continue;
+            };
+            let now_alloc = now.replicas as f64 * now.cpu_share;
+            let prev_alloc = prev.replicas as f64 * prev.cpu_share;
+            if prev_alloc < now_alloc {
+                let mut trial = adopted.clone();
+                trial.set(s.task, prev.replicas, prev.cpu_share);
+                if let Some(tps) = predicted_tps(model, &trial) {
+                    if tps >= adopted_tps * (1.0 - self.tps_tolerance) {
+                        adopted = trial;
+                        adopted_tps = tps;
+                    }
+                }
+            }
+        }
+
+        // Quick fix 2: consolidate replicas at equal total share.
+        for s in binding.scalable().filter(|_| self.quick_fixes) {
+            let Some(now) = adopted.get(s.task) else {
+                continue;
+            };
+            if now.replicas >= 2 {
+                let new_r = now.replicas / 2;
+                let new_s = (now.cpu_share * now.replicas as f64 / new_r as f64)
+                    .min(s.share_bounds.1);
+                if new_s > now.cpu_share {
+                    let mut trial = adopted.clone();
+                    trial.set(s.task, new_r, new_s);
+                    if let Some(tps) = predicted_tps(model, &trial) {
+                        if tps >= adopted_tps * (1.0 - self.tps_tolerance) {
+                            adopted = trial;
+                            adopted_tps = tps;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Conservative filter.
+        match self.mode {
+            PlannerMode::Standard => adopted,
+            PlannerMode::ConservativeTps { min_improvement } => {
+                match predicted_tps(model, current) {
+                    Some(current_tps)
+                        if adopted_tps < current_tps * (1.0 + min_improvement) =>
+                    {
+                        current.clone()
+                    }
+                    _ => adopted,
+                }
+            }
+            PlannerMode::ConservativeShare {
+                max_relative_change,
+            } => {
+                let c_now = current.total_cpu_share();
+                let c_new = adopted.total_cpu_share();
+                let delta = (c_new - c_now).abs();
+                if c_now > 0.0 && delta > max_relative_change * c_now {
+                    // Interpolate toward the plan so the total CPU moves
+                    // by exactly the allowed amount this window.
+                    let alpha = (max_relative_change * c_now / delta).clamp(0.0, 1.0);
+                    let mut clamped = current.clone();
+                    for s in binding.scalable() {
+                        let (Some(new), Some(old)) =
+                            (adopted.get(s.task), current.get(s.task))
+                        else {
+                            continue;
+                        };
+                        let r = old.replicas as f64
+                            + alpha * (new.replicas as f64 - old.replicas as f64);
+                        let share = old.cpu_share + alpha * (new.cpu_share - old.cpu_share);
+                        clamped.set(
+                            s.task,
+                            (r.round() as usize).clamp(1, s.max_replicas),
+                            share.clamp(s.share_bounds.0, s.share_bounds.1),
+                        );
+                    }
+                    clamped
+                } else {
+                    adopted
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_cluster::ServiceId;
+    use atom_lqn::{LqnModel, TaskId};
+    use crate::binding::ServiceBinding;
+
+    fn setup(users: usize) -> ModelBinding {
+        let mut m = LqnModel::new();
+        let p = m.add_processor("p", 8, 1.0);
+        let web = m.add_task("web", p, 64, 1).unwrap();
+        m.set_cpu_share(web, Some(0.5)).unwrap();
+        let page = m.add_entry("page", web, 0.01).unwrap();
+        let c = m.add_reference_task("users", users, 2.0).unwrap();
+        m.add_call(m.reference_entry(c).unwrap(), page, 1.0).unwrap();
+        ModelBinding {
+            model: m,
+            client: c,
+            services: vec![ServiceBinding {
+                name: "web".into(),
+                service: ServiceId(0),
+                task: web,
+                scalable: true,
+                max_replicas: 8,
+                share_bounds: (0.1, 1.0),
+            }],
+            feature_entries: vec![page],
+        }
+    }
+
+    #[test]
+    fn quick_fix_reuses_cheaper_previous_config() {
+        // Light load: 10/s needs 0.1 cores. The candidate wastes 4 cores;
+        // the previous window's 0.5 cores served fine.
+        let binding = setup(20);
+        let mut candidate = ScalingConfig::new();
+        candidate.set(TaskId(0), 4, 1.0);
+        let mut current = ScalingConfig::new();
+        current.set(TaskId(0), 1, 0.5);
+        let planner = Planner::default();
+        let plan = planner.plan(&binding, &binding.model, candidate, &current);
+        let d = plan.get(TaskId(0)).unwrap();
+        assert_eq!((d.replicas, d.cpu_share), (1, 0.5), "should reuse cheap config");
+    }
+
+    #[test]
+    fn quick_fix_consolidates_replicas() {
+        // Moderate load served equally well by 1×1.0 as by 2×0.5 — the
+        // planner should consolidate (less multi-server inefficiency).
+        let binding = setup(100);
+        let mut candidate = ScalingConfig::new();
+        candidate.set(TaskId(0), 2, 0.5);
+        let mut current = ScalingConfig::new();
+        current.set(TaskId(0), 2, 0.5);
+        let planner = Planner::default();
+        let plan = planner.plan(&binding, &binding.model, candidate, &current);
+        let d = plan.get(TaskId(0)).unwrap();
+        assert_eq!(d.replicas, 1, "should consolidate to one replica");
+        assert!((d.cpu_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consolidation_skipped_when_it_hurts() {
+        // Heavy load needs 4 cores; 4×1.0 cannot be consolidated to
+        // 2×2.0 because shares are capped at 1.0 — and 2×1.0 would halve
+        // capacity, so the planner must keep 4 replicas.
+        let binding = setup(2000);
+        let mut candidate = ScalingConfig::new();
+        candidate.set(TaskId(0), 4, 1.0);
+        let current = candidate.clone();
+        let planner = Planner::default();
+        let plan = planner.plan(&binding, &binding.model, candidate, &current);
+        assert_eq!(plan.get(TaskId(0)).unwrap().replicas, 4);
+    }
+
+    #[test]
+    fn atom_t_rejects_marginal_improvements() {
+        let binding = setup(100);
+        // Current config is adequate; candidate adds capacity for ~no
+        // TPS gain.
+        let mut current = ScalingConfig::new();
+        current.set(TaskId(0), 1, 1.0);
+        let mut candidate = ScalingConfig::new();
+        candidate.set(TaskId(0), 4, 1.0);
+        let planner = Planner {
+            mode: PlannerMode::ConservativeTps {
+                min_improvement: 0.05,
+            },
+            ..Default::default()
+        };
+        let plan = planner.plan(&binding, &binding.model, candidate, &current);
+        assert_eq!(plan, current);
+    }
+
+    #[test]
+    fn atom_t_accepts_real_improvements() {
+        let binding = setup(2000); // offered 1000/s, needs 10 cores
+        let mut current = ScalingConfig::new();
+        current.set(TaskId(0), 1, 1.0);
+        let mut candidate = ScalingConfig::new();
+        candidate.set(TaskId(0), 8, 1.0);
+        let planner = Planner {
+            mode: PlannerMode::ConservativeTps {
+                min_improvement: 0.05,
+            },
+            ..Default::default()
+        };
+        let plan = planner.plan(&binding, &binding.model, candidate.clone(), &current);
+        assert_eq!(plan.get(TaskId(0)).unwrap().replicas, 8);
+    }
+
+    #[test]
+    fn atom_s_clamps_drastic_changes() {
+        let binding = setup(2000);
+        let mut current = ScalingConfig::new();
+        current.set(TaskId(0), 1, 1.0);
+        let mut candidate = ScalingConfig::new();
+        candidate.set(TaskId(0), 8, 1.0); // 8x jump in total CPU
+        let planner = Planner {
+            mode: PlannerMode::ConservativeShare {
+                max_relative_change: 0.5,
+            },
+            quick_fixes: false,
+            ..Default::default()
+        };
+        let plan = planner.plan(&binding, &binding.model, candidate, &current);
+        let d = plan.get(TaskId(0)).unwrap();
+        let total = d.replicas as f64 * d.cpu_share;
+        // Moves toward 8 cores but only by the bounded step (up to the
+        // granularity of one whole replica, since replica counts are
+        // integers).
+        assert!(total <= 1.5 + 1.0, "total {total} exceeds the step bound");
+        assert!(total > 1.0, "must still improve");
+        assert!(total < 4.0, "far below the 8-core target");
+        // A modest change passes untouched.
+        let mut modest = ScalingConfig::new();
+        modest.set(TaskId(0), 1, 1.0);
+        let plan = planner.plan(&binding, &binding.model, modest.clone(), &current);
+        assert_eq!(plan, modest);
+    }
+}

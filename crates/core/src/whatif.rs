@@ -1,0 +1,173 @@
+//! What-if analysis: the operator-facing façade over the analyzer and
+//! the model solver.
+//!
+//! ATOM's internals answer one question per window ("what is the best
+//! configuration?"); operators routinely want the adjacent one: *"what
+//! would happen if I ran configuration C under the current workload?"* —
+//! before a deploy, in a capacity review, or to sanity-check the
+//! controller. This module exposes exactly that, reusing the MAPE-K
+//! analyzer so the prediction is made for the *observed* workload.
+
+use atom_cluster::WindowReport;
+use atom_lqn::analytic::{solve, SolverOptions};
+use atom_lqn::bottleneck::{analyze, BottleneckReport};
+use atom_lqn::{LqnError, ScalingConfig};
+
+use crate::analyzer::WorkloadAnalyzer;
+use crate::binding::ModelBinding;
+
+/// Predicted steady-state outcome of running a configuration under an
+/// observed workload.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// System transactions per second.
+    pub tps: f64,
+    /// Mean client response time (seconds, excluding think time).
+    pub response_time: f64,
+    /// Per-feature response times (seconds), in binding feature order.
+    pub feature_response: Vec<f64>,
+    /// Per-service CPU utilisation, in binding service order.
+    pub service_utilization: Vec<f64>,
+    /// Total allocated CPU of the configuration (`Σ rᵢsᵢ`).
+    pub total_cpu: f64,
+    /// Layered-bottleneck diagnosis at this configuration.
+    pub bottlenecks: BottleneckReport,
+}
+
+/// Predicts the outcome of `config` under the workload observed in
+/// `report` (its user count, peak rate, and request mix).
+///
+/// # Errors
+///
+/// Propagates model-instantiation and solver failures (e.g. a config
+/// referencing unknown tasks).
+///
+/// # Examples
+///
+/// See `tests/` and the `atom-cli` `run` output; typical use:
+///
+/// ```ignore
+/// let prediction = what_if(&binding, &last_report, &candidate)?;
+/// if prediction.feature_response[CARTS] > sla { /* reject */ }
+/// ```
+pub fn what_if(
+    binding: &ModelBinding,
+    report: &WindowReport,
+    config: &ScalingConfig,
+) -> Result<Prediction, LqnError> {
+    let mut analyzer = WorkloadAnalyzer::new();
+    let mut model = analyzer.instantiate(binding, report)?;
+    config.apply(&mut model)?;
+    let solution = solve(&model, SolverOptions::default())?;
+    let feature_response = binding
+        .feature_entries
+        .iter()
+        .map(|&e| solution.entry_residence(e))
+        .collect();
+    let service_utilization = binding
+        .services
+        .iter()
+        .map(|s| solution.task_utilization(s.task))
+        .collect();
+    let bottlenecks = analyze(&model, &solution);
+    Ok(Prediction {
+        tps: solution.client_throughput,
+        response_time: solution.client_response_time,
+        feature_response,
+        service_utilization,
+        total_cpu: config.total_cpu_share(),
+        bottlenecks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_cluster::ServiceId;
+    use atom_lqn::{LqnModel, TaskId};
+    use crate::binding::ServiceBinding;
+
+    fn binding() -> ModelBinding {
+        let mut m = LqnModel::new();
+        let p = m.add_processor("p", 8, 1.0);
+        let web = m.add_task("web", p, 64, 1).unwrap();
+        m.set_cpu_share(web, Some(0.5)).unwrap();
+        let page = m.add_entry("page", web, 0.01).unwrap();
+        let c = m.add_reference_task("users", 100, 2.0).unwrap();
+        m.add_call(m.reference_entry(c).unwrap(), page, 1.0).unwrap();
+        ModelBinding {
+            model: m,
+            client: c,
+            services: vec![ServiceBinding {
+                name: "web".into(),
+                service: ServiceId(0),
+                task: web,
+                scalable: true,
+                max_replicas: 8,
+                share_bounds: (0.1, 1.0),
+            }],
+            feature_entries: vec![page],
+        }
+    }
+
+    fn report(users: usize) -> WindowReport {
+        WindowReport {
+            start: 0.0,
+            end: 300.0,
+            feature_counts: vec![100],
+            feature_tps: vec![100.0 / 300.0],
+            feature_response: vec![0.1],
+            endpoint_tps: vec![vec![100.0 / 300.0]],
+            service_utilization: vec![0.5],
+            service_busy_cores: vec![0.25],
+            service_alloc_cores: vec![0.5],
+            service_replicas: vec![1],
+            service_shares: vec![0.5],
+            server_utilization: vec![0.1],
+            total_tps: 100.0 / 300.0,
+            avg_users: users as f64,
+            users_at_end: users,
+            peak_arrival_rate: 0.0,
+        peak_in_system: 0.0,
+        avg_in_system: 0.0,
+        }
+    }
+
+    #[test]
+    fn more_capacity_predicts_more_throughput_under_pressure() {
+        let b = binding();
+        let r = report(2000); // offered 1000/s >> capacity
+        let mut small = ScalingConfig::new();
+        small.set(TaskId(0), 1, 0.5);
+        let mut large = ScalingConfig::new();
+        large.set(TaskId(0), 8, 1.0);
+        let p_small = what_if(&b, &r, &small).unwrap();
+        let p_large = what_if(&b, &r, &large).unwrap();
+        assert!(p_large.tps > 2.0 * p_small.tps);
+        assert!(p_large.response_time < p_small.response_time);
+        assert!(p_large.total_cpu > p_small.total_cpu);
+        // The small config is saturated and diagnosed as such.
+        assert!(!p_small.bottlenecks.root_bottlenecks.is_empty());
+        assert!(p_small.service_utilization[0] > 0.9);
+    }
+
+    #[test]
+    fn light_load_prediction_matches_offered_rate() {
+        let b = binding();
+        let r = report(20); // offered 10/s, capacity 50/s
+        let mut cfg = ScalingConfig::new();
+        cfg.set(TaskId(0), 1, 0.5);
+        let p = what_if(&b, &r, &cfg).unwrap();
+        assert!((p.tps - 10.0).abs() < 1.0, "tps {}", p.tps);
+        assert!(p.bottlenecks.root_bottlenecks.is_empty());
+    }
+
+    #[test]
+    fn invalid_config_is_an_error() {
+        let b = binding();
+        let r = report(10);
+        let mut cfg = ScalingConfig::new();
+        cfg.set(TaskId(99), 1, 0.5);
+        assert!(what_if(&b, &r, &cfg).is_err());
+    }
+}

@@ -1,0 +1,566 @@
+#![warn(missing_docs)]
+
+//! A genetic algorithm for non-linear mixed-integer programs.
+//!
+//! ATOM's optimizer (§IV-C) searches scaling configurations `(r, s)` —
+//! integer replica counts and continuous CPU shares — whose fitness is an
+//! LQN solve, under response-time/capacity/utilisation constraints. The
+//! paper uses MATLAB's `ga`; this crate provides the same capability:
+//!
+//! * mixed genomes ([`Gene::Int`] / [`Gene::Float`] with bounds);
+//! * **feasibility-first** tournament selection (Deb's rules): a feasible
+//!   individual always beats an infeasible one, infeasible individuals
+//!   compare by constraint violation, feasible ones by objective;
+//! * blend crossover for floats, uniform crossover for integers;
+//! * Gaussian mutation for floats, step/reset mutation for integers;
+//! * elitism and a budget in evaluations, generations, or wall-clock time
+//!   (the paper bounds optimisation at 2 minutes of a 5-minute window;
+//!   experiments here use evaluation budgets for determinism).
+//!
+//! # Example
+//!
+//! ```
+//! use atom_ga::{optimize, Budget, GaOptions, Gene, GeneValue, Evaluation};
+//!
+//! // Maximise -(x-3)² - (y-0.5)² over x ∈ [0,10] ⊂ ℤ, y ∈ [0,1].
+//! let genome = vec![Gene::Int { lo: 0, hi: 10 }, Gene::Float { lo: 0.0, hi: 1.0 }];
+//! let result = optimize(&genome, GaOptions::default(), |g| {
+//!     let x = g[0].as_f64();
+//!     let y = g[1].as_f64();
+//!     Evaluation::feasible(-(x - 3.0).powi(2) - (y - 0.5).powi(2))
+//! });
+//! assert_eq!(result.best_values[0], GeneValue::Int(3));
+//! ```
+
+use std::time::Instant;
+
+use atom_sim::SimRng;
+
+/// A gene's type and bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gene {
+    /// Integer gene in `[lo, hi]` (inclusive).
+    Int {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+    /// Real gene in `[lo, hi]`.
+    Float {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+/// A concrete gene value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GeneValue {
+    /// An integer value.
+    Int(i64),
+    /// A real value.
+    Float(f64),
+}
+
+impl GeneValue {
+    /// The value as `f64` regardless of kind.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            GeneValue::Int(v) => v as f64,
+            GeneValue::Float(v) => v,
+        }
+    }
+
+    /// The value as `i64`; floats are rounded.
+    pub fn as_i64(&self) -> i64 {
+        match *self {
+            GeneValue::Int(v) => v,
+            GeneValue::Float(v) => v.round() as i64,
+        }
+    }
+}
+
+/// Result of evaluating one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Objective to **maximise**.
+    pub objective: f64,
+    /// Total constraint violation; `0` means feasible. Compared with the
+    /// solver tolerance of Algorithm 1.
+    pub violation: f64,
+}
+
+impl Evaluation {
+    /// A feasible evaluation.
+    pub fn feasible(objective: f64) -> Self {
+        Evaluation {
+            objective,
+            violation: 0.0,
+        }
+    }
+
+    /// An infeasible evaluation with the given violation magnitude.
+    pub fn infeasible(objective: f64, violation: f64) -> Self {
+        Evaluation {
+            objective,
+            violation: violation.max(0.0),
+        }
+    }
+
+    /// Deb's feasibility-first comparison: `true` if `self` beats
+    /// `other`, given the feasibility `tolerance`.
+    pub fn beats(&self, other: &Evaluation, tolerance: f64) -> bool {
+        let self_ok = self.violation <= tolerance;
+        let other_ok = other.violation <= tolerance;
+        match (self_ok, other_ok) {
+            (true, false) => true,
+            (false, true) => false,
+            (true, true) => self.objective > other.objective,
+            (false, false) => self.violation < other.violation,
+        }
+    }
+}
+
+/// Search budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Budget {
+    /// Stop after this many fitness evaluations.
+    Evaluations(usize),
+    /// Stop after this many generations.
+    Generations(usize),
+    /// Stop when this much wall-clock time has elapsed (the paper's
+    /// 2-minute bound). Non-deterministic across machines; prefer
+    /// evaluation budgets in tests.
+    TimeLimitSecs(f64),
+}
+
+/// GA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaOptions {
+    /// Population size.
+    pub population: usize,
+    /// Individuals copied unchanged to the next generation.
+    pub elite: usize,
+    /// Tournament size for selection.
+    pub tournament: usize,
+    /// Probability of crossover (else clone a parent).
+    pub crossover_rate: f64,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Feasibility tolerance (Algorithm 1's `tolerance` input).
+    pub tolerance: f64,
+    /// Search budget.
+    pub budget: Budget,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaOptions {
+    fn default() -> Self {
+        GaOptions {
+            population: 40,
+            elite: 2,
+            tournament: 3,
+            crossover_rate: 0.9,
+            mutation_rate: 0.15,
+            tolerance: 0.0,
+            budget: Budget::Evaluations(2_000),
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of [`optimize`].
+#[derive(Debug, Clone)]
+pub struct GaResult {
+    /// Best genome found.
+    pub best_values: Vec<GeneValue>,
+    /// Its evaluation.
+    pub best: Evaluation,
+    /// Fitness evaluations spent.
+    pub evaluations: usize,
+    /// Generations completed.
+    pub generations: usize,
+    /// Best feasible objective after each generation (`NaN` until a
+    /// feasible individual exists).
+    pub history: Vec<f64>,
+}
+
+fn random_value(gene: &Gene, rng: &mut SimRng) -> GeneValue {
+    match *gene {
+        Gene::Int { lo, hi } => {
+            let span = (hi - lo + 1) as f64;
+            GeneValue::Int(lo + (rng.uniform() * span).floor().min(span - 1.0) as i64)
+        }
+        Gene::Float { lo, hi } => GeneValue::Float(rng.uniform_in(lo, hi)),
+    }
+}
+
+fn clamp_value(gene: &Gene, v: GeneValue) -> GeneValue {
+    match (*gene, v) {
+        (Gene::Int { lo, hi }, GeneValue::Int(x)) => GeneValue::Int(x.clamp(lo, hi)),
+        (Gene::Int { lo, hi }, GeneValue::Float(x)) => {
+            GeneValue::Int((x.round() as i64).clamp(lo, hi))
+        }
+        (Gene::Float { lo, hi }, v) => GeneValue::Float(v.as_f64().clamp(lo, hi)),
+    }
+}
+
+fn crossover(genome: &[Gene], a: &[GeneValue], b: &[GeneValue], rng: &mut SimRng) -> Vec<GeneValue> {
+    genome
+        .iter()
+        .zip(a.iter().zip(b))
+        .map(|(g, (&va, &vb))| match g {
+            Gene::Int { .. } => {
+                // Uniform crossover for integers.
+                if rng.bernoulli(0.5) {
+                    va
+                } else {
+                    vb
+                }
+            }
+            Gene::Float { .. } => {
+                // BLX-ish blend: sample in the (slightly extended) segment.
+                let (x, y) = (va.as_f64(), vb.as_f64());
+                let (lo, hi) = (x.min(y), x.max(y));
+                let ext = 0.1 * (hi - lo);
+                clamp_value(g, GeneValue::Float(rng.uniform_in(lo - ext, hi + ext)))
+            }
+        })
+        .collect()
+}
+
+fn mutate(genome: &[Gene], values: &mut [GeneValue], rate: f64, rng: &mut SimRng) {
+    for (g, v) in genome.iter().zip(values.iter_mut()) {
+        if !rng.bernoulli(rate) {
+            continue;
+        }
+        *v = match *g {
+            Gene::Int { lo, hi } => {
+                if rng.bernoulli(0.5) {
+                    // ±1 step: local move, crucial for replica counts.
+                    let step = if rng.bernoulli(0.5) { 1 } else { -1 };
+                    clamp_value(g, GeneValue::Int(v.as_i64() + step))
+                } else {
+                    random_value(&Gene::Int { lo, hi }, rng)
+                }
+            }
+            Gene::Float { lo, hi } => {
+                let sigma = 0.1 * (hi - lo);
+                let x = v.as_f64() + sigma * rng.standard_normal();
+                clamp_value(g, GeneValue::Float(x))
+            }
+        };
+    }
+}
+
+/// Runs the GA, maximising `fitness` over `genome` within the budget.
+///
+/// `fitness` is called once per candidate; return
+/// [`Evaluation::infeasible`] for constraint-violating candidates and the
+/// feasibility-first selection will steer away from them without
+/// discarding their information.
+///
+/// # Panics
+///
+/// Panics if the genome is empty, the population is smaller than 2, the
+/// elite count is not smaller than the population, or any gene has
+/// inverted bounds.
+pub fn optimize<F>(genome: &[Gene], options: GaOptions, mut fitness: F) -> GaResult
+where
+    F: FnMut(&[GeneValue]) -> Evaluation,
+{
+    assert!(!genome.is_empty(), "genome must not be empty");
+    assert!(options.population >= 2, "population must be >= 2");
+    assert!(
+        options.elite < options.population,
+        "elite must be < population"
+    );
+    for g in genome {
+        match *g {
+            Gene::Int { lo, hi } => assert!(lo <= hi, "gene bounds inverted"),
+            Gene::Float { lo, hi } => assert!(lo <= hi, "gene bounds inverted"),
+        }
+    }
+    let mut rng = SimRng::seed_from(options.seed);
+    let start = Instant::now();
+    let mut evaluations = 0usize;
+
+    let budget_left = |evals: usize, gens: usize| -> bool {
+        match options.budget {
+            Budget::Evaluations(max) => evals < max,
+            Budget::Generations(max) => gens < max,
+            Budget::TimeLimitSecs(secs) => start.elapsed().as_secs_f64() < secs,
+        }
+    };
+
+    // Initial population.
+    let mut pop: Vec<(Vec<GeneValue>, Evaluation)> = (0..options.population)
+        .map(|_| {
+            let values: Vec<GeneValue> = genome.iter().map(|g| random_value(g, &mut rng)).collect();
+            let eval = fitness(&values);
+            evaluations += 1;
+            (values, eval)
+        })
+        .collect();
+
+    let better = |a: &Evaluation, b: &Evaluation| a.beats(b, options.tolerance);
+    let mut best_idx = 0;
+    for i in 1..pop.len() {
+        if better(&pop[i].1, &pop[best_idx].1) {
+            best_idx = i;
+        }
+    }
+    let mut best = pop[best_idx].clone();
+    let mut history = Vec::new();
+    let mut generations = 0usize;
+
+    while budget_left(evaluations, generations) {
+        // Sort so elites are at the front (selection sort by `beats` is
+        // O(n²) but n is tiny).
+        pop.sort_by(|a, b| {
+            if better(&a.1, &b.1) {
+                std::cmp::Ordering::Less
+            } else if better(&b.1, &a.1) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        let mut next: Vec<(Vec<GeneValue>, Evaluation)> =
+            pop.iter().take(options.elite).cloned().collect();
+        while next.len() < options.population && budget_left(evaluations, generations) {
+            let pick = |rng: &mut SimRng| -> usize {
+                let mut winner = (rng.uniform() * pop.len() as f64) as usize % pop.len();
+                for _ in 1..options.tournament {
+                    let challenger = (rng.uniform() * pop.len() as f64) as usize % pop.len();
+                    if better(&pop[challenger].1, &pop[winner].1) {
+                        winner = challenger;
+                    }
+                }
+                winner
+            };
+            let pa = pick(&mut rng);
+            let pb = pick(&mut rng);
+            let mut child = if rng.bernoulli(options.crossover_rate) {
+                crossover(genome, &pop[pa].0, &pop[pb].0, &mut rng)
+            } else {
+                pop[pa].0.clone()
+            };
+            mutate(genome, &mut child, options.mutation_rate, &mut rng);
+            let eval = fitness(&child);
+            evaluations += 1;
+            if better(&eval, &best.1) {
+                best = (child.clone(), eval);
+            }
+            next.push((child, eval));
+        }
+        // If the budget ran out mid-generation, pad with elites.
+        while next.len() < options.population {
+            let i = next.len() % pop.len();
+            next.push(pop[i].clone());
+        }
+        pop = next;
+        generations += 1;
+        let best_feasible = pop
+            .iter()
+            .filter(|(_, e)| e.violation <= options.tolerance)
+            .map(|(_, e)| e.objective)
+            .fold(f64::NAN, f64::max);
+        history.push(best_feasible);
+    }
+
+    GaResult {
+        best_values: best.0,
+        best: best.1,
+        evaluations,
+        generations,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere_genome(n: usize) -> Vec<Gene> {
+        (0..n).map(|_| Gene::Float { lo: -5.0, hi: 5.0 }).collect()
+    }
+
+    #[test]
+    fn optimizes_sphere() {
+        let genome = sphere_genome(4);
+        let result = optimize(&genome, GaOptions::default(), |g| {
+            Evaluation::feasible(-g.iter().map(|v| v.as_f64().powi(2)).sum::<f64>())
+        });
+        assert!(result.best.objective > -0.5, "best {:?}", result.best);
+    }
+
+    #[test]
+    fn mixed_integer_optimum() {
+        let genome = vec![
+            Gene::Int { lo: 1, hi: 8 },
+            Gene::Float { lo: 0.1, hi: 1.0 },
+        ];
+        // Max objective at r=4, s≈0.6.
+        let result = optimize(
+            &genome,
+            GaOptions {
+                budget: Budget::Evaluations(3_000),
+                ..Default::default()
+            },
+            |g| {
+                let r = g[0].as_f64();
+                let s = g[1].as_f64();
+                Evaluation::feasible(-(r - 4.0).powi(2) - 10.0 * (s - 0.6).powi(2))
+            },
+        );
+        assert_eq!(result.best_values[0].as_i64(), 4);
+        assert!((result.best_values[1].as_f64() - 0.6).abs() < 0.05);
+    }
+
+    #[test]
+    fn constraints_drive_to_feasible_region() {
+        // Maximise x but x <= 2 is the feasible region.
+        let genome = vec![Gene::Float { lo: 0.0, hi: 10.0 }];
+        let result = optimize(
+            &genome,
+            GaOptions {
+                budget: Budget::Evaluations(2_000),
+                ..Default::default()
+            },
+            |g| {
+                let x = g[0].as_f64();
+                if x <= 2.0 {
+                    Evaluation::feasible(x)
+                } else {
+                    Evaluation::infeasible(x, x - 2.0)
+                }
+            },
+        );
+        assert!(result.best.violation == 0.0);
+        assert!(result.best.objective > 1.9, "best {:?}", result.best);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let genome = vec![
+            Gene::Int { lo: 2, hi: 5 },
+            Gene::Float { lo: 0.25, hi: 0.75 },
+        ];
+        let mut violations = 0;
+        let _ = optimize(
+            &genome,
+            GaOptions {
+                budget: Budget::Evaluations(1_000),
+                ..Default::default()
+            },
+            |g| {
+                let r = g[0].as_i64();
+                let s = g[1].as_f64();
+                if !(2..=5).contains(&r) || !(0.25..=0.75).contains(&s) {
+                    violations += 1;
+                }
+                Evaluation::feasible(0.0)
+            },
+        );
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let genome = sphere_genome(3);
+        let run = |seed| {
+            optimize(
+                &genome,
+                GaOptions {
+                    seed,
+                    budget: Budget::Evaluations(500),
+                    ..Default::default()
+                },
+                |g| Evaluation::feasible(-g.iter().map(|v| v.as_f64().powi(2)).sum::<f64>()),
+            )
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.best_values, b.best_values);
+        assert_eq!(a.best, b.best);
+        let c = run(43);
+        assert!(a.best_values != c.best_values || a.best != c.best);
+    }
+
+    #[test]
+    fn evaluation_budget_is_respected() {
+        let genome = sphere_genome(2);
+        let result = optimize(
+            &genome,
+            GaOptions {
+                budget: Budget::Evaluations(123),
+                ..Default::default()
+            },
+            |_| Evaluation::feasible(0.0),
+        );
+        assert!(result.evaluations <= 123 + 1, "{}", result.evaluations);
+    }
+
+    #[test]
+    fn generation_budget_is_respected() {
+        let genome = sphere_genome(2);
+        let result = optimize(
+            &genome,
+            GaOptions {
+                budget: Budget::Generations(5),
+                ..Default::default()
+            },
+            |_| Evaluation::feasible(0.0),
+        );
+        assert_eq!(result.generations, 5);
+        assert_eq!(result.history.len(), 5);
+    }
+
+    #[test]
+    fn beats_implements_deb_rules() {
+        let feas_hi = Evaluation::feasible(10.0);
+        let feas_lo = Evaluation::feasible(1.0);
+        let infeas_small = Evaluation::infeasible(100.0, 0.5);
+        let infeas_big = Evaluation::infeasible(100.0, 2.0);
+        assert!(feas_hi.beats(&feas_lo, 0.0));
+        assert!(feas_lo.beats(&infeas_small, 0.0));
+        assert!(infeas_small.beats(&infeas_big, 0.0));
+        assert!(!infeas_big.beats(&feas_lo, 0.0));
+        // Tolerance turns a small violation into feasibility.
+        assert!(infeas_small.beats(&feas_lo, 1.0));
+    }
+
+    #[test]
+    fn history_improves_monotonically_for_elitist_ga() {
+        let genome = sphere_genome(3);
+        let result = optimize(
+            &genome,
+            GaOptions {
+                budget: Budget::Generations(30),
+                ..Default::default()
+            },
+            |g| Evaluation::feasible(-g.iter().map(|v| v.as_f64().powi(2)).sum::<f64>()),
+        );
+        for w in result.history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "elitism must not regress: {w:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be >= 2")]
+    fn rejects_tiny_population() {
+        optimize(
+            &sphere_genome(1),
+            GaOptions {
+                population: 1,
+                elite: 0,
+                ..Default::default()
+            },
+            |_| Evaluation::feasible(0.0),
+        );
+    }
+}

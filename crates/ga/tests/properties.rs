@@ -1,0 +1,101 @@
+//! Property-based tests for the genetic algorithm.
+
+use atom_ga::{optimize, Budget, Evaluation, GaOptions, Gene, GeneValue};
+use proptest::prelude::*;
+
+fn genome_strategy() -> impl Strategy<Value = Vec<Gene>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0i64..20, 1i64..20).prop_map(|(lo, span)| Gene::Int { lo, hi: lo + span }),
+            (-5.0f64..5.0, 0.1f64..10.0).prop_map(|(lo, span)| Gene::Float { lo, hi: lo + span }),
+        ],
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every candidate the GA ever evaluates respects the gene bounds.
+    #[test]
+    fn all_candidates_within_bounds(genome in genome_strategy(), seed in 0u64..500) {
+        let bounds = genome.clone();
+        let mut violations = 0usize;
+        let result = optimize(
+            &genome,
+            GaOptions {
+                budget: Budget::Evaluations(300),
+                seed,
+                ..Default::default()
+            },
+            |values| {
+                for (g, v) in bounds.iter().zip(values) {
+                    let ok = match (*g, *v) {
+                        (Gene::Int { lo, hi }, GeneValue::Int(x)) => (lo..=hi).contains(&x),
+                        (Gene::Float { lo, hi }, GeneValue::Float(x)) => {
+                            (lo..=hi).contains(&x)
+                        }
+                        _ => false, // wrong kind is also a violation
+                    };
+                    if !ok {
+                        violations += 1;
+                    }
+                }
+                Evaluation::feasible(0.0)
+            },
+        );
+        prop_assert_eq!(violations, 0);
+        prop_assert!(result.evaluations <= 301);
+    }
+
+    /// On a smooth unconstrained problem the GA improves monotonically
+    /// (elitism) and ends close to the optimum of a 1-D quadratic.
+    #[test]
+    fn converges_on_quadratic(target in -4.0f64..4.0, seed in 0u64..200) {
+        let genome = vec![Gene::Float { lo: -5.0, hi: 5.0 }];
+        let result = optimize(
+            &genome,
+            GaOptions {
+                budget: Budget::Evaluations(1500),
+                seed,
+                ..Default::default()
+            },
+            |g| Evaluation::feasible(-(g[0].as_f64() - target).powi(2)),
+        );
+        prop_assert!((result.best_values[0].as_f64() - target).abs() < 0.25,
+            "best {:?} target {target}", result.best_values);
+        for w in result.history.windows(2) {
+            if !w[0].is_nan() {
+                prop_assert!(w[1] >= w[0] - 1e-12, "history regressed: {w:?}");
+            }
+        }
+    }
+
+    /// Feasibility-first selection: when any feasible point exists in the
+    /// search space and the GA finds one, it is never displaced by an
+    /// infeasible point with a flashier objective.
+    #[test]
+    fn feasible_best_never_displaced(seed in 0u64..200) {
+        let genome = vec![Gene::Float { lo: 0.0, hi: 1.0 }];
+        let result = optimize(
+            &genome,
+            GaOptions {
+                budget: Budget::Evaluations(600),
+                seed,
+                ..Default::default()
+            },
+            |g| {
+                let x = g[0].as_f64();
+                if x < 0.5 {
+                    Evaluation::feasible(x)
+                } else {
+                    // Tempting objective, but infeasible.
+                    Evaluation::infeasible(100.0 + x, 1.0)
+                }
+            },
+        );
+        prop_assert_eq!(result.best.violation, 0.0);
+        prop_assert!(result.best.objective <= 0.5);
+        prop_assert!(result.best.objective > 0.3, "should approach 0.5: {:?}", result.best);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for LQN construction and solving.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building, transforming, or solving an LQN.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LqnError {
+    /// Referenced an id that does not exist in the model.
+    UnknownId {
+        /// What kind of id (processor, task, entry).
+        kind: &'static str,
+        /// The numeric id.
+        id: usize,
+    },
+    /// A parameter was out of range (negative demand, zero replicas, …).
+    InvalidParameter {
+        /// Human-readable description.
+        what: String,
+    },
+    /// The model is structurally invalid for the requested operation
+    /// (cyclic call graph, missing reference task, call from/to a
+    /// reference entry, …).
+    InvalidModel {
+        /// Why the model is rejected.
+        reason: String,
+    },
+    /// The analytic solver did not converge.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at the last iteration.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for LqnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LqnError::UnknownId { kind, id } => write!(f, "unknown {kind} id {id}"),
+            LqnError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            LqnError::InvalidModel { reason } => write!(f, "invalid model: {reason}"),
+            LqnError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "layered solver did not converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl Error for LqnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = LqnError::UnknownId {
+            kind: "task",
+            id: 3,
+        };
+        assert!(e.to_string().contains("task"));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<LqnError>();
+    }
+}

@@ -1,0 +1,785 @@
+//! The LQN model: processors, tasks, entries, and synchronous calls.
+//!
+//! The vocabulary follows the LQN literature and the paper's Fig. 3:
+//! *tasks* abstract microservices, *entries* their exposed features, the
+//! *reference task* the closed user population, and *processors* the host
+//! CPUs. Each server task additionally carries the two knobs ATOM actuates:
+//! the number of *replicas* (horizontal scaling) and the per-replica *CPU
+//! share* (vertical scaling).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::LqnError;
+
+/// Identifier of a processor in an [`LqnModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProcessorId(pub usize);
+
+/// Identifier of a task in an [`LqnModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+/// Identifier of an entry in an [`LqnModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntryId(pub usize);
+
+/// A host CPU (or pool of identical cores).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    /// Display name.
+    pub name: String,
+    /// Number of cores.
+    pub cores: usize,
+    /// Core speed relative to the reference (demands are expressed at
+    /// speed 1.0); captures the frequency differences of Table V.
+    pub speed: f64,
+}
+
+/// Whether a task serves requests or generates them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// A server task (a microservice).
+    Server,
+    /// The reference task: a closed population of users with a think time
+    /// (seconds) between requests.
+    Reference {
+        /// Mean think time (seconds).
+        think_time: f64,
+    },
+}
+
+/// A task: a microservice (or the user population).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Display name.
+    pub name: String,
+    /// Hosting processor.
+    pub processor: ProcessorId,
+    /// Server tasks: threads per replica. Reference tasks: the user
+    /// population `N`.
+    pub multiplicity: usize,
+    /// Number of replicas (horizontal scaling knob); always 1 for
+    /// reference tasks.
+    pub replicas: usize,
+    /// Per-replica CPU share in cores (vertical scaling knob); `None`
+    /// means uncapped (limited only by threads and the host).
+    pub cpu_share: Option<f64>,
+    /// Maximum cores one replica's *code* can exploit, independent of how
+    /// many requests it can hold concurrently (`multiplicity`). An
+    /// event-loop service like the Sock Shop front-end admits many
+    /// concurrent requests but executes CPU work on a single core
+    /// (`parallelism = Some(1)`), which is why vertical scaling past one
+    /// core is useless for it (paper §II-B). `None` means CPU parallelism
+    /// equals the thread multiplicity.
+    pub parallelism: Option<usize>,
+    /// Role of the task.
+    pub kind: TaskKind,
+    /// Entries exposed by the task.
+    pub entries: Vec<EntryId>,
+}
+
+impl Task {
+    /// Whether this is the reference (client) task.
+    pub fn is_reference(&self) -> bool {
+        matches!(self.kind, TaskKind::Reference { .. })
+    }
+
+    /// Cores one replica can actually use: `min(share, parallelism,
+    /// threads)`, where a missing share means "unlimited".
+    pub fn usable_cores_per_replica(&self) -> f64 {
+        let par = self
+            .parallelism
+            .unwrap_or(self.multiplicity)
+            .min(self.multiplicity) as f64;
+        match self.cpu_share {
+            Some(s) => s.min(par),
+            None => par,
+        }
+    }
+
+    /// Cores a *single request* can use: at most one, further limited by
+    /// the share. This is the rate cap that makes vertical scaling
+    /// ineffective past one core for single-threaded services.
+    pub fn request_cores(&self) -> f64 {
+        match self.cpu_share {
+            Some(s) => s.min(1.0),
+            None => 1.0,
+        }
+    }
+}
+
+/// A synchronous call between entries with a mean number of invocations
+/// per execution of the source entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Call {
+    /// Called entry.
+    pub target: EntryId,
+    /// Mean calls per invocation of the source entry.
+    pub mean: f64,
+}
+
+/// An entry: a service class / feature of a task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Entry {
+    /// Display name.
+    pub name: String,
+    /// Owning task.
+    pub task: TaskId,
+    /// Host CPU demand per invocation (CPU-seconds at reference speed).
+    pub demand: f64,
+    /// Pure delay per invocation that consumes no CPU (I/O waits,
+    /// network round-trips); seconds.
+    pub latency: f64,
+    /// Synchronous calls made per invocation.
+    pub calls: Vec<Call>,
+}
+
+/// A layered queueing network. See the [module docs](self).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LqnModel {
+    processors: Vec<Processor>,
+    tasks: Vec<Task>,
+    entries: Vec<Entry>,
+}
+
+impl LqnModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        LqnModel::default()
+    }
+
+    /// Adds a processor with `cores` cores at relative `speed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or `speed <= 0`.
+    pub fn add_processor(
+        &mut self,
+        name: impl Into<String>,
+        cores: usize,
+        speed: f64,
+    ) -> ProcessorId {
+        assert!(cores > 0, "processor needs at least one core");
+        assert!(speed.is_finite() && speed > 0.0, "speed must be positive");
+        self.processors.push(Processor {
+            name: name.into(),
+            cores,
+            speed,
+        });
+        ProcessorId(self.processors.len() - 1)
+    }
+
+    /// Adds a server task with `multiplicity` threads per replica and
+    /// `replicas` replicas, initially uncapped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LqnError::UnknownId`] for a bad processor id and
+    /// [`LqnError::InvalidParameter`] for zero multiplicity or replicas.
+    pub fn add_task(
+        &mut self,
+        name: impl Into<String>,
+        processor: ProcessorId,
+        multiplicity: usize,
+        replicas: usize,
+    ) -> Result<TaskId, LqnError> {
+        self.check_processor(processor)?;
+        if multiplicity == 0 || replicas == 0 {
+            return Err(LqnError::InvalidParameter {
+                what: "task multiplicity and replicas must be >= 1".into(),
+            });
+        }
+        self.tasks.push(Task {
+            name: name.into(),
+            processor,
+            multiplicity,
+            replicas,
+            cpu_share: None,
+            parallelism: None,
+            kind: TaskKind::Server,
+            entries: Vec::new(),
+        });
+        Ok(TaskId(self.tasks.len() - 1))
+    }
+
+    /// Adds the reference (client) task with `population` users and mean
+    /// `think_time`, hosted on an implicit infinite-speed processor, and
+    /// creates its single zero-demand entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LqnError::InvalidParameter`] for a negative think time.
+    pub fn add_reference_task(
+        &mut self,
+        name: impl Into<String>,
+        population: usize,
+        think_time: f64,
+    ) -> Result<TaskId, LqnError> {
+        if !(think_time.is_finite() && think_time >= 0.0) {
+            return Err(LqnError::InvalidParameter {
+                what: format!("think time must be >= 0, got {think_time}"),
+            });
+        }
+        let name = name.into();
+        let proc = self.add_processor(format!("{name}-proc"), usize::MAX >> 8, 1.0);
+        self.tasks.push(Task {
+            name: name.clone(),
+            processor: proc,
+            multiplicity: population,
+            replicas: 1,
+            cpu_share: None,
+            parallelism: None,
+            kind: TaskKind::Reference { think_time },
+            entries: Vec::new(),
+        });
+        let tid = TaskId(self.tasks.len() - 1);
+        self.entries.push(Entry {
+            name: format!("{name}-begin"),
+            task: tid,
+            demand: 0.0,
+            latency: 0.0,
+            calls: Vec::new(),
+        });
+        let eid = EntryId(self.entries.len() - 1);
+        self.tasks[tid.0].entries.push(eid);
+        Ok(tid)
+    }
+
+    /// Adds an entry with the given host `demand` to a server task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LqnError::InvalidModel`] when adding to a reference task
+    /// and [`LqnError::InvalidParameter`] for a negative demand.
+    pub fn add_entry(
+        &mut self,
+        name: impl Into<String>,
+        task: TaskId,
+        demand: f64,
+    ) -> Result<EntryId, LqnError> {
+        self.check_task(task)?;
+        if self.tasks[task.0].is_reference() {
+            return Err(LqnError::InvalidModel {
+                reason: "entries cannot be added to a reference task".into(),
+            });
+        }
+        if !(demand.is_finite() && demand >= 0.0) {
+            return Err(LqnError::InvalidParameter {
+                what: format!("entry demand must be >= 0, got {demand}"),
+            });
+        }
+        self.entries.push(Entry {
+            name: name.into(),
+            task,
+            demand,
+            latency: 0.0,
+            calls: Vec::new(),
+        });
+        let eid = EntryId(self.entries.len() - 1);
+        self.tasks[task.0].entries.push(eid);
+        Ok(eid)
+    }
+
+    /// Adds (or accumulates onto) a synchronous call `from → to` with the
+    /// given mean invocations per execution.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown ids, calls *into* a reference entry, self-calls,
+    /// and negative means.
+    pub fn add_call(&mut self, from: EntryId, to: EntryId, mean: f64) -> Result<(), LqnError> {
+        self.check_entry(from)?;
+        self.check_entry(to)?;
+        if from == to {
+            return Err(LqnError::InvalidModel {
+                reason: format!("entry `{}` cannot call itself", self.entries[from.0].name),
+            });
+        }
+        if self.tasks[self.entries[to.0].task.0].is_reference() {
+            return Err(LqnError::InvalidModel {
+                reason: "reference entries cannot be called".into(),
+            });
+        }
+        if !(mean.is_finite() && mean >= 0.0) {
+            return Err(LqnError::InvalidParameter {
+                what: format!("call mean must be >= 0, got {mean}"),
+            });
+        }
+        let calls = &mut self.entries[from.0].calls;
+        if let Some(c) = calls.iter_mut().find(|c| c.target == to) {
+            c.mean += mean;
+        } else {
+            calls.push(Call { target: to, mean });
+        }
+        Ok(())
+    }
+
+    /// Replaces the mean of an existing call, or creates it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LqnModel::add_call`].
+    pub fn set_call_mean(&mut self, from: EntryId, to: EntryId, mean: f64) -> Result<(), LqnError> {
+        self.check_entry(from)?;
+        self.entries[from.0].calls.retain(|c| c.target != to);
+        if mean > 0.0 {
+            self.add_call(from, to, mean)?;
+        }
+        Ok(())
+    }
+
+    /// Sets the replica count of a server task (horizontal scaling).
+    ///
+    /// # Errors
+    ///
+    /// Rejects reference tasks and `replicas == 0`.
+    pub fn set_replicas(&mut self, task: TaskId, replicas: usize) -> Result<(), LqnError> {
+        self.check_task(task)?;
+        if self.tasks[task.0].is_reference() {
+            return Err(LqnError::InvalidModel {
+                reason: "reference tasks cannot be replicated".into(),
+            });
+        }
+        if replicas == 0 {
+            return Err(LqnError::InvalidParameter {
+                what: "replicas must be >= 1".into(),
+            });
+        }
+        self.tasks[task.0].replicas = replicas;
+        Ok(())
+    }
+
+    /// Sets the per-replica CPU share of a server task (vertical scaling);
+    /// `None` removes the cap.
+    ///
+    /// # Errors
+    ///
+    /// Rejects reference tasks and non-positive shares.
+    pub fn set_cpu_share(&mut self, task: TaskId, share: Option<f64>) -> Result<(), LqnError> {
+        self.check_task(task)?;
+        if self.tasks[task.0].is_reference() {
+            return Err(LqnError::InvalidModel {
+                reason: "reference tasks have no CPU share".into(),
+            });
+        }
+        if let Some(s) = share {
+            if !(s.is_finite() && s > 0.0) {
+                return Err(LqnError::InvalidParameter {
+                    what: format!("cpu share must be > 0, got {s}"),
+                });
+            }
+        }
+        self.tasks[task.0].cpu_share = share;
+        Ok(())
+    }
+
+    /// Sets an entry's pure (non-CPU) latency per invocation.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative latencies and unknown ids.
+    pub fn set_latency(&mut self, entry: EntryId, latency: f64) -> Result<(), LqnError> {
+        self.check_entry(entry)?;
+        if !(latency.is_finite() && latency >= 0.0) {
+            return Err(LqnError::InvalidParameter {
+                what: format!("entry latency must be >= 0, got {latency}"),
+            });
+        }
+        self.entries[entry.0].latency = latency;
+        Ok(())
+    }
+
+    /// Sets the per-replica CPU parallelism of a server task (see
+    /// [`Task::parallelism`]); `None` means parallelism equals the thread
+    /// multiplicity.
+    ///
+    /// # Errors
+    ///
+    /// Rejects reference tasks and zero parallelism.
+    pub fn set_parallelism(
+        &mut self,
+        task: TaskId,
+        parallelism: Option<usize>,
+    ) -> Result<(), LqnError> {
+        self.check_task(task)?;
+        if self.tasks[task.0].is_reference() {
+            return Err(LqnError::InvalidModel {
+                reason: "reference tasks have no CPU parallelism".into(),
+            });
+        }
+        if parallelism == Some(0) {
+            return Err(LqnError::InvalidParameter {
+                what: "parallelism must be >= 1".into(),
+            });
+        }
+        self.tasks[task.0].parallelism = parallelism;
+        Ok(())
+    }
+
+    /// Sets an entry's host demand.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative demands and unknown ids.
+    pub fn set_demand(&mut self, entry: EntryId, demand: f64) -> Result<(), LqnError> {
+        self.check_entry(entry)?;
+        if !(demand.is_finite() && demand >= 0.0) {
+            return Err(LqnError::InvalidParameter {
+                what: format!("entry demand must be >= 0, got {demand}"),
+            });
+        }
+        self.entries[entry.0].demand = demand;
+        Ok(())
+    }
+
+    /// Sets the population of a reference task (the monitored `N`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects server tasks.
+    pub fn set_population(&mut self, task: TaskId, population: usize) -> Result<(), LqnError> {
+        self.check_task(task)?;
+        if !self.tasks[task.0].is_reference() {
+            return Err(LqnError::InvalidModel {
+                reason: "population can only be set on the reference task".into(),
+            });
+        }
+        self.tasks[task.0].multiplicity = population;
+        Ok(())
+    }
+
+    /// Sets the think time of a reference task.
+    ///
+    /// # Errors
+    ///
+    /// Rejects server tasks and negative values.
+    pub fn set_think_time(&mut self, task: TaskId, think_time: f64) -> Result<(), LqnError> {
+        self.check_task(task)?;
+        if !(think_time.is_finite() && think_time >= 0.0) {
+            return Err(LqnError::InvalidParameter {
+                what: format!("think time must be >= 0, got {think_time}"),
+            });
+        }
+        match &mut self.tasks[task.0].kind {
+            TaskKind::Reference { think_time: t } => {
+                *t = think_time;
+                Ok(())
+            }
+            TaskKind::Server => Err(LqnError::InvalidModel {
+                reason: "think time can only be set on the reference task".into(),
+            }),
+        }
+    }
+
+    /// The single entry of a reference task.
+    ///
+    /// # Errors
+    ///
+    /// Rejects server tasks.
+    pub fn reference_entry(&self, task: TaskId) -> Result<EntryId, LqnError> {
+        self.check_task(task)?;
+        if !self.tasks[task.0].is_reference() {
+            return Err(LqnError::InvalidModel {
+                reason: format!("task `{}` is not a reference task", self.tasks[task.0].name),
+            });
+        }
+        Ok(self.tasks[task.0].entries[0])
+    }
+
+    /// All processors.
+    pub fn processors(&self) -> &[Processor] {
+        &self.processors
+    }
+
+    /// All tasks.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Processor by id.
+    pub fn processor(&self, id: ProcessorId) -> &Processor {
+        &self.processors[id.0]
+    }
+
+    /// Task by id.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// Entry by id.
+    pub fn entry(&self, id: EntryId) -> &Entry {
+        &self.entries[id.0]
+    }
+
+    /// Looks a task up by name.
+    pub fn task_by_name(&self, name: &str) -> Option<TaskId> {
+        self.tasks.iter().position(|t| t.name == name).map(TaskId)
+    }
+
+    /// Looks an entry up by name.
+    pub fn entry_by_name(&self, name: &str) -> Option<EntryId> {
+        self.entries
+            .iter()
+            .position(|e| e.name == name)
+            .map(EntryId)
+    }
+
+    /// The unique reference task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LqnError::InvalidModel`] if there is not exactly one.
+    pub fn the_reference_task(&self) -> Result<TaskId, LqnError> {
+        let mut found = None;
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.is_reference() {
+                if found.is_some() {
+                    return Err(LqnError::InvalidModel {
+                        reason: "model has more than one reference task".into(),
+                    });
+                }
+                found = Some(TaskId(i));
+            }
+        }
+        found.ok_or(LqnError::InvalidModel {
+            reason: "model has no reference task".into(),
+        })
+    }
+
+    /// Entries in topological order of the call graph (callers before
+    /// callees).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LqnError::InvalidModel`] if the call graph is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<EntryId>, LqnError> {
+        let n = self.entries.len();
+        let mut indegree = vec![0usize; n];
+        for e in &self.entries {
+            for c in &e.calls {
+                indegree[c.target.0] += 1;
+            }
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = stack.pop() {
+            order.push(EntryId(i));
+            for c in &self.entries[i].calls {
+                indegree[c.target.0] -= 1;
+                if indegree[c.target.0] == 0 {
+                    stack.push(c.target.0);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(LqnError::InvalidModel {
+                reason: "call graph contains a cycle".into(),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Per-entry visit ratios relative to one reference-task cycle: the
+    /// expected number of invocations of each entry per client cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LqnModel::topo_order`] and
+    /// [`LqnModel::the_reference_task`] failures.
+    pub fn visit_ratios(&self) -> Result<Vec<f64>, LqnError> {
+        let reference = self.the_reference_task()?;
+        let ref_entry = self.reference_entry(reference)?;
+        let order = self.topo_order()?;
+        let mut v = vec![0.0; self.entries.len()];
+        v[ref_entry.0] = 1.0;
+        for e in order {
+            let ve = v[e.0];
+            if ve == 0.0 {
+                continue;
+            }
+            for c in &self.entries[e.0].calls {
+                v[c.target.0] += ve * c.mean;
+            }
+        }
+        Ok(v)
+    }
+
+    fn check_processor(&self, id: ProcessorId) -> Result<(), LqnError> {
+        if id.0 >= self.processors.len() {
+            return Err(LqnError::UnknownId {
+                kind: "processor",
+                id: id.0,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_task(&self, id: TaskId) -> Result<(), LqnError> {
+        if id.0 >= self.tasks.len() {
+            return Err(LqnError::UnknownId {
+                kind: "task",
+                id: id.0,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_entry(&self, id: EntryId) -> Result<(), LqnError> {
+        if id.0 >= self.entries.len() {
+            return Err(LqnError::UnknownId {
+                kind: "entry",
+                id: id.0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (LqnModel, TaskId, EntryId, EntryId) {
+        let mut m = LqnModel::new();
+        let p = m.add_processor("p", 1, 1.0);
+        let web = m.add_task("web", p, 2, 1).unwrap();
+        let db = m.add_task("db", p, 1, 1).unwrap();
+        let page = m.add_entry("page", web, 0.01).unwrap();
+        let query = m.add_entry("query", db, 0.005).unwrap();
+        m.add_call(page, query, 2.0).unwrap();
+        let client = m.add_reference_task("users", 10, 1.0).unwrap();
+        let ce = m.reference_entry(client).unwrap();
+        m.add_call(ce, page, 1.0).unwrap();
+        (m, client, page, query)
+    }
+
+    #[test]
+    fn builds_and_navigates() {
+        let (m, client, page, query) = tiny();
+        assert_eq!(m.tasks().len(), 3);
+        assert_eq!(m.entry(page).name, "page");
+        assert_eq!(m.task_by_name("db"), Some(m.entry(query).task));
+        assert_eq!(m.the_reference_task().unwrap(), client);
+    }
+
+    #[test]
+    fn visit_ratios_propagate_call_means() {
+        let (m, client, page, query) = tiny();
+        let v = m.visit_ratios().unwrap();
+        let ce = m.reference_entry(client).unwrap();
+        assert_eq!(v[ce.0], 1.0);
+        assert_eq!(v[page.0], 1.0);
+        assert_eq!(v[query.0], 2.0);
+    }
+
+    #[test]
+    fn rejects_call_to_reference() {
+        let (mut m, client, page, _) = tiny();
+        let ce = m.reference_entry(client).unwrap();
+        assert!(matches!(
+            m.add_call(page, ce, 1.0),
+            Err(LqnError::InvalidModel { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_self_call() {
+        let (mut m, _, page, _) = tiny();
+        assert!(m.add_call(page, page, 1.0).is_err());
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let (mut m, _, page, query) = tiny();
+        m.add_call(query, page, 0.5).unwrap();
+        assert!(matches!(
+            m.topo_order(),
+            Err(LqnError::InvalidModel { .. })
+        ));
+    }
+
+    #[test]
+    fn add_call_accumulates() {
+        let (mut m, _, page, query) = tiny();
+        m.add_call(page, query, 1.0).unwrap();
+        assert_eq!(m.entry(page).calls.len(), 1);
+        assert_eq!(m.entry(page).calls[0].mean, 3.0);
+    }
+
+    #[test]
+    fn set_call_mean_replaces_and_removes() {
+        let (mut m, _, page, query) = tiny();
+        m.set_call_mean(page, query, 5.0).unwrap();
+        assert_eq!(m.entry(page).calls[0].mean, 5.0);
+        m.set_call_mean(page, query, 0.0).unwrap();
+        assert!(m.entry(page).calls.is_empty());
+    }
+
+    #[test]
+    fn scaling_setters_validate() {
+        let (mut m, client, page, _) = tiny();
+        let web = m.entry(page).task;
+        m.set_replicas(web, 3).unwrap();
+        assert_eq!(m.task(web).replicas, 3);
+        m.set_cpu_share(web, Some(0.5)).unwrap();
+        assert_eq!(m.task(web).cpu_share, Some(0.5));
+        assert!(m.set_replicas(web, 0).is_err());
+        assert!(m.set_cpu_share(web, Some(0.0)).is_err());
+        assert!(m.set_replicas(client, 2).is_err());
+        m.set_population(client, 99).unwrap();
+        assert_eq!(m.task(client).multiplicity, 99);
+        assert!(m.set_population(web, 5).is_err());
+        m.set_think_time(client, 3.0).unwrap();
+        assert!(m.set_think_time(web, 3.0).is_err());
+    }
+
+    #[test]
+    fn usable_cores_semantics() {
+        let (mut m, _, page, _) = tiny();
+        let web = m.entry(page).task; // 2 threads
+        assert_eq!(m.task(web).usable_cores_per_replica(), 2.0);
+        assert_eq!(m.task(web).request_cores(), 1.0);
+        m.set_cpu_share(web, Some(0.4)).unwrap();
+        assert_eq!(m.task(web).usable_cores_per_replica(), 0.4);
+        assert_eq!(m.task(web).request_cores(), 0.4);
+        m.set_cpu_share(web, Some(3.0)).unwrap();
+        assert_eq!(m.task(web).usable_cores_per_replica(), 2.0); // thread-bound
+        assert_eq!(m.task(web).request_cores(), 1.0); // one core per request
+        // An event-loop service: many threads, one core of parallelism.
+        m.set_parallelism(web, Some(1)).unwrap();
+        assert_eq!(m.task(web).usable_cores_per_replica(), 1.0);
+        assert!(m.set_parallelism(web, Some(0)).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (m, ..) = tiny();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: LqnModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let (mut m, ..) = tiny();
+        assert!(m.add_task("x", ProcessorId(99), 1, 1).is_err());
+        assert!(m.add_entry("x", TaskId(99), 0.0).is_err());
+        assert!(m.set_demand(EntryId(99), 0.1).is_err());
+    }
+
+    #[test]
+    fn no_reference_task_detected() {
+        let mut m = LqnModel::new();
+        let p = m.add_processor("p", 1, 1.0);
+        m.add_task("t", p, 1, 1).unwrap();
+        assert!(matches!(
+            m.the_reference_task(),
+            Err(LqnError::InvalidModel { .. })
+        ));
+    }
+}

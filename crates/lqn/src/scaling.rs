@@ -1,0 +1,237 @@
+//! Scaling-configuration transforms (paper Algorithm 1).
+//!
+//! ATOM's optimizer explores `(r, s)` pairs — a replica count and a CPU
+//! share per microservice. Algorithm 1 applies each candidate to the LQN
+//! through `updateReplication`, `updateCalls`, and `updateHostDemand`.
+//! Because this crate models replication natively (multi-server task
+//! stations) and share caps as first-class rate limits, all three steps
+//! collapse into [`ScalingConfig::apply`]: it sets each task's `replicas`
+//! and `cpu_share` and the solver does the rest. The call-mean division
+//! by `r_C` and the fan-in/fan-out bookkeeping of LQNS replication are
+//! not needed in this representation (they exist in LQNS because it
+//! clones replicated tasks).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::LqnError;
+use crate::model::{LqnModel, TaskId};
+
+/// A per-task scaling decision: replicas and per-replica CPU share.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskScaling {
+    /// Number of replicas (`r_i ∈ 1..=Q_i`).
+    pub replicas: usize,
+    /// CPU share per replica in cores (`s_i ∈ [s_lb, s_ub]`).
+    pub cpu_share: f64,
+}
+
+/// A full scaling configuration: the decision vector `(r, s)` of §IV-B.
+///
+/// # Examples
+///
+/// ```
+/// use atom_lqn::{LqnModel, ScalingConfig};
+///
+/// # fn main() -> Result<(), atom_lqn::LqnError> {
+/// let mut m = LqnModel::new();
+/// let p = m.add_processor("cpu", 4, 1.0);
+/// let t = m.add_task("svc", p, 8, 1)?;
+/// let mut cfg = ScalingConfig::new();
+/// cfg.set(t, 3, 0.5);
+/// cfg.apply(&mut m)?;
+/// assert_eq!(m.task(t).replicas, 3);
+/// assert_eq!(m.task(t).cpu_share, Some(0.5));
+/// assert!((cfg.total_cpu_share() - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScalingConfig {
+    // Sorted by task id; a Vec of pairs keeps the JSON representation
+    // simple (serde_json cannot use struct keys in maps).
+    decisions: Vec<(TaskId, TaskScaling)>,
+}
+
+impl ScalingConfig {
+    /// Creates an empty configuration.
+    pub fn new() -> Self {
+        ScalingConfig::default()
+    }
+
+    /// Sets the decision for one task, replacing any previous one.
+    pub fn set(&mut self, task: TaskId, replicas: usize, cpu_share: f64) -> &mut Self {
+        let d = TaskScaling {
+            replicas,
+            cpu_share,
+        };
+        match self.decisions.binary_search_by_key(&task, |&(t, _)| t) {
+            Ok(i) => self.decisions[i].1 = d,
+            Err(i) => self.decisions.insert(i, (task, d)),
+        }
+        self
+    }
+
+    /// Decision for one task, if present.
+    pub fn get(&self, task: TaskId) -> Option<TaskScaling> {
+        self.decisions
+            .binary_search_by_key(&task, |&(t, _)| t)
+            .ok()
+            .map(|i| self.decisions[i].1)
+    }
+
+    /// Iterates over `(task, decision)` pairs in task order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, TaskScaling)> + '_ {
+        self.decisions.iter().copied()
+    }
+
+    /// Number of task decisions.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether the configuration is empty.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Total allocated CPU capacity `C = Σ_i r_i · s_i` (paper §IV-B).
+    pub fn total_cpu_share(&self) -> f64 {
+        self.decisions
+            .iter()
+            .map(|(_, d)| d.replicas as f64 * d.cpu_share)
+            .sum()
+    }
+
+    /// Applies the configuration to a model: Algorithm 1's
+    /// `updateReplication` + `updateCalls` + `updateHostDemand` in this
+    /// crate's native representation.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown tasks, reference tasks, zero replicas, and
+    /// non-positive shares; the model is left partially updated only if an
+    /// error occurs after earlier tasks were applied (validate configs
+    /// first via [`ScalingConfig::validate`] when that matters).
+    pub fn apply(&self, model: &mut LqnModel) -> Result<(), LqnError> {
+        for &(task, d) in &self.decisions {
+            model.set_replicas(task, d.replicas)?;
+            model.set_cpu_share(task, Some(d.cpu_share))?;
+        }
+        Ok(())
+    }
+
+    /// Validates the configuration against a model without mutating it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ScalingConfig::apply`].
+    pub fn validate(&self, model: &LqnModel) -> Result<(), LqnError> {
+        let mut probe = model.clone();
+        self.apply(&mut probe)
+    }
+
+    /// Total CPU share placed on each processor, given the model's
+    /// task-to-processor mapping: the `C_k` of constraint (4).
+    pub fn per_processor_share(&self, model: &LqnModel) -> BTreeMap<usize, f64> {
+        let mut out = BTreeMap::new();
+        for &(task, d) in &self.decisions {
+            if task.0 < model.tasks().len() {
+                let p = model.task(task).processor.0;
+                *out.entry(p).or_insert(0.0) += d.replicas as f64 * d.cpu_share;
+            }
+        }
+        out
+    }
+
+    /// Reads the current `(r, s)` of every *capped* server task in the
+    /// model into a configuration (uncapped tasks are skipped).
+    pub fn from_model(model: &LqnModel) -> Self {
+        let mut cfg = ScalingConfig::new();
+        for (i, t) in model.tasks().iter().enumerate() {
+            if !t.is_reference() {
+                if let Some(s) = t.cpu_share {
+                    cfg.set(TaskId(i), t.replicas, s);
+                }
+            }
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> (LqnModel, TaskId, TaskId) {
+        let mut m = LqnModel::new();
+        let p1 = m.add_processor("s1", 4, 1.0);
+        let p2 = m.add_processor("s2", 4, 0.8);
+        let a = m.add_task("a", p1, 8, 1).unwrap();
+        let b = m.add_task("b", p2, 8, 1).unwrap();
+        (m, a, b)
+    }
+
+    #[test]
+    fn apply_sets_replicas_and_shares() {
+        let (mut m, a, b) = model();
+        let mut cfg = ScalingConfig::new();
+        cfg.set(a, 2, 0.5).set(b, 1, 1.0);
+        cfg.apply(&mut m).unwrap();
+        assert_eq!(m.task(a).replicas, 2);
+        assert_eq!(m.task(a).cpu_share, Some(0.5));
+        assert_eq!(m.task(b).replicas, 1);
+    }
+
+    #[test]
+    fn total_and_per_processor_shares() {
+        let (m, a, b) = model();
+        let mut cfg = ScalingConfig::new();
+        cfg.set(a, 2, 0.5).set(b, 3, 1.0);
+        assert!((cfg.total_cpu_share() - 4.0).abs() < 1e-12);
+        let per = cfg.per_processor_share(&m);
+        assert!((per[&0] - 1.0).abs() < 1e-12);
+        assert!((per[&1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_does_not_mutate() {
+        let (m, a, _) = model();
+        let mut cfg = ScalingConfig::new();
+        cfg.set(a, 0, 0.5); // invalid replicas
+        let before = m.clone();
+        assert!(cfg.validate(&m).is_err());
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn from_model_roundtrip() {
+        let (mut m, a, b) = model();
+        let mut cfg = ScalingConfig::new();
+        cfg.set(a, 2, 0.5).set(b, 4, 0.25);
+        cfg.apply(&mut m).unwrap();
+        let read = ScalingConfig::from_model(&m);
+        assert_eq!(read, cfg);
+    }
+
+    #[test]
+    fn set_replaces_previous_decision() {
+        let (_, a, _) = model();
+        let mut cfg = ScalingConfig::new();
+        cfg.set(a, 1, 0.1);
+        cfg.set(a, 5, 0.9);
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.get(a).unwrap().replicas, 5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (_, a, b) = model();
+        let mut cfg = ScalingConfig::new();
+        cfg.set(a, 2, 0.5).set(b, 1, 1.5);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ScalingConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based round-trip tests for the LQN text format: for any
+//! generatable model, `write ∘ parse ∘ write` must be a fixed point and
+//! the parsed model must solve to the same throughput.
+
+use atom_lqn::analytic::{solve, SolverOptions};
+use atom_lqn::{from_lqn_text, to_lqn_text, LqnModel};
+use proptest::prelude::*;
+
+/// A random layered model: `tiers` server tasks in a chain, each with
+/// 1–2 entries; entry 0 of tier k calls entry 0 of tier k+1.
+#[derive(Debug, Clone)]
+struct RandomModel {
+    tiers: Vec<Tier>,
+    population: usize,
+    think: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Tier {
+    threads: usize,
+    replicas: usize,
+    share: Option<f64>,
+    parallelism: Option<usize>,
+    demands: Vec<f64>,
+    latency: f64,
+    call_mean: f64,
+}
+
+fn tier_strategy() -> impl Strategy<Value = Tier> {
+    (
+        1usize..64,
+        1usize..4,
+        proptest::option::of(0.05f64..2.0),
+        proptest::option::of(1usize..4),
+        proptest::collection::vec(0.0005f64..0.05, 1..3),
+        0.0f64..0.5,
+        0.1f64..2.0,
+    )
+        .prop_map(
+            |(threads, replicas, share, parallelism, demands, latency, call_mean)| Tier {
+                threads,
+                replicas,
+                share,
+                parallelism,
+                demands,
+                latency,
+                call_mean,
+            },
+        )
+}
+
+fn model_strategy() -> impl Strategy<Value = RandomModel> {
+    (
+        proptest::collection::vec(tier_strategy(), 1..4),
+        1usize..500,
+        0.1f64..10.0,
+    )
+        .prop_map(|(tiers, population, think)| RandomModel {
+            tiers,
+            population,
+            think,
+        })
+}
+
+fn build(rm: &RandomModel) -> LqnModel {
+    let mut m = LqnModel::new();
+    let p = m.add_processor("host", 8, 1.0);
+    let mut prev_first_entry = None;
+    for (k, tier) in rm.tiers.iter().enumerate() {
+        let t = m
+            .add_task(format!("tier{k}"), p, tier.threads, tier.replicas)
+            .unwrap();
+        m.set_cpu_share(t, tier.share).unwrap();
+        m.set_parallelism(t, tier.parallelism).unwrap();
+        let mut first = None;
+        for (j, &d) in tier.demands.iter().enumerate() {
+            let e = m.add_entry(format!("t{k}e{j}"), t, d).unwrap();
+            if j == 0 {
+                m.set_latency(e, tier.latency).unwrap();
+                first = Some(e);
+            }
+        }
+        let first = first.unwrap();
+        if let Some(prev) = prev_first_entry {
+            m.add_call(prev, first, tier.call_mean).unwrap();
+        }
+        prev_first_entry = Some(first);
+    }
+    let c = m
+        .add_reference_task("clients", rm.population, rm.think)
+        .unwrap();
+    let ce = m.reference_entry(c).unwrap();
+    // Call the first tier's first entry.
+    let root = m.entry_by_name("t0e0").unwrap();
+    m.add_call(ce, root, 1.0).unwrap();
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn text_roundtrip_is_fixed_point(rm in model_strategy()) {
+        let model = build(&rm);
+        let text = to_lqn_text(&model);
+        let parsed = from_lqn_text(&text).expect("own output must parse");
+        prop_assert_eq!(&text, &to_lqn_text(&parsed));
+    }
+
+    #[test]
+    fn parsed_model_solves_identically(rm in model_strategy()) {
+        let model = build(&rm);
+        let parsed = from_lqn_text(&to_lqn_text(&model)).expect("parse");
+        let a = solve(&model, SolverOptions::default()).expect("solve original");
+        let b = solve(&parsed, SolverOptions::default()).expect("solve parsed");
+        prop_assert!((a.client_throughput - b.client_throughput).abs() < 1e-9,
+            "{} vs {}", a.client_throughput, b.client_throughput);
+        prop_assert!((a.client_response_time - b.client_response_time).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,442 @@
+//! Exact Mean Value Analysis for closed networks.
+//!
+//! Two algorithms are provided:
+//!
+//! * [`solve_exact`] — single-class exact MVA supporting multi-server
+//!   stations through the marginal-probability recursion of Reiser &
+//!   Lavenberg (see Bolch et al., *Queueing Networks and Markov Chains*,
+//!   ch. 8);
+//! * [`solve_exact_multiclass`] — exact multi-class MVA over the population
+//!   lattice, restricted to single-server and delay stations (the classic
+//!   recursion; memory grows as `Π_c (N_c + 1)`).
+
+use crate::error::MvaError;
+use crate::network::{ClosedNetwork, Solution, StationKind};
+
+/// Solves a single-class closed network exactly.
+///
+/// Supports delay stations and queueing stations with any number of
+/// servers. Complexity is `O(N · Σ_k m_k)`.
+///
+/// # Errors
+///
+/// Returns [`MvaError::Unsupported`] if the network has more than one
+/// class.
+///
+/// # Examples
+///
+/// ```
+/// use atom_mva::{ClosedNetwork, Station, ClassSpec, closed::solve_exact};
+/// # fn main() -> Result<(), atom_mva::MvaError> {
+/// let net = ClosedNetwork::new(
+///     vec![Station::queueing("cpu", 1, vec![0.2])],
+///     vec![ClassSpec::new("users", 4, 1.0)],
+/// )?;
+/// let sol = solve_exact(&net)?;
+/// assert!(sol.throughput[0] > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_exact(net: &ClosedNetwork) -> Result<Solution, MvaError> {
+    if net.num_classes() != 1 {
+        return Err(MvaError::Unsupported {
+            reason: format!(
+                "solve_exact is single-class; network has {} classes",
+                net.num_classes()
+            ),
+        });
+    }
+    let n_max = net.classes()[0].population();
+    let z = net.classes()[0].think_time();
+    let k = net.num_stations();
+
+    // Per-station state across the population recursion.
+    let mut queue = vec![0.0_f64; k]; // Q_k(n-1)
+    let mut resid = vec![0.0_f64; k];
+    // Marginal probabilities pi[k][j] = P(j jobs at k | n-1), kept only for
+    // multi-server stations up to j = m-1.
+    let mut marg: Vec<Vec<f64>> = net
+        .stations()
+        .iter()
+        .map(|s| match s.kind() {
+            StationKind::Queueing { servers } if servers > 1 => {
+                let mut v = vec![0.0; servers];
+                v[0] = 1.0;
+                v
+            }
+            _ => Vec::new(),
+        })
+        .collect();
+    let mut x = 0.0_f64;
+
+    for n in 1..=n_max {
+        // Residence times from the arrival theorem.
+        for (i, st) in net.stations().iter().enumerate() {
+            let d = st.demand(0);
+            resid[i] = match st.kind() {
+                StationKind::Delay => d,
+                StationKind::Queueing { servers: 1 } => d * (1.0 + queue[i]),
+                StationKind::Queueing { servers } => {
+                    let m = servers as f64;
+                    let idle_correction: f64 = marg[i]
+                        .iter()
+                        .enumerate()
+                        .take(servers - 1)
+                        .map(|(j, &p)| (m - 1.0 - j as f64) * p)
+                        .sum();
+                    (d / m) * (1.0 + queue[i] + idle_correction)
+                }
+            };
+        }
+        let total_r: f64 = resid.iter().sum();
+        x = n as f64 / (z + total_r);
+
+        // Update marginal probabilities for multi-server stations.
+        for (i, st) in net.stations().iter().enumerate() {
+            if let StationKind::Queueing { servers } = st.kind() {
+                if servers > 1 {
+                    let d = st.demand(0);
+                    let m = servers as f64;
+                    let old = marg[i].clone();
+                    let mut new = vec![0.0; servers];
+                    for j in 1..servers {
+                        new[j] = (x * d / j as f64) * old[j - 1];
+                    }
+                    let weighted: f64 = new
+                        .iter()
+                        .enumerate()
+                        .skip(1)
+                        .map(|(j, &p)| (m - j as f64) * p)
+                        .sum();
+                    new[0] = 1.0 - (x * d + weighted) / m;
+                    // Numerical guard: probabilities can drift slightly
+                    // negative at extreme utilisations.
+                    for p in &mut new {
+                        *p = p.max(0.0);
+                    }
+                    marg[i] = new;
+                }
+            }
+        }
+        for i in 0..k {
+            queue[i] = x * resid[i];
+        }
+    }
+
+    let utilization = net
+        .stations()
+        .iter()
+        
+        .map(|st| match st.kind() {
+            StationKind::Delay => x * st.demand(0),
+            StationKind::Queueing { servers } => x * st.demand(0) / servers as f64,
+        })
+        .map(|u| if u.is_finite() { u } else { 0.0 })
+        .collect();
+
+    Ok(Solution {
+        throughput: vec![x],
+        response_time: vec![resid.iter().sum()],
+        queue_length: queue.iter().map(|&q| vec![q]).collect(),
+        utilization,
+        residence: resid.iter().map(|&r| vec![r]).collect(),
+    })
+}
+
+/// Index of a population vector in the dense lattice.
+fn lattice_index(pop: &[usize], dims: &[usize]) -> usize {
+    let mut idx = 0;
+    for (p, d) in pop.iter().zip(dims) {
+        idx = idx * d + p;
+    }
+    idx
+}
+
+/// Solves a multi-class closed network exactly.
+///
+/// Restricted to single-server queueing stations and delay stations:
+/// exact multi-class MVA with multi-server stations requires joint
+/// marginal distributions that this crate intentionally does not
+/// implement (use [`crate::amva::solve_amva`] instead).
+///
+/// # Errors
+///
+/// Returns [`MvaError::Unsupported`] if any queueing station has more than
+/// one server, or if the population lattice would exceed ~50 million
+/// states.
+pub fn solve_exact_multiclass(net: &ClosedNetwork) -> Result<Solution, MvaError> {
+    let c = net.num_classes();
+    let k = net.num_stations();
+    for st in net.stations() {
+        if let StationKind::Queueing { servers } = st.kind() {
+            if servers > 1 {
+                return Err(MvaError::Unsupported {
+                    reason: format!(
+                        "exact multi-class MVA does not support multi-server station `{}`",
+                        st.name()
+                    ),
+                });
+            }
+        }
+    }
+    let dims: Vec<usize> = net.classes().iter().map(|s| s.population() + 1).collect();
+    let states: usize = dims.iter().product();
+    if states.saturating_mul(k) > 50_000_000 {
+        return Err(MvaError::Unsupported {
+            reason: format!("population lattice too large ({states} states)"),
+        });
+    }
+
+    // q[state][k] = total mean queue length at station k for that population.
+    let mut q = vec![vec![0.0_f64; k]; states];
+    // Per-class queue lengths only needed at the full population.
+    let full: Vec<usize> = net.classes().iter().map(|s| s.population()).collect();
+
+    // Iterate over the lattice in lexicographic order (which guarantees all
+    // predecessors n - e_c come first).
+    let mut pop = vec![0usize; c];
+    let mut x_full = vec![0.0_f64; c];
+    let mut r_full = vec![0.0_f64; c];
+    let mut resid_full = vec![vec![0.0_f64; c]; k];
+    loop {
+        let idx = lattice_index(&pop, &dims);
+        if pop.iter().any(|&p| p > 0) {
+            let mut new_q = vec![0.0_f64; k];
+            let mut x_c = vec![0.0_f64; c];
+            let mut resid = vec![vec![0.0_f64; c]; k];
+            for cls in 0..c {
+                if pop[cls] == 0 {
+                    continue;
+                }
+                // Population with one class-cls job removed.
+                pop[cls] -= 1;
+                let pred = lattice_index(&pop, &dims);
+                pop[cls] += 1;
+                let mut r_total = 0.0;
+                for (i, st) in net.stations().iter().enumerate() {
+                    let d = st.demand(cls);
+                    let r = match st.kind() {
+                        StationKind::Delay => d,
+                        StationKind::Queueing { .. } => d * (1.0 + q[pred][i]),
+                    };
+                    resid[i][cls] = r;
+                    r_total += r;
+                }
+                let x = pop[cls] as f64 / (net.classes()[cls].think_time() + r_total);
+                x_c[cls] = x;
+                if pop == full {
+                    x_full[cls] = x;
+                    r_full[cls] = r_total;
+                }
+            }
+            for i in 0..k {
+                new_q[i] = (0..c).map(|cls| x_c[cls] * resid[i][cls]).sum();
+            }
+            q[idx] = new_q;
+            if pop == full {
+                resid_full = resid;
+            }
+        }
+
+        // Advance lexicographically.
+        let mut carry = true;
+        for cls in (0..c).rev() {
+            if carry {
+                pop[cls] += 1;
+                if pop[cls] >= dims[cls] {
+                    pop[cls] = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+
+    let queue_length: Vec<Vec<f64>> = (0..k)
+        .map(|i| {
+            (0..c)
+                .map(|cls| x_full[cls] * resid_full[i][cls])
+                .collect()
+        })
+        .collect();
+    let utilization = net
+        .stations()
+        .iter()
+        
+        .map(|st| {
+            (0..c)
+                .map(|cls| x_full[cls] * st.demand(cls))
+                .sum::<f64>()
+                / match st.kind() {
+                    StationKind::Delay => 1.0,
+                    StationKind::Queueing { servers } => servers as f64,
+                }
+        })
+        .collect();
+
+    Ok(Solution {
+        throughput: x_full,
+        response_time: r_full,
+        queue_length,
+        utilization,
+        residence: resid_full,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{ClassSpec, Station};
+
+    fn single(demand: f64, servers: usize, n: usize, z: f64) -> ClosedNetwork {
+        ClosedNetwork::new(
+            vec![Station::queueing("s", servers, vec![demand])],
+            vec![ClassSpec::new("c", n, z)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn machine_repairman_matches_closed_form() {
+        // M/M/1//N with N=2, S=1, Z=1: solvable by hand via birth-death.
+        // States by jobs at server: balance with think rate lambda=1/Z per
+        // idle customer. pi(n) proportions: pi0*2, ... compute numerically.
+        let net = single(1.0, 1, 2, 1.0);
+        let sol = solve_exact(&net).unwrap();
+        // Birth-death chain: rates 0->1: 2, 1->2: 1 (think rate 1 per user),
+        // service 1. pi = C * [1, 2, 2]; X = U/S = (1 - pi0) = 4/5.
+        assert!((sol.throughput[0] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_only_network() {
+        let net = ClosedNetwork::new(
+            vec![Station::delay("d", vec![2.0])],
+            vec![ClassSpec::new("c", 10, 3.0)],
+        )
+        .unwrap();
+        let sol = solve_exact(&net).unwrap();
+        assert!((sol.throughput[0] - 10.0 / 5.0).abs() < 1e-9);
+        assert!((sol.response_time[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiserver_reduces_queueing() {
+        let n1 = single(0.5, 1, 20, 1.0);
+        let n2 = single(0.5, 2, 20, 1.0);
+        let s1 = solve_exact(&n1).unwrap();
+        let s2 = solve_exact(&n2).unwrap();
+        assert!(s2.throughput[0] > s1.throughput[0]);
+        assert!(s2.response_time[0] < s1.response_time[0]);
+    }
+
+    #[test]
+    fn multiserver_matches_mm2_closed_form() {
+        // M/M/2//3 machine repairman: N=3, Z=1 (rate 1 per thinker), S=1,
+        // m=2. Birth-death: think rates: state j at queue => (3-j) thinking.
+        // q(j)->q(j+1) rate = (3-j)*1; service rate min(j,2)*1.
+        // pi ∝ [1, 3, 3, 1.5]; X = sum service rate*pi = (3*1+3*2+1.5*2)/8.5
+        let net = single(1.0, 2, 3, 1.0);
+        let sol = solve_exact(&net).unwrap();
+        let pi = [1.0, 3.0, 3.0, 1.5];
+        let norm: f64 = pi.iter().sum();
+        let x: f64 = (pi[1] * 1.0 + pi[2] * 2.0 + pi[3] * 2.0) / norm;
+        assert!(
+            (sol.throughput[0] - x).abs() < 1e-9,
+            "exact {x} vs mva {}",
+            sol.throughput[0]
+        );
+    }
+
+    #[test]
+    fn multiserver_at_light_load_no_speedup_of_service() {
+        // With a single user there is no queueing: response time equals the
+        // demand regardless of the number of servers (a single request
+        // cannot use two servers) — the "multi-server inefficiency" ATOM's
+        // model must capture.
+        let s1 = solve_exact(&single(0.8, 1, 1, 1.0)).unwrap();
+        let s4 = solve_exact(&single(0.8, 4, 1, 1.0)).unwrap();
+        assert!((s1.response_time[0] - 0.8).abs() < 1e-9);
+        assert!((s4.response_time[0] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_multiclass_input() {
+        let net = ClosedNetwork::new(
+            vec![Station::queueing("s", 1, vec![0.1, 0.2])],
+            vec![ClassSpec::new("a", 1, 0.0), ClassSpec::new("b", 1, 0.0)],
+        )
+        .unwrap();
+        assert!(matches!(
+            solve_exact(&net),
+            Err(MvaError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn multiclass_reduces_to_single_class() {
+        let net1 = single(0.3, 1, 5, 2.0);
+        let netm = ClosedNetwork::new(
+            vec![Station::queueing("s", 1, vec![0.3])],
+            vec![ClassSpec::new("c", 5, 2.0)],
+        )
+        .unwrap();
+        let s1 = solve_exact(&net1).unwrap();
+        let sm = solve_exact_multiclass(&netm).unwrap();
+        assert!((s1.throughput[0] - sm.throughput[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiclass_two_classes_throughput_sane() {
+        let net = ClosedNetwork::new(
+            vec![
+                Station::queueing("cpu", 1, vec![0.1, 0.3]),
+                Station::queueing("db", 1, vec![0.2, 0.05]),
+            ],
+            vec![ClassSpec::new("a", 3, 1.0), ClassSpec::new("b", 2, 0.5)],
+        )
+        .unwrap();
+        let sol = solve_exact_multiclass(&net).unwrap();
+        // Throughputs bounded by saturation: X_a*0.1 + X_b*0.3 <= 1 etc.
+        let u_cpu = sol.throughput[0] * 0.1 + sol.throughput[1] * 0.3;
+        let u_db = sol.throughput[0] * 0.2 + sol.throughput[1] * 0.05;
+        assert!(u_cpu <= 1.0 + 1e-9);
+        assert!(u_db <= 1.0 + 1e-9);
+        assert!((sol.utilization[0] - u_cpu).abs() < 1e-9);
+        // Little's law per class over the whole system.
+        for cls in 0..2 {
+            let n_in_system: f64 = (0..2).map(|k| sol.queue_length[k][cls]).sum();
+            let expected = sol.throughput[cls] * sol.response_time[cls];
+            assert!((n_in_system - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multiclass_rejects_multiserver() {
+        let net = ClosedNetwork::new(
+            vec![Station::queueing("s", 2, vec![0.1, 0.2])],
+            vec![ClassSpec::new("a", 1, 0.0), ClassSpec::new("b", 1, 0.0)],
+        )
+        .unwrap();
+        assert!(matches!(
+            solve_exact_multiclass(&net),
+            Err(MvaError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn throughput_monotone_in_population() {
+        let mut last = 0.0;
+        for n in 1..40 {
+            let sol = solve_exact(&single(0.25, 1, n, 2.0)).unwrap();
+            assert!(sol.throughput[0] >= last - 1e-12);
+            last = sol.throughput[0];
+        }
+        // And saturates near 1/D = 4.
+        assert!(last <= 4.0 + 1e-9);
+        assert!(last > 3.9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for the solvers in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or solving a queueing network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MvaError {
+    /// A station demand vector had a different length than the class list.
+    DemandDimensionMismatch {
+        /// Station whose demand vector is malformed.
+        station: String,
+        /// Number of demands provided.
+        got: usize,
+        /// Number of classes expected.
+        expected: usize,
+    },
+    /// A service demand, think time, or multiplicity was negative or NaN.
+    InvalidParameter {
+        /// Human-readable description of the offending parameter.
+        what: String,
+    },
+    /// The requested algorithm does not support the given model
+    /// (e.g. exact multi-class MVA with multi-server stations).
+    Unsupported {
+        /// Why the model is not supported by the algorithm.
+        reason: String,
+    },
+    /// An iterative solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual error at the last iteration.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for MvaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MvaError::DemandDimensionMismatch {
+                station,
+                got,
+                expected,
+            } => write!(
+                f,
+                "station `{station}` has {got} demands but the network has {expected} classes"
+            ),
+            MvaError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            MvaError::Unsupported { reason } => write!(f, "unsupported model: {reason}"),
+            MvaError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl Error for MvaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs = [
+            MvaError::DemandDimensionMismatch {
+                station: "s".into(),
+                got: 1,
+                expected: 2,
+            },
+            MvaError::InvalidParameter { what: "x".into() },
+            MvaError::Unsupported { reason: "y".into() },
+            MvaError::NoConvergence {
+                iterations: 3,
+                residual: 0.5,
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MvaError>();
+    }
+}

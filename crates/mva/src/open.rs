@@ -1,0 +1,138 @@
+//! Open-model utilities: Erlang-B, Erlang-C and M/M/m metrics.
+//!
+//! These are used by the cluster simulator's admission heuristics and by
+//! tests as independent cross-checks of the closed solvers at low
+//! population-to-capacity ratios.
+
+/// Erlang-B blocking probability for an `M/M/m/m` loss system with offered
+/// load `a = λ/μ` Erlangs.
+///
+/// Computed with the numerically stable recurrence
+/// `B(0) = 1; B(j) = a·B(j-1) / (j + a·B(j-1))`.
+///
+/// # Panics
+///
+/// Panics if `a` is negative or not finite.
+///
+/// # Examples
+///
+/// ```
+/// let b = atom_mva::open::erlang_b(2.0, 2);
+/// assert!(b > 0.0 && b < 1.0);
+/// ```
+pub fn erlang_b(a: f64, m: usize) -> f64 {
+    assert!(a.is_finite() && a >= 0.0, "offered load must be >= 0");
+    let mut b = 1.0;
+    for j in 1..=m {
+        b = a * b / (j as f64 + a * b);
+    }
+    b
+}
+
+/// Erlang-C probability that an arriving job must wait in an `M/M/m` queue
+/// with offered load `a = λ/μ` Erlangs.
+///
+/// Returns `1.0` when the queue is unstable (`a >= m`).
+///
+/// # Panics
+///
+/// Panics if `a` is negative or not finite, or if `m == 0`.
+pub fn erlang_c(a: f64, m: usize) -> f64 {
+    assert!(m > 0, "need at least one server");
+    assert!(a.is_finite() && a >= 0.0, "offered load must be >= 0");
+    let m_f = m as f64;
+    if a >= m_f {
+        return 1.0;
+    }
+    let b = erlang_b(a, m);
+    let rho = a / m_f;
+    b / (1.0 - rho + rho * b)
+}
+
+/// Mean waiting time (excluding service) in an `M/M/m` queue.
+///
+/// `lambda` is the arrival rate, `service_time` the mean service time of a
+/// single server, `m` the number of servers. Returns `f64::INFINITY` for an
+/// unstable queue.
+///
+/// # Panics
+///
+/// Panics on negative rates or `m == 0`.
+pub fn mmm_wait(lambda: f64, service_time: f64, m: usize) -> f64 {
+    assert!(lambda >= 0.0 && service_time >= 0.0, "rates must be >= 0");
+    assert!(m > 0, "need at least one server");
+    let a = lambda * service_time;
+    let m_f = m as f64;
+    if a >= m_f {
+        return f64::INFINITY;
+    }
+    let c = erlang_c(a, m);
+    c * service_time / (m_f - a)
+}
+
+/// Mean response time (waiting plus service) in an `M/M/m` queue.
+///
+/// Returns `f64::INFINITY` for an unstable queue.
+pub fn mmm_response(lambda: f64, service_time: f64, m: usize) -> f64 {
+    let w = mmm_wait(lambda, service_time, m);
+    if w.is_infinite() {
+        w
+    } else {
+        w + service_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_known_values() {
+        // Classic tabulated value: a=2 Erlangs, m=2 -> B = 0.4.
+        assert!((erlang_b(2.0, 2) - 0.4).abs() < 1e-12);
+        // a=0: no blocking.
+        assert_eq!(erlang_b(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn erlang_c_mm1_equals_rho() {
+        // For M/M/1 the waiting probability is the utilisation.
+        for rho in [0.1, 0.5, 0.9] {
+            assert!((erlang_c(rho, 1) - rho).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erlang_c_unstable_is_one() {
+        assert_eq!(erlang_c(3.0, 2), 1.0);
+    }
+
+    #[test]
+    fn mm1_wait_matches_closed_form() {
+        // W_q = rho*S/(1-rho)
+        let lambda = 0.5;
+        let s = 1.0;
+        let expected = 0.5 * 1.0 / 0.5;
+        assert!((mmm_wait(lambda, s, 1) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_servers_less_wait() {
+        let w1 = mmm_wait(1.5, 1.0, 2);
+        let w2 = mmm_wait(1.5, 1.0, 3);
+        assert!(w2 < w1);
+    }
+
+    #[test]
+    fn unstable_wait_is_infinite() {
+        assert!(mmm_wait(2.0, 1.0, 1).is_infinite());
+        assert!(mmm_response(2.0, 1.0, 1).is_infinite());
+    }
+
+    #[test]
+    fn response_is_wait_plus_service() {
+        let w = mmm_wait(0.5, 1.0, 1);
+        let r = mmm_response(0.5, 1.0, 1);
+        assert!((r - (w + 1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the simulation engine: conservation laws of
+//! the processor-sharing CPU and statistical sanity of the RNG.
+
+use atom_sim::processor::PsProcessor;
+use atom_sim::{EventQueue, SimRng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Work is conserved: running any job set to completion executes
+    /// exactly the submitted work, never exceeding capacity × time.
+    #[test]
+    fn ps_processor_conserves_work(
+        cores in 1.0f64..8.0,
+        speed in 0.25f64..2.0,
+        jobs in proptest::collection::vec((0.01f64..2.0, 0.05f64..2.0), 1..12),
+    ) {
+        let mut cpu = PsProcessor::new(cores, speed);
+        let total_work: f64 = jobs.iter().map(|&(w, _)| w).sum();
+        for &(work, cap) in &jobs {
+            let g = cpu.add_group(cap);
+            cpu.add_job(0.0, g, work);
+        }
+        let mut now = 0.0;
+        let mut guard = 0;
+        while let Some((t, job)) = cpu.next_completion(now) {
+            prop_assert!(t >= now - 1e-9, "time went backwards");
+            now = t;
+            let residual = cpu.remove_job(now, job);
+            prop_assert!(residual.abs() < 1e-6, "job completed with residual {residual}");
+            guard += 1;
+            prop_assert!(guard <= jobs.len(), "more completions than jobs");
+        }
+        prop_assert_eq!(cpu.active_jobs(), 0);
+        // Executed work equals submitted work (busy integral is in core
+        // seconds; work executes at `speed` per core).
+        let executed = cpu.busy_core_seconds() * speed;
+        prop_assert!((executed - total_work).abs() < 1e-6,
+            "executed {executed} vs submitted {total_work}");
+        // Capacity was never exceeded.
+        prop_assert!(cpu.busy_core_seconds() <= cores * now + 1e-6);
+    }
+
+    /// Group caps are never exceeded over any run; with a sub-core cap
+    /// (so the per-job one-core limit never binds) the backlogged group
+    /// finishes exactly at total-work / cap.
+    #[test]
+    fn ps_processor_respects_group_caps(
+        cap in 0.05f64..1.0,
+        jobs in proptest::collection::vec(0.01f64..0.5, 1..8),
+    ) {
+        let mut cpu = PsProcessor::new(4.0, 1.0);
+        let g = cpu.add_group(cap);
+        for &w in &jobs {
+            cpu.add_job(0.0, g, w);
+        }
+        let mut now = 0.0;
+        while let Some((t, job)) = cpu.next_completion(now) {
+            now = t;
+            cpu.remove_job(now, job);
+        }
+        let busy = cpu.group_busy_core_seconds(g);
+        prop_assert!(busy <= cap * now + 1e-6, "group exceeded cap: {busy} in {now}s");
+        // The group ran at exactly its cap until it drained.
+        let total: f64 = jobs.iter().sum();
+        let ideal = total / cap;
+        prop_assert!((now - ideal).abs() < 1e-6, "finish {now} vs ideal {ideal}");
+    }
+
+    /// The calendar is totally ordered regardless of insertion order.
+    #[test]
+    fn event_queue_is_ordered(times in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Exponential sampling: non-negative, and the sample mean of a batch
+    /// is within a loose band of the requested mean.
+    #[test]
+    fn exponential_mean_sane(mean in 0.01f64..100.0, seed in 0u64..1000) {
+        let mut rng = SimRng::seed_from(seed);
+        let n = 4000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.exponential(mean);
+            prop_assert!(x >= 0.0);
+            sum += x;
+        }
+        let sample_mean = sum / n as f64;
+        prop_assert!((sample_mean - mean).abs() < 0.15 * mean,
+            "sample mean {sample_mean} vs {mean}");
+    }
+
+    /// Categorical sampling never returns an index with zero weight.
+    #[test]
+    fn categorical_respects_support(
+        weights in proptest::collection::vec(0.0f64..1.0, 2..6),
+        seed in 0u64..100,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.01);
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..200 {
+            let i = rng.categorical(&weights);
+            prop_assert!(weights[i] > 0.0, "drew zero-weight index {i}");
+        }
+    }
+}

@@ -1,0 +1,644 @@
+#![warn(missing_docs)]
+
+//! The Sock Shop case study: the paper's running example, calibrated so
+//! that the reproduction's "measurements" land near the published
+//! numbers.
+//!
+//! Two deployments are modelled:
+//!
+//! * [`SockShop::validation_app_spec`] — the §III-C validation subset
+//!   (no router; front-end + carts service on server 1, catalogue
+//!   service + both databases on server 2, one core online per server),
+//!   used for Tables III/IV and Fig. 5;
+//! * [`SockShop::app_spec`] — the §V evaluation deployment of Table V
+//!   (router, front-end and carts-db on the 4-core 1.2 GHz server;
+//!   catalogue service, carts service and catalogue-db on the 4-core
+//!   0.8 GHz server), used for Figs. 7–13.
+//!
+//! [`SockShop::lqn_model`] builds the matching LQN (Fig. 3) and
+//! [`SockShop::binding`] the controller knowledge base. Demands are
+//! CPU-milliseconds at a 1.0-GHz reference; they were calibrated against
+//! Table IV (workload 1, N = 3000): e.g. the front-end's measured 387.8
+//! requests/s at 65.9–75.2% of one 1.2 GHz core pins its mean demand near
+//! 2.3 ms, and the cart database's 44–48% at 55.6 requests/s pins its
+//! query cost near 6.4 ms. Front-end entries carry ~0.55–0.75 s of pure
+//! (non-CPU) latency so that the closed-loop response time reproduces the
+//! paper's ~388 TPS at N = 3000, Z = 7 s.
+//!
+//! Feature order everywhere: `0 = home`, `1 = catalogue`, `2 = carts`.
+//!
+//! # Example
+//!
+//! ```
+//! use atom_sockshop::SockShop;
+//! use atom_lqn::analytic::{solve, SolverOptions};
+//!
+//! let shop = SockShop::default();
+//! let model = shop.validation_lqn(3000, 7.0, &[0.57, 0.29, 0.14]);
+//! let sol = solve(&model, SolverOptions::default()).unwrap();
+//! // Paper Table IV: ~387.8 completed requests/s.
+//! assert!((sol.total_throughput() - 388.0).abs() < 30.0);
+//! ```
+
+pub mod scenarios;
+
+use atom_cluster::{AppSpec, ServiceId};
+use atom_core::{ModelBinding, ObjectiveSpec, ServiceBinding};
+use atom_lqn::{EntryId, LqnModel, TaskId};
+
+/// Index of the `home` feature.
+pub const FEATURE_HOME: usize = 0;
+/// Index of the `catalogue` feature.
+pub const FEATURE_CATALOGUE: usize = 1;
+/// Index of the `carts` feature.
+pub const FEATURE_CARTS: usize = 2;
+
+/// Names of the six microservices, in the service-id order used by every
+/// builder in this crate.
+pub const SERVICE_NAMES: [&str; 6] = [
+    "router",
+    "front-end",
+    "catalogue",
+    "carts",
+    "catalogue-db",
+    "carts-db",
+];
+
+/// Index of the router service.
+pub const SVC_ROUTER: usize = 0;
+/// Index of the front-end service.
+pub const SVC_FRONT_END: usize = 1;
+/// Index of the catalogue service.
+pub const SVC_CATALOGUE: usize = 2;
+/// Index of the carts service.
+pub const SVC_CARTS: usize = 3;
+/// Index of the catalogue database.
+pub const SVC_CATALOGUE_DB: usize = 4;
+/// Index of the carts database.
+pub const SVC_CARTS_DB: usize = 5;
+
+/// The calibrated Sock Shop parameters. All demands are CPU-seconds at
+/// the 1.0-GHz reference; latencies are seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SockShop {
+    /// Router demand per routed request.
+    pub d_router: f64,
+    /// Front-end demand per `home` request.
+    pub d_home: f64,
+    /// Front-end demand per `catalogue` request.
+    pub d_catalogue: f64,
+    /// Front-end demand per `carts` request.
+    pub d_carts: f64,
+    /// Catalogue-service demand per `list` / `item` call.
+    pub d_catalogue_svc: f64,
+    /// Carts-service demand per `get` / `add` / `delete` call.
+    pub d_carts_svc: f64,
+    /// Catalogue-db demand per query.
+    pub d_catalogue_db: f64,
+    /// Carts-db demand per query.
+    pub d_carts_db: f64,
+    /// Front-end non-CPU latency per `home` request.
+    pub l_home: f64,
+    /// Front-end non-CPU latency per `catalogue` request.
+    pub l_catalogue: f64,
+    /// Front-end non-CPU latency per `carts` request.
+    pub l_carts: f64,
+    /// Demand coefficient of variation in the cluster simulator.
+    pub demand_cv: f64,
+}
+
+impl Default for SockShop {
+    fn default() -> Self {
+        SockShop {
+            d_router: 0.0012,
+            d_home: 0.0027,
+            d_catalogue: 0.0019,
+            d_carts: 0.00155,
+            d_catalogue_svc: 0.0011,
+            d_carts_svc: 0.0030,
+            d_catalogue_db: 0.0009,
+            d_carts_db: 0.0064,
+            l_home: 0.75,
+            l_catalogue: 0.65,
+            l_carts: 0.55,
+            demand_cv: 1.0,
+        }
+    }
+}
+
+impl SockShop {
+    // ------------------------------------------------------------------
+    // evaluation deployment (Table V)
+    // ------------------------------------------------------------------
+
+    /// The §V evaluation deployment: Table V servers, initial
+    /// configuration sized for 500 browsing users.
+    pub fn app_spec(&self) -> AppSpec {
+        self.app_spec_with(false)
+    }
+
+    /// Same, but with every *stateful* service pre-allocated one full
+    /// core — the setup the paper uses when evaluating UH (which cannot
+    /// scale stateful services).
+    pub fn app_spec_stateful_full_core(&self) -> AppSpec {
+        self.app_spec_with(true)
+    }
+
+    fn app_spec_with(&self, stateful_full_core: bool) -> AppSpec {
+        let mut spec = AppSpec::new();
+        let s1 = spec.add_server("server-1", 4, 1.2);
+        let s2 = spec.add_server("server-2", 4, 0.8);
+
+        let stateful_share = |normal: f64| if stateful_full_core { 1.0 } else { normal };
+
+        // Order must match SERVICE_NAMES / SVC_* constants.
+        let router = spec.add_service("router", s1, 512, 1, stateful_share(0.15));
+        spec.service_mut(router).stateful = true;
+        spec.service_mut(router).parallelism = Some(4);
+        spec.service_mut(router).max_replicas = 1;
+
+        let fe = spec.add_service("front-end", s1, 1024, 1, 0.2);
+        spec.service_mut(fe).parallelism = Some(1); // Node.js event loop
+        spec.service_mut(fe).max_replicas = 8;
+        spec.service_mut(fe).startup_delay = 4.0;
+
+        let catalogue = spec.add_service("catalogue", s2, 64, 1, 0.05);
+        spec.service_mut(catalogue).max_replicas = 8;
+        spec.service_mut(catalogue).startup_delay = 3.0;
+
+        let carts = spec.add_service("carts", s2, 64, 1, 0.08);
+        spec.service_mut(carts).max_replicas = 8;
+        spec.service_mut(carts).startup_delay = 6.0; // JVM start-up
+
+        let catalogue_db = spec.add_service("catalogue-db", s2, 32, 1, stateful_share(0.1));
+        spec.service_mut(catalogue_db).stateful = true;
+        spec.service_mut(catalogue_db).max_replicas = 1;
+
+        let carts_db = spec.add_service("carts-db", s1, 32, 1, stateful_share(0.12));
+        spec.service_mut(carts_db).stateful = true;
+        spec.service_mut(carts_db).max_replicas = 1;
+
+        // Endpoints.
+        let r_home = spec.add_endpoint(router, "route-home", self.d_router, self.demand_cv);
+        let r_cat = spec.add_endpoint(router, "route-catalogue", self.d_router, self.demand_cv);
+        let r_cart = spec.add_endpoint(router, "route-carts", self.d_router, self.demand_cv);
+        let f_home = spec.add_endpoint(fe, "home", self.d_home, self.demand_cv);
+        let f_cat = spec.add_endpoint(fe, "catalogue", self.d_catalogue, self.demand_cv);
+        let f_cart = spec.add_endpoint(fe, "carts", self.d_carts, self.demand_cv);
+        spec.set_latency(fe, f_home, self.l_home);
+        spec.set_latency(fe, f_cat, self.l_catalogue);
+        spec.set_latency(fe, f_cart, self.l_carts);
+        let c_list = spec.add_endpoint(catalogue, "list", self.d_catalogue_svc, self.demand_cv);
+        let c_item = spec.add_endpoint(catalogue, "item", self.d_catalogue_svc, self.demand_cv);
+        let k_get = spec.add_endpoint(carts, "get", self.d_carts_svc, self.demand_cv);
+        let k_add = spec.add_endpoint(carts, "add", self.d_carts_svc, self.demand_cv);
+        let k_del = spec.add_endpoint(carts, "delete", self.d_carts_svc, self.demand_cv);
+        let cdb_q = spec.add_endpoint(catalogue_db, "query", self.d_catalogue_db, self.demand_cv);
+        let kdb_q = spec.add_endpoint(carts_db, "query", self.d_carts_db, self.demand_cv);
+
+        // Call graph (Fig. 1 / Table IV): router → front-end; the
+        // catalogue feature fans to list+item (0.5 each), each querying
+        // the catalogue db once; the carts feature spreads uniformly over
+        // get/add/delete, each querying the carts db once.
+        spec.add_call(router, r_home, fe, f_home, 1.0);
+        spec.add_call(router, r_cat, fe, f_cat, 1.0);
+        spec.add_call(router, r_cart, fe, f_cart, 1.0);
+        spec.add_call(fe, f_cat, catalogue, c_list, 0.5);
+        spec.add_call(fe, f_cat, catalogue, c_item, 0.5);
+        spec.add_call(fe, f_cart, carts, k_get, 1.0 / 3.0);
+        spec.add_call(fe, f_cart, carts, k_add, 1.0 / 3.0);
+        spec.add_call(fe, f_cart, carts, k_del, 1.0 / 3.0);
+        spec.add_call(catalogue, c_list, catalogue_db, cdb_q, 1.0);
+        spec.add_call(catalogue, c_item, catalogue_db, cdb_q, 1.0);
+        spec.add_call(carts, k_get, carts_db, kdb_q, 1.0);
+        spec.add_call(carts, k_add, carts_db, kdb_q, 1.0);
+        spec.add_call(carts, k_del, carts_db, kdb_q, 1.0);
+
+        spec.add_feature("home", router, r_home);
+        spec.add_feature("catalogue", router, r_cat);
+        spec.add_feature("carts", router, r_cart);
+        spec
+    }
+
+    /// The evaluation LQN (Fig. 3): same topology/demands as
+    /// [`SockShop::app_spec`], with `users` clients at `think_time` and
+    /// the given request `mix` (home/catalogue/carts fractions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mix` does not have three entries.
+    pub fn lqn_model(&self, users: usize, think_time: f64, mix: &[f64]) -> LqnModel {
+        assert_eq!(mix.len(), 3, "mix must be [home, catalogue, carts]");
+        let (model, _) = self.lqn_with_ids(users, think_time, mix);
+        model
+    }
+
+    /// The evaluation LQN plus the ids needed for bindings.
+    fn lqn_with_ids(
+        &self,
+        users: usize,
+        think_time: f64,
+        mix: &[f64],
+    ) -> (LqnModel, SockShopIds) {
+        let mut m = LqnModel::new();
+        let p1 = m.add_processor("server-1", 4, 1.2);
+        let p2 = m.add_processor("server-2", 4, 0.8);
+
+        let router = m.add_task("router", p1, 512, 1).unwrap();
+        m.set_parallelism(router, Some(4)).unwrap();
+        m.set_cpu_share(router, Some(0.15)).unwrap();
+        let fe = m.add_task("front-end", p1, 1024, 1).unwrap();
+        m.set_parallelism(fe, Some(1)).unwrap();
+        m.set_cpu_share(fe, Some(0.2)).unwrap();
+        let catalogue = m.add_task("catalogue", p2, 64, 1).unwrap();
+        m.set_cpu_share(catalogue, Some(0.05)).unwrap();
+        let carts = m.add_task("carts", p2, 64, 1).unwrap();
+        m.set_cpu_share(carts, Some(0.08)).unwrap();
+        let catalogue_db = m.add_task("catalogue-db", p2, 32, 1).unwrap();
+        m.set_cpu_share(catalogue_db, Some(0.1)).unwrap();
+        let carts_db = m.add_task("carts-db", p1, 32, 1).unwrap();
+        m.set_cpu_share(carts_db, Some(0.12)).unwrap();
+
+        let r_home = m.add_entry("route-home", router, self.d_router).unwrap();
+        let r_cat = m.add_entry("route-catalogue", router, self.d_router).unwrap();
+        let r_cart = m.add_entry("route-carts", router, self.d_router).unwrap();
+        let f_home = m.add_entry("home", fe, self.d_home).unwrap();
+        let f_cat = m.add_entry("catalogue", fe, self.d_catalogue).unwrap();
+        let f_cart = m.add_entry("carts", fe, self.d_carts).unwrap();
+        m.set_latency(f_home, self.l_home).unwrap();
+        m.set_latency(f_cat, self.l_catalogue).unwrap();
+        m.set_latency(f_cart, self.l_carts).unwrap();
+        let c_list = m.add_entry("list", catalogue, self.d_catalogue_svc).unwrap();
+        let c_item = m.add_entry("item", catalogue, self.d_catalogue_svc).unwrap();
+        let k_get = m.add_entry("get", carts, self.d_carts_svc).unwrap();
+        let k_add = m.add_entry("add", carts, self.d_carts_svc).unwrap();
+        let k_del = m.add_entry("delete", carts, self.d_carts_svc).unwrap();
+        let cdb_q = m.add_entry("cat-query", catalogue_db, self.d_catalogue_db).unwrap();
+        let kdb_q = m.add_entry("cart-query", carts_db, self.d_carts_db).unwrap();
+
+        m.add_call(r_home, f_home, 1.0).unwrap();
+        m.add_call(r_cat, f_cat, 1.0).unwrap();
+        m.add_call(r_cart, f_cart, 1.0).unwrap();
+        m.add_call(f_cat, c_list, 0.5).unwrap();
+        m.add_call(f_cat, c_item, 0.5).unwrap();
+        m.add_call(f_cart, k_get, 1.0 / 3.0).unwrap();
+        m.add_call(f_cart, k_add, 1.0 / 3.0).unwrap();
+        m.add_call(f_cart, k_del, 1.0 / 3.0).unwrap();
+        m.add_call(c_list, cdb_q, 1.0).unwrap();
+        m.add_call(c_item, cdb_q, 1.0).unwrap();
+        m.add_call(k_get, kdb_q, 1.0).unwrap();
+        m.add_call(k_add, kdb_q, 1.0).unwrap();
+        m.add_call(k_del, kdb_q, 1.0).unwrap();
+
+        let client = m.add_reference_task("users", users, think_time).unwrap();
+        let ce = m.reference_entry(client).unwrap();
+        m.add_call(ce, r_home, mix[0]).unwrap();
+        m.add_call(ce, r_cat, mix[1]).unwrap();
+        m.add_call(ce, r_cart, mix[2]).unwrap();
+
+        (
+            m,
+            SockShopIds {
+                client,
+                tasks: [router, fe, catalogue, carts, catalogue_db, carts_db],
+                features: [r_home, r_cat, r_cart],
+            },
+        )
+    }
+
+    /// The controller knowledge base for the evaluation deployment:
+    /// LQN template + service mappings + scaling bounds.
+    pub fn binding(&self, users: usize, think_time: f64, mix: &[f64]) -> ModelBinding {
+        let (model, ids) = self.lqn_with_ids(users, think_time, mix);
+        let bounds: [(usize, (f64, f64)); 6] = [
+            (1, (0.1, 4.0)),  // router: vertical only, multi-threaded
+            (8, (0.05, 1.0)), // front-end: single-threaded, horizontal past 1 core
+            (8, (0.05, 1.0)), // catalogue
+            (8, (0.05, 1.0)), // carts
+            (1, (0.1, 4.0)),  // catalogue-db
+            (1, (0.1, 4.0)),  // carts-db
+        ];
+        let services = (0..6)
+            .map(|i| ServiceBinding {
+                name: SERVICE_NAMES[i].to_string(),
+                service: ServiceId(i),
+                task: ids.tasks[i],
+                scalable: true,
+                max_replicas: bounds[i].0,
+                share_bounds: bounds[i].1,
+            })
+            .collect();
+        ModelBinding {
+            model,
+            client: ids.client,
+            services,
+            feature_entries: ids.features.to_vec(),
+        }
+    }
+
+    /// The paper's objective for the Sock Shop: carts transactions carry
+    /// the most business value, a 1.5 s SLA per feature (roughly twice
+    /// the unloaded residence — a loose SLA would let the optimizer
+    /// accept slightly-saturated equilibria with zero headroom), an 80%
+    /// utilisation cap, and the Table V server capacities.
+    pub fn objective(&self) -> ObjectiveSpec {
+        ObjectiveSpec {
+            feature_weights: vec![1.0, 2.0, 5.0],
+            tau_revenue: 1.0,
+            tau_cost: 0.25,
+            sla_response: vec![1.5, 1.5, 1.5],
+            max_utilization: 0.8,
+            server_capacity: vec![(0, 4.0), (1, 4.0)],
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // validation deployment (§III-C)
+    // ------------------------------------------------------------------
+
+    /// The §III-C validation subset: no router; front-end + carts service
+    /// on server 1 (1.2 GHz), catalogue service + both databases on
+    /// server 2 (0.8 GHz); one core online per server; `single_host`
+    /// collapses everything onto one server (the Docker-compose setup of
+    /// workloads 2 and 4).
+    pub fn validation_app_spec(&self, single_host: bool) -> AppSpec {
+        let mut spec = AppSpec::new();
+        let s1 = spec.add_server("server-1", 1, 1.2);
+        let s2 = if single_host {
+            s1
+        } else {
+            spec.add_server("server-2", 1, 0.8)
+        };
+        let fe = spec.add_service("front-end", s1, 1024, 1, 1.0);
+        spec.service_mut(fe).parallelism = Some(1);
+        let carts = spec.add_service("carts", s1, 64, 1, 1.0);
+        let catalogue = spec.add_service("catalogue", s2, 64, 1, 1.0);
+        let catalogue_db = spec.add_service("catalogue-db", s2, 32, 1, 1.0);
+        spec.service_mut(catalogue_db).stateful = true;
+        let carts_db = spec.add_service("carts-db", s2, 32, 1, 1.0);
+        spec.service_mut(carts_db).stateful = true;
+
+        let f_home = spec.add_endpoint(fe, "home", self.d_home, self.demand_cv);
+        let f_cat = spec.add_endpoint(fe, "catalogue", self.d_catalogue, self.demand_cv);
+        let f_cart = spec.add_endpoint(fe, "carts", self.d_carts, self.demand_cv);
+        spec.set_latency(fe, f_home, self.l_home);
+        spec.set_latency(fe, f_cat, self.l_catalogue);
+        spec.set_latency(fe, f_cart, self.l_carts);
+        let c_list = spec.add_endpoint(catalogue, "list", self.d_catalogue_svc, self.demand_cv);
+        let c_item = spec.add_endpoint(catalogue, "item", self.d_catalogue_svc, self.demand_cv);
+        let k_get = spec.add_endpoint(carts, "get", self.d_carts_svc, self.demand_cv);
+        let k_add = spec.add_endpoint(carts, "add", self.d_carts_svc, self.demand_cv);
+        let k_del = spec.add_endpoint(carts, "delete", self.d_carts_svc, self.demand_cv);
+        let cdb_q = spec.add_endpoint(catalogue_db, "query", self.d_catalogue_db, self.demand_cv);
+        let kdb_q = spec.add_endpoint(carts_db, "query", self.d_carts_db, self.demand_cv);
+
+        spec.add_call(fe, f_cat, catalogue, c_list, 0.5);
+        spec.add_call(fe, f_cat, catalogue, c_item, 0.5);
+        spec.add_call(fe, f_cart, carts, k_get, 1.0 / 3.0);
+        spec.add_call(fe, f_cart, carts, k_add, 1.0 / 3.0);
+        spec.add_call(fe, f_cart, carts, k_del, 1.0 / 3.0);
+        spec.add_call(catalogue, c_list, catalogue_db, cdb_q, 1.0);
+        spec.add_call(catalogue, c_item, catalogue_db, cdb_q, 1.0);
+        spec.add_call(carts, k_get, carts_db, kdb_q, 1.0);
+        spec.add_call(carts, k_add, carts_db, kdb_q, 1.0);
+        spec.add_call(carts, k_del, carts_db, kdb_q, 1.0);
+
+        spec.add_feature("home", fe, f_home);
+        spec.add_feature("catalogue", fe, f_cat);
+        spec.add_feature("carts", fe, f_cart);
+        spec
+    }
+
+    /// The validation LQN matching [`SockShop::validation_app_spec`]
+    /// (two-host placement).
+    pub fn validation_lqn(&self, users: usize, think_time: f64, mix: &[f64]) -> LqnModel {
+        self.validation_lqn_with(users, think_time, mix, false)
+    }
+
+    /// The validation LQN; `single_host` collapses both servers into one.
+    pub fn validation_lqn_with(
+        &self,
+        users: usize,
+        think_time: f64,
+        mix: &[f64],
+        single_host: bool,
+    ) -> LqnModel {
+        assert_eq!(mix.len(), 3, "mix must be [home, catalogue, carts]");
+        let mut m = LqnModel::new();
+        let p1 = m.add_processor("server-1", 1, 1.2);
+        let p2 = if single_host {
+            p1
+        } else {
+            m.add_processor("server-2", 1, 0.8)
+        };
+        let fe = m.add_task("front-end", p1, 1024, 1).unwrap();
+        m.set_parallelism(fe, Some(1)).unwrap();
+        let carts = m.add_task("carts", p1, 64, 1).unwrap();
+        let catalogue = m.add_task("catalogue", p2, 64, 1).unwrap();
+        let catalogue_db = m.add_task("catalogue-db", p2, 32, 1).unwrap();
+        let carts_db = m.add_task("carts-db", p2, 32, 1).unwrap();
+
+        let f_home = m.add_entry("home", fe, self.d_home).unwrap();
+        let f_cat = m.add_entry("catalogue", fe, self.d_catalogue).unwrap();
+        let f_cart = m.add_entry("carts", fe, self.d_carts).unwrap();
+        m.set_latency(f_home, self.l_home).unwrap();
+        m.set_latency(f_cat, self.l_catalogue).unwrap();
+        m.set_latency(f_cart, self.l_carts).unwrap();
+        let c_list = m.add_entry("list", catalogue, self.d_catalogue_svc).unwrap();
+        let c_item = m.add_entry("item", catalogue, self.d_catalogue_svc).unwrap();
+        let k_get = m.add_entry("get", carts, self.d_carts_svc).unwrap();
+        let k_add = m.add_entry("add", carts, self.d_carts_svc).unwrap();
+        let k_del = m.add_entry("delete", carts, self.d_carts_svc).unwrap();
+        let cdb_q = m.add_entry("cat-query", catalogue_db, self.d_catalogue_db).unwrap();
+        let kdb_q = m.add_entry("cart-query", carts_db, self.d_carts_db).unwrap();
+
+        m.add_call(f_cat, c_list, 0.5).unwrap();
+        m.add_call(f_cat, c_item, 0.5).unwrap();
+        m.add_call(f_cart, k_get, 1.0 / 3.0).unwrap();
+        m.add_call(f_cart, k_add, 1.0 / 3.0).unwrap();
+        m.add_call(f_cart, k_del, 1.0 / 3.0).unwrap();
+        m.add_call(c_list, cdb_q, 1.0).unwrap();
+        m.add_call(c_item, cdb_q, 1.0).unwrap();
+        m.add_call(k_get, kdb_q, 1.0).unwrap();
+        m.add_call(k_add, kdb_q, 1.0).unwrap();
+        m.add_call(k_del, kdb_q, 1.0).unwrap();
+
+        let client = m.add_reference_task("users", users, think_time).unwrap();
+        let ce = m.reference_entry(client).unwrap();
+        m.add_call(ce, f_home, mix[0]).unwrap();
+        m.add_call(ce, f_cat, mix[1]).unwrap();
+        m.add_call(ce, f_cart, mix[2]).unwrap();
+        m
+    }
+}
+
+/// Ids produced alongside the evaluation LQN.
+#[derive(Debug, Clone, Copy)]
+struct SockShopIds {
+    client: TaskId,
+    tasks: [TaskId; 6],
+    features: [EntryId; 3],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_lqn::analytic::{solve, SolverOptions};
+
+    #[test]
+    fn specs_validate() {
+        let shop = SockShop::default();
+        shop.app_spec().validate().unwrap();
+        shop.app_spec_stateful_full_core().validate().unwrap();
+        shop.validation_app_spec(false).validate().unwrap();
+        shop.validation_app_spec(true).validate().unwrap();
+    }
+
+    #[test]
+    fn validation_model_reproduces_table_iv_tps() {
+        let shop = SockShop::default();
+        let model = shop.validation_lqn(3000, 7.0, &[0.57, 0.29, 0.14]);
+        let sol = solve(&model, SolverOptions::default()).unwrap();
+        // Paper: measured 387.8 req/s, model 414.5; accept the band.
+        assert!(
+            (sol.total_throughput() - 400.0).abs() < 40.0,
+            "TPS {}",
+            sol.total_throughput()
+        );
+    }
+
+    #[test]
+    fn validation_model_reproduces_table_iv_utilizations() {
+        let shop = SockShop::default();
+        let model = shop.validation_lqn(3000, 7.0, &[0.57, 0.29, 0.14]);
+        let sol = solve(&model, SolverOptions::default()).unwrap();
+        let util = |name: &str| sol.task_utilization(model.task_by_name(name).unwrap());
+        // Paper Table IV: front-end 65.9–75.2, carts 14.2–16, catalogue
+        // 15.4–19.2, catalogue-db 12–12.6, carts-db 44.3–48.2 (percent).
+        assert!((0.55..0.85).contains(&util("front-end")), "fe {}", util("front-end"));
+        assert!((0.08..0.25).contains(&util("carts")), "carts {}", util("carts"));
+        assert!((0.08..0.25).contains(&util("catalogue")), "cat {}", util("catalogue"));
+        assert!((0.06..0.20).contains(&util("catalogue-db")), "cdb {}", util("catalogue-db"));
+        assert!((0.30..0.60).contains(&util("carts-db")), "kdb {}", util("carts-db"));
+    }
+
+    #[test]
+    fn evaluation_binding_is_consistent() {
+        let shop = SockShop::default();
+        let binding = shop.binding(500, 7.0, &[0.63, 0.32, 0.05]);
+        binding.assert_consistent();
+        assert_eq!(binding.services.len(), 6);
+        assert_eq!(binding.feature_entries.len(), 3);
+        // Spec service order matches binding order.
+        let spec = shop.app_spec();
+        for (i, s) in binding.services.iter().enumerate() {
+            assert_eq!(s.name, spec.services[i].name);
+        }
+    }
+
+    #[test]
+    fn initial_config_handles_500_browsing_users() {
+        let shop = SockShop::default();
+        let model = shop.lqn_model(500, 7.0, &[0.63, 0.32, 0.05]);
+        let sol = solve(&model, SolverOptions::default()).unwrap();
+        // Nearly all offered load completes: X ≈ 500 / (7 + R) with
+        // modest R.
+        assert!(sol.total_throughput() > 60.0, "X {}", sol.total_throughput());
+        for (ti, task) in model.tasks().iter().enumerate() {
+            if !task.is_reference() {
+                assert!(
+                    sol.task_utilization[ti] < 0.95,
+                    "{} overloaded: {}",
+                    task.name,
+                    sol.task_utilization[ti]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_ordering_load_saturates_bottlenecks() {
+        let shop = SockShop::default();
+        // Ordering mix at N = 3000 with the initial 500-user sizing.
+        let model = shop.lqn_model(3000, 7.0, &[0.33, 0.17, 0.50]);
+        let sol = solve(&model, SolverOptions::default()).unwrap();
+        let util = |name: &str| sol.task_utilization(model.task_by_name(name).unwrap());
+        // The carts chain saturates first at the initial sizing (Fig. 11's
+        // layered-bottleneck situation), choking the offered ~428/s down.
+        assert!(util("carts") > 0.85, "carts {}", util("carts"));
+        // The front-end is throttled by the saturated carts chain, so its
+        // own utilisation stays moderate — the starvation effect that
+        // hides downstream bottlenecks from rule-based scalers.
+        assert!(
+            util("front-end") > 0.3,
+            "front-end {}",
+            util("front-end")
+        );
+        assert!(sol.total_throughput() < 400.0, "X {}", sol.total_throughput());
+    }
+
+    #[test]
+    fn required_cores_match_hand_calculation() {
+        let shop = SockShop::default();
+        let spec = shop.app_spec();
+        let req = spec.required_cores(&[0.33, 0.17, 0.50], 3000.0 / 7.0);
+        // carts-db: 0.5 × 428.6 × 6.4 ms / 1.2 ≈ 1.14 cores.
+        assert!((req[SVC_CARTS_DB] - 1.14).abs() < 0.05, "carts-db {}", req[SVC_CARTS_DB]);
+        // router: 428.6 × 1.2 ms / 1.2 ≈ 0.43.
+        assert!((req[SVC_ROUTER] - 0.43).abs() < 0.03, "router {}", req[SVC_ROUTER]);
+    }
+}
+
+#[cfg(test)]
+mod perf_probe {
+    use super::*;
+    use atom_core::optimizer::search;
+    use atom_ga::{Budget, GaOptions};
+
+    #[test]
+    fn ga_search_completes_quickly() {
+        let shop = SockShop::default();
+        let binding = shop.binding(3000, 7.0, &[0.33, 0.17, 0.50]);
+        let start = std::time::Instant::now();
+        let result = search(
+            &binding,
+            &binding.model,
+            &shop.objective(),
+            GaOptions {
+                budget: Budget::Evaluations(600),
+                ..Default::default()
+            },
+        );
+        let elapsed = start.elapsed().as_secs_f64();
+        println!("600-eval GA search: {elapsed:.2}s, eval {:?}", result.eval);
+        assert!(elapsed < 30.0, "GA search too slow: {elapsed}s");
+    }
+}
+
+#[cfg(test)]
+mod derived_binding_tests {
+    use super::*;
+    use atom_core::ModelBinding;
+    use atom_lqn::analytic::{solve, SolverOptions};
+
+    /// The §IV-A "derive the model from the topology" path must agree
+    /// with the hand-built Fig. 3 model.
+    #[test]
+    fn derived_binding_matches_handwritten_model() {
+        let shop = SockShop::default();
+        let mix = [0.33, 0.17, 0.50];
+        let hand = shop.binding(2000, 7.0, &mix);
+        let derived = ModelBinding::from_app_spec(&shop.app_spec(), 2000, 7.0, &mix);
+        let a = solve(&hand.model, SolverOptions::default()).unwrap();
+        let b = solve(&derived.model, SolverOptions::default()).unwrap();
+        let rel = (a.client_throughput - b.client_throughput).abs() / a.client_throughput;
+        assert!(rel < 1e-6, "hand {} vs derived {}", a.client_throughput, b.client_throughput);
+        assert_eq!(derived.services.len(), 6);
+        // Stateful services are vertical-only in the derived binding.
+        for name in ["router", "catalogue-db", "carts-db"] {
+            let sb = derived.services.iter().find(|s| s.name == name).unwrap();
+            assert_eq!(sb.max_replicas, 1, "{name}");
+            assert!(sb.share_bounds.1 > 1.0, "{name} can scale past one core");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+#![warn(missing_docs)]
+
+//! Closed workloads for the ATOM experiments: request mixes, load
+//! profiles, and burstiness injection.
+//!
+//! The paper specifies workloads by a *request mix* (fractions of Home /
+//! Catalogue / Carts requests — Tables I, II, VI), a *concurrent user
+//! count* `N` that ramps up during the first 25 minutes of each
+//! experiment, an exponential *think time*, and optionally *burstiness*
+//! characterised by the index of dispersion `I` (§V-B, Fig. 13, after Mi
+//! et al. [40]).
+//!
+//! * [`RequestMix`] — a normalised categorical distribution over features;
+//! * [`LoadProfile`] — population as a function of time (constant, linear
+//!   ramp, or step function);
+//! * [`burstiness::Mmpp2`] — a two-state Markov-modulated process whose
+//!   switching rates are calibrated in closed form to a target index of
+//!   dispersion; the cluster simulator modulates user think times with it;
+//! * [`WorkloadSpec`] — the bundle consumed by `atom-cluster`.
+
+pub mod burstiness;
+pub mod mix;
+pub mod profile;
+
+pub use burstiness::{BurstinessSpec, Mmpp2};
+pub use mix::RequestMix;
+pub use profile::LoadProfile;
+
+use serde::{Deserialize, Serialize};
+
+/// A complete workload description for one experiment run.
+///
+/// # Examples
+///
+/// ```
+/// use atom_workload::{WorkloadSpec, RequestMix, LoadProfile};
+///
+/// // The paper's browsing mix, ramping 500 → 3000 users over 25 min.
+/// let w = WorkloadSpec {
+///     mix: RequestMix::new(vec![0.63, 0.32, 0.05]).unwrap(),
+///     think_time: 7.0,
+///     profile: LoadProfile::Ramp {
+///         from: 500,
+///         to: 3000,
+///         start: 0.0,
+///         duration: 25.0 * 60.0,
+///     },
+///     burstiness: None,
+/// };
+/// assert_eq!(w.profile.population_at(25.0 * 60.0), 3000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Fractions of requests per feature.
+    pub mix: RequestMix,
+    /// Mean think time between requests (seconds).
+    pub think_time: f64,
+    /// Concurrent users over time.
+    pub profile: LoadProfile,
+    /// Optional burstiness injection.
+    pub burstiness: Option<BurstinessSpec>,
+}
+
+impl WorkloadSpec {
+    /// A constant-population workload with no burstiness.
+    pub fn constant(mix: RequestMix, users: usize, think_time: f64) -> Self {
+        WorkloadSpec {
+            mix,
+            think_time,
+            profile: LoadProfile::Constant(users),
+            burstiness: None,
+        }
+    }
+
+    /// Offered request rate (requests/second) at time `t`, ignoring
+    /// response time: `N(t) / Z`. The true closed-loop rate is lower;
+    /// this is the planning quantity used for required-capacity
+    /// computations.
+    pub fn offered_rate_at(&self, t: f64) -> f64 {
+        if self.think_time <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.profile.population_at(t) as f64 / self.think_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_spec_offered_rate() {
+        let w = WorkloadSpec::constant(RequestMix::new(vec![1.0]).unwrap(), 700, 7.0);
+        assert!((w.offered_rate_at(0.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let w = WorkloadSpec {
+            mix: RequestMix::new(vec![0.5, 0.5]).unwrap(),
+            think_time: 5.0,
+            profile: LoadProfile::Steps(vec![(0.0, 10), (60.0, 50)]),
+            burstiness: Some(BurstinessSpec {
+                index_of_dispersion: 400.0,
+                burst_fraction: 0.1,
+                burst_multiplier: 8.0,
+            }),
+        };
+        let json = serde_json::to_string(&w).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+}

@@ -1,0 +1,279 @@
+//! Population-over-time profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Concurrent user population as a function of time.
+///
+/// The paper's evaluation protocol (§V-B) holds an initial population,
+/// then increases it during the first 25 minutes of a 40-minute run; the
+/// [`LoadProfile::Ramp`] variant models that directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadProfile {
+    /// Fixed population.
+    Constant(usize),
+    /// Linear ramp from `from` to `to` over `[start, start + duration]`,
+    /// holding `to` afterwards and `from` before.
+    Ramp {
+        /// Population before the ramp.
+        from: usize,
+        /// Population after the ramp.
+        to: usize,
+        /// Ramp start time (seconds).
+        start: f64,
+        /// Ramp duration (seconds).
+        duration: f64,
+    },
+    /// Piecewise-constant steps: `(time, population)` pairs sorted by
+    /// time; before the first step the population is the first value.
+    Steps(Vec<(f64, usize)>),
+    /// A diurnal (sinusoidal) pattern: population oscillates between
+    /// `low` and `high` with the given `period`, starting at `low`
+    /// (trough at `t = 0`). Useful for day/night capacity studies beyond
+    /// the paper's ramp protocol.
+    Diurnal {
+        /// Trough population.
+        low: usize,
+        /// Peak population.
+        high: usize,
+        /// Full cycle length (seconds).
+        period: f64,
+    },
+}
+
+impl LoadProfile {
+    /// Population at time `t`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use atom_workload::LoadProfile;
+    /// let ramp = LoadProfile::Ramp { from: 500, to: 2500, start: 0.0, duration: 100.0 };
+    /// assert_eq!(ramp.population_at(-1.0), 500);
+    /// assert_eq!(ramp.population_at(50.0), 1500);
+    /// assert_eq!(ramp.population_at(1000.0), 2500);
+    /// ```
+    pub fn population_at(&self, t: f64) -> usize {
+        match self {
+            LoadProfile::Constant(n) => *n,
+            LoadProfile::Ramp {
+                from,
+                to,
+                start,
+                duration,
+            } => {
+                if t <= *start {
+                    *from
+                } else if t >= start + duration || *duration <= 0.0 {
+                    *to
+                } else {
+                    let alpha = (t - start) / duration;
+                    let f = *from as f64;
+                    let delta = *to as f64 - f;
+                    (f + alpha * delta).round() as usize
+                }
+            }
+            LoadProfile::Steps(steps) => {
+                if steps.is_empty() {
+                    return 0;
+                }
+                let mut current = steps[0].1;
+                for &(time, pop) in steps {
+                    if t >= time {
+                        current = pop;
+                    } else {
+                        break;
+                    }
+                }
+                current
+            }
+            LoadProfile::Diurnal { low, high, period } => {
+                if *period <= 0.0 {
+                    return *low;
+                }
+                let phase = (t / period) * std::f64::consts::TAU;
+                let mid = (*low as f64 + *high as f64) / 2.0;
+                let amp = (*high as f64 - *low as f64) / 2.0;
+                (mid - amp * phase.cos()).round().max(0.0) as usize
+            }
+        }
+    }
+
+    /// Largest population the profile ever reaches.
+    pub fn peak(&self) -> usize {
+        match self {
+            LoadProfile::Constant(n) => *n,
+            LoadProfile::Ramp { from, to, .. } => (*from).max(*to),
+            LoadProfile::Steps(steps) => steps.iter().map(|&(_, p)| p).max().unwrap_or(0),
+            LoadProfile::Diurnal { low, high, .. } => (*low).max(*high),
+        }
+    }
+
+    /// The times at which the integer population changes within
+    /// `[t0, t1]`, useful for scheduling user arrivals/departures in the
+    /// simulator. For ramps this returns one instant per unit change.
+    pub fn change_points(&self, t0: f64, t1: f64) -> Vec<(f64, usize)> {
+        let mut out = Vec::new();
+        match self {
+            LoadProfile::Constant(_) => {}
+            LoadProfile::Ramp {
+                from,
+                to,
+                start,
+                duration,
+            } => {
+                if from == to || *duration <= 0.0 {
+                    if *from != *to {
+                        out.push((*start, *to));
+                    }
+                } else {
+                    let steps = (*to as i64 - *from as i64).unsigned_abs() as usize;
+                    for k in 1..=steps {
+                        let alpha = k as f64 / steps as f64;
+                        let t = start + alpha * duration;
+                        let pop = if to > from { from + k } else { from - k };
+                        if t >= t0 && t <= t1 {
+                            out.push((t, pop));
+                        }
+                    }
+                }
+            }
+            LoadProfile::Steps(steps) => {
+                for &(time, pop) in steps {
+                    if time > t0 && time <= t1 {
+                        out.push((time, pop));
+                    }
+                }
+            }
+            LoadProfile::Diurnal { period, .. } => {
+                // Sample the sinusoid finely enough to catch every unit
+                // change (120 points per cycle suffices for the paper's
+                // population scales).
+                let step = (period / 120.0).max(1e-3);
+                let mut last = self.population_at(t0);
+                let mut t = t0 + step;
+                while t <= t1 {
+                    let pop = self.population_at(t);
+                    if pop != last {
+                        out.push((t, pop));
+                        last = pop;
+                    }
+                    t += step;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_everywhere() {
+        let p = LoadProfile::Constant(42);
+        assert_eq!(p.population_at(-5.0), 42);
+        assert_eq!(p.population_at(1e9), 42);
+        assert_eq!(p.peak(), 42);
+        assert!(p.change_points(0.0, 100.0).is_empty());
+    }
+
+    #[test]
+    fn ramp_interpolates() {
+        let p = LoadProfile::Ramp {
+            from: 100,
+            to: 200,
+            start: 10.0,
+            duration: 10.0,
+        };
+        assert_eq!(p.population_at(0.0), 100);
+        assert_eq!(p.population_at(15.0), 150);
+        assert_eq!(p.population_at(30.0), 200);
+        assert_eq!(p.peak(), 200);
+    }
+
+    #[test]
+    fn ramp_change_points_are_unit_steps() {
+        let p = LoadProfile::Ramp {
+            from: 0,
+            to: 10,
+            start: 0.0,
+            duration: 10.0,
+        };
+        let cps = p.change_points(0.0, 10.0);
+        assert_eq!(cps.len(), 10);
+        assert_eq!(cps[0].1, 1);
+        assert_eq!(cps[9], (10.0, 10));
+    }
+
+    #[test]
+    fn downward_ramp_works() {
+        let p = LoadProfile::Ramp {
+            from: 10,
+            to: 5,
+            start: 0.0,
+            duration: 5.0,
+        };
+        assert_eq!(p.population_at(2.5), 8); // 10 - 2.5
+        let cps = p.change_points(0.0, 5.0);
+        assert_eq!(cps.len(), 5);
+        assert_eq!(cps.last().unwrap().1, 5);
+    }
+
+    #[test]
+    fn steps_hold_between_points() {
+        let p = LoadProfile::Steps(vec![(0.0, 5), (10.0, 20), (20.0, 10)]);
+        assert_eq!(p.population_at(-1.0), 5);
+        assert_eq!(p.population_at(9.9), 5);
+        assert_eq!(p.population_at(10.0), 20);
+        assert_eq!(p.population_at(25.0), 10);
+        assert_eq!(p.peak(), 20);
+        let cps = p.change_points(5.0, 25.0);
+        assert_eq!(cps, vec![(10.0, 20), (20.0, 10)]);
+    }
+
+    #[test]
+    fn diurnal_oscillates_between_bounds() {
+        let p = LoadProfile::Diurnal {
+            low: 100,
+            high: 300,
+            period: 3600.0,
+        };
+        assert_eq!(p.population_at(0.0), 100);
+        assert_eq!(p.population_at(1800.0), 300); // half cycle = peak
+        assert_eq!(p.population_at(3600.0), 100); // full cycle = trough
+        assert_eq!(p.population_at(900.0), 200); // quarter = midpoint
+        assert_eq!(p.peak(), 300);
+        for i in 0..100 {
+            let n = p.population_at(i as f64 * 36.0);
+            assert!((100..=300).contains(&n));
+        }
+    }
+
+    #[test]
+    fn diurnal_change_points_track_the_curve() {
+        let p = LoadProfile::Diurnal {
+            low: 10,
+            high: 20,
+            period: 600.0,
+        };
+        let cps = p.change_points(0.0, 600.0);
+        assert!(!cps.is_empty());
+        for (t, pop) in cps {
+            assert_eq!(p.population_at(t), pop);
+        }
+    }
+
+    #[test]
+    fn zero_duration_ramp_is_a_step() {
+        let p = LoadProfile::Ramp {
+            from: 1,
+            to: 9,
+            start: 5.0,
+            duration: 0.0,
+        };
+        assert_eq!(p.population_at(4.9), 1);
+        assert_eq!(p.population_at(5.1), 9);
+        assert_eq!(p.change_points(0.0, 10.0), vec![(5.0, 9)]);
+    }
+}

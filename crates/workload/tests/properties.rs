@@ -1,0 +1,109 @@
+//! Property-based tests for workload generation.
+
+use atom_sim::SimRng;
+use atom_workload::burstiness::{BurstinessSpec, Mmpp2};
+use atom_workload::{LoadProfile, RequestMix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MMPP calibration hits any requested index of dispersion exactly
+    /// (closed form) and preserves the mean rate.
+    #[test]
+    fn mmpp_calibration_is_exact(
+        rate in 0.1f64..500.0,
+        target in 1.5f64..10_000.0,
+        fraction in 0.02f64..0.5,
+        multiplier in 1.5f64..20.0,
+        seed in 0u64..100,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let spec = BurstinessSpec {
+            index_of_dispersion: target,
+            burst_fraction: fraction,
+            burst_multiplier: multiplier,
+        };
+        let mmpp = Mmpp2::calibrated(rate, spec, &mut rng);
+        let i = mmpp.index_of_dispersion(rate);
+        prop_assert!((i - target).abs() / target < 1e-9, "target {target} got {i}");
+    }
+
+    /// The modulating intensity averages to one over long horizons, so
+    /// burstiness never changes the mean offered load.
+    #[test]
+    fn mmpp_time_average_intensity_is_one(
+        target in 5.0f64..500.0,
+        seed in 0u64..50,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let spec = BurstinessSpec {
+            index_of_dispersion: target,
+            ..Default::default()
+        };
+        let mut mmpp = Mmpp2::calibrated(20.0, spec, &mut rng);
+        // Time-weighted average of the intensity over a long horizon.
+        let mut t = 0.0;
+        let mut integral = 0.0;
+        let dt = 1.0;
+        // Long enough to see many burst cycles even for large targets.
+        let horizon = 400_000.0;
+        while t < horizon {
+            integral += mmpp.advance(t, &mut rng) * dt;
+            t += dt;
+        }
+        let avg = integral / horizon;
+        prop_assert!((avg - 1.0).abs() < 0.25, "avg intensity {avg}");
+    }
+
+    /// Load profiles are bounded by their extremes and hit both ends.
+    #[test]
+    fn ramp_profile_bounded(
+        from in 0usize..1000,
+        to in 0usize..1000,
+        start in 0.0f64..100.0,
+        duration in 0.0f64..1000.0,
+    ) {
+        let p = LoadProfile::Ramp { from, to, start, duration };
+        let (lo, hi) = (from.min(to), from.max(to));
+        for i in 0..50 {
+            let t = -10.0 + i as f64 * (duration + 40.0) / 50.0;
+            let n = p.population_at(start + t);
+            prop_assert!((lo..=hi).contains(&n), "pop {n} outside [{lo}, {hi}]");
+        }
+        prop_assert_eq!(p.population_at(start - 1.0), from);
+        prop_assert_eq!(p.population_at(start + duration + 1.0), to);
+        prop_assert_eq!(p.peak(), hi);
+    }
+
+    /// Change points are consistent with the pointwise evaluation.
+    #[test]
+    fn change_points_match_population(
+        from in 0usize..40,
+        to in 0usize..40,
+        duration in 1.0f64..100.0,
+    ) {
+        let p = LoadProfile::Ramp { from, to, start: 0.0, duration };
+        for (t, pop) in p.change_points(0.0, duration) {
+            prop_assert_eq!(
+                p.population_at(t + 1e-9),
+                pop,
+                "at t={} expected {}",
+                t,
+                pop
+            );
+        }
+    }
+
+    /// Mixes always normalise and sampling respects zero weights.
+    #[test]
+    fn mix_normalises(weights in proptest::collection::vec(0.0f64..10.0, 1..6)) {
+        prop_assume!(weights.iter().sum::<f64>() > 1e-6);
+        let mix = RequestMix::new(weights.clone()).unwrap();
+        let sum: f64 = mix.fractions().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for (w, f) in weights.iter().zip(mix.fractions()) {
+            prop_assert_eq!(*w == 0.0, *f == 0.0);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The facade crate exposes every subsystem: this is the "downstream
+//! user" view exercised end to end, mirroring the README quickstart.
+
+use atom::ga::{optimize, Budget, Evaluation, GaOptions, Gene};
+use atom::lqn::analytic::{solve, SolverOptions};
+use atom::metrics::{CapacityTrace, CapacityWindow};
+use atom::mva::{closed::solve_exact, ClassSpec, ClosedNetwork, Station};
+use atom::sim::SimRng;
+use atom::sockshop::SockShop;
+use atom::workload::burstiness::{BurstinessSpec, Mmpp2};
+
+#[test]
+fn readme_quickstart_compiles_and_runs() {
+    let model = SockShop::default().lqn_model(1000, 7.0, &[0.57, 0.29, 0.14]);
+    let solution = solve(&model, SolverOptions::default()).unwrap();
+    assert!(solution.total_throughput() > 100.0);
+    assert!(solution.client_response_time > 0.0);
+}
+
+#[test]
+fn every_reexport_is_usable() {
+    // mva
+    let net = ClosedNetwork::new(
+        vec![Station::queueing("s", 1, vec![0.1])],
+        vec![ClassSpec::new("c", 5, 1.0)],
+    )
+    .unwrap();
+    assert!(solve_exact(&net).unwrap().throughput[0] > 0.0);
+    // sim
+    let mut rng = SimRng::seed_from(1);
+    assert!(rng.exponential(2.0) >= 0.0);
+    // workload
+    let mmpp = Mmpp2::calibrated(
+        10.0,
+        BurstinessSpec {
+            index_of_dispersion: 100.0,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    assert!((mmpp.index_of_dispersion(10.0) - 100.0).abs() < 1e-6);
+    // ga
+    let result = optimize(
+        &[Gene::Float { lo: 0.0, hi: 1.0 }],
+        GaOptions {
+            budget: Budget::Evaluations(200),
+            ..Default::default()
+        },
+        |g| Evaluation::feasible(-(g[0].as_f64() - 0.25).powi(2)),
+    );
+    assert!((result.best_values[0].as_f64() - 0.25).abs() < 0.1);
+    // metrics
+    let mut trace = CapacityTrace::new();
+    trace.push(CapacityWindow {
+        start: 0.0,
+        end: 10.0,
+        required: 2.0,
+        allocated: 1.0,
+    });
+    assert_eq!(trace.underprovision_time(), 10.0);
+}

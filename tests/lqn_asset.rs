@@ -1,0 +1,16 @@
+//! The checked-in Sock Shop `.lqn` asset stays parseable and solvable —
+//! it is the file users are pointed at to try `atom-cli solve`.
+
+use atom::lqn::analytic::{solve, SolverOptions};
+use atom::lqn::{from_lqn_text, to_lqn_text};
+
+#[test]
+fn shipped_lqn_asset_parses_and_solves() {
+    let text = include_str!("../assets/sockshop.lqn");
+    let model = from_lqn_text(text).expect("asset must parse");
+    assert_eq!(model.tasks().len(), 7); // 6 services + reference task
+    let sol = solve(&model, SolverOptions::default()).expect("asset must solve");
+    assert!(sol.total_throughput() > 0.0);
+    // And it is in canonical form (write∘parse fixed point).
+    assert_eq!(text, to_lqn_text(&model));
+}

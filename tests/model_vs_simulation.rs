@@ -1,0 +1,110 @@
+//! Cross-crate integration: the analytic LQN solver and the two
+//! discrete-event paths (LQN simulator, cluster testbed) must agree on
+//! the Sock Shop within the paper's validation tolerances (§III-C).
+
+use atom::cluster::{Cluster, ClusterOptions};
+use atom::lqn::analytic::{solve, SolverOptions};
+use atom::lqn::sim::{simulate, SimOptions};
+use atom::sockshop::SockShop;
+use atom::workload::{RequestMix, WorkloadSpec};
+
+const MIX: [f64; 3] = [0.57, 0.29, 0.14];
+
+#[test]
+fn analytic_matches_lqn_simulator_on_sockshop() {
+    let shop = SockShop::default();
+    for users in [1000usize, 3000] {
+        let model = shop.validation_lqn(users, 7.0, &MIX);
+        let analytic = solve(&model, SolverOptions::default()).unwrap();
+        let sim = simulate(
+            &model,
+            SimOptions {
+                horizon: 900.0,
+                warmup: 150.0,
+                seed: 7,
+                demand_cv: 1.0,
+            },
+        )
+        .unwrap();
+        let rel = (analytic.client_throughput - sim.client_throughput).abs()
+            / sim.client_throughput;
+        assert!(
+            rel < 0.08,
+            "N={users}: analytic {} vs sim {}",
+            analytic.client_throughput,
+            sim.client_throughput
+        );
+    }
+}
+
+#[test]
+fn analytic_matches_cluster_testbed_on_sockshop() {
+    let shop = SockShop::default();
+    let users = 2000;
+    let model = shop.validation_lqn(users, 7.0, &MIX);
+    let analytic = solve(&model, SolverOptions::default()).unwrap();
+
+    let spec = shop.validation_app_spec(false);
+    let workload = WorkloadSpec::constant(RequestMix::new(MIX.to_vec()).unwrap(), users, 7.0);
+    let mut cluster = Cluster::new(&spec, workload, ClusterOptions::default()).unwrap();
+    cluster.run_window(200.0);
+    let measured = cluster.run_window(900.0);
+
+    let rel = (analytic.client_throughput - measured.total_tps).abs() / measured.total_tps;
+    assert!(
+        rel < 0.08,
+        "analytic {} vs cluster {}",
+        analytic.client_throughput,
+        measured.total_tps
+    );
+    // Per-service utilisations within the paper's 10% band.
+    for (name, si) in [
+        ("front-end", 0usize),
+        ("carts", 1),
+        ("catalogue", 2),
+        ("catalogue-db", 3),
+        ("carts-db", 4),
+    ] {
+        let task = model.task_by_name(name).unwrap();
+        let m = analytic.task_utilization(task);
+        let s = measured.service_utilization[si];
+        assert!(
+            (m - s).abs() < 0.10 * s.max(0.05),
+            "{name}: model {m} vs measured {s}"
+        );
+    }
+}
+
+#[test]
+fn the_two_simulators_agree_with_each_other() {
+    // Same topology expressed as an LQN and as a cluster spec must give
+    // the same steady-state throughput (they are independent codebases
+    // over the same engine).
+    let shop = SockShop::default();
+    let users = 1500;
+    let model = shop.validation_lqn(users, 7.0, &MIX);
+    let lqn_sim = simulate(
+        &model,
+        SimOptions {
+            horizon: 900.0,
+            warmup: 150.0,
+            seed: 3,
+            demand_cv: 1.0,
+        },
+    )
+    .unwrap();
+
+    let spec = shop.validation_app_spec(false);
+    let workload = WorkloadSpec::constant(RequestMix::new(MIX.to_vec()).unwrap(), users, 7.0);
+    let mut cluster = Cluster::new(&spec, workload, ClusterOptions::default()).unwrap();
+    cluster.run_window(150.0);
+    let measured = cluster.run_window(750.0);
+
+    let rel = (lqn_sim.client_throughput - measured.total_tps).abs() / measured.total_tps;
+    assert!(
+        rel < 0.05,
+        "lqn sim {} vs cluster {}",
+        lqn_sim.client_throughput,
+        measured.total_tps
+    );
+}
