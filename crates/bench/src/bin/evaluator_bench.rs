@@ -1,0 +1,139 @@
+//! Candidate-evaluation throughput: the retired clone-per-candidate
+//! serial path vs the unified evaluation layer (memoised + warm-started
+//! + scratch-reuse) on the Sock Shop model.
+//!
+//! Prints candidate evaluations per second for both paths, the speedup,
+//! and the evaluator's cache hit-rate and solves-saved counters.
+
+use std::time::Instant;
+
+use atom_core::evaluator::{CandidateEvaluator, CANDIDATE_SOLVER};
+use atom_core::optimizer::{decode, search_with};
+use atom_core::{ModelBinding, ObjectiveSpec};
+use atom_ga::{optimize, Budget, Evaluation, GaOptions, Gene};
+use atom_lqn::analytic::solve;
+use atom_sockshop::SockShop;
+
+fn genome(binding: &ModelBinding) -> Vec<Gene> {
+    let mut genome = Vec::new();
+    for s in binding.scalable() {
+        genome.push(Gene::Int {
+            lo: 1,
+            hi: s.max_replicas as i64,
+        });
+        genome.push(Gene::Float {
+            lo: s.share_bounds.0,
+            hi: s.share_bounds.1,
+        });
+    }
+    genome
+}
+
+/// The pre-refactor fitness: clone the whole model per candidate, solve
+/// serially, no memoisation, no warm starts. Candidates are decoded with
+/// the optimizer's own [`decode`], so both paths score the identical
+/// candidate stream.
+fn baseline_search(
+    binding: &ModelBinding,
+    objective: &ObjectiveSpec,
+    ga: GaOptions,
+) -> (Evaluation, usize, usize) {
+    let model = &binding.model;
+    let scalable: Vec<_> = binding.scalable().collect();
+    let mut iterations = 0usize;
+    let result = optimize(&genome(binding), ga, |genes| {
+        let config = decode(&scalable, genes);
+        let mut candidate = model.clone();
+        if config.apply(&mut candidate).is_err() {
+            return CandidateEvaluator::rejected();
+        }
+        match solve(&candidate, CANDIDATE_SOLVER) {
+            Ok(sol) => {
+                iterations += sol.iterations;
+                objective.evaluate(binding, &candidate, &config, &sol)
+            }
+            Err(_) => CandidateEvaluator::rejected(),
+        }
+    });
+    (result.best, result.evaluations, iterations)
+}
+
+fn main() {
+    let shop = SockShop::default();
+    let mix = [0.33, 0.17, 0.50];
+    let budget = 800usize;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "candidate-evaluation throughput, Sock Shop model, GA budget {budget}, {cores} core(s)"
+    );
+    println!();
+    for users in [500usize, 1500, 3000] {
+        let binding = shop.binding(users, 7.0, &mix);
+        let objective = shop.objective();
+        let ga = GaOptions {
+            budget: Budget::Evaluations(budget),
+            seed: 42,
+            ..Default::default()
+        };
+
+        let t0 = Instant::now();
+        let (base_eval, base_n, base_iters) = baseline_search(&binding, &objective, ga);
+        let base_secs = t0.elapsed().as_secs_f64();
+
+        let mut serial = CandidateEvaluator::new(&binding, &binding.model, &objective);
+        let t1 = Instant::now();
+        let result = search_with(&mut serial, ga);
+        let eval_secs = t1.elapsed().as_secs_f64();
+
+        let mut threaded =
+            CandidateEvaluator::new(&binding, &binding.model, &objective).with_workers(cores);
+        let t2 = Instant::now();
+        let par = search_with(&mut threaded, ga);
+        let par_secs = t2.elapsed().as_secs_f64();
+        assert_eq!(
+            par.eval, result.eval,
+            "worker count must not change results"
+        );
+
+        let base_rate = base_n as f64 / base_secs;
+        let eval_rate = result.evaluations as f64 / eval_secs;
+        let par_rate = par.evaluations as f64 / par_secs;
+        println!("N={users}:");
+        println!(
+            "  baseline (clone-per-candidate, serial):  {base_n} evals in {base_secs:.3} s \
+             = {base_rate:.0} evals/s, best objective {:.4}",
+            base_eval.objective
+        );
+        println!(
+            "  evaluator (memoised + warm-start, 1 wk): {} evals in {eval_secs:.3} s \
+             = {eval_rate:.0} evals/s, best objective {:.4}",
+            result.evaluations, result.eval.objective
+        );
+        let par_label = format!("evaluator ({cores} workers):");
+        println!(
+            "  {par_label:<41}{} evals in {par_secs:.3} s \
+             = {par_rate:.0} evals/s (bitwise identical result)",
+            par.evaluations
+        );
+        println!(
+            "  speedup serial {:.2}x, parallel {:.2}x | cache hit-rate {:.1}% | solves {} | solves saved {}",
+            eval_rate / base_rate,
+            par_rate / base_rate,
+            result.stats.hit_rate() * 100.0,
+            result.stats.solves,
+            result.stats.solves_saved(),
+        );
+        let s = &result.stats;
+        let cold_solves = s.solves - s.hinted_solves;
+        let cold_iters = s.solver_iterations - s.hinted_iterations;
+        println!(
+            "  iters/solve: baseline {:.0} | evaluator cold {:.0} ({} solves) | hinted {:.0} ({} solves)",
+            base_iters as f64 / base_n as f64,
+            cold_iters as f64 / cold_solves.max(1) as f64,
+            cold_solves,
+            s.hinted_iterations as f64 / s.hinted_solves.max(1) as f64,
+            s.hinted_solves,
+        );
+        println!();
+    }
+}

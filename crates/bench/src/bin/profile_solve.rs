@@ -1,12 +1,16 @@
 fn main() {
-    use atom_sockshop::SockShop;
     use atom_lqn::analytic::{solve, SolverOptions};
+    use atom_sockshop::SockShop;
     let shop = SockShop::default();
     for n in [500usize, 3000] {
         let model = shop.lqn_model(n, 7.0, &[0.33, 0.17, 0.50]);
         let t0 = std::time::Instant::now();
         let sol = solve(&model, SolverOptions::default()).unwrap();
-        println!("n={n}: X={:.2} inner-iterations={} time={:?}",
-            sol.client_throughput, sol.iterations, t0.elapsed());
+        println!(
+            "n={n}: X={:.2} inner-iterations={} time={:?}",
+            sol.client_throughput,
+            sol.iterations,
+            t0.elapsed()
+        );
     }
 }

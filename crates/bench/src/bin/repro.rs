@@ -13,7 +13,9 @@ use atom_bench::{eval, HarnessOptions};
 
 fn print_setup() {
     println!("== Tables I/V/VI: experimental setup (encoded constants) ==");
-    println!("Table I  : case A: N=1000, fe share 0.2; case B: N=4000, fe share 1.0; mix 57/29/14, Z=7s");
+    println!(
+        "Table I  : case A: N=1000, fe share 0.2; case B: N=4000, fe share 1.0; mix 57/29/14, Z=7s"
+    );
     println!("Table V  : server-1: 4 cores @1.2 (router, front-end, carts-db)");
     println!("           server-2: 4 cores @0.8 (catalogue, carts, catalogue-db)");
     println!("Table VI : browsing 63/32/5, shopping 54/26/20, ordering 33/17/50; N in {{1000,2000,3000}}, Z=7s");
@@ -51,8 +53,23 @@ fn main() {
         commands.push("all".into());
     }
     const KNOWN: [&str; 17] = [
-        "setup", "fig2", "fig4", "table3", "fig5", "table4", "validation", "fig7", "fig8",
-        "fig9", "fig10", "evaluation", "fig11", "fig12", "fig13", "ablation", "all",
+        "setup",
+        "fig2",
+        "fig4",
+        "table3",
+        "fig5",
+        "table4",
+        "validation",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "evaluation",
+        "fig11",
+        "fig12",
+        "fig13",
+        "ablation",
+        "all",
     ];
     for c in &commands {
         if !KNOWN.contains(&c.as_str()) {

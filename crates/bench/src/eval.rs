@@ -1,12 +1,12 @@
 //! Shared §V evaluation machinery: scaler construction and the
 //! mix × population × scaler experiment matrix reused by Figs. 8–11.
 
+use atom_cluster::ClusterOptions;
 use atom_core::baselines::RuleConfig;
 use atom_core::{
-    run_experiment, Atom, AtomConfig, Autoscaler, ExperimentConfig, ExperimentResult,
-    PlannerMode, UhScaler, UvScaler,
+    run_experiment, Atom, AtomConfig, Autoscaler, ExperimentConfig, ExperimentResult, PlannerMode,
+    UhScaler, UvScaler,
 };
-use atom_cluster::ClusterOptions;
 use atom_ga::Budget;
 use atom_sockshop::{scenarios, SockShop};
 use atom_workload::WorkloadSpec;

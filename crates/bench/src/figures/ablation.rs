@@ -11,9 +11,9 @@
 //!   start ATOM with demands mis-profiled at 50% and compare against the
 //!   calibrating variant.
 
+use atom_cluster::ClusterOptions;
 use atom_core::optimizer::{random_search, search};
 use atom_core::{run_experiment, Atom, AtomConfig, ExperimentConfig};
-use atom_cluster::ClusterOptions;
 use atom_ga::{Budget, GaOptions};
 use atom_sockshop::{scenarios, SockShop};
 
@@ -98,9 +98,13 @@ pub fn quickfix_ablation(opts: &HarnessOptions) {
         let mut atom = atom_with(&shop, workload.mix.fractions(), opts, |c| {
             c.quick_fixes = fixes;
         });
-        let result =
-            run_experiment(&shop.app_spec(), workload, &mut atom, experiment_config(opts))
-                .expect("experiment");
+        let result = run_experiment(
+            &shop.app_spec(),
+            workload,
+            &mut atom,
+            experiment_config(opts),
+        )
+        .expect("experiment");
         let mean_alloc: f64 = result
             .reports
             .iter()
@@ -125,14 +129,21 @@ pub fn peak_monitoring_ablation(opts: &HarnessOptions) {
     let mut table = Table::new(&["variant", "cumulative transactions"]);
     let horizon = opts.windows() as f64 * opts.window_secs();
     let mut values = Vec::new();
-    for (label, peak) in [("with peak monitoring", true), ("window averages only", false)] {
+    for (label, peak) in [
+        ("with peak monitoring", true),
+        ("window averages only", false),
+    ] {
         let workload = scenarios::bursty_workload(4000.0);
         let mut atom = atom_with(&shop, workload.mix.fractions(), opts, |c| {
             c.peak_monitoring = peak;
         });
-        let result =
-            run_experiment(&shop.app_spec(), workload, &mut atom, experiment_config(opts))
-                .expect("experiment");
+        let result = run_experiment(
+            &shop.app_spec(),
+            workload,
+            &mut atom,
+            experiment_config(opts),
+        )
+        .expect("experiment");
         let cum = result.tps.cumulative(0.0, horizon);
         values.push(cum);
         table.row(vec![label.to_string(), f(cum, 0)]);
@@ -180,9 +191,13 @@ pub fn online_demands_ablation(opts: &HarnessOptions) {
         cfg.online_demands = online;
         let mut atom = Atom::new(binding, cfg);
         // The *cluster* always runs the true demands.
-        let result =
-            run_experiment(&shop.app_spec(), workload, &mut atom, experiment_config(opts))
-                .expect("experiment");
+        let result = run_experiment(
+            &shop.app_spec(),
+            workload,
+            &mut atom,
+            experiment_config(opts),
+        )
+        .expect("experiment");
         table.row(vec![
             label.to_string(),
             f(result.mean_tps(0, opts.windows()), 1),

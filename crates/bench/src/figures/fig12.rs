@@ -12,13 +12,7 @@ use crate::HarnessOptions;
 pub fn run(opts: &HarnessOptions) {
     println!("\n== Fig. 12: monitoring-window size sweep (ordering, N = 2000) ==");
     let shop = SockShop::default();
-    let mut table = Table::new(&[
-        "window [min]",
-        "scaler",
-        "T_u [s]",
-        "A_u [core-s]",
-        "TPS",
-    ]);
+    let mut table = Table::new(&["window [min]", "scaler", "T_u [s]", "A_u [core-s]", "TPS"]);
     for window_mins in [2.0f64, 5.0, 10.0] {
         let window_secs = window_mins * 60.0;
         let windows = (scenarios::RUN_SECS / window_secs).round() as usize;

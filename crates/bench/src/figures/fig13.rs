@@ -38,8 +38,7 @@ pub fn run(opts: &HarnessOptions) {
                 );
                 cum[k] += result.tps.cumulative(0.0, horizon);
                 if rep == 0 {
-                    first_traces
-                        .push(result.reports.iter().map(|r| r.total_tps).collect());
+                    first_traces.push(result.reports.iter().map(|r| r.total_tps).collect());
                 }
             }
         }

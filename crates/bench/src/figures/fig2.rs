@@ -39,9 +39,7 @@ pub fn run_case(case: scenarios::MotivatingCase, opts: &HarnessOptions) -> Vec<T
     shop.d_catalogue *= 1.3;
     shop.d_carts *= 1.3;
     let mut traces = Vec::new();
-    for (strategy, replicas, share_mult) in
-        [("vertical", 1usize, 2.0f64), ("horizontal", 2, 1.0)]
-    {
+    for (strategy, replicas, share_mult) in [("vertical", 1usize, 2.0f64), ("horizontal", 2, 1.0)] {
         let mut spec = shop.app_spec();
         // Everything except the front-end gets generous capacity so the
         // front-end is the unique bottleneck (Table I's premise).

@@ -50,9 +50,7 @@ fn metrics(cell: &MatrixCell, windows: usize) -> (f64, f64, f64) {
 /// (averaged over the three mixes, per scaler).
 pub fn fig9(matrix: &[MatrixCell], opts: &HarnessOptions) {
     println!("\n== Fig. 9: elasticity / performance vs concurrent users ==");
-    let mut table = Table::new(&[
-        "users", "scaler", "T_u [s]", "A_u [core-s]", "TPS",
-    ]);
+    let mut table = Table::new(&["users", "scaler", "T_u [s]", "A_u [core-s]", "TPS"]);
     for users in [1000usize, 2000, 3000] {
         for kind in ScalerKind::baselines_and_atom() {
             let cells: Vec<_> = matrix
@@ -101,9 +99,7 @@ pub fn fig9(matrix: &[MatrixCell], opts: &HarnessOptions) {
 /// Fig. 10: `T_u`, `A_u` and TPS versus the request mix at N = 3000.
 pub fn fig10(matrix: &[MatrixCell], opts: &HarnessOptions) {
     println!("\n== Fig. 10: elasticity / performance vs request mix (N = 3000) ==");
-    let mut table = Table::new(&[
-        "mix", "scaler", "T_u [s]", "A_u [core-s]", "TPS",
-    ]);
+    let mut table = Table::new(&["mix", "scaler", "T_u [s]", "A_u [core-s]", "TPS"]);
     for mix in ["browsing", "shopping", "ordering"] {
         for kind in ScalerKind::baselines_and_atom() {
             let cell = matrix

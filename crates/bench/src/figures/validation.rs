@@ -12,7 +12,13 @@ use crate::output::{f, pct_err, Table};
 use crate::HarnessOptions;
 
 /// Validation service names, in the validation spec's service order.
-const SERVICES: [&str; 5] = ["front-end", "carts", "catalogue", "catalogue-db", "carts-db"];
+const SERVICES: [&str; 5] = [
+    "front-end",
+    "carts",
+    "catalogue",
+    "catalogue-db",
+    "carts-db",
+];
 
 /// One validation run: the analytic solution and the measured window.
 #[derive(Debug, Clone)]
@@ -68,7 +74,9 @@ fn service_rows(run: &ValidationRun) -> Vec<(String, f64, f64, f64, f64)> {
         .enumerate()
         .map(|(si, name)| {
             let task = run.lqn.task_by_name(name).expect("task");
-            let model_tps: f64 = run.lqn.task(task)
+            let model_tps: f64 = run
+                .lqn
+                .task(task)
                 .entries
                 .iter()
                 .map(|&e| run.model.entry_throughput(e))
@@ -95,7 +103,11 @@ pub fn sweep(opts: &HarnessOptions) -> Vec<ValidationRun> {
                 "  validation pattern {} N={} ({})",
                 w.pattern,
                 w.users,
-                if w.single_host { "single host" } else { "swarm" }
+                if w.single_host {
+                    "single host"
+                } else {
+                    "swarm"
+                }
             );
             run_workload(&shop, w, opts)
         })
@@ -232,7 +244,9 @@ pub fn table4(runs: &[ValidationRun], opts: &HarnessOptions) {
         let entry = run.lqn.entry_by_name(entry_name).expect("entry");
         let model = run.model.entry_throughput(entry);
         // Within a service, endpoint order matches the LQN entry order.
-        let local = run.lqn.task(run.lqn.entry(entry).task)
+        let local = run
+            .lqn
+            .task(run.lqn.entry(entry).task)
             .entries
             .iter()
             .position(|&e| e == entry)

@@ -82,7 +82,11 @@ impl Table {
         writeln!(
             f,
             "{}",
-            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         )
         .expect("write header");
         for row in &self.rows {

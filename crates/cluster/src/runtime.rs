@@ -244,8 +244,8 @@ impl Cluster {
             });
         }
         let mmpp = workload.burstiness.map(|b| {
-            let nominal = workload.profile.population_at(0.0) as f64
-                / workload.think_time.max(1e-9);
+            let nominal =
+                workload.profile.population_at(0.0) as f64 / workload.think_time.max(1e-9);
             Mmpp2::calibrated(nominal.max(1e-9), b, &mut rng)
         });
         let mut cluster = Cluster {
@@ -380,7 +380,8 @@ impl Cluster {
         let end = self.now + duration;
         // Schedule this window's population changes lazily.
         for (t, pop) in self.workload.profile.change_points(self.now, end) {
-            self.events.push(t, Event::PopulationChange { population: pop });
+            self.events
+                .push(t, Event::PopulationChange { population: pop });
         }
         while let Some(t) = self.events.peek_time() {
             if t > end {
@@ -432,7 +433,8 @@ impl Cluster {
                     }
                 };
                 let think = self.sample_think();
-                self.events.push(self.now + think, Event::UserReady { user });
+                self.events
+                    .push(self.now + think, Event::UserReady { user });
             }
         } else if population < alive {
             // Retire the highest-indexed alive users; they stop at their
@@ -643,8 +645,13 @@ impl Cluster {
     fn reschedule_processor(&mut self, pi: usize) {
         if let Some((t, _)) = self.processors[pi].next_completion(self.now) {
             let generation = self.processors[pi].generation();
-            self.events
-                .push(t, Event::ProcessorCheck { proc: pi, generation });
+            self.events.push(
+                t,
+                Event::ProcessorCheck {
+                    proc: pi,
+                    generation,
+                },
+            );
         }
     }
 
@@ -674,7 +681,8 @@ impl Cluster {
         let latency = self.spec.services[si].endpoints[ei].latency;
         if latency > 0.0 {
             let wait = self.rng.exponential(latency);
-            self.events.push(self.now + wait, Event::LatencyDone { inv });
+            self.events
+                .push(self.now + wait, Event::LatencyDone { inv });
             return;
         }
         self.proceed_to_calls(inv);
@@ -713,8 +721,15 @@ impl Cluster {
         let (si, _ei, replica, caller, root, arrival, seen_queue, ei, span) = {
             let i = self.invocations[inv].as_ref().unwrap();
             (
-                i.service, i.endpoint, i.replica, i.caller, i.root, i.arrival, i.seen_queue,
-                i.endpoint, i.span,
+                i.service,
+                i.endpoint,
+                i.replica,
+                i.caller,
+                i.root,
+                i.arrival,
+                i.seen_queue,
+                i.endpoint,
+                i.span,
             )
         };
         if let Some(span) = span {
@@ -763,7 +778,8 @@ impl Cluster {
         self.feature_resp_sum[feature] += self.now - arrival;
         if self.users_alive.get(user).copied().unwrap_or(false) {
             let think = self.sample_think();
-            self.events.push(self.now + think, Event::UserReady { user });
+            self.events
+                .push(self.now + think, Event::UserReady { user });
         } else {
             self.users_tw.update(
                 self.now,
@@ -822,7 +838,10 @@ impl Cluster {
                 let replica = self.services[si].replicas.len() - 1;
                 self.events.push(
                     self.now + startup,
-                    Event::ReplicaReady { service: si, replica },
+                    Event::ReplicaReady {
+                        service: si,
+                        replica,
+                    },
                 );
             }
         } else if target < live.len() {
@@ -1062,8 +1081,12 @@ mod tests {
     #[test]
     fn share_cap_limits_capacity() {
         let spec = one_service_spec(0.01, 0.2, 64);
-        let mut cluster =
-            Cluster::new(&spec, constant_workload(500, 1.0), ClusterOptions::default()).unwrap();
+        let mut cluster = Cluster::new(
+            &spec,
+            constant_workload(500, 1.0),
+            ClusterOptions::default(),
+        )
+        .unwrap();
         cluster.run_window(100.0);
         let r = cluster.run_window(500.0);
         // Capacity = 0.2/0.01 = 20/s.
@@ -1076,8 +1099,12 @@ mod tests {
     #[test]
     fn horizontal_scale_up_increases_capacity() {
         let spec = one_service_spec(0.01, 0.2, 64);
-        let mut cluster =
-            Cluster::new(&spec, constant_workload(500, 1.0), ClusterOptions::default()).unwrap();
+        let mut cluster = Cluster::new(
+            &spec,
+            constant_workload(500, 1.0),
+            ClusterOptions::default(),
+        )
+        .unwrap();
         cluster.run_window(200.0);
         let before = cluster.run_window(300.0);
         cluster.schedule_scaling(
@@ -1103,8 +1130,12 @@ mod tests {
     #[test]
     fn vertical_scale_up_increases_capacity() {
         let spec = one_service_spec(0.01, 0.2, 64);
-        let mut cluster =
-            Cluster::new(&spec, constant_workload(500, 1.0), ClusterOptions::default()).unwrap();
+        let mut cluster = Cluster::new(
+            &spec,
+            constant_workload(500, 1.0),
+            ClusterOptions::default(),
+        )
+        .unwrap();
         cluster.run_window(200.0);
         let before = cluster.run_window(300.0);
         cluster.schedule_scaling(
@@ -1129,8 +1160,12 @@ mod tests {
     #[test]
     fn scale_down_drains_gracefully() {
         let spec = one_service_spec(0.01, 0.5, 16);
-        let mut cluster =
-            Cluster::new(&spec, constant_workload(100, 1.0), ClusterOptions::default()).unwrap();
+        let mut cluster = Cluster::new(
+            &spec,
+            constant_workload(100, 1.0),
+            ClusterOptions::default(),
+        )
+        .unwrap();
         cluster.schedule_scaling(
             vec![ScaleAction {
                 service: ServiceId(0),
@@ -1266,14 +1301,26 @@ mod tests {
     #[test]
     fn peak_arrival_rate_tracks_offered_load() {
         let spec = one_service_spec(0.001, 4.0, 64);
-        let mut cluster =
-            Cluster::new(&spec, constant_workload(100, 1.0), ClusterOptions::default()).unwrap();
+        let mut cluster = Cluster::new(
+            &spec,
+            constant_workload(100, 1.0),
+            ClusterOptions::default(),
+        )
+        .unwrap();
         cluster.run_window(60.0);
         let r = cluster.run_window(300.0);
         // Steady closed workload: the peak sub-interval rate is close to
         // the mean rate (~100/s), not wildly above it.
-        assert!(r.peak_arrival_rate > 0.8 * r.total_tps, "peak {}", r.peak_arrival_rate);
-        assert!(r.peak_arrival_rate < 1.5 * r.total_tps, "peak {}", r.peak_arrival_rate);
+        assert!(
+            r.peak_arrival_rate > 0.8 * r.total_tps,
+            "peak {}",
+            r.peak_arrival_rate
+        );
+        assert!(
+            r.peak_arrival_rate < 1.5 * r.total_tps,
+            "peak {}",
+            r.peak_arrival_rate
+        );
     }
 
     #[test]
@@ -1337,8 +1384,12 @@ mod tests {
         // A single-threaded service cannot use a 2-core share: Fig. 2b.
         let mut spec = one_service_spec(0.01, 2.0, 64);
         spec.services[0].parallelism = Some(1);
-        let mut cluster =
-            Cluster::new(&spec, constant_workload(500, 1.0), ClusterOptions::default()).unwrap();
+        let mut cluster = Cluster::new(
+            &spec,
+            constant_workload(500, 1.0),
+            ClusterOptions::default(),
+        )
+        .unwrap();
         cluster.run_window(100.0);
         let r = cluster.run_window(400.0);
         // Capacity is one core (100/s), not two.

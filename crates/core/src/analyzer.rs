@@ -63,11 +63,7 @@ impl WorkloadAnalyzer {
         while self.recent_peaks.len() > PEAK_MEMORY {
             self.recent_peaks.pop_front();
         }
-        let peak = self
-            .recent_peaks
-            .iter()
-            .cloned()
-            .fold(0.0_f64, f64::max);
+        let peak = self.recent_peaks.iter().cloned().fold(0.0_f64, f64::max);
         let effective_n = (peak * think).ceil() as usize;
         model.set_population(binding.client, report.users_at_end.max(effective_n))?;
 
@@ -83,15 +79,13 @@ impl WorkloadAnalyzer {
         // utilisation hides (§V-B, Fig. 13).
         let n = report.users_at_end as f64;
         let window_x = report.total_tps;
-        let z_eff_now = if report.peak_in_system > 1.5 * report.avg_in_system
-            && window_x > 0.0
-            && n > 0.0
-        {
-            let thinkers = (n - report.peak_in_system).max(n * 0.02);
-            (thinkers / window_x).clamp(think / 10.0, think)
-        } else {
-            think
-        };
+        let z_eff_now =
+            if report.peak_in_system > 1.5 * report.avg_in_system && window_x > 0.0 && n > 0.0 {
+                let thinkers = (n - report.peak_in_system).max(n * 0.02);
+                (thinkers / window_x).clamp(think / 10.0, think)
+            } else {
+                think
+            };
         self.recent_z_eff.push_back(z_eff_now);
         while self.recent_z_eff.len() > PEAK_MEMORY {
             self.recent_z_eff.pop_front();
@@ -117,13 +111,10 @@ impl WorkloadAnalyzer {
                 self.last_mix = Some(m.clone());
                 m
             }
-            None => self
-                .last_mix
-                .clone()
-                .unwrap_or_else(|| {
-                    let n = binding.feature_entries.len();
-                    vec![1.0 / n.max(1) as f64; n]
-                }),
+            None => self.last_mix.clone().unwrap_or_else(|| {
+                let n = binding.feature_entries.len();
+                vec![1.0 / n.max(1) as f64; n]
+            }),
         };
         let client_entry = model.reference_entry(binding.client)?;
         for (entry, frac) in binding.feature_entries.iter().zip(&mix) {
@@ -136,9 +127,9 @@ impl WorkloadAnalyzer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binding::ServiceBinding;
     use atom_cluster::ServiceId;
     use atom_lqn::TaskId;
-    use crate::binding::ServiceBinding;
 
     fn binding() -> ModelBinding {
         let mut m = LqnModel::new();
@@ -182,9 +173,9 @@ mod tests {
             total_tps: 1.0,
             avg_users: users as f64,
             users_at_end: users,
-        peak_arrival_rate: 0.0,
-        peak_in_system: 0.0,
-        avg_in_system: 0.0,
+            peak_arrival_rate: 0.0,
+            peak_in_system: 0.0,
+            avg_in_system: 0.0,
         }
     }
 
@@ -192,7 +183,9 @@ mod tests {
     fn writes_population_and_mix() {
         let b = binding();
         let mut analyzer = WorkloadAnalyzer::new();
-        let model = analyzer.instantiate(&b, &report(vec![300, 100], 777)).unwrap();
+        let model = analyzer
+            .instantiate(&b, &report(vec![300, 100], 777))
+            .unwrap();
         assert_eq!(model.task(b.client).multiplicity, 777);
         let ce = model.reference_entry(b.client).unwrap();
         let calls = &model.entry(ce).calls;
@@ -214,7 +207,11 @@ mod tests {
         analyzer.instantiate(&b, &report(vec![90, 10], 10)).unwrap();
         let model = analyzer.instantiate(&b, &report(vec![0, 0], 10)).unwrap();
         let ce = model.reference_entry(b.client).unwrap();
-        let first = model.entry(ce).calls.iter().find(|c| c.target == b.feature_entries[0]);
+        let first = model
+            .entry(ce)
+            .calls
+            .iter()
+            .find(|c| c.target == b.feature_entries[0]);
         assert!((first.unwrap().mean - 0.9).abs() < 1e-12);
     }
 

@@ -8,6 +8,7 @@ use crate::analyzer::WorkloadAnalyzer;
 use crate::autoscaler::Autoscaler;
 use crate::binding::ModelBinding;
 use crate::calibration::DemandCalibrator;
+use crate::evaluator::CandidateEvaluator;
 use crate::objective::ObjectiveSpec;
 use crate::optimizer;
 use crate::planner::{Planner, PlannerMode};
@@ -109,37 +110,38 @@ impl Atom {
     /// Builds the per-window operator explanation.
     fn explain(
         &self,
-        model: &atom_lqn::LqnModel,
+        evaluator: &mut CandidateEvaluator<'_>,
         current: &ScalingConfig,
         planned: &ScalingConfig,
     ) -> Option<String> {
-        use atom_lqn::analytic::{solve, SolverOptions};
         use atom_lqn::bottleneck::analyze;
-        let mut observed = model.clone();
-        current.apply(&mut observed).ok()?;
-        let sol = solve(&observed, SolverOptions::default()).ok()?;
-        let report = analyze(&observed, &sol);
-        let mut text = String::new();
-        for &root in &report.root_bottlenecks {
-            text.push_str(&format!(
-                "root bottleneck: {} (util {:.0}%)",
-                observed.task(root).name,
-                sol.task_utilization(root) * 100.0
-            ));
-            let starved: Vec<&str> = report
-                .pressures
-                .iter()
-                .filter(|p| p.starved_by == Some(root))
-                .map(|p| observed.task(p.task).name.as_str())
-                .collect();
-            if !starved.is_empty() {
-                text.push_str(&format!(", starving {}", starved.join(", ")));
-            }
-            text.push_str("; ");
-        }
-        if report.root_bottlenecks.is_empty() {
-            text.push_str("no saturated service; ");
-        }
+        let mut text = evaluator
+            .with_solution(current, |observed, sol| {
+                let report = analyze(observed, sol);
+                let mut text = String::new();
+                for &root in &report.root_bottlenecks {
+                    text.push_str(&format!(
+                        "root bottleneck: {} (util {:.0}%)",
+                        observed.task(root).name,
+                        sol.task_utilization(root) * 100.0
+                    ));
+                    let starved: Vec<&str> = report
+                        .pressures
+                        .iter()
+                        .filter(|p| p.starved_by == Some(root))
+                        .map(|p| observed.task(p.task).name.as_str())
+                        .collect();
+                    if !starved.is_empty() {
+                        text.push_str(&format!(", starving {}", starved.join(", ")));
+                    }
+                    text.push_str("; ");
+                }
+                if report.root_bottlenecks.is_empty() {
+                    text.push_str("no saturated service; ");
+                }
+                text
+            })
+            .ok()?;
         let mut changes = Vec::new();
         for s in self.binding.scalable() {
             if let (Some(new), Some(old)) = (planned.get(s.task), current.get(s.task)) {
@@ -156,6 +158,11 @@ impl Atom {
         } else {
             text.push_str(&format!("plan: {}", changes.join(", ")));
         }
+        let stats = evaluator.stats();
+        text.push_str(&format!(
+            " [{} candidates, {} solves, {} cache hits]",
+            stats.candidates, stats.solves, stats.cache_hits
+        ));
         Some(text)
     }
 
@@ -201,12 +208,20 @@ impl Autoscaler for Atom {
         }
         let current = self.current_config(report);
 
+        // One evaluation layer per window: the GA, the planner's quick
+        // fixes, and the diagnostics below share its solve cache.
+        let mut evaluator = CandidateEvaluator::new(&self.binding, &model, &self.config.objective);
+
         // Optimize: GA over (r, s), seeded per window for determinism.
         let ga = GaOptions {
-            seed: self.config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(self.window),
+            seed: self
+                .config
+                .seed
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(self.window),
             ..self.config.ga
         };
-        let found = optimizer::search(&self.binding, &model, &self.config.objective, ga);
+        let found = optimizer::search_with(&mut evaluator, ga);
 
         // Plan: quick fixes + conservatism.
         let planner = Planner {
@@ -214,12 +229,12 @@ impl Autoscaler for Atom {
             quick_fixes: self.config.quick_fixes,
             ..Planner::default()
         };
-        let planned = planner.plan(&self.binding, &model, found.config, &current);
+        let planned = planner.plan_with(&self.binding, &mut evaluator, found.config, &current);
 
         // Diagnose the observed state for operators: solve the model at
         // the *current* configuration and run the layered-bottleneck
         // analysis (paper §V-B / Fig. 11).
-        self.last_explanation = self.explain(&model, &current, &planned);
+        self.last_explanation = self.explain(&mut evaluator, &current, &planned);
 
         // Execute: emit actions only where the configuration changed.
         let mut actions = Vec::new();
@@ -251,9 +266,9 @@ impl Autoscaler for Atom {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binding::ServiceBinding;
     use atom_cluster::ServiceId;
     use atom_lqn::LqnModel;
-    use crate::binding::ServiceBinding;
 
     fn binding(share: f64) -> ModelBinding {
         let mut m = LqnModel::new();
@@ -262,7 +277,8 @@ mod tests {
         m.set_cpu_share(web, Some(share)).unwrap();
         let page = m.add_entry("page", web, 0.01).unwrap();
         let c = m.add_reference_task("users", 100, 2.0).unwrap();
-        m.add_call(m.reference_entry(c).unwrap(), page, 1.0).unwrap();
+        m.add_call(m.reference_entry(c).unwrap(), page, 1.0)
+            .unwrap();
         ModelBinding {
             model: m,
             client: c,
@@ -295,9 +311,9 @@ mod tests {
             total_tps: 1000.0 / 300.0,
             avg_users: users as f64,
             users_at_end: users,
-        peak_arrival_rate: 0.0,
-        peak_in_system: 0.0,
-        avg_in_system: 0.0,
+            peak_arrival_rate: 0.0,
+            peak_in_system: 0.0,
+            avg_in_system: 0.0,
         }
     }
 

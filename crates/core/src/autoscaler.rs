@@ -70,9 +70,9 @@ mod tests {
             total_tps: 1.0,
             avg_users: 1.0,
             users_at_end: 1,
-        peak_arrival_rate: 0.0,
-        peak_in_system: 0.0,
-        avg_in_system: 0.0,
+            peak_arrival_rate: 0.0,
+            peak_in_system: 0.0,
+            avg_in_system: 0.0,
         };
         assert!(s.decide(&report).is_empty());
         assert_eq!(s.actuation_delay(), 0.0);

@@ -166,9 +166,9 @@ mod tests {
             total_tps: 1.0,
             avg_users: 10.0,
             users_at_end: 10,
-        peak_arrival_rate: 0.0,
-        peak_in_system: 0.0,
-        avg_in_system: 0.0,
+            peak_arrival_rate: 0.0,
+            peak_in_system: 0.0,
+            avg_in_system: 0.0,
         }
     }
 

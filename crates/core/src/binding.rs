@@ -76,7 +76,12 @@ impl ModelBinding {
         let mut entry_ids: Vec<Vec<EntryId>> = Vec::new();
         for svc in &spec.services {
             let task = model
-                .add_task(&svc.name, processors[svc.server.0], svc.threads, svc.initial_replicas)
+                .add_task(
+                    &svc.name,
+                    processors[svc.server.0],
+                    svc.threads,
+                    svc.initial_replicas,
+                )
                 .expect("valid task");
             model
                 .set_cpu_share(task, Some(svc.initial_share))
@@ -185,7 +190,11 @@ impl ModelBinding {
                 "binding `{}` has invalid share bounds",
                 s.name
             );
-            assert!(s.max_replicas >= 1, "binding `{}` allows no replicas", s.name);
+            assert!(
+                s.max_replicas >= 1,
+                "binding `{}` allows no replicas",
+                s.name
+            );
         }
         for &e in &self.feature_entries {
             assert!(

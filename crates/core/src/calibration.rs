@@ -106,8 +106,8 @@ impl DemandCalibrator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atom_cluster::ServiceId;
     use crate::binding::ServiceBinding;
+    use atom_cluster::ServiceId;
 
     fn binding() -> ModelBinding {
         let mut m = LqnModel::new();
@@ -152,8 +152,8 @@ mod tests {
             avg_users: 10.0,
             users_at_end: 10,
             peak_arrival_rate: 0.0,
-        peak_in_system: 0.0,
-        avg_in_system: 0.0,
+            peak_in_system: 0.0,
+            avg_in_system: 0.0,
         }
     }
 

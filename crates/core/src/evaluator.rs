@@ -1,0 +1,835 @@
+//! The unified candidate-evaluation layer.
+//!
+//! Every path from a [`ScalingConfig`] to an [`Evaluation`] — the GA's
+//! fitness function, the planner's quick fixes, the what-if façade, and
+//! the controller's model-vs-observed diagnosis — goes through one
+//! [`CandidateEvaluator`] per window. Centralising the solve gives three
+//! optimisations for free everywhere:
+//!
+//! * **Memoisation** — solves are cached by the quantised `(replicas,
+//!   share)` decision vector. GA populations revisit configurations
+//!   constantly (elites, converged populations, the planner re-checking
+//!   the GA's answer), so the hit-rate is substantial.
+//! * **Scratch-model reuse** — candidates are applied to a per-worker
+//!   scratch copy of the window model and reverted afterwards, instead of
+//!   cloning the whole [`LqnModel`] per candidate.
+//! * **Warm-started solves** — each solve seeds the solver's throughput
+//!   bisection with the throughput of a recently solved configuration
+//!   *dominated* by the candidate (component-wise fewer replicas and
+//!   less share). That throughput lower-bounds the candidate's, so the
+//!   solver's first probe lands just below the fixed point — the cheap
+//!   side of its bisection — and the bracket collapses in a couple of
+//!   probes.
+//!
+//! Batches fan out across `std::thread::scope` workers. Determinism is
+//! preserved regardless of worker count: candidates are deduplicated and
+//! assigned to workers by index arithmetic only, results are merged back
+//! by index, and warm-start hints are computed from a snapshot of the
+//! recent-solves window taken *before* the batch starts — so no solve
+//! can observe a sibling's result, whether it runs on one thread or
+//! eight.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::Instant;
+
+use atom_ga::Evaluation;
+use atom_lqn::analytic::{solve_with, SolverOptions, SolverWorkspace};
+use atom_lqn::{LqnError, LqnModel, LqnSolution, ScalingConfig, TaskId};
+
+use crate::binding::ModelBinding;
+use crate::objective::ObjectiveSpec;
+
+/// Solver options used for every candidate evaluation (previously
+/// duplicated at three call sites in `optimizer.rs`): tight tolerance so
+/// objective comparisons between near-identical candidates are
+/// trustworthy, and an iteration cap that extreme GA candidates cannot
+/// exhaust in practice.
+pub const CANDIDATE_SOLVER: SolverOptions = SolverOptions {
+    max_iterations: 8_000,
+    tolerance: 1e-7,
+    damping: 1.0,
+    warm_start: None,
+};
+
+/// CPU shares are quantised to this grid for cache keys; two shares
+/// closer than this are the same candidate for all practical purposes
+/// (the solver tolerance is orders of magnitude coarser in effect).
+const SHARE_QUANTUM: f64 = 1e-3;
+
+/// How many recent solves [`CandidateEvaluator::warm_hint`] scans for a
+/// dominated neighbour (a few GA generations' worth).
+const HINT_WINDOW: usize = 256;
+
+/// A solve must have taken at most this many inner iterations for its
+/// result to be offered as a warm-start hint. Expensive solves are
+/// saturated configurations, and hints do not help saturated solves:
+/// their cost is the slow inner fixed-point convergence at each probe,
+/// not bracketing, so a hint only changes the probe sequence for the
+/// worse. A cheap entry, by contrast, is unsaturated — and anything
+/// dominating it has even more capacity, so the hint lands in the
+/// regime where it collapses the bracket almost for free.
+const HINT_SOURCE_MAX_ITERATIONS: usize = 1_000;
+
+/// Quantised decision vector: `(task, replicas, share / SHARE_QUANTUM)`
+/// per scaled task, in task order (ScalingConfig iterates sorted).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct CacheKey(Vec<(usize, usize, i64)>);
+
+impl CacheKey {
+    fn of(config: &ScalingConfig) -> Self {
+        CacheKey(
+            config
+                .iter()
+                .map(|(t, d)| {
+                    (
+                        t.0,
+                        d.replicas,
+                        (d.cpu_share / SHARE_QUANTUM).round() as i64,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Whether every task's allocation in `self` is no larger than in
+    /// `other`: same task set, component-wise `replicas ≤` and
+    /// `share ≤`. Model throughput is monotone in both, so a dominated
+    /// configuration's throughput lower-bounds the dominating one's.
+    fn dominated_by(&self, other: &CacheKey) -> bool {
+        self.0.len() == other.0.len()
+            && self
+                .0
+                .iter()
+                .zip(&other.0)
+                .all(|(&(ta, ra, sa), &(tb, rb, sb))| ta == tb && ra <= rb && sa <= sb)
+    }
+}
+
+/// What the cache remembers about a solved candidate.
+///
+/// `eval` is `None` for entries recorded by solve-only paths
+/// ([`CandidateEvaluator::with_solution`], solver-only evaluators):
+/// their throughput still powers `predicted_tps` and warm-start hints,
+/// but a later `evaluate` of the same config re-solves and scores it.
+#[derive(Debug, Clone, Copy)]
+struct Cached {
+    eval: Option<Evaluation>,
+    /// Client throughput, used both by [`CandidateEvaluator::predicted_tps`]
+    /// and as the warm-start hint for neighbouring solves. `None` when
+    /// the candidate failed to apply or the solver did not converge.
+    tps: Option<f64>,
+    /// Inner solver iterations this entry's solve took (0 for entries
+    /// that never solved); feeds the evaluator's iteration counters.
+    iterations: usize,
+}
+
+/// Counters of one evaluator's lifetime (one controller window).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvaluatorStats {
+    /// Candidate evaluations requested (cache hits included).
+    pub candidates: usize,
+    /// Analytic solves actually performed.
+    pub solves: usize,
+    /// Requests answered from the memo cache (including duplicates
+    /// within one batch).
+    pub cache_hits: usize,
+    /// Solves that failed to converge or configs that failed to apply.
+    pub failures: usize,
+    /// Total inner solver iterations across all solves.
+    pub solver_iterations: usize,
+    /// Solves that ran with a warm-start hint from a cached neighbour.
+    pub hinted_solves: usize,
+    /// Inner solver iterations spent in hinted solves (subset of
+    /// `solver_iterations`); compare the per-solve averages to see what
+    /// warm-starting buys.
+    pub hinted_iterations: usize,
+    /// Wall-clock seconds spent inside evaluation calls.
+    pub wall_seconds: f64,
+}
+
+impl EvaluatorStats {
+    /// Solves avoided by memoisation.
+    pub fn solves_saved(&self) -> usize {
+        self.candidates.saturating_sub(self.solves)
+    }
+
+    /// Fraction of candidate requests served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// Per-worker solve state: a scratch copy of the window model that
+/// candidates are applied to and reverted from, plus the reusable solver
+/// workspace. Creating one clones the model **once**; evaluating a
+/// candidate afterwards allocates nothing.
+struct Scratch {
+    model: LqnModel,
+    workspace: SolverWorkspace,
+    undo: Vec<(TaskId, usize, Option<f64>)>,
+}
+
+impl Scratch {
+    fn new(base: &LqnModel) -> Self {
+        Scratch {
+            model: base.clone(),
+            workspace: SolverWorkspace::new(),
+            undo: Vec::new(),
+        }
+    }
+
+    /// Applies `config`, solves, reverts — the scratch model is restored
+    /// to the base configuration on *every* exit path. `f` sees the
+    /// *configured* model together with the solution (for bottleneck
+    /// analysis and objective scoring, which need both).
+    fn solve_applied<R>(
+        &mut self,
+        config: &ScalingConfig,
+        warm_start: Option<f64>,
+        f: impl FnOnce(&LqnModel, &LqnSolution) -> R,
+    ) -> Result<R, LqnError> {
+        self.undo.clear();
+        for (task, _) in config.iter() {
+            if task.0 >= self.model.tasks().len() {
+                // Let apply() produce its usual error for unknown tasks.
+                continue;
+            }
+            let t = self.model.task(task);
+            self.undo.push((task, t.replicas, t.cpu_share));
+        }
+        let applied = config.apply(&mut self.model);
+        let outcome = match applied {
+            Ok(()) => solve_with(
+                &self.model,
+                SolverOptions {
+                    warm_start,
+                    ..CANDIDATE_SOLVER
+                },
+                &mut self.workspace,
+            )
+            .map(|sol| f(&self.model, &sol)),
+            Err(e) => Err(e),
+        };
+        for &(task, replicas, share) in self.undo.iter().rev() {
+            // Restoring previously-valid values cannot fail.
+            let _ = self.model.set_replicas(task, replicas);
+            let _ = self.model.set_cpu_share(task, share);
+        }
+        outcome
+    }
+}
+
+/// The unified evaluation layer. See the [module docs](self).
+pub struct CandidateEvaluator<'a> {
+    /// Knowledge base + objective; `None` for solve-only evaluators.
+    scoring: Option<(&'a ModelBinding, &'a ObjectiveSpec)>,
+    scratch: Scratch,
+    cache: BTreeMap<CacheKey, Cached>,
+    /// Bounded window of recent solves scanned for warm-start hints.
+    recent: VecDeque<(CacheKey, f64, usize)>,
+    stats: EvaluatorStats,
+    workers: usize,
+}
+
+impl<'a> CandidateEvaluator<'a> {
+    /// Creates an evaluator for one window: the analyzer-instantiated
+    /// `model` (with this window's `N` and request mix), the knowledge
+    /// base, and the scoring objective.
+    pub fn new(binding: &'a ModelBinding, model: &LqnModel, objective: &'a ObjectiveSpec) -> Self {
+        CandidateEvaluator {
+            scoring: Some((binding, objective)),
+            scratch: Scratch::new(model),
+            cache: BTreeMap::new(),
+            recent: VecDeque::new(),
+            stats: EvaluatorStats::default(),
+            workers: 1,
+        }
+    }
+
+    /// An evaluator that only solves (for TPS predictions and what-if
+    /// analysis); [`CandidateEvaluator::evaluate`] panics on it.
+    pub fn solver_only(model: &LqnModel) -> Self {
+        CandidateEvaluator {
+            scoring: None,
+            scratch: Scratch::new(model),
+            cache: BTreeMap::new(),
+            recent: VecDeque::new(),
+            stats: EvaluatorStats::default(),
+            workers: 1,
+        }
+    }
+
+    /// Sets the number of worker threads batches fan out over (default
+    /// 1). Results are bitwise independent of this setting.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The knowledge base this evaluator scores against.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`CandidateEvaluator::solver_only`] evaluator.
+    pub fn binding(&self) -> &'a ModelBinding {
+        self.scoring().0
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> EvaluatorStats {
+        self.stats
+    }
+
+    /// The sentinel for candidates that cannot be scored at all (config
+    /// failed to apply, or the solver did not converge): beaten by any
+    /// real evaluation under feasibility-first selection. Previously
+    /// spelled out at three call sites in `optimizer.rs`.
+    pub fn rejected() -> Evaluation {
+        Evaluation::infeasible(f64::NEG_INFINITY, f64::MAX / 2.0)
+    }
+
+    /// Whether an evaluation is the [`CandidateEvaluator::rejected`]
+    /// sentinel.
+    pub fn is_rejected(eval: &Evaluation) -> bool {
+        eval.objective == f64::NEG_INFINITY && eval.violation >= f64::MAX / 4.0
+    }
+
+    fn scoring(&self) -> (&'a ModelBinding, &'a ObjectiveSpec) {
+        self.scoring.expect(
+            "this CandidateEvaluator was built with solver_only(); scoring needs a binding and an ObjectiveSpec",
+        )
+    }
+
+    /// Warm-start hint for a solve of `key`: the highest throughput
+    /// among recently solved configurations **dominated** by the
+    /// candidate (component-wise no more replicas and no more share on
+    /// every task).
+    ///
+    /// Why dominated rather than nearest: the bisection's cost is
+    /// asymmetric. A probe below the fixed point keeps its climbed
+    /// state in the bracket's lower bound, while a probe just *above*
+    /// the fixed point does almost a full (then discarded) inner climb
+    /// before its sign is decided. A dominated neighbour's throughput
+    /// is a lower bound on the candidate's, so probing it lands on the
+    /// cheap side by construction. Taking the *maximum* over dominated
+    /// entries picks the tightest bound — in practice an entry whose
+    /// extra slack sits on non-bottleneck tasks, whose throughput is
+    /// therefore nearly the candidate's own.
+    fn warm_hint(recent: &VecDeque<(CacheKey, f64, usize)>, key: &CacheKey) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for (k, tps, iterations) in recent {
+            if *iterations <= HINT_SOURCE_MAX_ITERATIONS
+                && k.dominated_by(key)
+                && best.is_none_or(|b| *tps > b)
+            {
+                best = Some(*tps);
+            }
+        }
+        best
+    }
+
+    /// Records a solved key in the bounded recent-solves window that
+    /// [`CandidateEvaluator::warm_hint`] scans. Bounding the window
+    /// keeps hint lookup O(window) instead of O(cache), and recent
+    /// entries are the useful ones anyway: GA candidates are bred from
+    /// the previous generation, so their dominated neighbours are
+    /// almost always fresh.
+    fn remember(recent: &mut VecDeque<(CacheKey, f64, usize)>, key: &CacheKey, c: &Cached) {
+        if let Some(tps) = c.tps {
+            if recent.len() == HINT_WINDOW {
+                recent.pop_front();
+            }
+            recent.push_back((key.clone(), tps, c.iterations));
+        }
+    }
+
+    /// Solves one candidate on the scratch model and scores it.
+    fn solve_and_score(
+        scratch: &mut Scratch,
+        binding: &ModelBinding,
+        objective: &ObjectiveSpec,
+        config: &ScalingConfig,
+        warm_start: Option<f64>,
+    ) -> Cached {
+        match scratch.solve_applied(config, warm_start, |model, sol| {
+            (
+                objective.evaluate(binding, model, config, sol),
+                sol.client_throughput,
+                sol.iterations,
+            )
+        }) {
+            Ok((eval, tps, iterations)) => Cached {
+                eval: Some(eval),
+                tps: Some(tps),
+                iterations,
+            },
+            Err(_) => Cached {
+                eval: Some(Self::rejected()),
+                tps: None,
+                iterations: 0,
+            },
+        }
+    }
+
+    /// Books one finished solve into the counters.
+    fn record_solve(stats: &mut EvaluatorStats, c: &Cached, hinted: bool) {
+        stats.solves += 1;
+        stats.solver_iterations += c.iterations;
+        if hinted {
+            stats.hinted_solves += 1;
+            stats.hinted_iterations += c.iterations;
+        }
+        if c.tps.is_none() {
+            stats.failures += 1;
+        }
+    }
+
+    /// Scores one candidate, memoised.
+    pub fn evaluate(&mut self, config: &ScalingConfig) -> Evaluation {
+        let started = Instant::now();
+        let key = CacheKey::of(config);
+        self.stats.candidates += 1;
+        let eval = match self.cache.get(&key).and_then(|c| c.eval) {
+            Some(eval) => {
+                self.stats.cache_hits += 1;
+                eval
+            }
+            None => {
+                let (binding, objective) = self.scoring();
+                let hint = Self::warm_hint(&self.recent, &key);
+                let c = Self::solve_and_score(&mut self.scratch, binding, objective, config, hint);
+                Self::record_solve(&mut self.stats, &c, hint.is_some());
+                Self::remember(&mut self.recent, &key, &c);
+                self.cache.insert(key, c);
+                c.eval.unwrap()
+            }
+        };
+        self.stats.wall_seconds += started.elapsed().as_secs_f64();
+        eval
+    }
+
+    /// Scores a whole batch (one GA population), fanning cache misses
+    /// out over the configured worker threads.
+    ///
+    /// Results are **bitwise independent of the worker count**: warm
+    /// hints come from the cache as it stood when the batch started,
+    /// duplicates are collapsed up front, and results merge by index.
+    pub fn evaluate_batch(&mut self, configs: &[ScalingConfig]) -> Vec<Evaluation> {
+        let started = Instant::now();
+        self.stats.candidates += configs.len();
+
+        // Partition into cached answers and deduplicated misses.
+        let keys: Vec<CacheKey> = configs.iter().map(CacheKey::of).collect();
+        let mut miss_of_key: HashMap<&CacheKey, usize> = HashMap::new();
+        let mut misses: Vec<usize> = Vec::new(); // index of first occurrence
+        for (i, key) in keys.iter().enumerate() {
+            if self.cache.get(key).is_some_and(|c| c.eval.is_some()) {
+                self.stats.cache_hits += 1;
+            } else if miss_of_key.contains_key(key) {
+                // Duplicate within the batch: solved once, shared.
+                self.stats.cache_hits += 1;
+            } else {
+                miss_of_key.insert(key, misses.len());
+                misses.push(i);
+            }
+        }
+
+        // Hints from the pre-batch snapshot of the recent-solves window
+        // (see the determinism note in the module docs).
+        let hints: Vec<Option<f64>> = misses
+            .iter()
+            .map(|&i| Self::warm_hint(&self.recent, &keys[i]))
+            .collect();
+
+        let solved: Vec<Cached> = if misses.is_empty() {
+            Vec::new()
+        } else if self.workers <= 1 || misses.len() == 1 {
+            let (binding, objective) = self.scoring();
+            misses
+                .iter()
+                .zip(&hints)
+                .map(|(&i, &hint)| {
+                    Self::solve_and_score(&mut self.scratch, binding, objective, &configs[i], hint)
+                })
+                .collect()
+        } else {
+            let (binding, objective) = self.scoring();
+            let base = &self.scratch.model;
+            let n_workers = self.workers.min(misses.len());
+            let mut solved = vec![
+                Cached {
+                    eval: Some(Self::rejected()),
+                    tps: None,
+                    iterations: 0,
+                };
+                misses.len()
+            ];
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n_workers);
+                for w in 0..n_workers {
+                    let misses = &misses;
+                    let hints = &hints;
+                    handles.push(scope.spawn(move || {
+                        let mut scratch = Scratch::new(base);
+                        let mut out = Vec::new();
+                        let mut j = w;
+                        while j < misses.len() {
+                            out.push((
+                                j,
+                                Self::solve_and_score(
+                                    &mut scratch,
+                                    binding,
+                                    objective,
+                                    &configs[misses[j]],
+                                    hints[j],
+                                ),
+                            ));
+                            j += n_workers;
+                        }
+                        out
+                    }));
+                }
+                for handle in handles {
+                    for (j, c) in handle.join().expect("evaluator worker panicked") {
+                        solved[j] = c;
+                    }
+                }
+            });
+            solved
+        };
+
+        for ((&i, c), hint) in misses.iter().zip(&solved).zip(&hints) {
+            Self::record_solve(&mut self.stats, c, hint.is_some());
+            Self::remember(&mut self.recent, &keys[i], c);
+            self.cache.insert(keys[i].clone(), *c);
+        }
+
+        let out = keys
+            .iter()
+            .map(|key| self.cache[key].eval.unwrap())
+            .collect();
+        self.stats.wall_seconds += started.elapsed().as_secs_f64();
+        out
+    }
+
+    /// Predicted system TPS of `config` on the window's model, memoised;
+    /// `None` when the config fails to apply or the solver fails. Powers
+    /// the planner's quick fixes.
+    pub fn predicted_tps(&mut self, config: &ScalingConfig) -> Option<f64> {
+        let started = Instant::now();
+        let key = CacheKey::of(config);
+        self.stats.candidates += 1;
+        if let Some(c) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            self.stats.wall_seconds += started.elapsed().as_secs_f64();
+            return c.tps;
+        }
+        let hint = Self::warm_hint(&self.recent, &key);
+        // Score alongside the solve when an objective is attached, so a
+        // later evaluate() of the same config is free.
+        let cached = match self.scoring {
+            Some((binding, objective)) => {
+                Self::solve_and_score(&mut self.scratch, binding, objective, config, hint)
+            }
+            None => match self.scratch.solve_applied(config, hint, |_, sol| {
+                (sol.client_throughput, sol.iterations)
+            }) {
+                Ok((tps, iterations)) => Cached {
+                    eval: None,
+                    tps: Some(tps),
+                    iterations,
+                },
+                Err(_) => Cached {
+                    eval: None,
+                    tps: None,
+                    iterations: 0,
+                },
+            },
+        };
+        Self::record_solve(&mut self.stats, &cached, hint.is_some());
+        Self::remember(&mut self.recent, &key, &cached);
+        self.cache.insert(key, cached);
+        self.stats.wall_seconds += started.elapsed().as_secs_f64();
+        cached.tps
+    }
+
+    /// Solves `config` and hands the configured model plus the full
+    /// solution to `f` — for consumers that need more than a score
+    /// (what-if predictions, bottleneck analysis, operator diagnostics).
+    /// Full solutions are not memoised, but the solve still reuses the
+    /// scratch model, warm-starts from the cache, and records its
+    /// throughput for later hints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates apply and solver failures.
+    pub fn with_solution<R>(
+        &mut self,
+        config: &ScalingConfig,
+        f: impl FnOnce(&LqnModel, &LqnSolution) -> R,
+    ) -> Result<R, LqnError> {
+        let started = Instant::now();
+        let key = CacheKey::of(config);
+        self.stats.candidates += 1;
+        let hint = Self::warm_hint(&self.recent, &key);
+        let mut solved = None;
+        let result = self.scratch.solve_applied(config, hint, |model, sol| {
+            solved = Some((sol.client_throughput, sol.iterations));
+            f(model, sol)
+        });
+        let cached = Cached {
+            eval: None,
+            tps: solved.map(|(tps, _)| tps),
+            iterations: solved.map_or(0, |(_, it)| it),
+        };
+        Self::record_solve(&mut self.stats, &cached, hint.is_some());
+        Self::remember(&mut self.recent, &key, &cached);
+        if cached.tps.is_some() {
+            self.cache.entry(key).or_insert(cached);
+        }
+        self.stats.wall_seconds += started.elapsed().as_secs_f64();
+        result
+    }
+}
+
+impl std::fmt::Debug for CandidateEvaluator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CandidateEvaluator")
+            .field("cache_entries", &self.cache.len())
+            .field("workers", &self.workers)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::ServiceBinding;
+    use atom_cluster::ServiceId;
+    use atom_lqn::analytic::solve;
+    use atom_lqn::TaskId;
+
+    /// Two-service chain, same shape as the optimizer tests.
+    fn setup(users: usize) -> (ModelBinding, ObjectiveSpec) {
+        let mut m = LqnModel::new();
+        let p = m.add_processor("p", 8, 1.0);
+        let web = m.add_task("web", p, 64, 1).unwrap();
+        m.set_cpu_share(web, Some(0.5)).unwrap();
+        let db = m.add_task("db", p, 16, 1).unwrap();
+        m.set_cpu_share(db, Some(1.0)).unwrap();
+        let page = m.add_entry("page", web, 0.008).unwrap();
+        let query = m.add_entry("query", db, 0.002).unwrap();
+        m.add_call(page, query, 1.0).unwrap();
+        let c = m.add_reference_task("users", users, 2.0).unwrap();
+        m.add_call(m.reference_entry(c).unwrap(), page, 1.0)
+            .unwrap();
+        let binding = ModelBinding {
+            model: m,
+            client: c,
+            services: vec![
+                ServiceBinding {
+                    name: "web".into(),
+                    service: ServiceId(0),
+                    task: web,
+                    scalable: true,
+                    max_replicas: 8,
+                    share_bounds: (0.1, 1.0),
+                },
+                ServiceBinding {
+                    name: "db".into(),
+                    service: ServiceId(1),
+                    task: db,
+                    scalable: true,
+                    max_replicas: 4,
+                    share_bounds: (0.1, 2.0),
+                },
+            ],
+            feature_entries: vec![page],
+        };
+        let mut obj = ObjectiveSpec::balanced(1);
+        obj.server_capacity = vec![(0, 8.0)];
+        (binding, obj)
+    }
+
+    fn some_configs() -> Vec<ScalingConfig> {
+        let mut configs = Vec::new();
+        for (rw, sw, rd, sd) in [
+            (1, 0.5, 1, 1.0),
+            (2, 0.75, 1, 1.5),
+            (4, 1.0, 2, 0.5),
+            (8, 0.25, 4, 2.0),
+            (1, 0.5, 1, 1.0), // duplicate of the first
+            (3, 0.33, 2, 1.25),
+        ] {
+            let mut c = ScalingConfig::new();
+            c.set(TaskId(0), rw, sw).set(TaskId(1), rd, sd);
+            configs.push(c);
+        }
+        configs
+    }
+
+    /// The old direct path: clone the whole model, apply, solve, score.
+    fn direct(
+        binding: &ModelBinding,
+        objective: &ObjectiveSpec,
+        config: &ScalingConfig,
+    ) -> Evaluation {
+        let mut candidate = binding.model.clone();
+        if config.apply(&mut candidate).is_err() {
+            return CandidateEvaluator::rejected();
+        }
+        match solve(&candidate, CANDIDATE_SOLVER) {
+            Ok(sol) => objective.evaluate(binding, &candidate, config, &sol),
+            Err(_) => CandidateEvaluator::rejected(),
+        }
+    }
+
+    #[test]
+    fn first_batch_is_bitwise_identical_to_direct_solves() {
+        // The first batch sees an empty cache (no warm hints), so it
+        // must reproduce the retired clone-per-candidate path exactly.
+        let (binding, obj) = setup(500);
+        let configs = some_configs();
+        let expect: Vec<Evaluation> = configs.iter().map(|c| direct(&binding, &obj, c)).collect();
+        let mut ev = CandidateEvaluator::new(&binding, &binding.model, &obj);
+        assert_eq!(ev.evaluate_batch(&configs), expect);
+    }
+
+    #[test]
+    fn memoisation_counts_hits_and_saves_solves() {
+        let (binding, obj) = setup(300);
+        let configs = some_configs(); // six entries, one duplicate
+        let mut ev = CandidateEvaluator::new(&binding, &binding.model, &obj);
+        let first = ev.evaluate_batch(&configs);
+        assert_eq!(ev.stats().solves, 5, "duplicate must be deduped");
+        assert_eq!(ev.stats().cache_hits, 1);
+        let second = ev.evaluate_batch(&configs);
+        assert_eq!(first, second);
+        let stats = ev.stats();
+        assert_eq!(stats.solves, 5, "second batch fully cached");
+        assert_eq!(stats.candidates, 12);
+        assert_eq!(stats.solves_saved(), 7);
+        assert!(stats.hit_rate() > 0.5);
+        assert_eq!(first[0], first[4], "duplicates share one evaluation");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let (binding, obj) = setup(800);
+        let configs = some_configs();
+        let serial =
+            CandidateEvaluator::new(&binding, &binding.model, &obj).evaluate_batch(&configs);
+        for workers in [2, 4, 7] {
+            let parallel = CandidateEvaluator::new(&binding, &binding.model, &obj)
+                .with_workers(workers)
+                .evaluate_batch(&configs);
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn single_evaluate_agrees_with_batch() {
+        let (binding, obj) = setup(400);
+        let configs = some_configs();
+        let batched =
+            CandidateEvaluator::new(&binding, &binding.model, &obj).evaluate_batch(&configs);
+        let mut ev = CandidateEvaluator::new(&binding, &binding.model, &obj);
+        // Fresh evaluator per config: no warm hints, like the batch's
+        // empty-cache snapshot.
+        for (c, expect) in configs.iter().zip(&batched) {
+            let mut fresh = CandidateEvaluator::new(&binding, &binding.model, &obj);
+            assert_eq!(fresh.evaluate(c), *expect);
+        }
+        // And a shared evaluator still agrees on feasibility/ordering
+        // (warm-started solves stay within the solver tolerance).
+        for (c, expect) in configs.iter().zip(&batched) {
+            let eval = ev.evaluate(c);
+            assert_eq!(eval.violation == 0.0, expect.violation == 0.0);
+            assert!((eval.objective - expect.objective).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_not_fatal() {
+        let (binding, obj) = setup(100);
+        let mut bad = ScalingConfig::new();
+        bad.set(TaskId(99), 1, 0.5); // unknown task
+        let mut ev = CandidateEvaluator::new(&binding, &binding.model, &obj);
+        let eval = ev.evaluate(&bad);
+        assert!(CandidateEvaluator::is_rejected(&eval));
+        assert_eq!(ev.stats().failures, 1);
+        // The scratch model is intact: a good config still evaluates.
+        let mut good = ScalingConfig::new();
+        good.set(TaskId(0), 2, 0.5);
+        assert!(!CandidateEvaluator::is_rejected(&ev.evaluate(&good)));
+    }
+
+    #[test]
+    fn scratch_model_reverts_between_candidates() {
+        // Evaluating wildly different configs in sequence must not leak
+        // one candidate's replicas/shares into the next solve.
+        let (binding, obj) = setup(600);
+        let configs = some_configs();
+        let mut ev = CandidateEvaluator::new(&binding, &binding.model, &obj);
+        for c in &configs {
+            ev.evaluate(c);
+        }
+        // Reverse order on the same evaluator: cache answers must match
+        // what a fresh evaluator computes for the same config.
+        for c in configs.iter().rev() {
+            let cached = ev.evaluate(c);
+            let mut fresh = CandidateEvaluator::new(&binding, &binding.model, &obj);
+            let expect = fresh.evaluate(c);
+            assert_eq!(cached.violation == 0.0, expect.violation == 0.0);
+            assert!((cached.objective - expect.objective).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn predicted_tps_matches_solver_only_path() {
+        let (binding, obj) = setup(700);
+        let mut config = ScalingConfig::new();
+        config.set(TaskId(0), 4, 0.8).set(TaskId(1), 2, 1.0);
+        let mut full = CandidateEvaluator::new(&binding, &binding.model, &obj);
+        let mut solver = CandidateEvaluator::solver_only(&binding.model);
+        let a = full.predicted_tps(&config).unwrap();
+        let b = solver.predicted_tps(&config).unwrap();
+        assert_eq!(a, b);
+        // And a later evaluate() of the same config is served from cache.
+        full.evaluate(&config);
+        assert_eq!(full.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn with_solution_exposes_the_configured_model() {
+        let (binding, obj) = setup(200);
+        let mut config = ScalingConfig::new();
+        config.set(TaskId(0), 3, 0.9);
+        let mut ev = CandidateEvaluator::new(&binding, &binding.model, &obj);
+        let (replicas, tps) = ev
+            .with_solution(&config, |model, sol| {
+                (model.task(TaskId(0)).replicas, sol.client_throughput)
+            })
+            .unwrap();
+        assert_eq!(replicas, 3, "callback must see the applied config");
+        assert!(tps > 0.0);
+        let mut bad = ScalingConfig::new();
+        bad.set(TaskId(99), 1, 0.5);
+        assert!(ev.with_solution(&bad, |_, _| ()).is_err());
+    }
+
+    #[test]
+    fn rejected_sentinel_is_always_beaten() {
+        let rejected = CandidateEvaluator::rejected();
+        assert!(CandidateEvaluator::is_rejected(&rejected));
+        let awful = Evaluation::infeasible(-1e300, 1e12);
+        assert!(awful.beats(&rejected, 0.0));
+        assert!(!rejected.beats(&awful, 0.0));
+        assert!(!CandidateEvaluator::is_rejected(&awful));
+    }
+}

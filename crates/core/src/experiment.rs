@@ -51,16 +51,12 @@ impl ExperimentResult {
     /// Total under-provisioned time `T_u` across the given services (all
     /// when `services` is `None`) — paper eq. in §V-B.
     pub fn underprovision_time(&self, services: Option<&[usize]>) -> f64 {
-        self.select(services)
-            .map(|t| t.underprovision_time())
-            .sum()
+        self.select(services).map(|t| t.underprovision_time()).sum()
     }
 
     /// Total under-provisioned area `A_u` (core-seconds).
     pub fn underprovision_area(&self, services: Option<&[usize]>) -> f64 {
-        self.select(services)
-            .map(|t| t.underprovision_area())
-            .sum()
+        self.select(services).map(|t| t.underprovision_area()).sum()
     }
 
     fn select<'a>(
@@ -102,8 +98,9 @@ pub fn run_experiment(
     let think = workload.think_time;
     let mut cluster = Cluster::new(spec, workload, config.cluster)?;
     let mut tps = TpsSeries::new();
-    let mut capacity: Vec<CapacityTrace> =
-        (0..spec.services.len()).map(|_| CapacityTrace::new()).collect();
+    let mut capacity: Vec<CapacityTrace> = (0..spec.services.len())
+        .map(|_| CapacityTrace::new())
+        .collect();
     let mut actions_log = ActionLog::new();
     let mut reports = Vec::with_capacity(config.windows);
     let mut explanations = Vec::with_capacity(config.windows);
@@ -194,8 +191,7 @@ mod tests {
     #[test]
     fn noop_accumulates_underprovisioning() {
         let mut noop = NoopScaler;
-        let result =
-            run_experiment(&app(), ramp_workload(), &mut noop, config(8)).unwrap();
+        let result = run_experiment(&app(), ramp_workload(), &mut noop, config(8)).unwrap();
         assert_eq!(result.reports.len(), 8);
         // 400 users / 2 s × 4 ms = 0.8 cores needed vs 0.2 allocated.
         assert!(result.underprovision_time(None) > 0.0);

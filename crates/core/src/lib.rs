@@ -34,6 +34,7 @@ pub mod autoscaler;
 pub mod baselines;
 pub mod binding;
 pub mod calibration;
+pub mod evaluator;
 pub mod experiment;
 pub mod objective;
 pub mod optimizer;
@@ -43,10 +44,11 @@ pub mod whatif;
 mod atom_controller;
 
 pub use atom_controller::{Atom, AtomConfig};
-pub use calibration::DemandCalibrator;
 pub use autoscaler::Autoscaler;
 pub use baselines::{UhScaler, UvScaler};
 pub use binding::{ModelBinding, ServiceBinding};
+pub use calibration::DemandCalibrator;
+pub use evaluator::{CandidateEvaluator, EvaluatorStats};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use objective::ObjectiveSpec;
 pub use planner::PlannerMode;

@@ -158,10 +158,10 @@ impl ObjectiveSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binding::ServiceBinding;
     use atom_cluster::ServiceId;
     use atom_lqn::analytic::{solve, SolverOptions};
     use atom_lqn::TaskId;
-    use crate::binding::ServiceBinding;
 
     fn setup() -> (ModelBinding, ObjectiveSpec) {
         let mut m = LqnModel::new();

@@ -8,11 +8,11 @@
 //! violation magnitude (the `tolerance` check of Algorithm 1 lives in the
 //! GA's feasibility-first selection).
 
-use atom_ga::{optimize, Evaluation, GaOptions, Gene, GeneValue};
-use atom_lqn::analytic::{solve, SolverOptions};
+use atom_ga::{optimize_batched, Evaluation, GaOptions, Gene, GeneValue};
 use atom_lqn::{LqnModel, ScalingConfig};
 
 use crate::binding::ModelBinding;
+use crate::evaluator::{CandidateEvaluator, EvaluatorStats};
 use crate::objective::ObjectiveSpec;
 
 /// Result of one search round.
@@ -22,23 +22,38 @@ pub struct SearchResult {
     pub config: ScalingConfig,
     /// Its evaluation.
     pub eval: Evaluation,
-    /// Model solves spent.
+    /// Candidate evaluations spent (cache hits included).
     pub evaluations: usize,
+    /// Evaluator counters for this search (solves, hits, wall time).
+    pub stats: EvaluatorStats,
 }
 
 /// Runs the GA search over scaling configurations.
 ///
 /// `model` must already carry the window's `N` and request mix (the
-/// analyzer's output). Solver failures (non-convergence on extreme
-/// candidates) are treated as maximally infeasible rather than aborting
-/// the search.
+/// analyzer's output). Convenience wrapper over [`search_with`] that
+/// builds a throwaway [`CandidateEvaluator`]; the controller builds one
+/// evaluator per window instead, so the planner and diagnostics share
+/// the search's memo cache.
 pub fn search(
     binding: &ModelBinding,
     model: &LqnModel,
     objective: &ObjectiveSpec,
     ga: GaOptions,
 ) -> SearchResult {
-    let scalable: Vec<_> = binding.scalable().collect();
+    let mut evaluator = CandidateEvaluator::new(binding, model, objective);
+    search_with(&mut evaluator, ga)
+}
+
+/// Runs the GA search through an existing evaluator (and its cache).
+///
+/// Each GA population is evaluated as one batch, so the evaluator can
+/// deduplicate candidates and fan solves across worker threads. Solver
+/// failures on extreme candidates are treated as maximally infeasible
+/// ([`CandidateEvaluator::rejected`]) rather than aborting the search.
+pub fn search_with(evaluator: &mut CandidateEvaluator<'_>, ga: GaOptions) -> SearchResult {
+    let stats_before = evaluator.stats();
+    let scalable: Vec<_> = evaluator.binding().scalable().collect();
     if scalable.is_empty() {
         // Nothing to optimise: return an empty (no-op) configuration
         // instead of panicking in the GA on an empty genome.
@@ -46,6 +61,7 @@ pub fn search(
             config: ScalingConfig::new(),
             eval: Evaluation::feasible(0.0),
             evaluations: 0,
+            stats: EvaluatorStats::default(),
         };
     }
     let mut genome = Vec::with_capacity(scalable.len() * 2);
@@ -59,26 +75,26 @@ pub fn search(
             hi: s.share_bounds.1,
         });
     }
-    let solver = SolverOptions {
-        max_iterations: 8_000,
-        tolerance: 1e-7,
-        ..SolverOptions::default()
-    };
-    let result = optimize(&genome, ga, |genes| {
-        let config = decode(&scalable, genes);
-        let mut candidate = model.clone();
-        if config.apply(&mut candidate).is_err() {
-            return Evaluation::infeasible(f64::NEG_INFINITY, f64::MAX / 2.0);
-        }
-        match solve(&candidate, solver) {
-            Ok(solution) => objective.evaluate(binding, &candidate, &config, &solution),
-            Err(_) => Evaluation::infeasible(f64::NEG_INFINITY, f64::MAX / 2.0),
-        }
+    let result = optimize_batched(&genome, ga, |batch| {
+        let configs: Vec<ScalingConfig> =
+            batch.iter().map(|genes| decode(&scalable, genes)).collect();
+        evaluator.evaluate_batch(&configs)
     });
+    let after = evaluator.stats();
     SearchResult {
         config: decode(&scalable, &result.best_values),
         eval: result.best,
         evaluations: result.evaluations,
+        stats: EvaluatorStats {
+            candidates: after.candidates - stats_before.candidates,
+            solves: after.solves - stats_before.solves,
+            cache_hits: after.cache_hits - stats_before.cache_hits,
+            failures: after.failures - stats_before.failures,
+            solver_iterations: after.solver_iterations - stats_before.solver_iterations,
+            hinted_solves: after.hinted_solves - stats_before.hinted_solves,
+            hinted_iterations: after.hinted_iterations - stats_before.hinted_iterations,
+            wall_seconds: after.wall_seconds - stats_before.wall_seconds,
+        },
     }
 }
 
@@ -93,29 +109,31 @@ pub fn random_search(
     seed: u64,
 ) -> SearchResult {
     use atom_sim::SimRng;
+    let mut evaluator = CandidateEvaluator::new(binding, model, objective);
     let scalable: Vec<_> = binding.scalable().collect();
-    let solver = SolverOptions {
-        max_iterations: 8_000,
-        tolerance: 1e-7,
-        ..SolverOptions::default()
-    };
     let mut rng = SimRng::seed_from(seed);
+    // Draw every candidate up front (the fitness consumes no RNG), then
+    // evaluate them as one batch through the shared layer.
+    let configs: Vec<ScalingConfig> = (0..evaluations)
+        .map(|_| {
+            let mut config = ScalingConfig::new();
+            for s in &scalable {
+                let replicas = 1 + (rng.uniform() * s.max_replicas as f64) as usize;
+                let share = ((rng.uniform_in(s.share_bounds.0, s.share_bounds.1) / SHARE_STEP)
+                    .round()
+                    * SHARE_STEP)
+                    .clamp(s.share_bounds.0, s.share_bounds.1);
+                config.set(s.task, replicas.min(s.max_replicas), share);
+            }
+            config
+        })
+        .collect();
+    let evals = evaluator.evaluate_batch(&configs);
     let mut best: Option<(ScalingConfig, Evaluation)> = None;
-    for _ in 0..evaluations {
-        let mut config = ScalingConfig::new();
-        for s in &scalable {
-            let replicas = 1 + (rng.uniform() * s.max_replicas as f64) as usize;
-            let share = rng.uniform_in(s.share_bounds.0, s.share_bounds.1);
-            config.set(s.task, replicas.min(s.max_replicas), share);
+    for (config, eval) in configs.into_iter().zip(evals) {
+        if CandidateEvaluator::is_rejected(&eval) {
+            continue; // failed to apply or to solve — never a winner
         }
-        let mut candidate = model.clone();
-        if config.apply(&mut candidate).is_err() {
-            continue;
-        }
-        let eval = match solve(&candidate, solver) {
-            Ok(solution) => objective.evaluate(binding, &candidate, &config, &solution),
-            Err(_) => continue,
-        };
         if best.as_ref().is_none_or(|(_, b)| eval.beats(b, 0.0)) {
             best = Some((config, eval));
         }
@@ -125,36 +143,46 @@ pub fn random_search(
         for s in &scalable {
             c.set(s.task, 1, s.share_bounds.0);
         }
-        (c, Evaluation::infeasible(f64::NEG_INFINITY, f64::MAX / 2.0))
+        (c, CandidateEvaluator::rejected())
     });
     SearchResult {
         config,
         eval,
         evaluations,
+        stats: evaluator.stats(),
     }
 }
 
 /// Predicted system TPS of a configuration on the window's model; used
 /// by the planner's quick fixes. Returns `None` if the solve fails.
+///
+/// One-shot convenience over [`CandidateEvaluator::predicted_tps`];
+/// repeated predictions against the same model should share an
+/// evaluator to benefit from its cache.
 pub fn predicted_tps(model: &LqnModel, config: &ScalingConfig) -> Option<f64> {
-    let mut candidate = model.clone();
-    config.apply(&mut candidate).ok()?;
-    let solver = SolverOptions {
-        max_iterations: 8_000,
-        tolerance: 1e-7,
-        ..SolverOptions::default()
-    };
-    solve(&candidate, solver).ok().map(|s| s.client_throughput)
+    CandidateEvaluator::solver_only(model).predicted_tps(config)
 }
 
-fn decode(
-    scalable: &[&crate::binding::ServiceBinding],
-    genes: &[GeneValue],
-) -> ScalingConfig {
+/// CPU-share actuator resolution, in cores (50 millicores).
+///
+/// Decoded shares snap to this grid before evaluation: CFS quotas are
+/// set in discrete millicore steps, so finer distinctions between GA
+/// candidates are not actuatable anyway. Snapping also makes converging
+/// populations collide in the evaluator's memo cache — a blend-crossover
+/// child lands on its parents' grid point instead of an ε-distinct share
+/// that would cost a fresh solve.
+pub const SHARE_STEP: f64 = 0.05;
+
+/// Decodes a GA gene vector into the scaling configuration it denotes,
+/// snapping CPU shares to the [`SHARE_STEP`] actuator grid (clamped back
+/// into the service's share bounds, which need not lie on the grid).
+pub fn decode(scalable: &[&crate::binding::ServiceBinding], genes: &[GeneValue]) -> ScalingConfig {
     let mut config = ScalingConfig::new();
     for (i, s) in scalable.iter().enumerate() {
         let replicas = genes[2 * i].as_i64().max(1) as usize;
-        let share = genes[2 * i + 1].as_f64();
+        let raw = genes[2 * i + 1].as_f64();
+        let share =
+            ((raw / SHARE_STEP).round() * SHARE_STEP).clamp(s.share_bounds.0, s.share_bounds.1);
         config.set(s.task, replicas, share);
     }
     config
@@ -163,10 +191,10 @@ fn decode(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binding::ServiceBinding;
     use atom_cluster::ServiceId;
     use atom_ga::Budget;
     use atom_lqn::TaskId;
-    use crate::binding::ServiceBinding;
 
     /// Two-service chain where the bottleneck is the web tier.
     fn setup(users: usize) -> (ModelBinding, ObjectiveSpec) {
@@ -180,7 +208,8 @@ mod tests {
         let query = m.add_entry("query", db, 0.002).unwrap();
         m.add_call(page, query, 1.0).unwrap();
         let c = m.add_reference_task("users", users, 2.0).unwrap();
-        m.add_call(m.reference_entry(c).unwrap(), page, 1.0).unwrap();
+        m.add_call(m.reference_entry(c).unwrap(), page, 1.0)
+            .unwrap();
         let binding = ModelBinding {
             model: m,
             client: c,

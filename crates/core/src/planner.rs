@@ -19,7 +19,7 @@
 use atom_lqn::{LqnModel, ScalingConfig};
 
 use crate::binding::ModelBinding;
-use crate::optimizer::predicted_tps;
+use crate::evaluator::CandidateEvaluator;
 
 /// Conservatism of the planner (paper Fig. 7's variants).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +71,9 @@ impl Planner {
     /// configuration to execute.
     ///
     /// `model` is the analyzer-instantiated LQN of this window.
+    /// Convenience wrapper over [`Planner::plan_with`] with a throwaway
+    /// evaluator; the controller passes the search's evaluator instead,
+    /// so quick-fix trials hit its memo cache.
     pub fn plan(
         &self,
         binding: &ModelBinding,
@@ -78,8 +81,21 @@ impl Planner {
         candidate: ScalingConfig,
         current: &ScalingConfig,
     ) -> ScalingConfig {
+        let mut evaluator = CandidateEvaluator::solver_only(model);
+        self.plan_with(binding, &mut evaluator, candidate, current)
+    }
+
+    /// Like [`Planner::plan`], but all TPS predictions go through the
+    /// given evaluator (and its cache).
+    pub fn plan_with(
+        &self,
+        binding: &ModelBinding,
+        evaluator: &mut CandidateEvaluator<'_>,
+        candidate: ScalingConfig,
+        current: &ScalingConfig,
+    ) -> ScalingConfig {
         let mut adopted = candidate;
-        let mut adopted_tps = match predicted_tps(model, &adopted) {
+        let mut adopted_tps = match evaluator.predicted_tps(&adopted) {
             Some(x) => x,
             None => return current.clone(),
         };
@@ -94,7 +110,7 @@ impl Planner {
             if prev_alloc < now_alloc {
                 let mut trial = adopted.clone();
                 trial.set(s.task, prev.replicas, prev.cpu_share);
-                if let Some(tps) = predicted_tps(model, &trial) {
+                if let Some(tps) = evaluator.predicted_tps(&trial) {
                     if tps >= adopted_tps * (1.0 - self.tps_tolerance) {
                         adopted = trial;
                         adopted_tps = tps;
@@ -110,12 +126,12 @@ impl Planner {
             };
             if now.replicas >= 2 {
                 let new_r = now.replicas / 2;
-                let new_s = (now.cpu_share * now.replicas as f64 / new_r as f64)
-                    .min(s.share_bounds.1);
+                let new_s =
+                    (now.cpu_share * now.replicas as f64 / new_r as f64).min(s.share_bounds.1);
                 if new_s > now.cpu_share {
                     let mut trial = adopted.clone();
                     trial.set(s.task, new_r, new_s);
-                    if let Some(tps) = predicted_tps(model, &trial) {
+                    if let Some(tps) = evaluator.predicted_tps(&trial) {
                         if tps >= adopted_tps * (1.0 - self.tps_tolerance) {
                             adopted = trial;
                             adopted_tps = tps;
@@ -129,10 +145,8 @@ impl Planner {
         match self.mode {
             PlannerMode::Standard => adopted,
             PlannerMode::ConservativeTps { min_improvement } => {
-                match predicted_tps(model, current) {
-                    Some(current_tps)
-                        if adopted_tps < current_tps * (1.0 + min_improvement) =>
-                    {
+                match evaluator.predicted_tps(current) {
+                    Some(current_tps) if adopted_tps < current_tps * (1.0 + min_improvement) => {
                         current.clone()
                     }
                     _ => adopted,
@@ -150,8 +164,7 @@ impl Planner {
                     let alpha = (max_relative_change * c_now / delta).clamp(0.0, 1.0);
                     let mut clamped = current.clone();
                     for s in binding.scalable() {
-                        let (Some(new), Some(old)) =
-                            (adopted.get(s.task), current.get(s.task))
+                        let (Some(new), Some(old)) = (adopted.get(s.task), current.get(s.task))
                         else {
                             continue;
                         };
@@ -176,9 +189,9 @@ impl Planner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binding::ServiceBinding;
     use atom_cluster::ServiceId;
     use atom_lqn::{LqnModel, TaskId};
-    use crate::binding::ServiceBinding;
 
     fn setup(users: usize) -> ModelBinding {
         let mut m = LqnModel::new();
@@ -187,7 +200,8 @@ mod tests {
         m.set_cpu_share(web, Some(0.5)).unwrap();
         let page = m.add_entry("page", web, 0.01).unwrap();
         let c = m.add_reference_task("users", users, 2.0).unwrap();
-        m.add_call(m.reference_entry(c).unwrap(), page, 1.0).unwrap();
+        m.add_call(m.reference_entry(c).unwrap(), page, 1.0)
+            .unwrap();
         ModelBinding {
             model: m,
             client: c,
@@ -215,7 +229,11 @@ mod tests {
         let planner = Planner::default();
         let plan = planner.plan(&binding, &binding.model, candidate, &current);
         let d = plan.get(TaskId(0)).unwrap();
-        assert_eq!((d.replicas, d.cpu_share), (1, 0.5), "should reuse cheap config");
+        assert_eq!(
+            (d.replicas, d.cpu_share),
+            (1, 0.5),
+            "should reuse cheap config"
+        );
     }
 
     #[test]

@@ -9,12 +9,12 @@
 //! analyzer so the prediction is made for the *observed* workload.
 
 use atom_cluster::WindowReport;
-use atom_lqn::analytic::{solve, SolverOptions};
 use atom_lqn::bottleneck::{analyze, BottleneckReport};
 use atom_lqn::{LqnError, ScalingConfig};
 
 use crate::analyzer::WorkloadAnalyzer;
 use crate::binding::ModelBinding;
+use crate::evaluator::CandidateEvaluator;
 
 /// Predicted steady-state outcome of running a configuration under an
 /// observed workload.
@@ -56,36 +56,36 @@ pub fn what_if(
     config: &ScalingConfig,
 ) -> Result<Prediction, LqnError> {
     let mut analyzer = WorkloadAnalyzer::new();
-    let mut model = analyzer.instantiate(binding, report)?;
-    config.apply(&mut model)?;
-    let solution = solve(&model, SolverOptions::default())?;
-    let feature_response = binding
-        .feature_entries
-        .iter()
-        .map(|&e| solution.entry_residence(e))
-        .collect();
-    let service_utilization = binding
-        .services
-        .iter()
-        .map(|s| solution.task_utilization(s.task))
-        .collect();
-    let bottlenecks = analyze(&model, &solution);
-    Ok(Prediction {
-        tps: solution.client_throughput,
-        response_time: solution.client_response_time,
-        feature_response,
-        service_utilization,
-        total_cpu: config.total_cpu_share(),
-        bottlenecks,
+    let model = analyzer.instantiate(binding, report)?;
+    CandidateEvaluator::solver_only(&model).with_solution(config, |configured, solution| {
+        let feature_response = binding
+            .feature_entries
+            .iter()
+            .map(|&e| solution.entry_residence(e))
+            .collect();
+        let service_utilization = binding
+            .services
+            .iter()
+            .map(|s| solution.task_utilization(s.task))
+            .collect();
+        let bottlenecks = analyze(configured, solution);
+        Prediction {
+            tps: solution.client_throughput,
+            response_time: solution.client_response_time,
+            feature_response,
+            service_utilization,
+            total_cpu: config.total_cpu_share(),
+            bottlenecks,
+        }
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binding::ServiceBinding;
     use atom_cluster::ServiceId;
     use atom_lqn::{LqnModel, TaskId};
-    use crate::binding::ServiceBinding;
 
     fn binding() -> ModelBinding {
         let mut m = LqnModel::new();
@@ -94,7 +94,8 @@ mod tests {
         m.set_cpu_share(web, Some(0.5)).unwrap();
         let page = m.add_entry("page", web, 0.01).unwrap();
         let c = m.add_reference_task("users", 100, 2.0).unwrap();
-        m.add_call(m.reference_entry(c).unwrap(), page, 1.0).unwrap();
+        m.add_call(m.reference_entry(c).unwrap(), page, 1.0)
+            .unwrap();
         ModelBinding {
             model: m,
             client: c,
@@ -128,8 +129,8 @@ mod tests {
             avg_users: users as f64,
             users_at_end: users,
             peak_arrival_rate: 0.0,
-        peak_in_system: 0.0,
-        avg_in_system: 0.0,
+            peak_in_system: 0.0,
+            avg_in_system: 0.0,
         }
     }
 

@@ -1,0 +1,127 @@
+//! Property tests for the unified candidate-evaluation layer: parity
+//! with the direct solve path, and seed-determinism of the searches
+//! regardless of evaluator worker threads.
+
+use atom_cluster::ServiceId;
+use atom_core::evaluator::{CandidateEvaluator, CANDIDATE_SOLVER};
+use atom_core::optimizer::{random_search, search_with};
+use atom_core::{ModelBinding, ObjectiveSpec, ServiceBinding};
+use atom_ga::{Budget, Evaluation, GaOptions};
+use atom_lqn::analytic::solve;
+use atom_lqn::{LqnModel, ScalingConfig, TaskId};
+use proptest::prelude::*;
+
+fn setup(users: usize, demand_ms: f64) -> (ModelBinding, ObjectiveSpec) {
+    let mut m = LqnModel::new();
+    let p = m.add_processor("p", 8, 1.0);
+    let web = m.add_task("web", p, 64, 1).unwrap();
+    m.set_cpu_share(web, Some(0.5)).unwrap();
+    let db = m.add_task("db", p, 16, 1).unwrap();
+    m.set_cpu_share(db, Some(1.0)).unwrap();
+    let page = m.add_entry("page", web, demand_ms / 1000.0).unwrap();
+    let query = m.add_entry("query", db, demand_ms / 4000.0).unwrap();
+    m.add_call(page, query, 1.0).unwrap();
+    let c = m.add_reference_task("users", users, 2.0).unwrap();
+    m.add_call(m.reference_entry(c).unwrap(), page, 1.0)
+        .unwrap();
+    let binding = ModelBinding {
+        model: m,
+        client: c,
+        services: vec![
+            ServiceBinding {
+                name: "web".into(),
+                service: ServiceId(0),
+                task: web,
+                scalable: true,
+                max_replicas: 8,
+                share_bounds: (0.1, 1.0),
+            },
+            ServiceBinding {
+                name: "db".into(),
+                service: ServiceId(1),
+                task: db,
+                scalable: true,
+                max_replicas: 4,
+                share_bounds: (0.1, 2.0),
+            },
+        ],
+        feature_entries: vec![page],
+    };
+    let mut obj = ObjectiveSpec::balanced(1);
+    obj.server_capacity = vec![(0, 8.0)];
+    (binding, obj)
+}
+
+/// The retired clone-per-candidate path, for parity checks.
+fn direct(binding: &ModelBinding, obj: &ObjectiveSpec, config: &ScalingConfig) -> Evaluation {
+    let mut candidate = binding.model.clone();
+    if config.apply(&mut candidate).is_err() {
+        return CandidateEvaluator::rejected();
+    }
+    match solve(&candidate, CANDIDATE_SOLVER) {
+        Ok(sol) => obj.evaluate(binding, &candidate, config, &sol),
+        Err(_) => CandidateEvaluator::rejected(),
+    }
+}
+
+fn config_strategy() -> impl Strategy<Value = ScalingConfig> {
+    (1usize..=8, 0.1f64..1.0, 1usize..=4, 0.1f64..2.0).prop_map(|(rw, sw, rd, sd)| {
+        let mut c = ScalingConfig::new();
+        c.set(TaskId(0), rw, sw).set(TaskId(1), rd, sd);
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A fresh batch (empty cache, hence no warm hints) reproduces the
+    /// direct clone-and-solve path bitwise, at any worker count.
+    #[test]
+    fn batched_evaluator_matches_direct_path(
+        configs in proptest::collection::vec(config_strategy(), 1..12),
+        users in 50usize..1500,
+        workers in 1usize..5,
+    ) {
+        let (binding, obj) = setup(users, 8.0);
+        let expect: Vec<Evaluation> =
+            configs.iter().map(|c| direct(&binding, &obj, c)).collect();
+        let got = CandidateEvaluator::new(&binding, &binding.model, &obj)
+            .with_workers(workers)
+            .evaluate_batch(&configs);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The GA search is bitwise deterministic in its seed regardless of
+    /// how many worker threads the evaluator fans batches over.
+    #[test]
+    fn search_deterministic_across_worker_counts(seed in 0u64..200, users in 100usize..1200) {
+        let (binding, obj) = setup(users, 8.0);
+        let ga = GaOptions {
+            budget: Budget::Evaluations(120),
+            seed,
+            ..Default::default()
+        };
+        let mut serial = CandidateEvaluator::new(&binding, &binding.model, &obj);
+        let a = search_with(&mut serial, ga);
+        let mut threaded = CandidateEvaluator::new(&binding, &binding.model, &obj)
+            .with_workers(4);
+        let b = search_with(&mut threaded, ga);
+        prop_assert_eq!(&a.config, &b.config);
+        prop_assert_eq!(a.eval, b.eval);
+        prop_assert_eq!(a.evaluations, b.evaluations);
+        prop_assert_eq!(a.stats.solves, b.stats.solves);
+        prop_assert_eq!(a.stats.cache_hits, b.stats.cache_hits);
+    }
+
+    /// Random search stays deterministic in its seed through the
+    /// batched evaluation layer.
+    #[test]
+    fn random_search_deterministic_in_seed(seed in 0u64..200) {
+        let (binding, obj) = setup(400, 8.0);
+        let a = random_search(&binding, &binding.model, &obj, 60, seed);
+        let b = random_search(&binding, &binding.model, &obj, 60, seed);
+        prop_assert_eq!(&a.config, &b.config);
+        prop_assert_eq!(a.eval, b.eval);
+    }
+}

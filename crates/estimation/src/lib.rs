@@ -104,9 +104,12 @@ mod tests {
         assert!(EstimationError::TooFewSamples { got: 1, needed: 2 }
             .to_string()
             .contains("too few"));
-        assert!(EstimationError::DimensionMismatch { got: 1, expected: 2 }
-            .to_string()
-            .contains("classes"));
+        assert!(EstimationError::DimensionMismatch {
+            got: 1,
+            expected: 2
+        }
+        .to_string()
+        .contains("classes"));
         assert!(!EstimationError::Singular.to_string().is_empty());
     }
 }

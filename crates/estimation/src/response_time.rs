@@ -121,11 +121,7 @@ impl ResponseTimeEstimator {
         if self.samples.is_empty() {
             return Err(EstimationError::TooFewSamples { got: 0, needed: 1 });
         }
-        let mut ratios: Vec<f64> = self
-            .samples
-            .iter()
-            .map(|&(a, r)| r / (1.0 + a))
-            .collect();
+        let mut ratios: Vec<f64> = self.samples.iter().map(|&(a, r)| r / (1.0 + a)).collect();
         ratios.sort_by(|x, y| x.partial_cmp(y).expect("no NaN ratios"));
         Ok(ratios[ratios.len() / 2])
     }

@@ -124,15 +124,26 @@ impl Evaluation {
 }
 
 /// Search budget.
+///
+/// All budgets are checked at **generation boundaries**: the GA always
+/// evaluates a full population batch, then decides whether to start
+/// another generation. [`Budget::Evaluations`] may therefore overshoot
+/// by at most one population (minus elites, which are never
+/// re-evaluated). This is what makes generation-batched evaluation —
+/// and hence parallel fitness — possible without per-candidate budget
+/// races.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Budget {
-    /// Stop after this many fitness evaluations.
+    /// Stop once at least this many fitness evaluations have been spent.
+    /// Checked at generation boundaries, so the actual count can exceed
+    /// the budget by up to one population batch.
     Evaluations(usize),
     /// Stop after this many generations.
     Generations(usize),
     /// Stop when this much wall-clock time has elapsed (the paper's
-    /// 2-minute bound). Non-deterministic across machines; prefer
-    /// evaluation budgets in tests.
+    /// 2-minute bound), checked at generation boundaries.
+    /// Non-reproducible across machines and runs; experiments should
+    /// prefer evaluation budgets, per DESIGN.md's determinism rule.
     TimeLimitSecs(f64),
 }
 
@@ -208,7 +219,12 @@ fn clamp_value(gene: &Gene, v: GeneValue) -> GeneValue {
     }
 }
 
-fn crossover(genome: &[Gene], a: &[GeneValue], b: &[GeneValue], rng: &mut SimRng) -> Vec<GeneValue> {
+fn crossover(
+    genome: &[Gene],
+    a: &[GeneValue],
+    b: &[GeneValue],
+    rng: &mut SimRng,
+) -> Vec<GeneValue> {
     genome
         .iter()
         .zip(a.iter().zip(b))
@@ -256,21 +272,30 @@ fn mutate(genome: &[Gene], values: &mut [GeneValue], rate: f64, rng: &mut SimRng
     }
 }
 
-/// Runs the GA, maximising `fitness` over `genome` within the budget.
+/// Runs the GA with a **batched** fitness function, maximising over
+/// `genome` within the budget.
 ///
-/// `fitness` is called once per candidate; return
-/// [`Evaluation::infeasible`] for constraint-violating candidates and the
-/// feasibility-first selection will steer away from them without
-/// discarding their information.
+/// Each generation's candidates are handed to `fitness` as one slice of
+/// genomes; the returned evaluations must correspond index-by-index.
+/// This is the primitive that lets callers fan a whole population across
+/// worker threads (see `atom-core`'s `CandidateEvaluator`): all random
+/// choices (parent selection, crossover, mutation) happen sequentially
+/// on the caller's thread *before* the batch is evaluated, and results
+/// are merged back by index, so the evolution trajectory is bitwise
+/// identical no matter how the batch is computed — serially, in
+/// parallel, or from a cache.
+///
+/// Budgets are checked at generation boundaries (see [`Budget`]);
+/// [`Budget::Evaluations`] may overshoot by at most one population.
 ///
 /// # Panics
 ///
 /// Panics if the genome is empty, the population is smaller than 2, the
-/// elite count is not smaller than the population, or any gene has
-/// inverted bounds.
-pub fn optimize<F>(genome: &[Gene], options: GaOptions, mut fitness: F) -> GaResult
+/// elite count is not smaller than the population, any gene has
+/// inverted bounds, or `fitness` returns a wrong-length batch.
+pub fn optimize_batched<F>(genome: &[Gene], options: GaOptions, mut fitness: F) -> GaResult
 where
-    F: FnMut(&[GeneValue]) -> Evaluation,
+    F: FnMut(&[&[GeneValue]]) -> Vec<Evaluation>,
 {
     assert!(!genome.is_empty(), "genome must not be empty");
     assert!(options.population >= 2, "population must be >= 2");
@@ -296,15 +321,27 @@ where
         }
     };
 
-    // Initial population.
-    let mut pop: Vec<(Vec<GeneValue>, Evaluation)> = (0..options.population)
-        .map(|_| {
-            let values: Vec<GeneValue> = genome.iter().map(|g| random_value(g, &mut rng)).collect();
-            let eval = fitness(&values);
-            evaluations += 1;
-            (values, eval)
-        })
+    let mut eval_batch = |batch: &[Vec<GeneValue>], evaluations: &mut usize| -> Vec<Evaluation> {
+        let refs: Vec<&[GeneValue]> = batch.iter().map(Vec::as_slice).collect();
+        let evals = fitness(&refs);
+        assert_eq!(
+            evals.len(),
+            batch.len(),
+            "batched fitness returned {} evaluations for {} candidates",
+            evals.len(),
+            batch.len()
+        );
+        *evaluations += batch.len();
+        evals
+    };
+
+    // Initial population: generate every genome first (sequential RNG),
+    // then evaluate the whole batch at once.
+    let genomes: Vec<Vec<GeneValue>> = (0..options.population)
+        .map(|_| genome.iter().map(|g| random_value(g, &mut rng)).collect())
         .collect();
+    let evals = eval_batch(&genomes, &mut evaluations);
+    let mut pop: Vec<(Vec<GeneValue>, Evaluation)> = genomes.into_iter().zip(evals).collect();
 
     let better = |a: &Evaluation, b: &Evaluation| a.beats(b, options.tolerance);
     let mut best_idx = 0;
@@ -329,9 +366,11 @@ where
                 std::cmp::Ordering::Equal
             }
         });
-        let mut next: Vec<(Vec<GeneValue>, Evaluation)> =
-            pop.iter().take(options.elite).cloned().collect();
-        while next.len() < options.population && budget_left(evaluations, generations) {
+        // Breed a full generation of children before evaluating any of
+        // them; elites carry their known evaluations over unchanged.
+        let mut children: Vec<Vec<GeneValue>> =
+            Vec::with_capacity(options.population - options.elite);
+        while children.len() + options.elite < options.population {
             let pick = |rng: &mut SimRng| -> usize {
                 let mut winner = (rng.uniform() * pop.len() as f64) as usize % pop.len();
                 for _ in 1..options.tournament {
@@ -350,17 +389,17 @@ where
                 pop[pa].0.clone()
             };
             mutate(genome, &mut child, options.mutation_rate, &mut rng);
-            let eval = fitness(&child);
-            evaluations += 1;
+            children.push(child);
+        }
+        let child_evals = eval_batch(&children, &mut evaluations);
+
+        let mut next: Vec<(Vec<GeneValue>, Evaluation)> =
+            pop.iter().take(options.elite).cloned().collect();
+        for (child, eval) in children.into_iter().zip(child_evals) {
             if better(&eval, &best.1) {
                 best = (child.clone(), eval);
             }
             next.push((child, eval));
-        }
-        // If the budget ran out mid-generation, pad with elites.
-        while next.len() < options.population {
-            let i = next.len() % pop.len();
-            next.push(pop[i].clone());
         }
         pop = next;
         generations += 1;
@@ -379,6 +418,32 @@ where
         generations,
         history,
     }
+}
+
+/// Runs the GA with a per-candidate fitness function.
+///
+/// This is a thin adapter over [`optimize_batched`]: candidates are
+/// evaluated one at a time, in batch order. Because fitness functions
+/// consume no randomness, the adapter produces exactly the trajectory of
+/// the batched form.
+///
+/// `fitness` is called once per candidate; return
+/// [`Evaluation::infeasible`] for constraint-violating candidates and the
+/// feasibility-first selection will steer away from them without
+/// discarding their information.
+///
+/// # Panics
+///
+/// Panics if the genome is empty, the population is smaller than 2, the
+/// elite count is not smaller than the population, or any gene has
+/// inverted bounds.
+pub fn optimize<F>(genome: &[Gene], options: GaOptions, mut fitness: F) -> GaResult
+where
+    F: FnMut(&[GeneValue]) -> Evaluation,
+{
+    optimize_batched(genome, options, |batch| {
+        batch.iter().map(|candidate| fitness(candidate)).collect()
+    })
 }
 
 #[cfg(test)]
@@ -400,10 +465,7 @@ mod tests {
 
     #[test]
     fn mixed_integer_optimum() {
-        let genome = vec![
-            Gene::Int { lo: 1, hi: 8 },
-            Gene::Float { lo: 0.1, hi: 1.0 },
-        ];
+        let genome = vec![Gene::Int { lo: 1, hi: 8 }, Gene::Float { lo: 0.1, hi: 1.0 }];
         // Max objective at r=4, s≈0.6.
         let result = optimize(
             &genome,
@@ -492,17 +554,94 @@ mod tests {
     }
 
     #[test]
-    fn evaluation_budget_is_respected() {
+    fn evaluation_budget_overshoots_by_less_than_one_population() {
+        // Budgets are checked at generation boundaries: the GA spends at
+        // least the budget, and at most one extra population batch.
+        let genome = sphere_genome(2);
+        let options = GaOptions {
+            budget: Budget::Evaluations(123),
+            ..Default::default()
+        };
+        let result = optimize(&genome, options, |_| Evaluation::feasible(0.0));
+        assert!(result.evaluations >= 123, "{}", result.evaluations);
+        assert!(
+            result.evaluations < 123 + options.population,
+            "overshoot too large: {}",
+            result.evaluations
+        );
+    }
+
+    #[test]
+    fn divisible_evaluation_budget_is_exact() {
+        // 40 initial + 38 children per generation: a budget of
+        // 40 + 20×38 = 800 lands exactly on a generation boundary.
         let genome = sphere_genome(2);
         let result = optimize(
             &genome,
             GaOptions {
-                budget: Budget::Evaluations(123),
+                budget: Budget::Evaluations(800),
                 ..Default::default()
             },
             |_| Evaluation::feasible(0.0),
         );
-        assert!(result.evaluations <= 123 + 1, "{}", result.evaluations);
+        assert_eq!(result.evaluations, 800);
+        assert_eq!(result.generations, 20);
+    }
+
+    #[test]
+    fn batched_and_serial_forms_agree_exactly() {
+        let genome = vec![Gene::Int { lo: 1, hi: 8 }, Gene::Float { lo: 0.1, hi: 1.0 }];
+        let fitness = |g: &[GeneValue]| {
+            let r = g[0].as_f64();
+            let s = g[1].as_f64();
+            if s > 0.8 {
+                Evaluation::infeasible(0.0, s - 0.8)
+            } else {
+                Evaluation::feasible(-(r - 4.0).powi(2) - (s - 0.6).powi(2))
+            }
+        };
+        let options = GaOptions {
+            budget: Budget::Evaluations(500),
+            seed: 7,
+            ..Default::default()
+        };
+        let serial = optimize(&genome, options, fitness);
+        let batched = optimize_batched(&genome, options, |batch| {
+            batch.iter().map(|c| fitness(c)).collect()
+        });
+        assert_eq!(serial.best_values, batched.best_values);
+        assert_eq!(serial.best, batched.best);
+        assert_eq!(serial.evaluations, batched.evaluations);
+        assert_eq!(serial.history, batched.history);
+    }
+
+    #[test]
+    fn batches_are_whole_generations() {
+        let genome = sphere_genome(3);
+        let options = GaOptions {
+            budget: Budget::Generations(4),
+            ..Default::default()
+        };
+        let mut batch_sizes = Vec::new();
+        let result = optimize_batched(&genome, options, |batch| {
+            batch_sizes.push(batch.len());
+            batch.iter().map(|_| Evaluation::feasible(0.0)).collect()
+        });
+        // One full-population batch, then population−elite children per
+        // generation.
+        assert_eq!(batch_sizes[0], options.population);
+        assert_eq!(batch_sizes.len(), 1 + result.generations);
+        for &size in &batch_sizes[1..] {
+            assert_eq!(size, options.population - options.elite);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batched fitness returned")]
+    fn rejects_wrong_length_batch_result() {
+        optimize_batched(&sphere_genome(2), GaOptions::default(), |_| {
+            vec![Evaluation::feasible(0.0)]
+        });
     }
 
     #[test]

@@ -45,7 +45,10 @@ proptest! {
             },
         );
         prop_assert_eq!(violations, 0);
-        prop_assert!(result.evaluations <= 301);
+        // Budgets are checked at generation boundaries: at most one
+        // extra population batch beyond the requested 300.
+        prop_assert!(result.evaluations >= 300);
+        prop_assert!(result.evaluations < 300 + 40, "spent {}", result.evaluations);
     }
 
     /// On a smooth unconstrained problem the GA improves monotonically

@@ -49,6 +49,15 @@ pub struct SolverOptions {
     /// Kept for API stability; the bisection solver no longer requires
     /// damping (must stay in `(0, 1]`).
     pub damping: f64,
+    /// Optional client-throughput hint, typically the solution of a
+    /// *similar* configuration (e.g. the nearest cached candidate in
+    /// `atom-core`'s evaluator). The solver probes a narrow bracket
+    /// around the hint before falling back to ordinary bisection, so an
+    /// accurate hint saves most probes while a wrong one costs at most
+    /// two. Purely advisory: it never changes which fixed point is
+    /// found, only how fast the bracket shrinks, and non-finite or
+    /// non-positive hints are ignored.
+    pub warm_start: Option<f64>,
 }
 
 impl Default for SolverOptions {
@@ -57,8 +66,45 @@ impl Default for SolverOptions {
             max_iterations: 20_000,
             tolerance: 1e-9,
             damping: 1.0,
+            warm_start: None,
         }
     }
+}
+
+/// Reusable scratch buffers for [`solve_with`].
+///
+/// One analytic solve needs a handful of per-entry/per-task vectors
+/// (iteration state, the bracket's warm state, per-processor busy
+/// counts, acceleration buffers). Allocating them per solve is wasted
+/// work when a caller — ATOM's optimizer evaluates thousands of
+/// candidates per planning window — solves in a tight loop, so the
+/// workspace owns them and [`solve_with`] only resizes. Reuse is
+/// observationally transparent: every buffer is reinitialised at the
+/// start of a solve, so results are bitwise identical to a fresh
+/// workspace.
+#[derive(Debug, Clone, Default)]
+pub struct SolverWorkspace {
+    probe: State,
+    lo_state: State,
+    busy_proc: Vec<f64>,
+    accel: AccelBuffers,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Buffers for the geometric acceleration inside `relax_inner`.
+#[derive(Debug, Clone, Default)]
+struct AccelBuffers {
+    prev_w: Vec<f64>,
+    prev_step: Vec<f64>,
+    step: Vec<f64>,
+    prev_w_valid: bool,
+    prev_step_valid: bool,
 }
 
 /// Static tables precomputed from the model.
@@ -75,13 +121,29 @@ struct Tables {
 }
 
 /// Mutable inner-iteration state.
-#[derive(Clone)]
+#[derive(Debug, Clone, Default)]
 struct State {
     w: Vec<f64>,
     busy: Vec<f64>,
     exec: Vec<f64>,
     s: Vec<f64>,
     iterations: usize,
+}
+
+impl State {
+    /// Resizes for a model with `ne` entries / `nt` tasks and zeroes
+    /// everything (the monotone iteration starts from the empty system).
+    fn reset(&mut self, ne: usize, nt: usize) {
+        self.w.clear();
+        self.w.resize(nt, 0.0);
+        self.busy.clear();
+        self.busy.resize(nt, 0.0);
+        self.exec.clear();
+        self.exec.resize(ne, 0.0);
+        self.s.clear();
+        self.s.resize(ne, 0.0);
+        self.iterations = 0;
+    }
 }
 
 /// Solves the model analytically. See the [module docs](self).
@@ -110,6 +172,24 @@ struct State {
 /// # }
 /// ```
 pub fn solve(model: &LqnModel, options: SolverOptions) -> Result<LqnSolution, LqnError> {
+    solve_with(model, options, &mut SolverWorkspace::new())
+}
+
+/// [`solve`] with caller-owned scratch buffers.
+///
+/// Behaviour and results are bitwise identical to [`solve`]; the only
+/// difference is that repeated solves reuse the workspace's allocations
+/// instead of touching the allocator. Use one workspace per thread in a
+/// solve loop.
+///
+/// # Errors
+///
+/// As for [`solve`].
+pub fn solve_with(
+    model: &LqnModel,
+    options: SolverOptions,
+    workspace: &mut SolverWorkspace,
+) -> Result<LqnSolution, LqnError> {
     if !(options.damping > 0.0 && options.damping <= 1.0) {
         return Err(LqnError::InvalidParameter {
             what: format!("damping must be in (0, 1], got {}", options.damping),
@@ -188,16 +268,17 @@ pub fn solve(model: &LqnModel, options: SolverOptions) -> Result<LqnSolution, Lq
     let n_f = population as f64;
     let arrival_factor = (n_f - 1.0) / n_f;
 
+    let SolverWorkspace {
+        probe,
+        lo_state,
+        busy_proc,
+        accel,
+    } = workspace;
+
     // Minimal cycle response (empty system) bounds the throughput above.
-    let mut probe = State {
-        w: vec![0.0; nt],
-        busy: vec![0.0; nt],
-        exec: vec![0.0; ne],
-        s: vec![0.0; ne],
-        iterations: 0,
-    };
+    probe.reset(ne, nt);
     let r_min = {
-        inner_pass(model, &tables, &mut probe, 0.0, arrival_factor, n_f);
+        inner_pass(model, &tables, probe, 0.0, arrival_factor, n_f, busy_proc);
         probe.s[ref_entry.0]
     };
     if think_time + r_min <= 0.0 {
@@ -213,40 +294,79 @@ pub fn solve(model: &LqnModel, options: SolverOptions) -> Result<LqnSolution, Lq
     // converges upward). Bisection keeps the state of the current lower
     // bound, which shrinks the per-probe work from thousands of inner
     // iterations to a handful as the bracket tightens.
-    let zero_state = State {
-        w: vec![0.0; nt],
-        busy: vec![0.0; nt],
-        exec: vec![0.0; ne],
-        s: vec![0.0; ne],
-        iterations: 0,
-    };
-    let mut lo_state = zero_state.clone();
-    let mut evaluate = |x: f64, warm: &State, early: bool| -> (State, f64) {
-        let mut st = warm.clone();
-        st.iterations = 0;
-        let early_exit = early.then_some((think_time, ref_entry.0, x));
-        relax_inner(
-            model, &tables, &mut st, x, arrival_factor, n_f, &options, early_exit,
-        );
-        total_iterations += st.iterations;
-        let r = st.s[ref_entry.0];
-        (st, r)
-    };
+    lo_state.reset(ne, nt);
+
+    // One bisection probe at `x`: rebuild `probe` from the bracket's
+    // lower-bound state and relax. Returns the cycle response.
+    macro_rules! evaluate {
+        ($x:expr, $early:expr) => {{
+            let x: f64 = $x;
+            probe.clone_from(lo_state);
+            probe.iterations = 0;
+            let early_exit = $early.then_some((think_time, ref_entry.0, x));
+            relax_inner(
+                model,
+                &tables,
+                probe,
+                x,
+                arrival_factor,
+                n_f,
+                &options,
+                early_exit,
+                busy_proc,
+                accel,
+            );
+            total_iterations += probe.iterations;
+            probe.s[ref_entry.0]
+        }};
+    }
 
     // Bisection on g(X) = N/(Z + R(X)) − X over (0, x_hi].
     let x_hi0 = n_f / (think_time + r_min);
     let mut lo = 0.0_f64;
     let mut hi = x_hi0;
+
+    // Warm-start: the hint is a *believed lower bound* on the fixed
+    // point (callers pass the throughput of a configuration dominated
+    // by this one). Ramp geometrically upward from just below it: every
+    // probe that lands below the fixed point keeps its climbed state as
+    // the bracket's `lo` state, so the next probe relaxes incrementally
+    // instead of climbing from zero — the whole ramp costs about one
+    // inner convergence in total. The first probe that lands above
+    // decides from the near-converged state within a few passes and
+    // leaves a bracket only 10% wide. The cost asymmetry is why ramping
+    // beats probing around the hint: a from-below probe's work is kept,
+    // while a close-above probe from a weak state does a long climb
+    // that is then discarded. Each probe applies the same sign test as
+    // an ordinary bisection step, so correctness is untouched by a
+    // garbage hint — only time is.
+    if let Some(hint) = options.warm_start {
+        if hint.is_finite() && hint > 0.0 {
+            let mut cand = hint * 0.98;
+            while cand > lo && cand < hi {
+                let r = evaluate!(cand, true);
+                if n_f / (think_time + r) > cand {
+                    lo = cand;
+                    std::mem::swap(lo_state, probe);
+                    cand *= 1.10;
+                } else {
+                    hi = cand;
+                    break;
+                }
+            }
+        }
+    }
+
     for _ in 0..200 {
         if hi - lo <= options.tolerance.max(1e-12) * x_hi0 {
             break;
         }
         let mid = 0.5 * (lo + hi);
-        let (st, r) = evaluate(mid, &lo_state, true);
+        let r = evaluate!(mid, true);
         let g = n_f / (think_time + r);
         if g > mid {
             lo = mid;
-            lo_state = st;
+            std::mem::swap(lo_state, probe);
         } else {
             hi = mid;
         }
@@ -254,13 +374,13 @@ pub fn solve(model: &LqnModel, options: SolverOptions) -> Result<LqnSolution, Lq
     let x_client = 0.5 * (lo + hi);
     // The final evaluation must run to convergence (no early exit) so the
     // reported waits and utilisations are the true fixed point.
-    let (state, r_client) = evaluate(x_client, &lo_state, false);
+    let r_client = evaluate!(x_client, false);
 
     let x_entry: Vec<f64> = tables.visits.iter().map(|&v| x_client * v).collect();
     Ok(finish(
         model,
-        &state.s,
-        &state.w,
+        &probe.s,
+        &probe.w,
         &x_entry,
         x_client,
         r_client,
@@ -275,6 +395,7 @@ pub fn solve(model: &LqnModel, options: SolverOptions) -> Result<LqnSolution, Lq
 /// One forward pass: exec from busy, s bottom-up, then new targets for
 /// w/busy given the fixed client throughput `x`. Returns the largest
 /// relative change and applies the (undamped, monotone) update.
+#[allow(clippy::too_many_arguments)]
 fn inner_pass(
     model: &LqnModel,
     t: &Tables,
@@ -282,10 +403,12 @@ fn inner_pass(
     x: f64,
     arrival_factor: f64,
     n_f: f64,
+    busy_proc: &mut Vec<f64>,
 ) -> f64 {
     let np = t.proc_cores.len();
     // Executing jobs per processor.
-    let mut busy_proc = vec![0.0_f64; np];
+    busy_proc.clear();
+    busy_proc.resize(np, 0.0);
     for (ti, task) in model.tasks().iter().enumerate() {
         if !t.is_ref[ti] {
             busy_proc[task.processor.0] += st.busy[ti];
@@ -299,14 +422,16 @@ fn inner_pass(
             continue;
         }
         let pi = model.task(e.task).processor.0;
-        let p_task =
-            (st.busy[ti] * arrival_factor + 1.0).clamp(1.0, t.thread_servers[ti].max(1.0));
+        let p_task = (st.busy[ti] * arrival_factor + 1.0).clamp(1.0, t.thread_servers[ti].max(1.0));
         let per_job_task = (t.alloc_cores[ti] / p_task).min(t.req_cores[ti]);
-        let p_proc =
-            (busy_proc[pi] * arrival_factor + 1.0).clamp(1.0, t.proc_threads[pi].max(1.0));
+        let p_proc = (busy_proc[pi] * arrival_factor + 1.0).clamp(1.0, t.proc_threads[pi].max(1.0));
         let per_job_proc = (t.proc_cores[pi] / p_proc).min(1.0);
         let rate = per_job_task.min(per_job_proc) * t.task_speed[ti];
-        st.exec[i] = if e.demand == 0.0 { 0.0 } else { e.demand / rate };
+        st.exec[i] = if e.demand == 0.0 {
+            0.0
+        } else {
+            e.demand / rate
+        };
     }
     // (2) blocking times bottom-up.
     for &eid in t.order.iter().rev() {
@@ -336,7 +461,11 @@ fn inner_pass(
         // Executing jobs cannot exceed the thread pool.
         let busy_target = busy_cpu.min(t.thread_servers[ti]);
         let m = t.thread_servers[ti];
-        let s_avg = if x_task > 0.0 { busy_time / x_task } else { 0.0 };
+        let s_avg = if x_task > 0.0 {
+            busy_time / x_task
+        } else {
+            0.0
+        };
         // Seidmann's multi-server approximation: an m-server station with
         // blocking time S behaves like a delay of S·(m−1)/m (folded into
         // the callers' residence via `w + s`) plus a single-server queue
@@ -376,11 +505,13 @@ fn relax_inner(
     n_f: f64,
     options: &SolverOptions,
     early_exit: Option<(f64, usize, f64)>, // (think_time, ref_entry, x_probe)
+    busy_proc: &mut Vec<f64>,
+    accel: &mut AccelBuffers,
 ) {
-    let mut prev_w: Option<Vec<f64>> = None;
-    let mut prev_step: Option<Vec<f64>> = None;
+    accel.prev_w_valid = false;
+    accel.prev_step_valid = false;
     for k in 0..options.max_iterations {
-        let delta = inner_pass(model, t, st, x, arrival_factor, n_f);
+        let delta = inner_pass(model, t, st, x, arrival_factor, n_f, busy_proc);
         st.iterations = k + 1;
         if delta < options.tolerance {
             break;
@@ -396,15 +527,18 @@ fn relax_inner(
         // contraction ratio and jump to the extrapolated limit; the
         // subsequent ordinary passes correct any overshoot.
         if k % 16 == 15 {
-            let step: Vec<f64> = match &prev_w {
-                Some(pw) => st.w.iter().zip(pw).map(|(a, b)| a - b).collect(),
-                None => {
-                    prev_w = Some(st.w.clone());
-                    continue;
-                }
-            };
-            if let Some(ps) = &prev_step {
-                for ((wi, &d), &p) in st.w.iter_mut().zip(&step).zip(ps) {
+            if !accel.prev_w_valid {
+                accel.prev_w.clear();
+                accel.prev_w.extend_from_slice(&st.w);
+                accel.prev_w_valid = true;
+                continue;
+            }
+            accel.step.clear();
+            accel
+                .step
+                .extend(st.w.iter().zip(&accel.prev_w).map(|(a, b)| a - b));
+            if accel.prev_step_valid {
+                for ((wi, &d), &p) in st.w.iter_mut().zip(&accel.step).zip(&accel.prev_step) {
                     if d > 1e-15 && p > 1e-15 {
                         let rho = (d / p).clamp(0.0, 0.98);
                         if rho > 0.3 {
@@ -413,8 +547,10 @@ fn relax_inner(
                     }
                 }
             }
-            prev_step = Some(step);
-            prev_w = Some(st.w.clone());
+            std::mem::swap(&mut accel.prev_step, &mut accel.step);
+            accel.prev_step_valid = true;
+            accel.prev_w.clear();
+            accel.prev_w.extend_from_slice(&st.w);
         }
     }
 }
@@ -509,7 +645,11 @@ mod tests {
             let sol = solve(&model, SolverOptions::default()).unwrap();
             let exact = exact_repairman(d, 1, n, z);
             let rel = (sol.client_throughput - exact).abs() / exact;
-            assert!(rel < 0.10, "d={d} n={n} z={z}: {} vs {exact}", sol.client_throughput);
+            assert!(
+                rel < 0.10,
+                "d={d} n={n} z={z}: {} vs {exact}",
+                sol.client_throughput
+            );
         }
     }
 
@@ -520,7 +660,11 @@ mod tests {
             let sol = solve(&model, SolverOptions::default()).unwrap();
             let exact = exact_repairman(d, r, n, z);
             let rel = (sol.client_throughput - exact).abs() / exact;
-            assert!(rel < 0.12, "d={d} r={r} n={n}: {} vs {exact}", sol.client_throughput);
+            assert!(
+                rel < 0.12,
+                "d={d} r={r} n={n}: {} vs {exact}",
+                sol.client_throughput
+            );
         }
     }
 
@@ -531,7 +675,11 @@ mod tests {
         let t = model.task_by_name("svc").unwrap();
         model.set_cpu_share(t, Some(0.25)).unwrap();
         let sol = solve(&model, SolverOptions::default()).unwrap();
-        assert!(sol.client_throughput <= 25.0 + 0.5, "X={}", sol.client_throughput);
+        assert!(
+            sol.client_throughput <= 25.0 + 0.5,
+            "X={}",
+            sol.client_throughput
+        );
         assert!(sol.client_throughput > 23.0, "X={}", sol.client_throughput);
         assert!(sol.task_utilization(t) <= 1.0 + 1e-6);
     }
@@ -576,7 +724,11 @@ mod tests {
         let horizontal = solve(&make(1.0, 2), SolverOptions::default()).unwrap();
         // Offered load 571/s, one core caps at 250/s: vertical stuck there,
         // horizontal doubles capacity.
-        assert!(vertical.client_throughput < 260.0, "vert X={}", vertical.client_throughput);
+        assert!(
+            vertical.client_throughput < 260.0,
+            "vert X={}",
+            vertical.client_throughput
+        );
         assert!(
             horizontal.client_throughput > 1.5 * vertical.client_throughput,
             "horiz {} vert {}",
@@ -597,7 +749,8 @@ mod tests {
         let query = m.add_entry("query", db, 0.02).unwrap();
         m.add_call(page, query, 1.0).unwrap();
         let c = m.add_reference_task("users", 2000, 5.0).unwrap();
-        m.add_call(m.reference_entry(c).unwrap(), page, 1.0).unwrap();
+        m.add_call(m.reference_entry(c).unwrap(), page, 1.0)
+            .unwrap();
         let sol = solve(&m, SolverOptions::default()).unwrap();
         // db capacity = 1 core / 0.02 = 50/s caps the whole pipeline.
         assert!(sol.client_throughput <= 50.5, "X={}", sol.client_throughput);
@@ -631,7 +784,11 @@ mod tests {
         let e = m.entry_by_name("op").unwrap();
         m.set_latency(e, 0.5).unwrap();
         let sol = solve(&m, SolverOptions::default()).unwrap();
-        assert!(sol.client_response_time > 0.5, "R={}", sol.client_response_time);
+        assert!(
+            sol.client_response_time > 0.5,
+            "R={}",
+            sol.client_response_time
+        );
         // Latency consumes no CPU: utilisation stays demand-based.
         let t = m.task_by_name("svc").unwrap();
         let expected_u = sol.client_throughput * 0.01;
@@ -721,6 +878,92 @@ mod tests {
                 sol.client_throughput
             );
             last = sol.client_throughput;
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical() {
+        // Solving different models back-to-back through one workspace
+        // must give exactly what fresh solves give.
+        let models = [
+            repairman(0.5, 1, 4, 2.0),
+            repairman(0.01, 4, 2000, 1.0),
+            repairman(0.2, 2, 50, 0.5),
+        ];
+        let mut ws = SolverWorkspace::new();
+        for model in &models {
+            let reused = solve_with(model, SolverOptions::default(), &mut ws).unwrap();
+            let fresh = solve(model, SolverOptions::default()).unwrap();
+            assert_eq!(reused, fresh);
+        }
+    }
+
+    #[test]
+    fn warm_start_hint_agrees_with_cold_solve() {
+        for &(d, r, n, z) in &[(0.5, 1, 10, 2.0), (0.01, 2, 2000, 1.0), (0.05, 4, 300, 5.0)] {
+            let model = repairman(d, r, n, z);
+            let cold = solve(&model, SolverOptions::default()).unwrap();
+            for hint_scale in [1.0, 0.7, 1.4, 100.0, 1e-6] {
+                let warm = solve(
+                    &model,
+                    SolverOptions {
+                        warm_start: Some(cold.client_throughput * hint_scale),
+                        ..SolverOptions::default()
+                    },
+                )
+                .unwrap();
+                let rel = (warm.client_throughput - cold.client_throughput).abs()
+                    / cold.client_throughput.max(1e-12);
+                assert!(
+                    rel < 1e-5,
+                    "hint×{hint_scale}: warm {} vs cold {}",
+                    warm.client_throughput,
+                    cold.client_throughput
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accurate_warm_start_saves_iterations() {
+        // An *unsaturated* station (capacity 400 ≫ population bound
+        // N/(Z+D) ≈ 60): here the cost is the bisection bracket, which
+        // the hint collapses. On saturated models hints cannot help —
+        // every below-probe pays the full slow inner convergence at its
+        // throughput — which is why callers (the candidate evaluator)
+        // only offer hints sourced from cheap solves.
+        let model = repairman(0.01, 4, 300, 5.0);
+        let cold = solve(&model, SolverOptions::default()).unwrap();
+        let warm = solve(
+            &model,
+            SolverOptions {
+                warm_start: Some(cold.client_throughput),
+                ..SolverOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} !< cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+    }
+
+    #[test]
+    fn degenerate_warm_start_hints_are_ignored() {
+        let model = repairman(0.1, 1, 20, 1.0);
+        let cold = solve(&model, SolverOptions::default()).unwrap();
+        for hint in [f64::NAN, f64::INFINITY, 0.0, -3.0] {
+            let sol = solve(
+                &model,
+                SolverOptions {
+                    warm_start: Some(hint),
+                    ..SolverOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(sol, cold, "hint {hint} changed the solution");
         }
     }
 

@@ -100,8 +100,8 @@ pub fn analyze_with_threshold(
             blocking += x * solution.entry_service_time[eid.0];
             for c in &model.entry(eid).calls {
                 let callee = model.entry(c.target).task.0;
-                let contribution = c.mean
-                    * (solution.task_wait[callee] + solution.entry_service_time[c.target.0]);
+                let contribution =
+                    c.mean * (solution.task_wait[callee] + solution.entry_service_time[c.target.0]);
                 per_callee[callee] += x * contribution;
             }
         }
@@ -217,7 +217,10 @@ impl fmt::Display for BottleneckReport {
         writeln!(
             f,
             "  roots: {:?}",
-            self.root_bottlenecks.iter().map(|t| t.0).collect::<Vec<_>>()
+            self.root_bottlenecks
+                .iter()
+                .map(|t| t.0)
+                .collect::<Vec<_>>()
         )
     }
 }

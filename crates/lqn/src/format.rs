@@ -63,7 +63,10 @@ pub fn to_lqn_text(model: &LqnModel) -> String {
                 ));
             }
             TaskKind::Server => {
-                out.push_str(&format!("  t {} r {} m {}", t.name, t.replicas, t.multiplicity));
+                out.push_str(&format!(
+                    "  t {} r {} m {}",
+                    t.name, t.replicas, t.multiplicity
+                ));
                 if let Some(s) = t.cpu_share {
                     out.push_str(&format!(" c {s}"));
                 }
@@ -219,21 +222,14 @@ pub fn from_lqn_text(text: &str) -> Result<LqnModel, LqnError> {
                     while i + 1 < tokens.len() {
                         match tokens[i] {
                             "r" => {
-                                replicas =
-                                    tokens[i + 1].parse().map_err(|_| bad(line, "bad r"))?
+                                replicas = tokens[i + 1].parse().map_err(|_| bad(line, "bad r"))?
                             }
-                            "m" => {
-                                mult = tokens[i + 1].parse().map_err(|_| bad(line, "bad m"))?
-                            }
+                            "m" => mult = tokens[i + 1].parse().map_err(|_| bad(line, "bad m"))?,
                             "c" => {
-                                share = Some(
-                                    tokens[i + 1].parse().map_err(|_| bad(line, "bad c"))?,
-                                )
+                                share = Some(tokens[i + 1].parse().map_err(|_| bad(line, "bad c"))?)
                             }
                             "x" => {
-                                par = Some(
-                                    tokens[i + 1].parse().map_err(|_| bad(line, "bad x"))?,
-                                )
+                                par = Some(tokens[i + 1].parse().map_err(|_| bad(line, "bad x"))?)
                             }
                             "p" => proc = processors.get(tokens[i + 1]).copied(),
                             _ => return Err(bad(line, "unknown task flag")),
@@ -308,7 +304,8 @@ mod tests {
         let query = m.add_entry("query", db, 0.0009).unwrap();
         m.add_call(page, query, 2.0).unwrap();
         let c = m.add_reference_task("users", 500, 7.0).unwrap();
-        m.add_call(m.reference_entry(c).unwrap(), page, 1.0).unwrap();
+        m.add_call(m.reference_entry(c).unwrap(), page, 1.0)
+            .unwrap();
         m
     }
 
@@ -320,7 +317,11 @@ mod tests {
         let model = sample();
         let text = to_lqn_text(&model);
         let parsed = from_lqn_text(&text).unwrap();
-        assert_eq!(text, to_lqn_text(&parsed), "write∘parse must be a fixed point");
+        assert_eq!(
+            text,
+            to_lqn_text(&parsed),
+            "write∘parse must be a fixed point"
+        );
         assert_eq!(model.processors().len(), parsed.processors().len());
         assert_eq!(model.tasks().len(), parsed.tasks().len());
         assert_eq!(model.entries().len(), parsed.entries().len());

@@ -697,10 +697,7 @@ mod tests {
     fn detects_cycles() {
         let (mut m, _, page, query) = tiny();
         m.add_call(query, page, 0.5).unwrap();
-        assert!(matches!(
-            m.topo_order(),
-            Err(LqnError::InvalidModel { .. })
-        ));
+        assert!(matches!(m.topo_order(), Err(LqnError::InvalidModel { .. })));
     }
 
     #[test]
@@ -750,7 +747,7 @@ mod tests {
         m.set_cpu_share(web, Some(3.0)).unwrap();
         assert_eq!(m.task(web).usable_cores_per_replica(), 2.0); // thread-bound
         assert_eq!(m.task(web).request_cores(), 1.0); // one core per request
-        // An event-loop service: many threads, one core of parallelism.
+                                                      // An event-loop service: many threads, one core of parallelism.
         m.set_parallelism(web, Some(1)).unwrap();
         assert_eq!(m.task(web).usable_cores_per_replica(), 1.0);
         assert!(m.set_parallelism(web, Some(0)).is_err());

@@ -430,7 +430,13 @@ impl SimulatorState {
     fn reschedule_processor(&mut self, now: f64, pi: usize) {
         if let Some((t, _)) = self.processors[pi].next_completion(now) {
             let generation = self.processors[pi].generation();
-            self.events.push(t, Event::ProcessorCheck { proc: pi, generation });
+            self.events.push(
+                t,
+                Event::ProcessorCheck {
+                    proc: pi,
+                    generation,
+                },
+            );
         }
     }
 
@@ -443,8 +449,7 @@ impl SimulatorState {
             match self.processors[pi].next_completion(now) {
                 Some((t, job)) if t <= now + 1e-12 => {
                     self.processors[pi].remove_job(now, job);
-                    let inv = self
-                        .proc_jobs[pi]
+                    let inv = self.proc_jobs[pi]
                         .remove(&job)
                         .expect("completed job must map to an invocation");
                     self.demand_done(model, now, inv);
@@ -580,11 +585,7 @@ impl SimulatorState {
                 let task = model.task(crate::model::TaskId(ti));
                 let host = model.processor(task.processor).cores as f64;
                 let alloc = task.replicas as f64 * task.usable_cores_per_replica().min(host);
-                let base = self
-                    .task_busy_at_warmup
-                    .get(ti)
-                    .copied()
-                    .unwrap_or(0.0);
+                let base = self.task_busy_at_warmup.get(ti).copied().unwrap_or(0.0);
                 if alloc > 0.0 && span > 0.0 {
                     task_utilization[ti] = (busy_end - base) / (alloc * span);
                 }
@@ -624,7 +625,6 @@ impl SimulatorState {
             iterations: 0,
         }
     }
-
 }
 
 #[cfg(test)]
@@ -680,7 +680,8 @@ mod tests {
         let query = m.add_entry("query", db, 0.01).unwrap();
         m.add_call(page, query, 1.0).unwrap();
         let c = m.add_reference_task("users", 100, 2.0).unwrap();
-        m.add_call(m.reference_entry(c).unwrap(), page, 1.0).unwrap();
+        m.add_call(m.reference_entry(c).unwrap(), page, 1.0)
+            .unwrap();
 
         let sim = simulate(&m, opts(2000.0, 3)).unwrap();
         let ana = solve(&m, SolverOptions::default()).unwrap();
@@ -693,7 +694,12 @@ mod tests {
         );
         // Utilisations close too.
         let rel_u = (sim.processor_utilization[1] - ana.processor_utilization[1]).abs();
-        assert!(rel_u < 0.08, "sim U {} ana U {}", sim.processor_utilization[1], ana.processor_utilization[1]);
+        assert!(
+            rel_u < 0.08,
+            "sim U {} ana U {}",
+            sim.processor_utilization[1],
+            ana.processor_utilization[1]
+        );
     }
 
     #[test]
@@ -718,15 +724,29 @@ mod tests {
     #[test]
     fn rejects_bad_options() {
         let model = repairman(0.1, 1, 1, 1.0);
-        assert!(simulate(&model, SimOptions { horizon: 0.0, ..Default::default() }).is_err());
         assert!(simulate(
             &model,
-            SimOptions { horizon: 10.0, warmup: 10.0, ..Default::default() }
+            SimOptions {
+                horizon: 0.0,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(simulate(
             &model,
-            SimOptions { demand_cv: -1.0, ..Default::default() }
+            SimOptions {
+                horizon: 10.0,
+                warmup: 10.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(simulate(
+            &model,
+            SimOptions {
+                demand_cv: -1.0,
+                ..Default::default()
+            }
         )
         .is_err());
     }

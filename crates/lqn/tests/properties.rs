@@ -56,7 +56,8 @@ fn build(s: &Scenario) -> LqnModel {
     let query = m.add_entry("query", db, s.d_db).unwrap();
     m.add_call(page, query, s.calls).unwrap();
     let c = m.add_reference_task("users", s.users, s.think).unwrap();
-    m.add_call(m.reference_entry(c).unwrap(), page, 1.0).unwrap();
+    m.add_call(m.reference_entry(c).unwrap(), page, 1.0)
+        .unwrap();
     m
 }
 

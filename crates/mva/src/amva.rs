@@ -145,7 +145,6 @@ pub fn solve_amva(net: &ClosedNetwork, options: AmvaOptions) -> Result<Solution,
             let utilization: Vec<f64> = net
                 .stations()
                 .iter()
-                
                 .map(|st| {
                     let raw: f64 = (0..c).map(|cls| x[cls] * st.demand(cls)).sum();
                     match st.kind() {
@@ -206,8 +205,8 @@ mod tests {
         let exact = solve_exact_multiclass(&net).unwrap();
         let approx = solve_amva(&net, AmvaOptions::default()).unwrap();
         for cls in 0..2 {
-            let rel = (exact.throughput[cls] - approx.throughput[cls]).abs()
-                / exact.throughput[cls];
+            let rel =
+                (exact.throughput[cls] - approx.throughput[cls]).abs() / exact.throughput[cls];
             // Schweitzer is least accurate at small populations; 10% is the
             // usual quoted envelope for such cases.
             assert!(rel < 0.10, "class {cls} rel error {rel}");

@@ -126,7 +126,6 @@ pub fn solve_exact(net: &ClosedNetwork) -> Result<Solution, MvaError> {
     let utilization = net
         .stations()
         .iter()
-        
         .map(|st| match st.kind() {
             StationKind::Delay => x * st.demand(0),
             StationKind::Queueing { servers } => x * st.demand(0) / servers as f64,
@@ -256,20 +255,13 @@ pub fn solve_exact_multiclass(net: &ClosedNetwork) -> Result<Solution, MvaError>
     }
 
     let queue_length: Vec<Vec<f64>> = (0..k)
-        .map(|i| {
-            (0..c)
-                .map(|cls| x_full[cls] * resid_full[i][cls])
-                .collect()
-        })
+        .map(|i| (0..c).map(|cls| x_full[cls] * resid_full[i][cls]).collect())
         .collect();
     let utilization = net
         .stations()
         .iter()
-        
         .map(|st| {
-            (0..c)
-                .map(|cls| x_full[cls] * st.demand(cls))
-                .sum::<f64>()
+            (0..c).map(|cls| x_full[cls] * st.demand(cls)).sum::<f64>()
                 / match st.kind() {
                     StationKind::Delay => 1.0,
                     StationKind::Queueing { servers } => servers as f64,

@@ -187,7 +187,10 @@ impl PsProcessor {
     /// Remaining work of `job`, after advancing to `now`.
     pub fn remaining(&mut self, now: f64, job: JobId) -> f64 {
         self.advance(now);
-        self.jobs[job.0].as_ref().expect("job does not exist").remaining
+        self.jobs[job.0]
+            .as_ref()
+            .expect("job does not exist")
+            .remaining
     }
 
     /// Earliest `(completion_time, job)` among active jobs, evaluated at

@@ -224,7 +224,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
-        assert!((var.sqrt() / mean - 0.5).abs() < 0.03, "cv {}", var.sqrt() / mean);
+        assert!(
+            (var.sqrt() / mean - 0.5).abs() < 0.03,
+            "cv {}",
+            var.sqrt() / mean
+        );
     }
 
     #[test]
@@ -257,7 +261,10 @@ mod tests {
 
     #[test]
     fn constant_distribution() {
-        assert_eq!(Distribution::Constant(3.0).sample(&mut SimRng::seed_from(0)), 3.0);
+        assert_eq!(
+            Distribution::Constant(3.0).sample(&mut SimRng::seed_from(0)),
+            3.0
+        );
         assert_eq!(Distribution::Constant(3.0).mean(), 3.0);
     }
 

@@ -234,12 +234,7 @@ impl SockShop {
     }
 
     /// The evaluation LQN plus the ids needed for bindings.
-    fn lqn_with_ids(
-        &self,
-        users: usize,
-        think_time: f64,
-        mix: &[f64],
-    ) -> (LqnModel, SockShopIds) {
+    fn lqn_with_ids(&self, users: usize, think_time: f64, mix: &[f64]) -> (LqnModel, SockShopIds) {
         let mut m = LqnModel::new();
         let p1 = m.add_processor("server-1", 4, 1.2);
         let p2 = m.add_processor("server-2", 4, 0.8);
@@ -260,7 +255,9 @@ impl SockShop {
         m.set_cpu_share(carts_db, Some(0.12)).unwrap();
 
         let r_home = m.add_entry("route-home", router, self.d_router).unwrap();
-        let r_cat = m.add_entry("route-catalogue", router, self.d_router).unwrap();
+        let r_cat = m
+            .add_entry("route-catalogue", router, self.d_router)
+            .unwrap();
         let r_cart = m.add_entry("route-carts", router, self.d_router).unwrap();
         let f_home = m.add_entry("home", fe, self.d_home).unwrap();
         let f_cat = m.add_entry("catalogue", fe, self.d_catalogue).unwrap();
@@ -268,13 +265,21 @@ impl SockShop {
         m.set_latency(f_home, self.l_home).unwrap();
         m.set_latency(f_cat, self.l_catalogue).unwrap();
         m.set_latency(f_cart, self.l_carts).unwrap();
-        let c_list = m.add_entry("list", catalogue, self.d_catalogue_svc).unwrap();
-        let c_item = m.add_entry("item", catalogue, self.d_catalogue_svc).unwrap();
+        let c_list = m
+            .add_entry("list", catalogue, self.d_catalogue_svc)
+            .unwrap();
+        let c_item = m
+            .add_entry("item", catalogue, self.d_catalogue_svc)
+            .unwrap();
         let k_get = m.add_entry("get", carts, self.d_carts_svc).unwrap();
         let k_add = m.add_entry("add", carts, self.d_carts_svc).unwrap();
         let k_del = m.add_entry("delete", carts, self.d_carts_svc).unwrap();
-        let cdb_q = m.add_entry("cat-query", catalogue_db, self.d_catalogue_db).unwrap();
-        let kdb_q = m.add_entry("cart-query", carts_db, self.d_carts_db).unwrap();
+        let cdb_q = m
+            .add_entry("cat-query", catalogue_db, self.d_catalogue_db)
+            .unwrap();
+        let kdb_q = m
+            .add_entry("cart-query", carts_db, self.d_carts_db)
+            .unwrap();
 
         m.add_call(r_home, f_home, 1.0).unwrap();
         m.add_call(r_cat, f_cat, 1.0).unwrap();
@@ -444,13 +449,21 @@ impl SockShop {
         m.set_latency(f_home, self.l_home).unwrap();
         m.set_latency(f_cat, self.l_catalogue).unwrap();
         m.set_latency(f_cart, self.l_carts).unwrap();
-        let c_list = m.add_entry("list", catalogue, self.d_catalogue_svc).unwrap();
-        let c_item = m.add_entry("item", catalogue, self.d_catalogue_svc).unwrap();
+        let c_list = m
+            .add_entry("list", catalogue, self.d_catalogue_svc)
+            .unwrap();
+        let c_item = m
+            .add_entry("item", catalogue, self.d_catalogue_svc)
+            .unwrap();
         let k_get = m.add_entry("get", carts, self.d_carts_svc).unwrap();
         let k_add = m.add_entry("add", carts, self.d_carts_svc).unwrap();
         let k_del = m.add_entry("delete", carts, self.d_carts_svc).unwrap();
-        let cdb_q = m.add_entry("cat-query", catalogue_db, self.d_catalogue_db).unwrap();
-        let kdb_q = m.add_entry("cart-query", carts_db, self.d_carts_db).unwrap();
+        let cdb_q = m
+            .add_entry("cat-query", catalogue_db, self.d_catalogue_db)
+            .unwrap();
+        let kdb_q = m
+            .add_entry("cart-query", carts_db, self.d_carts_db)
+            .unwrap();
 
         m.add_call(f_cat, c_list, 0.5).unwrap();
         m.add_call(f_cat, c_item, 0.5).unwrap();
@@ -515,11 +528,31 @@ mod tests {
         let util = |name: &str| sol.task_utilization(model.task_by_name(name).unwrap());
         // Paper Table IV: front-end 65.9–75.2, carts 14.2–16, catalogue
         // 15.4–19.2, catalogue-db 12–12.6, carts-db 44.3–48.2 (percent).
-        assert!((0.55..0.85).contains(&util("front-end")), "fe {}", util("front-end"));
-        assert!((0.08..0.25).contains(&util("carts")), "carts {}", util("carts"));
-        assert!((0.08..0.25).contains(&util("catalogue")), "cat {}", util("catalogue"));
-        assert!((0.06..0.20).contains(&util("catalogue-db")), "cdb {}", util("catalogue-db"));
-        assert!((0.30..0.60).contains(&util("carts-db")), "kdb {}", util("carts-db"));
+        assert!(
+            (0.55..0.85).contains(&util("front-end")),
+            "fe {}",
+            util("front-end")
+        );
+        assert!(
+            (0.08..0.25).contains(&util("carts")),
+            "carts {}",
+            util("carts")
+        );
+        assert!(
+            (0.08..0.25).contains(&util("catalogue")),
+            "cat {}",
+            util("catalogue")
+        );
+        assert!(
+            (0.06..0.20).contains(&util("catalogue-db")),
+            "cdb {}",
+            util("catalogue-db")
+        );
+        assert!(
+            (0.30..0.60).contains(&util("carts-db")),
+            "kdb {}",
+            util("carts-db")
+        );
     }
 
     #[test]
@@ -543,7 +576,11 @@ mod tests {
         let sol = solve(&model, SolverOptions::default()).unwrap();
         // Nearly all offered load completes: X ≈ 500 / (7 + R) with
         // modest R.
-        assert!(sol.total_throughput() > 60.0, "X {}", sol.total_throughput());
+        assert!(
+            sol.total_throughput() > 60.0,
+            "X {}",
+            sol.total_throughput()
+        );
         for (ti, task) in model.tasks().iter().enumerate() {
             if !task.is_reference() {
                 assert!(
@@ -569,12 +606,12 @@ mod tests {
         // The front-end is throttled by the saturated carts chain, so its
         // own utilisation stays moderate — the starvation effect that
         // hides downstream bottlenecks from rule-based scalers.
+        assert!(util("front-end") > 0.3, "front-end {}", util("front-end"));
         assert!(
-            util("front-end") > 0.3,
-            "front-end {}",
-            util("front-end")
+            sol.total_throughput() < 400.0,
+            "X {}",
+            sol.total_throughput()
         );
-        assert!(sol.total_throughput() < 400.0, "X {}", sol.total_throughput());
     }
 
     #[test]
@@ -583,9 +620,17 @@ mod tests {
         let spec = shop.app_spec();
         let req = spec.required_cores(&[0.33, 0.17, 0.50], 3000.0 / 7.0);
         // carts-db: 0.5 × 428.6 × 6.4 ms / 1.2 ≈ 1.14 cores.
-        assert!((req[SVC_CARTS_DB] - 1.14).abs() < 0.05, "carts-db {}", req[SVC_CARTS_DB]);
+        assert!(
+            (req[SVC_CARTS_DB] - 1.14).abs() < 0.05,
+            "carts-db {}",
+            req[SVC_CARTS_DB]
+        );
         // router: 428.6 × 1.2 ms / 1.2 ≈ 0.43.
-        assert!((req[SVC_ROUTER] - 0.43).abs() < 0.03, "router {}", req[SVC_ROUTER]);
+        assert!(
+            (req[SVC_ROUTER] - 0.43).abs() < 0.03,
+            "router {}",
+            req[SVC_ROUTER]
+        );
     }
 }
 
@@ -632,7 +677,12 @@ mod derived_binding_tests {
         let a = solve(&hand.model, SolverOptions::default()).unwrap();
         let b = solve(&derived.model, SolverOptions::default()).unwrap();
         let rel = (a.client_throughput - b.client_throughput).abs() / a.client_throughput;
-        assert!(rel < 1e-6, "hand {} vs derived {}", a.client_throughput, b.client_throughput);
+        assert!(
+            rel < 1e-6,
+            "hand {} vs derived {}",
+            a.client_throughput,
+            b.client_throughput
+        );
         assert_eq!(derived.services.len(), 6);
         // Stateful services are vertical-only in the derived binding.
         for name in ["router", "catalogue-db", "carts-db"] {

@@ -28,11 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             uv = UvScaler::new(&spec, RuleConfig::default());
             &mut uv
         } else {
-            let binding = shop.binding(
-                500,
-                scenarios::THINK_TIME,
-                workload.mix.fractions(),
-            );
+            let binding = shop.binding(500, scenarios::THINK_TIME, workload.mix.fractions());
             let mut cfg = AtomConfig::new(shop.objective());
             cfg.ga.budget = Budget::Evaluations(400);
             atom = Atom::new(binding, cfg);

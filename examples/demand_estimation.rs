@@ -16,11 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let carts_db = spec.service_by_name("carts-db").expect("service exists");
     let true_demand_ms = shop.d_carts_db / 0.8 * 1e3; // at its host's speed
 
-    let workload = WorkloadSpec::constant(
-        RequestMix::new(vec![0.57, 0.29, 0.14])?,
-        2000,
-        7.0,
-    );
+    let workload = WorkloadSpec::constant(RequestMix::new(vec![0.57, 0.29, 0.14])?, 2000, 7.0);
     let mut cluster = Cluster::new(
         &spec,
         workload,

@@ -45,21 +45,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             measured.feature_tps[f],
         );
     }
-    for (si, name) in ["front-end", "carts", "catalogue", "catalogue-db", "carts-db"]
-        .iter()
-        .enumerate()
+    for (si, name) in [
+        "front-end",
+        "carts",
+        "catalogue",
+        "catalogue-db",
+        "carts-db",
+    ]
+    .iter()
+    .enumerate()
     {
         let task = model.task_by_name(name).expect("task");
         row(
             &format!("util% {name}"),
             100.0 * analytic.task_utilization(task),
-            100.0 * measured.service_utilization[match *name {
-                "front-end" => 0,
-                "carts" => 1,
-                "catalogue" => 2,
-                "catalogue-db" => 3,
-                _ => 4,
-            }],
+            100.0
+                * measured.service_utilization[match *name {
+                    "front-end" => 0,
+                    "carts" => 1,
+                    "catalogue" => 2,
+                    "catalogue-db" => 3,
+                    _ => 4,
+                }],
         );
         let _ = si;
     }

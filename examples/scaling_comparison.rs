@@ -4,7 +4,9 @@
 //! Run with `cargo run --release --example scaling_comparison`.
 
 use atom::core::baselines::RuleConfig;
-use atom::core::{run_experiment, Atom, AtomConfig, Autoscaler, ExperimentConfig, UhScaler, UvScaler};
+use atom::core::{
+    run_experiment, Atom, AtomConfig, Autoscaler, ExperimentConfig, UhScaler, UvScaler,
+};
 use atom::sockshop::{scenarios, SockShop, SVC_CARTS, SVC_CATALOGUE, SVC_FRONT_END};
 use atom_cluster::ClusterOptions;
 use atom_ga::Budget;

@@ -1,0 +1,158 @@
+//! Hermetic stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the small API surface `atom-bench` uses (`Criterion::bench_function`,
+//! `Bencher::iter`/`iter_batched`, the `criterion_group!`/
+//! `criterion_main!` macros) backed by a plain warmup-then-measure
+//! timing loop. It reports mean wall time per iteration — no statistics,
+//! no HTML reports — which is enough for the relative comparisons the
+//! benches are read for.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup.
+    SmallInput,
+    /// Large per-iteration setup.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Runs closures under timing.
+pub struct Bencher {
+    /// Accumulated measured time.
+    elapsed: Duration,
+    /// Iterations measured.
+    iters: u64,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the measurement window is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let deadline = Instant::now() + self.measure;
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.measure;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `name`, printing mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Warmup pass (discarded).
+        let mut warm = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            measure: self.warmup,
+        };
+        f(&mut warm);
+        // Measured pass.
+        let mut bench = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            measure: self.measure,
+        };
+        f(&mut bench);
+        let mean = bench.elapsed.as_secs_f64() / bench.iters.max(1) as f64;
+        println!(
+            "{name:<40} {:>12.3} µs/iter   ({} iterations)",
+            mean * 1e6,
+            bench.iters
+        );
+        self
+    }
+}
+
+/// Declares a group of benchmark functions (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,503 @@
+//! Hermetic stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable offline, so the derive macros here parse
+//! the item's token stream by hand and emit the trait impls as source
+//! strings. The supported grammar is exactly what this workspace
+//! derives: non-generic named / tuple / unit structs and externally
+//! tagged enums, with `#[serde(default)]` / `#[serde(default = "path")]`
+//! field attributes. Anything outside that grammar is rejected with a
+//! compile error rather than silently mis-serialised.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+#[derive(Debug, Clone)]
+enum DefaultAttr {
+    /// No default: missing fields are an error (except `Option`).
+    Required,
+    /// `#[serde(default)]`: `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: DefaultAttr,
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    /// Tuple variant with the given arity (arity 1 is a newtype variant).
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Data {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with the given arity (arity 1 is a newtype struct).
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    data: Data,
+}
+
+/// Derives `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks: Tokens = input.into_iter().peekable();
+    skip_attributes(&mut toks);
+    skip_visibility(&mut toks);
+
+    let kw = expect_ident(&mut toks, "`struct` or `enum`");
+    let name = expect_ident(&mut toks, "type name");
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+
+    let data = match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("serde shim derive: unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    Item { name, data }
+}
+
+/// Skips leading `#[...]` attributes (doc comments included), returning
+/// any `#[serde(...)]` default setting found among them.
+fn parse_attributes(toks: &mut Tokens) -> DefaultAttr {
+    let mut default = DefaultAttr::Required;
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                if let Some(d) = parse_serde_attr(g.stream()) {
+                    default = d;
+                }
+            }
+            other => panic!("serde shim derive: malformed attribute: {other:?}"),
+        }
+    }
+    default
+}
+
+fn skip_attributes(toks: &mut Tokens) {
+    parse_attributes(toks);
+}
+
+fn skip_visibility(toks: &mut Tokens) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+/// Recognises `#[serde(default)]` / `#[serde(default = "path")]`; rejects
+/// other serde options (rename, skip, ...) since silently ignoring them
+/// would change the wire format.
+fn parse_serde_attr(attr: TokenStream) -> Option<DefaultAttr> {
+    let mut toks = attr.into_iter().peekable();
+    match toks.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return None, // doc comments, cfg, etc.
+    }
+    let inner = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("serde shim derive: malformed #[serde] attribute: {other:?}"),
+    };
+    let mut toks = inner.into_iter().peekable();
+    let mut result = None;
+    while let Some(tok) = toks.next() {
+        match tok {
+            TokenTree::Ident(i) if i.to_string() == "default" => {
+                if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    toks.next();
+                    match toks.next() {
+                        Some(TokenTree::Literal(lit)) => {
+                            let s = lit.to_string();
+                            let path = s.trim_matches('"').to_string();
+                            result = Some(DefaultAttr::Path(path));
+                        }
+                        other => panic!("serde shim derive: expected string after `default =`: {other:?}"),
+                    }
+                } else {
+                    result = Some(DefaultAttr::Std);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!(
+                "serde shim derive: unsupported #[serde({other})] option (only `default` is implemented)"
+            ),
+        }
+    }
+    result
+}
+
+/// Consumes type tokens up to a top-level `,`, tracking angle-bracket
+/// depth so `BTreeMap<String, f64>` does not split at its inner comma.
+fn skip_type(toks: &mut Tokens) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = toks.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                toks.next();
+                return;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                toks.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                toks.next();
+            }
+            _ => {
+                toks.next();
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks: Tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while toks.peek().is_some() {
+        let default = parse_attributes(&mut toks);
+        skip_visibility(&mut toks);
+        let name = expect_ident(&mut toks, "field name");
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field `{name}`: {other:?}"),
+        }
+        skip_type(&mut toks);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks: Tokens = stream.into_iter().peekable();
+    let mut count = 0usize;
+    while toks.peek().is_some() {
+        parse_attributes(&mut toks);
+        skip_visibility(&mut toks);
+        if toks.peek().is_none() {
+            break; // trailing comma
+        }
+        skip_type(&mut toks);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks: Tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while toks.peek().is_some() {
+        parse_attributes(&mut toks);
+        let name = expect_ident(&mut toks, "variant name");
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                toks.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde shim derive: explicit enum discriminants are not supported");
+        }
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn expect_ident(toks: &mut Tokens, what: &str) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected {what}, found {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_content(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", entries.join(", "))
+        }
+        Data::UnitStruct => "::serde::Content::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_serialize_arm(name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{enum_name}::{vname} => ::serde::Content::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "{enum_name}::{vname}(__f0) => ::serde::Content::Map(vec![\
+                 (::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_content(__f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({binds}) => ::serde::Content::Map(vec![\
+                     (::std::string::String::from(\"{vname}\"), ::serde::Content::Seq(vec![{items}]))]),",
+                binds = binders.join(", "),
+                items = items.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_content({0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![\
+                     (::std::string::String::from(\"{vname}\"), ::serde::Content::Map(vec![{entries}]))]),",
+                binds = binders.join(", "),
+                entries = entries.join(", ")
+            )
+        }
+    }
+}
+
+/// The expression that fills field `fname` from map expression `map_expr`
+/// (an `&[(String, Content)]` slice binding).
+fn gen_field_init(ty_name: &str, f: &Field, map_expr: &str) -> String {
+    let fname = &f.name;
+    let fallback = match &f.default {
+        DefaultAttr::Required => {
+            format!("::serde::__missing(\"{ty_name}\", \"{fname}\")?")
+        }
+        DefaultAttr::Std => "::std::default::Default::default()".to_string(),
+        DefaultAttr::Path(path) => format!("{path}()"),
+    };
+    format!(
+        "{fname}: match {map_expr}.iter().find(|__kv| __kv.0 == \"{fname}\") {{\n\
+             Some(__kv) => ::serde::Deserialize::from_content(&__kv.1)\
+                 .map_err(|__e| __e.in_field(\"{ty_name}\", \"{fname}\"))?,\n\
+             None => {fallback},\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| gen_field_init(name, f, "__m"))
+                .collect();
+            format!(
+                "let __m = match __c {{\n\
+                     ::serde::Content::Map(__m) => __m,\n\
+                     __other => return Err(::serde::DeError::expected(\"map\", __other, \"{name}\")),\n\
+                 }};\n\
+                 Ok({name} {{ {inits} }})",
+                inits = inits.join(", ")
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(__c)?))")
+        }
+        Data::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = match __c {{\n\
+                     ::serde::Content::Seq(__items) if __items.len() == {n} => __items,\n\
+                     __other => return Err(::serde::DeError::expected(\"sequence of {n}\", __other, \"{name}\")),\n\
+                 }};\n\
+                 Ok({name}({inits}))",
+                inits = inits.join(", ")
+            )
+        }
+        Data::UnitStruct => format!("{{ let _ = __c; Ok({name}) }}"),
+        Data::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    // Unit variants deserialise from a bare string tag; data variants
+    // from a single-entry map `{ "Variant": payload }`.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_content(__payload)\
+                         .map_err(|__e| __e.in_field(\"{name}\", \"{vname}\"))?)),"
+                )),
+                VariantKind::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let __items = match __payload {{\n\
+                                 ::serde::Content::Seq(__items) if __items.len() == {n} => __items,\n\
+                                 __other => return Err(::serde::DeError::expected(\"sequence of {n}\", __other, \"{name}::{vname}\")),\n\
+                             }};\n\
+                             Ok({name}::{vname}({inits}))\n\
+                         }}",
+                        inits = inits.join(", ")
+                    ))
+                }
+                VariantKind::Named(fields) => {
+                    let ty = format!("{name}::{vname}");
+                    let inits: Vec<String> =
+                        fields.iter().map(|f| gen_field_init(&ty, f, "__vm")).collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let __vm = match __payload {{\n\
+                                 ::serde::Content::Map(__vm) => __vm,\n\
+                                 __other => return Err(::serde::DeError::expected(\"map\", __other, \"{ty}\")),\n\
+                             }};\n\
+                             Ok({name}::{vname} {{ {inits} }})\n\
+                         }}",
+                        inits = inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match __c {{\n\
+             ::serde::Content::Str(__tag) => match __tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+             }},\n\
+             ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __payload) = (&__m[0].0, &__m[0].1);\n\
+                 match __tag.as_str() {{\n\
+                     {data_arms}\n\
+                     __other => Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+                 }}\n\
+             }}\n\
+             __other => Err(::serde::DeError::expected(\"enum tag\", __other, \"{name}\")),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        data_arms = data_arms.join("\n")
+    )
+}

@@ -15,12 +15,12 @@ use std::process::ExitCode;
 use serde::{Deserialize, Serialize};
 
 use atom::cluster::{AppSpec, ClusterOptions};
+use atom::core::autoscaler::NoopScaler;
 use atom::core::baselines::RuleConfig;
 use atom::core::{
     run_experiment, Atom, AtomConfig, Autoscaler, ExperimentConfig, ModelBinding, ObjectiveSpec,
     UhScaler, UvScaler,
 };
-use atom::core::autoscaler::NoopScaler;
 use atom::lqn::analytic::{solve, SolverOptions};
 use atom::lqn::{from_lqn_text, to_lqn_text};
 use atom::sockshop::{scenarios, SockShop};
@@ -136,7 +136,12 @@ fn run_scenario_result(
         other => return Err(format!("unknown scaler `{other}`").into()),
     };
 
-    Ok(run_experiment(&scenario.app, scenario.workload.clone(), scaler, config)?)
+    Ok(run_experiment(
+        &scenario.app,
+        scenario.workload.clone(),
+        scaler,
+        config,
+    )?)
 }
 
 fn run_scenario(scenario: &Scenario) -> Result<(), Box<dyn std::error::Error>> {
@@ -170,7 +175,11 @@ fn run_scenario(scenario: &Scenario) -> Result<(), Box<dyn std::error::Error>> {
             r.users_at_end,
             r.total_tps,
             resp * 1e3,
-            if acts.is_empty() { "-".to_string() } else { acts.join("; ") }
+            if acts.is_empty() {
+                "-".to_string()
+            } else {
+                acts.join("; ")
+            }
         );
     }
     println!(
@@ -306,10 +315,7 @@ fn main() -> ExitCode {
         default_hook(info);
     }));
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result: Result<(), Box<dyn std::error::Error>> = match args
-        .first()
-        .map(String::as_str)
-    {
+    let result: Result<(), Box<dyn std::error::Error>> = match args.first().map(String::as_str) {
         Some("example-scenario") => {
             println!(
                 "{}",

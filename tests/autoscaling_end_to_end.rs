@@ -2,11 +2,9 @@
 //! shapes at reduced scale (these are the claims the full `repro` harness
 //! regenerates at paper scale).
 
-use atom::core::baselines::RuleConfig;
-use atom::core::{
-    run_experiment, Atom, AtomConfig, ExperimentConfig, UhScaler, UvScaler,
-};
 use atom::core::autoscaler::NoopScaler;
+use atom::core::baselines::RuleConfig;
+use atom::core::{run_experiment, Atom, AtomConfig, ExperimentConfig, UhScaler, UvScaler};
 use atom::sockshop::{scenarios, SockShop, SVC_CARTS, SVC_CATALOGUE, SVC_FRONT_END};
 use atom_cluster::ClusterOptions;
 use atom_ga::Budget;

@@ -26,8 +26,8 @@ fn analytic_matches_lqn_simulator_on_sockshop() {
             },
         )
         .unwrap();
-        let rel = (analytic.client_throughput - sim.client_throughput).abs()
-            / sim.client_throughput;
+        let rel =
+            (analytic.client_throughput - sim.client_throughput).abs() / sim.client_throughput;
         assert!(
             rel < 0.08,
             "N={users}: analytic {} vs sim {}",
