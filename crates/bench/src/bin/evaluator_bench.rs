@@ -1,38 +1,35 @@
 //! Candidate-evaluation throughput: the retired clone-per-candidate
-//! serial path vs the unified evaluation layer (memoised + warm-started
-//! + scratch-reuse) on the Sock Shop model.
+//! serial path vs the unified evaluation layer (memoised, warm-started,
+//! scratch-reusing) on the Sock Shop model, both searching the
+//! integer-lattice decision space.
 //!
 //! Prints candidate evaluations per second for both paths, the speedup,
 //! and the evaluator's cache hit-rate and solves-saved counters.
+//!
+//! `evaluator_bench --smoke` runs one scenario and exits non-zero if the
+//! memo hit-rate falls below a pinned threshold — CI's guard against
+//! regressions that break the lattice/memo alignment (e.g. a decode path
+//! that drifts off the grid would silently drop the hit-rate back to
+//! single digits).
 
 use std::time::Instant;
 
-use atom_core::evaluator::{CandidateEvaluator, CANDIDATE_SOLVER};
-use atom_core::optimizer::{decode, search_with};
+use atom_core::evaluator::CandidateEvaluator;
+use atom_core::optimizer::{decode, lattice_genome, search_with};
+use atom_core::solver::{solve, SolverOptions};
 use atom_core::{ModelBinding, ObjectiveSpec};
-use atom_ga::{optimize, Budget, Evaluation, GaOptions, Gene};
-use atom_lqn::analytic::solve;
+use atom_ga::{optimize, Budget, Evaluation, GaOptions};
 use atom_sockshop::SockShop;
 
-fn genome(binding: &ModelBinding) -> Vec<Gene> {
-    let mut genome = Vec::new();
-    for s in binding.scalable() {
-        genome.push(Gene::Int {
-            lo: 1,
-            hi: s.max_replicas as i64,
-        });
-        genome.push(Gene::Float {
-            lo: s.share_bounds.0,
-            hi: s.share_bounds.1,
-        });
-    }
-    genome
-}
+/// Minimum memo hit-rate `--smoke` accepts on the repro scenario
+/// (N=1500, budget 800, seed 42). The lattice GA with niching sustains
+/// well above this; the retired float-quantised keys managed ~5–7%.
+const SMOKE_MIN_HIT_RATE: f64 = 0.30;
 
 /// The pre-refactor fitness: clone the whole model per candidate, solve
-/// serially, no memoisation, no warm starts. Candidates are decoded with
-/// the optimizer's own [`decode`], so both paths score the identical
-/// candidate stream.
+/// serially, no memoisation, no warm starts, no niching. Candidates are
+/// decoded with the optimizer's own [`decode`] over the same lattice
+/// genome, so both paths search the identical decision space.
 fn baseline_search(
     binding: &ModelBinding,
     objective: &ObjectiveSpec,
@@ -41,13 +38,13 @@ fn baseline_search(
     let model = &binding.model;
     let scalable: Vec<_> = binding.scalable().collect();
     let mut iterations = 0usize;
-    let result = optimize(&genome(binding), ga, |genes| {
-        let config = decode(&scalable, genes);
+    let result = optimize(&lattice_genome(&scalable), ga, |genes| {
+        let config = decode(&scalable, genes).to_config();
         let mut candidate = model.clone();
         if config.apply(&mut candidate).is_err() {
             return CandidateEvaluator::rejected();
         }
-        match solve(&candidate, CANDIDATE_SOLVER) {
+        match solve(&candidate, SolverOptions::candidate()) {
             Ok(sol) => {
                 iterations += sol.iterations;
                 objective.evaluate(binding, &candidate, &config, &sol)
@@ -58,7 +55,57 @@ fn baseline_search(
     (result.best, result.evaluations, iterations)
 }
 
+fn repro_ga(budget: usize) -> GaOptions {
+    GaOptions {
+        budget: Budget::Evaluations(budget),
+        seed: 42,
+        ..Default::default()
+    }
+}
+
+/// CI smoke mode: one scenario, assert the memo hit-rate and the
+/// worker-count invariance of the best decision.
+fn smoke() {
+    let shop = SockShop::default();
+    let mix = [0.33, 0.17, 0.50];
+    let binding = shop.binding(1500, 7.0, &mix);
+    let objective = shop.objective();
+    let ga = repro_ga(800);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut serial = CandidateEvaluator::new(&binding, &binding.model, &objective);
+    let result = search_with(&mut serial, ga);
+    println!("smoke: N=1500, budget 800, seed 42: {}", result.stats);
+
+    let mut threaded =
+        CandidateEvaluator::new(&binding, &binding.model, &objective).with_workers(cores);
+    let par = search_with(&mut threaded, ga);
+    if par.decision != result.decision || par.eval != result.eval {
+        eprintln!("smoke FAILED: best decision changed with {cores} workers");
+        std::process::exit(1);
+    }
+
+    let hit = result.stats.hit_rate();
+    if hit < SMOKE_MIN_HIT_RATE {
+        eprintln!(
+            "smoke FAILED: memo hit-rate {:.1}% below the pinned {:.0}% floor",
+            100.0 * hit,
+            100.0 * SMOKE_MIN_HIT_RATE
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "smoke OK: hit-rate {:.1}% >= {:.0}%, best decision worker-count invariant",
+        100.0 * hit,
+        100.0 * SMOKE_MIN_HIT_RATE
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let shop = SockShop::default();
     let mix = [0.33, 0.17, 0.50];
     let budget = 800usize;
@@ -70,11 +117,7 @@ fn main() {
     for users in [500usize, 1500, 3000] {
         let binding = shop.binding(users, 7.0, &mix);
         let objective = shop.objective();
-        let ga = GaOptions {
-            budget: Budget::Evaluations(budget),
-            seed: 42,
-            ..Default::default()
-        };
+        let ga = repro_ga(budget);
 
         let t0 = Instant::now();
         let (base_eval, base_n, base_iters) = baseline_search(&binding, &objective, ga);
@@ -90,6 +133,10 @@ fn main() {
         let t2 = Instant::now();
         let par = search_with(&mut threaded, ga);
         let par_secs = t2.elapsed().as_secs_f64();
+        assert_eq!(
+            par.decision, result.decision,
+            "worker count must not change the best decision"
+        );
         assert_eq!(
             par.eval, result.eval,
             "worker count must not change results"
@@ -116,13 +163,12 @@ fn main() {
             par.evaluations
         );
         println!(
-            "  speedup serial {:.2}x, parallel {:.2}x | cache hit-rate {:.1}% | solves {} | solves saved {}",
+            "  speedup serial {:.2}x, parallel {:.2}x | solves saved {}",
             eval_rate / base_rate,
             par_rate / base_rate,
-            result.stats.hit_rate() * 100.0,
-            result.stats.solves,
             result.stats.solves_saved(),
         );
+        println!("  stats: {}", result.stats);
         let s = &result.stats;
         let cold_solves = s.solves - s.hinted_solves;
         let cold_iters = s.solver_iterations - s.hinted_iterations;

@@ -2,7 +2,7 @@
 
 use atom_cluster::{ScaleAction, WindowReport};
 use atom_ga::{Budget, GaOptions};
-use atom_lqn::ScalingConfig;
+use atom_lqn::{DecisionVector, ScalingConfig};
 
 use crate::analyzer::WorkloadAnalyzer;
 use crate::autoscaler::Autoscaler;
@@ -111,12 +111,12 @@ impl Atom {
     fn explain(
         &self,
         evaluator: &mut CandidateEvaluator<'_>,
-        current: &ScalingConfig,
-        planned: &ScalingConfig,
+        current: &DecisionVector,
+        planned: &DecisionVector,
     ) -> Option<String> {
         use atom_lqn::bottleneck::analyze;
         let mut text = evaluator
-            .with_solution(current, |observed, sol| {
+            .with_solution(&current.to_config(), |observed, sol| {
                 let report = analyze(observed, sol);
                 let mut text = String::new();
                 for &root in &report.root_bottlenecks {
@@ -145,10 +145,14 @@ impl Atom {
         let mut changes = Vec::new();
         for s in self.binding.scalable() {
             if let (Some(new), Some(old)) = (planned.get(s.task), current.get(s.task)) {
-                if new.replicas != old.replicas || (new.cpu_share - old.cpu_share).abs() > 1e-3 {
+                if new != old {
                     changes.push(format!(
                         "{}: {}x{:.2} -> {}x{:.2}",
-                        s.name, old.replicas, old.cpu_share, new.replicas, new.cpu_share
+                        s.name,
+                        old.replicas,
+                        old.share(),
+                        new.replicas,
+                        new.share()
                     ));
                 }
             }
@@ -158,16 +162,15 @@ impl Atom {
         } else {
             text.push_str(&format!("plan: {}", changes.join(", ")));
         }
-        let stats = evaluator.stats();
-        text.push_str(&format!(
-            " [{} candidates, {} solves, {} cache hits]",
-            stats.candidates, stats.solves, stats.cache_hits
-        ));
+        text.push_str(&format!(" [{}]", evaluator.stats()));
         Some(text)
     }
 
-    /// Reads the currently-executed configuration out of a window report.
-    fn current_config(&self, report: &WindowReport) -> ScalingConfig {
+    /// Reads the currently-executed decision out of a window report,
+    /// snapped onto the actuation lattice (observed shares come from the
+    /// actuator, so they already lie on the grid; quantising makes the
+    /// read robust to measurement jitter).
+    fn current_decision(&self, report: &WindowReport) -> DecisionVector {
         let mut cfg = ScalingConfig::new();
         for s in self.binding.scalable() {
             let si = s.service.0;
@@ -175,7 +178,7 @@ impl Atom {
             let share = report.service_shares.get(si).copied().unwrap_or(1.0);
             cfg.set(s.task, replicas, share);
         }
-        cfg
+        DecisionVector::quantize(&cfg)
     }
 }
 
@@ -206,7 +209,7 @@ impl Autoscaler for Atom {
         if report.users_at_end == 0 {
             return Vec::new();
         }
-        let current = self.current_config(report);
+        let current = self.current_decision(report);
 
         // One evaluation layer per window: the GA, the planner's quick
         // fixes, and the diagnostics below share its solve cache.
@@ -229,25 +232,25 @@ impl Autoscaler for Atom {
             quick_fixes: self.config.quick_fixes,
             ..Planner::default()
         };
-        let planned = planner.plan_with(&self.binding, &mut evaluator, found.config, &current);
+        let planned = planner.plan_with(&self.binding, &mut evaluator, found.decision, &current);
 
         // Diagnose the observed state for operators: solve the model at
         // the *current* configuration and run the layered-bottleneck
         // analysis (paper §V-B / Fig. 11).
         self.last_explanation = self.explain(&mut evaluator, &current, &planned);
 
-        // Execute: emit actions only where the configuration changed.
+        // Execute: emit actions only where the decision changed — an
+        // exact lattice comparison, no epsilon.
         let mut actions = Vec::new();
         for s in self.binding.scalable() {
             let (Some(new), Some(old)) = (planned.get(s.task), current.get(s.task)) else {
                 continue;
             };
-            let share_changed = (new.cpu_share - old.cpu_share).abs() > 1e-3;
-            if new.replicas != old.replicas || share_changed {
+            if new != old {
                 actions.push(ScaleAction {
                     service: s.service,
                     replicas: new.replicas,
-                    share: new.cpu_share,
+                    share: new.share(),
                 });
             }
         }

@@ -1,25 +1,31 @@
 //! The unified candidate-evaluation layer.
 //!
-//! Every path from a [`ScalingConfig`] to an [`Evaluation`] — the GA's
-//! fitness function, the planner's quick fixes, the what-if façade, and
-//! the controller's model-vs-observed diagnosis — goes through one
-//! [`CandidateEvaluator`] per window. Centralising the solve gives three
-//! optimisations for free everywhere:
+//! Every path from a candidate [`DecisionVector`] to an [`Evaluation`] —
+//! the GA's fitness function, the planner's quick fixes, the what-if
+//! façade, and the controller's model-vs-observed diagnosis — goes
+//! through one [`CandidateEvaluator`] per window. Centralising the solve
+//! gives three optimisations for free everywhere:
 //!
-//! * **Memoisation** — solves are cached by the quantised `(replicas,
-//!   share)` decision vector. GA populations revisit configurations
-//!   constantly (elites, converged populations, the planner re-checking
-//!   the GA's answer), so the hit-rate is substantial.
+//! * **Memoisation** — solves are cached by the integer-lattice
+//!   [`DecisionVector`] itself: replicas and share-grid indices compare
+//!   exactly, so two candidates are the same key if and only if they
+//!   denote the same actuation. (The earlier design keyed on
+//!   float-quantised shares, which made cache identity depend on an
+//!   epsilon and left blend-crossover offspring ε-distinct from their
+//!   parents; the lattice GA now breeds grid-aligned candidates by
+//!   construction, so converging populations collide in this cache at
+//!   tens-of-percent rates instead of single digits.)
 //! * **Scratch-model reuse** — candidates are applied to a per-worker
 //!   scratch copy of the window model and reverted afterwards, instead of
 //!   cloning the whole [`LqnModel`] per candidate.
 //! * **Warm-started solves** — each solve seeds the solver's throughput
 //!   bisection with the throughput of a recently solved configuration
 //!   *dominated* by the candidate (component-wise fewer replicas and
-//!   less share). That throughput lower-bounds the candidate's, so the
-//!   solver's first probe lands just below the fixed point — the cheap
-//!   side of its bisection — and the bracket collapses in a couple of
-//!   probes.
+//!   less share, exact integer comparisons via
+//!   [`DecisionVector::dominated_by`]). That throughput lower-bounds the
+//!   candidate's, so the solver's first probe lands just below the fixed
+//!   point — the cheap side of its bisection — and the bracket collapses
+//!   in a couple of probes.
 //!
 //! Batches fan out across `std::thread::scope` workers. Determinism is
 //! preserved regardless of worker count: candidates are deduplicated and
@@ -30,31 +36,15 @@
 //! eight.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
 use std::time::Instant;
 
 use atom_ga::Evaluation;
 use atom_lqn::analytic::{solve_with, SolverOptions, SolverWorkspace};
-use atom_lqn::{LqnError, LqnModel, LqnSolution, ScalingConfig, TaskId};
+use atom_lqn::{DecisionVector, LqnError, LqnModel, LqnSolution, ScalingConfig, TaskId};
 
 use crate::binding::ModelBinding;
 use crate::objective::ObjectiveSpec;
-
-/// Solver options used for every candidate evaluation (previously
-/// duplicated at three call sites in `optimizer.rs`): tight tolerance so
-/// objective comparisons between near-identical candidates are
-/// trustworthy, and an iteration cap that extreme GA candidates cannot
-/// exhaust in practice.
-pub const CANDIDATE_SOLVER: SolverOptions = SolverOptions {
-    max_iterations: 8_000,
-    tolerance: 1e-7,
-    damping: 1.0,
-    warm_start: None,
-};
-
-/// CPU shares are quantised to this grid for cache keys; two shares
-/// closer than this are the same candidate for all practical purposes
-/// (the solver tolerance is orders of magnitude coarser in effect).
-const SHARE_QUANTUM: f64 = 1e-3;
 
 /// How many recent solves [`CandidateEvaluator::warm_hint`] scans for a
 /// dominated neighbour (a few GA generations' worth).
@@ -69,41 +59,6 @@ const HINT_WINDOW: usize = 256;
 /// dominating it has even more capacity, so the hint lands in the
 /// regime where it collapses the bracket almost for free.
 const HINT_SOURCE_MAX_ITERATIONS: usize = 1_000;
-
-/// Quantised decision vector: `(task, replicas, share / SHARE_QUANTUM)`
-/// per scaled task, in task order (ScalingConfig iterates sorted).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-struct CacheKey(Vec<(usize, usize, i64)>);
-
-impl CacheKey {
-    fn of(config: &ScalingConfig) -> Self {
-        CacheKey(
-            config
-                .iter()
-                .map(|(t, d)| {
-                    (
-                        t.0,
-                        d.replicas,
-                        (d.cpu_share / SHARE_QUANTUM).round() as i64,
-                    )
-                })
-                .collect(),
-        )
-    }
-
-    /// Whether every task's allocation in `self` is no larger than in
-    /// `other`: same task set, component-wise `replicas ≤` and
-    /// `share ≤`. Model throughput is monotone in both, so a dominated
-    /// configuration's throughput lower-bounds the dominating one's.
-    fn dominated_by(&self, other: &CacheKey) -> bool {
-        self.0.len() == other.0.len()
-            && self
-                .0
-                .iter()
-                .zip(&other.0)
-                .all(|(&(ta, ra, sa), &(tb, rb, sb))| ta == tb && ra <= rb && sa <= sb)
-    }
-}
 
 /// What the cache remembers about a solved candidate.
 ///
@@ -163,6 +118,23 @@ impl EvaluatorStats {
     }
 }
 
+impl fmt::Display for EvaluatorStats {
+    /// One-line operator summary, shared by the controller's decision
+    /// explanations and `evaluator_bench`:
+    /// `800 candidates, 312 solves, 488 cache hits (61.0% hit-rate), 0 failures`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} candidates, {} solves, {} cache hits ({:.1}% hit-rate), {} failures",
+            self.candidates,
+            self.solves,
+            self.cache_hits,
+            100.0 * self.hit_rate(),
+            self.failures
+        )
+    }
+}
+
 /// Per-worker solve state: a scratch copy of the window model that
 /// candidates are applied to and reverted from, plus the reusable solver
 /// workspace. Creating one clones the model **once**; evaluating a
@@ -205,10 +177,7 @@ impl Scratch {
         let outcome = match applied {
             Ok(()) => solve_with(
                 &self.model,
-                SolverOptions {
-                    warm_start,
-                    ..CANDIDATE_SOLVER
-                },
+                SolverOptions::candidate().with_warm_start(warm_start),
                 &mut self.workspace,
             )
             .map(|sol| f(&self.model, &sol)),
@@ -228,9 +197,9 @@ pub struct CandidateEvaluator<'a> {
     /// Knowledge base + objective; `None` for solve-only evaluators.
     scoring: Option<(&'a ModelBinding, &'a ObjectiveSpec)>,
     scratch: Scratch,
-    cache: BTreeMap<CacheKey, Cached>,
+    cache: BTreeMap<DecisionVector, Cached>,
     /// Bounded window of recent solves scanned for warm-start hints.
-    recent: VecDeque<(CacheKey, f64, usize)>,
+    recent: VecDeque<(DecisionVector, f64, usize)>,
     stats: EvaluatorStats,
     workers: usize,
 }
@@ -305,9 +274,9 @@ impl<'a> CandidateEvaluator<'a> {
     }
 
     /// Warm-start hint for a solve of `key`: the highest throughput
-    /// among recently solved configurations **dominated** by the
-    /// candidate (component-wise no more replicas and no more share on
-    /// every task).
+    /// among recently solved decisions **dominated** by the candidate
+    /// (component-wise no more replicas and no smaller share index on
+    /// every task — exact integer comparisons on the lattice).
     ///
     /// Why dominated rather than nearest: the bisection's cost is
     /// asymmetric. A probe below the fixed point keeps its climbed
@@ -319,7 +288,10 @@ impl<'a> CandidateEvaluator<'a> {
     /// entries picks the tightest bound — in practice an entry whose
     /// extra slack sits on non-bottleneck tasks, whose throughput is
     /// therefore nearly the candidate's own.
-    fn warm_hint(recent: &VecDeque<(CacheKey, f64, usize)>, key: &CacheKey) -> Option<f64> {
+    fn warm_hint(
+        recent: &VecDeque<(DecisionVector, f64, usize)>,
+        key: &DecisionVector,
+    ) -> Option<f64> {
         let mut best: Option<f64> = None;
         for (k, tps, iterations) in recent {
             if *iterations <= HINT_SOURCE_MAX_ITERATIONS
@@ -338,7 +310,11 @@ impl<'a> CandidateEvaluator<'a> {
     /// entries are the useful ones anyway: GA candidates are bred from
     /// the previous generation, so their dominated neighbours are
     /// almost always fresh.
-    fn remember(recent: &mut VecDeque<(CacheKey, f64, usize)>, key: &CacheKey, c: &Cached) {
+    fn remember(
+        recent: &mut VecDeque<(DecisionVector, f64, usize)>,
+        key: &DecisionVector,
+        c: &Cached,
+    ) {
         if let Some(tps) = c.tps {
             if recent.len() == HINT_WINDOW {
                 recent.pop_front();
@@ -352,12 +328,13 @@ impl<'a> CandidateEvaluator<'a> {
         scratch: &mut Scratch,
         binding: &ModelBinding,
         objective: &ObjectiveSpec,
-        config: &ScalingConfig,
+        decision: &DecisionVector,
         warm_start: Option<f64>,
     ) -> Cached {
-        match scratch.solve_applied(config, warm_start, |model, sol| {
+        let config = decision.to_config();
+        match scratch.solve_applied(&config, warm_start, |model, sol| {
             (
-                objective.evaluate(binding, model, config, sol),
+                objective.evaluate(binding, model, &config, sol),
                 sol.client_throughput,
                 sol.iterations,
             )
@@ -388,23 +365,24 @@ impl<'a> CandidateEvaluator<'a> {
         }
     }
 
-    /// Scores one candidate, memoised.
-    pub fn evaluate(&mut self, config: &ScalingConfig) -> Evaluation {
+    /// Scores one candidate, memoised. The decision vector is the cache
+    /// key itself — no quantisation happens on the way in.
+    pub fn evaluate(&mut self, decision: &DecisionVector) -> Evaluation {
         let started = Instant::now();
-        let key = CacheKey::of(config);
         self.stats.candidates += 1;
-        let eval = match self.cache.get(&key).and_then(|c| c.eval) {
+        let eval = match self.cache.get(decision).and_then(|c| c.eval) {
             Some(eval) => {
                 self.stats.cache_hits += 1;
                 eval
             }
             None => {
                 let (binding, objective) = self.scoring();
-                let hint = Self::warm_hint(&self.recent, &key);
-                let c = Self::solve_and_score(&mut self.scratch, binding, objective, config, hint);
+                let hint = Self::warm_hint(&self.recent, decision);
+                let c =
+                    Self::solve_and_score(&mut self.scratch, binding, objective, decision, hint);
                 Self::record_solve(&mut self.stats, &c, hint.is_some());
-                Self::remember(&mut self.recent, &key, &c);
-                self.cache.insert(key, c);
+                Self::remember(&mut self.recent, decision, &c);
+                self.cache.insert(decision.clone(), c);
                 c.eval.unwrap()
             }
         };
@@ -418,22 +396,23 @@ impl<'a> CandidateEvaluator<'a> {
     /// Results are **bitwise independent of the worker count**: warm
     /// hints come from the cache as it stood when the batch started,
     /// duplicates are collapsed up front, and results merge by index.
-    pub fn evaluate_batch(&mut self, configs: &[ScalingConfig]) -> Vec<Evaluation> {
+    pub fn evaluate_batch(&mut self, decisions: &[DecisionVector]) -> Vec<Evaluation> {
         let started = Instant::now();
-        self.stats.candidates += configs.len();
+        self.stats.candidates += decisions.len();
 
-        // Partition into cached answers and deduplicated misses.
-        let keys: Vec<CacheKey> = configs.iter().map(CacheKey::of).collect();
-        let mut miss_of_key: HashMap<&CacheKey, usize> = HashMap::new();
+        // Partition into cached answers and deduplicated misses. The
+        // decisions themselves are the cache keys — exact lattice
+        // equality, no quantisation step.
+        let mut seen_miss: HashMap<&DecisionVector, usize> = HashMap::new();
         let mut misses: Vec<usize> = Vec::new(); // index of first occurrence
-        for (i, key) in keys.iter().enumerate() {
+        for (i, key) in decisions.iter().enumerate() {
             if self.cache.get(key).is_some_and(|c| c.eval.is_some()) {
                 self.stats.cache_hits += 1;
-            } else if miss_of_key.contains_key(key) {
+            } else if seen_miss.contains_key(key) {
                 // Duplicate within the batch: solved once, shared.
                 self.stats.cache_hits += 1;
             } else {
-                miss_of_key.insert(key, misses.len());
+                seen_miss.insert(key, misses.len());
                 misses.push(i);
             }
         }
@@ -442,7 +421,7 @@ impl<'a> CandidateEvaluator<'a> {
         // (see the determinism note in the module docs).
         let hints: Vec<Option<f64>> = misses
             .iter()
-            .map(|&i| Self::warm_hint(&self.recent, &keys[i]))
+            .map(|&i| Self::warm_hint(&self.recent, &decisions[i]))
             .collect();
 
         let solved: Vec<Cached> = if misses.is_empty() {
@@ -453,7 +432,13 @@ impl<'a> CandidateEvaluator<'a> {
                 .iter()
                 .zip(&hints)
                 .map(|(&i, &hint)| {
-                    Self::solve_and_score(&mut self.scratch, binding, objective, &configs[i], hint)
+                    Self::solve_and_score(
+                        &mut self.scratch,
+                        binding,
+                        objective,
+                        &decisions[i],
+                        hint,
+                    )
                 })
                 .collect()
         } else {
@@ -484,7 +469,7 @@ impl<'a> CandidateEvaluator<'a> {
                                     &mut scratch,
                                     binding,
                                     objective,
-                                    &configs[misses[j]],
+                                    &decisions[misses[j]],
                                     hints[j],
                                 ),
                             ));
@@ -504,11 +489,11 @@ impl<'a> CandidateEvaluator<'a> {
 
         for ((&i, c), hint) in misses.iter().zip(&solved).zip(&hints) {
             Self::record_solve(&mut self.stats, c, hint.is_some());
-            Self::remember(&mut self.recent, &keys[i], c);
-            self.cache.insert(keys[i].clone(), *c);
+            Self::remember(&mut self.recent, &decisions[i], c);
+            self.cache.insert(decisions[i].clone(), *c);
         }
 
-        let out = keys
+        let out = decisions
             .iter()
             .map(|key| self.cache[key].eval.unwrap())
             .collect();
@@ -516,28 +501,29 @@ impl<'a> CandidateEvaluator<'a> {
         out
     }
 
-    /// Predicted system TPS of `config` on the window's model, memoised;
-    /// `None` when the config fails to apply or the solver fails. Powers
-    /// the planner's quick fixes.
-    pub fn predicted_tps(&mut self, config: &ScalingConfig) -> Option<f64> {
+    /// Predicted system TPS of `decision` on the window's model,
+    /// memoised; `None` when the decision fails to apply or the solver
+    /// fails. Powers the planner's quick fixes.
+    pub fn predicted_tps(&mut self, decision: &DecisionVector) -> Option<f64> {
         let started = Instant::now();
-        let key = CacheKey::of(config);
         self.stats.candidates += 1;
-        if let Some(c) = self.cache.get(&key) {
+        if let Some(c) = self.cache.get(decision) {
             self.stats.cache_hits += 1;
             self.stats.wall_seconds += started.elapsed().as_secs_f64();
             return c.tps;
         }
-        let hint = Self::warm_hint(&self.recent, &key);
+        let hint = Self::warm_hint(&self.recent, decision);
         // Score alongside the solve when an objective is attached, so a
-        // later evaluate() of the same config is free.
+        // later evaluate() of the same decision is free.
         let cached = match self.scoring {
             Some((binding, objective)) => {
-                Self::solve_and_score(&mut self.scratch, binding, objective, config, hint)
+                Self::solve_and_score(&mut self.scratch, binding, objective, decision, hint)
             }
-            None => match self.scratch.solve_applied(config, hint, |_, sol| {
-                (sol.client_throughput, sol.iterations)
-            }) {
+            None => match self
+                .scratch
+                .solve_applied(&decision.to_config(), hint, |_, sol| {
+                    (sol.client_throughput, sol.iterations)
+                }) {
                 Ok((tps, iterations)) => Cached {
                     eval: None,
                     tps: Some(tps),
@@ -551,18 +537,22 @@ impl<'a> CandidateEvaluator<'a> {
             },
         };
         Self::record_solve(&mut self.stats, &cached, hint.is_some());
-        Self::remember(&mut self.recent, &key, &cached);
-        self.cache.insert(key, cached);
+        Self::remember(&mut self.recent, decision, &cached);
+        self.cache.insert(decision.clone(), cached);
         self.stats.wall_seconds += started.elapsed().as_secs_f64();
         cached.tps
     }
 
-    /// Solves `config` and hands the configured model plus the full
-    /// solution to `f` — for consumers that need more than a score
-    /// (what-if predictions, bottleneck analysis, operator diagnostics).
-    /// Full solutions are not memoised, but the solve still reuses the
-    /// scratch model, warm-starts from the cache, and records its
-    /// throughput for later hints.
+    /// Solves `config` — **exactly** as given, shares untouched — and
+    /// hands the configured model plus the full solution to `f`. This is
+    /// the operator-facing escape hatch for consumers that need more
+    /// than a score (what-if predictions on arbitrary float shares,
+    /// bottleneck analysis, diagnostics). Full solutions are not
+    /// memoised; when the config happens to lie on the actuation lattice
+    /// its exact [`DecisionVector`] is recorded in the cache and the
+    /// warm-hint window, so model-driven paths still benefit. Off-grid
+    /// configs are solved verbatim and leave no cache entry (inserting
+    /// one under a snapped key would lie about what was solved).
     ///
     /// # Errors
     ///
@@ -573,9 +563,15 @@ impl<'a> CandidateEvaluator<'a> {
         f: impl FnOnce(&LqnModel, &LqnSolution) -> R,
     ) -> Result<R, LqnError> {
         let started = Instant::now();
-        let key = CacheKey::of(config);
+        let key = DecisionVector::try_of(config);
+        // Hints are advisory (the solver stays correct either way), so
+        // an off-grid config may borrow its nearest lattice point's
+        // dominated neighbours.
+        let hint_key = key
+            .clone()
+            .unwrap_or_else(|| DecisionVector::quantize(config));
         self.stats.candidates += 1;
-        let hint = Self::warm_hint(&self.recent, &key);
+        let hint = Self::warm_hint(&self.recent, &hint_key);
         let mut solved = None;
         let result = self.scratch.solve_applied(config, hint, |model, sol| {
             solved = Some((sol.client_throughput, sol.iterations));
@@ -587,9 +583,11 @@ impl<'a> CandidateEvaluator<'a> {
             iterations: solved.map_or(0, |(_, it)| it),
         };
         Self::record_solve(&mut self.stats, &cached, hint.is_some());
-        Self::remember(&mut self.recent, &key, &cached);
-        if cached.tps.is_some() {
-            self.cache.entry(key).or_insert(cached);
+        if let Some(key) = key {
+            Self::remember(&mut self.recent, &key, &cached);
+            if cached.tps.is_some() {
+                self.cache.entry(key).or_insert(cached);
+            }
         }
         self.stats.wall_seconds += started.elapsed().as_secs_f64();
         result
@@ -656,35 +654,39 @@ mod tests {
         (binding, obj)
     }
 
-    fn some_configs() -> Vec<ScalingConfig> {
-        let mut configs = Vec::new();
+    /// Lattice candidates (share indices on the `SHARE_STEP` grid):
+    /// shares 0.5→10, 1.0→20, 0.75→15, 1.5→30, 0.25→5, 2.0→40, 0.35→7,
+    /// 1.25→25.
+    fn some_decisions() -> Vec<DecisionVector> {
+        let mut decisions = Vec::new();
         for (rw, sw, rd, sd) in [
-            (1, 0.5, 1, 1.0),
-            (2, 0.75, 1, 1.5),
-            (4, 1.0, 2, 0.5),
-            (8, 0.25, 4, 2.0),
-            (1, 0.5, 1, 1.0), // duplicate of the first
-            (3, 0.33, 2, 1.25),
+            (1, 10, 1, 20),
+            (2, 15, 1, 30),
+            (4, 20, 2, 10),
+            (8, 5, 4, 40),
+            (1, 10, 1, 20), // duplicate of the first
+            (3, 7, 2, 25),
         ] {
-            let mut c = ScalingConfig::new();
-            c.set(TaskId(0), rw, sw).set(TaskId(1), rd, sd);
-            configs.push(c);
+            let mut d = DecisionVector::new();
+            d.set(TaskId(0), rw, sw).set(TaskId(1), rd, sd);
+            decisions.push(d);
         }
-        configs
+        decisions
     }
 
     /// The old direct path: clone the whole model, apply, solve, score.
     fn direct(
         binding: &ModelBinding,
         objective: &ObjectiveSpec,
-        config: &ScalingConfig,
+        decision: &DecisionVector,
     ) -> Evaluation {
+        let config = decision.to_config();
         let mut candidate = binding.model.clone();
         if config.apply(&mut candidate).is_err() {
             return CandidateEvaluator::rejected();
         }
-        match solve(&candidate, CANDIDATE_SOLVER) {
-            Ok(sol) => objective.evaluate(binding, &candidate, config, &sol),
+        match solve(&candidate, SolverOptions::candidate()) {
+            Ok(sol) => objective.evaluate(binding, &candidate, &config, &sol),
             Err(_) => CandidateEvaluator::rejected(),
         }
     }
@@ -694,21 +696,24 @@ mod tests {
         // The first batch sees an empty cache (no warm hints), so it
         // must reproduce the retired clone-per-candidate path exactly.
         let (binding, obj) = setup(500);
-        let configs = some_configs();
-        let expect: Vec<Evaluation> = configs.iter().map(|c| direct(&binding, &obj, c)).collect();
+        let decisions = some_decisions();
+        let expect: Vec<Evaluation> = decisions
+            .iter()
+            .map(|d| direct(&binding, &obj, d))
+            .collect();
         let mut ev = CandidateEvaluator::new(&binding, &binding.model, &obj);
-        assert_eq!(ev.evaluate_batch(&configs), expect);
+        assert_eq!(ev.evaluate_batch(&decisions), expect);
     }
 
     #[test]
     fn memoisation_counts_hits_and_saves_solves() {
         let (binding, obj) = setup(300);
-        let configs = some_configs(); // six entries, one duplicate
+        let decisions = some_decisions(); // six entries, one duplicate
         let mut ev = CandidateEvaluator::new(&binding, &binding.model, &obj);
-        let first = ev.evaluate_batch(&configs);
+        let first = ev.evaluate_batch(&decisions);
         assert_eq!(ev.stats().solves, 5, "duplicate must be deduped");
         assert_eq!(ev.stats().cache_hits, 1);
-        let second = ev.evaluate_batch(&configs);
+        let second = ev.evaluate_batch(&decisions);
         assert_eq!(first, second);
         let stats = ev.stats();
         assert_eq!(stats.solves, 5, "second batch fully cached");
@@ -716,18 +721,22 @@ mod tests {
         assert_eq!(stats.solves_saved(), 7);
         assert!(stats.hit_rate() > 0.5);
         assert_eq!(first[0], first[4], "duplicates share one evaluation");
+        let line = stats.to_string();
+        assert!(line.contains("12 candidates"), "{line}");
+        assert!(line.contains("5 solves"), "{line}");
+        assert!(line.contains("hit-rate"), "{line}");
     }
 
     #[test]
     fn worker_count_does_not_change_results() {
         let (binding, obj) = setup(800);
-        let configs = some_configs();
+        let decisions = some_decisions();
         let serial =
-            CandidateEvaluator::new(&binding, &binding.model, &obj).evaluate_batch(&configs);
+            CandidateEvaluator::new(&binding, &binding.model, &obj).evaluate_batch(&decisions);
         for workers in [2, 4, 7] {
             let parallel = CandidateEvaluator::new(&binding, &binding.model, &obj)
                 .with_workers(workers)
-                .evaluate_batch(&configs);
+                .evaluate_batch(&decisions);
             assert_eq!(serial, parallel, "workers={workers}");
         }
     }
@@ -735,56 +744,56 @@ mod tests {
     #[test]
     fn single_evaluate_agrees_with_batch() {
         let (binding, obj) = setup(400);
-        let configs = some_configs();
+        let decisions = some_decisions();
         let batched =
-            CandidateEvaluator::new(&binding, &binding.model, &obj).evaluate_batch(&configs);
+            CandidateEvaluator::new(&binding, &binding.model, &obj).evaluate_batch(&decisions);
         let mut ev = CandidateEvaluator::new(&binding, &binding.model, &obj);
-        // Fresh evaluator per config: no warm hints, like the batch's
+        // Fresh evaluator per decision: no warm hints, like the batch's
         // empty-cache snapshot.
-        for (c, expect) in configs.iter().zip(&batched) {
+        for (d, expect) in decisions.iter().zip(&batched) {
             let mut fresh = CandidateEvaluator::new(&binding, &binding.model, &obj);
-            assert_eq!(fresh.evaluate(c), *expect);
+            assert_eq!(fresh.evaluate(d), *expect);
         }
         // And a shared evaluator still agrees on feasibility/ordering
         // (warm-started solves stay within the solver tolerance).
-        for (c, expect) in configs.iter().zip(&batched) {
-            let eval = ev.evaluate(c);
+        for (d, expect) in decisions.iter().zip(&batched) {
+            let eval = ev.evaluate(d);
             assert_eq!(eval.violation == 0.0, expect.violation == 0.0);
             assert!((eval.objective - expect.objective).abs() < 1e-4);
         }
     }
 
     #[test]
-    fn invalid_configs_are_rejected_not_fatal() {
+    fn invalid_decisions_are_rejected_not_fatal() {
         let (binding, obj) = setup(100);
-        let mut bad = ScalingConfig::new();
-        bad.set(TaskId(99), 1, 0.5); // unknown task
+        let mut bad = DecisionVector::new();
+        bad.set(TaskId(99), 1, 10); // unknown task
         let mut ev = CandidateEvaluator::new(&binding, &binding.model, &obj);
         let eval = ev.evaluate(&bad);
         assert!(CandidateEvaluator::is_rejected(&eval));
         assert_eq!(ev.stats().failures, 1);
-        // The scratch model is intact: a good config still evaluates.
-        let mut good = ScalingConfig::new();
-        good.set(TaskId(0), 2, 0.5);
+        // The scratch model is intact: a good decision still evaluates.
+        let mut good = DecisionVector::new();
+        good.set(TaskId(0), 2, 10);
         assert!(!CandidateEvaluator::is_rejected(&ev.evaluate(&good)));
     }
 
     #[test]
     fn scratch_model_reverts_between_candidates() {
-        // Evaluating wildly different configs in sequence must not leak
+        // Evaluating wildly different decisions in sequence must not leak
         // one candidate's replicas/shares into the next solve.
         let (binding, obj) = setup(600);
-        let configs = some_configs();
+        let decisions = some_decisions();
         let mut ev = CandidateEvaluator::new(&binding, &binding.model, &obj);
-        for c in &configs {
-            ev.evaluate(c);
+        for d in &decisions {
+            ev.evaluate(d);
         }
         // Reverse order on the same evaluator: cache answers must match
-        // what a fresh evaluator computes for the same config.
-        for c in configs.iter().rev() {
-            let cached = ev.evaluate(c);
+        // what a fresh evaluator computes for the same decision.
+        for d in decisions.iter().rev() {
+            let cached = ev.evaluate(d);
             let mut fresh = CandidateEvaluator::new(&binding, &binding.model, &obj);
-            let expect = fresh.evaluate(c);
+            let expect = fresh.evaluate(d);
             assert_eq!(cached.violation == 0.0, expect.violation == 0.0);
             assert!((cached.objective - expect.objective).abs() < 1e-4);
         }
@@ -793,16 +802,43 @@ mod tests {
     #[test]
     fn predicted_tps_matches_solver_only_path() {
         let (binding, obj) = setup(700);
-        let mut config = ScalingConfig::new();
-        config.set(TaskId(0), 4, 0.8).set(TaskId(1), 2, 1.0);
+        let mut decision = DecisionVector::new();
+        decision.set(TaskId(0), 4, 16).set(TaskId(1), 2, 20);
         let mut full = CandidateEvaluator::new(&binding, &binding.model, &obj);
         let mut solver = CandidateEvaluator::solver_only(&binding.model);
-        let a = full.predicted_tps(&config).unwrap();
-        let b = solver.predicted_tps(&config).unwrap();
+        let a = full.predicted_tps(&decision).unwrap();
+        let b = solver.predicted_tps(&decision).unwrap();
         assert_eq!(a, b);
-        // And a later evaluate() of the same config is served from cache.
-        full.evaluate(&config);
+        // And a later evaluate() of the same decision is served from cache.
+        full.evaluate(&decision);
         assert_eq!(full.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn with_solution_on_grid_feeds_the_memo() {
+        // An exact-config solve whose shares lie on the lattice leaves a
+        // cache entry under its DecisionVector, so model-driven paths
+        // (predicted_tps) reuse it without another solve.
+        let (binding, _) = setup(350);
+        let mut decision = DecisionVector::new();
+        decision.set(TaskId(0), 2, 12).set(TaskId(1), 1, 20);
+        let mut ev = CandidateEvaluator::solver_only(&binding.model);
+        let tps = ev
+            .with_solution(&decision.to_config(), |_, sol| sol.client_throughput)
+            .unwrap();
+        assert_eq!(ev.stats().solves, 1);
+        assert_eq!(ev.predicted_tps(&decision), Some(tps));
+        assert_eq!(ev.stats().solves, 1, "served from the memo");
+        assert_eq!(ev.stats().cache_hits, 1);
+        // An off-grid config solves fine but leaves no lattice entry.
+        let mut off = ScalingConfig::new();
+        off.set(TaskId(0), 1, 0.33);
+        ev.with_solution(&off, |_, _| ()).unwrap();
+        assert_eq!(ev.stats().solves, 2);
+        let mut snapped = DecisionVector::new();
+        snapped.set(TaskId(0), 1, 7);
+        ev.predicted_tps(&snapped);
+        assert_eq!(ev.stats().solves, 3, "snapped key was not cached");
     }
 
     #[test]

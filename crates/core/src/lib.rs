@@ -43,6 +43,17 @@ pub mod whatif;
 
 mod atom_controller;
 
+/// The analytic LQN solver surface the evaluation layer is built on,
+/// re-exported so evaluator callers (benches, ablation harnesses) don't
+/// need a direct `atom_lqn` dependency for solver plumbing:
+/// [`solver::solve`] for one-shot solves, [`solver::solve_with`] +
+/// [`solver::SolverWorkspace`] for allocation-free repeated solves, and
+/// [`solver::SolverOptions`] (see `SolverOptions::candidate()` for the
+/// preset every candidate evaluation uses).
+pub mod solver {
+    pub use atom_lqn::analytic::{solve, solve_with, SolverOptions, SolverWorkspace};
+}
+
 pub use atom_controller::{Atom, AtomConfig};
 pub use autoscaler::Autoscaler;
 pub use baselines::{UhScaler, UvScaler};
@@ -52,4 +63,9 @@ pub use evaluator::{CandidateEvaluator, EvaluatorStats};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use objective::ObjectiveSpec;
 pub use planner::PlannerMode;
-pub use whatif::{what_if, Prediction};
+pub use whatif::{what_if, what_if_decision, Prediction};
+
+// The candidate currency of the whole stack (defined next to the model
+// transforms in `atom_lqn`): one integer-lattice type from GA genome to
+// actuator.
+pub use atom_lqn::{DecisionVector, TaskDecision, SHARE_STEP};

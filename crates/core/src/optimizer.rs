@@ -1,24 +1,37 @@
 //! Algorithm 1: time-bounded candidate search with a genetic algorithm.
 //!
-//! The GA genome is the decision vector of §IV-B: per scalable
-//! microservice an integer replica count in `1..=Q_i` and a real CPU
-//! share in `[s_lb, s_ub]`. Each candidate is applied to the
-//! analyzer-instantiated LQN, solved analytically, and scored by
-//! [`ObjectiveSpec::evaluate`]; infeasible candidates survive with their
-//! violation magnitude (the `tolerance` check of Algorithm 1 lives in the
-//! GA's feasibility-first selection).
+//! The GA genome is the decision vector of §IV-B on the actuation
+//! lattice: per scalable microservice an integer replica count in
+//! `1..=Q_i` and an integer CPU-share index on the [`SHARE_STEP`] grid
+//! within `[s_lb, s_ub]`. Genomes decode to [`DecisionVector`]s — the
+//! single candidate currency shared with the evaluator, planner and
+//! controller — so crossover and mutation move on the same grid the
+//! actuator executes and the evaluator memoises on: offspring of
+//! converging populations are *identical* lattice points, not ε-distinct
+//! floats, and hit the memo cache by construction. Each candidate is
+//! applied to the analyzer-instantiated LQN, solved analytically, and
+//! scored by [`ObjectiveSpec::evaluate`]; infeasible candidates survive
+//! with their violation magnitude (the `tolerance` check of Algorithm 1
+//! lives in the GA's feasibility-first selection).
 
 use atom_ga::{optimize_batched, Evaluation, GaOptions, Gene, GeneValue};
-use atom_lqn::{LqnModel, ScalingConfig};
+use atom_lqn::{DecisionVector, LqnModel, ScalingConfig};
 
-use crate::binding::ModelBinding;
+use crate::binding::{ModelBinding, ServiceBinding};
 use crate::evaluator::{CandidateEvaluator, EvaluatorStats};
 use crate::objective::ObjectiveSpec;
+
+/// CPU-share actuator resolution, in cores — re-exported from
+/// [`atom_lqn`], where the lattice types live.
+pub use atom_lqn::SHARE_STEP;
 
 /// Result of one search round.
 #[derive(Debug, Clone)]
 pub struct SearchResult {
-    /// Best configuration found.
+    /// Best decision found, on the actuation lattice.
+    pub decision: DecisionVector,
+    /// The same decision as actuator shares
+    /// ([`DecisionVector::to_config`] of `decision`).
     pub config: ScalingConfig,
     /// Its evaluation.
     pub eval: Evaluation,
@@ -28,7 +41,7 @@ pub struct SearchResult {
     pub stats: EvaluatorStats,
 }
 
-/// Runs the GA search over scaling configurations.
+/// Runs the GA search over scaling decisions.
 ///
 /// `model` must already carry the window's `N` and request mix (the
 /// analyzer's output). Convenience wrapper over [`search_with`] that
@@ -48,41 +61,42 @@ pub fn search(
 /// Runs the GA search through an existing evaluator (and its cache).
 ///
 /// Each GA population is evaluated as one batch, so the evaluator can
-/// deduplicate candidates and fan solves across worker threads. Solver
-/// failures on extreme candidates are treated as maximally infeasible
+/// deduplicate candidates and fan solves across worker threads. The GA
+/// runs with within-generation niching forced on: duplicate children are
+/// re-mutated into unexplored lattice points, so a generation's solve
+/// budget is spent on distinct candidates, while *cross*-generation
+/// revisits still resolve from the memo cache for free. Solver failures
+/// on extreme candidates are treated as maximally infeasible
 /// ([`CandidateEvaluator::rejected`]) rather than aborting the search.
 pub fn search_with(evaluator: &mut CandidateEvaluator<'_>, ga: GaOptions) -> SearchResult {
     let stats_before = evaluator.stats();
     let scalable: Vec<_> = evaluator.binding().scalable().collect();
     if scalable.is_empty() {
-        // Nothing to optimise: return an empty (no-op) configuration
-        // instead of panicking in the GA on an empty genome.
+        // Nothing to optimise: return an empty (no-op) decision instead
+        // of panicking in the GA on an empty genome.
         return SearchResult {
+            decision: DecisionVector::new(),
             config: ScalingConfig::new(),
             eval: Evaluation::feasible(0.0),
             evaluations: 0,
             stats: EvaluatorStats::default(),
         };
     }
-    let mut genome = Vec::with_capacity(scalable.len() * 2);
-    for s in &scalable {
-        genome.push(Gene::Int {
-            lo: 1,
-            hi: s.max_replicas as i64,
-        });
-        genome.push(Gene::Float {
-            lo: s.share_bounds.0,
-            hi: s.share_bounds.1,
-        });
-    }
+    let genome = lattice_genome(&scalable);
+    let ga = GaOptions {
+        niching: true,
+        ..ga
+    };
     let result = optimize_batched(&genome, ga, |batch| {
-        let configs: Vec<ScalingConfig> =
+        let decisions: Vec<DecisionVector> =
             batch.iter().map(|genes| decode(&scalable, genes)).collect();
-        evaluator.evaluate_batch(&configs)
+        evaluator.evaluate_batch(&decisions)
     });
     let after = evaluator.stats();
+    let decision = decode(&scalable, &result.best_values);
     SearchResult {
-        config: decode(&scalable, &result.best_values),
+        config: decision.to_config(),
+        decision,
         eval: result.best,
         evaluations: result.evaluations,
         stats: EvaluatorStats {
@@ -100,7 +114,7 @@ pub fn search_with(evaluator: &mut CandidateEvaluator<'_>, ga: GaOptions) -> Sea
 
 /// Pure random search at the same evaluation budget — the ablation
 /// baseline for the GA (§IV-C argues a meta-heuristic is needed; this
-/// quantifies the claim).
+/// quantifies the claim). Candidates are drawn directly on the lattice.
 pub fn random_search(
     binding: &ModelBinding,
     model: &LqnModel,
@@ -114,84 +128,103 @@ pub fn random_search(
     let mut rng = SimRng::seed_from(seed);
     // Draw every candidate up front (the fitness consumes no RNG), then
     // evaluate them as one batch through the shared layer.
-    let configs: Vec<ScalingConfig> = (0..evaluations)
+    let decisions: Vec<DecisionVector> = (0..evaluations)
         .map(|_| {
-            let mut config = ScalingConfig::new();
+            let mut decision = DecisionVector::new();
             for s in &scalable {
-                let replicas = 1 + (rng.uniform() * s.max_replicas as f64) as usize;
-                let share = ((rng.uniform_in(s.share_bounds.0, s.share_bounds.1) / SHARE_STEP)
-                    .round()
-                    * SHARE_STEP)
-                    .clamp(s.share_bounds.0, s.share_bounds.1);
-                config.set(s.task, replicas.min(s.max_replicas), share);
+                let replicas =
+                    (1 + (rng.uniform() * s.max_replicas as f64) as usize).min(s.max_replicas);
+                let (lo, hi) = share_index_bounds(s);
+                let idx = (lo + (rng.uniform() * (hi - lo + 1) as f64) as usize).min(hi);
+                decision.set(s.task, replicas, idx);
             }
-            config
+            decision
         })
         .collect();
-    let evals = evaluator.evaluate_batch(&configs);
-    let mut best: Option<(ScalingConfig, Evaluation)> = None;
-    for (config, eval) in configs.into_iter().zip(evals) {
+    let evals = evaluator.evaluate_batch(&decisions);
+    let mut best: Option<(DecisionVector, Evaluation)> = None;
+    for (decision, eval) in decisions.into_iter().zip(evals) {
         if CandidateEvaluator::is_rejected(&eval) {
             continue; // failed to apply or to solve — never a winner
         }
         if best.as_ref().is_none_or(|(_, b)| eval.beats(b, 0.0)) {
-            best = Some((config, eval));
+            best = Some((decision, eval));
         }
     }
-    let (config, eval) = best.unwrap_or_else(|| {
-        let mut c = ScalingConfig::new();
+    let (decision, eval) = best.unwrap_or_else(|| {
+        let mut d = DecisionVector::new();
         for s in &scalable {
-            c.set(s.task, 1, s.share_bounds.0);
+            d.set(s.task, 1, share_index_bounds(s).0);
         }
-        (c, CandidateEvaluator::rejected())
+        (d, CandidateEvaluator::rejected())
     });
     SearchResult {
-        config,
+        config: decision.to_config(),
+        decision,
         eval,
         evaluations,
         stats: evaluator.stats(),
     }
 }
 
-/// Predicted system TPS of a configuration on the window's model; used
-/// by the planner's quick fixes. Returns `None` if the solve fails.
+/// Predicted system TPS of a decision on the window's model; used by the
+/// planner's quick fixes. Returns `None` if the solve fails.
 ///
 /// One-shot convenience over [`CandidateEvaluator::predicted_tps`];
 /// repeated predictions against the same model should share an
 /// evaluator to benefit from its cache.
-pub fn predicted_tps(model: &LqnModel, config: &ScalingConfig) -> Option<f64> {
-    CandidateEvaluator::solver_only(model).predicted_tps(config)
+pub fn predicted_tps(model: &LqnModel, decision: &DecisionVector) -> Option<f64> {
+    CandidateEvaluator::solver_only(model).predicted_tps(decision)
 }
 
-/// CPU-share actuator resolution, in cores (50 millicores).
-///
-/// Decoded shares snap to this grid before evaluation: CFS quotas are
-/// set in discrete millicore steps, so finer distinctions between GA
-/// candidates are not actuatable anyway. Snapping also makes converging
-/// populations collide in the evaluator's memo cache — a blend-crossover
-/// child lands on its parents' grid point instead of an ε-distinct share
-/// that would cost a fresh solve.
-pub const SHARE_STEP: f64 = 0.05;
+/// The service's CPU-share bounds as inclusive [`SHARE_STEP`] grid
+/// indices: the smallest and largest actuatable share inside
+/// `[s_lb, s_ub]`. The lower index is clamped to ≥ 1 (a zero share is
+/// not applicable), and a bounds interval narrower than one grid step
+/// collapses to its lower index so the genome stays well-formed.
+pub fn share_index_bounds(s: &ServiceBinding) -> (usize, usize) {
+    let lo = (s.share_bounds.0 / SHARE_STEP - 1e-9).ceil().max(1.0) as usize;
+    let hi = ((s.share_bounds.1 / SHARE_STEP + 1e-9).floor() as usize).max(lo);
+    (lo, hi)
+}
 
-/// Decodes a GA gene vector into the scaling configuration it denotes,
-/// snapping CPU shares to the [`SHARE_STEP`] actuator grid (clamped back
-/// into the service's share bounds, which need not lie on the grid).
-pub fn decode(scalable: &[&crate::binding::ServiceBinding], genes: &[GeneValue]) -> ScalingConfig {
-    let mut config = ScalingConfig::new();
+/// The all-integer GA genome for a set of scalable services: per service
+/// a replica gene in `1..=Q_i` and a share-index gene on the
+/// [`SHARE_STEP`] lattice (see [`share_index_bounds`]). Shared with
+/// benches so they search the exact space the controller does.
+pub fn lattice_genome(scalable: &[&ServiceBinding]) -> Vec<Gene> {
+    let mut genome = Vec::with_capacity(scalable.len() * 2);
+    for s in scalable {
+        genome.push(Gene::Int {
+            lo: 1,
+            hi: s.max_replicas as i64,
+        });
+        let (lo, hi) = share_index_bounds(s);
+        genome.push(Gene::Int {
+            lo: lo as i64,
+            hi: hi as i64,
+        });
+    }
+    genome
+}
+
+/// Decodes a GA gene vector into the [`DecisionVector`] it denotes. The
+/// genes already live on the lattice (see [`lattice_genome`]), so
+/// decoding is a reinterpretation, not a quantisation — every decoded
+/// candidate is exactly actuatable and exactly memoisable.
+pub fn decode(scalable: &[&ServiceBinding], genes: &[GeneValue]) -> DecisionVector {
+    let mut decision = DecisionVector::new();
     for (i, s) in scalable.iter().enumerate() {
         let replicas = genes[2 * i].as_i64().max(1) as usize;
-        let raw = genes[2 * i + 1].as_f64();
-        let share =
-            ((raw / SHARE_STEP).round() * SHARE_STEP).clamp(s.share_bounds.0, s.share_bounds.1);
-        config.set(s.task, replicas, share);
+        let share_idx = genes[2 * i + 1].as_i64().max(1) as usize;
+        decision.set(s.task, replicas, share_idx);
     }
-    config
+    decision
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::binding::ServiceBinding;
     use atom_cluster::ServiceId;
     use atom_ga::Budget;
     use atom_lqn::TaskId;
@@ -281,29 +314,81 @@ mod tests {
         let (binding, obj) = setup(300);
         let a = search(&binding, &binding.model, &obj, ga(7));
         let b = search(&binding, &binding.model, &obj, ga(7));
+        assert_eq!(a.decision, b.decision);
         assert_eq!(a.config, b.config);
+    }
+
+    #[test]
+    fn best_config_roundtrips_through_the_lattice() {
+        // The winning config is the winning decision's actuation, so
+        // converting it back is lossless by construction.
+        let (binding, obj) = setup(300);
+        let result = search(&binding, &binding.model, &obj, ga(11));
+        assert_eq!(
+            DecisionVector::try_of(&result.config),
+            Some(result.decision.clone())
+        );
     }
 
     #[test]
     fn predicted_tps_monotone_in_capacity() {
         let (binding, _) = setup(1000);
-        let mut small = ScalingConfig::new();
-        small.set(TaskId(0), 1, 0.5).set(TaskId(1), 1, 1.0);
-        let mut big = ScalingConfig::new();
-        big.set(TaskId(0), 8, 1.0).set(TaskId(1), 1, 1.0);
+        let mut small = DecisionVector::new();
+        small.set(TaskId(0), 1, 10).set(TaskId(1), 1, 20);
+        let mut big = DecisionVector::new();
+        big.set(TaskId(0), 8, 20).set(TaskId(1), 1, 20);
         let x_small = predicted_tps(&binding.model, &small).unwrap();
         let x_big = predicted_tps(&binding.model, &big).unwrap();
         assert!(x_big > x_small * 1.5, "big {x_big} small {x_small}");
     }
 
     #[test]
-    fn respects_replica_bounds() {
+    fn respects_replica_and_share_bounds() {
         let (binding, obj) = setup(5000);
         let result = search(&binding, &binding.model, &obj, ga(3));
-        let db_cfg = result.config.get(TaskId(1)).unwrap();
-        assert_eq!(db_cfg.replicas, 1, "db is capped at one replica");
-        let web_cfg = result.config.get(TaskId(0)).unwrap();
-        assert!(web_cfg.replicas <= 8);
-        assert!((0.1..=1.0).contains(&web_cfg.cpu_share));
+        let db = result.decision.get(TaskId(1)).unwrap();
+        assert_eq!(db.replicas, 1, "db is capped at one replica");
+        let web = result.decision.get(TaskId(0)).unwrap();
+        assert!(web.replicas <= 8);
+        assert!((2..=20).contains(&web.share_idx), "0.1..=1.0 as indices");
+    }
+
+    #[test]
+    fn share_index_bounds_cover_exact_and_offgrid_bounds() {
+        let svc = |lo: f64, hi: f64| ServiceBinding {
+            name: "s".into(),
+            service: ServiceId(0),
+            task: TaskId(0),
+            scalable: true,
+            max_replicas: 4,
+            share_bounds: (lo, hi),
+        };
+        assert_eq!(share_index_bounds(&svc(0.1, 1.0)), (2, 20));
+        assert_eq!(share_index_bounds(&svc(0.05, 4.0)), (1, 80));
+        // Off-grid bounds shrink inward to actuatable shares.
+        assert_eq!(share_index_bounds(&svc(0.12, 0.99)), (3, 19));
+        // Degenerate interval collapses instead of inverting.
+        assert_eq!(share_index_bounds(&svc(0.97, 0.99)), (20, 20));
+        // Tiny lower bounds clamp to the first grid point.
+        assert_eq!(share_index_bounds(&svc(0.001, 0.2)), (1, 4));
+    }
+
+    #[test]
+    fn decode_lands_exactly_on_the_share_grid() {
+        let (binding, _) = setup(100);
+        let scalable: Vec<_> = binding.scalable().collect();
+        let genome = lattice_genome(&scalable);
+        assert!(genome.iter().all(|g| matches!(g, Gene::Int { .. })));
+        let genes = vec![
+            GeneValue::Int(3),
+            GeneValue::Int(13),
+            GeneValue::Int(1),
+            GeneValue::Int(40),
+        ];
+        let decision = decode(&scalable, &genes);
+        assert_eq!(decision.get(TaskId(0)).unwrap().share_idx, 13);
+        let config = decision.to_config();
+        assert_eq!(DecisionVector::try_of(&config).as_ref(), Some(&decision));
+        assert_eq!(config.get(TaskId(0)).unwrap().cpu_share, 13.0 * SHARE_STEP);
     }
 }

@@ -15,11 +15,21 @@
 //! **ATOM-T** discards the new configuration unless it improves predicted
 //! TPS by a margin, and **ATOM-S** discards it when the total allocated
 //! CPU would change too drastically.
+//!
+//! The planner moves entirely in [`DecisionVector`] space: allocation
+//! comparisons are exact integer step counts ([`TaskDecision::alloc_steps`]),
+//! consolidation doubles share *indices*, and every trial it probes is a
+//! lattice point — so each probe either hits the search's memo cache or
+//! seeds it with a reusable entry.
 
-use atom_lqn::{LqnModel, ScalingConfig};
+use atom_lqn::{DecisionVector, LqnModel, SHARE_STEP};
 
 use crate::binding::ModelBinding;
 use crate::evaluator::CandidateEvaluator;
+use crate::optimizer::share_index_bounds;
+
+#[cfg(doc)]
+use atom_lqn::TaskDecision;
 
 /// Conservatism of the planner (paper Fig. 7's variants).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,8 +77,8 @@ impl Default for Planner {
 }
 
 impl Planner {
-    /// Polishes `candidate` against `current`, returning the
-    /// configuration to execute.
+    /// Polishes `candidate` against `current`, returning the decision to
+    /// execute.
     ///
     /// `model` is the analyzer-instantiated LQN of this window.
     /// Convenience wrapper over [`Planner::plan_with`] with a throwaway
@@ -78,9 +88,9 @@ impl Planner {
         &self,
         binding: &ModelBinding,
         model: &LqnModel,
-        candidate: ScalingConfig,
-        current: &ScalingConfig,
-    ) -> ScalingConfig {
+        candidate: DecisionVector,
+        current: &DecisionVector,
+    ) -> DecisionVector {
         let mut evaluator = CandidateEvaluator::solver_only(model);
         self.plan_with(binding, &mut evaluator, candidate, current)
     }
@@ -91,9 +101,9 @@ impl Planner {
         &self,
         binding: &ModelBinding,
         evaluator: &mut CandidateEvaluator<'_>,
-        candidate: ScalingConfig,
-        current: &ScalingConfig,
-    ) -> ScalingConfig {
+        candidate: DecisionVector,
+        current: &DecisionVector,
+    ) -> DecisionVector {
         let mut adopted = candidate;
         let mut adopted_tps = match evaluator.predicted_tps(&adopted) {
             Some(x) => x,
@@ -101,15 +111,14 @@ impl Planner {
         };
 
         // Quick fix 1: reuse cheaper previous allocations per service.
+        // "Cheaper" is an exact integer comparison of lattice steps.
         for s in binding.scalable().filter(|_| self.quick_fixes) {
             let (Some(now), Some(prev)) = (adopted.get(s.task), current.get(s.task)) else {
                 continue;
             };
-            let now_alloc = now.replicas as f64 * now.cpu_share;
-            let prev_alloc = prev.replicas as f64 * prev.cpu_share;
-            if prev_alloc < now_alloc {
+            if prev.alloc_steps() < now.alloc_steps() {
                 let mut trial = adopted.clone();
-                trial.set(s.task, prev.replicas, prev.cpu_share);
+                trial.set(s.task, prev.replicas, prev.share_idx);
                 if let Some(tps) = evaluator.predicted_tps(&trial) {
                     if tps >= adopted_tps * (1.0 - self.tps_tolerance) {
                         adopted = trial;
@@ -119,18 +128,21 @@ impl Planner {
             }
         }
 
-        // Quick fix 2: consolidate replicas at equal total share.
+        // Quick fix 2: consolidate replicas at (as near as the lattice
+        // allows) equal total share.
         for s in binding.scalable().filter(|_| self.quick_fixes) {
             let Some(now) = adopted.get(s.task) else {
                 continue;
             };
             if now.replicas >= 2 {
                 let new_r = now.replicas / 2;
-                let new_s =
-                    (now.cpu_share * now.replicas as f64 / new_r as f64).min(s.share_bounds.1);
-                if new_s > now.cpu_share {
+                let (_, ub_idx) = share_index_bounds(s);
+                let new_idx = (((now.share_idx * now.replicas) as f64 / new_r as f64).round()
+                    as usize)
+                    .min(ub_idx);
+                if new_idx > now.share_idx {
                     let mut trial = adopted.clone();
-                    trial.set(s.task, new_r, new_s);
+                    trial.set(s.task, new_r, new_idx);
                     if let Some(tps) = evaluator.predicted_tps(&trial) {
                         if tps >= adopted_tps * (1.0 - self.tps_tolerance) {
                             adopted = trial;
@@ -160,7 +172,8 @@ impl Planner {
                 let delta = (c_new - c_now).abs();
                 if c_now > 0.0 && delta > max_relative_change * c_now {
                     // Interpolate toward the plan so the total CPU moves
-                    // by exactly the allowed amount this window.
+                    // by (up to lattice rounding) the allowed amount this
+                    // window.
                     let alpha = (max_relative_change * c_now / delta).clamp(0.0, 1.0);
                     let mut clamped = current.clone();
                     for s in binding.scalable() {
@@ -170,11 +183,12 @@ impl Planner {
                         };
                         let r = old.replicas as f64
                             + alpha * (new.replicas as f64 - old.replicas as f64);
-                        let share = old.cpu_share + alpha * (new.cpu_share - old.cpu_share);
+                        let share = old.share() + alpha * (new.share() - old.share());
+                        let (lo_idx, hi_idx) = share_index_bounds(s);
                         clamped.set(
                             s.task,
                             (r.round() as usize).clamp(1, s.max_replicas),
-                            share.clamp(s.share_bounds.0, s.share_bounds.1),
+                            ((share / SHARE_STEP).round() as usize).clamp(lo_idx, hi_idx),
                         );
                     }
                     clamped
@@ -217,22 +231,26 @@ mod tests {
         }
     }
 
+    fn dv(replicas: usize, share_idx: usize) -> DecisionVector {
+        let mut d = DecisionVector::new();
+        d.set(TaskId(0), replicas, share_idx);
+        d
+    }
+
     #[test]
-    fn quick_fix_reuses_cheaper_previous_config() {
+    fn quick_fix_reuses_cheaper_previous_decision() {
         // Light load: 10/s needs 0.1 cores. The candidate wastes 4 cores;
         // the previous window's 0.5 cores served fine.
         let binding = setup(20);
-        let mut candidate = ScalingConfig::new();
-        candidate.set(TaskId(0), 4, 1.0);
-        let mut current = ScalingConfig::new();
-        current.set(TaskId(0), 1, 0.5);
+        let candidate = dv(4, 20); // 4×1.00
+        let current = dv(1, 10); // 1×0.50
         let planner = Planner::default();
         let plan = planner.plan(&binding, &binding.model, candidate, &current);
         let d = plan.get(TaskId(0)).unwrap();
         assert_eq!(
-            (d.replicas, d.cpu_share),
-            (1, 0.5),
-            "should reuse cheap config"
+            (d.replicas, d.share_idx),
+            (1, 10),
+            "should reuse cheap decision"
         );
     }
 
@@ -241,15 +259,13 @@ mod tests {
         // Moderate load served equally well by 1×1.0 as by 2×0.5 — the
         // planner should consolidate (less multi-server inefficiency).
         let binding = setup(100);
-        let mut candidate = ScalingConfig::new();
-        candidate.set(TaskId(0), 2, 0.5);
-        let mut current = ScalingConfig::new();
-        current.set(TaskId(0), 2, 0.5);
+        let candidate = dv(2, 10);
+        let current = dv(2, 10);
         let planner = Planner::default();
         let plan = planner.plan(&binding, &binding.model, candidate, &current);
         let d = plan.get(TaskId(0)).unwrap();
         assert_eq!(d.replicas, 1, "should consolidate to one replica");
-        assert!((d.cpu_share - 1.0).abs() < 1e-12);
+        assert_eq!(d.share_idx, 20, "doubled share stays on the lattice");
     }
 
     #[test]
@@ -258,8 +274,7 @@ mod tests {
         // 2×2.0 because shares are capped at 1.0 — and 2×1.0 would halve
         // capacity, so the planner must keep 4 replicas.
         let binding = setup(2000);
-        let mut candidate = ScalingConfig::new();
-        candidate.set(TaskId(0), 4, 1.0);
+        let candidate = dv(4, 20);
         let current = candidate.clone();
         let planner = Planner::default();
         let plan = planner.plan(&binding, &binding.model, candidate, &current);
@@ -269,12 +284,10 @@ mod tests {
     #[test]
     fn atom_t_rejects_marginal_improvements() {
         let binding = setup(100);
-        // Current config is adequate; candidate adds capacity for ~no
+        // Current decision is adequate; candidate adds capacity for ~no
         // TPS gain.
-        let mut current = ScalingConfig::new();
-        current.set(TaskId(0), 1, 1.0);
-        let mut candidate = ScalingConfig::new();
-        candidate.set(TaskId(0), 4, 1.0);
+        let current = dv(1, 20);
+        let candidate = dv(4, 20);
         let planner = Planner {
             mode: PlannerMode::ConservativeTps {
                 min_improvement: 0.05,
@@ -288,10 +301,8 @@ mod tests {
     #[test]
     fn atom_t_accepts_real_improvements() {
         let binding = setup(2000); // offered 1000/s, needs 10 cores
-        let mut current = ScalingConfig::new();
-        current.set(TaskId(0), 1, 1.0);
-        let mut candidate = ScalingConfig::new();
-        candidate.set(TaskId(0), 8, 1.0);
+        let current = dv(1, 20);
+        let candidate = dv(8, 20);
         let planner = Planner {
             mode: PlannerMode::ConservativeTps {
                 min_improvement: 0.05,
@@ -305,10 +316,8 @@ mod tests {
     #[test]
     fn atom_s_clamps_drastic_changes() {
         let binding = setup(2000);
-        let mut current = ScalingConfig::new();
-        current.set(TaskId(0), 1, 1.0);
-        let mut candidate = ScalingConfig::new();
-        candidate.set(TaskId(0), 8, 1.0); // 8x jump in total CPU
+        let current = dv(1, 20);
+        let candidate = dv(8, 20); // 8x jump in total CPU
         let planner = Planner {
             mode: PlannerMode::ConservativeShare {
                 max_relative_change: 0.5,
@@ -318,7 +327,7 @@ mod tests {
         };
         let plan = planner.plan(&binding, &binding.model, candidate, &current);
         let d = plan.get(TaskId(0)).unwrap();
-        let total = d.replicas as f64 * d.cpu_share;
+        let total = d.replicas as f64 * d.share();
         // Moves toward 8 cores but only by the bounded step (up to the
         // granularity of one whole replica, since replica counts are
         // integers).
@@ -326,8 +335,7 @@ mod tests {
         assert!(total > 1.0, "must still improve");
         assert!(total < 4.0, "far below the 8-core target");
         // A modest change passes untouched.
-        let mut modest = ScalingConfig::new();
-        modest.set(TaskId(0), 1, 1.0);
+        let modest = dv(1, 20);
         let plan = planner.plan(&binding, &binding.model, modest.clone(), &current);
         assert_eq!(plan, modest);
     }

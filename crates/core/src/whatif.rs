@@ -10,7 +10,7 @@
 
 use atom_cluster::WindowReport;
 use atom_lqn::bottleneck::{analyze, BottleneckReport};
-use atom_lqn::{LqnError, ScalingConfig};
+use atom_lqn::{DecisionVector, LqnError, ScalingConfig};
 
 use crate::analyzer::WorkloadAnalyzer;
 use crate::binding::ModelBinding;
@@ -78,6 +78,21 @@ pub fn what_if(
             bottlenecks,
         }
     })
+}
+
+/// [`what_if`] for a lattice [`DecisionVector`] — the controller-native
+/// candidate type. The plain [`what_if`] stays available for arbitrary
+/// float-share configs (operators exploring off-grid hypotheticals).
+///
+/// # Errors
+///
+/// As for [`what_if`].
+pub fn what_if_decision(
+    binding: &ModelBinding,
+    report: &WindowReport,
+    decision: &DecisionVector,
+) -> Result<Prediction, LqnError> {
+    what_if(binding, report, &decision.to_config())
 }
 
 #[cfg(test)]
@@ -161,6 +176,18 @@ mod tests {
         let p = what_if(&b, &r, &cfg).unwrap();
         assert!((p.tps - 10.0).abs() < 1.0, "tps {}", p.tps);
         assert!(p.bottlenecks.root_bottlenecks.is_empty());
+    }
+
+    #[test]
+    fn decision_wrapper_matches_exact_config_path() {
+        let b = binding();
+        let r = report(200);
+        let mut d = DecisionVector::new();
+        d.set(TaskId(0), 2, 15); // 2×0.75
+        let via_decision = what_if_decision(&b, &r, &d).unwrap();
+        let via_config = what_if(&b, &r, &d.to_config()).unwrap();
+        assert_eq!(via_decision.tps, via_config.tps);
+        assert_eq!(via_decision.total_cpu, via_config.total_cpu);
     }
 
     #[test]

@@ -1,14 +1,18 @@
-//! Property tests for the unified candidate-evaluation layer: parity
-//! with the direct solve path, and seed-determinism of the searches
-//! regardless of evaluator worker threads.
+//! Property tests for the unified candidate-evaluation layer and the
+//! integer-lattice candidate representation: parity with the direct
+//! solve path, losslessness of the lattice encoding, and
+//! seed-determinism of the searches regardless of evaluator worker
+//! threads.
 
 use atom_cluster::ServiceId;
-use atom_core::evaluator::{CandidateEvaluator, CANDIDATE_SOLVER};
-use atom_core::optimizer::{random_search, search_with};
-use atom_core::{ModelBinding, ObjectiveSpec, ServiceBinding};
-use atom_ga::{Budget, Evaluation, GaOptions};
-use atom_lqn::analytic::solve;
-use atom_lqn::{LqnModel, ScalingConfig, TaskId};
+use atom_core::evaluator::CandidateEvaluator;
+use atom_core::optimizer::{
+    decode, lattice_genome, random_search, search_with, share_index_bounds,
+};
+use atom_core::solver::{solve, SolverOptions};
+use atom_core::{DecisionVector, ModelBinding, ObjectiveSpec, ServiceBinding, SHARE_STEP};
+use atom_ga::{Budget, Evaluation, GaOptions, GeneValue};
+use atom_lqn::{LqnModel, TaskId};
 use proptest::prelude::*;
 
 fn setup(users: usize, demand_ms: f64) -> (ModelBinding, ObjectiveSpec) {
@@ -53,22 +57,25 @@ fn setup(users: usize, demand_ms: f64) -> (ModelBinding, ObjectiveSpec) {
 }
 
 /// The retired clone-per-candidate path, for parity checks.
-fn direct(binding: &ModelBinding, obj: &ObjectiveSpec, config: &ScalingConfig) -> Evaluation {
+fn direct(binding: &ModelBinding, obj: &ObjectiveSpec, decision: &DecisionVector) -> Evaluation {
+    let config = decision.to_config();
     let mut candidate = binding.model.clone();
     if config.apply(&mut candidate).is_err() {
         return CandidateEvaluator::rejected();
     }
-    match solve(&candidate, CANDIDATE_SOLVER) {
-        Ok(sol) => obj.evaluate(binding, &candidate, config, &sol),
+    match solve(&candidate, SolverOptions::candidate()) {
+        Ok(sol) => obj.evaluate(binding, &candidate, &config, &sol),
         Err(_) => CandidateEvaluator::rejected(),
     }
 }
 
-fn config_strategy() -> impl Strategy<Value = ScalingConfig> {
-    (1usize..=8, 0.1f64..1.0, 1usize..=4, 0.1f64..2.0).prop_map(|(rw, sw, rd, sd)| {
-        let mut c = ScalingConfig::new();
-        c.set(TaskId(0), rw, sw).set(TaskId(1), rd, sd);
-        c
+/// Lattice candidates within the test binding's bounds: web share
+/// indices 2..=20 (0.1..=1.0), db 2..=40 (0.1..=2.0).
+fn decision_strategy() -> impl Strategy<Value = DecisionVector> {
+    (1usize..=8, 2usize..=20, 1usize..=4, 2usize..=40).prop_map(|(rw, iw, rd, id)| {
+        let mut d = DecisionVector::new();
+        d.set(TaskId(0), rw, iw).set(TaskId(1), rd, id);
+        d
     })
 }
 
@@ -79,21 +86,81 @@ proptest! {
     /// direct clone-and-solve path bitwise, at any worker count.
     #[test]
     fn batched_evaluator_matches_direct_path(
-        configs in proptest::collection::vec(config_strategy(), 1..12),
+        decisions in proptest::collection::vec(decision_strategy(), 1..12),
         users in 50usize..1500,
         workers in 1usize..5,
     ) {
         let (binding, obj) = setup(users, 8.0);
         let expect: Vec<Evaluation> =
-            configs.iter().map(|c| direct(&binding, &obj, c)).collect();
+            decisions.iter().map(|d| direct(&binding, &obj, d)).collect();
         let got = CandidateEvaluator::new(&binding, &binding.model, &obj)
             .with_workers(workers)
-            .evaluate_batch(&configs);
+            .evaluate_batch(&decisions);
         prop_assert_eq!(got, expect);
     }
 
-    /// The GA search is bitwise deterministic in its seed regardless of
-    /// how many worker threads the evaluator fans batches over.
+    /// Every decision round-trips losslessly through the actuator
+    /// config: `to_config` then `try_of` is the identity, `quantize`
+    /// agrees, and the denoted shares are exact grid multiples.
+    #[test]
+    fn decision_config_roundtrip_is_lossless(decision in decision_strategy()) {
+        let config = decision.to_config();
+        let back = DecisionVector::try_of(&config);
+        prop_assert_eq!(back.as_ref(), Some(&decision));
+        prop_assert_eq!(&DecisionVector::quantize(&config), &decision);
+        for (task, d) in decision.iter() {
+            let share = config.get(task).unwrap().cpu_share;
+            prop_assert_eq!(share, d.share_idx as f64 * SHARE_STEP);
+        }
+        prop_assert!(
+            (decision.total_cpu_share() - config.total_cpu_share()).abs() < 1e-9
+        );
+    }
+
+    /// Any gene vector inside the lattice genome's bounds decodes to a
+    /// decision exactly on the share grid — no quantisation happens
+    /// after decoding, so GA offspring are memo keys by construction.
+    #[test]
+    fn decoded_genome_lands_exactly_on_the_share_grid(
+        rw in 1i64..=8, iw in 2i64..=20, rd in 1i64..=4, id in 2i64..=40,
+    ) {
+        let (binding, _) = setup(100, 8.0);
+        let scalable: Vec<_> = binding.scalable().collect();
+        let genome = lattice_genome(&scalable);
+        prop_assert_eq!(genome.len(), 4);
+        for (s, chunk) in scalable.iter().zip(genome.chunks(2)) {
+            let (lo, hi) = share_index_bounds(s);
+            prop_assert!(lo >= 1 && hi >= lo);
+            // The share gene's bounds are the service's actuatable range.
+            match chunk[1] {
+                atom_ga::Gene::Int { lo: glo, hi: ghi } => {
+                    prop_assert_eq!((glo as usize, ghi as usize), (lo, hi));
+                }
+                _ => prop_assert!(false, "share gene must be an Int"),
+            }
+        }
+        let genes = vec![
+            GeneValue::Int(rw),
+            GeneValue::Int(iw),
+            GeneValue::Int(rd),
+            GeneValue::Int(id),
+        ];
+        let decision = decode(&scalable, &genes);
+        let config = decision.to_config();
+        prop_assert_eq!(DecisionVector::try_of(&config), Some(decision.clone()));
+        for (s, &(r, i)) in scalable.iter().zip(&[(rw, iw), (rd, id)]) {
+            let d = decision.get(s.task).unwrap();
+            prop_assert_eq!(d.replicas, r as usize);
+            prop_assert_eq!(d.share_idx, i as usize);
+            let share = d.share();
+            prop_assert!(share >= s.share_bounds.0 - 1e-12);
+            prop_assert!(share <= s.share_bounds.1 + 1e-12);
+        }
+    }
+
+    /// The lattice-GA search is bitwise deterministic in its seed
+    /// regardless of how many worker threads the evaluator fans batches
+    /// over: same best decision, same config, same counters.
     #[test]
     fn search_deterministic_across_worker_counts(seed in 0u64..200, users in 100usize..1200) {
         let (binding, obj) = setup(users, 8.0);
@@ -107,11 +174,14 @@ proptest! {
         let mut threaded = CandidateEvaluator::new(&binding, &binding.model, &obj)
             .with_workers(4);
         let b = search_with(&mut threaded, ga);
+        prop_assert_eq!(&a.decision, &b.decision);
         prop_assert_eq!(&a.config, &b.config);
         prop_assert_eq!(a.eval, b.eval);
         prop_assert_eq!(a.evaluations, b.evaluations);
         prop_assert_eq!(a.stats.solves, b.stats.solves);
         prop_assert_eq!(a.stats.cache_hits, b.stats.cache_hits);
+        // The winner is always an actuatable lattice point.
+        prop_assert_eq!(DecisionVector::try_of(&a.config), Some(a.decision.clone()));
     }
 
     /// Random search stays deterministic in its seed through the
@@ -121,7 +191,7 @@ proptest! {
         let (binding, obj) = setup(400, 8.0);
         let a = random_search(&binding, &binding.model, &obj, 60, seed);
         let b = random_search(&binding, &binding.model, &obj, 60, seed);
-        prop_assert_eq!(&a.config, &b.config);
+        prop_assert_eq!(&a.decision, &b.decision);
         prop_assert_eq!(a.eval, b.eval);
     }
 }

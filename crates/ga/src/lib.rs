@@ -166,19 +166,36 @@ pub struct GaOptions {
     pub budget: Budget,
     /// RNG seed.
     pub seed: u64,
+    /// Per-generation population dedup (niching): a bred child whose
+    /// genome already appears among this generation's earlier children
+    /// is re-mutated (and, as a last resort, replaced by a random
+    /// immigrant) so each batch is spent on *distinct* candidates. Most
+    /// effective with all-integer (lattice) genomes, where converging
+    /// populations otherwise collapse onto a handful of identical
+    /// vectors. Duplicates *across* generations (including children
+    /// that reproduce an elite) are deliberately untouched — those are
+    /// what a candidate-evaluation memo serves for free.
+    pub niching: bool,
 }
 
+/// Defaults tuned for ATOM's integer-lattice decision genomes under
+/// small evaluation budgets (a few hundred solves per window): a
+/// compact population with mild mutation converges within the budget,
+/// which both finds better configurations and makes late generations
+/// re-propose already-evaluated lattice points — exactly what a
+/// memoised evaluator serves for free.
 impl Default for GaOptions {
     fn default() -> Self {
         GaOptions {
-            population: 40,
+            population: 16,
             elite: 2,
             tournament: 3,
             crossover_rate: 0.9,
-            mutation_rate: 0.15,
+            mutation_rate: 0.06,
             tolerance: 0.0,
             budget: Budget::Evaluations(2_000),
             seed: 1,
+            niching: false,
         }
     }
 }
@@ -230,12 +247,28 @@ fn crossover(
         .zip(a.iter().zip(b))
         .map(|(g, (&va, &vb))| match g {
             Gene::Int { .. } => {
-                // Uniform crossover for integers.
-                if rng.bernoulli(0.5) {
-                    va
-                } else {
-                    vb
+                // Lattice recombination: mostly inherit one parent's
+                // exact coordinate (uniform crossover), occasionally
+                // sample the (slightly extended) integer segment between
+                // the parents — the integer analogue of BLX. Offspring
+                // land exactly on the lattice by construction, and the
+                // parental-pick branch keeps child genes at coordinates
+                // the population has already visited — which is what
+                // lets converging populations collide in a
+                // candidate-evaluation memo instead of scattering into
+                // fresh in-between points every generation.
+                let (x, y) = (va.as_i64(), vb.as_i64());
+                let (lo, hi) = (x.min(y), x.max(y));
+                if lo == hi {
+                    return clamp_value(g, GeneValue::Int(lo));
                 }
+                if rng.bernoulli(0.8) {
+                    let keep = if rng.bernoulli(0.5) { x } else { y };
+                    return clamp_value(g, GeneValue::Int(keep));
+                }
+                let ext = 0.1 * (hi - lo) as f64;
+                let sample = rng.uniform_in(lo as f64 - ext, hi as f64 + ext).round();
+                clamp_value(g, GeneValue::Int(sample as i64))
             }
             Gene::Float { .. } => {
                 // BLX-ish blend: sample in the (slightly extended) segment.
@@ -255,8 +288,14 @@ fn mutate(genome: &[Gene], values: &mut [GeneValue], rate: f64, rng: &mut SimRng
         }
         *v = match *g {
             Gene::Int { lo, hi } => {
-                if rng.bernoulli(0.5) {
-                    // ±1 step: local move, crucial for replica counts.
+                if rng.bernoulli(0.9) {
+                    // ±1 lattice step: the local move that dominates
+                    // integer mutation. Walking the lattice one step at
+                    // a time keeps a converging population inside the
+                    // neighbourhood it has already evaluated — which is
+                    // what lets a candidate-evaluation memo serve
+                    // repeat visits — while the occasional full reset
+                    // below retains global exploration.
                     let step = if rng.bernoulli(0.5) { 1 } else { -1 };
                     clamp_value(g, GeneValue::Int(v.as_i64() + step))
                 } else {
@@ -389,6 +428,35 @@ where
                 pop[pa].0.clone()
             };
             mutate(genome, &mut child, options.mutation_rate, &mut rng);
+            if options.niching {
+                // Re-mutate duplicates of earlier children so each
+                // generation's batch is spent on distinct candidates;
+                // after a few failed attempts, replace with a random
+                // immigrant so the loop always terminates. Only
+                // *siblings* are deduplicated: a child that reproduces
+                // an elite (or any earlier generation's genome) is kept
+                // as-is — it costs nothing under a memoised evaluator
+                // and re-mutating it would inject noise exactly where
+                // the population is converging.
+                let is_dup = |c: &[GeneValue], kids: &[Vec<GeneValue>]| {
+                    kids.iter().any(|g| g.as_slice() == c)
+                };
+                let mut attempts = 0;
+                while attempts < 8 && is_dup(&child, &children) {
+                    mutate(
+                        genome,
+                        &mut child,
+                        options.mutation_rate.max(0.25),
+                        &mut rng,
+                    );
+                    attempts += 1;
+                }
+                attempts = 0;
+                while attempts < 8 && is_dup(&child, &children) {
+                    child = genome.iter().map(|g| random_value(g, &mut rng)).collect();
+                    attempts += 1;
+                }
+            }
             children.push(child);
         }
         let child_evals = eval_batch(&children, &mut evaluations);
@@ -573,8 +641,8 @@ mod tests {
 
     #[test]
     fn divisible_evaluation_budget_is_exact() {
-        // 40 initial + 38 children per generation: a budget of
-        // 40 + 20×38 = 800 lands exactly on a generation boundary.
+        // 16 initial + 14 children per generation: a budget of
+        // 16 + 56×14 = 800 lands exactly on a generation boundary.
         let genome = sphere_genome(2);
         let result = optimize(
             &genome,
@@ -585,7 +653,7 @@ mod tests {
             |_| Evaluation::feasible(0.0),
         );
         assert_eq!(result.evaluations, 800);
-        assert_eq!(result.generations, 20);
+        assert_eq!(result.generations, 56);
     }
 
     #[test]
@@ -687,6 +755,85 @@ mod tests {
         for w in result.history.windows(2) {
             assert!(w[1] >= w[0] - 1e-12, "elitism must not regress: {w:?}");
         }
+    }
+
+    #[test]
+    fn int_crossover_of_identical_parents_reproduces_them() {
+        // Lattice blend must keep a converged pair on its grid point —
+        // the property that makes offspring cache-aligned.
+        let genome = vec![Gene::Int { lo: 0, hi: 100 }, Gene::Int { lo: 1, hi: 40 }];
+        let parent = vec![GeneValue::Int(42), GeneValue::Int(7)];
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..50 {
+            assert_eq!(crossover(&genome, &parent, &parent, &mut rng), parent);
+        }
+    }
+
+    #[test]
+    fn int_crossover_stays_integer_and_in_bounds() {
+        let genome = vec![Gene::Int { lo: 0, hi: 20 }];
+        let a = vec![GeneValue::Int(3)];
+        let b = vec![GeneValue::Int(17)];
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..200 {
+            let child = crossover(&genome, &a, &b, &mut rng);
+            match child[0] {
+                GeneValue::Int(v) => assert!((0..=20).contains(&v), "out of bounds: {v}"),
+                GeneValue::Float(v) => panic!("int gene produced float {v}"),
+            }
+        }
+    }
+
+    #[test]
+    fn niching_removes_within_generation_duplicates() {
+        // A tiny all-integer lattice forces collisions; with niching on,
+        // each generation's batch must be duplicate-free whenever the
+        // lattice has at least population-many points.
+        let genome = vec![Gene::Int { lo: 0, hi: 9 }, Gene::Int { lo: 0, hi: 9 }];
+        let options = GaOptions {
+            population: 20,
+            budget: Budget::Generations(10),
+            niching: true,
+            seed: 3,
+            ..Default::default()
+        };
+        let mut first = true;
+        optimize_batched(&genome, options, |batch| {
+            if !first {
+                // Children of one generation: pairwise distinct.
+                for i in 0..batch.len() {
+                    for j in 0..i {
+                        assert_ne!(batch[i], batch[j], "duplicate bred at {i}/{j}");
+                    }
+                }
+            }
+            first = false;
+            batch
+                .iter()
+                .map(|g| Evaluation::feasible(-g.iter().map(|v| v.as_f64().powi(2)).sum::<f64>()))
+                .collect()
+        });
+    }
+
+    #[test]
+    fn niching_is_deterministic_in_seed() {
+        let genome = vec![Gene::Int { lo: 0, hi: 30 }, Gene::Int { lo: 1, hi: 15 }];
+        let run = || {
+            optimize(
+                &genome,
+                GaOptions {
+                    budget: Budget::Evaluations(400),
+                    niching: true,
+                    seed: 11,
+                    ..Default::default()
+                },
+                |g| Evaluation::feasible(-(g[0].as_f64() - 12.0).powi(2) - g[1].as_f64()),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best_values, b.best_values);
+        assert_eq!(a.history, b.history);
     }
 
     #[test]

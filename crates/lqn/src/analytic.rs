@@ -39,16 +39,18 @@ use crate::model::{LqnModel, TaskKind};
 use crate::solution::LqnSolution;
 
 /// Options for [`solve`].
+///
+/// The struct is `#[non_exhaustive]` so fields can be added without
+/// breaking downstream crates: construct via [`SolverOptions::default`]
+/// or [`SolverOptions::candidate`] and adjust with the `with_*` builders.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct SolverOptions {
     /// Budget of *inner* fixed-point iterations per bisection probe.
     pub max_iterations: usize,
     /// Convergence tolerance: relative, applied to the inner waits and
     /// the outer bisection interval.
     pub tolerance: f64,
-    /// Kept for API stability; the bisection solver no longer requires
-    /// damping (must stay in `(0, 1]`).
-    pub damping: f64,
     /// Optional client-throughput hint, typically the solution of a
     /// *similar* configuration (e.g. the nearest cached candidate in
     /// `atom-core`'s evaluator). The solver probes a narrow bracket
@@ -65,9 +67,41 @@ impl Default for SolverOptions {
         SolverOptions {
             max_iterations: 20_000,
             tolerance: 1e-9,
-            damping: 1.0,
             warm_start: None,
         }
+    }
+}
+
+impl SolverOptions {
+    /// The candidate-evaluation preset used for every GA/planner/what-if
+    /// solve (previously the `CANDIDATE_SOLVER` constant duplicated in
+    /// `atom-core`): tight tolerance so objective comparisons between
+    /// near-identical candidates are trustworthy, and an iteration cap
+    /// that extreme GA candidates cannot exhaust in practice.
+    pub const fn candidate() -> Self {
+        SolverOptions {
+            max_iterations: 8_000,
+            tolerance: 1e-7,
+            warm_start: None,
+        }
+    }
+
+    /// Returns the options with the given warm-start hint.
+    pub const fn with_warm_start(mut self, hint: Option<f64>) -> Self {
+        self.warm_start = hint;
+        self
+    }
+
+    /// Returns the options with the given inner-iteration budget.
+    pub const fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Returns the options with the given convergence tolerance.
+    pub const fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
     }
 }
 
@@ -190,11 +224,6 @@ pub fn solve_with(
     options: SolverOptions,
     workspace: &mut SolverWorkspace,
 ) -> Result<LqnSolution, LqnError> {
-    if !(options.damping > 0.0 && options.damping <= 1.0) {
-        return Err(LqnError::InvalidParameter {
-            what: format!("damping must be in (0, 1], got {}", options.damping),
-        });
-    }
     if options.tolerance <= 0.0 || options.tolerance.is_nan() {
         return Err(LqnError::InvalidParameter {
             what: "tolerance must be positive".into(),
@@ -830,22 +859,20 @@ mod tests {
     #[test]
     fn rejects_bad_options() {
         let model = repairman(0.1, 1, 1, 1.0);
-        let opts = SolverOptions {
-            damping: 1.5,
-            ..SolverOptions::default()
-        };
+        let opts = SolverOptions::default().with_tolerance(0.0);
         assert!(matches!(
             solve(&model, opts),
             Err(LqnError::InvalidParameter { .. })
         ));
-        let opts = SolverOptions {
-            tolerance: 0.0,
-            ..SolverOptions::default()
-        };
-        assert!(matches!(
-            solve(&model, opts),
-            Err(LqnError::InvalidParameter { .. })
-        ));
+    }
+
+    #[test]
+    fn candidate_preset_solves_like_default() {
+        let model = repairman(0.05, 2, 50, 1.0);
+        let a = solve(&model, SolverOptions::default()).unwrap();
+        let b = solve(&model, SolverOptions::candidate()).unwrap();
+        let rel = (a.client_throughput - b.client_throughput).abs() / a.client_throughput;
+        assert!(rel < 1e-4, "presets disagree: {rel}");
     }
 
     #[test]

@@ -63,5 +63,5 @@ pub mod solution;
 pub use error::LqnError;
 pub use format::{from_lqn_text, to_lqn_text};
 pub use model::{EntryId, LqnModel, ProcessorId, TaskId};
-pub use scaling::ScalingConfig;
+pub use scaling::{DecisionVector, ScalingConfig, TaskDecision, SHARE_STEP};
 pub use solution::LqnSolution;

@@ -12,11 +12,220 @@
 //! clones replicated tasks).
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::LqnError;
 use crate::model::{LqnModel, TaskId};
+
+/// CPU-share actuator resolution, in cores (50 millicores).
+///
+/// Every share the system can actually set lies on this grid: CFS quotas
+/// are applied in discrete millicore steps, and ATOM's controller
+/// actuates in 50-millicore increments. [`DecisionVector`] stores shares
+/// as indices on this lattice, so candidates that denote the same
+/// actuation are *identical values* — not merely ε-close floats.
+pub const SHARE_STEP: f64 = 0.05;
+
+/// One task's decision on the actuation lattice: an integer replica
+/// count and a CPU share expressed as a grid index
+/// (`share = share_idx × SHARE_STEP`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskDecision {
+    /// Number of replicas (`r_i ∈ 1..=Q_i`).
+    pub replicas: usize,
+    /// CPU share per replica as a [`SHARE_STEP`] grid index (`≥ 1`).
+    pub share_idx: usize,
+}
+
+impl TaskDecision {
+    /// The decision's CPU share in cores (`share_idx × SHARE_STEP`).
+    pub fn share(&self) -> f64 {
+        self.share_idx as f64 * SHARE_STEP
+    }
+
+    /// Total CPU of this decision in grid steps (`replicas × share_idx`),
+    /// exact integer arithmetic.
+    pub fn alloc_steps(&self) -> usize {
+        self.replicas * self.share_idx
+    }
+}
+
+/// The integer-lattice decision vector: one candidate scaling decision,
+/// exactly as the actuator can execute it.
+///
+/// This is the single candidate currency across the stack: the GA breeds
+/// lattice genomes that decode to `DecisionVector`s, the candidate
+/// evaluator memoises solves keyed on them (`Eq`/`Ord`/`Hash` are exact —
+/// no float-epsilon pitfalls), the planner's quick fixes move in index
+/// space, and the controller turns the planned vector into actuator
+/// shares via [`DecisionVector::to_config`].
+///
+/// Conversions to/from [`ScalingConfig`]:
+///
+/// * [`DecisionVector::to_config`] → [`DecisionVector::try_of`] is
+///   **lossless**: a config produced from a vector converts back to the
+///   identical vector (shares are computed as `idx × SHARE_STEP` both
+///   ways).
+/// * [`DecisionVector::quantize`] snaps an arbitrary config (e.g. shares
+///   observed from the cluster) to the nearest lattice point, clamping
+///   the index to ≥ 1 so the result stays applicable.
+///
+/// # Examples
+///
+/// ```
+/// use atom_lqn::{DecisionVector, ScalingConfig, TaskId, SHARE_STEP};
+///
+/// let mut dv = DecisionVector::new();
+/// dv.set(TaskId(0), 3, 10); // 3 replicas × 0.50 cores
+/// let cfg = dv.to_config();
+/// assert_eq!(cfg.get(TaskId(0)).unwrap().cpu_share, 10.0 * SHARE_STEP);
+/// assert_eq!(DecisionVector::try_of(&cfg), Some(dv.clone()));
+/// assert_eq!(DecisionVector::quantize(&cfg), dv);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DecisionVector {
+    // Sorted by task id, mirroring ScalingConfig's representation.
+    decisions: Vec<(TaskId, TaskDecision)>,
+}
+
+impl DecisionVector {
+    /// Creates an empty decision vector.
+    pub fn new() -> Self {
+        DecisionVector::default()
+    }
+
+    /// Sets the decision for one task, replacing any previous one.
+    pub fn set(&mut self, task: TaskId, replicas: usize, share_idx: usize) -> &mut Self {
+        let d = TaskDecision {
+            replicas,
+            share_idx,
+        };
+        match self.decisions.binary_search_by_key(&task, |&(t, _)| t) {
+            Ok(i) => self.decisions[i].1 = d,
+            Err(i) => self.decisions.insert(i, (task, d)),
+        }
+        self
+    }
+
+    /// Decision for one task, if present.
+    pub fn get(&self, task: TaskId) -> Option<TaskDecision> {
+        self.decisions
+            .binary_search_by_key(&task, |&(t, _)| t)
+            .ok()
+            .map(|i| self.decisions[i].1)
+    }
+
+    /// Iterates over `(task, decision)` pairs in task order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, TaskDecision)> + '_ {
+        self.decisions.iter().copied()
+    }
+
+    /// Number of task decisions.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Total allocated CPU in grid steps (`Σ_i r_i · idx_i`) — the exact
+    /// integer form of `Σ_i r_i · s_i / SHARE_STEP`.
+    pub fn total_steps(&self) -> usize {
+        self.decisions.iter().map(|(_, d)| d.alloc_steps()).sum()
+    }
+
+    /// Total allocated CPU capacity `C = Σ_i r_i · s_i` in cores.
+    pub fn total_cpu_share(&self) -> f64 {
+        self.total_steps() as f64 * SHARE_STEP
+    }
+
+    /// The float-share configuration this vector denotes (what the
+    /// actuator executes). Lossless: [`DecisionVector::try_of`] on the
+    /// result returns `self` again.
+    pub fn to_config(&self) -> ScalingConfig {
+        let mut cfg = ScalingConfig::new();
+        for &(task, d) in &self.decisions {
+            cfg.set(task, d.replicas, d.share());
+        }
+        cfg
+    }
+
+    /// The exact lattice vector of `config`, if every share lies on the
+    /// [`SHARE_STEP`] grid (bitwise — the share must equal
+    /// `idx × SHARE_STEP` for some positive integer `idx`). Returns
+    /// `None` for off-grid configs; use [`DecisionVector::quantize`] to
+    /// snap those.
+    pub fn try_of(config: &ScalingConfig) -> Option<Self> {
+        let mut dv = DecisionVector::new();
+        for (task, d) in config.iter() {
+            let idx = (d.cpu_share / SHARE_STEP).round();
+            if idx < 1.0 || idx as usize as f64 * SHARE_STEP != d.cpu_share {
+                return None;
+            }
+            dv.set(task, d.replicas, idx as usize);
+        }
+        Some(dv)
+    }
+
+    /// Snaps `config` to the nearest lattice point (shares rounded to the
+    /// closest [`SHARE_STEP`] multiple, clamped to index ≥ 1 so the
+    /// result remains applicable). Lossy for off-grid shares; the
+    /// identity for configs produced by [`DecisionVector::to_config`].
+    pub fn quantize(config: &ScalingConfig) -> Self {
+        let mut dv = DecisionVector::new();
+        for (task, d) in config.iter() {
+            let idx = (d.cpu_share / SHARE_STEP).round().max(1.0) as usize;
+            dv.set(task, d.replicas, idx);
+        }
+        dv
+    }
+
+    /// Applies the decision to a model (via the equivalent
+    /// [`ScalingConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ScalingConfig::apply`].
+    pub fn apply(&self, model: &mut LqnModel) -> Result<(), LqnError> {
+        for &(task, d) in &self.decisions {
+            model.set_replicas(task, d.replicas)?;
+            model.set_cpu_share(task, Some(d.share()))?;
+        }
+        Ok(())
+    }
+
+    /// Whether every task's allocation in `self` is no larger than in
+    /// `other`: same task set, component-wise `replicas ≤` and
+    /// `share_idx ≤`. Model throughput is monotone in both, so a
+    /// dominated vector's throughput lower-bounds the dominating one's —
+    /// the property the candidate evaluator's warm-start hints rely on.
+    pub fn dominated_by(&self, other: &DecisionVector) -> bool {
+        self.decisions.len() == other.decisions.len()
+            && self
+                .decisions
+                .iter()
+                .zip(&other.decisions)
+                .all(|(&(ta, da), &(tb, db))| {
+                    ta == tb && da.replicas <= db.replicas && da.share_idx <= db.share_idx
+                })
+    }
+}
+
+impl fmt::Display for DecisionVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (task, d)) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "t{}:{}x{:.2}", task.0, d.replicas, d.share())?;
+        }
+        Ok(())
+    }
+}
 
 /// A per-task scaling decision: replicas and per-replica CPU share.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -233,5 +442,78 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: ScalingConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn decision_vector_roundtrips_losslessly() {
+        let (_, a, b) = model();
+        let mut dv = DecisionVector::new();
+        dv.set(a, 2, 10).set(b, 4, 7); // 2×0.50, 4×0.35
+        let cfg = dv.to_config();
+        assert_eq!(DecisionVector::try_of(&cfg), Some(dv.clone()));
+        assert_eq!(DecisionVector::quantize(&cfg), dv);
+        assert_eq!(cfg.get(a).unwrap().cpu_share, 0.5);
+        assert!((cfg.get(b).unwrap().cpu_share - 0.35).abs() < 1e-15);
+    }
+
+    #[test]
+    fn off_grid_configs_are_rejected_by_try_of_but_quantized() {
+        let (_, a, _) = model();
+        let mut cfg = ScalingConfig::new();
+        cfg.set(a, 1, 0.33);
+        assert_eq!(DecisionVector::try_of(&cfg), None);
+        let dv = DecisionVector::quantize(&cfg);
+        assert_eq!(dv.get(a).unwrap().share_idx, 7); // 0.35
+                                                     // Quantisation clamps tiny shares up to the first grid point.
+        let mut tiny = ScalingConfig::new();
+        tiny.set(a, 1, 0.01);
+        assert_eq!(DecisionVector::quantize(&tiny).get(a).unwrap().share_idx, 1);
+    }
+
+    #[test]
+    fn decision_vector_apply_matches_config_apply() {
+        let (mut m, a, b) = model();
+        let mut dv = DecisionVector::new();
+        dv.set(a, 3, 12).set(b, 1, 20);
+        dv.apply(&mut m).unwrap();
+        assert_eq!(m.task(a).replicas, 3);
+        assert_eq!(m.task(a).cpu_share, Some(12.0 * SHARE_STEP));
+        assert_eq!(m.task(b).cpu_share, Some(1.0));
+    }
+
+    #[test]
+    fn domination_is_componentwise() {
+        let (_, a, b) = model();
+        let mut lo = DecisionVector::new();
+        lo.set(a, 1, 5).set(b, 2, 10);
+        let mut hi = DecisionVector::new();
+        hi.set(a, 2, 5).set(b, 2, 11);
+        assert!(lo.dominated_by(&hi));
+        assert!(!hi.dominated_by(&lo));
+        assert!(lo.dominated_by(&lo));
+        // Mismatched task sets never dominate.
+        let mut partial = DecisionVector::new();
+        partial.set(a, 9, 99);
+        assert!(!lo.dominated_by(&partial));
+        assert!(!partial.dominated_by(&hi));
+    }
+
+    #[test]
+    fn total_steps_is_exact_integer_allocation() {
+        let (_, a, b) = model();
+        let mut dv = DecisionVector::new();
+        dv.set(a, 3, 7).set(b, 2, 10);
+        assert_eq!(dv.total_steps(), 3 * 7 + 2 * 10);
+        assert!((dv.total_cpu_share() - dv.to_config().total_cpu_share()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decision_vector_serde_roundtrip() {
+        let (_, a, _) = model();
+        let mut dv = DecisionVector::new();
+        dv.set(a, 2, 15);
+        let json = serde_json::to_string(&dv).unwrap();
+        let back: DecisionVector = serde_json::from_str(&json).unwrap();
+        assert_eq!(dv, back);
     }
 }
