@@ -1,0 +1,107 @@
+//! `chaos` — the fault-injection showdown: ATOM vs UH vs UV under a
+//! deterministic schedule of crashes, outages, telemetry dropouts, and
+//! actuation failures.
+//!
+//! ```text
+//! chaos [--smoke] [--quick] [--seed N] [--out DIR]
+//! ```
+//!
+//! `--smoke` runs the quick variant and exits non-zero if ATOM wedges
+//! (sits idle while under-provisioned for more than the allowed streak),
+//! never scales at all, or the cluster ends the run without restoring
+//! availability — CI's guard that the degraded-mode control loop keeps
+//! functioning under faults.
+
+use atom_bench::figures::chaos;
+use atom_bench::HarnessOptions;
+
+fn smoke(opts: &HarnessOptions) {
+    let results = chaos::run_matrix(opts, 6, 120.0);
+    let atom = results
+        .iter()
+        .find(|r| r.scaler == "ATOM")
+        .expect("matrix includes ATOM");
+
+    let mut failures = Vec::new();
+    if atom.actions.is_empty() {
+        failures.push("ATOM issued no scale actions over the whole chaos run".to_string());
+    }
+    let idle = chaos::longest_idle_underprovisioned(atom);
+    if idle > chaos::MAX_IDLE_UNDERPROVISIONED {
+        failures.push(format!(
+            "ATOM wedged: {idle} consecutive under-provisioned windows without an action \
+             (allowed {})",
+            chaos::MAX_IDLE_UNDERPROVISIONED
+        ));
+    }
+    for r in &results {
+        let final_avail = chaos::final_window_availability(r);
+        if final_avail < 0.99 {
+            failures.push(format!(
+                "{}: availability not restored by the final window ({final_avail:.4})",
+                r.scaler
+            ));
+        }
+        let injected_failures: usize = r.reports.iter().map(|w| w.failed_actuations).sum();
+        eprintln!(
+            "smoke: {} actions={} failed_actuations={} final_avail={:.4}",
+            r.scaler,
+            r.actions.len(),
+            injected_failures,
+            final_avail
+        );
+    }
+
+    if failures.is_empty() {
+        println!(
+            "smoke OK: ATOM survived the schedule ({} actions, idle streak {} <= {})",
+            atom.actions.len(),
+            idle,
+            chaos::MAX_IDLE_UNDERPROVISIONED
+        );
+    } else {
+        for msg in &failures {
+            eprintln!("smoke FAILED: {msg}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let mut opts = HarnessOptions::default();
+    let mut run_smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => {
+                run_smoke = true;
+                opts.quick = true;
+            }
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--out" => {
+                opts.out_dir = args.next().expect("--out needs a directory").into();
+            }
+            "--help" | "-h" => {
+                println!("usage: chaos [--smoke] [--quick] [--seed N] [--out DIR]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`; run with --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    if run_smoke {
+        smoke(&opts);
+        return;
+    }
+    std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
+    chaos::run(&opts);
+    println!("\nartefacts written to {}", opts.out_dir.display());
+}

@@ -8,7 +8,9 @@
 //!           fig12 fig13 setup validation evaluation all
 //! ```
 
-use atom_bench::figures::{ablation, fig11, fig12, fig13, fig2, fig4, fig7, fig8910, validation};
+use atom_bench::figures::{
+    ablation, chaos, fig11, fig12, fig13, fig2, fig4, fig7, fig8910, validation,
+};
 use atom_bench::{eval, HarnessOptions};
 
 fn print_setup() {
@@ -42,7 +44,7 @@ fn main() {
                 println!(
                     "usage: repro [--quick] [--seed N] [--out DIR] <command>...\n\
                      commands: setup fig2 fig4 table3 fig5 table4 validation fig7 \
-                     fig8 fig9 fig10 evaluation fig11 fig12 fig13 ablation all"
+                     fig8 fig9 fig10 evaluation fig11 fig12 fig13 ablation chaos all"
                 );
                 return;
             }
@@ -52,7 +54,7 @@ fn main() {
     if commands.is_empty() {
         commands.push("all".into());
     }
-    const KNOWN: [&str; 17] = [
+    const KNOWN: [&str; 18] = [
         "setup",
         "fig2",
         "fig4",
@@ -69,6 +71,7 @@ fn main() {
         "fig12",
         "fig13",
         "ablation",
+        "chaos",
         "all",
     ];
     for c in &commands {
@@ -136,6 +139,9 @@ fn main() {
     }
     if wants("ablation") {
         ablation::run(&opts);
+    }
+    if wants("chaos") {
+        chaos::run(&opts);
     }
     println!("\nartefacts written to {}", opts.out_dir.display());
 }

@@ -56,6 +56,29 @@ pub fn run_one(
     window_secs: f64,
     opts: &HarnessOptions,
 ) -> ExperimentResult {
+    run_one_with_cluster(
+        shop,
+        workload,
+        kind,
+        windows,
+        window_secs,
+        opts,
+        ClusterOptions::new().with_seed(opts.seed),
+    )
+}
+
+/// [`run_one`] with explicit cluster options — the chaos experiment uses
+/// this to inject a fault schedule under the standard scaler wiring.
+#[allow(clippy::too_many_arguments)]
+pub fn run_one_with_cluster(
+    shop: &SockShop,
+    workload: WorkloadSpec,
+    kind: ScalerKind,
+    windows: usize,
+    window_secs: f64,
+    opts: &HarnessOptions,
+    cluster: ClusterOptions,
+) -> ExperimentResult {
     // UH cannot scale stateful services; the paper pre-allocates a full
     // core to each of them in UH scenarios.
     let spec = if kind == ScalerKind::Uh {
@@ -66,10 +89,7 @@ pub fn run_one(
     let config = ExperimentConfig {
         windows,
         window_secs,
-        cluster: ClusterOptions {
-            seed: opts.seed,
-            ..Default::default()
-        },
+        cluster,
     };
     let mut uh;
     let mut uv;

@@ -25,10 +25,7 @@ fn experiment_config(opts: &HarnessOptions) -> ExperimentConfig {
     ExperimentConfig {
         windows: opts.windows(),
         window_secs: opts.window_secs(),
-        cluster: ClusterOptions {
-            seed: opts.seed,
-            ..Default::default()
-        },
+        cluster: ClusterOptions::new().with_seed(opts.seed),
     }
 }
 

@@ -55,15 +55,8 @@ pub fn run_case(case: scenarios::MotivatingCase, opts: &HarnessOptions) -> Vec<T
             case.users,
             scenarios::THINK_TIME,
         );
-        let mut cluster = Cluster::new(
-            &spec,
-            workload,
-            ClusterOptions {
-                seed: opts.seed,
-                ..Default::default()
-            },
-        )
-        .expect("cluster");
+        let mut cluster = Cluster::new(&spec, workload, ClusterOptions::new().with_seed(opts.seed))
+            .expect("cluster");
         let mut tps = Vec::new();
         let minutes = if opts.quick { 14 } else { 30 };
         for minute in 0..minutes {

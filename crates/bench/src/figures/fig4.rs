@@ -50,13 +50,11 @@ pub fn compute(opts: &HarnessOptions) -> Fig4Result {
     let mut cluster = Cluster::new(
         &spec,
         workload,
-        ClusterOptions {
-            seed: opts.seed,
+        ClusterOptions::new()
+            .with_seed(opts.seed)
             // Real per-window CPU counters carry sampling error; this is
             // what defeats the utilisation-law regression in Fig. 4a.
-            monitor_noise: 0.08,
-            ..Default::default()
-        },
+            .with_monitor_noise(0.08),
     )
     .expect("cluster");
     cluster.set_probe(carts_db, EndpointId(0));

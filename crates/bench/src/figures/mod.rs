@@ -1,6 +1,7 @@
 //! One module per paper artefact.
 
 pub mod ablation;
+pub mod chaos;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;

@@ -50,10 +50,7 @@ pub fn run_workload(
     let mut cluster = Cluster::new(
         &spec,
         workload,
-        ClusterOptions {
-            seed: opts.seed ^ (w.pattern as u64) << 8 ^ w.users as u64,
-            ..Default::default()
-        },
+        ClusterOptions::new().with_seed(opts.seed ^ (w.pattern as u64) << 8 ^ w.users as u64),
     )
     .expect("cluster");
     cluster.run_window(if opts.quick { 120.0 } else { 300.0 });

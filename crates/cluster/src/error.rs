@@ -4,6 +4,11 @@ use std::error::Error;
 use std::fmt;
 
 /// Errors from building or controlling the simulated cluster.
+///
+/// Non-exhaustive: new failure classes (e.g. from the fault-injection
+/// subsystem) can be added without breaking downstream matches; build
+/// values with the constructor helpers.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClusterError {
     /// Referenced an id that does not exist.
@@ -26,6 +31,25 @@ pub enum ClusterError {
     },
 }
 
+impl ClusterError {
+    /// An unknown-id error for the given id kind.
+    pub fn unknown_id(kind: &'static str, id: usize) -> Self {
+        ClusterError::UnknownId { kind, id }
+    }
+
+    /// An out-of-range-parameter error.
+    pub fn invalid_parameter(what: impl Into<String>) -> Self {
+        ClusterError::InvalidParameter { what: what.into() }
+    }
+
+    /// A structurally-invalid-spec error.
+    pub fn invalid_spec(reason: impl Into<String>) -> Self {
+        ClusterError::InvalidSpec {
+            reason: reason.into(),
+        }
+    }
+}
+
 impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -45,14 +69,26 @@ mod tests {
     #[test]
     fn display_nonempty() {
         for e in [
-            ClusterError::UnknownId {
-                kind: "service",
-                id: 1,
-            },
-            ClusterError::InvalidParameter { what: "x".into() },
-            ClusterError::InvalidSpec { reason: "y".into() },
+            ClusterError::unknown_id("service", 1),
+            ClusterError::invalid_parameter("x"),
+            ClusterError::invalid_spec("y"),
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn constructors_match_variants() {
+        assert_eq!(
+            ClusterError::unknown_id("server", 3),
+            ClusterError::UnknownId {
+                kind: "server",
+                id: 3
+            }
+        );
+        assert_eq!(
+            ClusterError::invalid_parameter("p"),
+            ClusterError::InvalidParameter { what: "p".into() }
+        );
     }
 }

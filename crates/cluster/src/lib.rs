@@ -51,6 +51,7 @@ pub mod monitor;
 pub mod runtime;
 pub mod spec;
 
+pub use atom_faults::{FaultEvent, FaultKind, FaultPlan, FaultSchedule};
 pub use error::ClusterError;
 pub use monitor::WindowReport;
 pub use runtime::{Cluster, ClusterOptions, RequestTrace, ScaleAction, TraceSpan};

@@ -3,6 +3,7 @@
 
 use std::collections::VecDeque;
 
+use atom_faults::{FaultKind, FaultSchedule};
 use atom_sim::processor::{GroupId, JobId, PsProcessor};
 use atom_sim::{EventQueue, SimRng, TimeWeighted};
 use atom_workload::burstiness::Mmpp2;
@@ -13,7 +14,12 @@ use crate::monitor::WindowReport;
 use crate::spec::{AppSpec, EndpointId, ServiceId};
 
 /// Options for constructing a [`Cluster`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Non-exhaustive: build with [`ClusterOptions::new`] (or `default()`)
+/// and the `with_*` setters, so new knobs — like the fault schedule —
+/// can be added without breaking downstream construction sites.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterOptions {
     /// RNG seed (everything downstream is deterministic in it).
     pub seed: u64,
@@ -25,15 +31,57 @@ pub struct ClusterOptions {
     /// disables it. The demand-estimation experiment (Fig. 4) uses a few
     /// percent; control experiments default to exact readings.
     pub monitor_noise: f64,
+    /// Injected fault schedule (crashes, outages, monitor dropouts,
+    /// actuation failures, slow starts); empty by default. Fault events
+    /// enter the cluster's own event calendar, so a faulty run is as
+    /// deterministic in the seed as a fault-free one.
+    pub faults: FaultSchedule,
 }
 
-impl Default for ClusterOptions {
-    fn default() -> Self {
+impl ClusterOptions {
+    /// The default options: seed 1, 1 s vertical delay, exact monitor
+    /// readings, no faults.
+    pub fn new() -> Self {
         ClusterOptions {
             seed: 1,
             vertical_delay: 1.0,
             monitor_noise: 0.0,
+            faults: FaultSchedule::new(),
         }
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the vertical-scaling latency (seconds).
+    #[must_use]
+    pub fn with_vertical_delay(mut self, delay: f64) -> Self {
+        self.vertical_delay = delay;
+        self
+    }
+
+    /// Sets the relative monitor noise (0 disables).
+    #[must_use]
+    pub fn with_monitor_noise(mut self, noise: f64) -> Self {
+        self.monitor_noise = noise;
+        self
+    }
+
+    /// Sets the injected fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions::new()
     }
 }
 
@@ -47,6 +95,16 @@ pub struct ScaleAction {
     pub replicas: usize,
     /// Target CPU share per replica (cores).
     pub share: f64,
+}
+
+impl std::fmt::Display for ScaleAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "service {} -> {} x {:.2} cores",
+            self.service.0, self.replicas, self.share
+        )
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,6 +135,9 @@ struct ServiceRt {
     alloc: TimeWeighted,
     /// Busy core-seconds snapshot at the current window start.
     busy_at_window: f64,
+    /// Up indicator (1 when ≥ 1 replica is ready) — time-weighted, so
+    /// its window average is the service's availability.
+    up: TimeWeighted,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -110,6 +171,7 @@ enum Event {
     ProcessorCheck { proc: usize, generation: u64 },
     ApplyScaling { batch: usize },
     LatencyDone { inv: usize },
+    Fault { idx: usize },
 }
 
 /// One hop of a captured request trace.
@@ -165,6 +227,16 @@ pub struct Cluster {
     now: f64,
     pending_batches: Vec<Vec<ScaleAction>>,
     options: ClusterOptions,
+    // --- fault state ---
+    /// Intervals during which the monitoring plane is dark.
+    dark_intervals: Vec<(f64, f64)>,
+    /// Scaling batches dispatched before this time are dropped.
+    actuation_fail_until: f64,
+    /// Start-up delays are multiplied by `slow_start_factor` until then.
+    slow_start_until: f64,
+    slow_start_factor: f64,
+    /// Scaling batches dropped in the current window.
+    failed_actuations: usize,
     // --- window accumulators ---
     window_start: f64,
     feature_counts: Vec<u64>,
@@ -203,13 +275,17 @@ impl Cluster {
     ) -> Result<Self, ClusterError> {
         spec.validate()?;
         if workload.mix.len() != spec.features.len() {
-            return Err(ClusterError::InvalidParameter {
-                what: format!(
-                    "workload mix has {} features, app has {}",
-                    workload.mix.len(),
-                    spec.features.len()
-                ),
-            });
+            return Err(ClusterError::invalid_parameter(format!(
+                "workload mix has {} features, app has {}",
+                workload.mix.len(),
+                spec.features.len()
+            )));
+        }
+        if let Err(why) = options
+            .faults
+            .validate(spec.services.len(), spec.servers.len())
+        {
+            return Err(ClusterError::invalid_parameter(why));
         }
         let mut rng = SimRng::seed_from(options.seed);
         let mut processors: Vec<PsProcessor> = spec
@@ -241,6 +317,7 @@ impl Cluster {
                 next_replica: 0,
                 alloc: TimeWeighted::new(0.0, alloc0),
                 busy_at_window: 0.0,
+                up: TimeWeighted::new(0.0, if s.initial_replicas > 0 { 1.0 } else { 0.0 }),
             });
         }
         let mmpp = workload.burstiness.map(|b| {
@@ -266,6 +343,11 @@ impl Cluster {
             now: 0.0,
             pending_batches: Vec::new(),
             options,
+            dark_intervals: Vec::new(),
+            actuation_fail_until: 0.0,
+            slow_start_until: 0.0,
+            slow_start_factor: 1.0,
+            failed_actuations: 0,
             window_start: 0.0,
             feature_counts: vec![0; spec.features.len()],
             feature_resp_sum: vec![0.0; spec.features.len()],
@@ -289,6 +371,11 @@ impl Cluster {
             completed_trace: None,
             workload,
         };
+        // The whole fault schedule enters the calendar upfront: fault
+        // times are absolute, known, and few.
+        for (idx, e) in cluster.options.faults.events().iter().enumerate() {
+            cluster.events.push(e.time, Event::Fault { idx });
+        }
         // Spawn the initial population; future changes are scheduled
         // window by window (an unbounded upfront scan would blow up for
         // long-period or oscillating profiles).
@@ -303,8 +390,8 @@ impl Cluster {
     }
 
     /// The options the cluster was constructed with.
-    pub fn options(&self) -> ClusterOptions {
-        self.options
+    pub fn options(&self) -> &ClusterOptions {
+        &self.options
     }
 
     /// The deployed application spec.
@@ -407,11 +494,21 @@ impl Cluster {
             Event::ProcessorCheck { proc, generation } => self.processor_check(proc, generation),
             Event::ApplyScaling { batch } => {
                 let actions = std::mem::take(&mut self.pending_batches[batch]);
-                for a in actions {
-                    self.apply_action(a);
+                if self.now < self.actuation_fail_until {
+                    // The orchestration API is down: the batch is lost
+                    // (not deferred) — controllers must notice via the
+                    // report and re-issue.
+                    if !actions.is_empty() {
+                        self.failed_actuations += 1;
+                    }
+                } else {
+                    for a in actions {
+                        self.apply_action(a);
+                    }
                 }
             }
             Event::LatencyDone { inv } => self.proceed_to_calls(inv),
+            Event::Fault { idx } => self.apply_fault(idx),
         }
     }
 
@@ -482,7 +579,11 @@ impl Cluster {
             return; // retired while thinking
         }
         self.roll_subinterval();
-        self.subinterval_arrivals += 1;
+        // Scrape-based counters miss events while the monitor is dark;
+        // the in-system gauge is load-balancer state and survives.
+        if self.monitor_observing() {
+            self.subinterval_arrivals += 1;
+        }
         self.in_system += 1;
         self.in_system_tw.update(self.now, self.in_system as f64);
         self.peak_in_system = self.peak_in_system.max(self.in_system);
@@ -741,11 +842,13 @@ impl Cluster {
                 });
             }
         }
-        self.endpoint_counts[si][ei] += 1;
-        if let Some((ps, pe)) = self.probe {
-            if ps == si && pe == ei {
-                self.probe_samples
-                    .push((seen_queue as f64, self.now - arrival));
+        if self.monitor_observing() {
+            self.endpoint_counts[si][ei] += 1;
+            if let Some((ps, pe)) = self.probe {
+                if ps == si && pe == ei {
+                    self.probe_samples
+                        .push((seen_queue as f64, self.now - arrival));
+                }
             }
         }
         self.invocations[inv] = None;
@@ -774,8 +877,10 @@ impl Cluster {
     fn complete_request(&mut self, feature: usize, user: usize, arrival: f64) {
         self.in_system = self.in_system.saturating_sub(1);
         self.in_system_tw.update(self.now, self.in_system as f64);
-        self.feature_counts[feature] += 1;
-        self.feature_resp_sum[feature] += self.now - arrival;
+        if self.monitor_observing() {
+            self.feature_counts[feature] += 1;
+            self.feature_resp_sum[feature] += self.now - arrival;
+        }
         if self.users_alive.get(user).copied().unwrap_or(false) {
             let think = self.sample_think();
             self.events
@@ -824,25 +929,9 @@ impl Cluster {
             .map(|(i, _)| i)
             .collect();
         if target > live.len() {
-            let startup = self.spec.services[si].startup_delay;
+            let startup = self.spec.services[si].startup_delay * self.startup_factor();
             for _ in 0..(target - live.len()) {
-                let group = self.processors[pi].add_group(cap);
-                self.services[si].replicas.push(Replica {
-                    group,
-                    state: ReplicaState::Starting {
-                        ready_at: self.now + startup,
-                    },
-                    busy_threads: 0,
-                    queue: VecDeque::new(),
-                });
-                let replica = self.services[si].replicas.len() - 1;
-                self.events.push(
-                    self.now + startup,
-                    Event::ReplicaReady {
-                        service: si,
-                        replica,
-                    },
-                );
+                self.spawn_replica(si, self.now + startup);
             }
         } else if target < live.len() {
             // Drain the newest replicas first.
@@ -890,6 +979,20 @@ impl Cluster {
             let g = self.services[si].replicas[replica].group;
             self.processors[pi].set_group_cap(self.now, g, cap);
             self.update_alloc(si);
+            // Serve what queued while the replica was starting — without
+            // this, requests routed to a sole starting replica (the
+            // fallback path after a crash or outage) would wedge.
+            loop {
+                let svc = &mut self.services[si];
+                if svc.replicas[replica].busy_threads >= svc.threads {
+                    break;
+                }
+                let Some(next) = svc.replicas[replica].queue.pop_front() else {
+                    break;
+                };
+                svc.replicas[replica].busy_threads += 1;
+                self.begin_service(next);
+            }
         }
     }
 
@@ -900,8 +1003,216 @@ impl Cluster {
             .iter()
             .filter(|r| matches!(r.state, ReplicaState::Ready | ReplicaState::Draining))
             .count();
+        let ready = svc
+            .replicas
+            .iter()
+            .filter(|r| matches!(r.state, ReplicaState::Ready))
+            .count();
         let value = live as f64 * svc.share;
         self.services[si].alloc.update(self.now, value);
+        self.services[si]
+            .up
+            .update(self.now, if ready > 0 { 1.0 } else { 0.0 });
+    }
+
+    // ------------------------------------------------------------------
+    // fault injection
+    // ------------------------------------------------------------------
+
+    /// Current start-up delay multiplier (raised during a slow-start
+    /// fault episode).
+    fn startup_factor(&self) -> f64 {
+        if self.now < self.slow_start_until {
+            self.slow_start_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Whether the monitoring plane currently sees events (false while
+    /// inside a monitor-dropout interval).
+    fn monitor_observing(&self) -> bool {
+        !self
+            .dark_intervals
+            .iter()
+            .any(|&(s, e)| self.now >= s && self.now < e)
+    }
+
+    fn apply_fault(&mut self, idx: usize) {
+        let event = self.options.faults.events()[idx];
+        match event.kind {
+            FaultKind::ReplicaCrash { service } => self.crash_replica(service),
+            FaultKind::ServerOutage { server, duration } => self.server_outage(server, duration),
+            FaultKind::MonitorDropout { duration } => {
+                self.dark_intervals.push((self.now, self.now + duration));
+            }
+            FaultKind::ActuationFailure { duration } => {
+                self.actuation_fail_until = self.actuation_fail_until.max(self.now + duration);
+            }
+            FaultKind::SlowStart { factor, duration } => {
+                self.slow_start_factor = factor.max(1.0);
+                self.slow_start_until = self.slow_start_until.max(self.now + duration);
+            }
+            // Kinds added to the non-exhaustive enum later are ignored
+            // by this cluster version rather than crashing replays.
+            _ => {}
+        }
+    }
+
+    /// Adds a `Starting` replica to `si` that becomes ready at
+    /// `ready_at` (start-up is already factored in by the caller).
+    fn spawn_replica(&mut self, si: usize, ready_at: f64) {
+        let pi = self.services[si].server;
+        let cap = effective_cap(self.services[si].share, self.spec.services[si].parallelism);
+        let group = self.processors[pi].add_group(cap);
+        self.services[si].replicas.push(Replica {
+            group,
+            state: ReplicaState::Starting { ready_at },
+            busy_threads: 0,
+            queue: VecDeque::new(),
+        });
+        let replica = self.services[si].replicas.len() - 1;
+        self.events.push(
+            ready_at,
+            Event::ReplicaReady {
+                service: si,
+                replica,
+            },
+        );
+    }
+
+    /// Kills `replica` of `si` abruptly and returns the invocations that
+    /// were queued or executing on it; callers re-dispatch them once
+    /// replacements are arranged. Requests that already moved past the
+    /// replica's CPU stage (waiting on a downstream call or I/O) finish
+    /// normally — their state lives downstream, not in the dead
+    /// container.
+    fn fail_replica(&mut self, si: usize, replica: usize) -> Vec<usize> {
+        let pi = self.services[si].server;
+        let group = self.services[si].replicas[replica].group;
+        self.services[si].replicas[replica].state = ReplicaState::Dead;
+        self.processors[pi].set_group_cap(self.now, group, 0.0);
+        let mut displaced: Vec<usize> = self.services[si].replicas[replica]
+            .queue
+            .drain(..)
+            .collect();
+        // Jobs executing on the victim. Sorted for determinism: HashMap
+        // iteration order is arbitrary and would leak into replica
+        // selection for the re-dispatched work.
+        let mut executing: Vec<(JobId, usize)> = self.proc_jobs[pi]
+            .iter()
+            .filter(|&(_, &inv)| {
+                let i = self.invocations[inv]
+                    .as_ref()
+                    .expect("job maps to live inv");
+                i.service == si && i.replica == replica
+            })
+            .map(|(&job, &inv)| (job, inv))
+            .collect();
+        executing.sort_unstable_by_key(|&(job, _)| job);
+        self.services[si].replicas[replica].busy_threads = self.services[si].replicas[replica]
+            .busy_threads
+            .saturating_sub(executing.len());
+        for (job, inv) in executing {
+            self.processors[pi].remove_job(self.now, job);
+            self.proc_jobs[pi].remove(&job);
+            displaced.push(inv);
+        }
+        self.update_alloc(si);
+        displaced
+    }
+
+    /// Re-dispatches a displaced invocation onto a live replica (the
+    /// request is retried from the start of its CPU stage; demand is
+    /// re-sampled).
+    fn requeue_invocation(&mut self, inv: usize) {
+        let si = self.invocations[inv].as_ref().unwrap().service;
+        let replica = self.pick_replica(si);
+        {
+            let i = self.invocations[inv].as_mut().unwrap();
+            i.replica = replica;
+            i.state = InvState::Queued;
+        }
+        let svc = &mut self.services[si];
+        let can_start = matches!(
+            svc.replicas[replica].state,
+            ReplicaState::Ready | ReplicaState::Draining
+        ) && svc.replicas[replica].busy_threads < svc.threads;
+        if can_start {
+            svc.replicas[replica].busy_threads += 1;
+            self.begin_service(inv);
+        } else {
+            svc.replicas[replica].queue.push_back(inv);
+        }
+    }
+
+    /// One replica of `si` dies; the orchestrator restarts a replacement
+    /// after the (possibly slowed) start-up delay. Prefers a ready
+    /// victim — crashing a container that never served would be a no-op.
+    fn crash_replica(&mut self, si: usize) {
+        if si >= self.services.len() {
+            return;
+        }
+        let victim = {
+            let reps = &self.services[si].replicas;
+            reps.iter()
+                .position(|r| matches!(r.state, ReplicaState::Ready))
+                .or_else(|| {
+                    reps.iter()
+                        .position(|r| !matches!(r.state, ReplicaState::Dead))
+                })
+        };
+        let Some(victim) = victim else { return };
+        let displaced = self.fail_replica(si, victim);
+        // Replacement first, then re-dispatch: the service always keeps
+        // at least one live replica for pick_replica to land on.
+        let startup = self.spec.services[si].startup_delay * self.startup_factor();
+        self.spawn_replica(si, self.now + startup);
+        for inv in displaced {
+            self.requeue_invocation(inv);
+        }
+        let pi = self.services[si].server;
+        self.reschedule_processor(pi);
+    }
+
+    /// Every replica on server `pi` dies; replacements can only begin
+    /// their start-up once the server is back after `duration` seconds.
+    /// Displaced work backlogs on the starting replacements and drains
+    /// when they come up.
+    fn server_outage(&mut self, pi: usize, duration: f64) {
+        if pi >= self.processors.len() {
+            return;
+        }
+        let back_at = self.now + duration;
+        let mut displaced_all: Vec<usize> = Vec::new();
+        for si in 0..self.services.len() {
+            if self.services[si].server != pi {
+                continue;
+            }
+            let live: Vec<usize> = self.services[si]
+                .replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| !matches!(r.state, ReplicaState::Dead))
+                .map(|(i, _)| i)
+                .collect();
+            if live.is_empty() {
+                continue;
+            }
+            for &idx in &live {
+                displaced_all.extend(self.fail_replica(si, idx));
+            }
+            let startup = self.spec.services[si].startup_delay * self.startup_factor();
+            for _ in 0..live.len() {
+                self.spawn_replica(si, back_at + startup);
+            }
+        }
+        // Re-dispatch only after every service has its replacements, so
+        // cross-service calls never observe a replica-less service.
+        for inv in displaced_all {
+            self.requeue_invocation(inv);
+        }
+        self.reschedule_processor(pi);
     }
 
     // ------------------------------------------------------------------
@@ -947,14 +1258,18 @@ impl Cluster {
         let mut service_busy_cores = vec![0.0; ns];
         let mut service_alloc_cores = vec![0.0; ns];
         let mut service_replicas = vec![0; ns];
+        let mut service_ready_replicas = vec![0; ns];
         let mut service_shares = vec![0.0; ns];
+        let mut service_availability = vec![0.0; ns];
         for si in 0..ns {
             let pi = self.services[si].server;
-            self.processors[pi].advance(end);
+            // Read-only projection to `end`: advancing here would split
+            // the remaining-work arithmetic at the window boundary and
+            // make the run's dynamics depend on how it is windowed.
             let busy_now: f64 = self.services[si]
                 .replicas
                 .iter()
-                .map(|r| self.processors[pi].group_busy_core_seconds(r.group))
+                .map(|r| self.processors[pi].group_busy_core_seconds_at(end, r.group))
                 .sum();
             let busy = busy_now - self.services[si].busy_at_window;
             self.services[si].busy_at_window = busy_now;
@@ -964,10 +1279,17 @@ impl Cluster {
                 service_utilization[si] = service_busy_cores[si] / service_alloc_cores[si];
             }
             self.services[si].alloc.reset(end);
+            service_availability[si] = self.services[si].up.average(end).clamp(0.0, 1.0);
+            self.services[si].up.reset(end);
             service_replicas[si] = self.services[si]
                 .replicas
                 .iter()
-                .filter(|r| matches!(r.state, ReplicaState::Ready | ReplicaState::Draining))
+                .filter(|r| !matches!(r.state, ReplicaState::Dead))
+                .count();
+            service_ready_replicas[si] = self.services[si]
+                .replicas
+                .iter()
+                .filter(|r| matches!(r.state, ReplicaState::Ready))
                 .count();
             service_shares[si] = self.services[si].share;
         }
@@ -975,8 +1297,7 @@ impl Cluster {
         let mut server_utilization = vec![0.0; np];
         #[allow(clippy::needless_range_loop)] // parallel arrays + &mut self call
         for pi in 0..np {
-            self.processors[pi].advance(end);
-            let busy_now = self.processors[pi].busy_core_seconds();
+            let busy_now = self.processors[pi].busy_core_seconds_at(end);
             let busy = busy_now - self.server_busy_at_window[pi];
             self.server_busy_at_window[pi] = busy_now;
             server_utilization[pi] =
@@ -1003,6 +1324,17 @@ impl Cluster {
         self.users_tw.update(end, self.users_tw.current());
         self.users_tw.reset(end);
 
+        // Monitoring darkness overlapping this window; spent intervals
+        // are pruned so the scan stays O(active faults).
+        let window_start = self.window_start;
+        let dark: f64 = self
+            .dark_intervals
+            .iter()
+            .map(|&(s, e)| (e.min(end) - s.max(window_start)).max(0.0))
+            .sum();
+        self.dark_intervals.retain(|&(_, e)| e > end);
+        let monitor_dropout_fraction = (dark / span).clamp(0.0, 1.0);
+
         let report = WindowReport {
             start: self.window_start,
             end,
@@ -1014,7 +1346,9 @@ impl Cluster {
             service_busy_cores,
             service_alloc_cores,
             service_replicas,
+            service_ready_replicas,
             service_shares,
+            service_availability,
             server_utilization,
             total_tps,
             avg_users,
@@ -1022,6 +1356,8 @@ impl Cluster {
             peak_arrival_rate,
             peak_in_system,
             avg_in_system,
+            monitor_dropout_fraction,
+            failed_actuations: std::mem::take(&mut self.failed_actuations),
         };
         self.feature_resp_sum = vec![0.0; nf];
         self.window_start = end;
@@ -1457,5 +1793,195 @@ mod tests {
         // A Poisson-like closed workload would have tiny window-to-window
         // variability; the bursty one must show pronounced surges.
         assert!(cv > 0.3, "cv {cv} too small for bursty workload");
+    }
+
+    // ------------------------------------------------------------------
+    // fault injection
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn replica_crash_dips_ready_then_recovers() {
+        // Single replica, startup_delay 2 s: a crash at t=5 leaves the
+        // service unavailable on [5, 7).
+        let spec = one_service_spec(0.01, 1.0, 16);
+        let faults = FaultSchedule::new().at(5.0, FaultKind::ReplicaCrash { service: 0 });
+        let mut cluster = Cluster::new(
+            &spec,
+            constant_workload(20, 1.0),
+            ClusterOptions::new().with_faults(faults),
+        )
+        .unwrap();
+        let r = cluster.run_window(6.0);
+        // At t=6 the replacement is still starting: live but not ready.
+        assert_eq!(r.service_replicas, vec![1]);
+        assert_eq!(r.service_ready_replicas, vec![0]);
+        assert!(
+            r.service_availability[0] > 0.7 && r.service_availability[0] < 0.95,
+            "availability {}",
+            r.service_availability[0]
+        );
+        let r = cluster.run_window(60.0);
+        assert_eq!(r.service_ready_replicas, vec![1]);
+        assert!(r.service_availability[0] > 0.95);
+        assert!(r.total_tps > 0.0, "cluster must keep serving after a crash");
+    }
+
+    #[test]
+    fn server_outage_downs_everything_until_recovery() {
+        let spec = one_service_spec(0.01, 1.0, 16);
+        let faults = FaultSchedule::new().at(
+            5.0,
+            FaultKind::ServerOutage {
+                server: 0,
+                duration: 10.0,
+            },
+        );
+        let mut cluster = Cluster::new(
+            &spec,
+            constant_workload(20, 1.0),
+            ClusterOptions::new().with_faults(faults),
+        )
+        .unwrap();
+        // Down on [5, 15), replacement ready at 17: availability over
+        // [0, 20) is (5 + 3) / 20 = 0.4.
+        let r = cluster.run_window(20.0);
+        assert!(
+            (r.service_availability[0] - 0.4).abs() < 0.05,
+            "availability {}",
+            r.service_availability[0]
+        );
+        assert_eq!(r.service_replicas, vec![1]);
+        assert_eq!(r.service_ready_replicas, vec![1]);
+        let r = cluster.run_window(60.0);
+        assert!(r.total_tps > 0.0, "backlog must drain after the outage");
+        assert!(r.service_availability[0] > 0.99);
+    }
+
+    #[test]
+    fn monitor_dropout_blanks_scrapes_but_not_orchestrator_state() {
+        let spec = one_service_spec(0.01, 1.0, 16);
+        let faults = FaultSchedule::new().at(0.0, FaultKind::MonitorDropout { duration: 60.0 });
+        let mut cluster = Cluster::new(
+            &spec,
+            constant_workload(20, 1.0),
+            ClusterOptions::new().with_faults(faults),
+        )
+        .unwrap();
+        let dark = cluster.run_window(60.0);
+        assert!((dark.monitor_dropout_fraction - 1.0).abs() < 1e-9);
+        assert!(dark.degraded(0.25));
+        // Scrape-based counters saw nothing...
+        assert_eq!(dark.feature_counts, vec![0]);
+        assert_eq!(dark.total_tps, 0.0);
+        // ...while orchestrator state is intact.
+        assert_eq!(dark.users_at_end, 20);
+        assert_eq!(dark.service_replicas, vec![1]);
+        assert_eq!(dark.service_availability, vec![1.0]);
+        // The lights come back on in the next window.
+        let bright = cluster.run_window(60.0);
+        assert_eq!(bright.monitor_dropout_fraction, 0.0);
+        assert!(bright.feature_counts[0] > 0);
+    }
+
+    #[test]
+    fn partial_dropout_reports_dark_fraction() {
+        let spec = one_service_spec(0.01, 1.0, 16);
+        let faults = FaultSchedule::new().at(45.0, FaultKind::MonitorDropout { duration: 30.0 });
+        let mut cluster = Cluster::new(
+            &spec,
+            constant_workload(20, 1.0),
+            ClusterOptions::new().with_faults(faults),
+        )
+        .unwrap();
+        // Dark on [45, 75): 15 s of the first window, 15 s of the second.
+        let r1 = cluster.run_window(60.0);
+        assert!((r1.monitor_dropout_fraction - 0.25).abs() < 1e-9);
+        let r2 = cluster.run_window(60.0);
+        assert!((r2.monitor_dropout_fraction - 0.25).abs() < 1e-9);
+        let r3 = cluster.run_window(60.0);
+        assert_eq!(r3.monitor_dropout_fraction, 0.0);
+    }
+
+    #[test]
+    fn actuation_failure_drops_batches_and_counts_them() {
+        let spec = one_service_spec(0.01, 1.0, 16);
+        let faults = FaultSchedule::new().at(0.0, FaultKind::ActuationFailure { duration: 50.0 });
+        let mut cluster = Cluster::new(
+            &spec,
+            constant_workload(20, 1.0),
+            ClusterOptions::new().with_faults(faults),
+        )
+        .unwrap();
+        let batch = vec![ScaleAction {
+            service: ServiceId(0),
+            replicas: 3,
+            share: 1.0,
+        }];
+        cluster.schedule_scaling(batch.clone(), 10.0);
+        let r = cluster.run_window(60.0);
+        assert_eq!(r.failed_actuations, 1);
+        assert_eq!(r.service_replicas, vec![1], "dropped batch must not scale");
+        // Retrying after the API is back succeeds and the counter resets.
+        cluster.schedule_scaling(batch, 10.0);
+        let r = cluster.run_window(60.0);
+        assert_eq!(r.failed_actuations, 0);
+        assert_eq!(r.service_replicas, vec![3]);
+        assert_eq!(cluster.ready_replicas(ServiceId(0)), 3);
+    }
+
+    #[test]
+    fn slow_start_delays_readiness() {
+        let spec = one_service_spec(0.01, 1.0, 16);
+        let faults = FaultSchedule::new().at(
+            0.0,
+            FaultKind::SlowStart {
+                factor: 5.0,
+                duration: 100.0,
+            },
+        );
+        let mut cluster = Cluster::new(
+            &spec,
+            constant_workload(20, 1.0),
+            ClusterOptions::new().with_faults(faults),
+        )
+        .unwrap();
+        cluster.schedule_scaling(
+            vec![ScaleAction {
+                service: ServiceId(0),
+                replicas: 2,
+                share: 1.0,
+            }],
+            0.0,
+        );
+        // Start-up takes 2 × 5 = 10 s instead of 2 s.
+        let r = cluster.run_window(5.0);
+        assert_eq!(r.service_replicas, vec![2]);
+        assert_eq!(r.service_ready_replicas, vec![1]);
+        let r = cluster.run_window(10.0);
+        assert_eq!(r.service_ready_replicas, vec![2]);
+    }
+
+    #[test]
+    fn invalid_fault_schedule_is_rejected_at_build() {
+        let spec = one_service_spec(0.01, 1.0, 16);
+        let faults = FaultSchedule::new().at(5.0, FaultKind::ReplicaCrash { service: 7 });
+        assert!(matches!(
+            Cluster::new(
+                &spec,
+                constant_workload(20, 1.0),
+                ClusterOptions::new().with_faults(faults),
+            ),
+            Err(ClusterError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn scale_action_display_is_readable() {
+        let a = ScaleAction {
+            service: ServiceId(2),
+            replicas: 3,
+            share: 1.5,
+        };
+        assert_eq!(a.to_string(), "service 2 -> 3 x 1.50 cores");
     }
 }

@@ -1,7 +1,10 @@
 //! Property-based tests for the cluster testbed: conservation laws that
 //! must hold for arbitrary topologies, workloads, and scaling actions.
 
-use atom_cluster::{AppSpec, Cluster, ClusterOptions, ScaleAction, ServiceId};
+use atom_cluster::{
+    AppSpec, Cluster, ClusterOptions, FaultKind, FaultPlan, FaultSchedule, ScaleAction, ServiceId,
+    WindowReport,
+};
 use atom_workload::{LoadProfile, RequestMix, WorkloadSpec};
 use proptest::prelude::*;
 
@@ -67,7 +70,7 @@ proptest! {
         let mut cluster = Cluster::new(
             &app,
             workload,
-            ClusterOptions { seed: s.seed, ..Default::default() },
+            ClusterOptions::new().with_seed(s.seed),
         ).unwrap();
         cluster.run_window(50.0);
         let r = cluster.run_window(200.0);
@@ -110,7 +113,7 @@ proptest! {
         let mut cluster = Cluster::new(
             &app,
             workload,
-            ClusterOptions { seed: s.seed, ..Default::default() },
+            ClusterOptions::new().with_seed(s.seed),
         ).unwrap();
         let mut total_completed = 0u64;
         for (svc, replicas, share) in actions {
@@ -157,10 +160,208 @@ proptest! {
         let mut cluster = Cluster::new(
             &app,
             workload,
-            ClusterOptions { seed, ..Default::default() },
+            ClusterOptions::new().with_seed(seed),
         ).unwrap();
         cluster.run_window(100.0);
         let r = cluster.run_window(50.0);
         prop_assert_eq!(r.users_at_end, to);
+    }
+}
+
+/// A hand-written schedule exercising every fault kind within a 240 s
+/// horizon against the two-service [`build`] topology.
+fn chaos_schedule() -> FaultSchedule {
+    FaultSchedule::new()
+        .at(30.0, FaultKind::ReplicaCrash { service: 0 })
+        .at(55.0, FaultKind::MonitorDropout { duration: 40.0 })
+        .at(95.0, FaultKind::ActuationFailure { duration: 20.0 })
+        .at(
+            130.0,
+            FaultKind::SlowStart {
+                factor: 3.0,
+                duration: 30.0,
+            },
+        )
+        .at(
+            150.0,
+            FaultKind::ServerOutage {
+                server: 0,
+                duration: 5.0,
+            },
+        )
+}
+
+/// Runs `horizon` seconds in windows of `window` seconds and returns the
+/// per-window reports plus the final ready-replica counts.
+fn run_in_windows(
+    s: &Setup,
+    faults: FaultSchedule,
+    horizon: f64,
+    window: f64,
+) -> (Vec<WindowReport>, Vec<usize>) {
+    let (app, workload) = build(s);
+    let mut cluster = Cluster::new(
+        &app,
+        workload,
+        ClusterOptions::new().with_seed(s.seed).with_faults(faults),
+    )
+    .unwrap();
+    // One scaling action landing inside the actuation-failure interval of
+    // `chaos_schedule` (t = 100): dropped when that fault is active,
+    // applied otherwise — identically in every windowing of the run.
+    cluster.schedule_scaling(
+        vec![ScaleAction {
+            service: ServiceId(1),
+            replicas: 2,
+            share: s.share_back,
+        }],
+        100.0,
+    );
+    let windows = (horizon / window).round() as usize;
+    let reports: Vec<WindowReport> = (0..windows).map(|_| cluster.run_window(window)).collect();
+    let ready = (0..2)
+        .map(|si| cluster.ready_replicas(ServiceId(si)))
+        .collect();
+    (reports, ready)
+}
+
+/// Integrates `f(report) × duration` over a run's windows.
+fn integral(reports: &[WindowReport], f: impl Fn(&WindowReport) -> f64) -> f64 {
+    reports.iter().map(|r| f(r) * r.duration()).sum()
+}
+
+/// Relative closeness with a small absolute floor: window-boundary
+/// `advance` calls split one processor update into two, so continuous
+/// aggregates may drift by floating-point rounding (never more).
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()) + 1e-3
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Window boundaries are pure observation points: simulating 240 s as
+    /// two 120 s windows or four 60 s windows yields the same aggregate
+    /// telemetry — with and without an active fault schedule (ISSUE
+    /// satellite 3). Discrete state replays bit-identically (collection
+    /// never mutates the simulation); only summed float aggregates may
+    /// differ, by addition rounding.
+    #[test]
+    fn window_splitting_is_pure_observation(s in setup_strategy()) {
+        for faults in [FaultSchedule::new(), chaos_schedule()] {
+            let (coarse, ready_a) = run_in_windows(&s, faults.clone(), 240.0, 120.0);
+            let (fine, ready_b) = run_in_windows(&s, faults, 240.0, 60.0);
+
+            // Completed-request counts agree exactly.
+            let count = |rs: &[WindowReport]| -> u64 {
+                rs.iter().map(|r| r.feature_counts.iter().sum::<u64>()).sum()
+            };
+            prop_assert_eq!(count(&coarse), count(&fine));
+
+            // Continuous aggregates agree up to rounding.
+            for si in 0..2 {
+                let busy_a = integral(&coarse, |r| r.service_busy_cores[si]);
+                let busy_b = integral(&fine, |r| r.service_busy_cores[si]);
+                prop_assert!(close(busy_a, busy_b), "busy[{si}] {busy_a} vs {busy_b}");
+                let alloc_a = integral(&coarse, |r| r.service_alloc_cores[si]);
+                let alloc_b = integral(&fine, |r| r.service_alloc_cores[si]);
+                prop_assert!(close(alloc_a, alloc_b), "alloc[{si}] {alloc_a} vs {alloc_b}");
+                let up_a = integral(&coarse, |r| r.service_availability[si]);
+                let up_b = integral(&fine, |r| r.service_availability[si]);
+                prop_assert!(close(up_a, up_b), "avail[{si}] {up_a} vs {up_b}");
+            }
+            let users_a = integral(&coarse, |r| r.avg_users);
+            let users_b = integral(&fine, |r| r.avg_users);
+            prop_assert!(close(users_a, users_b), "users {users_a} vs {users_b}");
+
+            // Fault bookkeeping agrees exactly: dark time is interval
+            // arithmetic and dropped batches are calendar events.
+            let dark_a = integral(&coarse, |r| r.monitor_dropout_fraction);
+            let dark_b = integral(&fine, |r| r.monitor_dropout_fraction);
+            prop_assert!((dark_a - dark_b).abs() <= 1e-9, "dark {dark_a} vs {dark_b}");
+            let fails = |rs: &[WindowReport]| rs.iter().map(|r| r.failed_actuations).sum::<usize>();
+            prop_assert_eq!(fails(&coarse), fails(&fine));
+
+            // End state agrees: same population, same fleet.
+            let (la, lb) = (coarse.last().unwrap(), fine.last().unwrap());
+            prop_assert_eq!(la.users_at_end, lb.users_at_end);
+            prop_assert_eq!(&la.service_replicas, &lb.service_replicas);
+            prop_assert_eq!(&la.service_ready_replicas, &lb.service_ready_replicas);
+            prop_assert_eq!(ready_a, ready_b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A faulty run is a pure function of its seed: two clusters built
+    /// from the same spec, options, and generated fault schedule produce
+    /// bitwise-identical window reports.
+    #[test]
+    fn faulty_runs_are_deterministic_in_seed(s in setup_strategy(), fault_seed in 0u64..1000) {
+        let plan = FaultPlan::new(240.0, 2, 1)
+            .with_crashes(2.0)
+            .with_outages(1.0, 8.0)
+            .with_dropouts(1.5, 25.0)
+            .with_actuation_failures(1.0, 15.0)
+            .with_slow_starts(1.0, 2.5, 20.0);
+        let run = || {
+            let (app, workload) = build(&s);
+            let mut cluster = Cluster::new(
+                &app,
+                workload,
+                ClusterOptions::new()
+                    .with_seed(s.seed)
+                    .with_faults(plan.generate(fault_seed)),
+            )
+            .unwrap();
+            (0..3).map(|_| cluster.run_window(80.0)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Arbitrary generated fault schedules never break the cluster's
+    /// invariants, even interleaved with scaling actions: at least one
+    /// live replica per service, ready ≤ live, and all fault telemetry
+    /// within range.
+    #[test]
+    fn random_fault_schedules_never_break_the_cluster(
+        s in setup_strategy(),
+        fault_seed in 0u64..1000,
+        actions in proptest::collection::vec((0usize..2, 1usize..6, 0.05f64..2.0), 1..5),
+    ) {
+        let faults = FaultPlan::new(240.0, 2, 1)
+            .with_crashes(3.0)
+            .with_outages(1.5, 10.0)
+            .with_dropouts(2.0, 30.0)
+            .with_actuation_failures(1.5, 20.0)
+            .with_slow_starts(1.0, 3.0, 25.0)
+            .generate(fault_seed);
+        let (app, workload) = build(&s);
+        let mut cluster = Cluster::new(
+            &app,
+            workload,
+            ClusterOptions::new().with_seed(s.seed).with_faults(faults),
+        )
+        .unwrap();
+        for (svc, replicas, share) in actions {
+            cluster.schedule_scaling(
+                vec![ScaleAction { service: ServiceId(svc), replicas, share }],
+                1.0,
+            );
+            let r = cluster.run_window(60.0);
+            for si in 0..2 {
+                prop_assert!(r.service_replicas[si] >= 1, "service {si} lost all replicas");
+                prop_assert!(
+                    r.service_ready_replicas[si] <= r.service_replicas[si],
+                    "ready {} > live {}",
+                    r.service_ready_replicas[si],
+                    r.service_replicas[si]
+                );
+                prop_assert!((0.0..=1.0).contains(&r.service_availability[si]));
+            }
+            prop_assert!((0.0..=1.0).contains(&r.monitor_dropout_fraction));
+        }
     }
 }

@@ -157,26 +157,19 @@ mod tests {
     }
 
     fn report(counts: Vec<u64>, users: usize) -> WindowReport {
-        WindowReport {
-            start: 0.0,
-            end: 300.0,
-            feature_tps: counts.iter().map(|&c| c as f64 / 300.0).collect(),
-            feature_response: vec![0.0; counts.len()],
-            endpoint_tps: vec![],
-            feature_counts: counts,
-            service_utilization: vec![0.5],
-            service_busy_cores: vec![0.5],
-            service_alloc_cores: vec![1.0],
-            service_replicas: vec![1],
-            service_shares: vec![1.0],
-            server_utilization: vec![0.1],
-            total_tps: 1.0,
-            avg_users: users as f64,
-            users_at_end: users,
-            peak_arrival_rate: 0.0,
-            peak_in_system: 0.0,
-            avg_in_system: 0.0,
-        }
+        WindowReport::for_span(0.0, 300.0)
+            .with_feature_tps(counts.iter().map(|&c| c as f64 / 300.0).collect())
+            .with_feature_response(vec![0.0; counts.len()])
+            .with_feature_counts(counts)
+            .with_service_utilization(vec![0.5])
+            .with_service_busy_cores(vec![0.5])
+            .with_service_alloc_cores(vec![1.0])
+            .with_service_replicas(vec![1])
+            .with_service_shares(vec![1.0])
+            .with_server_utilization(vec![0.1])
+            .with_total_tps(1.0)
+            .with_avg_users(users as f64)
+            .with_users_at_end(users)
     }
 
     #[test]

@@ -37,6 +37,15 @@ pub struct AtomConfig {
     /// (the paper's §VII future work; default off = statically profiled
     /// demands, as in the paper).
     pub online_demands: bool,
+    /// Maximum tolerated monitor-dropout fraction before a window is
+    /// treated as degraded: its scrape-based counters are discarded and
+    /// the controller falls back to the last trusted telemetry instead
+    /// of re-fitting the model on under-counted garbage.
+    pub max_dropout: f64,
+    /// How many times a scaling action that the actuator did not apply
+    /// (an actuation-failure fault dropped the batch) is re-issued
+    /// before being abandoned.
+    pub max_actuation_retries: usize,
 }
 
 impl AtomConfig {
@@ -56,8 +65,21 @@ impl AtomConfig {
             quick_fixes: true,
             peak_monitoring: true,
             online_demands: false,
+            max_dropout: 0.25,
+            max_actuation_retries: 3,
         }
     }
+}
+
+/// A scaling action issued but not yet confirmed by the actuator state.
+#[derive(Debug, Clone, Copy)]
+struct PendingAction {
+    action: ScaleAction,
+    retries_left: usize,
+    /// Earliest time the actuator could have applied the action (issue
+    /// time plus the actuation delay); before this the action is merely
+    /// in flight, not dropped.
+    due: f64,
 }
 
 /// The ATOM autoscaler.
@@ -75,6 +97,11 @@ pub struct Atom {
     window: u64,
     name: String,
     last_explanation: Option<String>,
+    /// Most recent non-degraded window: the fallback telemetry when the
+    /// monitoring plane goes dark.
+    last_trusted: Option<WindowReport>,
+    /// Issued actions awaiting confirmation in the actuator state.
+    pending: Vec<PendingAction>,
 }
 
 impl Atom {
@@ -99,6 +126,8 @@ impl Atom {
             window: 0,
             name: name.to_string(),
             last_explanation: None,
+            last_trusted: None,
+            pending: Vec::new(),
         }
     }
 
@@ -180,6 +209,93 @@ impl Atom {
         }
         DecisionVector::quantize(&cfg)
     }
+
+    /// Whether the actuator state in `report` reflects `action` (the
+    /// configured replica count matches and the share is on the same
+    /// lattice point).
+    fn action_applied(report: &WindowReport, action: &ScaleAction) -> bool {
+        let si = action.service.0;
+        report.service_replicas.get(si).copied() == Some(action.replicas)
+            && report
+                .service_shares
+                .get(si)
+                .is_some_and(|&s| (s - action.share).abs() < 1e-9)
+    }
+
+    /// Combines the last trusted scrape counters with the fresh report's
+    /// orchestrator state: during a monitor dropout the counters are
+    /// garbage but replica counts, shares, and population gauges come
+    /// from the control plane and stay exact.
+    fn merge_trusted(trusted: &WindowReport, fresh: &WindowReport) -> WindowReport {
+        let mut merged = trusted.clone();
+        merged.start = fresh.start;
+        merged.end = fresh.end;
+        merged.service_replicas = fresh.service_replicas.clone();
+        merged.service_ready_replicas = fresh.service_ready_replicas.clone();
+        merged.service_shares = fresh.service_shares.clone();
+        merged.service_availability = fresh.service_availability.clone();
+        merged.service_alloc_cores = fresh.service_alloc_cores.clone();
+        merged.avg_users = fresh.avg_users;
+        merged.users_at_end = fresh.users_at_end;
+        merged.peak_in_system = fresh.peak_in_system;
+        merged.avg_in_system = fresh.avg_in_system;
+        merged.monitor_dropout_fraction = fresh.monitor_dropout_fraction;
+        merged.failed_actuations = fresh.failed_actuations;
+        merged
+    }
+
+    /// Reconciles previously-issued actions against the actuator state:
+    /// confirmed actions are dropped, unconfirmed ones are re-issued
+    /// with a bounded retry budget or abandoned. Returns the actions to
+    /// re-issue; appends operator notes for both outcomes.
+    fn reconcile_pending(
+        &mut self,
+        report: &WindowReport,
+        notes: &mut Vec<String>,
+    ) -> Vec<ScaleAction> {
+        let mut reissue = Vec::new();
+        for p in std::mem::take(&mut self.pending) {
+            if Self::action_applied(report, &p.action) {
+                continue;
+            }
+            if report.end < p.due - 1e-9 {
+                // Still in flight: the actuation delay has not elapsed,
+                // so absence from the actuator state proves nothing.
+                self.pending.push(p);
+                continue;
+            }
+            if p.retries_left > 0 {
+                notes.push(format!(
+                    "re-issuing dropped [{}] ({} retries left)",
+                    p.action,
+                    p.retries_left - 1
+                ));
+                self.pending.push(PendingAction {
+                    action: p.action,
+                    retries_left: p.retries_left - 1,
+                    due: report.end + self.config.actuation_delay,
+                });
+                reissue.push(p.action);
+            } else {
+                notes.push(format!(
+                    "abandoning [{}] after repeated actuation failures",
+                    p.action
+                ));
+            }
+        }
+        reissue
+    }
+
+    /// Appends the degraded-window notes to whatever explanation the
+    /// planning pipeline produced.
+    fn set_explanation(&mut self, base: Option<String>, notes: Vec<String>) {
+        self.last_explanation = match (base, notes.is_empty()) {
+            (Some(b), true) => Some(b),
+            (Some(b), false) => Some(format!("{b} | {}", notes.join("; "))),
+            (None, true) => None,
+            (None, false) => Some(notes.join("; ")),
+        };
+    }
 }
 
 impl Autoscaler for Atom {
@@ -189,27 +305,93 @@ impl Autoscaler for Atom {
 
     fn decide(&mut self, report: &WindowReport) -> Vec<ScaleAction> {
         self.window += 1;
+        let mut notes = Vec::new();
+        if report.failed_actuations > 0 {
+            notes.push(format!(
+                "{} scaling batch(es) rejected by the orchestration API",
+                report.failed_actuations
+            ));
+        }
+        let reissue = self.reconcile_pending(report, &mut notes);
+
+        // A degraded window's scrape counters under-report; analyzing
+        // them would fit the model to phantom idleness. Fall back to the
+        // last trusted telemetry (merged with fresh actuator state), and
+        // while in-flight corrections are still unconfirmed, only
+        // re-issue them — re-planning can wait for the monitor.
+        let degraded = report.degraded(self.config.max_dropout);
+        let analysis = if degraded {
+            if !reissue.is_empty() {
+                self.set_explanation(None, notes);
+                return reissue;
+            }
+            match self.last_trusted.as_ref() {
+                Some(trusted) => {
+                    notes.push(format!(
+                        "monitor dark {:.0}% of the window: re-planning from last trusted telemetry",
+                        report.monitor_dropout_fraction * 100.0
+                    ));
+                    Self::merge_trusted(trusted, report)
+                }
+                None => {
+                    notes.push(
+                        "monitor dark with no trusted telemetry: holding configuration".into(),
+                    );
+                    self.set_explanation(None, notes);
+                    return reissue;
+                }
+            }
+        } else {
+            self.last_trusted = Some(report.clone());
+            report.clone()
+        };
+
+        // Surface ready-replica deficits the plan should know about:
+        // replicas still starting up (or restarting after a fault) serve
+        // nothing yet, but they are configured state — re-ordering them
+        // would only reset their start-up clock.
+        for s in self.binding.scalable() {
+            let si = s.service.0;
+            let live = analysis.service_replicas.get(si).copied().unwrap_or(0);
+            let ready = analysis
+                .service_ready_replicas
+                .get(si)
+                .copied()
+                .unwrap_or(live);
+            if ready < live {
+                notes.push(format!(
+                    "{}: {}/{} replicas ready (rest starting)",
+                    s.name, ready, live
+                ));
+            }
+        }
+
         // Analyze: write N and the mix into the model.
         let effective_report = if self.config.peak_monitoring {
-            report.clone()
+            analysis.clone()
         } else {
             // Ablation: hide the sub-interval peak from the analyzer.
-            let mut r = report.clone();
+            let mut r = analysis.clone();
             r.peak_arrival_rate = 0.0;
             r
         };
         let mut model = match self.analyzer.instantiate(&self.binding, &effective_report) {
             Ok(m) => m,
-            Err(_) => return Vec::new(), // inconsistent binding: do nothing
+            Err(_) => {
+                // Inconsistent binding: do nothing beyond the re-issues.
+                self.set_explanation(None, notes);
+                return reissue;
+            }
         };
-        if self.config.online_demands {
+        if self.config.online_demands && !degraded {
             self.calibrator.observe(&self.binding, report);
             self.calibrator.apply(&self.binding, &mut model);
         }
-        if report.users_at_end == 0 {
-            return Vec::new();
+        if analysis.users_at_end == 0 {
+            self.set_explanation(None, notes);
+            return reissue;
         }
-        let current = self.current_decision(report);
+        let current = self.current_decision(&analysis);
 
         // One evaluation layer per window: the GA, the planner's quick
         // fixes, and the diagnostics below share its solve cache.
@@ -237,7 +419,7 @@ impl Autoscaler for Atom {
         // Diagnose the observed state for operators: solve the model at
         // the *current* configuration and run the layered-bottleneck
         // analysis (paper §V-B / Fig. 11).
-        self.last_explanation = self.explain(&mut evaluator, &current, &planned);
+        let base = self.explain(&mut evaluator, &current, &planned);
 
         // Execute: emit actions only where the decision changed — an
         // exact lattice comparison, no epsilon.
@@ -254,6 +436,22 @@ impl Autoscaler for Atom {
                 });
             }
         }
+        // Track what we issue so the next window can confirm it; a fresh
+        // plan for a service supersedes any retry still pending for it.
+        for a in &actions {
+            self.pending.retain(|p| p.action.service != a.service);
+            self.pending.push(PendingAction {
+                action: *a,
+                retries_left: self.config.max_actuation_retries,
+                due: report.end + self.config.actuation_delay,
+            });
+        }
+        for a in reissue {
+            if !actions.iter().any(|x| x.service == a.service) {
+                actions.push(a);
+            }
+        }
+        self.set_explanation(base, notes);
         actions
     }
 
@@ -298,26 +496,28 @@ mod tests {
     }
 
     fn report(users: usize, replicas: usize, share: f64) -> WindowReport {
-        WindowReport {
-            start: 0.0,
-            end: 300.0,
-            feature_counts: vec![1000],
-            feature_tps: vec![1000.0 / 300.0],
-            feature_response: vec![0.05],
-            endpoint_tps: vec![],
-            service_utilization: vec![0.9],
-            service_busy_cores: vec![share * 0.9],
-            service_alloc_cores: vec![replicas as f64 * share],
-            service_replicas: vec![replicas],
-            service_shares: vec![share],
-            server_utilization: vec![0.5],
-            total_tps: 1000.0 / 300.0,
-            avg_users: users as f64,
-            users_at_end: users,
-            peak_arrival_rate: 0.0,
-            peak_in_system: 0.0,
-            avg_in_system: 0.0,
-        }
+        WindowReport::for_span(0.0, 300.0)
+            .with_feature_counts(vec![1000])
+            .with_feature_tps(vec![1000.0 / 300.0])
+            .with_feature_response(vec![0.05])
+            .with_service_utilization(vec![0.9])
+            .with_service_busy_cores(vec![share * 0.9])
+            .with_service_alloc_cores(vec![replicas as f64 * share])
+            .with_service_replicas(vec![replicas])
+            .with_service_shares(vec![share])
+            .with_server_utilization(vec![0.5])
+            .with_total_tps(1000.0 / 300.0)
+            .with_avg_users(users as f64)
+            .with_users_at_end(users)
+    }
+
+    /// Shifts a report to the `k`-th 300-second window, as successive
+    /// calls of a real control loop would see (the pending-action
+    /// reconciler compares window ends against actuation due times).
+    fn at_window(mut r: WindowReport, k: usize) -> WindowReport {
+        r.start = 300.0 * k as f64;
+        r.end = 300.0 * (k + 1) as f64;
+        r
     }
 
     fn fast_config() -> AtomConfig {
@@ -401,5 +601,117 @@ mod tests {
     fn actuation_delay_is_config() {
         let atom = Atom::new(binding(0.5), fast_config());
         assert_eq!(atom.actuation_delay(), 150.0);
+    }
+
+    /// A binding whose decision space is replicas-only (fixed share), so
+    /// the optimum under heavy load is deterministically "max replicas".
+    fn fixed_share_binding(share: f64, max_replicas: usize) -> ModelBinding {
+        let mut b = binding(share);
+        b.services[0].max_replicas = max_replicas;
+        b.services[0].share_bounds = (share, share);
+        b
+    }
+
+    #[test]
+    fn no_duplicate_scale_up_while_replicas_start() {
+        // Heavy load; the controller already ordered 4 replicas and the
+        // orchestrator confirmed them, but only 1 is ready so far. The
+        // decision baseline must be the *configured* state — diffing
+        // against the ready count would re-issue the same scale-up and
+        // reset the start-up clocks.
+        let mut atom = Atom::new(fixed_share_binding(0.5, 4), fast_config());
+        let starting = report(2000, 4, 0.5).with_service_ready_replicas(vec![1]);
+        let actions = atom.decide(&starting);
+        assert!(
+            actions.is_empty(),
+            "must not re-order the in-flight scale-up: {actions:?}"
+        );
+        let text = atom.explain_last().expect("explanation");
+        assert!(text.contains("1/4"), "should surface the deficit: {text}");
+    }
+
+    #[test]
+    fn dark_window_without_history_holds_position() {
+        let mut atom = Atom::new(binding(0.2), fast_config());
+        let dark = report(2000, 1, 0.2).with_monitor_dropout_fraction(0.9);
+        assert!(atom.decide(&dark).is_empty());
+        let text = atom.explain_last().expect("explanation");
+        assert!(text.contains("no trusted"), "unexpected: {text}");
+    }
+
+    #[test]
+    fn dark_window_replans_from_trusted_telemetry() {
+        let mut atom = Atom::new(fixed_share_binding(0.2, 8), fast_config());
+        // Healthy overloaded window: trusted, and the plan scales up.
+        let first = atom.decide(&report(2000, 1, 0.2));
+        assert_eq!(first.len(), 1);
+        // The action applied; then the monitor went dark. The scrape
+        // counters read zero, but the fallback telemetry still describes
+        // the overload, so the controller keeps reasoning instead of
+        // flying blind.
+        let dark = at_window(
+            report(2000, first[0].replicas, 0.2)
+                .with_feature_counts(vec![0])
+                .with_feature_tps(vec![0.0])
+                .with_total_tps(0.0)
+                .with_monitor_dropout_fraction(1.0),
+            1,
+        );
+        let _ = atom.decide(&dark);
+        let text = atom.explain_last().expect("explanation");
+        assert!(text.contains("trusted"), "unexpected: {text}");
+    }
+
+    #[test]
+    fn dropped_actions_are_reissued_then_abandoned() {
+        let mut atom = Atom::new(binding(0.2), fast_config());
+        let heavy = report(2000, 1, 0.2);
+        let first = atom.decide(&heavy);
+        assert_eq!(first.len(), 1);
+        // Every subsequent window is dark AND the actuator never applied
+        // the order: once the actuation delay has elapsed the controller
+        // re-issues it verbatim, with a bounded retry budget (planning
+        // waits while corrections are in flight).
+        let dark = |k: usize| {
+            at_window(
+                heavy
+                    .clone()
+                    .with_monitor_dropout_fraction(1.0)
+                    .with_failed_actuations(1),
+                k,
+            )
+        };
+        for round in 1..=3 {
+            let again = atom.decide(&dark(round));
+            assert_eq!(again, first, "round {round} must re-issue the order");
+            let text = atom.explain_last().expect("explanation");
+            assert!(text.contains("re-issuing"), "round {round}: {text}");
+        }
+        // Retry budget exhausted: the order is abandoned and the
+        // controller goes back to planning (from trusted telemetry). The
+        // planner may well *want* the same scale-up — that is a fresh
+        // plan with a fresh retry budget, not a blind fourth retry — so
+        // we only assert the abandonment is surfaced.
+        let _ = atom.decide(&dark(4));
+        let text = atom.explain_last().expect("explanation");
+        assert!(text.contains("abandoning"), "unexpected: {text}");
+    }
+
+    #[test]
+    fn applied_actions_clear_the_pending_queue() {
+        let mut atom = Atom::new(binding(0.2), fast_config());
+        let first = atom.decide(&report(2000, 1, 0.2));
+        assert_eq!(first.len(), 1);
+        // The actuator applied the order; nothing is re-issued even when
+        // the next window is dark.
+        let applied = at_window(
+            report(2000, first[0].replicas, first[0].share).with_monitor_dropout_fraction(1.0),
+            1,
+        );
+        let next = atom.decide(&applied);
+        assert!(
+            next.iter().all(|a| *a != first[0]),
+            "confirmed order must not be repeated: {next:?}"
+        );
     }
 }

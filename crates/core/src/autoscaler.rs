@@ -54,26 +54,19 @@ mod tests {
     #[test]
     fn noop_never_acts() {
         let mut s = NoopScaler;
-        let report = WindowReport {
-            start: 0.0,
-            end: 300.0,
-            feature_counts: vec![1],
-            feature_tps: vec![1.0],
-            feature_response: vec![0.1],
-            endpoint_tps: vec![],
-            service_utilization: vec![0.99],
-            service_busy_cores: vec![1.0],
-            service_alloc_cores: vec![1.0],
-            service_replicas: vec![1],
-            service_shares: vec![1.0],
-            server_utilization: vec![0.99],
-            total_tps: 1.0,
-            avg_users: 1.0,
-            users_at_end: 1,
-            peak_arrival_rate: 0.0,
-            peak_in_system: 0.0,
-            avg_in_system: 0.0,
-        };
+        let report = WindowReport::for_span(0.0, 300.0)
+            .with_feature_counts(vec![1])
+            .with_feature_tps(vec![1.0])
+            .with_feature_response(vec![0.1])
+            .with_service_utilization(vec![0.99])
+            .with_service_busy_cores(vec![1.0])
+            .with_service_alloc_cores(vec![1.0])
+            .with_service_replicas(vec![1])
+            .with_service_shares(vec![1.0])
+            .with_server_utilization(vec![0.99])
+            .with_total_tps(1.0)
+            .with_avg_users(1.0)
+            .with_users_at_end(1);
         assert!(s.decide(&report).is_empty());
         assert_eq!(s.actuation_delay(), 0.0);
         assert_eq!(s.name(), "NOOP");

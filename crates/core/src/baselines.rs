@@ -32,6 +32,12 @@ pub struct RuleConfig {
     pub max_replicas: usize,
     /// Hard cap on per-replica share (cores).
     pub max_share: f64,
+    /// Maximum tolerated monitor-dropout fraction: a window darker than
+    /// this under-reports utilisation, and doubling on such readings
+    /// would be acting on noise — the scaler holds instead. More lenient
+    /// than ATOM's threshold because the rules only ever scale *up*, so
+    /// a missed trigger costs a window, not a bad re-fit.
+    pub max_dropout: f64,
 }
 
 impl Default for RuleConfig {
@@ -40,6 +46,7 @@ impl Default for RuleConfig {
             trigger_utilization: 0.875,
             max_replicas: 16,
             max_share: 4.0,
+            max_dropout: 0.5,
         }
     }
 }
@@ -68,6 +75,9 @@ impl Autoscaler for UhScaler {
     }
 
     fn decide(&mut self, report: &WindowReport) -> Vec<ScaleAction> {
+        if report.degraded(self.config.max_dropout) {
+            return Vec::new(); // utilisation readings are garbage
+        }
         let mut actions = Vec::new();
         for (si, svc) in self.spec.services.iter().enumerate() {
             if svc.stateful {
@@ -115,6 +125,9 @@ impl Autoscaler for UvScaler {
     }
 
     fn decide(&mut self, report: &WindowReport) -> Vec<ScaleAction> {
+        if report.degraded(self.config.max_dropout) {
+            return Vec::new(); // utilisation readings are garbage
+        }
         let mut actions = Vec::new();
         for si in 0..self.spec.services.len() {
             let util = report.service_utilization[si];
@@ -150,26 +163,19 @@ mod tests {
     }
 
     fn report(utils: Vec<f64>) -> WindowReport {
-        WindowReport {
-            start: 0.0,
-            end: 300.0,
-            feature_counts: vec![100],
-            feature_tps: vec![1.0],
-            feature_response: vec![0.1],
-            endpoint_tps: vec![],
-            service_utilization: utils,
-            service_busy_cores: vec![0.2, 0.2],
-            service_alloc_cores: vec![0.4, 1.0],
-            service_replicas: vec![1, 1],
-            service_shares: vec![0.4, 1.0],
-            server_utilization: vec![0.2],
-            total_tps: 1.0,
-            avg_users: 10.0,
-            users_at_end: 10,
-            peak_arrival_rate: 0.0,
-            peak_in_system: 0.0,
-            avg_in_system: 0.0,
-        }
+        WindowReport::for_span(0.0, 300.0)
+            .with_feature_counts(vec![100])
+            .with_feature_tps(vec![1.0])
+            .with_feature_response(vec![0.1])
+            .with_service_utilization(utils)
+            .with_service_busy_cores(vec![0.2, 0.2])
+            .with_service_alloc_cores(vec![0.4, 1.0])
+            .with_service_replicas(vec![1, 1])
+            .with_service_shares(vec![0.4, 1.0])
+            .with_server_utilization(vec![0.2])
+            .with_total_tps(1.0)
+            .with_avg_users(10.0)
+            .with_users_at_end(10)
     }
 
     #[test]
@@ -200,6 +206,22 @@ mod tests {
         assert_eq!(actions[0].share, 0.8);
         assert_eq!(actions[0].replicas, 1);
         assert_eq!(actions[1].share, 2.0);
+    }
+
+    #[test]
+    fn degraded_windows_are_skipped() {
+        let mut uh = UhScaler::new(&spec(), RuleConfig::default());
+        let mut uv = UvScaler::new(&spec(), RuleConfig::default());
+        // Hot readings, but the monitor was dark 60% of the window: the
+        // utilisation is under-counted garbage — and still looked hot, so
+        // acting on it would be pure coincidence. Both scalers hold.
+        let dark = report(vec![0.9, 0.95]).with_monitor_dropout_fraction(0.6);
+        assert!(uh.decide(&dark).is_empty());
+        assert!(uv.decide(&dark).is_empty());
+        // A brief blip below the threshold is tolerated.
+        let blip = report(vec![0.9, 0.95]).with_monitor_dropout_fraction(0.2);
+        assert!(!uh.decide(&blip).is_empty());
+        assert!(!uv.decide(&blip).is_empty());
     }
 
     #[test]

@@ -135,26 +135,20 @@ mod tests {
     }
 
     fn report(busy_cores: f64, tps: [f64; 2]) -> WindowReport {
-        WindowReport {
-            start: 0.0,
-            end: 300.0,
-            feature_counts: vec![1, 1],
-            feature_tps: tps.to_vec(),
-            feature_response: vec![0.0, 0.0],
-            endpoint_tps: vec![tps.to_vec()],
-            service_utilization: vec![0.5],
-            service_busy_cores: vec![busy_cores],
-            service_alloc_cores: vec![1.0],
-            service_replicas: vec![1],
-            service_shares: vec![1.0],
-            server_utilization: vec![0.1],
-            total_tps: tps.iter().sum(),
-            avg_users: 10.0,
-            users_at_end: 10,
-            peak_arrival_rate: 0.0,
-            peak_in_system: 0.0,
-            avg_in_system: 0.0,
-        }
+        WindowReport::for_span(0.0, 300.0)
+            .with_feature_counts(vec![1, 1])
+            .with_feature_tps(tps.to_vec())
+            .with_feature_response(vec![0.0, 0.0])
+            .with_endpoint_tps(vec![tps.to_vec()])
+            .with_service_utilization(vec![0.5])
+            .with_service_busy_cores(vec![busy_cores])
+            .with_service_alloc_cores(vec![1.0])
+            .with_service_replicas(vec![1])
+            .with_service_shares(vec![1.0])
+            .with_server_utilization(vec![0.1])
+            .with_total_tps(tps.iter().sum())
+            .with_avg_users(10.0)
+            .with_users_at_end(10)
     }
 
     #[test]

@@ -204,6 +204,18 @@ pub struct CandidateEvaluator<'a> {
     workers: usize,
 }
 
+/// Default evaluator worker count: the `ATOM_EVAL_WORKERS` environment
+/// variable when set to a positive integer, else 1. Results are bitwise
+/// independent of the worker count, so varying it per run (e.g. in CI)
+/// only changes wall-clock time.
+fn default_workers() -> usize {
+    std::env::var("ATOM_EVAL_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(1)
+}
+
 impl<'a> CandidateEvaluator<'a> {
     /// Creates an evaluator for one window: the analyzer-instantiated
     /// `model` (with this window's `N` and request mix), the knowledge
@@ -215,7 +227,7 @@ impl<'a> CandidateEvaluator<'a> {
             cache: BTreeMap::new(),
             recent: VecDeque::new(),
             stats: EvaluatorStats::default(),
-            workers: 1,
+            workers: default_workers(),
         }
     }
 
@@ -228,12 +240,13 @@ impl<'a> CandidateEvaluator<'a> {
             cache: BTreeMap::new(),
             recent: VecDeque::new(),
             stats: EvaluatorStats::default(),
-            workers: 1,
+            workers: default_workers(),
         }
     }
 
-    /// Sets the number of worker threads batches fan out over (default
-    /// 1). Results are bitwise independent of this setting.
+    /// Sets the number of worker threads batches fan out over (default:
+    /// `ATOM_EVAL_WORKERS` or 1). Results are bitwise independent of
+    /// this setting.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
         self

@@ -2,13 +2,13 @@
 //! collects the §V-B metrics.
 
 use atom_cluster::{AppSpec, Cluster, ClusterError, ClusterOptions, WindowReport};
-use atom_metrics::{ActionLog, CapacityTrace, CapacityWindow, TpsSeries};
+use atom_metrics::{ActionLog, AvailabilityTrace, CapacityTrace, CapacityWindow, TpsSeries};
 use atom_workload::WorkloadSpec;
 
 use crate::autoscaler::Autoscaler;
 
 /// Shape of one experiment run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Number of monitoring windows.
     pub windows: usize,
@@ -40,6 +40,10 @@ pub struct ExperimentResult {
     /// Per-service capacity traces (required vs allocated) for the
     /// `T_u` / `A_u` metrics.
     pub capacity: Vec<CapacityTrace>,
+    /// Per-service availability traces (fraction of each window the
+    /// service had at least one ready replica) — flat 1.0 outside fault
+    /// experiments.
+    pub availability: Vec<AvailabilityTrace>,
     /// Scaling actions issued.
     pub actions: ActionLog,
     /// Per-window decision explanations from introspective scalers
@@ -67,6 +71,29 @@ impl ExperimentResult {
             Some(idx) => Box::new(idx.iter().map(move |&i| &self.capacity[i])),
             None => Box::new(self.capacity.iter()),
         }
+    }
+
+    /// Time-weighted mean availability across all services (1.0 when no
+    /// windows were recorded).
+    pub fn mean_availability(&self) -> f64 {
+        if self.availability.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = self
+            .availability
+            .iter()
+            .map(|a| a.mean_availability())
+            .sum();
+        sum / self.availability.len() as f64
+    }
+
+    /// Longest stretch (seconds) any service spent below `threshold`
+    /// availability — the experiment's recovery-time headline.
+    pub fn longest_outage(&self, threshold: f64) -> f64 {
+        self.availability
+            .iter()
+            .map(|a| a.longest_outage(threshold))
+            .fold(0.0, f64::max)
     }
 
     /// Mean TPS over windows `[from_window, to_window)`.
@@ -101,6 +128,9 @@ pub fn run_experiment(
     let mut capacity: Vec<CapacityTrace> = (0..spec.services.len())
         .map(|_| CapacityTrace::new())
         .collect();
+    let mut availability: Vec<AvailabilityTrace> = (0..spec.services.len())
+        .map(|_| AvailabilityTrace::new())
+        .collect();
     let mut actions_log = ActionLog::new();
     let mut reports = Vec::with_capacity(config.windows);
     let mut explanations = Vec::with_capacity(config.windows);
@@ -119,6 +149,13 @@ pub fn run_experiment(
                 required: required[si],
                 allocated: report.service_alloc_cores[si],
             });
+        }
+        for (si, trace) in availability.iter_mut().enumerate() {
+            trace.push(
+                report.start,
+                report.end,
+                report.service_availability[si].clamp(0.0, 1.0),
+            );
         }
         let actions = scaler.decide(&report);
         explanations.push(scaler.explain_last());
@@ -145,6 +182,7 @@ pub fn run_experiment(
         reports,
         tps,
         capacity,
+        availability,
         actions: actions_log,
         explanations,
     })
@@ -214,6 +252,27 @@ mod tests {
         );
         // And throughput improves late in the run.
         assert!(scaled.mean_tps(5, 8) > base.mean_tps(5, 8));
+    }
+
+    #[test]
+    fn faults_show_up_in_availability_metrics() {
+        use atom_cluster::{FaultKind, FaultSchedule};
+        // The single replica crashing takes the service down for its
+        // restart delay (availability is "some replica ready").
+        let spec = app();
+        let faults = FaultSchedule::new().at(130.0, FaultKind::ReplicaCrash { service: 0 });
+        let cfg = ExperimentConfig {
+            windows: 4,
+            window_secs: 120.0,
+            cluster: ClusterOptions::new().with_faults(faults),
+        };
+        let mut noop = NoopScaler;
+        let result = run_experiment(&spec, ramp_workload(), &mut noop, cfg).unwrap();
+        let clean = run_experiment(&spec, ramp_workload(), &mut noop, config(4)).unwrap();
+        assert!(result.mean_availability() < 1.0);
+        assert!(result.longest_outage(0.999) > 0.0);
+        assert_eq!(clean.mean_availability(), 1.0);
+        assert_eq!(clean.longest_outage(0.999), 0.0);
     }
 
     #[test]

@@ -127,26 +127,20 @@ mod tests {
     }
 
     fn report(users: usize) -> WindowReport {
-        WindowReport {
-            start: 0.0,
-            end: 300.0,
-            feature_counts: vec![100],
-            feature_tps: vec![100.0 / 300.0],
-            feature_response: vec![0.1],
-            endpoint_tps: vec![vec![100.0 / 300.0]],
-            service_utilization: vec![0.5],
-            service_busy_cores: vec![0.25],
-            service_alloc_cores: vec![0.5],
-            service_replicas: vec![1],
-            service_shares: vec![0.5],
-            server_utilization: vec![0.1],
-            total_tps: 100.0 / 300.0,
-            avg_users: users as f64,
-            users_at_end: users,
-            peak_arrival_rate: 0.0,
-            peak_in_system: 0.0,
-            avg_in_system: 0.0,
-        }
+        WindowReport::for_span(0.0, 300.0)
+            .with_feature_counts(vec![100])
+            .with_feature_tps(vec![100.0 / 300.0])
+            .with_feature_response(vec![0.1])
+            .with_endpoint_tps(vec![vec![100.0 / 300.0]])
+            .with_service_utilization(vec![0.5])
+            .with_service_busy_cores(vec![0.25])
+            .with_service_alloc_cores(vec![0.5])
+            .with_service_replicas(vec![1])
+            .with_service_shares(vec![0.5])
+            .with_server_utilization(vec![0.1])
+            .with_total_tps(100.0 / 300.0)
+            .with_avg_users(users as f64)
+            .with_users_at_end(users)
     }
 
     #[test]

@@ -1,0 +1,563 @@
+#![warn(missing_docs)]
+
+//! Deterministic, seeded fault schedules for the cluster testbed.
+//!
+//! A production autoscaler must keep converging when replicas crash,
+//! nodes go dark, and the monitoring plane drops windows. This crate
+//! models those operational realities as *data*: a [`FaultSchedule`] is
+//! an immutable, time-sorted list of [`FaultEvent`]s that
+//! `atom_cluster::runtime::Cluster` injects into its discrete-event
+//! calendar. Because the schedule is plain data (not callbacks), two
+//! clusters built from the same spec, workload, options, and schedule
+//! replay *bit-for-bit* the same execution — fault experiments stay as
+//! reproducible as fault-free ones.
+//!
+//! Two ways to build a schedule:
+//!
+//! * hand-written, for curated chaos scenarios:
+//!
+//! ```
+//! use atom_faults::{FaultKind, FaultSchedule};
+//!
+//! let schedule = FaultSchedule::new()
+//!     .at(650.0, FaultKind::ReplicaCrash { service: 1 })
+//!     .at(900.0, FaultKind::MonitorDropout { duration: 300.0 })
+//!     .at(1500.0, FaultKind::ServerOutage { server: 1, duration: 90.0 });
+//! assert_eq!(schedule.len(), 3);
+//! ```
+//!
+//! * generated from rates by a seeded [`FaultPlan`], for randomized
+//!   soak testing (`generate` is a pure function of the seed).
+//!
+//! The semantics of each kind — what the cluster does when the event
+//! fires, and what the controller is allowed to observe — are defined
+//! by the consumer (`atom-cluster`); this crate only guarantees a
+//! well-formed, deterministic timeline.
+
+use serde::{Deserialize, Serialize};
+
+use atom_sim::SimRng;
+
+/// One kind of injected failure.
+///
+/// Durations are in simulated seconds; `service` / `server` are indices
+/// into the consumer's application spec. The enum is non-exhaustive so
+/// new fault kinds can be added without breaking downstream matches.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// One replica of `service` dies abruptly. In-flight and queued
+    /// requests on the victim are re-dispatched; the orchestrator
+    /// restarts a replacement after the service's start-up delay.
+    ReplicaCrash {
+        /// Index of the service losing a replica.
+        service: usize,
+    },
+    /// A whole server goes dark for `duration` seconds: every replica
+    /// hosted on it dies, and replacements only begin their start-up
+    /// once the server returns.
+    ServerOutage {
+        /// Index of the server going down.
+        server: usize,
+        /// Seconds until the server is back.
+        duration: f64,
+    },
+    /// The monitoring plane stops scraping for `duration` seconds:
+    /// request/throughput counters observed during the dark interval are
+    /// lost, and affected windows are flagged as partial.
+    MonitorDropout {
+        /// Seconds of lost telemetry.
+        duration: f64,
+    },
+    /// The actuation path is down for `duration` seconds: scaling
+    /// batches dispatched while it lasts are dropped (and reported), as
+    /// when an orchestration API rejects updates.
+    ActuationFailure {
+        /// Seconds during which scaling actions are dropped.
+        duration: f64,
+    },
+    /// Container start-up takes `factor` times longer than nominal for
+    /// `duration` seconds (image-pull storms, cold caches).
+    SlowStart {
+        /// Multiplier (≥ 1) on start-up delays.
+        factor: f64,
+        /// Seconds the slowdown lasts.
+        duration: f64,
+    },
+}
+
+impl FaultKind {
+    /// Validates the kind's own parameters (times ≥ 0, factors ≥ 1).
+    fn check_params(&self) -> Result<(), String> {
+        let dur = |d: f64, what: &str| {
+            if d.is_finite() && d > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{what} duration must be positive, got {d}"))
+            }
+        };
+        match *self {
+            FaultKind::ReplicaCrash { .. } => Ok(()),
+            FaultKind::ServerOutage { duration, .. } => dur(duration, "server outage"),
+            FaultKind::MonitorDropout { duration } => dur(duration, "monitor dropout"),
+            FaultKind::ActuationFailure { duration } => dur(duration, "actuation failure"),
+            FaultKind::SlowStart { factor, duration } => {
+                if !(factor.is_finite() && factor >= 1.0) {
+                    return Err(format!("slow-start factor must be >= 1, got {factor}"));
+                }
+                dur(duration, "slow start")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultKind::ReplicaCrash { service } => write!(f, "replica crash (service {service})"),
+            FaultKind::ServerOutage { server, duration } => {
+                write!(f, "server {server} outage for {duration:.0}s")
+            }
+            FaultKind::MonitorDropout { duration } => {
+                write!(f, "monitor dropout for {duration:.0}s")
+            }
+            FaultKind::ActuationFailure { duration } => {
+                write!(f, "actuation failure for {duration:.0}s")
+            }
+            FaultKind::SlowStart { factor, duration } => {
+                write!(f, "{factor:.1}x slow start for {duration:.0}s")
+            }
+        }
+    }
+}
+
+/// One scheduled fault: a kind firing at an absolute simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Absolute simulation time (seconds) at which the fault fires.
+    pub time: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A time-sorted list of [`FaultEvent`]s.
+///
+/// Construction keeps the list sorted by time (stable: events pushed
+/// earlier fire first on ties), so consumers can inject it into an
+/// event calendar verbatim. The default schedule is empty — a cluster
+/// without faults behaves exactly as before this subsystem existed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Adds a fault at `time`, keeping the schedule sorted. Builder
+    /// form of [`FaultSchedule::push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is negative/non-finite or the kind's parameters
+    /// are invalid (e.g. a non-positive duration).
+    #[must_use]
+    pub fn at(mut self, time: f64, kind: FaultKind) -> Self {
+        self.push(time, kind);
+        self
+    }
+
+    /// Adds a fault at `time`, keeping the schedule sorted (stable on
+    /// ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is negative/non-finite or the kind's parameters
+    /// are invalid (e.g. a non-positive duration).
+    pub fn push(&mut self, time: f64, kind: FaultKind) {
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "fault time must be >= 0, got {time}"
+        );
+        if let Err(why) = kind.check_params() {
+            panic!("invalid fault: {why}");
+        }
+        // Insert before the first strictly-later event's successor run:
+        // partition_point keeps pushes at equal times in push order.
+        let idx = self.events.partition_point(|e| e.time <= time);
+        self.events.insert(idx, FaultEvent { time, kind });
+    }
+
+    /// The events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks every event against an application shape: `services` and
+    /// `servers` are the consumer's index bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first out-of-range
+    /// reference.
+    pub fn validate(&self, services: usize, servers: usize) -> Result<(), String> {
+        for (i, e) in self.events.iter().enumerate() {
+            match e.kind {
+                FaultKind::ReplicaCrash { service } if service >= services => {
+                    return Err(format!(
+                        "fault {i}: replica crash references service {service}, app has {services}"
+                    ));
+                }
+                FaultKind::ServerOutage { server, .. } if server >= servers => {
+                    return Err(format!(
+                        "fault {i}: server outage references server {server}, app has {servers}"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rates and shapes for generating a random [`FaultSchedule`].
+///
+/// Each `mean_*` field is the *expected number of events* of that kind
+/// over the horizon; arrival times are exponential (Poisson process),
+/// truncated to the horizon. [`FaultPlan::generate`] is a pure function
+/// of the seed: equal seeds give equal schedules, byte for byte.
+///
+/// ```
+/// use atom_faults::FaultPlan;
+///
+/// let plan = FaultPlan::new(3600.0, 6, 2)
+///     .with_crashes(2.0)
+///     .with_outages(1.0, 60.0)
+///     .with_dropouts(1.0, 300.0);
+/// assert_eq!(plan.generate(7), plan.generate(7));
+/// ```
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Schedule horizon (seconds); no fault fires at or beyond it.
+    pub horizon: f64,
+    /// Number of services crashes may target (uniformly).
+    pub services: usize,
+    /// Number of servers outages may target (uniformly).
+    pub servers: usize,
+    /// Expected replica crashes over the horizon.
+    pub mean_crashes: f64,
+    /// Expected server outages over the horizon.
+    pub mean_outages: f64,
+    /// Duration of each server outage (seconds).
+    pub outage_duration: f64,
+    /// Expected monitor dropouts over the horizon.
+    pub mean_dropouts: f64,
+    /// Duration of each monitor dropout (seconds).
+    pub dropout_duration: f64,
+    /// Expected actuation failures over the horizon.
+    pub mean_actuation_failures: f64,
+    /// Duration of each actuation failure (seconds).
+    pub actuation_failure_duration: f64,
+    /// Expected slow-start episodes over the horizon.
+    pub mean_slow_starts: f64,
+    /// Start-up delay multiplier during a slow-start episode.
+    pub slow_start_factor: f64,
+    /// Duration of each slow-start episode (seconds).
+    pub slow_start_duration: f64,
+}
+
+impl FaultPlan {
+    /// A plan over `horizon` seconds for an app with `services` services
+    /// on `servers` servers; all rates start at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not positive or either count is zero.
+    pub fn new(horizon: f64, services: usize, servers: usize) -> Self {
+        assert!(
+            horizon.is_finite() && horizon > 0.0,
+            "horizon must be positive, got {horizon}"
+        );
+        assert!(services > 0, "need at least one service");
+        assert!(servers > 0, "need at least one server");
+        FaultPlan {
+            horizon,
+            services,
+            servers,
+            mean_crashes: 0.0,
+            mean_outages: 0.0,
+            outage_duration: 60.0,
+            mean_dropouts: 0.0,
+            dropout_duration: 300.0,
+            mean_actuation_failures: 0.0,
+            actuation_failure_duration: 300.0,
+            mean_slow_starts: 0.0,
+            slow_start_factor: 3.0,
+            slow_start_duration: 600.0,
+        }
+    }
+
+    /// Sets the expected number of replica crashes.
+    #[must_use]
+    pub fn with_crashes(mut self, mean: f64) -> Self {
+        self.mean_crashes = mean;
+        self
+    }
+
+    /// Sets the expected number and duration of server outages.
+    #[must_use]
+    pub fn with_outages(mut self, mean: f64, duration: f64) -> Self {
+        self.mean_outages = mean;
+        self.outage_duration = duration;
+        self
+    }
+
+    /// Sets the expected number and duration of monitor dropouts.
+    #[must_use]
+    pub fn with_dropouts(mut self, mean: f64, duration: f64) -> Self {
+        self.mean_dropouts = mean;
+        self.dropout_duration = duration;
+        self
+    }
+
+    /// Sets the expected number and duration of actuation failures.
+    #[must_use]
+    pub fn with_actuation_failures(mut self, mean: f64, duration: f64) -> Self {
+        self.mean_actuation_failures = mean;
+        self.actuation_failure_duration = duration;
+        self
+    }
+
+    /// Sets the expected number, factor, and duration of slow starts.
+    #[must_use]
+    pub fn with_slow_starts(mut self, mean: f64, factor: f64, duration: f64) -> Self {
+        self.mean_slow_starts = mean;
+        self.slow_start_factor = factor;
+        self.slow_start_duration = duration;
+        self
+    }
+
+    /// Generates a schedule: a deterministic function of `seed`.
+    ///
+    /// Each category draws from its own forked RNG stream, so adding a
+    /// category (or raising one rate) never reshuffles the others —
+    /// experiments stay comparable across plan tweaks.
+    pub fn generate(&self, seed: u64) -> FaultSchedule {
+        let mut root = SimRng::seed_from(seed);
+        let mut streams: Vec<SimRng> = (0..5).map(|_| root.fork()).collect();
+        let mut schedule = FaultSchedule::new();
+
+        let times = |rng: &mut SimRng, mean_events: f64, horizon: f64| -> Vec<f64> {
+            let mut out = Vec::new();
+            if mean_events <= 0.0 {
+                return out;
+            }
+            let mean_gap = horizon / mean_events;
+            let mut t = rng.exponential(mean_gap);
+            while t < horizon {
+                out.push(t);
+                t += rng.exponential(mean_gap);
+            }
+            out
+        };
+
+        let weights = vec![1.0; self.services];
+        for t in times(&mut streams[0], self.mean_crashes, self.horizon) {
+            let service = streams[0].categorical(&weights);
+            schedule.push(t, FaultKind::ReplicaCrash { service });
+        }
+        let server_weights = vec![1.0; self.servers];
+        for t in times(&mut streams[1], self.mean_outages, self.horizon) {
+            let server = streams[1].categorical(&server_weights);
+            schedule.push(
+                t,
+                FaultKind::ServerOutage {
+                    server,
+                    duration: self.outage_duration,
+                },
+            );
+        }
+        for t in times(&mut streams[2], self.mean_dropouts, self.horizon) {
+            schedule.push(
+                t,
+                FaultKind::MonitorDropout {
+                    duration: self.dropout_duration,
+                },
+            );
+        }
+        for t in times(&mut streams[3], self.mean_actuation_failures, self.horizon) {
+            schedule.push(
+                t,
+                FaultKind::ActuationFailure {
+                    duration: self.actuation_failure_duration,
+                },
+            );
+        }
+        for t in times(&mut streams[4], self.mean_slow_starts, self.horizon) {
+            schedule.push(
+                t,
+                FaultKind::SlowStart {
+                    factor: self.slow_start_factor,
+                    duration: self.slow_start_duration,
+                },
+            );
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_stays_sorted() {
+        let s = FaultSchedule::new()
+            .at(100.0, FaultKind::ReplicaCrash { service: 0 })
+            .at(10.0, FaultKind::MonitorDropout { duration: 5.0 })
+            .at(50.0, FaultKind::ReplicaCrash { service: 1 });
+        let times: Vec<f64> = s.events().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![10.0, 50.0, 100.0]);
+    }
+
+    #[test]
+    fn ties_keep_push_order() {
+        let s = FaultSchedule::new()
+            .at(10.0, FaultKind::ReplicaCrash { service: 0 })
+            .at(10.0, FaultKind::ReplicaCrash { service: 1 });
+        assert_eq!(s.events()[0].kind, FaultKind::ReplicaCrash { service: 0 });
+        assert_eq!(s.events()[1].kind, FaultKind::ReplicaCrash { service: 1 });
+    }
+
+    #[test]
+    fn validate_flags_out_of_range_indices() {
+        let s = FaultSchedule::new().at(1.0, FaultKind::ReplicaCrash { service: 3 });
+        assert!(s.validate(3, 1).is_err());
+        assert!(s.validate(4, 1).is_ok());
+        let s = FaultSchedule::new().at(
+            1.0,
+            FaultKind::ServerOutage {
+                server: 2,
+                duration: 10.0,
+            },
+        );
+        assert!(s.validate(1, 2).is_err());
+        assert!(s.validate(1, 3).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn rejects_zero_duration() {
+        let _ = FaultSchedule::new().at(1.0, FaultKind::MonitorDropout { duration: 0.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "fault time must be >= 0")]
+    fn rejects_negative_time() {
+        let _ = FaultSchedule::new().at(-1.0, FaultKind::ReplicaCrash { service: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "slow-start factor must be >= 1")]
+    fn rejects_sub_unity_slow_start() {
+        let _ = FaultSchedule::new().at(
+            1.0,
+            FaultKind::SlowStart {
+                factor: 0.5,
+                duration: 10.0,
+            },
+        );
+    }
+
+    #[test]
+    fn generate_is_seed_deterministic() {
+        let plan = FaultPlan::new(3600.0, 6, 2)
+            .with_crashes(3.0)
+            .with_outages(1.0, 60.0)
+            .with_dropouts(2.0, 300.0)
+            .with_actuation_failures(1.0, 200.0)
+            .with_slow_starts(1.0, 4.0, 500.0);
+        assert_eq!(plan.generate(42), plan.generate(42));
+        assert_ne!(plan.generate(42), plan.generate(43));
+    }
+
+    #[test]
+    fn generate_respects_horizon_and_indices() {
+        let plan = FaultPlan::new(1000.0, 3, 2)
+            .with_crashes(10.0)
+            .with_outages(5.0, 30.0);
+        let s = plan.generate(7);
+        assert!(!s.is_empty());
+        assert!(s.events().iter().all(|e| e.time < 1000.0));
+        s.validate(3, 2).expect("generated indices in range");
+    }
+
+    #[test]
+    fn raising_one_rate_leaves_other_streams_alone() {
+        let base = FaultPlan::new(2000.0, 4, 2)
+            .with_crashes(3.0)
+            .with_dropouts(2.0, 100.0);
+        let more_dropouts = base.with_dropouts(6.0, 100.0);
+        let crashes = |s: &FaultSchedule| -> Vec<(f64, FaultKind)> {
+            s.events()
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::ReplicaCrash { .. }))
+                .map(|e| (e.time, e.kind))
+                .collect()
+        };
+        assert_eq!(
+            crashes(&base.generate(11)),
+            crashes(&more_dropouts.generate(11)),
+            "independent streams: dropout rate must not reshuffle crashes"
+        );
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        for k in [
+            FaultKind::ReplicaCrash { service: 1 },
+            FaultKind::ServerOutage {
+                server: 0,
+                duration: 60.0,
+            },
+            FaultKind::MonitorDropout { duration: 300.0 },
+            FaultKind::ActuationFailure { duration: 120.0 },
+            FaultKind::SlowStart {
+                factor: 3.0,
+                duration: 600.0,
+            },
+        ] {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = FaultSchedule::new()
+            .at(5.0, FaultKind::ReplicaCrash { service: 2 })
+            .at(
+                9.0,
+                FaultKind::SlowStart {
+                    factor: 2.0,
+                    duration: 30.0,
+                },
+            );
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -184,6 +184,95 @@ impl TpsSeries {
     }
 }
 
+/// A time series of per-window service availability — the fraction of
+/// each window the service was able to serve (e.g. had a ready replica).
+///
+/// Fault-injection experiments (replica crashes, server outages) judge
+/// an autoscaler not just on capacity balance but on how fast it
+/// restores redundancy: mean availability, integrated downtime, and the
+/// longest stretch spent below an availability floor.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityTrace {
+    points: Vec<(f64, f64, f64)>, // (start, end, availability)
+}
+
+impl AvailabilityTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        AvailabilityTrace::default()
+    }
+
+    /// Appends a window's availability.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive span, an availability outside `[0, 1]`,
+    /// or a window that precedes the previous one.
+    pub fn push(&mut self, start: f64, end: f64, availability: f64) {
+        assert!(end > start, "window must have positive span");
+        assert!(
+            (0.0..=1.0).contains(&availability),
+            "availability must be in [0, 1]"
+        );
+        if let Some(&(_, prev_end, _)) = self.points.last() {
+            assert!(start >= prev_end - 1e-9, "windows must be ordered");
+        }
+        self.points.push((start, end, availability));
+    }
+
+    /// `(start, end, availability)` triples.
+    pub fn points(&self) -> &[(f64, f64, f64)] {
+        &self.points
+    }
+
+    /// Time-weighted mean availability over all recorded windows.
+    pub fn mean_availability(&self) -> f64 {
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for &(s, e, a) in &self.points {
+            weighted += a * (e - s);
+            total += e - s;
+        }
+        if total > 0.0 {
+            weighted / total
+        } else {
+            1.0
+        }
+    }
+
+    /// Smallest window availability (1.0 when empty).
+    pub fn min_availability(&self) -> f64 {
+        self.points.iter().map(|&(_, _, a)| a).fold(1.0, f64::min)
+    }
+
+    /// Integrated unavailability `∫ (1 − a) dt` (seconds of effective
+    /// downtime) — e.g. a window of 120 s at availability 0.75
+    /// contributes 30.
+    pub fn downtime(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(s, e, a)| (1.0 - a) * (e - s))
+            .sum()
+    }
+
+    /// Longest consecutive stretch (seconds) spent below `threshold`
+    /// availability — the recovery-time proxy: how long the worst
+    /// incident lasted before redundancy was restored.
+    pub fn longest_outage(&self, threshold: f64) -> f64 {
+        let mut longest = 0.0f64;
+        let mut current = 0.0f64;
+        for &(s, e, a) in &self.points {
+            if a < threshold {
+                current += e - s;
+                longest = longest.max(current);
+            } else {
+                current = 0.0;
+            }
+        }
+        longest
+    }
+}
+
 /// Counts scaling actions: how many configuration changes an autoscaler
 /// issued (ATOM's model-driven plan needs fewer — §I, §V-B).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -300,6 +389,48 @@ mod tests {
         s.push(0.0, 10.0, 5.0);
         assert_eq!(s.mean_tps(20.0, 30.0), 0.0);
         assert_eq!(s.cumulative(20.0, 30.0), 0.0);
+    }
+
+    #[test]
+    fn availability_trace_metrics() {
+        let mut a = AvailabilityTrace::new();
+        a.push(0.0, 100.0, 1.0);
+        a.push(100.0, 200.0, 0.5); // incident
+        a.push(200.0, 300.0, 0.75); // recovering
+        a.push(300.0, 400.0, 1.0);
+        assert_eq!(a.mean_availability(), 0.8125);
+        assert_eq!(a.min_availability(), 0.5);
+        assert_eq!(a.downtime(), 75.0);
+        // Below 0.9 for the two middle windows; below 0.6 only for one.
+        assert_eq!(a.longest_outage(0.9), 200.0);
+        assert_eq!(a.longest_outage(0.6), 100.0);
+    }
+
+    #[test]
+    fn availability_outages_reset_on_recovery() {
+        let mut a = AvailabilityTrace::new();
+        a.push(0.0, 60.0, 0.0);
+        a.push(60.0, 120.0, 1.0);
+        a.push(120.0, 150.0, 0.5);
+        // Two separate incidents: the longest is the first.
+        assert_eq!(a.longest_outage(0.9), 60.0);
+        assert_eq!(a.downtime(), 75.0);
+    }
+
+    #[test]
+    fn empty_availability_is_perfect() {
+        let a = AvailabilityTrace::new();
+        assert_eq!(a.mean_availability(), 1.0);
+        assert_eq!(a.min_availability(), 1.0);
+        assert_eq!(a.downtime(), 0.0);
+        assert_eq!(a.longest_outage(0.99), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "availability must be in [0, 1]")]
+    fn availability_range_is_enforced() {
+        let mut a = AvailabilityTrace::new();
+        a.push(0.0, 10.0, 1.5);
     }
 
     #[test]

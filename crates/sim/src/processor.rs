@@ -259,6 +259,31 @@ impl PsProcessor {
         self.groups[group.0].busy_integral
     }
 
+    /// [`PsProcessor::busy_core_seconds`] projected to `now` *without*
+    /// advancing state: the accumulated integral plus the current
+    /// allocation extrapolated over `now - last_update` (allocations only
+    /// change at mutating calls, so the extrapolation is exact).
+    ///
+    /// Monitors should read utilisation at observation points (window
+    /// boundaries) through this instead of `advance` + the accumulator:
+    /// advancing splits the remaining-work arithmetic at the observation
+    /// time, so the same simulation windowed differently would drift
+    /// apart by floating-point rounding. A pure read keeps replays
+    /// bit-identical across window sizes.
+    pub fn busy_core_seconds_at(&self, now: f64) -> f64 {
+        let dt = (now - self.last_update).max(0.0);
+        let total_alloc: f64 = self.groups.iter().map(|g| g.alloc).sum();
+        self.busy_integral + total_alloc * dt
+    }
+
+    /// [`PsProcessor::group_busy_core_seconds`] projected to `now`
+    /// without advancing state (see [`PsProcessor::busy_core_seconds_at`]).
+    pub fn group_busy_core_seconds_at(&self, now: f64, group: GroupId) -> f64 {
+        let dt = (now - self.last_update).max(0.0);
+        let g = &self.groups[group.0];
+        g.busy_integral + g.alloc * dt
+    }
+
     /// Recomputes the water-filling allocation. Called internally after any
     /// change; bumps the generation counter.
     fn reallocate(&mut self) {
@@ -458,6 +483,23 @@ mod tests {
         cpu.advance(3.0);
         // Two jobs, cap 2 -> 2 cores busy for 3 s.
         assert!((cpu.busy_core_seconds() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projected_integrals_match_advance_without_mutating() {
+        let mut cpu = PsProcessor::new(2.0, 1.0);
+        let g = cpu.add_group(2.0);
+        let j = cpu.add_job(0.0, g, 10.0);
+        // Projection at t=3 agrees with what advancing would report...
+        let projected = cpu.busy_core_seconds_at(3.0);
+        let group_projected = cpu.group_busy_core_seconds_at(3.0, g);
+        let mut advanced = cpu.clone();
+        advanced.advance(3.0);
+        assert_eq!(projected, advanced.busy_core_seconds());
+        assert_eq!(group_projected, advanced.group_busy_core_seconds(g));
+        // ...but leaves the simulation state untouched.
+        assert!((cpu.remaining(0.0, j) - 10.0).abs() < 1e-12);
+        assert_eq!(cpu.busy_core_seconds(), 0.0);
     }
 
     #[test]

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             atom = Atom::new(binding, cfg);
             &mut atom
         };
-        results.push(run_experiment(&spec, workload, scaler, config)?);
+        results.push(run_experiment(&spec, workload, scaler, config.clone())?);
     }
 
     println!("window      UV TPS    ATOM TPS");

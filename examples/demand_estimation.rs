@@ -20,11 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cluster = Cluster::new(
         &spec,
         workload,
-        ClusterOptions {
-            seed: 7,
-            monitor_noise: 0.08, // real CPU counters are noisy
-            ..Default::default()
-        },
+        ClusterOptions::new().with_seed(7).with_monitor_noise(0.08), // real CPU counters are noisy
     )?;
     cluster.set_probe(carts_db, EndpointId(0));
     cluster.run_window(300.0); // warm-up

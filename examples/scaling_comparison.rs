@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &mut atom
             }
         };
-        let result = run_experiment(&spec, workload, scaler, config)?;
+        let result = run_experiment(&spec, workload, scaler, config.clone())?;
         println!(
             "{:<6}  {:>19.1}  {:>18.1}  {:>8.0}  {:>12.0}  {:>9}",
             result.scaler,

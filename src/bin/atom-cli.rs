@@ -95,10 +95,7 @@ fn run_scenario_result(
     let config = ExperimentConfig {
         windows: scenario.windows,
         window_secs: scenario.window_secs,
-        cluster: ClusterOptions {
-            seed: scenario.seed,
-            ..Default::default()
-        },
+        cluster: ClusterOptions::new().with_seed(scenario.seed),
     };
     let mut atom_scaler;
     let mut uh;
@@ -219,10 +216,7 @@ fn trace_scenario(scenario: &Scenario) -> Result<(), Box<dyn std::error::Error>>
     let mut cluster = Cluster::new(
         &scenario.app,
         scenario.workload.clone(),
-        ClusterOptions {
-            seed: scenario.seed,
-            ..Default::default()
-        },
+        ClusterOptions::new().with_seed(scenario.seed),
     )?;
     cluster.run_window(60.0); // settle
     cluster.arm_trace(None);

@@ -11,6 +11,8 @@
 //! * [`lqn`] — layered queueing networks: model, analytic solver, simulator.
 //! * [`workload`] — closed workloads, request mixes, burstiness injection.
 //! * [`cluster`] — the simulated container cluster "testbed".
+//! * [`faults`] — deterministic fault-injection schedules (crashes,
+//!   outages, monitor dropouts, actuation failures, slow starts).
 //! * [`estimation`] — service-demand estimation (utilisation law vs
 //!   response-time regression).
 //! * [`ga`] — the genetic algorithm powering ATOM's optimizer.
@@ -36,6 +38,7 @@
 pub use atom_cluster as cluster;
 pub use atom_core as core;
 pub use atom_estimation as estimation;
+pub use atom_faults as faults;
 pub use atom_ga as ga;
 pub use atom_lqn as lqn;
 pub use atom_metrics as metrics;

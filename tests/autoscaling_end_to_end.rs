@@ -15,10 +15,7 @@ fn config(windows: usize, seed: u64) -> ExperimentConfig {
     ExperimentConfig {
         windows,
         window_secs: 300.0,
-        cluster: ClusterOptions {
-            seed,
-            ..Default::default()
-        },
+        cluster: ClusterOptions::new().with_seed(seed),
     }
 }
 
