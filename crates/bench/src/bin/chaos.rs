@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! chaos [--smoke] [--quick] [--seed N] [--out DIR]
+//!       [--trace-out FILE] [--metrics-out FILE] [--quiet] [--verbose]
 //! ```
 //!
 //! `--smoke` runs the quick variant and exits non-zero if ATOM wedges
@@ -11,12 +12,17 @@
 //! never scales at all, or the cluster ends the run without restoring
 //! availability — CI's guard that the degraded-mode control loop keeps
 //! functioning under faults.
+//!
+//! `--trace-out` writes the per-window MAPE-K decision journal as JSONL;
+//! `--metrics-out` writes a Prometheus-text snapshot. Both are derived
+//! after the runs finish and never change experiment outputs.
 
 use atom_bench::figures::chaos;
-use atom_bench::HarnessOptions;
+use atom_bench::{trace, HarnessOptions};
 
 fn smoke(opts: &HarnessOptions) {
     let results = chaos::run_matrix(opts, 6, 120.0);
+    trace::emit(opts, &results);
     let atom = results
         .iter()
         .find(|r| r.scaler == "ATOM")
@@ -43,7 +49,7 @@ fn smoke(opts: &HarnessOptions) {
             ));
         }
         let injected_failures: usize = r.reports.iter().map(|w| w.failed_actuations).sum();
-        eprintln!(
+        atom_obs::progress!(
             "smoke: {} actions={} failed_actuations={} final_avail={:.4}",
             r.scaler,
             r.actions.len(),
@@ -53,7 +59,7 @@ fn smoke(opts: &HarnessOptions) {
     }
 
     if failures.is_empty() {
-        println!(
+        atom_obs::info!(
             "smoke OK: ATOM survived the schedule ({} actions, idle streak {} <= {})",
             atom.actions.len(),
             idle,
@@ -61,7 +67,7 @@ fn smoke(opts: &HarnessOptions) {
         );
     } else {
         for msg in &failures {
-            eprintln!("smoke FAILED: {msg}");
+            atom_obs::error!("smoke FAILED: {msg}");
         }
         std::process::exit(1);
     }
@@ -70,6 +76,7 @@ fn smoke(opts: &HarnessOptions) {
 fn main() {
     let mut opts = HarnessOptions::default();
     let mut run_smoke = false;
+    let (mut quiet, mut verbose) = (false, false);
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -78,6 +85,8 @@ fn main() {
                 opts.quick = true;
             }
             "--quick" => opts.quick = true,
+            "--quiet" => quiet = true,
+            "--verbose" => verbose = true,
             "--seed" => {
                 opts.seed = args
                     .next()
@@ -87,21 +96,33 @@ fn main() {
             "--out" => {
                 opts.out_dir = args.next().expect("--out needs a directory").into();
             }
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().expect("--trace-out needs a file path").into());
+            }
+            "--metrics-out" => {
+                opts.metrics_out =
+                    Some(args.next().expect("--metrics-out needs a file path").into());
+            }
             "--help" | "-h" => {
-                println!("usage: chaos [--smoke] [--quick] [--seed N] [--out DIR]");
+                println!(
+                    "usage: chaos [--smoke] [--quick] [--seed N] [--out DIR] \
+                     [--trace-out FILE] [--metrics-out FILE] [--quiet] [--verbose]"
+                );
                 return;
             }
             other => {
-                eprintln!("unknown argument `{other}`; run with --help");
+                atom_obs::error!("unknown argument `{other}`; run with --help");
                 std::process::exit(2);
             }
         }
     }
+    atom_obs::log::configure(quiet, verbose);
     if run_smoke {
         smoke(&opts);
         return;
     }
     std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
-    chaos::run(&opts);
-    println!("\nartefacts written to {}", opts.out_dir.display());
+    let results = chaos::run(&opts);
+    trace::emit(&opts, &results);
+    atom_obs::info!("\nartefacts written to {}", opts.out_dir.display());
 }

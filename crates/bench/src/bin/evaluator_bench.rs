@@ -64,7 +64,10 @@ fn repro_ga(budget: usize) -> GaOptions {
 }
 
 /// CI smoke mode: one scenario, assert the memo hit-rate and the
-/// worker-count invariance of the best decision.
+/// worker-count invariance of the best decision. The hit-rate is read
+/// from the exported `atom-obs` gauge — the same counters the journal
+/// and the metrics snapshot report — so the CI floor and the
+/// observability surface cannot drift apart.
 fn smoke() {
     let shop = SockShop::default();
     let mix = [0.33, 0.17, 0.50];
@@ -75,26 +78,37 @@ fn smoke() {
 
     let mut serial = CandidateEvaluator::new(&binding, &binding.model, &objective);
     let result = search_with(&mut serial, ga);
-    println!("smoke: N=1500, budget 800, seed 42: {}", result.stats);
+    atom_obs::info!("smoke: N=1500, budget 800, seed 42: {}", result.stats);
 
     let mut threaded =
         CandidateEvaluator::new(&binding, &binding.model, &objective).with_workers(cores);
     let par = search_with(&mut threaded, ga);
     if par.decision != result.decision || par.eval != result.eval {
-        eprintln!("smoke FAILED: best decision changed with {cores} workers");
+        atom_obs::error!("smoke FAILED: best decision changed with {cores} workers");
         std::process::exit(1);
     }
 
-    let hit = result.stats.hit_rate();
+    let mut registry = atom_obs::Registry::new();
+    threaded.export_metrics(&mut registry, "evaluator");
+    let occupancy = threaded.worker_occupancy();
+    atom_obs::verbose!("worker occupancy: {occupancy:?}");
+    if cores > 1 && occupancy.iter().filter(|&&n| n > 0).count() < 2 {
+        atom_obs::error!("smoke FAILED: batch fan-out never occupied a second worker");
+        std::process::exit(1);
+    }
+
+    let hit = registry
+        .gauge("evaluator_hit_rate")
+        .expect("export_metrics publishes the hit-rate gauge");
     if hit < SMOKE_MIN_HIT_RATE {
-        eprintln!(
+        atom_obs::error!(
             "smoke FAILED: memo hit-rate {:.1}% below the pinned {:.0}% floor",
             100.0 * hit,
             100.0 * SMOKE_MIN_HIT_RATE
         );
         std::process::exit(1);
     }
-    println!(
+    atom_obs::info!(
         "smoke OK: hit-rate {:.1}% >= {:.0}%, best decision worker-count invariant",
         100.0 * hit,
         100.0 * SMOKE_MIN_HIT_RATE
@@ -102,7 +116,12 @@ fn smoke() {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().collect();
+    atom_obs::log::configure(
+        args.iter().any(|a| a == "--quiet"),
+        args.iter().any(|a| a == "--verbose"),
+    );
+    if args.iter().any(|a| a == "--smoke") {
         smoke();
         return;
     }
@@ -110,10 +129,10 @@ fn main() {
     let mix = [0.33, 0.17, 0.50];
     let budget = 800usize;
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    println!(
+    atom_obs::info!(
         "candidate-evaluation throughput, Sock Shop model, GA budget {budget}, {cores} core(s)"
     );
-    println!();
+    atom_obs::info!();
     for users in [500usize, 1500, 3000] {
         let binding = shop.binding(users, 7.0, &mix);
         let objective = shop.objective();
@@ -145,41 +164,42 @@ fn main() {
         let base_rate = base_n as f64 / base_secs;
         let eval_rate = result.evaluations as f64 / eval_secs;
         let par_rate = par.evaluations as f64 / par_secs;
-        println!("N={users}:");
-        println!(
+        atom_obs::info!("N={users}:");
+        atom_obs::info!(
             "  baseline (clone-per-candidate, serial):  {base_n} evals in {base_secs:.3} s \
              = {base_rate:.0} evals/s, best objective {:.4}",
             base_eval.objective
         );
-        println!(
+        atom_obs::info!(
             "  evaluator (memoised + warm-start, 1 wk): {} evals in {eval_secs:.3} s \
              = {eval_rate:.0} evals/s, best objective {:.4}",
-            result.evaluations, result.eval.objective
+            result.evaluations,
+            result.eval.objective
         );
         let par_label = format!("evaluator ({cores} workers):");
-        println!(
+        atom_obs::info!(
             "  {par_label:<41}{} evals in {par_secs:.3} s \
              = {par_rate:.0} evals/s (bitwise identical result)",
             par.evaluations
         );
-        println!(
+        atom_obs::info!(
             "  speedup serial {:.2}x, parallel {:.2}x | solves saved {}",
             eval_rate / base_rate,
             par_rate / base_rate,
             result.stats.solves_saved(),
         );
-        println!("  stats: {}", result.stats);
+        atom_obs::info!("  stats: {}", result.stats);
+        // Cold/hinted split straight off the shared stats methods — the
+        // same partition the decision journal and metrics export report.
         let s = &result.stats;
-        let cold_solves = s.solves - s.hinted_solves;
-        let cold_iters = s.solver_iterations - s.hinted_iterations;
-        println!(
+        atom_obs::info!(
             "  iters/solve: baseline {:.0} | evaluator cold {:.0} ({} solves) | hinted {:.0} ({} solves)",
             base_iters as f64 / base_n as f64,
-            cold_iters as f64 / cold_solves.max(1) as f64,
-            cold_solves,
-            s.hinted_iterations as f64 / s.hinted_solves.max(1) as f64,
+            s.mean_cold_iterations().unwrap_or(0.0),
+            s.cold_solves(),
+            s.mean_hinted_iterations().unwrap_or(0.0),
             s.hinted_solves,
         );
-        println!();
+        atom_obs::info!();
     }
 }

@@ -6,7 +6,7 @@ fn main() {
         let model = shop.lqn_model(n, 7.0, &[0.33, 0.17, 0.50]);
         let t0 = std::time::Instant::now();
         let sol = solve(&model, SolverOptions::default()).unwrap();
-        println!(
+        atom_obs::info!(
             "n={n}: X={:.2} inner-iterations={} time={:?}",
             sol.client_throughput,
             sol.iterations,

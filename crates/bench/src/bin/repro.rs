@@ -3,34 +3,138 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--out DIR] <command> [command...]
+//! repro [--quick] [--seed N] [--out DIR] [--trace-out FILE]
+//!       [--metrics-out FILE] [--quiet] [--verbose] <command> [command...]
 //! commands: fig2 fig4 table3 fig5 table4 fig7 fig8 fig9 fig10 fig11
-//!           fig12 fig13 setup validation evaluation all
+//!           fig12 fig13 setup validation evaluation ablation chaos all
 //! ```
+//!
+//! `repro --smoke` runs a short ATOM + UH pair, exports the decision
+//! journal, and re-parses every emitted JSONL line through the
+//! `atom-obs` schema — the schema-stability gate CI runs on every
+//! commit. With `--trace-out`/`--metrics-out` the artefacts are also
+//! written to disk.
 
+use atom_bench::eval::{run_one, ScalerKind};
 use atom_bench::figures::{
     ablation, chaos, fig11, fig12, fig13, fig2, fig4, fig7, fig8910, validation,
 };
-use atom_bench::{eval, HarnessOptions};
+use atom_bench::{eval, trace, HarnessOptions};
+use atom_obs::{Journal, Record};
+use atom_sockshop::{scenarios, SockShop};
 
 fn print_setup() {
-    println!("== Tables I/V/VI: experimental setup (encoded constants) ==");
-    println!(
+    atom_obs::info!("== Tables I/V/VI: experimental setup (encoded constants) ==");
+    atom_obs::info!(
         "Table I  : case A: N=1000, fe share 0.2; case B: N=4000, fe share 1.0; mix 57/29/14, Z=7s"
     );
-    println!("Table V  : server-1: 4 cores @1.2 (router, front-end, carts-db)");
-    println!("           server-2: 4 cores @0.8 (catalogue, carts, catalogue-db)");
-    println!("Table VI : browsing 63/32/5, shopping 54/26/20, ordering 33/17/50; N in {{1000,2000,3000}}, Z=7s");
-    println!("protocol : 40-minute runs, workload ramps 500->N over the first 25 minutes, 5-minute windows");
+    atom_obs::info!("Table V  : server-1: 4 cores @1.2 (router, front-end, carts-db)");
+    atom_obs::info!("           server-2: 4 cores @0.8 (catalogue, carts, catalogue-db)");
+    atom_obs::info!("Table VI : browsing 63/32/5, shopping 54/26/20, ordering 33/17/50; N in {{1000,2000,3000}}, Z=7s");
+    atom_obs::info!("protocol : 40-minute runs, workload ramps 500->N over the first 25 minutes, 5-minute windows");
+}
+
+/// The schema-stability smoke gate: run a short experiment pair, emit
+/// the journal, and require every line to parse back through the
+/// `atom-obs` record types with the expected per-window content.
+fn smoke(opts: &HarnessOptions) {
+    let shop = SockShop::default();
+    let windows = 3usize;
+    let mut results = Vec::new();
+    for kind in [ScalerKind::Uh, ScalerKind::Atom] {
+        atom_obs::progress!("smoke: running {} ({windows} windows)", kind.name());
+        let workload = scenarios::evaluation_workload(scenarios::ordering_mix(), 1500);
+        results.push(run_one(&shop, workload, kind, windows, 120.0, opts));
+    }
+    trace::emit(opts, &results);
+
+    // Validate the JSONL exactly as a consumer would see it: from the
+    // file when --trace-out was given, from the in-memory rendering
+    // otherwise.
+    let jsonl = match &opts.trace_out {
+        Some(path) => std::fs::read_to_string(path).expect("read back the emitted journal"),
+        None => trace::journal_of(&results).to_jsonl(),
+    };
+    let mut failures = Vec::new();
+    let events = match Journal::parse_jsonl(&jsonl) {
+        Ok(events) => events,
+        Err(e) => {
+            atom_obs::error!("smoke FAILED: emitted journal does not re-parse: {e}");
+            std::process::exit(1);
+        }
+    };
+    let decisions: Vec<_> = events
+        .iter()
+        .filter_map(|e| match &e.record {
+            Record::Decision(d) => Some(d),
+            _ => None,
+        })
+        .collect();
+    let runs = events
+        .iter()
+        .filter(|e| matches!(e.record, Record::Run(_)))
+        .count();
+    if decisions.len() != results.len() * windows {
+        failures.push(format!(
+            "expected {} decision records ({} scalers x {windows} windows), found {}",
+            results.len() * windows,
+            results.len(),
+            decisions.len()
+        ));
+    }
+    if runs != results.len() {
+        failures.push(format!(
+            "expected {} run records, found {runs}",
+            results.len()
+        ));
+    }
+    for d in decisions.iter().filter(|d| d.scaler == "ATOM") {
+        let Some(ev) = &d.evaluator else {
+            failures.push(format!(
+                "ATOM window {} journals no evaluator counters",
+                d.window
+            ));
+            continue;
+        };
+        if ev.solves == 0 || ev.solver_iterations == 0 {
+            failures.push(format!(
+                "ATOM window {}: empty solver counters ({} solves, {} iterations)",
+                d.window, ev.solves, ev.solver_iterations
+            ));
+        }
+        if d.ga.is_none() {
+            failures.push(format!("ATOM window {} journals no GA stats", d.window));
+        }
+    }
+    if failures.is_empty() {
+        atom_obs::info!(
+            "smoke OK: {} journal events re-parse ({} decisions, {runs} run summaries)",
+            events.len(),
+            decisions.len()
+        );
+    } else {
+        for msg in &failures {
+            atom_obs::error!("smoke FAILED: {msg}");
+        }
+        std::process::exit(1);
+    }
 }
 
 fn main() {
     let mut opts = HarnessOptions::default();
     let mut commands: Vec<String> = Vec::new();
+    let mut run_smoke = false;
+    let (mut quiet, mut verbose) = (false, false);
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
+            "--quiet" => quiet = true,
+            "--verbose" => verbose = true,
+            "--smoke" => {
+                run_smoke = true;
+                opts.quick = true;
+            }
             "--seed" => {
                 opts.seed = args
                     .next()
@@ -40,9 +144,17 @@ fn main() {
             "--out" => {
                 opts.out_dir = args.next().expect("--out needs a directory").into();
             }
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().expect("--trace-out needs a file path").into());
+            }
+            "--metrics-out" => {
+                opts.metrics_out =
+                    Some(args.next().expect("--metrics-out needs a file path").into());
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--seed N] [--out DIR] <command>...\n\
+                    "usage: repro [--quick] [--smoke] [--seed N] [--out DIR] \
+                     [--trace-out FILE] [--metrics-out FILE] [--quiet] [--verbose] <command>...\n\
                      commands: setup fig2 fig4 table3 fig5 table4 validation fig7 \
                      fig8 fig9 fig10 evaluation fig11 fig12 fig13 ablation chaos all"
                 );
@@ -50,6 +162,11 @@ fn main() {
             }
             other => commands.push(other.to_string()),
         }
+    }
+    atom_obs::log::configure(quiet, verbose);
+    if run_smoke {
+        smoke(&opts);
+        return;
     }
     if commands.is_empty() {
         commands.push("all".into());
@@ -76,7 +193,7 @@ fn main() {
     ];
     for c in &commands {
         if !KNOWN.contains(&c.as_str()) {
-            eprintln!("unknown command `{c}`; run with --help for the list");
+            atom_obs::error!("unknown command `{c}`; run with --help for the list");
             std::process::exit(2);
         }
     }
@@ -100,7 +217,7 @@ fn main() {
         fig4::run(&opts);
     }
     if wants("table3") || wants("fig5") || wants("table4") {
-        eprintln!("running the Table II validation sweep (12 runs)...");
+        atom_obs::progress!("running the Table II validation sweep (12 runs)...");
         let runs = validation::sweep(&opts);
         if wants("table3") {
             validation::table3(&runs, &opts);
@@ -116,7 +233,7 @@ fn main() {
         fig7::run(&opts);
     }
     if wants("fig8") || wants("fig9") || wants("fig10") {
-        eprintln!("running the evaluation matrix (27 runs)...");
+        atom_obs::progress!("running the evaluation matrix (27 runs)...");
         let matrix = eval::evaluation_matrix(&opts);
         if wants("fig8") {
             fig8910::fig8(&matrix, &opts);
@@ -141,7 +258,8 @@ fn main() {
         ablation::run(&opts);
     }
     if wants("chaos") {
-        chaos::run(&opts);
+        let results = chaos::run(&opts);
+        trace::emit(&opts, &results);
     }
-    println!("\nartefacts written to {}", opts.out_dir.display());
+    atom_obs::info!("\nartefacts written to {}", opts.out_dir.display());
 }

@@ -148,7 +148,7 @@ pub fn evaluation_matrix(opts: &HarnessOptions) -> Vec<MatrixCell> {
     for (mix_name, mix) in scenarios::evaluation_mixes() {
         for &users in &[1000usize, 2000, 3000] {
             for kind in ScalerKind::baselines_and_atom() {
-                eprintln!("  running {mix_name} N={users} {}", kind.name());
+                atom_obs::progress!("  running {mix_name} N={users} {}", kind.name());
                 let workload = scenarios::evaluation_workload(mix.clone(), users);
                 let result = run_one(
                     &shop,

@@ -45,7 +45,7 @@ fn atom_with(
 
 /// GA vs random search on the analyzed heavy-ordering model.
 pub fn optimizer_ablation(opts: &HarnessOptions) {
-    println!("\n== Ablation: GA vs random search (ordering, N = 3000) ==");
+    atom_obs::info!("\n== Ablation: GA vs random search (ordering, N = 3000) ==");
     let shop = SockShop::default();
     let binding = shop.binding(3000, scenarios::THINK_TIME, &[0.33, 0.17, 0.50]);
     let objective = shop.objective();
@@ -87,7 +87,7 @@ pub fn optimizer_ablation(opts: &HarnessOptions) {
 
 /// Quick fixes on vs off: CPU allocated and TPS.
 pub fn quickfix_ablation(opts: &HarnessOptions) {
-    println!("\n== Ablation: planner quick fixes (ordering, N = 2000) ==");
+    atom_obs::info!("\n== Ablation: planner quick fixes (ordering, N = 2000) ==");
     let shop = SockShop::default();
     let mut table = Table::new(&["variant", "TPS", "mean allocated cores", "T_u [s]"]);
     for (label, fixes) in [("with quick fixes", true), ("without quick fixes", false)] {
@@ -121,7 +121,7 @@ pub fn quickfix_ablation(opts: &HarnessOptions) {
 
 /// Peak-rate monitoring on vs off under high burstiness.
 pub fn peak_monitoring_ablation(opts: &HarnessOptions) {
-    println!("\n== Ablation: peak-rate monitoring under burstiness (I = 4000) ==");
+    atom_obs::info!("\n== Ablation: peak-rate monitoring under burstiness (I = 4000) ==");
     let shop = SockShop::default();
     let mut table = Table::new(&["variant", "cumulative transactions"]);
     let horizon = opts.windows() as f64 * opts.window_secs();
@@ -146,7 +146,7 @@ pub fn peak_monitoring_ablation(opts: &HarnessOptions) {
         table.row(vec![label.to_string(), f(cum, 0)]);
     }
     table.print();
-    println!(
+    atom_obs::info!(
         "peak monitoring contributes {:+.1}% cumulative TPS under burstiness",
         100.0 * (values[0] - values[1]) / values[1]
     );
@@ -155,7 +155,7 @@ pub fn peak_monitoring_ablation(opts: &HarnessOptions) {
 
 /// Online demand calibration with a mis-profiled model (§VII).
 pub fn online_demands_ablation(opts: &HarnessOptions) {
-    println!("\n== Extension: online demand calibration with 50% mis-profiled demands ==");
+    atom_obs::info!("\n== Extension: online demand calibration with 50% mis-profiled demands ==");
     let shop = SockShop::default();
     // A shop whose *model* demands are half the truth: the cluster runs
     // the true demands; only ATOM's LQN template is wrong.

@@ -126,7 +126,7 @@ pub fn run_matrix(
     ScalerKind::baselines_and_atom()
         .into_iter()
         .map(|kind| {
-            eprintln!("  running chaos {}", kind.name());
+            atom_obs::progress!("  running chaos {}", kind.name());
             let workload = scenarios::evaluation_workload(scenarios::ordering_mix(), 2000);
             run_one_with_cluster(
                 &shop,
@@ -144,9 +144,10 @@ pub fn run_matrix(
 }
 
 /// The full chaos artefact: summary table plus availability traces, all
-/// written under `results/`.
-pub fn run(opts: &HarnessOptions) {
-    println!("\n== Chaos: ATOM vs UH vs UV under a fault schedule (ordering, N = 2000) ==");
+/// written under `results/`. Returns the experiment results so callers
+/// can export the decision journal (`--trace-out`).
+pub fn run(opts: &HarnessOptions) -> Vec<ExperimentResult> {
+    atom_obs::info!("\n== Chaos: ATOM vs UH vs UV under a fault schedule (ordering, N = 2000) ==");
     let (windows, window_secs) = if opts.quick {
         (6usize, 120.0)
     } else {
@@ -154,7 +155,7 @@ pub fn run(opts: &HarnessOptions) {
     };
     let horizon = windows as f64 * window_secs;
     for e in chaos_schedule(horizon, window_secs).events() {
-        println!("  t={:>6.0}s  {}", e.time, e.kind);
+        atom_obs::info!("  t={:>6.0}s  {}", e.time, e.kind);
     }
 
     let results = run_matrix(opts, windows, window_secs);
@@ -206,15 +207,16 @@ pub fn run(opts: &HarnessOptions) {
     // ATOM's own account of the degraded windows: dropped batches it
     // re-issued, orders it abandoned, windows it refused to re-fit on.
     if let Some(atom) = results.iter().find(|r| r.scaler == "ATOM") {
-        println!("\nATOM window-by-window explanations:");
+        atom_obs::info!("\nATOM window-by-window explanations:");
         for (w, text) in atom.reports.iter().zip(&atom.explanations) {
             if let Some(text) = text {
-                println!("  [{:>5.0},{:>5.0})  {}", w.start, w.end, text);
+                atom_obs::info!("  [{:>5.0},{:>5.0})  {}", w.start, w.end, text);
             }
         }
-        println!(
+        atom_obs::info!(
             "ATOM longest idle-while-underprovisioned streak: {} window(s)",
             longest_idle_underprovisioned(atom)
         );
     }
+    results
 }

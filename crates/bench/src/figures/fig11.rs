@@ -10,7 +10,7 @@ use crate::HarnessOptions;
 
 /// Regenerates Fig. 11 and writes `fig11_{uv,atom}.csv`.
 pub fn run(opts: &HarnessOptions) {
-    println!("\n== Fig. 11: layered bottleneck — demand vs supply per window ==");
+    atom_obs::info!("\n== Fig. 11: layered bottleneck — demand vs supply per window ==");
     let shop = SockShop::default();
     let services = [
         ("A(router)", SVC_ROUTER),
@@ -18,7 +18,7 @@ pub fn run(opts: &HarnessOptions) {
         ("C(carts)", SVC_CARTS),
     ];
     for kind in [ScalerKind::Uv, ScalerKind::Atom] {
-        eprintln!("  running fig11 {}", kind.name());
+        atom_obs::progress!("  running fig11 {}", kind.name());
         let result = run_one(
             &shop,
             scenarios::evaluation_workload(scenarios::ordering_mix(), 2000),
@@ -27,7 +27,7 @@ pub fn run(opts: &HarnessOptions) {
             opts.window_secs(),
             opts,
         );
-        println!("\n{}:", kind.name());
+        atom_obs::info!("\n{}:", kind.name());
         let mut header = vec!["window".to_string()];
         for (label, _) in &services {
             header.push(format!("{label} need"));
@@ -56,7 +56,7 @@ pub fn run(opts: &HarnessOptions) {
                 .rposition(|w| w.shortfall() > 0.01)
                 .map(|i| (i + 1).to_string())
                 .unwrap_or_else(|| "none".into());
-            println!("  {label}: last under-provisioned window = {last_starved}");
+            atom_obs::info!("  {label}: last under-provisioned window = {last_starved}");
         }
         table.write_csv(&opts.out_dir.join(format!(
             "fig11_{}.csv",

@@ -10,14 +10,14 @@ use crate::HarnessOptions;
 
 /// Regenerates Fig. 12 and writes `fig12.csv`.
 pub fn run(opts: &HarnessOptions) {
-    println!("\n== Fig. 12: monitoring-window size sweep (ordering, N = 2000) ==");
+    atom_obs::info!("\n== Fig. 12: monitoring-window size sweep (ordering, N = 2000) ==");
     let shop = SockShop::default();
     let mut table = Table::new(&["window [min]", "scaler", "T_u [s]", "A_u [core-s]", "TPS"]);
     for window_mins in [2.0f64, 5.0, 10.0] {
         let window_secs = window_mins * 60.0;
         let windows = (scenarios::RUN_SECS / window_secs).round() as usize;
         for kind in [ScalerKind::Uv, ScalerKind::Atom] {
-            eprintln!("  running fig12 {}min {}", window_mins, kind.name());
+            atom_obs::progress!("  running fig12 {}min {}", window_mins, kind.name());
             let result = run_one(
                 &shop,
                 scenarios::evaluation_workload(scenarios::ordering_mix(), 2000),
@@ -36,6 +36,6 @@ pub fn run(opts: &HarnessOptions) {
         }
     }
     table.print();
-    println!("paper: ATOM wins at 5 and 10 min; at 2 min the two are similar");
+    atom_obs::info!("paper: ATOM wins at 5 and 10 min; at 2 min the two are similar");
     table.write_csv(&opts.out_dir.join("fig12.csv"));
 }

@@ -10,14 +10,14 @@ use crate::HarnessOptions;
 
 /// Regenerates Fig. 13 and writes `fig13_i{400,4000}.csv`.
 pub fn run(opts: &HarnessOptions) {
-    println!("\n== Fig. 13: bursty workloads (ordering mix, N = 500) ==");
+    atom_obs::info!("\n== Fig. 13: bursty workloads (ordering mix, N = 500) ==");
     let shop = SockShop::default();
     // Bursts are rare events (one every ~3 minutes at I = 4000), so a
     // single 40-minute run is seed-noisy; average the cumulative numbers
     // over a few replications and show one replication's trace.
     let seeds = if opts.quick { 2 } else { 3 };
     for index in [400.0f64, 4000.0] {
-        println!("\nindex of dispersion I = {index}:");
+        atom_obs::info!("\nindex of dispersion I = {index}:");
         let mut cum = [0.0f64; 2];
         let mut first_traces: Vec<Vec<f64>> = Vec::new();
         let horizon = opts.windows() as f64 * opts.window_secs();
@@ -27,7 +27,7 @@ pub fn run(opts: &HarnessOptions) {
                 ..opts.clone()
             };
             for (k, kind) in [ScalerKind::Uv, ScalerKind::Atom].into_iter().enumerate() {
-                eprintln!("  running fig13 I={index} {} (rep {rep})", kind.name());
+                atom_obs::progress!("  running fig13 I={index} {} (rep {rep})", kind.name());
                 let result = run_one(
                     &shop,
                     scenarios::bursty_workload(index),
@@ -48,7 +48,7 @@ pub fn run(opts: &HarnessOptions) {
         }
         table.print();
         let (cum_uv, cum_atom) = (cum[0] / seeds as f64, cum[1] / seeds as f64);
-        println!(
+        atom_obs::info!(
             "cumulative transactions (mean of {seeds} reps): UV {:.0}, ATOM {:.0} \
              ({:+.1}% for ATOM; paper: +28% at I=4000)",
             cum_uv,

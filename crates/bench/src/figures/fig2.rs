@@ -85,12 +85,14 @@ pub fn run_case(case: scenarios::MotivatingCase, opts: &HarnessOptions) -> Vec<T
 
 /// Regenerates Fig. 2 and writes `fig2_case_{a,b}.csv`.
 pub fn run(opts: &HarnessOptions) {
-    println!("\n== Fig. 2: vertical vs horizontal scaling of the front-end ==");
+    atom_obs::info!("\n== Fig. 2: vertical vs horizontal scaling of the front-end ==");
     for case in [scenarios::CASE_A, scenarios::CASE_B] {
         let traces = run_case(case, opts);
-        println!(
+        atom_obs::info!(
             "\nCase {} (N = {}, front-end share {}):",
-            case.name, case.users, case.front_end_share
+            case.name,
+            case.users,
+            case.front_end_share
         );
         let mut table = Table::new(&["minute", "vertical TPS", "horizontal TPS"]);
         for i in 0..traces[0].tps.len() {
@@ -101,7 +103,7 @@ pub fn run(opts: &HarnessOptions) {
             ]);
         }
         table.print();
-        println!(
+        atom_obs::info!(
             "steady state: vertical {:.1} TPS, horizontal {:.1} TPS ({:+.1}% for horizontal)",
             traces[0].steady_state,
             traces[1].steady_state,

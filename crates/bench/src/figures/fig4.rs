@@ -95,7 +95,7 @@ pub fn compute(opts: &HarnessOptions) -> Fig4Result {
 
 /// Prints Fig. 4 and writes `fig4.csv`.
 pub fn run(opts: &HarnessOptions) {
-    println!("\n== Fig. 4: demand estimation for the carts-db query ==");
+    atom_obs::info!("\n== Fig. 4: demand estimation for the carts-db query ==");
     let r = compute(opts);
     let mut table = Table::new(&[
         "method",
@@ -125,12 +125,13 @@ pub fn run(opts: &HarnessOptions) {
         r.samples.to_string(),
     ]);
     table.print();
-    println!(
+    atom_obs::info!(
         "shape check (paper §III-B): the utilisation-law regressor barely \
          varies (CV {:.3}) while per-request queue lengths vary widely \
          (CV {:.3}), which is why the response-time method is the \
          well-posed one for microservices",
-        r.util_input_cv, r.rt_input_cv
+        r.util_input_cv,
+        r.rt_input_cv
     );
     table.write_csv(&opts.out_dir.join("fig4.csv"));
 }

@@ -9,18 +9,18 @@ use crate::HarnessOptions;
 
 /// Regenerates Fig. 7 and writes `fig7_{browsing,ordering}.csv`.
 pub fn run(opts: &HarnessOptions) {
-    println!("\n== Fig. 7: ATOM vs ATOM-T vs ATOM-S (N = 3000) ==");
+    atom_obs::info!("\n== Fig. 7: ATOM vs ATOM-T vs ATOM-S (N = 3000) ==");
     let shop = SockShop::default();
     for (mix_name, mix) in [
         ("browsing", scenarios::browsing_mix()),
         ("ordering", scenarios::ordering_mix()),
     ] {
-        println!("\n{mix_name} mix:");
+        atom_obs::info!("\n{mix_name} mix:");
         let variants = [ScalerKind::Atom, ScalerKind::AtomT, ScalerKind::AtomS];
         let results: Vec<_> = variants
             .iter()
             .map(|&kind| {
-                eprintln!("  running fig7 {mix_name} {}", kind.name());
+                atom_obs::progress!("  running fig7 {mix_name} {}", kind.name());
                 run_one(
                     &shop,
                     scenarios::evaluation_workload(mix.clone(), 3000),
@@ -41,7 +41,7 @@ pub fn run(opts: &HarnessOptions) {
             ]);
         }
         table.print();
-        println!(
+        atom_obs::info!(
             "mean TPS: ATOM {:.1}, ATOM-T {:.1}, ATOM-S {:.1}",
             results[0].mean_tps(0, opts.windows()),
             results[1].mean_tps(0, opts.windows()),

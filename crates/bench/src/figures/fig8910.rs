@@ -7,7 +7,7 @@ use crate::HarnessOptions;
 
 /// Fig. 8: TPS over time for each (mix, N) combination.
 pub fn fig8(matrix: &[MatrixCell], opts: &HarnessOptions) {
-    println!("\n== Fig. 8: TPS over time, ATOM vs UH vs UV ==");
+    atom_obs::info!("\n== Fig. 8: TPS over time, ATOM vs UH vs UV ==");
     for mix in ["browsing", "shopping", "ordering"] {
         for users in [1000usize, 2000, 3000] {
             let get = |kind: ScalerKind| {
@@ -21,7 +21,7 @@ pub fn fig8(matrix: &[MatrixCell], opts: &HarnessOptions) {
                 get(ScalerKind::Uv),
                 get(ScalerKind::Atom),
             );
-            println!("\n{mix} mix, N = {users}:");
+            atom_obs::info!("\n{mix} mix, N = {users}:");
             let mut table = Table::new(&["window", "UH", "UV", "ATOM"]);
             for w in 0..opts.windows() {
                 table.row(vec![
@@ -49,7 +49,7 @@ fn metrics(cell: &MatrixCell, windows: usize) -> (f64, f64, f64) {
 /// Fig. 9: `T_u`, `A_u` and TPS versus the number of concurrent users
 /// (averaged over the three mixes, per scaler).
 pub fn fig9(matrix: &[MatrixCell], opts: &HarnessOptions) {
-    println!("\n== Fig. 9: elasticity / performance vs concurrent users ==");
+    atom_obs::info!("\n== Fig. 9: elasticity / performance vs concurrent users ==");
     let mut table = Table::new(&["users", "scaler", "T_u [s]", "A_u [core-s]", "TPS"]);
     for users in [1000usize, 2000, 3000] {
         for kind in ScalerKind::baselines_and_atom() {
@@ -87,7 +87,7 @@ pub fn fig9(matrix: &[MatrixCell], opts: &HarnessOptions) {
     let atom = tps_of(ScalerKind::Atom);
     let uv = tps_of(ScalerKind::Uv);
     let uh = tps_of(ScalerKind::Uh);
-    println!(
+    atom_obs::info!(
         "headline: at N=3000 ATOM TPS is {:+.1}% vs UV and {:+.1}% vs UH \
          (paper: ~+30% vs the next best, UV)",
         100.0 * (atom - uv) / uv,
@@ -98,7 +98,7 @@ pub fn fig9(matrix: &[MatrixCell], opts: &HarnessOptions) {
 
 /// Fig. 10: `T_u`, `A_u` and TPS versus the request mix at N = 3000.
 pub fn fig10(matrix: &[MatrixCell], opts: &HarnessOptions) {
-    println!("\n== Fig. 10: elasticity / performance vs request mix (N = 3000) ==");
+    atom_obs::info!("\n== Fig. 10: elasticity / performance vs request mix (N = 3000) ==");
     let mut table = Table::new(&["mix", "scaler", "T_u [s]", "A_u [core-s]", "TPS"]);
     for mix in ["browsing", "shopping", "ordering"] {
         for kind in ScalerKind::baselines_and_atom() {
@@ -126,7 +126,7 @@ pub fn fig10(matrix: &[MatrixCell], opts: &HarnessOptions) {
     };
     let atom = tps_of("ordering", ScalerKind::Atom);
     let uv = tps_of("ordering", ScalerKind::Uv);
-    println!(
+    atom_obs::info!(
         "headline: ordering mix ATOM TPS is {:+.1}% vs UV (paper: ~+37%)",
         100.0 * (atom - uv) / uv
     );

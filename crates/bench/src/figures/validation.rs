@@ -96,7 +96,7 @@ pub fn sweep(opts: &HarnessOptions) -> Vec<ValidationRun> {
     scenarios::validation_workloads()
         .iter()
         .map(|w| {
-            eprintln!(
+            atom_obs::progress!(
                 "  validation pattern {} N={} ({})",
                 w.pattern,
                 w.users,
@@ -113,7 +113,7 @@ pub fn sweep(opts: &HarnessOptions) -> Vec<ValidationRun> {
 
 /// Table III: min/max/avg percent error per service across the sweep.
 pub fn table3(runs: &[ValidationRun], opts: &HarnessOptions) {
-    println!("\n== Table III: % error between model and measurement ==");
+    atom_obs::info!("\n== Table III: % error between model and measurement ==");
     let mut table = Table::new(&[
         "service",
         "TPS err min",
@@ -151,14 +151,14 @@ pub fn table3(runs: &[ValidationRun], opts: &HarnessOptions) {
         ]);
     }
     table.print();
-    println!("paper: all average errors below 5.05%, max error 9.98%");
+    atom_obs::info!("paper: all average errors below 5.05%, max error 9.98%");
     table.write_csv(&opts.out_dir.join("table3.csv"));
 }
 
 /// Fig. 5: per-server utilisation, model vs measurement, for the swarm
 /// placements (patterns 1 and 3).
 pub fn fig5(runs: &[ValidationRun], opts: &HarnessOptions) {
-    println!("\n== Fig. 5: server utilisation, model vs measurement ==");
+    atom_obs::info!("\n== Fig. 5: server utilisation, model vs measurement ==");
     let mut table = Table::new(&[
         "pattern",
         "users",
@@ -211,7 +211,7 @@ const PAPER_UTIL: [(&str, f64, f64); 5] = [
 /// Table IV: per-endpoint TPS and per-service utilisation at workload 1,
 /// N = 3000.
 pub fn table4(runs: &[ValidationRun], opts: &HarnessOptions) {
-    println!("\n== Table IV: workload 1, N = 3000 ==");
+    atom_obs::info!("\n== Table IV: workload 1, N = 3000 ==");
     let run = runs
         .iter()
         .find(|r| r.workload.pattern == 1 && r.workload.users == 3000)

@@ -27,6 +27,7 @@
 pub mod eval;
 pub mod figures;
 pub mod output;
+pub mod trace;
 
 /// Harness-wide options parsed from the command line.
 #[derive(Debug, Clone)]
@@ -38,6 +39,13 @@ pub struct HarnessOptions {
     pub quick: bool,
     /// Output directory for CSV artefacts.
     pub out_dir: std::path::PathBuf,
+    /// Where to write the JSONL decision journal (`--trace-out`);
+    /// `None` disables the journal. Purely observational — enabling it
+    /// leaves every experiment output bitwise identical.
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Where to write the Prometheus-text metrics snapshot
+    /// (`--metrics-out`); `None` disables it.
+    pub metrics_out: Option<std::path::PathBuf>,
 }
 
 impl Default for HarnessOptions {
@@ -46,6 +54,8 @@ impl Default for HarnessOptions {
             seed: 42,
             quick: false,
             out_dir: std::path::PathBuf::from("results"),
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }

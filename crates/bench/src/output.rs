@@ -31,8 +31,12 @@ impl Table {
         self
     }
 
-    /// Renders the table to stdout.
+    /// Renders the table to stdout (suppressed under `--quiet`, like
+    /// every other [`atom_obs::info!`]-level result line).
     pub fn print(&self) {
+        if !atom_obs::log::enabled(atom_obs::Verbosity::Info) {
+            return;
+        }
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (w, c) in widths.iter_mut().zip(row) {

@@ -1,0 +1,175 @@
+//! Telemetry export: the JSONL decision journal and the Prometheus-text
+//! metrics snapshot behind `--trace-out` / `--metrics-out`.
+//!
+//! Both artefacts are derived *after the fact* from the
+//! [`TelemetrySummary`] riding along each [`ExperimentResult`] — no
+//! global state, no clocks, and nothing here feeds back into the
+//! experiments, so enabling the export leaves every other output
+//! bitwise identical.
+
+use std::path::Path;
+
+use atom_core::{ExperimentResult, TelemetrySummary};
+use atom_obs::{Journal, Record, Registry};
+
+use crate::HarnessOptions;
+
+/// Assembles the decision journal of a set of runs: every per-window
+/// [`atom_obs::DecisionRecord`] the scalers kept, each followed by the
+/// run-level summary record.
+pub fn journal_of(results: &[ExperimentResult]) -> Journal {
+    let mut journal = Journal::default();
+    for r in results {
+        for d in r.telemetry.decisions.iter().flatten() {
+            journal.push(d.time, Record::Decision(d.clone()));
+        }
+        let end = r.reports.last().map_or(0.0, |w| w.end);
+        journal.push(end, Record::Run(TelemetrySummary::run_record(r)));
+    }
+    journal
+}
+
+/// Aggregates the runs into a metrics registry, one name prefix per
+/// scaler (`atom_`, `uh_`, ... — lowercased, `-` → `_`).
+pub fn registry_of(results: &[ExperimentResult]) -> Registry {
+    let mut reg = Registry::new();
+    for r in results {
+        let slug = r.scaler.to_lowercase().replace('-', "_");
+        let c = &r.telemetry.cluster;
+        reg.add(&format!("{slug}_cluster_events_total"), c.total_events());
+        reg.add(
+            &format!("{slug}_cluster_dropped_batches_total"),
+            c.dropped_batches,
+        );
+        reg.add(&format!("{slug}_actions_total"), r.actions.len() as u64);
+        for &latency in &c.scale_latencies {
+            reg.observe(&format!("{slug}_scale_latency_seconds"), latency);
+        }
+        let (mut held, mut reissued, mut abandoned) = (0u64, 0u64, 0u64);
+        for d in r.telemetry.decisions.iter().flatten() {
+            held += d.actuation.held as u64;
+            reissued += d.actuation.reissued.len() as u64;
+            abandoned += d.actuation.abandoned.len() as u64;
+            if let Some(ev) = &d.evaluator {
+                reg.add(&format!("{slug}_candidates_total"), ev.candidates);
+                reg.add(&format!("{slug}_solves_total"), ev.solves);
+                reg.add(&format!("{slug}_cache_hits_total"), ev.cache_hits);
+                reg.add(
+                    &format!("{slug}_solver_iterations_total"),
+                    ev.solver_iterations,
+                );
+                reg.add(
+                    &format!("{slug}_saturated_solves_total"),
+                    ev.saturated_solves,
+                );
+            }
+            if let Some(ga) = &d.ga {
+                reg.add(&format!("{slug}_ga_evaluations_total"), ga.evaluations);
+                reg.add(&format!("{slug}_ga_niche_dedup_total"), ga.niche_dedup);
+            }
+        }
+        reg.add(&format!("{slug}_held_windows_total"), held);
+        reg.add(&format!("{slug}_reissued_actions_total"), reissued);
+        reg.add(&format!("{slug}_abandoned_actions_total"), abandoned);
+        let windows = r.reports.len();
+        reg.set_gauge(&format!("{slug}_mean_tps"), r.mean_tps(0, windows.max(1)));
+        reg.set_gauge(&format!("{slug}_mean_availability"), r.mean_availability());
+        let candidates = reg.counter(&format!("{slug}_candidates_total"));
+        if candidates > 0 {
+            let hits = reg.counter(&format!("{slug}_cache_hits_total"));
+            reg.set_gauge(
+                &format!("{slug}_cache_hit_rate"),
+                hits as f64 / candidates as f64,
+            );
+        }
+    }
+    reg
+}
+
+/// Writes the artefacts requested by `--trace-out` / `--metrics-out`;
+/// a no-op when neither flag was given.
+///
+/// # Panics
+///
+/// Panics on I/O errors — artefact writing is not a recoverable
+/// condition for the harness (same policy as the CSV writer).
+pub fn emit(opts: &HarnessOptions, results: &[ExperimentResult]) {
+    if let Some(path) = &opts.trace_out {
+        write_artefact(path, &journal_of(results).to_jsonl());
+        atom_obs::progress!("decision journal written to {}", path.display());
+    }
+    if let Some(path) = &opts.metrics_out {
+        write_artefact(path, &registry_of(results).prometheus_text());
+        atom_obs::progress!("metrics snapshot written to {}", path.display());
+    }
+}
+
+fn write_artefact(path: &Path, content: &str) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create artefact dir");
+        }
+    }
+    std::fs::write(path, content).expect("write telemetry artefact");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atom_cluster::ClusterOptions;
+    use atom_sockshop::{scenarios, SockShop};
+
+    use crate::eval::{run_one_with_cluster, ScalerKind};
+
+    fn quick_run(kind: ScalerKind) -> ExperimentResult {
+        let shop = SockShop::default();
+        let workload = scenarios::evaluation_workload(scenarios::ordering_mix(), 1500);
+        let opts = HarnessOptions {
+            quick: true,
+            ..Default::default()
+        };
+        run_one_with_cluster(
+            &shop,
+            workload,
+            kind,
+            2,
+            60.0,
+            &opts,
+            ClusterOptions::new().with_seed(7),
+        )
+    }
+
+    #[test]
+    fn journal_round_trips_and_counts_windows() {
+        let results = [quick_run(ScalerKind::Uh), quick_run(ScalerKind::Atom)];
+        let journal = journal_of(&results);
+        // Every window journals a decision, plus one run record per run.
+        assert_eq!(journal.len(), 2 * 2 + 2);
+        let parsed = Journal::parse_jsonl(&journal.to_jsonl()).expect("parses back");
+        assert_eq!(parsed.len(), journal.len());
+        let atom_decisions = parsed
+            .iter()
+            .filter_map(|e| match &e.record {
+                Record::Decision(d) if d.scaler == "ATOM" => Some(d),
+                _ => None,
+            })
+            .count();
+        assert_eq!(atom_decisions, 2);
+    }
+
+    #[test]
+    fn registry_reflects_the_runs() {
+        let results = [quick_run(ScalerKind::Atom)];
+        let reg = registry_of(&results);
+        assert!(reg.counter("atom_cluster_events_total") > 0);
+        assert!(
+            reg.counter("atom_solves_total") > 0,
+            "ATOM journals its solver counters"
+        );
+        assert!(reg.gauge("atom_mean_tps").unwrap() > 0.0);
+        let hit_rate = reg.gauge("atom_cache_hit_rate").expect("hit rate gauge");
+        assert!((0.0..=1.0).contains(&hit_rate));
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE atom_solves_total counter"));
+    }
+}

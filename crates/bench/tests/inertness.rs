@@ -1,0 +1,89 @@
+//! The telemetry layer's hard requirement, as a property test: running
+//! an experiment with tracing enabled (journal + metrics emitted and
+//! re-parsed) yields bitwise-identical experiment outputs to running it
+//! with tracing disabled. Telemetry is derived from the run; it never
+//! feeds back into it.
+
+use atom_bench::figures::chaos;
+use atom_bench::{trace, HarnessOptions};
+use atom_core::ExperimentResult;
+use atom_obs::{Journal, Record};
+
+/// Renders everything an `ExperimentResult` feeds into CSV artefacts —
+/// full-precision floats (`{:?}` round-trips f64 exactly), so any
+/// perturbation anywhere in the dynamics shows up as a byte diff.
+fn canonical_csv(results: &[ExperimentResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        for w in &r.reports {
+            out.push_str(&format!(
+                "{},{:?},{:?},{:?},{:?},{:?},{:?}\n",
+                r.scaler,
+                w.start,
+                w.end,
+                w.total_tps,
+                w.avg_users,
+                w.service_alloc_cores,
+                w.service_availability,
+            ));
+        }
+        for (t, text) in r.actions.entries() {
+            out.push_str(&format!("{},{t:?},{text}\n", r.scaler));
+        }
+        for e in r.explanations.iter().flatten() {
+            out.push_str(&format!("{},{e}\n", r.scaler));
+        }
+    }
+    out
+}
+
+#[test]
+fn tracing_on_vs_off_is_bitwise_identical() {
+    let windows = 3usize;
+    let window_secs = 60.0;
+    let plain = HarnessOptions {
+        quick: true,
+        ..Default::default()
+    };
+    let untraced = chaos::run_matrix(&plain, windows, window_secs);
+
+    let dir = std::env::temp_dir().join("atom-bench-inertness");
+    let traced_opts = HarnessOptions {
+        quick: true,
+        trace_out: Some(dir.join("trace.jsonl")),
+        metrics_out: Some(dir.join("metrics.prom")),
+        ..Default::default()
+    };
+    let traced = chaos::run_matrix(&traced_opts, windows, window_secs);
+    trace::emit(&traced_opts, &traced);
+
+    assert_eq!(
+        canonical_csv(&untraced),
+        canonical_csv(&traced),
+        "exporting the journal and metrics must not change any output byte"
+    );
+
+    // And the emitted journal is a faithful, parseable account: every
+    // ATOM window carries the MAPE-K decision with live solver counters.
+    let jsonl = std::fs::read_to_string(dir.join("trace.jsonl")).expect("journal written");
+    let events = Journal::parse_jsonl(&jsonl).expect("journal re-parses through serde");
+    let atom_decisions: Vec<_> = events
+        .iter()
+        .filter_map(|e| match &e.record {
+            Record::Decision(d) if d.scaler == "ATOM" => Some(d),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(atom_decisions.len(), windows);
+    let searched = atom_decisions
+        .iter()
+        .filter_map(|d| d.evaluator.as_ref())
+        .filter(|ev| ev.solves > 0 && ev.solver_iterations > 0)
+        .count();
+    assert!(
+        searched > 0,
+        "at least one chaos window must journal a live candidate search"
+    );
+    let metrics = std::fs::read_to_string(dir.join("metrics.prom")).expect("metrics written");
+    assert!(metrics.contains("# TYPE atom_solves_total counter"));
+}

@@ -50,9 +50,11 @@ pub mod error;
 pub mod monitor;
 pub mod runtime;
 pub mod spec;
+pub mod telemetry;
 
 pub use atom_faults::{FaultEvent, FaultKind, FaultPlan, FaultSchedule};
 pub use error::ClusterError;
 pub use monitor::WindowReport;
 pub use runtime::{Cluster, ClusterOptions, RequestTrace, ScaleAction, TraceSpan};
 pub use spec::{AppSpec, EndpointId, ServerId, ServiceId};
+pub use telemetry::ClusterTelemetry;

@@ -12,6 +12,7 @@ use atom_workload::WorkloadSpec;
 use crate::error::ClusterError;
 use crate::monitor::WindowReport;
 use crate::spec::{AppSpec, EndpointId, ServiceId};
+use crate::telemetry::ClusterTelemetry;
 
 /// Options for constructing a [`Cluster`].
 ///
@@ -226,7 +227,16 @@ pub struct Cluster {
     mmpp: Option<Mmpp2>,
     now: f64,
     pending_batches: Vec<Vec<ScaleAction>>,
+    /// Issue time of each pending batch, parallel to `pending_batches`
+    /// (for issue-to-ready scale-latency telemetry).
+    batch_issued: Vec<f64>,
     options: ClusterOptions,
+    telemetry: ClusterTelemetry,
+    /// Issue time of the scaling batch currently being applied, if any —
+    /// set around `apply_action` so `spawn_replica` can attribute new
+    /// replicas' ready times to the issuing decision (crash-recovery
+    /// spawns have no issuing decision and are not latency samples).
+    scaling_issued_at: Option<f64>,
     // --- fault state ---
     /// Intervals during which the monitoring plane is dark.
     dark_intervals: Vec<(f64, f64)>,
@@ -342,7 +352,10 @@ impl Cluster {
             mmpp,
             now: 0.0,
             pending_batches: Vec::new(),
+            batch_issued: Vec::new(),
             options,
+            telemetry: ClusterTelemetry::default(),
+            scaling_issued_at: None,
             dark_intervals: Vec::new(),
             actuation_fail_until: 0.0,
             slow_start_until: 0.0,
@@ -453,8 +466,16 @@ impl Cluster {
     pub fn schedule_scaling(&mut self, actions: Vec<ScaleAction>, delay: f64) {
         let batch = self.pending_batches.len();
         self.pending_batches.push(actions);
+        self.batch_issued.push(self.now);
         self.events
             .push(self.now + delay.max(0.0), Event::ApplyScaling { batch });
+    }
+
+    /// Telemetry accumulated since construction (DES event counts,
+    /// issue-to-ready scale latencies). Observational only: reading or
+    /// ignoring it never changes a run.
+    pub fn telemetry(&self) -> &ClusterTelemetry {
+        &self.telemetry
     }
 
     /// Runs the simulation for `duration` seconds and reports the window.
@@ -488,11 +509,24 @@ impl Cluster {
 
     fn dispatch(&mut self, ev: Event) {
         match ev {
-            Event::UserReady { user } => self.user_ready(user),
-            Event::PopulationChange { population } => self.set_population(population),
-            Event::ReplicaReady { service, replica } => self.replica_ready(service, replica),
-            Event::ProcessorCheck { proc, generation } => self.processor_check(proc, generation),
+            Event::UserReady { user } => {
+                self.telemetry.user_ready_events += 1;
+                self.user_ready(user);
+            }
+            Event::PopulationChange { population } => {
+                self.telemetry.population_change_events += 1;
+                self.set_population(population);
+            }
+            Event::ReplicaReady { service, replica } => {
+                self.telemetry.replica_ready_events += 1;
+                self.replica_ready(service, replica);
+            }
+            Event::ProcessorCheck { proc, generation } => {
+                self.telemetry.processor_check_events += 1;
+                self.processor_check(proc, generation);
+            }
             Event::ApplyScaling { batch } => {
+                self.telemetry.apply_scaling_events += 1;
                 let actions = std::mem::take(&mut self.pending_batches[batch]);
                 if self.now < self.actuation_fail_until {
                     // The orchestration API is down: the batch is lost
@@ -500,15 +534,24 @@ impl Cluster {
                     // report and re-issue.
                     if !actions.is_empty() {
                         self.failed_actuations += 1;
+                        self.telemetry.dropped_batches += 1;
                     }
                 } else {
+                    self.scaling_issued_at = Some(self.batch_issued[batch]);
                     for a in actions {
                         self.apply_action(a);
                     }
+                    self.scaling_issued_at = None;
                 }
             }
-            Event::LatencyDone { inv } => self.proceed_to_calls(inv),
-            Event::Fault { idx } => self.apply_fault(idx),
+            Event::LatencyDone { inv } => {
+                self.telemetry.latency_done_events += 1;
+                self.proceed_to_calls(inv);
+            }
+            Event::Fault { idx } => {
+                self.telemetry.fault_events += 1;
+                self.apply_fault(idx);
+            }
         }
     }
 
@@ -1062,6 +1105,9 @@ impl Cluster {
     /// Adds a `Starting` replica to `si` that becomes ready at
     /// `ready_at` (start-up is already factored in by the caller).
     fn spawn_replica(&mut self, si: usize, ready_at: f64) {
+        if let Some(issued) = self.scaling_issued_at {
+            self.telemetry.scale_latencies.push(ready_at - issued);
+        }
         let pi = self.services[si].server;
         let cap = effective_cap(self.services[si].share, self.spec.services[si].parallelism);
         let group = self.processors[pi].add_group(cap);
@@ -1412,6 +1458,41 @@ mod tests {
         };
         let rel = (r.total_tps - exact).abs() / exact;
         assert!(rel < 0.05, "sim {} vs exact {exact}", r.total_tps);
+    }
+
+    #[test]
+    fn telemetry_counts_events_and_scale_latency() {
+        let spec = one_service_spec(0.01, 0.2, 64);
+        let mut cluster =
+            Cluster::new(&spec, constant_workload(50, 1.0), ClusterOptions::default()).unwrap();
+        cluster.run_window(100.0);
+        let after_warmup = cluster.telemetry().clone();
+        assert!(after_warmup.user_ready_events > 0, "users must have cycled");
+        assert!(after_warmup.total_events() > after_warmup.user_ready_events);
+        assert!(after_warmup.scale_latencies.is_empty());
+
+        // A scale-up issued with 5 s actuation delay: each new replica's
+        // latency sample is delay + its start-up time.
+        cluster.schedule_scaling(
+            vec![ScaleAction {
+                service: ServiceId(0),
+                replicas: 3,
+                share: 0.2,
+            }],
+            5.0,
+        );
+        cluster.run_window(100.0);
+        let t = cluster.telemetry();
+        assert_eq!(t.scale_latencies.len(), 2, "two new replicas spawned");
+        let startup = spec.services[0].startup_delay;
+        for &lat in &t.scale_latencies {
+            assert!(
+                (lat - (5.0 + startup)).abs() < 1e-9,
+                "latency {lat} != delay 5 + startup {startup}"
+            );
+        }
+        assert!(t.mean_scale_latency().unwrap() > 5.0);
+        assert_eq!(t.dropped_batches, 0);
     }
 
     #[test]

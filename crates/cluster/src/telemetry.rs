@@ -1,0 +1,84 @@
+//! Cluster-side telemetry: DES event counts and scale-action latency.
+//!
+//! The counters live on the [`Cluster`](crate::runtime::Cluster) and are
+//! incremented as events dispatch; they observe the simulation without
+//! feeding anything back into it (no RNG draws, no float state that the
+//! dynamics read), so enabling or ignoring them leaves every window
+//! report bitwise identical.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over a cluster's whole lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTelemetry {
+    /// `UserReady` events dispatched (client request issues).
+    pub user_ready_events: u64,
+    /// `PopulationChange` events dispatched.
+    pub population_change_events: u64,
+    /// `ReplicaReady` events dispatched (container start-ups completed).
+    pub replica_ready_events: u64,
+    /// `ProcessorCheck` events dispatched (PS-quantum re-evaluations).
+    pub processor_check_events: u64,
+    /// `ApplyScaling` events dispatched (batches reaching the
+    /// orchestration API, whether applied or rejected).
+    pub apply_scaling_events: u64,
+    /// `LatencyDone` events dispatched (I/O / downstream-call phases).
+    pub latency_done_events: u64,
+    /// `Fault` events dispatched (injected fault-schedule entries).
+    pub fault_events: u64,
+    /// Scaling batches rejected by an actuation-failure fault.
+    pub dropped_batches: u64,
+    /// Scale-action latency samples: seconds from a controller *issuing*
+    /// a scale-up (`schedule_scaling`) to each newly spawned replica
+    /// becoming ready — actuation delay plus start-up delay, the
+    /// end-to-end cost ATOM's planner has to absorb.
+    pub scale_latencies: Vec<f64>,
+}
+
+impl ClusterTelemetry {
+    /// Total DES events dispatched.
+    pub fn total_events(&self) -> u64 {
+        self.user_ready_events
+            + self.population_change_events
+            + self.replica_ready_events
+            + self.processor_check_events
+            + self.apply_scaling_events
+            + self.latency_done_events
+            + self.fault_events
+    }
+
+    /// Mean issue-to-ready scale latency (`None` with no samples).
+    pub fn mean_scale_latency(&self) -> Option<f64> {
+        if self.scale_latencies.is_empty() {
+            return None;
+        }
+        Some(self.scale_latencies.iter().sum::<f64>() / self.scale_latencies.len() as f64)
+    }
+
+    /// Largest issue-to-ready scale latency (`None` with no samples).
+    pub fn max_scale_latency(&self) -> Option<f64> {
+        self.scale_latencies
+            .iter()
+            .copied()
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_latency_summaries() {
+        let mut t = ClusterTelemetry::default();
+        assert_eq!(t.total_events(), 0);
+        assert_eq!(t.mean_scale_latency(), None);
+        assert_eq!(t.max_scale_latency(), None);
+        t.user_ready_events = 10;
+        t.fault_events = 2;
+        t.scale_latencies = vec![150.0, 250.0];
+        assert_eq!(t.total_events(), 12);
+        assert_eq!(t.mean_scale_latency(), Some(200.0));
+        assert_eq!(t.max_scale_latency(), Some(250.0));
+    }
+}

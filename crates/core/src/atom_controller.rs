@@ -2,7 +2,8 @@
 
 use atom_cluster::{ScaleAction, WindowReport};
 use atom_ga::{Budget, GaOptions};
-use atom_lqn::{DecisionVector, ScalingConfig};
+use atom_lqn::{DecisionVector, LqnModel, ScalingConfig};
+use atom_obs::{ActuationOutcome, ChosenAction, DecisionRecord, ServiceDemand, TelemetrySnapshot};
 
 use crate::analyzer::WorkloadAnalyzer;
 use crate::autoscaler::Autoscaler;
@@ -82,6 +83,17 @@ struct PendingAction {
     due: f64,
 }
 
+/// Outcome of reconciling pending actions against the actuator state.
+#[derive(Debug, Default)]
+struct Reconciled {
+    /// Actions to issue again this window.
+    reissue: Vec<ScaleAction>,
+    /// Names of the services those actions touch (journal view).
+    reissued: Vec<String>,
+    /// Names of services whose actions ran out of retries.
+    abandoned: Vec<String>,
+}
+
 /// The ATOM autoscaler.
 ///
 /// # Examples
@@ -102,6 +114,10 @@ pub struct Atom {
     last_trusted: Option<WindowReport>,
     /// Issued actions awaiting confirmation in the actuator state.
     pending: Vec<PendingAction>,
+    /// Journal record of the most recent decision, drained via
+    /// [`Autoscaler::take_decision_record`]. Assembled purely from data
+    /// the decision already computed — inert by construction.
+    last_record: Option<DecisionRecord>,
 }
 
 impl Atom {
@@ -128,6 +144,7 @@ impl Atom {
             last_explanation: None,
             last_trusted: None,
             pending: Vec::new(),
+            last_record: None,
         }
     }
 
@@ -247,13 +264,10 @@ impl Atom {
     /// Reconciles previously-issued actions against the actuator state:
     /// confirmed actions are dropped, unconfirmed ones are re-issued
     /// with a bounded retry budget or abandoned. Returns the actions to
-    /// re-issue; appends operator notes for both outcomes.
-    fn reconcile_pending(
-        &mut self,
-        report: &WindowReport,
-        notes: &mut Vec<String>,
-    ) -> Vec<ScaleAction> {
-        let mut reissue = Vec::new();
+    /// re-issue plus the affected service names (for the decision
+    /// journal); appends operator notes for both outcomes.
+    fn reconcile_pending(&mut self, report: &WindowReport, notes: &mut Vec<String>) -> Reconciled {
+        let mut rec = Reconciled::default();
         for p in std::mem::take(&mut self.pending) {
             if Self::action_applied(report, &p.action) {
                 continue;
@@ -264,6 +278,7 @@ impl Atom {
                 self.pending.push(p);
                 continue;
             }
+            let service = self.service_name(p.action.service);
             if p.retries_left > 0 {
                 notes.push(format!(
                     "re-issuing dropped [{}] ({} retries left)",
@@ -275,15 +290,70 @@ impl Atom {
                     retries_left: p.retries_left - 1,
                     due: report.end + self.config.actuation_delay,
                 });
-                reissue.push(p.action);
+                rec.reissued.push(service);
+                rec.reissue.push(p.action);
             } else {
                 notes.push(format!(
                     "abandoning [{}] after repeated actuation failures",
                     p.action
                 ));
+                rec.abandoned.push(service);
             }
         }
-        reissue
+        rec
+    }
+
+    /// The display name of a service in the knowledge base (falls back
+    /// to the raw id for services outside the binding).
+    fn service_name(&self, service: atom_cluster::ServiceId) -> String {
+        self.binding
+            .services
+            .iter()
+            .find(|s| s.service == service)
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|| format!("service-{}", service.0))
+    }
+
+    /// The monitor-phase snapshot of a report, as journaled.
+    fn snapshot_of(report: &WindowReport, degraded: bool) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            users: report.users_at_end as u64,
+            observed_tps: report.total_tps,
+            peak_arrival_rate: report.peak_arrival_rate,
+            monitor_dropout: report.monitor_dropout_fraction,
+            degraded,
+        }
+    }
+
+    /// Per-service demand estimates as written into `model` (mean over
+    /// the service's entries), for the journal's analyze phase.
+    fn demands_of(&self, model: &LqnModel) -> Vec<ServiceDemand> {
+        self.binding
+            .scalable()
+            .map(|s| {
+                let (sum, n) = model
+                    .entries()
+                    .iter()
+                    .filter(|e| e.task == s.task)
+                    .fold((0.0, 0usize), |(a, n), e| (a + e.demand, n + 1));
+                ServiceDemand {
+                    service: s.name.clone(),
+                    demand: if n > 0 { sum / n as f64 } else { 0.0 },
+                }
+            })
+            .collect()
+    }
+
+    /// Scale actions as journal entries (plain names, no ids).
+    fn as_chosen(&self, actions: &[ScaleAction]) -> Vec<ChosenAction> {
+        actions
+            .iter()
+            .map(|a| ChosenAction {
+                service: self.service_name(a.service),
+                replicas: a.replicas as u64,
+                share: a.share,
+            })
+            .collect()
     }
 
     /// Appends the degraded-window notes to whatever explanation the
@@ -305,6 +375,21 @@ impl Autoscaler for Atom {
 
     fn decide(&mut self, report: &WindowReport) -> Vec<ScaleAction> {
         self.window += 1;
+        let degraded = report.degraded(self.config.max_dropout);
+        // The journal record grows with each MAPE-K phase; every return
+        // path below finishes it. Assembled only from values the
+        // decision computes anyway, so journaling stays inert.
+        let mut record = DecisionRecord {
+            window: self.window - 1,
+            time: report.end,
+            scaler: self.name.clone(),
+            snapshot: Self::snapshot_of(report, degraded),
+            demands: Vec::new(),
+            evaluator: None,
+            ga: None,
+            chosen: Vec::new(),
+            actuation: ActuationOutcome::hold("unreached"),
+        };
         let mut notes = Vec::new();
         if report.failed_actuations > 0 {
             notes.push(format!(
@@ -312,18 +397,38 @@ impl Autoscaler for Atom {
                 report.failed_actuations
             ));
         }
-        let reissue = self.reconcile_pending(report, &mut notes);
+        let reconciled = self.reconcile_pending(report, &mut notes);
+        let Reconciled {
+            reissue,
+            reissued,
+            abandoned,
+        } = reconciled;
 
         // A degraded window's scrape counters under-report; analyzing
         // them would fit the model to phantom idleness. Fall back to the
         // last trusted telemetry (merged with fresh actuator state), and
         // while in-flight corrections are still unconfirmed, only
         // re-issue them — re-planning can wait for the monitor.
-        let degraded = report.degraded(self.config.max_dropout);
+        let finish = |this: &mut Self,
+                      record: DecisionRecord,
+                      notes: Vec<String>,
+                      actions: Vec<ScaleAction>|
+         -> Vec<ScaleAction> {
+            let mut record = record;
+            record.actuation = ActuationOutcome {
+                issued: this.as_chosen(&actions),
+                reissued: reissued.clone(),
+                abandoned: abandoned.clone(),
+                held: actions.is_empty(),
+                reason: (!notes.is_empty()).then(|| notes.join("; ")),
+            };
+            this.last_record = Some(record);
+            actions
+        };
         let analysis = if degraded {
             if !reissue.is_empty() {
-                self.set_explanation(None, notes);
-                return reissue;
+                self.set_explanation(None, notes.clone());
+                return finish(self, record, notes, reissue);
             }
             match self.last_trusted.as_ref() {
                 Some(trusted) => {
@@ -337,8 +442,8 @@ impl Autoscaler for Atom {
                     notes.push(
                         "monitor dark with no trusted telemetry: holding configuration".into(),
                     );
-                    self.set_explanation(None, notes);
-                    return reissue;
+                    self.set_explanation(None, notes.clone());
+                    return finish(self, record, notes, reissue);
                 }
             }
         } else {
@@ -379,17 +484,20 @@ impl Autoscaler for Atom {
             Ok(m) => m,
             Err(_) => {
                 // Inconsistent binding: do nothing beyond the re-issues.
-                self.set_explanation(None, notes);
-                return reissue;
+                self.set_explanation(None, notes.clone());
+                notes.push("model instantiation failed: holding configuration".into());
+                return finish(self, record, notes, reissue);
             }
         };
         if self.config.online_demands && !degraded {
             self.calibrator.observe(&self.binding, report);
             self.calibrator.apply(&self.binding, &mut model);
         }
+        record.demands = self.demands_of(&model);
         if analysis.users_at_end == 0 {
-            self.set_explanation(None, notes);
-            return reissue;
+            self.set_explanation(None, notes.clone());
+            notes.push("zero users at window end: nothing to serve".into());
+            return finish(self, record, notes, reissue);
         }
         let current = self.current_decision(&analysis);
 
@@ -421,6 +529,23 @@ impl Autoscaler for Atom {
         // analysis (paper §V-B / Fig. 11).
         let base = self.explain(&mut evaluator, &current, &planned);
 
+        // Journal the plan phase: the whole window's evaluation counters
+        // (GA + quick fixes + diagnostics share the evaluator), the GA's
+        // convergence trace, and the planned configuration.
+        record.evaluator = Some(evaluator.stats().to_counters());
+        record.ga = Some(found.ga.to_generations(found.evaluations));
+        record.chosen = self
+            .binding
+            .scalable()
+            .filter_map(|s| {
+                planned.get(s.task).map(|d| ChosenAction {
+                    service: s.name.clone(),
+                    replicas: d.replicas as u64,
+                    share: d.share(),
+                })
+            })
+            .collect();
+
         // Execute: emit actions only where the decision changed — an
         // exact lattice comparison, no epsilon.
         let mut actions = Vec::new();
@@ -451,8 +576,8 @@ impl Autoscaler for Atom {
                 actions.push(a);
             }
         }
-        self.set_explanation(base, notes);
-        actions
+        self.set_explanation(base, notes.clone());
+        finish(self, record, notes, actions)
     }
 
     fn actuation_delay(&self) -> f64 {
@@ -461,6 +586,10 @@ impl Autoscaler for Atom {
 
     fn explain_last(&self) -> Option<String> {
         self.last_explanation.clone()
+    }
+
+    fn take_decision_record(&mut self) -> Option<DecisionRecord> {
+        self.last_record.take()
     }
 }
 
@@ -603,6 +732,44 @@ mod tests {
         assert_eq!(atom.actuation_delay(), 150.0);
     }
 
+    #[test]
+    fn decision_record_covers_the_full_mape_loop() {
+        let mut atom = Atom::new(binding(0.2), fast_config());
+        assert!(atom.take_decision_record().is_none(), "no decision yet");
+        let actions = atom.decide(&report(2000, 1, 0.2));
+        let rec = atom.take_decision_record().expect("record after decide");
+        assert!(atom.take_decision_record().is_none(), "take() drains");
+        assert_eq!((rec.window, rec.scaler.as_str()), (0, "ATOM"));
+        assert_eq!(rec.snapshot.users, 2000);
+        assert!(!rec.snapshot.degraded);
+        assert_eq!(rec.demands.len(), 1, "one scalable service");
+        assert!((rec.demands[0].demand - 0.01).abs() < 1e-12);
+        let ev = rec.evaluator.expect("evaluator counters");
+        assert!(ev.solves > 0 && ev.solver_iterations > 0);
+        assert_eq!(ev.candidates, ev.solves + ev.cache_hits);
+        let ga = rec.ga.expect("ga stats");
+        assert!(ga.generations > 0 && ga.evaluations > 0);
+        assert_eq!(ga.best.len(), ga.generations as usize);
+        assert_eq!(rec.chosen.len(), 1, "plan covers the scalable service");
+        assert_eq!(rec.actuation.issued.len(), actions.len());
+        assert_eq!(rec.actuation.issued[0].service, "web");
+        assert!(!rec.actuation.held);
+    }
+
+    #[test]
+    fn dark_window_record_reports_the_hold() {
+        let mut atom = Atom::new(binding(0.2), fast_config());
+        let dark = report(2000, 1, 0.2).with_monitor_dropout_fraction(0.9);
+        assert!(atom.decide(&dark).is_empty());
+        let rec = atom.take_decision_record().expect("record");
+        assert!(rec.snapshot.degraded);
+        assert!(rec.actuation.held);
+        let reason = rec.actuation.reason.expect("hold reason");
+        assert!(reason.contains("no trusted"), "unexpected: {reason}");
+        assert!(rec.evaluator.is_none(), "no search ran");
+        assert!(rec.ga.is_none());
+    }
+
     /// A binding whose decision space is replicas-only (fixed share), so
     /// the optimum under heavy load is deterministically "max replicas".
     fn fixed_share_binding(share: f64, max_replicas: usize) -> ModelBinding {
@@ -686,6 +853,9 @@ mod tests {
             assert_eq!(again, first, "round {round} must re-issue the order");
             let text = atom.explain_last().expect("explanation");
             assert!(text.contains("re-issuing"), "round {round}: {text}");
+            let rec = atom.take_decision_record().expect("record");
+            assert_eq!(rec.actuation.reissued, vec!["web".to_string()]);
+            assert!(rec.actuation.abandoned.is_empty());
         }
         // Retry budget exhausted: the order is abandoned and the
         // controller goes back to planning (from trusted telemetry). The
@@ -695,6 +865,8 @@ mod tests {
         let _ = atom.decide(&dark(4));
         let text = atom.explain_last().expect("explanation");
         assert!(text.contains("abandoning"), "unexpected: {text}");
+        let rec = atom.take_decision_record().expect("record");
+        assert_eq!(rec.actuation.abandoned, vec!["web".to_string()]);
     }
 
     #[test]

@@ -30,6 +30,16 @@ pub trait Autoscaler {
     fn explain_last(&self) -> Option<String> {
         None
     }
+
+    /// Drains the structured journal record of the most recent
+    /// [`decide`](Autoscaler::decide) call, if the scaler keeps one.
+    ///
+    /// Records are assembled purely from data the decision already
+    /// computed — taking (or dropping) them never changes control
+    /// behaviour. The default implementation journals nothing.
+    fn take_decision_record(&mut self) -> Option<atom_obs::DecisionRecord> {
+        None
+    }
 }
 
 /// A no-op autoscaler: the "do nothing" control used to isolate the

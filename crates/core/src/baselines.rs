@@ -13,8 +13,52 @@
 //! target-tracking, the Kubernetes HPA).
 
 use atom_cluster::{AppSpec, ScaleAction, ServiceId, WindowReport};
+use atom_obs::{ActuationOutcome, ChosenAction, DecisionRecord, TelemetrySnapshot};
 
 use crate::autoscaler::Autoscaler;
+
+/// Builds the journal record of one rule-based decision: snapshot plus
+/// actions; rule scalers estimate no demands and search no candidates.
+fn rule_record(
+    name: &str,
+    window: u64,
+    report: &WindowReport,
+    degraded: bool,
+    spec: &AppSpec,
+    actions: &[ScaleAction],
+) -> DecisionRecord {
+    let chosen: Vec<ChosenAction> = actions
+        .iter()
+        .map(|a| ChosenAction {
+            service: spec.services[a.service.0].name.clone(),
+            replicas: a.replicas as u64,
+            share: a.share,
+        })
+        .collect();
+    DecisionRecord {
+        window,
+        time: report.end,
+        scaler: name.to_string(),
+        snapshot: TelemetrySnapshot {
+            users: report.users_at_end as u64,
+            observed_tps: report.total_tps,
+            peak_arrival_rate: report.peak_arrival_rate,
+            monitor_dropout: report.monitor_dropout_fraction,
+            degraded,
+        },
+        demands: Vec::new(),
+        evaluator: None,
+        ga: None,
+        chosen: chosen.clone(),
+        actuation: ActuationOutcome {
+            issued: chosen,
+            reissued: Vec::new(),
+            abandoned: Vec::new(),
+            held: actions.is_empty(),
+            reason: degraded.then(|| "monitor dark: utilisation readings untrusted".into()),
+        },
+    }
+}
 
 /// Shared configuration of the rule-based scalers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +101,8 @@ impl Default for RuleConfig {
 pub struct UhScaler {
     spec: AppSpec,
     config: RuleConfig,
+    window: u64,
+    last_record: Option<DecisionRecord>,
 }
 
 impl UhScaler {
@@ -65,6 +111,8 @@ impl UhScaler {
         UhScaler {
             spec: spec.clone(),
             config,
+            window: 0,
+            last_record: None,
         }
     }
 }
@@ -75,30 +123,39 @@ impl Autoscaler for UhScaler {
     }
 
     fn decide(&mut self, report: &WindowReport) -> Vec<ScaleAction> {
-        if report.degraded(self.config.max_dropout) {
-            return Vec::new(); // utilisation readings are garbage
-        }
+        let window = self.window;
+        self.window += 1;
+        let degraded = report.degraded(self.config.max_dropout);
         let mut actions = Vec::new();
-        for (si, svc) in self.spec.services.iter().enumerate() {
-            if svc.stateful {
-                continue; // UH never scales stateful services
-            }
-            let util = report.service_utilization[si];
-            if util >= self.config.trigger_utilization {
-                // Respect both the deployment's per-service bound (the
-                // paper's Q_i) and the scaler's own cap.
-                let cap = svc.max_replicas.min(self.config.max_replicas);
-                let replicas = (report.service_replicas[si] * 2).min(cap);
-                if replicas > report.service_replicas[si] {
-                    actions.push(ScaleAction {
-                        service: ServiceId(si),
-                        replicas,
-                        share: report.service_shares[si],
-                    });
+        if !degraded {
+            for (si, svc) in self.spec.services.iter().enumerate() {
+                if svc.stateful {
+                    continue; // UH never scales stateful services
+                }
+                let util = report.service_utilization[si];
+                if util >= self.config.trigger_utilization {
+                    // Respect both the deployment's per-service bound (the
+                    // paper's Q_i) and the scaler's own cap.
+                    let cap = svc.max_replicas.min(self.config.max_replicas);
+                    let replicas = (report.service_replicas[si] * 2).min(cap);
+                    if replicas > report.service_replicas[si] {
+                        actions.push(ScaleAction {
+                            service: ServiceId(si),
+                            replicas,
+                            share: report.service_shares[si],
+                        });
+                    }
                 }
             }
-        }
+        } // else: utilisation readings are garbage — hold
+        self.last_record = Some(rule_record(
+            "UH", window, report, degraded, &self.spec, &actions,
+        ));
         actions
+    }
+
+    fn take_decision_record(&mut self) -> Option<DecisionRecord> {
+        self.last_record.take()
     }
 }
 
@@ -107,6 +164,8 @@ impl Autoscaler for UhScaler {
 pub struct UvScaler {
     spec: AppSpec,
     config: RuleConfig,
+    window: u64,
+    last_record: Option<DecisionRecord>,
 }
 
 impl UvScaler {
@@ -115,6 +174,8 @@ impl UvScaler {
         UvScaler {
             spec: spec.clone(),
             config,
+            window: 0,
+            last_record: None,
         }
     }
 }
@@ -125,24 +186,33 @@ impl Autoscaler for UvScaler {
     }
 
     fn decide(&mut self, report: &WindowReport) -> Vec<ScaleAction> {
-        if report.degraded(self.config.max_dropout) {
-            return Vec::new(); // utilisation readings are garbage
-        }
+        let window = self.window;
+        self.window += 1;
+        let degraded = report.degraded(self.config.max_dropout);
         let mut actions = Vec::new();
-        for si in 0..self.spec.services.len() {
-            let util = report.service_utilization[si];
-            if util >= self.config.trigger_utilization {
-                let share = (report.service_shares[si] * 2.0).min(self.config.max_share);
-                if share > report.service_shares[si] {
-                    actions.push(ScaleAction {
-                        service: ServiceId(si),
-                        replicas: report.service_replicas[si],
-                        share,
-                    });
+        if !degraded {
+            for si in 0..self.spec.services.len() {
+                let util = report.service_utilization[si];
+                if util >= self.config.trigger_utilization {
+                    let share = (report.service_shares[si] * 2.0).min(self.config.max_share);
+                    if share > report.service_shares[si] {
+                        actions.push(ScaleAction {
+                            service: ServiceId(si),
+                            replicas: report.service_replicas[si],
+                            share,
+                        });
+                    }
                 }
             }
-        }
+        } // else: utilisation readings are garbage — hold
+        self.last_record = Some(rule_record(
+            "UV", window, report, degraded, &self.spec, &actions,
+        ));
         actions
+    }
+
+    fn take_decision_record(&mut self) -> Option<DecisionRecord> {
+        self.last_record.take()
     }
 }
 
@@ -222,6 +292,27 @@ mod tests {
         let blip = report(vec![0.9, 0.95]).with_monitor_dropout_fraction(0.2);
         assert!(!uh.decide(&blip).is_empty());
         assert!(!uv.decide(&blip).is_empty());
+    }
+
+    #[test]
+    fn rule_scalers_journal_their_decisions() {
+        let mut uh = UhScaler::new(&spec(), RuleConfig::default());
+        assert!(uh.take_decision_record().is_none(), "no decision yet");
+        let actions = uh.decide(&report(vec![0.9, 0.95]));
+        let rec = uh.take_decision_record().expect("record");
+        assert!(uh.take_decision_record().is_none(), "take() drains");
+        assert_eq!((rec.window, rec.scaler.as_str()), (0, "UH"));
+        assert_eq!(rec.actuation.issued.len(), actions.len());
+        assert_eq!(rec.actuation.issued[0].service, "api");
+        assert!(!rec.actuation.held);
+        assert!(rec.evaluator.is_none() && rec.ga.is_none());
+        // A degraded window journals the hold with its reason.
+        let dark = report(vec![0.9, 0.95]).with_monitor_dropout_fraction(0.6);
+        let mut uv = UvScaler::new(&spec(), RuleConfig::default());
+        assert!(uv.decide(&dark).is_empty());
+        let rec = uv.take_decision_record().expect("record");
+        assert!(rec.snapshot.degraded && rec.actuation.held);
+        assert!(rec.actuation.reason.expect("reason").contains("dark"));
     }
 
     #[test]

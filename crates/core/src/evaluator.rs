@@ -58,7 +58,11 @@ const HINT_WINDOW: usize = 256;
 /// worse. A cheap entry, by contrast, is unsaturated — and anything
 /// dominating it has even more capacity, so the hint lands in the
 /// regime where it collapses the bracket almost for free.
-const HINT_SOURCE_MAX_ITERATIONS: usize = 1_000;
+///
+/// Shared with the solver's own saturated-vs-unsaturated telemetry
+/// classification ([`atom_lqn::analytic::SATURATION_ITERATIONS`]) so the
+/// gate and the journal cannot drift apart.
+const HINT_SOURCE_MAX_ITERATIONS: usize = atom_lqn::analytic::SATURATION_ITERATIONS;
 
 /// What the cache remembers about a solved candidate.
 ///
@@ -98,6 +102,10 @@ pub struct EvaluatorStats {
     /// `solver_iterations`); compare the per-solve averages to see what
     /// warm-starting buys.
     pub hinted_iterations: usize,
+    /// Solves classified as saturated (more than
+    /// [`atom_lqn::analytic::SATURATION_ITERATIONS`] inner iterations) —
+    /// the ROADMAP's per-solve cost telemetry for the saturated regime.
+    pub saturated_solves: usize,
     /// Wall-clock seconds spent inside evaluation calls.
     pub wall_seconds: f64,
 }
@@ -114,6 +122,93 @@ impl EvaluatorStats {
             0.0
         } else {
             self.cache_hits as f64 / self.candidates as f64
+        }
+    }
+
+    /// Solves that ran without a warm-start hint.
+    pub fn cold_solves(&self) -> usize {
+        self.solves.saturating_sub(self.hinted_solves)
+    }
+
+    /// Inner iterations spent in cold (unhinted) solves.
+    pub fn cold_iterations(&self) -> usize {
+        self.solver_iterations
+            .saturating_sub(self.hinted_iterations)
+    }
+
+    /// Mean inner iterations per cold solve (`None` without cold solves).
+    pub fn mean_cold_iterations(&self) -> Option<f64> {
+        let n = self.cold_solves();
+        (n > 0).then(|| self.cold_iterations() as f64 / n as f64)
+    }
+
+    /// Mean inner iterations per hinted solve (`None` without any).
+    pub fn mean_hinted_iterations(&self) -> Option<f64> {
+        (self.hinted_solves > 0).then(|| self.hinted_iterations as f64 / self.hinted_solves as f64)
+    }
+
+    /// The counters accumulated since `baseline` was captured — the
+    /// per-window delta journaled by the controller. Field-by-field
+    /// subtraction lives here (not at call sites) so adding a counter
+    /// cannot silently drop it from the deltas.
+    pub fn since(&self, baseline: &EvaluatorStats) -> EvaluatorStats {
+        EvaluatorStats {
+            candidates: self.candidates - baseline.candidates,
+            solves: self.solves - baseline.solves,
+            cache_hits: self.cache_hits - baseline.cache_hits,
+            failures: self.failures - baseline.failures,
+            solver_iterations: self.solver_iterations - baseline.solver_iterations,
+            hinted_solves: self.hinted_solves - baseline.hinted_solves,
+            hinted_iterations: self.hinted_iterations - baseline.hinted_iterations,
+            saturated_solves: self.saturated_solves - baseline.saturated_solves,
+            wall_seconds: self.wall_seconds - baseline.wall_seconds,
+        }
+    }
+
+    /// Exports every counter as `atom-obs` gauges under `prefix` (e.g.
+    /// `prefix = "evaluator"` yields `evaluator_candidates`,
+    /// `evaluator_hit_rate`, ...). The bench's CI hit-rate floor and the
+    /// printed report both read these gauges, so they cannot disagree
+    /// with each other or with [`EvaluatorStats::hit_rate`].
+    pub fn export(&self, registry: &mut atom_obs::Registry, prefix: &str) {
+        registry.set_gauge(&format!("{prefix}_candidates"), self.candidates as f64);
+        registry.set_gauge(&format!("{prefix}_solves"), self.solves as f64);
+        registry.set_gauge(&format!("{prefix}_cache_hits"), self.cache_hits as f64);
+        registry.set_gauge(&format!("{prefix}_failures"), self.failures as f64);
+        registry.set_gauge(
+            &format!("{prefix}_solver_iterations"),
+            self.solver_iterations as f64,
+        );
+        registry.set_gauge(
+            &format!("{prefix}_hinted_solves"),
+            self.hinted_solves as f64,
+        );
+        registry.set_gauge(
+            &format!("{prefix}_hinted_iterations"),
+            self.hinted_iterations as f64,
+        );
+        registry.set_gauge(
+            &format!("{prefix}_saturated_solves"),
+            self.saturated_solves as f64,
+        );
+        registry.set_gauge(&format!("{prefix}_hit_rate"), self.hit_rate());
+        registry.set_gauge(
+            &format!("{prefix}_solves_saved"),
+            self.solves_saved() as f64,
+        );
+    }
+
+    /// The journal's plain-data view of these counters (wall-clock time
+    /// deliberately excluded: the journal must be deterministic).
+    pub fn to_counters(&self) -> atom_obs::SolveCounters {
+        atom_obs::SolveCounters {
+            candidates: self.candidates as u64,
+            solves: self.solves as u64,
+            cache_hits: self.cache_hits as u64,
+            failures: self.failures as u64,
+            solver_iterations: self.solver_iterations as u64,
+            hinted_solves: self.hinted_solves as u64,
+            saturated_solves: self.saturated_solves as u64,
         }
     }
 }
@@ -202,6 +297,10 @@ pub struct CandidateEvaluator<'a> {
     recent: VecDeque<(DecisionVector, f64, usize)>,
     stats: EvaluatorStats,
     workers: usize,
+    /// Solves performed per worker *slot* across all batches (slot 0
+    /// also absorbs every serial solve). Slots are index-striped, so
+    /// this occupancy profile is deterministic in the worker count.
+    worker_solves: Vec<usize>,
 }
 
 /// Default evaluator worker count: the `ATOM_EVAL_WORKERS` environment
@@ -228,6 +327,7 @@ impl<'a> CandidateEvaluator<'a> {
             recent: VecDeque::new(),
             stats: EvaluatorStats::default(),
             workers: default_workers(),
+            worker_solves: Vec::new(),
         }
     }
 
@@ -241,6 +341,7 @@ impl<'a> CandidateEvaluator<'a> {
             recent: VecDeque::new(),
             stats: EvaluatorStats::default(),
             workers: default_workers(),
+            worker_solves: Vec::new(),
         }
     }
 
@@ -264,6 +365,31 @@ impl<'a> CandidateEvaluator<'a> {
     /// Lifetime counters.
     pub fn stats(&self) -> EvaluatorStats {
         self.stats
+    }
+
+    /// Solves performed per worker slot across this evaluator's
+    /// lifetime: slot `w` counts the solves of batch-fan-out worker `w`
+    /// (misses are index-striped, so the profile is deterministic), and
+    /// slot 0 additionally absorbs all serial solves. The length is the
+    /// largest fan-out actually used, not the configured worker count.
+    pub fn worker_occupancy(&self) -> &[usize] {
+        &self.worker_solves
+    }
+
+    /// Exports the lifetime counters plus per-worker batch occupancy as
+    /// gauges under `prefix` (occupancy as `{prefix}_worker{w}_solves`).
+    pub fn export_metrics(&self, registry: &mut atom_obs::Registry, prefix: &str) {
+        self.stats.export(registry, prefix);
+        for (w, &solves) in self.worker_solves.iter().enumerate() {
+            registry.set_gauge(&format!("{prefix}_worker{w}_solves"), solves as f64);
+        }
+    }
+
+    fn book_worker(worker_solves: &mut Vec<usize>, slot: usize) {
+        if worker_solves.len() <= slot {
+            worker_solves.resize(slot + 1, 0);
+        }
+        worker_solves[slot] += 1;
     }
 
     /// The sentinel for candidates that cannot be scored at all (config
@@ -373,6 +499,9 @@ impl<'a> CandidateEvaluator<'a> {
             stats.hinted_solves += 1;
             stats.hinted_iterations += c.iterations;
         }
+        if c.iterations > atom_lqn::analytic::SATURATION_ITERATIONS {
+            stats.saturated_solves += 1;
+        }
         if c.tps.is_none() {
             stats.failures += 1;
         }
@@ -394,6 +523,7 @@ impl<'a> CandidateEvaluator<'a> {
                 let c =
                     Self::solve_and_score(&mut self.scratch, binding, objective, decision, hint);
                 Self::record_solve(&mut self.stats, &c, hint.is_some());
+                Self::book_worker(&mut self.worker_solves, 0);
                 Self::remember(&mut self.recent, decision, &c);
                 self.cache.insert(decision.clone(), c);
                 c.eval.unwrap()
@@ -500,8 +630,14 @@ impl<'a> CandidateEvaluator<'a> {
             solved
         };
 
-        for ((&i, c), hint) in misses.iter().zip(&solved).zip(&hints) {
+        let fanout = if self.workers <= 1 || misses.len() <= 1 {
+            1
+        } else {
+            self.workers.min(misses.len())
+        };
+        for (j, ((&i, c), hint)) in misses.iter().zip(&solved).zip(&hints).enumerate() {
             Self::record_solve(&mut self.stats, c, hint.is_some());
+            Self::book_worker(&mut self.worker_solves, j % fanout);
             Self::remember(&mut self.recent, &decisions[i], c);
             self.cache.insert(decisions[i].clone(), *c);
         }
@@ -550,6 +686,7 @@ impl<'a> CandidateEvaluator<'a> {
             },
         };
         Self::record_solve(&mut self.stats, &cached, hint.is_some());
+        Self::book_worker(&mut self.worker_solves, 0);
         Self::remember(&mut self.recent, decision, &cached);
         self.cache.insert(decision.clone(), cached);
         self.stats.wall_seconds += started.elapsed().as_secs_f64();
@@ -596,6 +733,7 @@ impl<'a> CandidateEvaluator<'a> {
             iterations: solved.map_or(0, |(_, it)| it),
         };
         Self::record_solve(&mut self.stats, &cached, hint.is_some());
+        Self::book_worker(&mut self.worker_solves, 0);
         if let Some(key) = key {
             Self::remember(&mut self.recent, &key, &cached);
             if cached.tps.is_some() {
@@ -870,6 +1008,70 @@ mod tests {
         let mut bad = ScalingConfig::new();
         bad.set(TaskId(99), 1, 0.5);
         assert!(ev.with_solution(&bad, |_, _| ()).is_err());
+    }
+
+    #[test]
+    fn occupancy_and_exported_gauges_mirror_the_stats() {
+        let (binding, obj) = setup(300);
+        let decisions = some_decisions(); // six entries, one duplicate
+        let mut ev = CandidateEvaluator::new(&binding, &binding.model, &obj).with_workers(2);
+        ev.evaluate_batch(&decisions);
+        let occupancy = ev.worker_occupancy().to_vec();
+        assert_eq!(occupancy.len(), 2, "five misses over two workers");
+        assert_eq!(occupancy.iter().sum::<usize>(), ev.stats().solves);
+        assert_eq!(occupancy, vec![3, 2], "index striping: ceil/floor split");
+
+        let mut reg = atom_obs::Registry::new();
+        ev.export_metrics(&mut reg, "evaluator");
+        let s = ev.stats();
+        assert_eq!(reg.gauge("evaluator_candidates"), Some(s.candidates as f64));
+        assert_eq!(reg.gauge("evaluator_solves"), Some(s.solves as f64));
+        assert_eq!(reg.gauge("evaluator_hit_rate"), Some(s.hit_rate()));
+        assert_eq!(reg.gauge("evaluator_worker0_solves"), Some(3.0));
+        assert_eq!(reg.gauge("evaluator_worker1_solves"), Some(2.0));
+
+        // The plain-data journal view carries the same numbers.
+        let counters = s.to_counters();
+        assert_eq!(counters.candidates as usize, s.candidates);
+        assert_eq!(counters.solves as usize, s.solves);
+        assert_eq!(counters.saturated_solves as usize, s.saturated_solves);
+    }
+
+    #[test]
+    fn stats_delta_covers_every_counter() {
+        let (binding, obj) = setup(300);
+        let mut ev = CandidateEvaluator::new(&binding, &binding.model, &obj);
+        let decisions = some_decisions();
+        ev.evaluate_batch(&decisions);
+        let baseline = ev.stats();
+        ev.evaluate_batch(&decisions); // fully cached second pass
+        let delta = ev.stats().since(&baseline);
+        assert_eq!(delta.candidates, decisions.len());
+        assert_eq!(delta.solves, 0);
+        assert_eq!(delta.cache_hits, decisions.len());
+        assert_eq!(delta.solver_iterations, 0);
+        // Zero minus zero for the untouched counters — and compiling
+        // this test breaks if a field is added without extending
+        // `since`, because `since` constructs the struct exhaustively.
+        assert_eq!(delta.saturated_solves, 0);
+    }
+
+    #[test]
+    fn cold_and_hinted_split_partitions_the_totals() {
+        let (binding, obj) = setup(500);
+        let mut ev = CandidateEvaluator::new(&binding, &binding.model, &obj);
+        for d in some_decisions() {
+            ev.evaluate(&d);
+        }
+        let s = ev.stats();
+        assert_eq!(s.cold_solves() + s.hinted_solves, s.solves);
+        assert_eq!(
+            s.cold_iterations() + s.hinted_iterations,
+            s.solver_iterations
+        );
+        if let Some(m) = s.mean_cold_iterations() {
+            assert!(m > 0.0);
+        }
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! The experiment runner: drives an autoscaler against a cluster and
 //! collects the §V-B metrics.
 
-use atom_cluster::{AppSpec, Cluster, ClusterError, ClusterOptions, WindowReport};
+use atom_cluster::{
+    AppSpec, Cluster, ClusterError, ClusterOptions, ClusterTelemetry, WindowReport,
+};
 use atom_metrics::{ActionLog, AvailabilityTrace, CapacityTrace, CapacityWindow, TpsSeries};
+use atom_obs::{DecisionRecord, RunRecord};
 use atom_workload::WorkloadSpec;
 
 use crate::autoscaler::Autoscaler;
@@ -49,6 +52,35 @@ pub struct ExperimentResult {
     /// Per-window decision explanations from introspective scalers
     /// (`None` entries for windows without one).
     pub explanations: Vec<Option<String>>,
+    /// Structured telemetry collected alongside the run. Purely
+    /// observational: dropping it changes nothing the metrics above see.
+    pub telemetry: TelemetrySummary,
+}
+
+/// The observability sidecar of one experiment run: the per-window
+/// decision journal plus the cluster's discrete-event counters.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySummary {
+    /// One entry per monitoring window: the scaler's decision record, if
+    /// it keeps one (`None` for non-journaling scalers).
+    pub decisions: Vec<Option<DecisionRecord>>,
+    /// The cluster's event counters and scale-action latency samples.
+    pub cluster: ClusterTelemetry,
+}
+
+impl TelemetrySummary {
+    /// The run-level journal record summarising `result`.
+    pub fn run_record(result: &ExperimentResult) -> RunRecord {
+        let windows = result.reports.len();
+        RunRecord {
+            scaler: result.scaler.clone(),
+            windows: windows as u64,
+            mean_tps: result.mean_tps(0, windows.max(1)),
+            mean_availability: result.mean_availability(),
+            actions: result.actions.len() as u64,
+            cluster_events: result.telemetry.cluster.total_events(),
+        }
+    }
 }
 
 impl ExperimentResult {
@@ -134,6 +166,7 @@ pub fn run_experiment(
     let mut actions_log = ActionLog::new();
     let mut reports = Vec::with_capacity(config.windows);
     let mut explanations = Vec::with_capacity(config.windows);
+    let mut decisions = Vec::with_capacity(config.windows);
 
     for _ in 0..config.windows {
         let report = cluster.run_window(config.window_secs);
@@ -159,6 +192,7 @@ pub fn run_experiment(
         }
         let actions = scaler.decide(&report);
         explanations.push(scaler.explain_last());
+        decisions.push(scaler.take_decision_record());
         if !actions.is_empty() {
             for a in &actions {
                 actions_log.record(
@@ -185,6 +219,10 @@ pub fn run_experiment(
         availability,
         actions: actions_log,
         explanations,
+        telemetry: TelemetrySummary {
+            decisions,
+            cluster: cluster.telemetry().clone(),
+        },
     })
 }
 
@@ -273,6 +311,26 @@ mod tests {
         assert!(result.longest_outage(0.999) > 0.0);
         assert_eq!(clean.mean_availability(), 1.0);
         assert_eq!(clean.longest_outage(0.999), 0.0);
+    }
+
+    #[test]
+    fn telemetry_summary_rides_along_the_run() {
+        let mut uv = UvScaler::new(&app(), RuleConfig::default());
+        let result = run_experiment(&app(), ramp_workload(), &mut uv, config(8)).unwrap();
+        assert_eq!(result.telemetry.decisions.len(), 8);
+        assert!(
+            result.telemetry.decisions.iter().all(|d| d.is_some()),
+            "UV journals every window"
+        );
+        assert!(result.telemetry.cluster.total_events() > 0);
+        let run = TelemetrySummary::run_record(&result);
+        assert_eq!((run.windows, run.scaler.as_str()), (8, "UV"));
+        assert_eq!(run.actions, result.actions.len() as u64);
+        assert!(run.mean_tps > 0.0);
+        // Non-journaling scalers leave the journal empty, not absent.
+        let mut noop = NoopScaler;
+        let base = run_experiment(&app(), ramp_workload(), &mut noop, config(4)).unwrap();
+        assert!(base.telemetry.decisions.iter().all(|d| d.is_none()));
     }
 
     #[test]

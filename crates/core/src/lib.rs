@@ -60,8 +60,9 @@ pub use baselines::{UhScaler, UvScaler};
 pub use binding::{ModelBinding, ServiceBinding};
 pub use calibration::DemandCalibrator;
 pub use evaluator::{CandidateEvaluator, EvaluatorStats};
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, TelemetrySummary};
 pub use objective::ObjectiveSpec;
+pub use optimizer::GaStats;
 pub use planner::PlannerMode;
 pub use whatif::{what_if, what_if_decision, Prediction};
 

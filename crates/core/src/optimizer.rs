@@ -39,6 +39,39 @@ pub struct SearchResult {
     pub evaluations: usize,
     /// Evaluator counters for this search (solves, hits, wall time).
     pub stats: EvaluatorStats,
+    /// GA convergence read-out (all-empty for non-GA searches).
+    pub ga: GaStats,
+}
+
+/// Convergence statistics of one GA search round, journaled per window.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GaStats {
+    /// Generations completed.
+    pub generations: usize,
+    /// Best feasible objective after each generation (`NaN` until a
+    /// feasible individual exists).
+    pub best_history: Vec<f64>,
+    /// Mean finite objective across the population per generation.
+    pub mean_history: Vec<f64>,
+    /// Children replaced by the within-generation niching pass.
+    pub niche_dedup: usize,
+}
+
+impl GaStats {
+    /// The journal's plain-data view (NaN-free: non-finite history
+    /// entries become `None` so the JSONL stays valid JSON).
+    pub fn to_generations(&self, evaluations: usize) -> atom_obs::GaGenerations {
+        let opt = |v: &[f64]| -> Vec<Option<f64>> {
+            v.iter().map(|&x| x.is_finite().then_some(x)).collect()
+        };
+        atom_obs::GaGenerations {
+            generations: self.generations as u64,
+            evaluations: evaluations as u64,
+            best: opt(&self.best_history),
+            mean: opt(&self.mean_history),
+            niche_dedup: self.niche_dedup as u64,
+        }
+    }
 }
 
 /// Runs the GA search over scaling decisions.
@@ -80,6 +113,7 @@ pub fn search_with(evaluator: &mut CandidateEvaluator<'_>, ga: GaOptions) -> Sea
             eval: Evaluation::feasible(0.0),
             evaluations: 0,
             stats: EvaluatorStats::default(),
+            ga: GaStats::default(),
         };
     }
     let genome = lattice_genome(&scalable);
@@ -99,15 +133,12 @@ pub fn search_with(evaluator: &mut CandidateEvaluator<'_>, ga: GaOptions) -> Sea
         decision,
         eval: result.best,
         evaluations: result.evaluations,
-        stats: EvaluatorStats {
-            candidates: after.candidates - stats_before.candidates,
-            solves: after.solves - stats_before.solves,
-            cache_hits: after.cache_hits - stats_before.cache_hits,
-            failures: after.failures - stats_before.failures,
-            solver_iterations: after.solver_iterations - stats_before.solver_iterations,
-            hinted_solves: after.hinted_solves - stats_before.hinted_solves,
-            hinted_iterations: after.hinted_iterations - stats_before.hinted_iterations,
-            wall_seconds: after.wall_seconds - stats_before.wall_seconds,
+        stats: after.since(&stats_before),
+        ga: GaStats {
+            generations: result.history.len(),
+            best_history: result.history,
+            mean_history: result.mean_history,
+            niche_dedup: result.niche_dedup,
         },
     }
 }
@@ -164,6 +195,7 @@ pub fn random_search(
         eval,
         evaluations,
         stats: evaluator.stats(),
+        ga: GaStats::default(),
     }
 }
 

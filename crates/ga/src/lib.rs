@@ -214,6 +214,15 @@ pub struct GaResult {
     /// Best feasible objective after each generation (`NaN` until a
     /// feasible individual exists).
     pub history: Vec<f64>,
+    /// Mean finite objective across the population after each generation
+    /// (`NaN` when no individual has a finite objective). Together with
+    /// [`GaResult::history`] this is the standard convergence read-out:
+    /// a mean chasing the best means the population has converged.
+    pub mean_history: Vec<f64>,
+    /// Children the niching pass had to replace (duplicate-genome
+    /// re-mutations and random immigrants). Zero when
+    /// [`GaOptions::niching`] is off.
+    pub niche_dedup: usize,
 }
 
 fn random_value(gene: &Gene, rng: &mut SimRng) -> GeneValue {
@@ -391,6 +400,8 @@ where
     }
     let mut best = pop[best_idx].clone();
     let mut history = Vec::new();
+    let mut mean_history = Vec::new();
+    let mut niche_dedup = 0usize;
     let mut generations = 0usize;
 
     while budget_left(evaluations, generations) {
@@ -441,6 +452,9 @@ where
                 let is_dup = |c: &[GeneValue], kids: &[Vec<GeneValue>]| {
                     kids.iter().any(|g| g.as_slice() == c)
                 };
+                if is_dup(&child, &children) {
+                    niche_dedup += 1;
+                }
                 let mut attempts = 0;
                 while attempts < 8 && is_dup(&child, &children) {
                     mutate(
@@ -477,6 +491,12 @@ where
             .map(|(_, e)| e.objective)
             .fold(f64::NAN, f64::max);
         history.push(best_feasible);
+        let (sum, n) = pop
+            .iter()
+            .map(|(_, e)| e.objective)
+            .filter(|o| o.is_finite())
+            .fold((0.0, 0usize), |(s, n), o| (s + o, n + 1));
+        mean_history.push(if n > 0 { sum / n as f64 } else { f64::NAN });
     }
 
     GaResult {
@@ -485,6 +505,8 @@ where
         evaluations,
         generations,
         history,
+        mean_history,
+        niche_dedup,
     }
 }
 
@@ -725,6 +747,27 @@ mod tests {
         );
         assert_eq!(result.generations, 5);
         assert_eq!(result.history.len(), 5);
+        assert_eq!(result.mean_history.len(), 5);
+        assert!(result.mean_history.iter().all(|m| m.is_finite()));
+        assert_eq!(result.niche_dedup, 0, "no niching, no dedup");
+    }
+
+    #[test]
+    fn niching_counts_its_interventions() {
+        // A two-point lattice forces duplicate children every generation,
+        // so the niching pass must intervene and count doing so.
+        let genome = vec![Gene::Int { lo: 0, hi: 1 }];
+        let result = optimize(
+            &genome,
+            GaOptions {
+                population: 8,
+                budget: Budget::Generations(4),
+                niching: true,
+                ..Default::default()
+            },
+            |g| Evaluation::feasible(-g[0].as_f64()),
+        );
+        assert!(result.niche_dedup > 0, "duplicates must be detected");
     }
 
     #[test]

@@ -105,6 +105,39 @@ impl SolverOptions {
     }
 }
 
+/// Inner-iteration count above which a solve is classified as
+/// *saturated*: the fixed point sits on the contention plateau where the
+/// monotone iteration crawls, which happens exactly when the candidate
+/// drives a processor to (or past) capacity. `atom-core`'s evaluator
+/// uses the same threshold to gate warm-start hint *sources* (a
+/// saturated solution's throughput is a poor lower bound for a
+/// neighbouring configuration), so classification and gating cannot
+/// drift apart.
+pub const SATURATION_ITERATIONS: usize = 1_000;
+
+/// Telemetry left behind by one [`solve_with`] call, readable via
+/// [`SolverWorkspace::last_solve`].
+///
+/// Purely observational: the stats are written after the solution is
+/// computed and feed nothing back into the solver, so recording them
+/// keeps results bitwise identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Total inner fixed-point iterations across all probes.
+    pub iterations: usize,
+    /// Bisection/ramp probes evaluated (including the final full solve).
+    pub probes: usize,
+    /// Probes spent inside the warm-start ramp.
+    pub warm_probes: usize,
+    /// Whether a usable (finite, positive) warm-start hint was offered.
+    pub warm_start_offered: bool,
+    /// Whether the ramp paid off: at least one warm probe landed below
+    /// the fixed point, so its climbed state seeded the bracket.
+    pub warm_start_hit: bool,
+    /// Whether the solve crossed [`SATURATION_ITERATIONS`].
+    pub saturated: bool,
+}
+
 /// Reusable scratch buffers for [`solve_with`].
 ///
 /// One analytic solve needs a handful of per-entry/per-task vectors
@@ -122,12 +155,19 @@ pub struct SolverWorkspace {
     lo_state: State,
     busy_proc: Vec<f64>,
     accel: AccelBuffers,
+    stats: SolveStats,
 }
 
 impl SolverWorkspace {
     /// Creates an empty workspace (buffers grow on first use).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Telemetry from the most recent solve through this workspace
+    /// (all-zero before the first solve).
+    pub fn last_solve(&self) -> SolveStats {
+        self.stats
     }
 }
 
@@ -243,6 +283,7 @@ pub fn solve_with(
     let np = model.processors().len();
 
     if population == 0 {
+        workspace.stats = SolveStats::default();
         return Ok(LqnSolution {
             entry_throughput: vec![0.0; ne],
             entry_residence: vec![0.0; ne],
@@ -302,6 +343,7 @@ pub fn solve_with(
         lo_state,
         busy_proc,
         accel,
+        stats,
     } = workspace;
 
     // Minimal cycle response (empty system) bounds the throughput above.
@@ -317,6 +359,9 @@ pub fn solve_with(
     }
 
     let mut total_iterations = 0usize;
+    let mut probe_count = 0usize;
+    let mut warm_probe_count = 0usize;
+    let mut warm_hit = false;
     // Warm-start state: the inner fixed point is monotone non-decreasing
     // in X, so the converged state at any X' < X is a valid from-below
     // starting point for X (the undamped monotone iteration then still
@@ -346,6 +391,7 @@ pub fn solve_with(
                 accel,
             );
             total_iterations += probe.iterations;
+            probe_count += 1;
             probe.s[ref_entry.0]
         }};
     }
@@ -369,13 +415,16 @@ pub fn solve_with(
     // that is then discarded. Each probe applies the same sign test as
     // an ordinary bisection step, so correctness is untouched by a
     // garbage hint — only time is.
+    let warm_offered = matches!(options.warm_start, Some(h) if h.is_finite() && h > 0.0);
     if let Some(hint) = options.warm_start {
         if hint.is_finite() && hint > 0.0 {
             let mut cand = hint * 0.98;
             while cand > lo && cand < hi {
                 let r = evaluate!(cand, true);
+                warm_probe_count += 1;
                 if n_f / (think_time + r) > cand {
                     lo = cand;
+                    warm_hit = true;
                     std::mem::swap(lo_state, probe);
                     cand *= 1.10;
                 } else {
@@ -404,6 +453,15 @@ pub fn solve_with(
     // The final evaluation must run to convergence (no early exit) so the
     // reported waits and utilisations are the true fixed point.
     let r_client = evaluate!(x_client, false);
+
+    *stats = SolveStats {
+        iterations: total_iterations,
+        probes: probe_count,
+        warm_probes: warm_probe_count,
+        warm_start_offered: warm_offered,
+        warm_start_hit: warm_hit,
+        saturated: total_iterations > SATURATION_ITERATIONS,
+    };
 
     let x_entry: Vec<f64> = tables.visits.iter().map(|&v| x_client * v).collect();
     Ok(finish(
@@ -992,6 +1050,50 @@ mod tests {
             .unwrap();
             assert_eq!(sol, cold, "hint {hint} changed the solution");
         }
+    }
+
+    #[test]
+    fn solve_stats_mirror_the_solution() {
+        let model = repairman(0.01, 4, 300, 5.0);
+        let mut ws = SolverWorkspace::new();
+        assert_eq!(ws.last_solve(), SolveStats::default());
+        let cold = solve_with(&model, SolverOptions::default(), &mut ws).unwrap();
+        let cold_stats = ws.last_solve();
+        assert_eq!(cold_stats.iterations, cold.iterations);
+        assert!(cold_stats.probes > 0);
+        assert!(!cold_stats.warm_start_offered);
+        assert_eq!(cold_stats.warm_probes, 0);
+        assert!(!cold_stats.warm_start_hit);
+
+        let opts = SolverOptions::default().with_warm_start(Some(cold.client_throughput));
+        let warm = solve_with(&model, opts, &mut ws).unwrap();
+        let warm_stats = ws.last_solve();
+        assert_eq!(warm_stats.iterations, warm.iterations);
+        assert!(warm_stats.warm_start_offered);
+        assert!(warm_stats.warm_probes > 0);
+        assert!(
+            warm_stats.warm_start_hit,
+            "an exact hint must seed the bracket"
+        );
+        assert!(warm_stats.probes < cold_stats.probes);
+    }
+
+    #[test]
+    fn saturation_classification_tracks_the_iteration_gate() {
+        // Unsaturated: far more capacity than the population can use.
+        let easy = repairman(0.01, 4, 300, 5.0);
+        let mut ws = SolverWorkspace::new();
+        solve_with(&easy, SolverOptions::default(), &mut ws).unwrap();
+        assert!(!ws.last_solve().saturated);
+        // Saturated: one slow server against a large population parks the
+        // fixed point on the contention plateau.
+        let hard = repairman(0.5, 1, 2000, 0.1);
+        let sol = solve_with(&hard, SolverOptions::default(), &mut ws).unwrap();
+        assert_eq!(
+            ws.last_solve().saturated,
+            sol.iterations > SATURATION_ITERATIONS
+        );
+        assert!(ws.last_solve().saturated, "expected a saturated regime");
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! The journal's record types: what one line of the JSONL trace says.
+//!
+//! The head of the taxonomy is the per-window MAPE-K [`DecisionRecord`]:
+//! everything ATOM (or a baseline) knew, computed, chose, and actuated
+//! in one monitoring window. Records are plain data — service names are
+//! strings, not ids — so the journal is readable without the model that
+//! produced it and the schema is stable against internal refactors
+//! (CI's `repro --smoke --trace-out` step re-parses every emitted line
+//! through these types).
+
+use serde::{Deserialize, Serialize};
+
+/// One journal line. Externally tagged: `{"Decision": {...}}`,
+/// `{"Run": {...}}`, or `{"Note": "..."}`.
+// Nearly every journal entry is a `Decision`, so boxing the large
+// variant would add an allocation per record while saving memory only
+// on the rare `Run`/`Note` lines.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Record {
+    /// A per-window MAPE-K decision.
+    Decision(DecisionRecord),
+    /// A per-experiment summary emitted once at the end of a run.
+    Run(RunRecord),
+    /// A free-form annotation.
+    Note(String),
+}
+
+/// What the controller observed, estimated, evaluated, chose, and
+/// actuated in one monitoring window — the full MAPE-K loop, journaled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// Monitoring-window index (0-based) within the experiment.
+    pub window: u64,
+    /// Simulated time at which the decision was taken (window end, s).
+    pub time: f64,
+    /// Controller name ("ATOM", "UH", "UV", ...).
+    pub scaler: String,
+    /// Monitor: the telemetry snapshot the decision was based on.
+    pub snapshot: TelemetrySnapshot,
+    /// Analyze: per-service demand estimates fed to the model (empty for
+    /// rule-based baselines, which do not estimate demands).
+    pub demands: Vec<ServiceDemand>,
+    /// Plan: candidate-evaluation counters for this window's search
+    /// (`None` for baselines — they evaluate no candidates).
+    pub evaluator: Option<SolveCounters>,
+    /// Plan: GA convergence statistics (`None` when no search ran).
+    pub ga: Option<GaGenerations>,
+    /// The chosen configuration per touched service.
+    pub chosen: Vec<ChosenAction>,
+    /// Execute: what was actually issued to the cluster, and why.
+    pub actuation: ActuationOutcome,
+}
+
+/// The monitor-phase snapshot a decision was based on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Concurrent users at window end.
+    pub users: u64,
+    /// Completed client requests/second over the window.
+    pub observed_tps: f64,
+    /// Peak sub-interval client request issue rate (requests/second).
+    pub peak_arrival_rate: f64,
+    /// Fraction of the window the monitoring plane was dark (0–1).
+    pub monitor_dropout: f64,
+    /// Whether the controller classified the window as degraded (the
+    /// scrape-based counters were untrustworthy).
+    pub degraded: bool,
+}
+
+/// One service's estimated CPU demand (seconds per request).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceDemand {
+    /// Service name.
+    pub service: String,
+    /// Estimated demand (s).
+    pub demand: f64,
+}
+
+/// Candidate-evaluation counters for one planning window (the delta of
+/// `atom-core`'s `EvaluatorStats` over the window's search).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolveCounters {
+    /// Candidates submitted for evaluation.
+    pub candidates: u64,
+    /// LQN solves actually performed.
+    pub solves: u64,
+    /// Candidates answered from the memo table.
+    pub cache_hits: u64,
+    /// Candidates whose solve failed (infeasible/invalid model).
+    pub failures: u64,
+    /// Total inner fixed-point iterations across the window's solves.
+    pub solver_iterations: u64,
+    /// Solves that ran with a warm-start hint.
+    pub hinted_solves: u64,
+    /// Solves classified as saturated (iteration count above the
+    /// hint-source gate — see `atom-lqn`'s `SATURATION_ITERATIONS`).
+    pub saturated_solves: u64,
+}
+
+/// GA convergence statistics for one planning window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaGenerations {
+    /// Generations the GA ran.
+    pub generations: u64,
+    /// Fitness evaluations consumed.
+    pub evaluations: u64,
+    /// Best feasible objective per generation (`None` until the first
+    /// feasible individual appears — avoids NaN in JSON).
+    pub best: Vec<Option<f64>>,
+    /// Mean finite objective per generation (`None` when no individual
+    /// had a finite objective).
+    pub mean: Vec<Option<f64>>,
+    /// Children replaced by the niching pass (duplicate-genome
+    /// re-mutations plus random immigrants).
+    pub niche_dedup: u64,
+}
+
+/// One service's chosen configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChosenAction {
+    /// Service name.
+    pub service: String,
+    /// Target replica count.
+    pub replicas: u64,
+    /// Target per-replica CPU share (cores).
+    pub share: f64,
+}
+
+/// The execute-phase outcome: what reached the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActuationOutcome {
+    /// Actions issued to the orchestrator this window.
+    pub issued: Vec<ChosenAction>,
+    /// Services whose dropped actions were re-issued (degraded mode).
+    pub reissued: Vec<String>,
+    /// Services whose actions were abandoned after repeated actuation
+    /// failures.
+    pub abandoned: Vec<String>,
+    /// Whether the controller held the current configuration.
+    pub held: bool,
+    /// Human-readable reason for the outcome (mirrors the controller's
+    /// explanation notes), if any.
+    pub reason: Option<String>,
+}
+
+impl ActuationOutcome {
+    /// An outcome that holds the current configuration for `reason`.
+    pub fn hold(reason: impl Into<String>) -> Self {
+        ActuationOutcome {
+            issued: Vec::new(),
+            reissued: Vec::new(),
+            abandoned: Vec::new(),
+            held: true,
+            reason: Some(reason.into()),
+        }
+    }
+}
+
+/// Per-experiment summary record (one per run, after the last window).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Controller name.
+    pub scaler: String,
+    /// Monitoring windows simulated.
+    pub windows: u64,
+    /// Mean completed requests/second across windows.
+    pub mean_tps: f64,
+    /// Mean availability across windows.
+    pub mean_availability: f64,
+    /// Scale actions issued over the run.
+    pub actions: u64,
+    /// Total discrete-event-simulator events dispatched.
+    pub cluster_events: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_decision() -> DecisionRecord {
+        DecisionRecord {
+            window: 3,
+            time: 1200.0,
+            scaler: "ATOM".into(),
+            snapshot: TelemetrySnapshot {
+                users: 2000,
+                observed_tps: 61.5,
+                peak_arrival_rate: 80.25,
+                monitor_dropout: 0.0,
+                degraded: false,
+            },
+            demands: vec![ServiceDemand {
+                service: "front-end".into(),
+                demand: 0.0125,
+            }],
+            evaluator: Some(SolveCounters {
+                candidates: 300,
+                solves: 180,
+                cache_hits: 120,
+                failures: 0,
+                solver_iterations: 5400,
+                hinted_solves: 150,
+                saturated_solves: 2,
+            }),
+            ga: Some(GaGenerations {
+                generations: 5,
+                evaluations: 300,
+                best: vec![None, Some(-50.0), Some(-61.0)],
+                mean: vec![Some(-10.0), Some(-40.0), Some(-55.5)],
+                niche_dedup: 7,
+            }),
+            chosen: vec![ChosenAction {
+                service: "front-end".into(),
+                replicas: 4,
+                share: 0.5,
+            }],
+            actuation: ActuationOutcome {
+                issued: vec![ChosenAction {
+                    service: "front-end".into(),
+                    replicas: 4,
+                    share: 0.5,
+                }],
+                reissued: vec![],
+                abandoned: vec![],
+                held: false,
+                reason: None,
+            },
+        }
+    }
+
+    #[test]
+    fn decision_record_round_trips_through_json() {
+        let rec = Record::Decision(sample_decision());
+        let line = serde_json::to_string(&rec).unwrap();
+        let back: Record = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn run_record_round_trips_through_json() {
+        let rec = Record::Run(RunRecord {
+            scaler: "UH".into(),
+            windows: 8,
+            mean_tps: 40.0,
+            mean_availability: 0.999,
+            actions: 3,
+            cluster_events: 123456,
+        });
+        let line = serde_json::to_string(&rec).unwrap();
+        let back: Record = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn hold_outcome_captures_reason() {
+        let o = ActuationOutcome::hold("monitor dark");
+        assert!(o.held);
+        assert_eq!(o.reason.as_deref(), Some("monitor dark"));
+        assert!(o.issued.is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Named counters, gauges, and histograms with Prometheus-text export.
+//!
+//! A [`Registry`] is plain owned state — no globals, no locks, no wall
+//! clock — so telemetry stays deterministic and inert: a registry that
+//! nobody reads changes nothing about the computation that fed it.
+//! Names are kept in `BTreeMap`s so the exported snapshot is stably
+//! ordered regardless of insertion order.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::histogram::Histogram;
+
+/// A collection of named metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments counter `name` by `by`.
+    pub fn add(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `value` into histogram `name`, creating it with a default
+    /// geometric ladder (1e-6 … ~1e6, factor 4) on first use.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::exponential(1e-6, 4.0, 20))
+            .record(value);
+    }
+
+    /// The histogram `name` with explicit `bounds`, creating it on first
+    /// use (existing histograms keep their original bounds).
+    pub fn histogram_with(&mut self, name: &str, bounds: Vec<f64>) -> &mut Histogram {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+    }
+
+    /// Read access to histogram `name`, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Merges `other` into `self`: counters add, gauges overwrite, and
+    /// `other`'s histograms replace same-named ones (bucket layouts may
+    /// differ between sources, so bucket-wise addition is not defined).
+    pub fn absorb(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.insert(k.clone(), v.clone());
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format:
+    /// counters as `# TYPE x counter`, gauges as gauges, histograms as
+    /// cumulative `_bucket{le="..."}` series with `_sum` and `_count`.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let (bounds, counts) = h.buckets();
+            let mut cumulative = 0u64;
+            for (b, c) in bounds.iter().zip(counts) {
+                cumulative += c;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
+}
+
+/// A span-style scoped timer over **simulated** time.
+///
+/// The caller supplies both endpoints — no clock is read — so spans are
+/// deterministic by construction:
+///
+/// ```
+/// use atom_obs::{Registry, Span};
+/// let mut reg = Registry::new();
+/// let span = Span::begin("solve_seconds", 100.0);
+/// // ... simulated work advances sim time to 100.25 ...
+/// span.end(&mut reg, 100.25);
+/// assert_eq!(reg.histogram("solve_seconds").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Span {
+    name: String,
+    start: f64,
+}
+
+impl Span {
+    /// Opens a span named `name` at sim time `start`.
+    pub fn begin(name: impl Into<String>, start: f64) -> Self {
+        Span {
+            name: name.into(),
+            start,
+        }
+    }
+
+    /// Closes the span at sim time `end`, recording the duration into
+    /// the registry histogram bearing the span's name.
+    pub fn end(self, registry: &mut Registry, end: f64) {
+        registry.observe(&self.name, end - self.start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut r = Registry::new();
+        r.inc("solves");
+        r.add("solves", 4);
+        r.set_gauge("hit_rate", 0.42);
+        assert_eq!(r.counter("solves"), 5);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.gauge("hit_rate"), Some(0.42));
+        assert_eq!(r.gauge("absent"), None);
+    }
+
+    #[test]
+    fn prometheus_text_is_sorted_and_cumulative() {
+        let mut r = Registry::new();
+        r.inc("zeta_total");
+        r.inc("alpha_total");
+        r.set_gauge("mid_gauge", 1.5);
+        let h = r.histogram_with("lat", vec![1.0, 2.0]);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(9.0);
+        let text = r.prometheus_text();
+        let alpha = text.find("alpha_total 1").unwrap();
+        let zeta = text.find("zeta_total 1").unwrap();
+        assert!(alpha < zeta, "counters must be name-sorted");
+        assert!(text.contains("# TYPE mid_gauge gauge"));
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"2\"} 2"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_count 3"));
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_overwrites_gauges() {
+        let mut a = Registry::new();
+        a.add("c", 2);
+        a.set_gauge("g", 1.0);
+        let mut b = Registry::new();
+        b.add("c", 3);
+        b.set_gauge("g", 9.0);
+        a.absorb(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.gauge("g"), Some(9.0));
+    }
+
+    #[test]
+    fn span_records_sim_time_delta() {
+        let mut r = Registry::new();
+        Span::begin("d", 10.0).end(&mut r, 12.5);
+        let h = r.histogram("d").unwrap();
+        assert_eq!(h.count(), 1);
+        assert!((h.sum() - 2.5).abs() < 1e-12);
+    }
+}

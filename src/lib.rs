@@ -17,6 +17,8 @@
 //!   response-time regression).
 //! * [`ga`] — the genetic algorithm powering ATOM's optimizer.
 //! * [`metrics`] — elasticity metrics (under-provision time/area, TPS).
+//! * [`obs`] — deterministic sim-time telemetry: counters, histograms,
+//!   the per-window MAPE-K decision journal, and structured logging.
 //! * [`core`] — the ATOM controller itself plus the UH/UV baselines.
 //! * [`sockshop`] — the Sock Shop case study and every paper scenario.
 //!
@@ -43,6 +45,7 @@ pub use atom_ga as ga;
 pub use atom_lqn as lqn;
 pub use atom_metrics as metrics;
 pub use atom_mva as mva;
+pub use atom_obs as obs;
 pub use atom_sim as sim;
 pub use atom_sockshop as sockshop;
 pub use atom_workload as workload;
