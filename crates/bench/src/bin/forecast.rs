@@ -1,0 +1,146 @@
+//! `forecast` — reactive vs proactive ATOM on ramp, bursty, and diurnal
+//! workloads.
+//!
+//! ```text
+//! forecast [--smoke] [--quick] [--seed N] [--out DIR]
+//!          [--trace-out FILE] [--metrics-out FILE] [--quiet] [--verbose]
+//! ```
+//!
+//! `--smoke` runs the quick ramp scenario only and exits non-zero when
+//! proactive ATOM does *worse* than reactive ATOM on
+//! SLO-violation-seconds, or when either controller wedges (sits idle
+//! while under-provisioned beyond the allowed streak) — CI's guard that
+//! the forecasting path actually pays for itself on the easiest
+//! predictable shape.
+//!
+//! `--trace-out` writes the per-window MAPE-K decision journal as JSONL
+//! (proactive windows carry the forecast record); `--metrics-out`
+//! writes a Prometheus-text snapshot including the forecast gauges.
+//! Both are derived after the runs finish and never change experiment
+//! outputs.
+
+use atom_bench::figures::{chaos, forecast};
+use atom_bench::{trace, HarnessOptions};
+
+fn smoke(opts: &HarnessOptions) {
+    let (windows, window_secs) = (6usize, 120.0);
+    let ramp = forecast::scenarios_for(windows, window_secs)
+        .into_iter()
+        .find(|s| s.name == "ramp")
+        .expect("ramp scenario exists");
+    let results = forecast::run_pair(opts, &ramp, windows, window_secs);
+    trace::emit(opts, &results);
+    let [reactive, proactive] = &results;
+    assert_eq!(reactive.scaler, "ATOM");
+    assert_eq!(proactive.scaler, "ATOM-P");
+
+    let mut failures = Vec::new();
+    let (t_reactive, t_proactive) = (
+        forecast::slo_violation_seconds(reactive),
+        forecast::slo_violation_seconds(proactive),
+    );
+    if t_proactive > t_reactive {
+        failures.push(format!(
+            "proactive ATOM violated the SLO longer than reactive on the ramp \
+             ({t_proactive:.0} s > {t_reactive:.0} s)"
+        ));
+    }
+    for r in &results {
+        if r.reports.len() != windows {
+            failures.push(format!(
+                "{}: run ended after {}/{} windows",
+                r.scaler,
+                r.reports.len(),
+                windows
+            ));
+        }
+        let idle = chaos::longest_idle_underprovisioned(r);
+        if idle > chaos::MAX_IDLE_UNDERPROVISIONED {
+            failures.push(format!(
+                "{} wedged: {idle} consecutive under-provisioned windows without an action \
+                 (allowed {})",
+                r.scaler,
+                chaos::MAX_IDLE_UNDERPROVISIONED
+            ));
+        }
+        atom_obs::progress!(
+            "smoke: {} SLO-violation={:.0}s stable-at={:.0}s actions={}",
+            r.scaler,
+            forecast::slo_violation_seconds(r),
+            forecast::time_to_stable(r),
+            r.actions.len()
+        );
+    }
+    let tally = forecast::forecast_tally(proactive);
+    if tally.windows == 0 {
+        failures.push("proactive ATOM journaled no forecast records".to_string());
+    }
+
+    if failures.is_empty() {
+        atom_obs::info!(
+            "smoke OK: proactive {t_proactive:.0} s <= reactive {t_reactive:.0} s \
+             SLO-violation on the ramp ({} forecast windows, {} fallbacks)",
+            tally.windows,
+            tally.fallbacks
+        );
+    } else {
+        for msg in &failures {
+            atom_obs::error!("smoke FAILED: {msg}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let mut opts = HarnessOptions::default();
+    let mut run_smoke = false;
+    let (mut quiet, mut verbose) = (false, false);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => {
+                run_smoke = true;
+                opts.quick = true;
+            }
+            "--quick" => opts.quick = true,
+            "--quiet" => quiet = true,
+            "--verbose" => verbose = true,
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--out" => {
+                opts.out_dir = args.next().expect("--out needs a directory").into();
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().expect("--trace-out needs a file path").into());
+            }
+            "--metrics-out" => {
+                opts.metrics_out =
+                    Some(args.next().expect("--metrics-out needs a file path").into());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: forecast [--smoke] [--quick] [--seed N] [--out DIR] \
+                     [--trace-out FILE] [--metrics-out FILE] [--quiet] [--verbose]"
+                );
+                return;
+            }
+            other => {
+                atom_obs::error!("unknown argument `{other}`; run with --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    atom_obs::log::configure(quiet, verbose);
+    if run_smoke {
+        smoke(&opts);
+        return;
+    }
+    std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
+    let results = forecast::run(&opts);
+    trace::emit(&opts, &results);
+    atom_obs::info!("\nartefacts written to {}", opts.out_dir.display());
+}

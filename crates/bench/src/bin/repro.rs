@@ -6,7 +6,8 @@
 //! repro [--quick] [--seed N] [--out DIR] [--trace-out FILE]
 //!       [--metrics-out FILE] [--quiet] [--verbose] <command> [command...]
 //! commands: fig2 fig4 table3 fig5 table4 fig7 fig8 fig9 fig10 fig11
-//!           fig12 fig13 setup validation evaluation ablation chaos all
+//!           fig12 fig13 setup validation evaluation ablation chaos
+//!           forecast all
 //! ```
 //!
 //! `repro --smoke` runs a short ATOM + UH pair, exports the decision
@@ -17,7 +18,7 @@
 
 use atom_bench::eval::{run_one, ScalerKind};
 use atom_bench::figures::{
-    ablation, chaos, fig11, fig12, fig13, fig2, fig4, fig7, fig8910, validation,
+    ablation, chaos, fig11, fig12, fig13, fig2, fig4, fig7, fig8910, forecast, validation,
 };
 use atom_bench::{eval, trace, HarnessOptions};
 use atom_obs::{Journal, Record};
@@ -156,7 +157,7 @@ fn main() {
                     "usage: repro [--quick] [--smoke] [--seed N] [--out DIR] \
                      [--trace-out FILE] [--metrics-out FILE] [--quiet] [--verbose] <command>...\n\
                      commands: setup fig2 fig4 table3 fig5 table4 validation fig7 \
-                     fig8 fig9 fig10 evaluation fig11 fig12 fig13 ablation chaos all"
+                     fig8 fig9 fig10 evaluation fig11 fig12 fig13 ablation chaos forecast all"
                 );
                 return;
             }
@@ -171,7 +172,7 @@ fn main() {
     if commands.is_empty() {
         commands.push("all".into());
     }
-    const KNOWN: [&str; 18] = [
+    const KNOWN: [&str; 19] = [
         "setup",
         "fig2",
         "fig4",
@@ -189,6 +190,7 @@ fn main() {
         "fig13",
         "ablation",
         "chaos",
+        "forecast",
         "all",
     ];
     for c in &commands {
@@ -259,6 +261,10 @@ fn main() {
     }
     if wants("chaos") {
         let results = chaos::run(&opts);
+        trace::emit(&opts, &results);
+    }
+    if wants("forecast") {
+        let results = forecast::run(&opts);
         trace::emit(&opts, &results);
     }
     atom_obs::info!("\nartefacts written to {}", opts.out_dir.display());

@@ -4,8 +4,8 @@
 use atom_cluster::ClusterOptions;
 use atom_core::baselines::RuleConfig;
 use atom_core::{
-    run_experiment, Atom, AtomConfig, Autoscaler, ExperimentConfig, ExperimentResult, PlannerMode,
-    UhScaler, UvScaler,
+    run_experiment, Atom, AtomConfig, Autoscaler, ExperimentConfig, ExperimentResult,
+    ForecastConfig, PlannerMode, UhScaler, UvScaler,
 };
 use atom_ga::Budget;
 use atom_sockshop::{scenarios, SockShop};
@@ -26,6 +26,13 @@ pub enum ScalerKind {
     AtomT,
     /// ATOM-S (conservative on total CPU change).
     AtomS,
+    /// ATOM-P: proactive ATOM, planning for forecast demand at the
+    /// actuation horizon. `season_windows ≥ 2` adds a seasonal model
+    /// with that cycle (in monitoring windows) to the ensemble.
+    AtomP {
+        /// Dominant workload period in monitoring windows (0 = none).
+        season_windows: usize,
+    },
 }
 
 impl ScalerKind {
@@ -37,6 +44,7 @@ impl ScalerKind {
             ScalerKind::Atom => "ATOM",
             ScalerKind::AtomT => "ATOM-T",
             ScalerKind::AtomS => "ATOM-S",
+            ScalerKind::AtomP { .. } => "ATOM-P",
         }
     }
 
@@ -103,7 +111,7 @@ pub fn run_one_with_cluster(
             uv = UvScaler::new(&spec, RuleConfig::default());
             &mut uv
         }
-        ScalerKind::Atom | ScalerKind::AtomT | ScalerKind::AtomS => {
+        ScalerKind::Atom | ScalerKind::AtomT | ScalerKind::AtomS | ScalerKind::AtomP { .. } => {
             let binding = shop.binding(
                 scenarios::INITIAL_USERS,
                 workload.think_time,
@@ -121,6 +129,10 @@ pub fn run_one_with_cluster(
                 },
                 _ => PlannerMode::Standard,
             };
+            if let ScalerKind::AtomP { season_windows } = kind {
+                cfg.forecast = ForecastConfig::enabled();
+                cfg.forecast.season_windows = season_windows;
+            }
             atom = Atom::new(binding, cfg);
             &mut atom
         }

@@ -9,4 +9,5 @@ pub mod fig2;
 pub mod fig4;
 pub mod fig7;
 pub mod fig8910;
+pub mod forecast;
 pub mod validation;

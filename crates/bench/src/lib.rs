@@ -19,6 +19,7 @@
 //! | `fig11`   | layered bottleneck: demand vs supply per window |
 //! | `fig12`   | monitoring-window sweep (2/5/10 min) |
 //! | `fig13`   | bursty workload (I = 4000) |
+//! | `forecast`| beyond the paper: reactive vs proactive (forecast-driven) ATOM |
 //! | `all`     | everything above |
 //!
 //! Results are printed as paper-style tables and also written as CSV

@@ -46,10 +46,22 @@ pub fn registry_of(results: &[ExperimentResult]) -> Registry {
             reg.observe(&format!("{slug}_scale_latency_seconds"), latency);
         }
         let (mut held, mut reissued, mut abandoned) = (0u64, 0u64, 0u64);
+        let (mut fc_windows, mut fc_fallbacks, mut fc_clamped) = (0u64, 0u64, 0u64);
+        let mut fc_last_smape = None;
         for d in r.telemetry.decisions.iter().flatten() {
             held += d.actuation.held as u64;
             reissued += d.actuation.reissued.len() as u64;
             abandoned += d.actuation.abandoned.len() as u64;
+            if let Some(fc) = &d.forecast {
+                fc_windows += 1;
+                fc_fallbacks += fc.fallback as u64;
+                fc_clamped += fc.clamped as u64;
+                reg.observe(&format!("{slug}_forecast_horizon_seconds"), fc.horizon);
+                if let Some(e) = fc.rolling_smape {
+                    reg.observe(&format!("{slug}_forecast_smape"), e);
+                    fc_last_smape = Some(e);
+                }
+            }
             if let Some(ev) = &d.evaluator {
                 reg.add(&format!("{slug}_candidates_total"), ev.candidates);
                 reg.add(&format!("{slug}_solves_total"), ev.solves);
@@ -71,6 +83,23 @@ pub fn registry_of(results: &[ExperimentResult]) -> Registry {
         reg.add(&format!("{slug}_held_windows_total"), held);
         reg.add(&format!("{slug}_reissued_actions_total"), reissued);
         reg.add(&format!("{slug}_abandoned_actions_total"), abandoned);
+        // Forecast accounting exists only for proactive runs: emitting
+        // zeroed series for every reactive scaler would change the
+        // snapshot of runs that never forecast.
+        if fc_windows > 0 {
+            reg.add(&format!("{slug}_forecast_windows_total"), fc_windows);
+            reg.add(
+                &format!("{slug}_forecast_fallback_windows_total"),
+                fc_fallbacks,
+            );
+            reg.add(
+                &format!("{slug}_forecast_clamped_windows_total"),
+                fc_clamped,
+            );
+            if let Some(e) = fc_last_smape {
+                reg.set_gauge(&format!("{slug}_forecast_rolling_smape"), e);
+            }
+        }
         let windows = r.reports.len();
         reg.set_gauge(&format!("{slug}_mean_tps"), r.mean_tps(0, windows.max(1)));
         reg.set_gauge(&format!("{slug}_mean_availability"), r.mean_availability());
@@ -155,6 +184,34 @@ mod tests {
             })
             .count();
         assert_eq!(atom_decisions, 2);
+    }
+
+    #[test]
+    fn registry_carries_forecast_metrics_for_proactive_runs() {
+        // Long enough for the ensemble to warm past `min_history`.
+        let shop = SockShop::default();
+        let workload = scenarios::evaluation_workload(scenarios::ordering_mix(), 1500);
+        let opts = HarnessOptions {
+            quick: true,
+            ..Default::default()
+        };
+        let r = run_one_with_cluster(
+            &shop,
+            workload,
+            ScalerKind::AtomP { season_windows: 0 },
+            5,
+            60.0,
+            &opts,
+            ClusterOptions::new().with_seed(7),
+        );
+        assert_eq!(r.scaler, "ATOM-P");
+        let reg = registry_of(std::slice::from_ref(&r));
+        assert!(reg.counter("atom_p_forecast_windows_total") > 0);
+        assert!(reg.histogram("atom_p_forecast_horizon_seconds").is_some());
+        // Reactive runs emit no forecast series at all — not even zeros.
+        let reactive = registry_of(&[quick_run(ScalerKind::Atom)]);
+        assert_eq!(reactive.counter("atom_forecast_windows_total"), 0);
+        assert!(!reactive.prometheus_text().contains("forecast"));
     }
 
     #[test]

@@ -4,10 +4,13 @@
 //! with tracing disabled. Telemetry is derived from the run; it never
 //! feeds back into it.
 
+use atom_bench::eval::{run_one_with_cluster, ScalerKind};
 use atom_bench::figures::chaos;
 use atom_bench::{trace, HarnessOptions};
-use atom_core::ExperimentResult;
+use atom_cluster::ClusterOptions;
+use atom_core::{run_experiment, Atom, AtomConfig, ExperimentConfig, ExperimentResult};
 use atom_obs::{Journal, Record};
+use atom_sockshop::{scenarios, SockShop};
 
 /// Renders everything an `ExperimentResult` feeds into CSV artefacts —
 /// full-precision floats (`{:?}` round-trips f64 exactly), so any
@@ -86,4 +89,113 @@ fn tracing_on_vs_off_is_bitwise_identical() {
     );
     let metrics = std::fs::read_to_string(dir.join("metrics.prom")).expect("metrics written");
     assert!(metrics.contains("# TYPE atom_solves_total counter"));
+}
+
+/// A `ForecastConfig` with `enabled: false` must be inert no matter how
+/// its other knobs are set: the seed path (default config) and a config
+/// with every forecast knob scrambled produce bitwise-identical
+/// experiment outputs.
+#[test]
+fn disabled_forecast_config_is_bitwise_inert() {
+    let windows = 3usize;
+    let window_secs = 60.0;
+    let opts = HarnessOptions {
+        quick: true,
+        ..Default::default()
+    };
+    let shop = SockShop::default();
+    let workload = || scenarios::evaluation_workload(scenarios::ordering_mix(), 1500);
+
+    // Seed path: the standard harness wiring, forecast left at default.
+    let seed_path = run_one_with_cluster(
+        &shop,
+        workload(),
+        ScalerKind::Atom,
+        windows,
+        window_secs,
+        &opts,
+        ClusterOptions::new().with_seed(opts.seed),
+    );
+
+    // Same experiment, wired by hand with scrambled-but-disabled
+    // forecast knobs.
+    let w = workload();
+    let binding = shop.binding(scenarios::INITIAL_USERS, w.think_time, w.mix.fractions());
+    let mut cfg = AtomConfig::new(shop.objective());
+    cfg.ga.budget = atom_ga::Budget::Evaluations(opts.ga_budget());
+    cfg.seed = opts.seed;
+    cfg.forecast = atom_core::ForecastConfig {
+        enabled: false,
+        error_window: 1,
+        season_windows: 13,
+        max_smape: 0.0,
+        envelope: 99.0,
+        min_history: 0,
+    };
+    let mut atom = Atom::new(binding, cfg);
+    let scrambled = run_experiment(
+        &shop.app_spec(),
+        w,
+        &mut atom,
+        ExperimentConfig {
+            windows,
+            window_secs,
+            cluster: ClusterOptions::new().with_seed(opts.seed),
+        },
+    )
+    .expect("experiment must run");
+
+    assert_eq!(
+        canonical_csv(std::slice::from_ref(&seed_path)),
+        canonical_csv(std::slice::from_ref(&scrambled)),
+        "a disabled ForecastConfig must not perturb any output byte"
+    );
+}
+
+/// The proactive journal round-trips: every warm ATOM-P window carries a
+/// forecast record whose fields honour the guardrail invariants, and the
+/// JSONL re-parses through the `atom-obs` schema.
+#[test]
+fn proactive_journal_round_trips_with_forecast_fields() {
+    let windows = 5usize;
+    let opts = HarnessOptions {
+        quick: true,
+        ..Default::default()
+    };
+    let shop = SockShop::default();
+    let workload = scenarios::evaluation_workload(scenarios::ordering_mix(), 1500);
+    let result = run_one_with_cluster(
+        &shop,
+        workload,
+        ScalerKind::AtomP { season_windows: 0 },
+        windows,
+        60.0,
+        &opts,
+        ClusterOptions::new().with_seed(opts.seed),
+    );
+    assert_eq!(result.scaler, "ATOM-P");
+
+    let jsonl = trace::journal_of(std::slice::from_ref(&result)).to_jsonl();
+    let events = Journal::parse_jsonl(&jsonl).expect("journal re-parses through serde");
+    let forecasts: Vec<_> = events
+        .iter()
+        .filter_map(|e| match &e.record {
+            Record::Decision(d) if d.scaler == "ATOM-P" => d.forecast.as_ref(),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !forecasts.is_empty(),
+        "warm ATOM-P windows must journal forecast records"
+    );
+    for fc in forecasts {
+        assert!(fc.predicted.is_finite() && fc.predicted >= 0.0, "{fc:?}");
+        assert!(fc.planned.is_finite(), "{fc:?}");
+        assert!(
+            fc.planned >= fc.observed,
+            "never plan below the observation: {fc:?}"
+        );
+        assert!(fc.horizon > 0.0, "{fc:?}");
+        assert!(!fc.model.is_empty(), "{fc:?}");
+    }
 }

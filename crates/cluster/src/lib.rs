@@ -57,4 +57,4 @@ pub use error::ClusterError;
 pub use monitor::WindowReport;
 pub use runtime::{Cluster, ClusterOptions, RequestTrace, ScaleAction, TraceSpan};
 pub use spec::{AppSpec, EndpointId, ServerId, ServiceId};
-pub use telemetry::ClusterTelemetry;
+pub use telemetry::{ClusterTelemetry, ScaleLatencyStats};

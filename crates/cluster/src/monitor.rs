@@ -15,6 +15,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::telemetry::ScaleLatencyStats;
+
 /// Metrics collected over one monitoring window (paper §IV-A: the
 /// workload monitor counts requests per feature within a window; the
 /// baselines additionally read container CPU utilisation).
@@ -91,6 +93,12 @@ pub struct WindowReport {
     /// Scaling batches dropped by an actuation-failure fault during the
     /// window (the orchestration API rejected them).
     pub failed_actuations: usize,
+    /// Measured issue-to-ready scale-latency statistics accumulated by
+    /// the cluster so far (`None` until the first scale-up completes).
+    /// Orchestrator-state provenance: unaffected by monitor dropouts.
+    /// A proactive controller reads the p95 as its actuation horizon.
+    #[serde(default)]
+    pub scale_latency: Option<ScaleLatencyStats>,
 }
 
 impl WindowReport {
@@ -120,6 +128,7 @@ impl WindowReport {
             avg_in_system: 0.0,
             monitor_dropout_fraction: 0.0,
             failed_actuations: 0,
+            scale_latency: None,
         }
     }
 
@@ -263,6 +272,13 @@ impl WindowReport {
     #[must_use]
     pub fn with_failed_actuations(mut self, v: usize) -> Self {
         self.failed_actuations = v;
+        self
+    }
+
+    /// Sets the measured scale-latency statistics.
+    #[must_use]
+    pub fn with_scale_latency(mut self, v: Option<ScaleLatencyStats>) -> Self {
+        self.scale_latency = v;
         self
     }
 

@@ -1404,6 +1404,7 @@ impl Cluster {
             avg_in_system,
             monitor_dropout_fraction,
             failed_actuations: std::mem::take(&mut self.failed_actuations),
+            scale_latency: self.telemetry.scale_latency_stats(),
         };
         self.feature_resp_sum = vec![0.0; nf];
         self.window_start = end;

@@ -8,6 +8,22 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Summary statistics over the issue-to-ready scale-latency samples in
+/// [`ClusterTelemetry::scale_latencies`]. This is the one typed view the
+/// controller's actuation horizon and the bench reports both read, so
+/// "how long does a scale-up take here" has a single definition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleLatencyStats {
+    /// Mean issue-to-ready latency in seconds.
+    pub mean: f64,
+    /// 95th-percentile latency (nearest-rank over the samples).
+    pub p95: f64,
+    /// Largest observed latency.
+    pub max: f64,
+    /// Number of samples summarised.
+    pub count: usize,
+}
+
 /// Counters accumulated over a cluster's whole lifetime.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ClusterTelemetry {
@@ -62,6 +78,25 @@ impl ClusterTelemetry {
             .copied()
             .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
     }
+
+    /// Typed summary of the scale-latency samples (`None` with no
+    /// samples). The p95 is nearest-rank: the smallest sample `x` such
+    /// that at least 95% of samples are `≤ x`.
+    pub fn scale_latency_stats(&self) -> Option<ScaleLatencyStats> {
+        if self.scale_latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.scale_latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = sorted.len();
+        let rank = ((0.95 * n as f64).ceil() as usize).clamp(1, n);
+        Some(ScaleLatencyStats {
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            p95: sorted[rank - 1],
+            max: sorted[n - 1],
+            count: n,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -80,5 +115,28 @@ mod tests {
         assert_eq!(t.total_events(), 12);
         assert_eq!(t.mean_scale_latency(), Some(200.0));
         assert_eq!(t.max_scale_latency(), Some(250.0));
+    }
+
+    #[test]
+    fn typed_stats_match_the_scalar_accessors() {
+        let mut t = ClusterTelemetry::default();
+        assert_eq!(t.scale_latency_stats(), None);
+        t.scale_latencies = (1..=20).map(|i| i as f64 * 10.0).collect();
+        let s = t.scale_latency_stats().unwrap();
+        assert_eq!(s.count, 20);
+        assert_eq!(s.mean, t.mean_scale_latency().unwrap());
+        assert_eq!(s.max, t.max_scale_latency().unwrap());
+        // Nearest-rank p95 of 20 samples is the 19th order statistic.
+        assert_eq!(s.p95, 190.0);
+    }
+
+    #[test]
+    fn p95_of_a_single_sample_is_that_sample() {
+        let t = ClusterTelemetry {
+            scale_latencies: vec![42.0],
+            ..ClusterTelemetry::default()
+        };
+        let s = t.scale_latency_stats().unwrap();
+        assert_eq!((s.mean, s.p95, s.max, s.count), (42.0, 42.0, 42.0, 1));
     }
 }

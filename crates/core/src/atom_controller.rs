@@ -1,9 +1,13 @@
 //! The assembled ATOM controller (MAPE-K loop of Fig. 6).
 
 use atom_cluster::{ScaleAction, WindowReport};
+use atom_forecast::Ensemble;
 use atom_ga::{Budget, GaOptions};
 use atom_lqn::{DecisionVector, LqnModel, ScalingConfig};
-use atom_obs::{ActuationOutcome, ChosenAction, DecisionRecord, ServiceDemand, TelemetrySnapshot};
+use atom_obs::{
+    ActuationOutcome, ChosenAction, DecisionRecord, ForecastRecord, ServiceDemand,
+    TelemetrySnapshot,
+};
 
 use crate::analyzer::WorkloadAnalyzer;
 use crate::autoscaler::Autoscaler;
@@ -13,6 +17,66 @@ use crate::evaluator::CandidateEvaluator;
 use crate::objective::ObjectiveSpec;
 use crate::optimizer;
 use crate::planner::{Planner, PlannerMode};
+
+/// Configuration of the proactive (forecast-driven) planning path.
+///
+/// Off by default: a reactive ATOM plans for the load it just observed,
+/// which lands every scale-up one actuation horizon late. When enabled,
+/// the controller keeps a bounded history of observed load, forecasts
+/// the demand at `t + horizon` (the horizon read from measured scale
+/// latency, falling back to the configured actuation delay), and hands
+/// the *predicted* snapshot to the unchanged planner — guarded so a bad
+/// forecast can never do worse than reactive planning:
+///
+/// * the prediction is clamped to an envelope above the observation and
+///   never below it (no scale-down on a forecast alone);
+/// * when the answering model's rolling one-step sMAPE exceeds
+///   [`ForecastConfig::max_smape`], the window is planned reactively.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastConfig {
+    /// Master switch; `false` leaves every decision byte-identical to
+    /// the reactive controller.
+    pub enabled: bool,
+    /// One-step-ahead sMAPE samples averaged per model when ranking the
+    /// ensemble (and when thresholding the fallback guardrail).
+    pub error_window: usize,
+    /// Dominant workload period in monitoring windows; `>= 2` adds a
+    /// seasonal smoother with that cycle to the ensemble (e.g. a
+    /// diurnal cycle of 24 five-minute windows would be 288).
+    pub season_windows: usize,
+    /// Rolling-sMAPE ceiling above which the forecast is discarded and
+    /// the window planned reactively.
+    pub max_smape: f64,
+    /// Relative headroom above the observation the prediction may claim:
+    /// the planned load is clamped to `[observed, observed*(1+envelope)]`.
+    pub envelope: f64,
+    /// Observed (non-degraded) windows required before the first
+    /// forecast is trusted.
+    pub min_history: usize,
+}
+
+impl Default for ForecastConfig {
+    fn default() -> Self {
+        ForecastConfig {
+            enabled: false,
+            error_window: 8,
+            season_windows: 0,
+            max_smape: 0.35,
+            envelope: 1.0,
+            min_history: 3,
+        }
+    }
+}
+
+impl ForecastConfig {
+    /// The default knobs with the master switch on.
+    pub fn enabled() -> Self {
+        ForecastConfig {
+            enabled: true,
+            ..ForecastConfig::default()
+        }
+    }
+}
 
 /// Configuration of the ATOM controller.
 #[derive(Debug, Clone)]
@@ -47,6 +111,9 @@ pub struct AtomConfig {
     /// (an actuation-failure fault dropped the batch) is re-issued
     /// before being abandoned.
     pub max_actuation_retries: usize,
+    /// Proactive planning: forecast demand at `t + actuation horizon`
+    /// and plan for that (default off — reactive, as in the paper).
+    pub forecast: ForecastConfig,
 }
 
 impl AtomConfig {
@@ -68,6 +135,7 @@ impl AtomConfig {
             online_demands: false,
             max_dropout: 0.25,
             max_actuation_retries: 3,
+            forecast: ForecastConfig::default(),
         }
     }
 }
@@ -118,6 +186,12 @@ pub struct Atom {
     /// [`Autoscaler::take_decision_record`]. Assembled purely from data
     /// the decision already computed — inert by construction.
     last_record: Option<DecisionRecord>,
+    /// The forecaster ensemble (`None` when proactive planning is off —
+    /// the reactive path then runs zero forecast code).
+    ensemble: Option<Ensemble>,
+    /// Non-degraded windows the ensemble has observed so far (gates the
+    /// first trusted forecast behind `forecast.min_history`).
+    forecast_history: usize,
 }
 
 impl Atom {
@@ -129,22 +203,33 @@ impl Atom {
     /// error in the scenario definition).
     pub fn new(binding: ModelBinding, config: AtomConfig) -> Self {
         binding.assert_consistent();
-        let name = match config.planner_mode {
+        let base = match config.planner_mode {
             PlannerMode::Standard => "ATOM",
             PlannerMode::ConservativeTps { .. } => "ATOM-T",
             PlannerMode::ConservativeShare { .. } => "ATOM-S",
         };
+        let name = if config.forecast.enabled {
+            format!("{base}-P")
+        } else {
+            base.to_string()
+        };
+        let ensemble = config
+            .forecast
+            .enabled
+            .then(|| Ensemble::new(config.forecast.error_window, config.forecast.season_windows));
         Atom {
             binding,
             config,
             analyzer: WorkloadAnalyzer::new(),
             calibrator: DemandCalibrator::new(),
             window: 0,
-            name: name.to_string(),
+            name,
             last_explanation: None,
             last_trusted: None,
             pending: Vec::new(),
             last_record: None,
+            ensemble,
+            forecast_history: 0,
         }
     }
 
@@ -356,6 +441,104 @@ impl Atom {
             .collect()
     }
 
+    /// Analyze (proactive mode): feeds the window's observed load to the
+    /// forecaster ensemble and predicts the demand at the moment actions
+    /// issued *now* will have taken effect. Returns `None` on the
+    /// reactive path, on degraded windows (their counters would poison
+    /// the models), or while history is shorter than `min_history`.
+    ///
+    /// The guardrails live here: a forecast whose answering model scores
+    /// a rolling sMAPE above `max_smape` is discarded (`fallback`), and
+    /// an accepted one is clamped to `[observed, observed*(1+envelope)]`
+    /// — in particular it is never *below* the observation, so a
+    /// forecast alone can never trigger a scale-down.
+    fn forecast_demand(
+        &mut self,
+        analysis: &WindowReport,
+        degraded: bool,
+        notes: &mut Vec<String>,
+    ) -> Option<ForecastRecord> {
+        let cfg = self.config.forecast.clone();
+        let ensemble = self.ensemble.as_mut()?;
+        if degraded {
+            notes.push("monitor degraded: forecaster paused this window".into());
+            return None;
+        }
+        let observed = analysis.users_at_end as f64;
+        ensemble.observe(observed);
+        self.forecast_history += 1;
+        if self.forecast_history < cfg.min_history.max(1) {
+            return None;
+        }
+        let span = analysis.duration();
+        if span <= 0.0 {
+            return None;
+        }
+        // The horizon is how long a scale-up takes to land *here*, as
+        // measured (issue-to-ready p95); before any scale-up completes
+        // the configured actuation delay is the best estimate.
+        let horizon = analysis
+            .scale_latency
+            .map(|s| s.p95)
+            .unwrap_or(self.config.actuation_delay)
+            .max(0.0);
+        let f = ensemble.forecast(horizon / span)?;
+        let fallback = f.rolling_smape.is_some_and(|e| e > cfg.max_smape);
+        let planned = if fallback {
+            notes.push(format!(
+                "forecast unreliable (rolling sMAPE {:.2} > {:.2}): planning reactively",
+                f.rolling_smape.unwrap_or(f64::NAN),
+                cfg.max_smape
+            ));
+            observed
+        } else {
+            f.value
+                .clamp(observed, observed * (1.0 + cfg.envelope.max(0.0)))
+        };
+        let clamped = !fallback && (planned - f.value).abs() > 1e-9;
+        if !fallback && planned > observed {
+            notes.push(format!(
+                "planning for predicted load {planned:.0} (observed {observed:.0}, {} model, {horizon:.0} s horizon)",
+                f.model
+            ));
+        }
+        Some(ForecastRecord {
+            model: f.model.to_string(),
+            horizon,
+            observed,
+            predicted: f.value,
+            planned,
+            rolling_smape: f.rolling_smape,
+            fallback,
+            clamped,
+        })
+    }
+
+    /// The observed window re-expressed at the predicted load: the same
+    /// traffic shape, `planned / observed` times larger. Scales exactly
+    /// the load fields the analyzer reads (population gauges, peaks,
+    /// throughput); actuator state (replicas, shares, availability) is
+    /// left untouched, and the request *mix* is a ratio so scaling the
+    /// counts uniformly would not change it.
+    fn scale_report(analysis: &WindowReport, planned: f64) -> WindowReport {
+        let observed = analysis.users_at_end as f64;
+        if observed <= 0.0 || planned <= observed {
+            return analysis.clone();
+        }
+        let factor = planned / observed;
+        let mut r = analysis.clone();
+        r.users_at_end = planned.round() as usize;
+        r.avg_users *= factor;
+        r.peak_arrival_rate *= factor;
+        r.peak_in_system *= factor;
+        r.avg_in_system *= factor;
+        r.total_tps *= factor;
+        for tps in &mut r.feature_tps {
+            *tps *= factor;
+        }
+        r
+    }
+
     /// Appends the degraded-window notes to whatever explanation the
     /// planning pipeline produced.
     fn set_explanation(&mut self, base: Option<String>, notes: Vec<String>) {
@@ -389,6 +572,7 @@ impl Autoscaler for Atom {
             ga: None,
             chosen: Vec::new(),
             actuation: ActuationOutcome::hold("unreached"),
+            forecast: None,
         };
         let mut notes = Vec::new();
         if report.failed_actuations > 0 {
@@ -471,12 +655,25 @@ impl Autoscaler for Atom {
             }
         }
 
+        // Analyze (proactive mode): forecast the demand at the moment
+        // this window's actions will have landed, and build the plan
+        // against the *predicted* snapshot. The current-configuration
+        // read and the zero-users hold below still use the observed
+        // `analysis` — only what we plan *for* changes.
+        record.forecast = self.forecast_demand(&analysis, degraded, &mut notes);
+        let planning = match &record.forecast {
+            Some(f) if !f.fallback && f.planned > f.observed => {
+                Self::scale_report(&analysis, f.planned)
+            }
+            _ => analysis.clone(),
+        };
+
         // Analyze: write N and the mix into the model.
         let effective_report = if self.config.peak_monitoring {
-            analysis.clone()
+            planning
         } else {
             // Ablation: hide the sub-interval peak from the analyzer.
-            let mut r = analysis.clone();
+            let mut r = planning;
             r.peak_arrival_rate = 0.0;
             r
         };
@@ -867,6 +1064,154 @@ mod tests {
         assert!(text.contains("abandoning"), "unexpected: {text}");
         let rec = atom.take_decision_record().expect("record");
         assert_eq!(rec.actuation.abandoned, vec!["web".to_string()]);
+    }
+
+    fn proactive_config() -> AtomConfig {
+        let mut cfg = fast_config();
+        cfg.forecast = ForecastConfig::enabled();
+        cfg.forecast.min_history = 2;
+        cfg
+    }
+
+    /// Drives a controller through a deterministic ramp and returns the
+    /// forecast record of the last window.
+    fn ramp_records(cfg: AtomConfig, loads: &[usize]) -> Vec<Option<atom_obs::ForecastRecord>> {
+        let mut atom = Atom::new(binding(0.5), cfg);
+        loads
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| {
+                let _ = atom.decide(&at_window(report(n, 1, 0.5), k));
+                atom.take_decision_record().expect("record").forecast
+            })
+            .collect()
+    }
+
+    #[test]
+    fn proactive_name_gets_the_suffix() {
+        assert_eq!(Atom::new(binding(0.5), proactive_config()).name(), "ATOM-P");
+        assert_eq!(Atom::new(binding(0.5), fast_config()).name(), "ATOM");
+    }
+
+    #[test]
+    fn reactive_config_journals_no_forecast() {
+        let recs = ramp_records(fast_config(), &[100, 200, 300]);
+        assert!(recs.iter().all(|f| f.is_none()));
+    }
+
+    #[test]
+    fn proactive_ramp_plans_above_the_observation() {
+        let loads = [100, 200, 300, 400, 500, 600];
+        let recs = ramp_records(proactive_config(), &loads);
+        assert!(recs[0].is_none(), "min_history gates the first window");
+        let last = recs.last().unwrap().as_ref().expect("forecast");
+        assert_eq!(last.observed, 600.0);
+        assert!(
+            last.planned > last.observed,
+            "a clean ramp must plan ahead: {last:?}"
+        );
+        assert!(!last.fallback);
+        // No scale latency was ever measured in these synthetic reports,
+        // so the horizon falls back to the configured actuation delay.
+        assert_eq!(last.horizon, 150.0);
+    }
+
+    #[test]
+    fn measured_scale_latency_sets_the_horizon() {
+        let mut atom = Atom::new(binding(0.5), proactive_config());
+        let stats = atom_cluster::ScaleLatencyStats {
+            mean: 100.0,
+            p95: 210.0,
+            max: 260.0,
+            count: 12,
+        };
+        for (k, n) in [100usize, 200, 300, 400].into_iter().enumerate() {
+            let r = at_window(report(n, 1, 0.5).with_scale_latency(Some(stats)), k);
+            let _ = atom.decide(&r);
+        }
+        let f = atom
+            .take_decision_record()
+            .and_then(|r| r.forecast)
+            .expect("forecast");
+        assert_eq!(f.horizon, 210.0, "horizon must be the measured p95");
+    }
+
+    #[test]
+    fn forecast_never_plans_below_the_observation() {
+        // A collapsing load: trend models extrapolate downwards, but the
+        // guardrail floors the plan at the observation.
+        let loads = [2000, 1600, 1200, 800, 400, 200];
+        let recs = ramp_records(proactive_config(), &loads);
+        for f in recs.into_iter().flatten() {
+            assert!(
+                f.planned >= f.observed,
+                "scale-down on forecast alone: {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_clamps_runaway_predictions() {
+        // A zero envelope pins the plan to the observation, so any
+        // upward extrapolation must come back clamped.
+        let mut cfg = proactive_config();
+        cfg.forecast.envelope = 0.0;
+        let loads = [100, 200, 300, 400, 500, 600];
+        let recs = ramp_records(cfg, &loads);
+        let last = recs.last().unwrap().as_ref().expect("forecast");
+        assert!(last.predicted > 600.0, "clean ramp extrapolates upwards");
+        assert!(last.clamped, "{last:?}");
+        assert_eq!(last.planned, 600.0);
+    }
+
+    #[test]
+    fn erratic_load_falls_back_to_reactive() {
+        let mut cfg = proactive_config();
+        cfg.forecast.max_smape = 0.05;
+        // Wild oscillation: every model's rolling sMAPE blows past 5%.
+        let loads = [100, 2000, 150, 1800, 120, 2200, 90, 1900];
+        let recs = ramp_records(cfg, &loads);
+        let last = recs.last().unwrap().as_ref().expect("forecast");
+        assert!(last.fallback, "guardrail must fire: {last:?}");
+        assert_eq!(last.planned, last.observed);
+    }
+
+    #[test]
+    fn degraded_windows_pause_the_forecaster() {
+        let mut atom = Atom::new(binding(0.5), proactive_config());
+        let _ = atom.decide(&report(100, 1, 0.5));
+        let dark = at_window(report(100, 1, 0.5).with_monitor_dropout_fraction(0.9), 1);
+        let _ = atom.decide(&dark);
+        let rec = atom.take_decision_record().expect("record");
+        assert!(rec.forecast.is_none(), "no forecast on a dark window");
+        assert_eq!(atom.forecast_history, 1, "dark window not observed");
+    }
+
+    #[test]
+    fn disabled_forecast_is_inert_on_the_decision_path() {
+        // Same seed, same windows: a controller with forecasting off but
+        // scrambled forecast knobs must produce byte-identical decisions
+        // to the default config.
+        let mut scrambled = fast_config();
+        scrambled.forecast = ForecastConfig {
+            enabled: false,
+            error_window: 3,
+            season_windows: 7,
+            max_smape: 0.01,
+            envelope: 9.0,
+            min_history: 0,
+        };
+        let run = |cfg: AtomConfig| {
+            let mut atom = Atom::new(binding(0.2), cfg);
+            let mut out = Vec::new();
+            for (k, n) in [500usize, 1000, 1500, 2000].into_iter().enumerate() {
+                out.push(atom.decide(&at_window(report(n, 1, 0.2), k)));
+                let rec = atom.take_decision_record().expect("record");
+                assert!(rec.forecast.is_none(), "disabled path journals nothing");
+            }
+            out
+        };
+        assert_eq!(run(fast_config()), run(scrambled));
     }
 
     #[test]

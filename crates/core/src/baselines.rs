@@ -57,6 +57,7 @@ fn rule_record(
             held: actions.is_empty(),
             reason: degraded.then(|| "monitor dark: utilisation readings untrusted".into()),
         },
+        forecast: None,
     }
 }
 

@@ -54,7 +54,7 @@ pub mod solver {
     pub use atom_lqn::analytic::{solve, solve_with, SolverOptions, SolverWorkspace};
 }
 
-pub use atom_controller::{Atom, AtomConfig};
+pub use atom_controller::{Atom, AtomConfig, ForecastConfig};
 pub use autoscaler::Autoscaler;
 pub use baselines::{UhScaler, UvScaler};
 pub use binding::{ModelBinding, ServiceBinding};

@@ -37,7 +37,7 @@ pub use histogram::Histogram;
 pub use journal::{Journal, JournalEvent};
 pub use log::Verbosity;
 pub use record::{
-    ActuationOutcome, ChosenAction, DecisionRecord, GaGenerations, Record, RunRecord,
-    ServiceDemand, SolveCounters, TelemetrySnapshot,
+    ActuationOutcome, ChosenAction, DecisionRecord, ForecastRecord, GaGenerations, Record,
+    RunRecord, ServiceDemand, SolveCounters, TelemetrySnapshot,
 };
 pub use registry::{Registry, Span};

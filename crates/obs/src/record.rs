@@ -50,6 +50,10 @@ pub struct DecisionRecord {
     pub chosen: Vec<ChosenAction>,
     /// Execute: what was actually issued to the cluster, and why.
     pub actuation: ActuationOutcome,
+    /// Analyze: the workload forecast the plan was built against
+    /// (`None` for reactive controllers or before forecasting warms up).
+    #[serde(default)]
+    pub forecast: Option<ForecastRecord>,
 }
 
 /// The monitor-phase snapshot a decision was based on.
@@ -66,6 +70,33 @@ pub struct TelemetrySnapshot {
     /// Whether the controller classified the window as degraded (the
     /// scrape-based counters were untrustworthy).
     pub degraded: bool,
+}
+
+/// The analyze-phase workload forecast a proactive decision planned
+/// against — observed vs predicted load and which guardrails fired.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForecastRecord {
+    /// Name of the forecasting model that answered ("naive", "trend",
+    /// "holt", "seasonal", "burst").
+    pub model: String,
+    /// Actuation horizon the forecast targeted (seconds ahead of the
+    /// window end).
+    pub horizon: f64,
+    /// Concurrent users observed at window end.
+    pub observed: f64,
+    /// Raw model prediction for `observed` at `time + horizon`.
+    pub predicted: f64,
+    /// The load the plan was actually built for, after the envelope
+    /// clamp and the never-scale-down-on-forecast floor.
+    pub planned: f64,
+    /// Rolling one-step-ahead sMAPE of the answering model (`None`
+    /// until it has been scored against at least one observation).
+    pub rolling_smape: Option<f64>,
+    /// Whether the accuracy guardrail discarded the forecast and the
+    /// window was planned reactively.
+    pub fallback: bool,
+    /// Whether the envelope clamp changed the prediction.
+    pub clamped: bool,
 }
 
 /// One service's estimated CPU demand (seconds per request).
@@ -226,6 +257,16 @@ mod tests {
                 held: false,
                 reason: None,
             },
+            forecast: Some(ForecastRecord {
+                model: "holt".into(),
+                horizon: 180.0,
+                observed: 2000.0,
+                predicted: 2300.0,
+                planned: 2300.0,
+                rolling_smape: Some(0.08),
+                fallback: false,
+                clamped: false,
+            }),
         }
     }
 
@@ -250,6 +291,19 @@ mod tests {
         let line = serde_json::to_string(&rec).unwrap();
         let back: Record = serde_json::from_str(&line).unwrap();
         assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn forecastless_lines_still_parse() {
+        // Journals written before the forecast field existed (or by
+        // reactive controllers) must keep parsing: the field defaults.
+        let mut rec = sample_decision();
+        rec.forecast = None;
+        let mut line = serde_json::to_string(&Record::Decision(rec.clone())).unwrap();
+        assert!(line.contains("\"forecast\":null"));
+        line = line.replace(",\"forecast\":null", "");
+        let back: Record = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, Record::Decision(rec));
     }
 
     #[test]

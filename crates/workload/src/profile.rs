@@ -38,6 +38,34 @@ pub enum LoadProfile {
         /// Full cycle length (seconds).
         period: f64,
     },
+    /// A diurnal pattern parameterised by its mean and amplitude:
+    /// `mean + amplitude·sin(2πt/period)` — the natural form when a
+    /// forecaster's seasonal component is under study (the mean is the
+    /// level, the amplitude the seasonal swing). Starts *at* the mean
+    /// and rises first; clamps at zero if `amplitude > mean`.
+    Sinusoidal {
+        /// Mean population (the sinusoid's midline).
+        mean: usize,
+        /// Peak deviation from the mean.
+        amplitude: usize,
+        /// Full cycle length (seconds).
+        period: f64,
+    },
+    /// A timed square spike: `baseline` everywhere except
+    /// `[start, start + duration)`, where the population jumps to
+    /// `spike`. The hardest case for reactive scaling — zero warning,
+    /// full amplitude in one window — and the reference scenario for
+    /// burst-onset detection.
+    Spike {
+        /// Population outside the spike.
+        baseline: usize,
+        /// Population during the spike.
+        spike: usize,
+        /// Spike start time (seconds).
+        start: f64,
+        /// Spike length (seconds).
+        duration: f64,
+    },
 }
 
 impl LoadProfile {
@@ -51,6 +79,18 @@ impl LoadProfile {
     /// assert_eq!(ramp.population_at(-1.0), 500);
     /// assert_eq!(ramp.population_at(50.0), 1500);
     /// assert_eq!(ramp.population_at(1000.0), 2500);
+    ///
+    /// // A day/night cycle around 1000 users, ±400, one hour per cycle.
+    /// let day = LoadProfile::Sinusoidal { mean: 1000, amplitude: 400, period: 3600.0 };
+    /// assert_eq!(day.population_at(0.0), 1000);
+    /// assert_eq!(day.population_at(900.0), 1400);   // quarter cycle: peak
+    /// assert_eq!(day.population_at(2700.0), 600);   // three quarters: trough
+    ///
+    /// // A square spike: 500 users, except 2000 during [600, 900).
+    /// let flash = LoadProfile::Spike { baseline: 500, spike: 2000, start: 600.0, duration: 300.0 };
+    /// assert_eq!(flash.population_at(599.0), 500);
+    /// assert_eq!(flash.population_at(600.0), 2000);
+    /// assert_eq!(flash.population_at(900.0), 500);
     /// ```
     pub fn population_at(&self, t: f64) -> usize {
         match self {
@@ -95,6 +135,31 @@ impl LoadProfile {
                 let amp = (*high as f64 - *low as f64) / 2.0;
                 (mid - amp * phase.cos()).round().max(0.0) as usize
             }
+            LoadProfile::Sinusoidal {
+                mean,
+                amplitude,
+                period,
+            } => {
+                if *period <= 0.0 {
+                    return *mean;
+                }
+                let phase = (t / period) * std::f64::consts::TAU;
+                (*mean as f64 + *amplitude as f64 * phase.sin())
+                    .round()
+                    .max(0.0) as usize
+            }
+            LoadProfile::Spike {
+                baseline,
+                spike,
+                start,
+                duration,
+            } => {
+                if t >= *start && t < start + duration.max(0.0) {
+                    *spike
+                } else {
+                    *baseline
+                }
+            }
         }
     }
 
@@ -105,6 +170,12 @@ impl LoadProfile {
             LoadProfile::Ramp { from, to, .. } => (*from).max(*to),
             LoadProfile::Steps(steps) => steps.iter().map(|&(_, p)| p).max().unwrap_or(0),
             LoadProfile::Diurnal { low, high, .. } => (*low).max(*high),
+            LoadProfile::Sinusoidal {
+                mean, amplitude, ..
+            } => mean + amplitude,
+            LoadProfile::Spike {
+                baseline, spike, ..
+            } => (*baseline).max(*spike),
         }
     }
 
@@ -144,7 +215,7 @@ impl LoadProfile {
                     }
                 }
             }
-            LoadProfile::Diurnal { period, .. } => {
+            LoadProfile::Diurnal { period, .. } | LoadProfile::Sinusoidal { period, .. } => {
                 // Sample the sinusoid finely enough to catch every unit
                 // change (120 points per cycle suffices for the paper's
                 // population scales).
@@ -158,6 +229,22 @@ impl LoadProfile {
                         last = pop;
                     }
                     t += step;
+                }
+            }
+            LoadProfile::Spike {
+                baseline,
+                spike,
+                start,
+                duration,
+            } => {
+                if baseline != spike && *duration > 0.0 {
+                    if *start > t0 && *start <= t1 {
+                        out.push((*start, *spike));
+                    }
+                    let end = start + duration;
+                    if end > t0 && end <= t1 {
+                        out.push((end, *baseline));
+                    }
                 }
             }
         }
@@ -261,6 +348,100 @@ mod tests {
         assert!(!cps.is_empty());
         for (t, pop) in cps {
             assert_eq!(p.population_at(t), pop);
+        }
+    }
+
+    #[test]
+    fn sinusoidal_oscillates_around_the_mean() {
+        let p = LoadProfile::Sinusoidal {
+            mean: 1000,
+            amplitude: 400,
+            period: 3600.0,
+        };
+        assert_eq!(p.population_at(0.0), 1000);
+        assert_eq!(p.population_at(900.0), 1400); // quarter cycle: peak
+        assert_eq!(p.population_at(1800.0), 1000); // half cycle: mean
+        assert_eq!(p.population_at(2700.0), 600); // three quarters: trough
+        assert_eq!(p.peak(), 1400);
+        for i in 0..100 {
+            let n = p.population_at(i as f64 * 36.0);
+            assert!((600..=1400).contains(&n));
+        }
+        let cps = p.change_points(0.0, 3600.0);
+        assert!(!cps.is_empty());
+        for (t, pop) in cps {
+            assert_eq!(p.population_at(t), pop);
+        }
+    }
+
+    #[test]
+    fn oversized_amplitude_clamps_at_zero() {
+        let p = LoadProfile::Sinusoidal {
+            mean: 100,
+            amplitude: 300,
+            period: 400.0,
+        };
+        assert_eq!(p.population_at(300.0), 0); // mean - amplitude < 0
+        assert_eq!(p.peak(), 400);
+    }
+
+    #[test]
+    fn spike_is_square() {
+        let p = LoadProfile::Spike {
+            baseline: 500,
+            spike: 2000,
+            start: 600.0,
+            duration: 300.0,
+        };
+        assert_eq!(p.population_at(0.0), 500);
+        assert_eq!(p.population_at(600.0), 2000);
+        assert_eq!(p.population_at(899.9), 2000);
+        assert_eq!(p.population_at(900.0), 500);
+        assert_eq!(p.peak(), 2000);
+        let cps = p.change_points(0.0, 1200.0);
+        assert_eq!(cps, vec![(600.0, 2000), (900.0, 500)]);
+        // Change points respect the queried span.
+        assert_eq!(p.change_points(0.0, 700.0), vec![(600.0, 2000)]);
+        assert!(p.change_points(1000.0, 1200.0).is_empty());
+    }
+
+    #[test]
+    fn degenerate_spike_never_fires() {
+        let flat = LoadProfile::Spike {
+            baseline: 500,
+            spike: 500,
+            start: 100.0,
+            duration: 50.0,
+        };
+        assert!(flat.change_points(0.0, 1000.0).is_empty());
+        let instant = LoadProfile::Spike {
+            baseline: 500,
+            spike: 900,
+            start: 100.0,
+            duration: 0.0,
+        };
+        assert_eq!(instant.population_at(100.0), 500);
+        assert!(instant.change_points(0.0, 1000.0).is_empty());
+    }
+
+    #[test]
+    fn new_profiles_round_trip_through_serde() {
+        for p in [
+            LoadProfile::Sinusoidal {
+                mean: 1200,
+                amplitude: 350,
+                period: 1800.0,
+            },
+            LoadProfile::Spike {
+                baseline: 400,
+                spike: 2500,
+                start: 900.0,
+                duration: 120.0,
+            },
+        ] {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: LoadProfile = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, p);
         }
     }
 
