@@ -18,7 +18,7 @@
 
 use atom_bench::eval::{run_one, ScalerKind};
 use atom_bench::figures::{
-    ablation, chaos, fig11, fig12, fig13, fig2, fig4, fig7, fig8910, forecast, validation,
+    ablation, chaos, fig11, fig12, fig13, fig2, fig4, fig7, fig8910, forecast, scale, validation,
 };
 use atom_bench::{eval, trace, HarnessOptions};
 use atom_obs::{Journal, Record};
@@ -125,6 +125,7 @@ fn main() {
     let mut opts = HarnessOptions::default();
     let mut commands: Vec<String> = Vec::new();
     let mut run_smoke = false;
+    let mut users: usize = 1_000_000;
     let (mut quiet, mut verbose) = (false, false);
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -142,6 +143,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--seed needs an integer");
             }
+            "--users" => {
+                users = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--users needs a positive integer");
+            }
             "--out" => {
                 opts.out_dir = args.next().expect("--out needs a directory").into();
             }
@@ -154,10 +162,13 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--smoke] [--seed N] [--out DIR] \
+                    "usage: repro [--quick] [--smoke] [--seed N] [--users N] [--out DIR] \
                      [--trace-out FILE] [--metrics-out FILE] [--quiet] [--verbose] <command>...\n\
                      commands: setup fig2 fig4 table3 fig5 table4 validation fig7 \
-                     fig8 fig9 fig10 evaluation fig11 fig12 fig13 ablation chaos forecast all"
+                     fig8 fig9 fig10 evaluation fig11 fig12 fig13 ablation chaos forecast \
+                     scale all\n\
+                     scale: backend scaling trajectory up to --users (default 1000000); \
+                     `scale --smoke` enforces the wall-clock and speedup gates"
                 );
                 return;
             }
@@ -166,13 +177,20 @@ fn main() {
     }
     atom_obs::log::configure(quiet, verbose);
     if run_smoke {
-        smoke(&opts);
+        // `scale --smoke` is its own gate (wall-clock + speedup); the
+        // bare `--smoke` remains the journal-schema gate.
+        if commands.iter().any(|c| c == "scale") {
+            std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
+            scale::run(&opts, users, true);
+        } else {
+            smoke(&opts);
+        }
         return;
     }
     if commands.is_empty() {
         commands.push("all".into());
     }
-    const KNOWN: [&str; 19] = [
+    const KNOWN: [&str; 20] = [
         "setup",
         "fig2",
         "fig4",
@@ -191,6 +209,7 @@ fn main() {
         "ablation",
         "chaos",
         "forecast",
+        "scale",
         "all",
     ];
     for c in &commands {
@@ -266,6 +285,11 @@ fn main() {
     if wants("forecast") {
         let results = forecast::run(&opts);
         trace::emit(&opts, &results);
+    }
+    // `scale` is a performance trajectory, not a paper artefact: it runs
+    // only when asked for explicitly, never as part of `all`.
+    if commands.iter().any(|c| c == "scale") {
+        scale::run(&opts, users, false);
     }
     atom_obs::info!("\nartefacts written to {}", opts.out_dir.display());
 }

@@ -10,4 +10,5 @@ pub mod fig4;
 pub mod fig7;
 pub mod fig8910;
 pub mod forecast;
+pub mod scale;
 pub mod validation;

@@ -1,0 +1,401 @@
+//! `scale` — the population-backend scaling experiment.
+//!
+//! Measures how fast each backend advances the same closed workload at
+//! N = 1e3 / 1e5 / 1e6 users: the exact per-user DES (one think timer
+//! per user), the fluid aggregate (per-step MVA steady states), and the
+//! hybrid of the two (fluid in steady state, per-user around a
+//! mid-run scaling transient). The headline metric is completed client
+//! requests *simulated* per wall-clock second; raw DES events per wall
+//! second ride along for the event-engine view.
+//!
+//! Artefacts: `scale.csv` (one row per backend × population) and
+//! `BENCH_cluster.json` (the committed trajectory snapshot), both in
+//! the output directory. `--smoke` additionally gates: the million-user
+//! fluid run must finish within a wall-clock budget and beat the
+//! per-user backend by ≥ 10× on requests per wall second, and the
+//! emitted CSV must re-parse.
+
+use std::time::Instant;
+
+use atom_cluster::spec::AppSpec;
+use atom_cluster::{BackendMode, Cluster, ClusterOptions, ScaleAction, ServiceId};
+use atom_workload::{RequestMix, WorkloadSpec};
+
+use crate::output::{f, Table};
+use crate::HarnessOptions;
+
+/// Closed-workload think time (paper-style, seconds).
+const THINK_TIME: f64 = 7.0;
+/// Per-request CPU demand of the single endpoint (seconds).
+const DEMAND: f64 = 0.005;
+/// Target steady-state utilisation the spec is sized for.
+const TARGET_UTIL: f64 = 0.65;
+/// Replicas of the one service (the MVA multiserver count).
+const REPLICAS: usize = 4;
+
+/// Smoke gate: wall-clock budget for the largest fluid run (seconds).
+const SMOKE_WALL_BUDGET: f64 = 60.0;
+/// Smoke gate: minimum requests-per-wall-second speedup of the fluid
+/// backend over the per-user backend at the largest population.
+const SMOKE_SPEEDUP_FLOOR: f64 = 10.0;
+
+/// One backend × population measurement.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Backend mode the cluster ran under.
+    pub mode: BackendMode,
+    /// Closed-workload population.
+    pub users: usize,
+    /// Simulated horizon (seconds).
+    pub sim_seconds: f64,
+    /// Wall-clock cost including cluster construction (seconds).
+    pub wall_seconds: f64,
+    /// Client requests completed over the horizon.
+    pub requests: u64,
+    /// DES events dispatched over the horizon.
+    pub events: u64,
+    /// Mean completed requests per simulated second.
+    pub tps: f64,
+    /// Backend handovers performed (hybrid only).
+    pub switches: u64,
+}
+
+impl ScalePoint {
+    /// Completed client requests simulated per wall-clock second — the
+    /// cross-backend work rate (comparable even though the fluid
+    /// backend dispatches almost no discrete events).
+    pub fn req_per_wall_s(&self) -> f64 {
+        self.requests as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    /// Raw DES events dispatched per wall-clock second.
+    pub fn events_per_wall_s(&self) -> f64 {
+        self.events as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    fn mode_name(&self) -> &'static str {
+        match self.mode {
+            BackendMode::PerUser => "per-user",
+            BackendMode::Fluid => "fluid",
+            BackendMode::Hybrid => "hybrid",
+            _ => "unknown",
+        }
+    }
+}
+
+/// A one-service app sized so the given population loads it to
+/// [`TARGET_UTIL`]: capacity (cores) = N/Z · D / target.
+fn scale_spec(users: usize) -> AppSpec {
+    let offered = users as f64 / THINK_TIME;
+    let capacity = (offered * DEMAND / TARGET_UTIL).max(0.5);
+    let mut spec = AppSpec::new();
+    let node = spec.add_server("hub", capacity.ceil() as usize + 2, 1.0);
+    // Generous thread pools: the backend comparison targets the CPU
+    // plane, not thread-limit queueing (which the fluid model elides).
+    let svc = spec.add_service("api", node, 1 << 14, REPLICAS, capacity / REPLICAS as f64);
+    let ep = spec.add_endpoint(svc, "op", DEMAND, 1.0);
+    spec.add_feature("op", svc, ep);
+    spec.service_mut(svc).max_replicas = REPLICAS.max(16);
+    spec
+}
+
+/// Simulated horizon per backend: the per-user DES at large N is the
+/// thing being beaten, so it gets a horizon that keeps the measurement
+/// honest but the run short; the aggregate backends run much longer.
+fn horizon(mode: BackendMode, users: usize, smoke: bool) -> f64 {
+    match mode {
+        BackendMode::PerUser => match users {
+            0..=10_000 => {
+                if smoke {
+                    300.0
+                } else {
+                    600.0
+                }
+            }
+            10_001..=200_000 => {
+                if smoke {
+                    30.0
+                } else {
+                    120.0
+                }
+            }
+            _ => {
+                if smoke {
+                    5.0
+                } else {
+                    30.0
+                }
+            }
+        },
+        _ => {
+            if smoke {
+                600.0
+            } else {
+                1800.0
+            }
+        }
+    }
+}
+
+/// Runs one backend × population point and measures it.
+pub fn run_point(mode: BackendMode, users: usize, smoke: bool, seed: u64) -> ScalePoint {
+    let spec = scale_spec(users);
+    let workload = WorkloadSpec::constant(RequestMix::uniform(1), users, THINK_TIME);
+    let sim_seconds = horizon(mode, users, smoke);
+    let started = Instant::now();
+    let mut cluster = Cluster::new(
+        &spec,
+        workload,
+        ClusterOptions::new().with_seed(seed).with_backend(mode),
+    )
+    .expect("scale cluster");
+    // The hybrid point exercises a real handover: a (capacity-neutral)
+    // scaling batch one third in forces the transient path, and the
+    // hold-down expiry hands back to fluid.
+    if mode == BackendMode::Hybrid {
+        cluster.schedule_scaling(
+            vec![ScaleAction {
+                service: ServiceId(0),
+                replicas: REPLICAS,
+                share: cluster.share(ServiceId(0)),
+            }],
+            sim_seconds / 3.0,
+        );
+    }
+    let windows = 4usize;
+    let mut requests = 0u64;
+    let mut tps_sum = 0.0;
+    let mut switches = 0u64;
+    for _ in 0..windows {
+        let r = cluster.run_window(sim_seconds / windows as f64);
+        requests += r.feature_counts.iter().sum::<u64>();
+        tps_sum += r.total_tps;
+        switches += r.backend_switches as u64;
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+    ScalePoint {
+        mode,
+        users,
+        sim_seconds,
+        wall_seconds,
+        requests,
+        events: cluster.telemetry().total_events(),
+        tps: tps_sum / windows as f64,
+        switches,
+    }
+}
+
+fn speedup_vs_per_user(points: &[ScalePoint], p: &ScalePoint) -> Option<f64> {
+    points
+        .iter()
+        .find(|q| q.users == p.users && q.mode == BackendMode::PerUser)
+        .map(|base| p.req_per_wall_s() / base.req_per_wall_s().max(1e-9))
+}
+
+fn write_bench_json(points: &[ScalePoint], path: &std::path::Path) {
+    let mut entries = Vec::new();
+    for p in points {
+        let speedup = match speedup_vs_per_user(points, p) {
+            Some(s) => format!("{s:.2}"),
+            None => "null".to_string(),
+        };
+        entries.push(format!(
+            concat!(
+                "    {{\"backend\": \"{}\", \"users\": {}, \"sim_seconds\": {}, ",
+                "\"wall_seconds\": {:.3}, \"requests\": {}, \"events\": {}, ",
+                "\"req_per_wall_s\": {:.1}, \"events_per_wall_s\": {:.1}, ",
+                "\"tps\": {:.1}, \"switches\": {}, \"speedup_vs_per_user\": {}}}"
+            ),
+            p.mode_name(),
+            p.users,
+            p.sim_seconds,
+            p.wall_seconds,
+            p.requests,
+            p.events,
+            p.req_per_wall_s(),
+            p.events_per_wall_s(),
+            p.tps,
+            p.switches,
+            speedup,
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"cluster-backend-scale\",\n",
+            "  \"metric\": \"completed client requests simulated per wall-clock second\",\n",
+            "  \"entries\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        entries.join(",\n")
+    );
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create results dir");
+    }
+    std::fs::write(path, json).expect("write BENCH_cluster.json");
+}
+
+/// Re-parses the emitted CSV the way a consumer would: header plus one
+/// numeric row per point. Returns the failures found.
+fn reparse_csv(path: &std::path::Path, expected_rows: usize) -> Vec<String> {
+    let mut failures = Vec::new();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("cannot read {}: {e}", path.display())],
+    };
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or_default();
+    let cols = header.split(',').count();
+    if cols != 9 {
+        failures.push(format!("expected 9 CSV columns, found {cols}"));
+    }
+    let mut rows = 0usize;
+    for (i, line) in lines.enumerate() {
+        rows += 1;
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != cols {
+            failures.push(format!("row {i}: {} fields, expected {cols}", fields.len()));
+            continue;
+        }
+        // Every field after the backend name must parse as a number.
+        for field in &fields[1..] {
+            if field.parse::<f64>().is_err() {
+                failures.push(format!("row {i}: non-numeric field `{field}`"));
+            }
+        }
+    }
+    if rows != expected_rows {
+        failures.push(format!("expected {expected_rows} CSV rows, found {rows}"));
+    }
+    failures
+}
+
+/// Runs the scaling trajectory and writes `scale.csv` +
+/// `BENCH_cluster.json`. With `smoke`, also enforces the wall-clock and
+/// speedup gates and exits non-zero on violation.
+pub fn run(opts: &HarnessOptions, max_users: usize, smoke: bool) {
+    atom_obs::info!("\n== scale: population-backend trajectory (per-user vs fluid vs hybrid) ==");
+    let mut populations: Vec<usize> = if smoke {
+        // Smoke keeps CI fast: the full trio at the small population,
+        // per-user + fluid at the top one (a hybrid run at 1e6 spends
+        // its whole 120 s per-user hold simulating a million discrete
+        // users — minutes of wall clock the gate doesn't need).
+        vec![1_000]
+    } else {
+        [1_000usize, 100_000, 1_000_000]
+            .into_iter()
+            .filter(|&n| n < max_users)
+            .collect()
+    };
+    populations.retain(|&n| n < max_users);
+    populations.push(max_users);
+    let mut points = Vec::new();
+    for &users in &populations {
+        for mode in [
+            BackendMode::PerUser,
+            BackendMode::Fluid,
+            BackendMode::Hybrid,
+        ] {
+            if smoke && mode == BackendMode::Hybrid && users > 1_000 {
+                continue;
+            }
+            let p = run_point(mode, users, smoke, opts.seed);
+            atom_obs::progress!(
+                "scale: {} N={users}: {:.0} req/wall-s ({} requests / {:.2}s wall, {} switches)",
+                p.mode_name(),
+                p.req_per_wall_s(),
+                p.requests,
+                p.wall_seconds,
+                p.switches
+            );
+            points.push(p);
+        }
+    }
+
+    let mut table = Table::new(&[
+        "backend",
+        "users",
+        "sim_s",
+        "wall_s",
+        "requests",
+        "events",
+        "req_per_wall_s",
+        "events_per_wall_s",
+        "switches",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.mode_name().to_string(),
+            p.users.to_string(),
+            f(p.sim_seconds, 0),
+            f(p.wall_seconds, 3),
+            p.requests.to_string(),
+            p.events.to_string(),
+            f(p.req_per_wall_s(), 1),
+            f(p.events_per_wall_s(), 1),
+            p.switches.to_string(),
+        ]);
+    }
+    table.print();
+    let csv_path = opts.out_dir.join("scale.csv");
+    table.write_csv(&csv_path);
+    write_bench_json(&points, &opts.out_dir.join("BENCH_cluster.json"));
+
+    for p in points.iter().filter(|p| p.mode != BackendMode::PerUser) {
+        if let Some(s) = speedup_vs_per_user(&points, p) {
+            atom_obs::info!(
+                "scale: {} N={}: {:.0}x requests/wall-s vs per-user",
+                p.mode_name(),
+                p.users,
+                s
+            );
+        }
+    }
+
+    if !smoke {
+        return;
+    }
+    let mut failures = reparse_csv(&csv_path, points.len());
+    let largest = *populations.iter().max().expect("populations");
+    let fluid = points
+        .iter()
+        .find(|p| p.users == largest && p.mode == BackendMode::Fluid)
+        .expect("fluid point at the top population");
+    let hybrid = points
+        .iter()
+        .filter(|p| p.mode == BackendMode::Hybrid)
+        .max_by_key(|p| p.users)
+        .expect("a hybrid point");
+    if fluid.wall_seconds > SMOKE_WALL_BUDGET {
+        failures.push(format!(
+            "fluid N={largest} took {:.1}s wall (budget {SMOKE_WALL_BUDGET}s)",
+            fluid.wall_seconds
+        ));
+    }
+    match speedup_vs_per_user(&points, fluid) {
+        Some(s) if s < SMOKE_SPEEDUP_FLOOR => failures.push(format!(
+            "fluid N={largest} speedup {s:.1}x below the {SMOKE_SPEEDUP_FLOOR}x floor"
+        )),
+        None => failures.push("no per-user baseline point for the speedup gate".into()),
+        _ => {}
+    }
+    if hybrid.switches < 2 {
+        failures.push(format!(
+            "hybrid N={} performed {} backend switches, expected the \
+             round trip (fluid -> per-user -> fluid)",
+            hybrid.users, hybrid.switches
+        ));
+    }
+    if failures.is_empty() {
+        atom_obs::info!(
+            "scale smoke OK: fluid N={largest} in {:.2}s wall, {:.0}x vs per-user",
+            fluid.wall_seconds,
+            speedup_vs_per_user(&points, fluid).unwrap_or(0.0)
+        );
+    } else {
+        for msg in &failures {
+            atom_obs::error!("scale smoke FAILED: {msg}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -42,6 +42,23 @@ pub fn registry_of(results: &[ExperimentResult]) -> Registry {
             c.dropped_batches,
         );
         reg.add(&format!("{slug}_actions_total"), r.actions.len() as u64);
+        // Backend series exist only for runs that used the fluid/hybrid
+        // machinery: pure per-user runs predate it and must keep their
+        // metrics snapshots byte-identical.
+        if c.fluid_step_events + c.backend_check_events + c.backend_switches > 0 {
+            reg.add(
+                &format!("{slug}_backend_switches_total"),
+                c.backend_switches,
+            );
+            reg.add(
+                &format!("{slug}_fluid_step_events_total"),
+                c.fluid_step_events,
+            );
+            reg.add(
+                &format!("{slug}_backend_check_events_total"),
+                c.backend_check_events,
+            );
+        }
         for &latency in &c.scale_latencies {
             reg.observe(&format!("{slug}_scale_latency_seconds"), latency);
         }

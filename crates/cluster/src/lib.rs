@@ -27,6 +27,24 @@
 //! sampled windows — so "model vs measurement" comparisons (Tables
 //! III/IV) are comparisons between genuinely different computations.
 //!
+//! # Architecture
+//!
+//! The runtime is layered into private modules behind the
+//! [`runtime::Cluster`] facade:
+//!
+//! * `engine` — the simulation clock and a hierarchical timer-wheel
+//!   calendar (same pop order as a binary heap, O(1) amortised insert);
+//! * [`backend`] — the user population, behind a `PopulationBackend`
+//!   trait with two implementations: the exact per-user DES (one think
+//!   timer per user, the default) and an aggregate *fluid* pool that
+//!   batches the whole think population into per-step MVA steady states
+//!   for million-user runs. [`backend::BackendMode::Hybrid`] runs fluid
+//!   in steady state and drops to per-user around transients (scale
+//!   actuations, faults, population spikes);
+//! * `fabric` — servers, replicas, scaling actuation, fault injection;
+//! * `request` — request chains through the service call graph;
+//! * `accum` — window accumulators feeding [`monitor::WindowReport`].
+//!
 //! # Example
 //!
 //! ```
@@ -46,13 +64,19 @@
 //! assert!(report.total_tps > 0.0);
 //! ```
 
+mod accum;
+pub mod backend;
+mod engine;
 pub mod error;
+mod fabric;
 pub mod monitor;
+mod request;
 pub mod runtime;
 pub mod spec;
 pub mod telemetry;
 
 pub use atom_faults::{FaultEvent, FaultKind, FaultPlan, FaultSchedule};
+pub use backend::{BackendKind, BackendMode};
 pub use error::ClusterError;
 pub use monitor::WindowReport;
 pub use runtime::{Cluster, ClusterOptions, RequestTrace, ScaleAction, TraceSpan};

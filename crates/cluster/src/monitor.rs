@@ -15,6 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::backend::BackendKind;
 use crate::telemetry::ScaleLatencyStats;
 
 /// Metrics collected over one monitoring window (paper §IV-A: the
@@ -99,6 +100,16 @@ pub struct WindowReport {
     /// A proactive controller reads the p95 as its actuation horizon.
     #[serde(default)]
     pub scale_latency: Option<ScaleLatencyStats>,
+    /// Which population backend produced this window's user-plane
+    /// metrics. Under [`BackendMode::Hybrid`](crate::BackendMode) this is
+    /// the backend live at window *end*; see
+    /// [`WindowReport::backend_switches`] for mid-window handovers.
+    #[serde(default)]
+    pub backend: BackendKind,
+    /// Backend handovers (fluid ↔ per-user) within this window; 0 except
+    /// around transients in hybrid mode.
+    #[serde(default)]
+    pub backend_switches: usize,
 }
 
 impl WindowReport {
@@ -129,6 +140,8 @@ impl WindowReport {
             monitor_dropout_fraction: 0.0,
             failed_actuations: 0,
             scale_latency: None,
+            backend: BackendKind::default(),
+            backend_switches: 0,
         }
     }
 
@@ -279,6 +292,20 @@ impl WindowReport {
     #[must_use]
     pub fn with_scale_latency(mut self, v: Option<ScaleLatencyStats>) -> Self {
         self.scale_latency = v;
+        self
+    }
+
+    /// Sets the population backend that produced the window.
+    #[must_use]
+    pub fn with_backend(mut self, v: BackendKind) -> Self {
+        self.backend = v;
+        self
+    }
+
+    /// Sets the mid-window backend-switch count.
+    #[must_use]
+    pub fn with_backend_switches(mut self, v: usize) -> Self {
+        self.backend_switches = v;
         self
     }
 

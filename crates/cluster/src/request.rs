@@ -1,0 +1,352 @@
+//! The request path: from a user's arrival through the service call
+//! graph to root completion.
+//!
+//! Every method here is synchronous with respect to the calendar — a
+//! request chain advances only at event boundaries (processor
+//! completions, latency timers), and all RNG draws happen in the exact
+//! order events are dispatched. That property is what makes runs
+//! bitwise-reproducible, so this module must never defer work it can do
+//! inline.
+
+use crate::backend::PopCtx;
+use crate::engine::Event;
+use crate::fabric::{InvState, Invocation, ReplicaState};
+use crate::runtime::{Cluster, RequestTrace, TraceSpan};
+
+impl Cluster {
+    pub(crate) fn user_ready(&mut self, user: usize) {
+        if !self.backend.user_live(user) {
+            return; // retired while thinking
+        }
+        self.accum.roll_subinterval(self.engine.now);
+        // Scrape-based counters miss events while the monitor is dark;
+        // the in-system gauge is load-balancer state and survives.
+        if self.monitor_observing() {
+            self.accum.subinterval_arrivals += 1;
+        }
+        self.accum.in_system += 1;
+        self.accum
+            .in_system_tw
+            .update(self.engine.now, self.accum.in_system as f64);
+        self.accum.peak_in_system = self.accum.peak_in_system.max(self.accum.in_system);
+        let feature = self.rng.categorical(self.workload.mix.fractions());
+        let f = &self.spec.features[feature];
+        let (si, ei) = (f.service.0, f.endpoint.0);
+        self.start_call(si, ei, None, Some((feature, user)));
+    }
+
+    pub(crate) fn monitor_observing(&self) -> bool {
+        self.fabric.monitor_observing(self.engine.now)
+    }
+
+    fn expand_calls(&mut self, si: usize, ei: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let calls = self.spec.services[si].endpoints[ei].calls.clone();
+        for c in calls {
+            let whole = c.mean.floor() as usize;
+            let frac = c.mean - c.mean.floor();
+            let count = whole + usize::from(frac > 0.0 && self.rng.bernoulli(frac));
+            for _ in 0..count {
+                out.push((c.service.0, c.endpoint.0));
+            }
+        }
+        out
+    }
+
+    /// Picks a ready replica round-robin; falls back to any non-dead one.
+    pub(crate) fn pick_replica(&mut self, si: usize) -> usize {
+        let svc = &mut self.fabric.services[si];
+        let n = svc.replicas.len();
+        for k in 0..n {
+            let idx = (svc.next_replica + k) % n;
+            if matches!(svc.replicas[idx].state, ReplicaState::Ready) {
+                svc.next_replica = idx + 1;
+                return idx;
+            }
+        }
+        // No ready replica (all still starting): queue on the first
+        // non-dead one so requests are not lost.
+        for (idx, r) in svc.replicas.iter().enumerate() {
+            if !matches!(r.state, ReplicaState::Dead) {
+                return idx;
+            }
+        }
+        unreachable!("a service always keeps at least one live replica");
+    }
+
+    pub(crate) fn start_call(
+        &mut self,
+        si: usize,
+        ei: usize,
+        caller: Option<usize>,
+        root: Option<(usize, usize)>,
+    ) {
+        let now = self.engine.now;
+        let replica = self.pick_replica(si);
+        let calls = self.expand_calls(si, ei);
+        // Queue seen at arrival for the demand-estimation probe: jobs
+        // executing on the service's processor (the MVA arrival theorem
+        // applies at the contended resource — the CPU — cf. Kraft et
+        // al. [26]).
+        let seen_queue = self.fabric.processors[self.fabric.services[si].server].active_jobs();
+        // Trace propagation: a root request arms a new capture when one
+        // is pending; child calls inherit their caller's traced status.
+        let parent_span =
+            caller.and_then(|c| self.fabric.invocations[c].as_ref().and_then(|i| i.span));
+        let span = if let Some(parent) = parent_span {
+            self.fabric.trace_building.push(TraceSpan {
+                service: si,
+                endpoint: ei,
+                parent: Some(parent),
+                arrival: now,
+                start: now,
+                end: now,
+            });
+            Some(self.fabric.trace_building.len() - 1)
+        } else if let (Some(filter), Some((feature, _))) = (self.fabric.trace_armed, root) {
+            if filter.is_none_or(|f| f == feature) {
+                self.fabric.trace_armed = None;
+                self.fabric.trace_feature = feature;
+                self.fabric.trace_building.clear();
+                self.fabric.trace_building.push(TraceSpan {
+                    service: si,
+                    endpoint: ei,
+                    parent: None,
+                    arrival: now,
+                    start: now,
+                    end: now,
+                });
+                Some(0)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let inv = self.alloc_invocation(Invocation {
+            service: si,
+            endpoint: ei,
+            replica,
+            caller,
+            root,
+            state: InvState::Queued,
+            calls,
+            arrival: now,
+            seen_queue,
+            span,
+        });
+        let svc = &mut self.fabric.services[si];
+        let can_start = matches!(
+            svc.replicas[replica].state,
+            ReplicaState::Ready | ReplicaState::Draining
+        ) && svc.replicas[replica].busy_threads < svc.threads;
+        if can_start {
+            svc.replicas[replica].busy_threads += 1;
+            self.begin_service(inv);
+        } else {
+            svc.replicas[replica].queue.push_back(inv);
+        }
+    }
+
+    fn alloc_invocation(&mut self, inv: Invocation) -> usize {
+        match self.fabric.free_invs.pop() {
+            Some(slot) => {
+                self.fabric.invocations[slot] = Some(inv);
+                slot
+            }
+            None => {
+                self.fabric.invocations.push(Some(inv));
+                self.fabric.invocations.len() - 1
+            }
+        }
+    }
+
+    pub(crate) fn begin_service(&mut self, inv: usize) {
+        let now = self.engine.now;
+        let (si, ei, replica) = {
+            let i = self.fabric.invocations[inv].as_ref().unwrap();
+            (i.service, i.endpoint, i.replica)
+        };
+        if let Some(span) = self.fabric.invocations[inv].as_ref().unwrap().span {
+            self.fabric.trace_building[span].start = now;
+        }
+        self.fabric.invocations[inv].as_mut().unwrap().state = InvState::Executing;
+        let ep = &self.spec.services[si].endpoints[ei];
+        let demand = if ep.demand == 0.0 {
+            0.0
+        } else if ep.demand_cv == 0.0 {
+            ep.demand
+        } else if (ep.demand_cv - 1.0).abs() < 1e-12 {
+            self.rng.exponential(ep.demand)
+        } else {
+            self.rng.lognormal(ep.demand, ep.demand_cv)
+        };
+        if demand == 0.0 {
+            self.demand_done(inv);
+            return;
+        }
+        let pi = self.fabric.services[si].server;
+        let group = self.fabric.services[si].replicas[replica].group;
+        let job = self.fabric.processors[pi].add_job(now, group, demand);
+        self.fabric.proc_jobs[pi].insert(job, inv);
+        self.reschedule_processor(pi);
+    }
+
+    pub(crate) fn reschedule_processor(&mut self, pi: usize) {
+        if let Some((t, _)) = self.fabric.processors[pi].next_completion(self.engine.now) {
+            let generation = self.fabric.processors[pi].generation();
+            self.engine.push(
+                t,
+                Event::ProcessorCheck {
+                    proc: pi,
+                    generation,
+                },
+            );
+        }
+    }
+
+    pub(crate) fn processor_check(&mut self, pi: usize, generation: u64) {
+        if self.fabric.processors[pi].generation() != generation {
+            return;
+        }
+        loop {
+            let now = self.engine.now;
+            match self.fabric.processors[pi].next_completion(now) {
+                Some((t, job)) if t <= now + 1e-12 => {
+                    self.fabric.processors[pi].remove_job(now, job);
+                    let inv = self.fabric.proc_jobs[pi]
+                        .remove(&job)
+                        .expect("job maps to inv");
+                    self.demand_done(inv);
+                }
+                _ => break,
+            }
+        }
+        self.reschedule_processor(pi);
+    }
+
+    fn demand_done(&mut self, inv: usize) {
+        // Pure-latency (I/O) stage before the downstream calls.
+        let (si, ei) = {
+            let i = self.fabric.invocations[inv].as_ref().unwrap();
+            (i.service, i.endpoint)
+        };
+        let latency = self.spec.services[si].endpoints[ei].latency;
+        if latency > 0.0 {
+            let wait = self.rng.exponential(latency);
+            self.engine
+                .push(self.engine.now + wait, Event::LatencyDone { inv });
+            return;
+        }
+        self.proceed_to_calls(inv);
+    }
+
+    pub(crate) fn proceed_to_calls(&mut self, inv: usize) {
+        let has_calls = !self.fabric.invocations[inv]
+            .as_ref()
+            .unwrap()
+            .calls
+            .is_empty();
+        if has_calls {
+            self.fabric.invocations[inv].as_mut().unwrap().state = InvState::Calling { idx: 0 };
+            let (si, ei) = self.fabric.invocations[inv].as_ref().unwrap().calls[0];
+            self.start_call(si, ei, Some(inv), None);
+        } else {
+            self.finish_invocation(inv);
+        }
+    }
+
+    fn child_done(&mut self, inv: usize) {
+        let (next, total) = {
+            let i = self.fabric.invocations[inv].as_ref().unwrap();
+            let idx = match i.state {
+                InvState::Calling { idx } => idx + 1,
+                _ => unreachable!("caller must be in Calling state"),
+            };
+            (idx, i.calls.len())
+        };
+        if next < total {
+            self.fabric.invocations[inv].as_mut().unwrap().state = InvState::Calling { idx: next };
+            let (si, ei) = self.fabric.invocations[inv].as_ref().unwrap().calls[next];
+            self.start_call(si, ei, Some(inv), None);
+        } else {
+            self.finish_invocation(inv);
+        }
+    }
+
+    fn finish_invocation(&mut self, inv: usize) {
+        let now = self.engine.now;
+        let (si, _ei, replica, caller, root, arrival, seen_queue, ei, span) = {
+            let i = self.fabric.invocations[inv].as_ref().unwrap();
+            (
+                i.service,
+                i.endpoint,
+                i.replica,
+                i.caller,
+                i.root,
+                i.arrival,
+                i.seen_queue,
+                i.endpoint,
+                i.span,
+            )
+        };
+        if let Some(span) = span {
+            self.fabric.trace_building[span].end = now;
+            if span == 0 && self.fabric.completed_trace.is_none() {
+                self.fabric.completed_trace = Some(RequestTrace {
+                    feature: self.fabric.trace_feature,
+                    spans: std::mem::take(&mut self.fabric.trace_building),
+                });
+            }
+        }
+        if self.monitor_observing() {
+            self.accum.endpoint_counts[si][ei] += 1;
+            if let Some((ps, pe)) = self.fabric.probe {
+                if ps == si && pe == ei {
+                    self.fabric
+                        .probe_samples
+                        .push((seen_queue as f64, now - arrival));
+                }
+            }
+        }
+        self.fabric.invocations[inv] = None;
+        self.fabric.free_invs.push(inv);
+
+        // Release the thread / admit next.
+        let svc = &mut self.fabric.services[si];
+        let rep = &mut svc.replicas[replica];
+        if let Some(next) = rep.queue.pop_front() {
+            self.begin_service(next);
+        } else {
+            rep.busy_threads -= 1;
+            // A drained replica with no work left dies.
+            if matches!(rep.state, ReplicaState::Draining) && rep.busy_threads == 0 {
+                self.kill_replica(si, replica);
+            }
+        }
+
+        match (caller, root) {
+            (Some(parent), _) => self.child_done(parent),
+            (None, Some((feature, user))) => self.complete_request(feature, user, arrival),
+            (None, None) => unreachable!("invocation must have a caller or be a root"),
+        }
+    }
+
+    fn complete_request(&mut self, feature: usize, user: usize, arrival: f64) {
+        let now = self.engine.now;
+        self.accum.in_system = self.accum.in_system.saturating_sub(1);
+        self.accum
+            .in_system_tw
+            .update(now, self.accum.in_system as f64);
+        if self.monitor_observing() {
+            self.accum.feature_counts[feature] += 1;
+            self.accum.feature_resp_sum[feature] += now - arrival;
+        }
+        let mut ctx = PopCtx {
+            engine: &mut self.engine,
+            rng: &mut self.rng,
+            workload: &self.workload,
+        };
+        self.backend.request_complete(&mut ctx, user);
+    }
+}

@@ -1,15 +1,31 @@
-//! The live cluster: discrete-event execution, monitoring, and runtime
-//! scaling.
+//! The live cluster: construction, the event loop, and the hybrid
+//! backend policy.
+//!
+//! The runtime is layered (see [crate] docs):
+//!
+//! * [`crate::engine`] — clock + timer-wheel calendar;
+//! * [`crate::backend`] — the user population ([`PerUserDes`] or
+//!   [`FluidPool`], behind [`PopulationBackend`]);
+//! * [`crate::fabric`] — servers, replicas, scaling actuation, faults;
+//! * [`crate::request`] — request chains through the call graph;
+//! * [`crate::accum`] — window accumulators and report collection.
+//!
+//! This module owns the [`Cluster`] struct that ties them together, the
+//! event dispatch loop, and the hybrid fluid/per-user switching policy.
 
-use std::collections::VecDeque;
-
-use atom_faults::{FaultKind, FaultSchedule};
-use atom_sim::processor::{GroupId, JobId, PsProcessor};
-use atom_sim::{EventQueue, SimRng, TimeWeighted};
+use atom_faults::FaultSchedule;
+use atom_sim::processor::PsProcessor;
+use atom_sim::{SimRng, TimeWeighted};
 use atom_workload::burstiness::Mmpp2;
 use atom_workload::WorkloadSpec;
 
+use crate::accum::WindowAccum;
+use crate::backend::{
+    Backend, BackendKind, BackendMode, FluidPool, PerUserDes, PopCtx, PopulationBackend,
+};
+use crate::engine::{Engine, Event};
 use crate::error::ClusterError;
+use crate::fabric::{effective_cap, Fabric, Replica, ReplicaState, ServiceRt};
 use crate::monitor::WindowReport;
 use crate::spec::{AppSpec, EndpointId, ServiceId};
 use crate::telemetry::ClusterTelemetry;
@@ -37,17 +53,22 @@ pub struct ClusterOptions {
     /// enter the cluster's own event calendar, so a faulty run is as
     /// deterministic in the seed as a fault-free one.
     pub faults: FaultSchedule,
+    /// How the user population is simulated: exact per-user DES (the
+    /// default), fluid aggregation, or the hybrid of the two. Million-
+    /// user runs want [`BackendMode::Fluid`] or [`BackendMode::Hybrid`].
+    pub backend: BackendMode,
 }
 
 impl ClusterOptions {
     /// The default options: seed 1, 1 s vertical delay, exact monitor
-    /// readings, no faults.
+    /// readings, no faults, per-user backend.
     pub fn new() -> Self {
         ClusterOptions {
             seed: 1,
             vertical_delay: 1.0,
             monitor_noise: 0.0,
             faults: FaultSchedule::new(),
+            backend: BackendMode::PerUser,
         }
     }
 
@@ -76,6 +97,13 @@ impl ClusterOptions {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the population backend mode.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendMode) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -108,73 +136,6 @@ impl std::fmt::Display for ScaleAction {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum ReplicaState {
-    /// Container created; serving from `ready_at`.
-    Starting { ready_at: f64 },
-    /// Serving traffic.
-    Ready,
-    /// No longer receiving new requests; finishing queued work.
-    Draining,
-    /// Gone.
-    Dead,
-}
-
-struct Replica {
-    group: GroupId,
-    state: ReplicaState,
-    busy_threads: usize,
-    queue: VecDeque<usize>,
-}
-
-struct ServiceRt {
-    server: usize,
-    threads: usize,
-    share: f64,
-    replicas: Vec<Replica>,
-    next_replica: usize,
-    alloc: TimeWeighted,
-    /// Busy core-seconds snapshot at the current window start.
-    busy_at_window: f64,
-    /// Up indicator (1 when ≥ 1 replica is ready) — time-weighted, so
-    /// its window average is the service's availability.
-    up: TimeWeighted,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum InvState {
-    Queued,
-    Executing,
-    Calling { idx: usize },
-}
-
-struct Invocation {
-    service: usize,
-    endpoint: usize,
-    replica: usize,
-    caller: Option<usize>,
-    /// Root invocations carry the feature index and issuing user.
-    root: Option<(usize, usize)>,
-    state: InvState,
-    calls: Vec<(usize, usize)>,
-    arrival: f64,
-    /// Queue length seen at arrival (for the demand-estimation probe).
-    seen_queue: usize,
-    /// Index of this invocation's span in the trace being captured.
-    span: Option<usize>,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Event {
-    UserReady { user: usize },
-    PopulationChange { population: usize },
-    ReplicaReady { service: usize, replica: usize },
-    ProcessorCheck { proc: usize, generation: u64 },
-    ApplyScaling { batch: usize },
-    LatencyDone { inv: usize },
-    Fault { idx: usize },
-}
-
 /// One hop of a captured request trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceSpan {
@@ -201,74 +162,33 @@ pub struct RequestTrace {
     pub spans: Vec<TraceSpan>,
 }
 
-/// Usable rate cap of one replica: its share bounded by the service's
-/// CPU parallelism (`None` = unbounded by code structure).
-fn effective_cap(share: f64, parallelism: Option<usize>) -> f64 {
-    match parallelism {
-        Some(p) => share.min(p as f64),
-        None => share,
-    }
-}
+/// How long after the last transient the hybrid policy stays on the
+/// per-user backend before handing back to the fluid one (seconds).
+const HYBRID_HOLD: f64 = 120.0;
+
+/// Relative population change within one fluid step that the hybrid
+/// policy treats as a spike (and drops to per-user for).
+const SPIKE_THRESHOLD: f64 = 0.5;
 
 /// The running cluster. See the [crate docs](crate).
 pub struct Cluster {
-    spec: AppSpec,
-    workload: WorkloadSpec,
-    rng: SimRng,
-    events: EventQueue<Event>,
-    processors: Vec<PsProcessor>,
-    proc_jobs: Vec<std::collections::HashMap<JobId, usize>>,
-    services: Vec<ServiceRt>,
-    invocations: Vec<Option<Invocation>>,
-    free_invs: Vec<usize>,
-    users_alive: Vec<bool>,
-    target_population: usize,
-    users_tw: TimeWeighted,
-    mmpp: Option<Mmpp2>,
-    now: f64,
-    pending_batches: Vec<Vec<ScaleAction>>,
-    /// Issue time of each pending batch, parallel to `pending_batches`
-    /// (for issue-to-ready scale-latency telemetry).
-    batch_issued: Vec<f64>,
-    options: ClusterOptions,
-    telemetry: ClusterTelemetry,
-    /// Issue time of the scaling batch currently being applied, if any —
-    /// set around `apply_action` so `spawn_replica` can attribute new
-    /// replicas' ready times to the issuing decision (crash-recovery
-    /// spawns have no issuing decision and are not latency samples).
-    scaling_issued_at: Option<f64>,
-    // --- fault state ---
-    /// Intervals during which the monitoring plane is dark.
-    dark_intervals: Vec<(f64, f64)>,
-    /// Scaling batches dispatched before this time are dropped.
-    actuation_fail_until: f64,
-    /// Start-up delays are multiplied by `slow_start_factor` until then.
-    slow_start_until: f64,
-    slow_start_factor: f64,
-    /// Scaling batches dropped in the current window.
-    failed_actuations: usize,
-    // --- window accumulators ---
-    window_start: f64,
-    feature_counts: Vec<u64>,
-    feature_resp_sum: Vec<f64>,
-    endpoint_counts: Vec<Vec<u64>>,
-    /// Client request issues in the current monitor sub-interval, and the
-    /// largest completed sub-interval count so far this window.
-    subinterval_arrivals: u64,
-    subinterval_start: f64,
-    peak_subinterval_rate: f64,
-    in_system: usize,
-    in_system_tw: TimeWeighted,
-    peak_in_system: usize,
-    server_busy_at_window: Vec<f64>,
-    // --- probe ---
-    probe: Option<(usize, usize)>,
-    probe_samples: Vec<(f64, f64)>,
-    // --- tracing ---
-    trace_armed: Option<Option<usize>>, // Some(feature filter) when armed
-    trace_building: Vec<TraceSpan>,
-    trace_feature: usize,
-    completed_trace: Option<RequestTrace>,
+    pub(crate) spec: AppSpec,
+    pub(crate) workload: WorkloadSpec,
+    pub(crate) rng: SimRng,
+    pub(crate) engine: Engine,
+    pub(crate) fabric: Fabric,
+    pub(crate) backend: Backend,
+    pub(crate) accum: WindowAccum,
+    pub(crate) options: ClusterOptions,
+    pub(crate) telemetry: ClusterTelemetry,
+    /// End of the window currently (or most recently) being run — the
+    /// horizon up to which population changes must be (re)scheduled when
+    /// the hybrid policy switches to the per-user backend mid-window.
+    current_window_end: f64,
+    /// Hybrid policy: the per-user backend holds until this time.
+    transient_until: f64,
+    /// Invalidates `FluidStep` events scheduled before a backend switch.
+    fluid_gen: u64,
 }
 
 impl Cluster {
@@ -315,7 +235,7 @@ impl Cluster {
                     group: processors[s.server.0].add_group(cap),
                     state: ReplicaState::Ready,
                     busy_threads: 0,
-                    queue: VecDeque::new(),
+                    queue: std::collections::VecDeque::new(),
                 });
             }
             let alloc0 = s.initial_replicas as f64 * s.initial_share;
@@ -330,15 +250,29 @@ impl Cluster {
                 up: TimeWeighted::new(0.0, if s.initial_replicas > 0 { 1.0 } else { 0.0 }),
             });
         }
+        // MMPP calibration draws the RNG before anything else does —
+        // preserved verbatim from the monolithic runtime so seeds map to
+        // identical runs.
         let mmpp = workload.burstiness.map(|b| {
             let nominal =
                 workload.profile.population_at(0.0) as f64 / workload.think_time.max(1e-9);
             Mmpp2::calibrated(nominal.max(1e-9), b, &mut rng)
         });
-        let mut cluster = Cluster {
-            spec: spec.clone(),
-            rng,
-            events: EventQueue::new(),
+        // An MMPP-modulated workload has no steady state the fluid model
+        // could represent, so hybrid starts (and stays) per-user there.
+        let start_fluid = match options.backend {
+            BackendMode::PerUser => false,
+            BackendMode::Fluid => true,
+            BackendMode::Hybrid => workload.burstiness.is_none(),
+        };
+        let backend = if start_fluid {
+            Backend::Fluid(FluidPool::new(spec, &workload, 0.0))
+        } else {
+            Backend::PerUser(PerUserDes::new(mmpp))
+        };
+        let np = spec.servers.len();
+        let ns = spec.services.len();
+        let fabric = Fabric {
             proc_jobs: (0..processors.len())
                 .map(|_| std::collections::HashMap::new())
                 .collect(),
@@ -346,60 +280,62 @@ impl Cluster {
             services,
             invocations: Vec::new(),
             free_invs: Vec::new(),
-            users_alive: Vec::new(),
-            target_population: 0,
-            users_tw: TimeWeighted::new(0.0, 0.0),
-            mmpp,
-            now: 0.0,
             pending_batches: Vec::new(),
             batch_issued: Vec::new(),
-            options,
-            telemetry: ClusterTelemetry::default(),
             scaling_issued_at: None,
             dark_intervals: Vec::new(),
             actuation_fail_until: 0.0,
             slow_start_until: 0.0,
             slow_start_factor: 1.0,
             failed_actuations: 0,
-            window_start: 0.0,
-            feature_counts: vec![0; spec.features.len()],
-            feature_resp_sum: vec![0.0; spec.features.len()],
-            endpoint_counts: spec
-                .services
-                .iter()
-                .map(|s| vec![0; s.endpoints.len()])
-                .collect(),
-            subinterval_arrivals: 0,
-            subinterval_start: 0.0,
-            peak_subinterval_rate: 0.0,
-            in_system: 0,
-            in_system_tw: TimeWeighted::new(0.0, 0.0),
-            peak_in_system: 0,
-            server_busy_at_window: vec![0.0; spec.servers.len()],
             probe: None,
             probe_samples: Vec::new(),
             trace_armed: None,
             trace_building: Vec::new(),
             trace_feature: 0,
             completed_trace: None,
+        };
+        let accum = WindowAccum::new(
+            spec.features.len(),
+            spec.services.iter().map(|s| s.endpoints.len()).collect(),
+            np,
+            ns,
+        );
+        let mut cluster = Cluster {
+            spec: spec.clone(),
             workload,
+            rng,
+            engine: Engine::new(),
+            fabric,
+            backend,
+            accum,
+            options,
+            telemetry: ClusterTelemetry::default(),
+            current_window_end: 0.0,
+            transient_until: 0.0,
+            fluid_gen: 0,
         };
         // The whole fault schedule enters the calendar upfront: fault
         // times are absolute, known, and few.
         for (idx, e) in cluster.options.faults.events().iter().enumerate() {
-            cluster.events.push(e.time, Event::Fault { idx });
+            cluster.engine.push(e.time, Event::Fault { idx });
+        }
+        if start_fluid {
+            cluster
+                .engine
+                .push(FluidPool::STEP, Event::FluidStep { generation: 0 });
         }
         // Spawn the initial population; future changes are scheduled
         // window by window (an unbounded upfront scan would blow up for
         // long-period or oscillating profiles).
         let initial = cluster.workload.profile.population_at(0.0);
-        cluster.set_population(initial);
+        cluster.backend_set_population(initial);
         Ok(cluster)
     }
 
     /// Current simulation time (seconds).
     pub fn now(&self) -> f64 {
-        self.now
+        self.engine.now
     }
 
     /// The options the cluster was constructed with.
@@ -412,68 +348,68 @@ impl Cluster {
         &self.spec
     }
 
+    /// The population backend currently live (fixed for `PerUser` /
+    /// `Fluid` modes; time-varying under `Hybrid`).
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
     /// Live (ready + starting + draining) replica count of a service.
     pub fn replicas(&self, service: ServiceId) -> usize {
-        self.services[service.0]
-            .replicas
-            .iter()
-            .filter(|r| !matches!(r.state, ReplicaState::Dead))
-            .count()
+        self.fabric.services[service.0].live_count()
     }
 
     /// Ready replica count of a service.
     pub fn ready_replicas(&self, service: ServiceId) -> usize {
-        self.services[service.0]
-            .replicas
-            .iter()
-            .filter(|r| matches!(r.state, ReplicaState::Ready))
-            .count()
+        self.fabric.services[service.0].ready_count()
     }
 
     /// Current per-replica CPU share of a service.
     pub fn share(&self, service: ServiceId) -> f64 {
-        self.services[service.0].share
+        self.fabric.services[service.0].share
     }
 
     /// Records `(queue length at arrival, response time)` samples for one
     /// endpoint; collect them with [`Cluster::take_probe_samples`].
     pub fn set_probe(&mut self, service: ServiceId, endpoint: EndpointId) {
-        self.probe = Some((service.0, endpoint.0));
-        self.probe_samples.clear();
+        self.fabric.probe = Some((service.0, endpoint.0));
+        self.fabric.probe_samples.clear();
     }
 
     /// Drains collected probe samples.
     pub fn take_probe_samples(&mut self) -> Vec<(f64, f64)> {
-        std::mem::take(&mut self.probe_samples)
+        std::mem::take(&mut self.fabric.probe_samples)
     }
 
     /// Arms a one-shot request trace: the next client request (of the
     /// given feature, or any feature when `None`) is captured with a span
     /// per service hop. Collect it with [`Cluster::take_trace`].
     pub fn arm_trace(&mut self, feature: Option<usize>) {
-        self.trace_armed = Some(feature);
-        self.completed_trace = None;
+        self.fabric.trace_armed = Some(feature);
+        self.fabric.completed_trace = None;
     }
 
     /// The most recently completed trace, if any.
     pub fn take_trace(&mut self) -> Option<RequestTrace> {
-        self.completed_trace.take()
+        self.fabric.completed_trace.take()
     }
 
     /// Schedules a batch of scaling actions to be applied `delay` seconds
     /// from now (an autoscaler's actuation latency, e.g. ATOM's 2.5 min
     /// optimization-plus-planning delay).
     pub fn schedule_scaling(&mut self, actions: Vec<ScaleAction>, delay: f64) {
-        let batch = self.pending_batches.len();
-        self.pending_batches.push(actions);
-        self.batch_issued.push(self.now);
-        self.events
-            .push(self.now + delay.max(0.0), Event::ApplyScaling { batch });
+        let batch = self.fabric.pending_batches.len();
+        self.fabric.pending_batches.push(actions);
+        self.fabric.batch_issued.push(self.engine.now);
+        self.engine.push(
+            self.engine.now + delay.max(0.0),
+            Event::ApplyScaling { batch },
+        );
     }
 
     /// Telemetry accumulated since construction (DES event counts,
-    /// issue-to-ready scale latencies). Observational only: reading or
-    /// ignoring it never changes a run.
+    /// issue-to-ready scale latencies, backend switches). Observational
+    /// only: reading or ignoring it never changes a run.
     pub fn telemetry(&self) -> &ClusterTelemetry {
         &self.telemetry
     }
@@ -485,21 +421,33 @@ impl Cluster {
     /// Panics if `duration` is not positive.
     pub fn run_window(&mut self, duration: f64) -> WindowReport {
         assert!(duration > 0.0, "window duration must be positive");
-        let end = self.now + duration;
-        // Schedule this window's population changes lazily.
-        for (t, pop) in self.workload.profile.change_points(self.now, end) {
-            self.events
-                .push(t, Event::PopulationChange { population: pop });
+        let end = self.engine.now + duration;
+        self.current_window_end = end;
+        // Schedule this window's population changes lazily — but only
+        // for the per-user backend: the fluid one reads the profile's
+        // continuous envelope directly, and a million-user ramp expanded
+        // into discrete change points would defeat the aggregation.
+        if matches!(self.backend, Backend::PerUser(_)) {
+            for (t, pop) in self.workload.profile.change_points(self.engine.now, end) {
+                self.engine
+                    .push(t, Event::PopulationChange { population: pop });
+            }
         }
-        while let Some(t) = self.events.peek_time() {
+        while let Some(t) = self.engine.peek_time() {
             if t > end {
                 break;
             }
-            let (t, ev) = self.events.pop().expect("peeked");
-            self.now = t.max(self.now);
+            let (t, ev) = self.engine.pop().expect("peeked");
+            self.engine.now = t.max(self.engine.now);
             self.dispatch(ev);
         }
-        self.now = end;
+        self.engine.now = end;
+        // The fluid backend integrates the partial tail step so the
+        // report covers exactly [start, end]. The tail runs the same
+        // spike check as a regular step: a population jump landing
+        // exactly on a window boundary must not slip past the hybrid
+        // policy.
+        self.fluid_advance(end);
         self.collect_window(end)
     }
 
@@ -515,7 +463,7 @@ impl Cluster {
             }
             Event::PopulationChange { population } => {
                 self.telemetry.population_change_events += 1;
-                self.set_population(population);
+                self.backend_set_population(population);
             }
             Event::ReplicaReady { service, replica } => {
                 self.telemetry.replica_ready_events += 1;
@@ -527,21 +475,27 @@ impl Cluster {
             }
             Event::ApplyScaling { batch } => {
                 self.telemetry.apply_scaling_events += 1;
-                let actions = std::mem::take(&mut self.pending_batches[batch]);
-                if self.now < self.actuation_fail_until {
+                let actions = std::mem::take(&mut self.fabric.pending_batches[batch]);
+                let non_empty = !actions.is_empty();
+                if self.engine.now < self.fabric.actuation_fail_until {
                     // The orchestration API is down: the batch is lost
                     // (not deferred) — controllers must notice via the
                     // report and re-issue.
-                    if !actions.is_empty() {
-                        self.failed_actuations += 1;
+                    if non_empty {
+                        self.fabric.failed_actuations += 1;
                         self.telemetry.dropped_batches += 1;
                     }
                 } else {
-                    self.scaling_issued_at = Some(self.batch_issued[batch]);
+                    self.fabric.scaling_issued_at = Some(self.fabric.batch_issued[batch]);
                     for a in actions {
                         self.apply_action(a);
                     }
-                    self.scaling_issued_at = None;
+                    self.fabric.scaling_issued_at = None;
+                    if non_empty {
+                        // A capacity change invalidates the fluid steady
+                        // state while queues re-equilibrate.
+                        self.note_transient();
+                    }
                 }
             }
             Event::LatencyDone { inv } => {
@@ -551,873 +505,209 @@ impl Cluster {
             Event::Fault { idx } => {
                 self.telemetry.fault_events += 1;
                 self.apply_fault(idx);
+                self.note_transient();
             }
-        }
-    }
-
-    fn set_population(&mut self, population: usize) {
-        self.target_population = population;
-        let alive = self.users_alive.iter().filter(|&&a| a).count();
-        if population > alive {
-            for _ in 0..(population - alive) {
-                // Reuse a dead slot or create a new user.
-                let slot = self.users_alive.iter().position(|&a| !a);
-                let user = match slot {
-                    Some(u) => {
-                        self.users_alive[u] = true;
-                        u
-                    }
-                    None => {
-                        self.users_alive.push(true);
-                        self.users_alive.len() - 1
-                    }
-                };
-                let think = self.sample_think();
-                self.events
-                    .push(self.now + think, Event::UserReady { user });
-            }
-        } else if population < alive {
-            // Retire the highest-indexed alive users; they stop at their
-            // next cycle boundary (their pending events are ignored).
-            let mut to_remove = alive - population;
-            for u in (0..self.users_alive.len()).rev() {
-                if to_remove == 0 {
-                    break;
+            Event::FluidStep { generation } => {
+                self.telemetry.fluid_step_events += 1;
+                if generation != self.fluid_gen {
+                    return; // scheduled before a backend switch
                 }
-                if self.users_alive[u] {
-                    self.users_alive[u] = false;
-                    to_remove -= 1;
+                self.fluid_advance(self.engine.now);
+                if matches!(self.backend, Backend::Fluid(_)) {
+                    self.engine.push(
+                        self.engine.now + FluidPool::STEP,
+                        Event::FluidStep {
+                            generation: self.fluid_gen,
+                        },
+                    );
+                }
+            }
+            Event::BackendCheck => {
+                self.telemetry.backend_check_events += 1;
+                if self.options.backend == BackendMode::Hybrid
+                    && self.engine.now + 1e-9 >= self.transient_until
+                    && matches!(self.backend, Backend::PerUser(_))
+                    && self.workload.burstiness.is_none()
+                {
+                    self.switch_to_fluid();
                 }
             }
         }
-        self.users_tw.update(
-            self.now,
-            self.users_alive.iter().filter(|&&a| a).count() as f64,
-        );
     }
 
-    fn sample_think(&mut self) -> f64 {
-        let base = self.workload.think_time;
-        let mean = match &mut self.mmpp {
-            Some(m) => base / m.advance(self.now, &mut self.rng).max(1e-9),
-            None => base,
+    /// Routes a population change through the live backend.
+    fn backend_set_population(&mut self, population: usize) {
+        let mut ctx = PopCtx {
+            engine: &mut self.engine,
+            rng: &mut self.rng,
+            workload: &self.workload,
         };
-        self.rng.exponential(mean.max(1e-12))
-    }
-
-    /// Monitor sub-interval length (seconds) for peak-rate sampling.
-    const SUBINTERVAL: f64 = 30.0;
-
-    fn roll_subinterval(&mut self) {
-        while self.now >= self.subinterval_start + Self::SUBINTERVAL {
-            let rate = self.subinterval_arrivals as f64 / Self::SUBINTERVAL;
-            self.peak_subinterval_rate = self.peak_subinterval_rate.max(rate);
-            self.subinterval_arrivals = 0;
-            self.subinterval_start += Self::SUBINTERVAL;
-        }
-    }
-
-    fn user_ready(&mut self, user: usize) {
-        if !self.users_alive.get(user).copied().unwrap_or(false) {
-            return; // retired while thinking
-        }
-        self.roll_subinterval();
-        // Scrape-based counters miss events while the monitor is dark;
-        // the in-system gauge is load-balancer state and survives.
-        if self.monitor_observing() {
-            self.subinterval_arrivals += 1;
-        }
-        self.in_system += 1;
-        self.in_system_tw.update(self.now, self.in_system as f64);
-        self.peak_in_system = self.peak_in_system.max(self.in_system);
-        let feature = self.rng.categorical(self.workload.mix.fractions());
-        let f = &self.spec.features[feature];
-        let (si, ei) = (f.service.0, f.endpoint.0);
-        self.start_call(si, ei, None, Some((feature, user)));
-    }
-
-    fn expand_calls(&mut self, si: usize, ei: usize) -> Vec<(usize, usize)> {
-        let mut out = Vec::new();
-        let calls = self.spec.services[si].endpoints[ei].calls.clone();
-        for c in calls {
-            let whole = c.mean.floor() as usize;
-            let frac = c.mean - c.mean.floor();
-            let count = whole + usize::from(frac > 0.0 && self.rng.bernoulli(frac));
-            for _ in 0..count {
-                out.push((c.service.0, c.endpoint.0));
-            }
-        }
-        out
-    }
-
-    /// Picks a ready replica round-robin; falls back to any non-dead one.
-    fn pick_replica(&mut self, si: usize) -> usize {
-        let svc = &mut self.services[si];
-        let n = svc.replicas.len();
-        for k in 0..n {
-            let idx = (svc.next_replica + k) % n;
-            if matches!(svc.replicas[idx].state, ReplicaState::Ready) {
-                svc.next_replica = idx + 1;
-                return idx;
-            }
-        }
-        // No ready replica (all still starting): queue on the first
-        // non-dead one so requests are not lost.
-        for (idx, r) in svc.replicas.iter().enumerate() {
-            if !matches!(r.state, ReplicaState::Dead) {
-                return idx;
-            }
-        }
-        unreachable!("a service always keeps at least one live replica");
-    }
-
-    fn start_call(
-        &mut self,
-        si: usize,
-        ei: usize,
-        caller: Option<usize>,
-        root: Option<(usize, usize)>,
-    ) {
-        let replica = self.pick_replica(si);
-        let calls = self.expand_calls(si, ei);
-        // Queue seen at arrival for the demand-estimation probe: jobs
-        // executing on the service's processor (the MVA arrival theorem
-        // applies at the contended resource — the CPU — cf. Kraft et
-        // al. [26]).
-        let seen_queue = self.processors[self.services[si].server].active_jobs();
-        // Trace propagation: a root request arms a new capture when one
-        // is pending; child calls inherit their caller's traced status.
-        let parent_span = caller.and_then(|c| self.invocations[c].as_ref().and_then(|i| i.span));
-        let span = if let Some(parent) = parent_span {
-            self.trace_building.push(TraceSpan {
-                service: si,
-                endpoint: ei,
-                parent: Some(parent),
-                arrival: self.now,
-                start: self.now,
-                end: self.now,
-            });
-            Some(self.trace_building.len() - 1)
-        } else if let (Some(filter), Some((feature, _))) = (self.trace_armed, root) {
-            if filter.is_none_or(|f| f == feature) {
-                self.trace_armed = None;
-                self.trace_feature = feature;
-                self.trace_building.clear();
-                self.trace_building.push(TraceSpan {
-                    service: si,
-                    endpoint: ei,
-                    parent: None,
-                    arrival: self.now,
-                    start: self.now,
-                    end: self.now,
-                });
-                Some(0)
-            } else {
-                None
-            }
-        } else {
-            None
-        };
-        let inv = self.alloc_invocation(Invocation {
-            service: si,
-            endpoint: ei,
-            replica,
-            caller,
-            root,
-            state: InvState::Queued,
-            calls,
-            arrival: self.now,
-            seen_queue,
-            span,
-        });
-        let svc = &mut self.services[si];
-        let can_start = matches!(
-            svc.replicas[replica].state,
-            ReplicaState::Ready | ReplicaState::Draining
-        ) && svc.replicas[replica].busy_threads < svc.threads;
-        if can_start {
-            svc.replicas[replica].busy_threads += 1;
-            self.begin_service(inv);
-        } else {
-            svc.replicas[replica].queue.push_back(inv);
-        }
-    }
-
-    fn alloc_invocation(&mut self, inv: Invocation) -> usize {
-        match self.free_invs.pop() {
-            Some(slot) => {
-                self.invocations[slot] = Some(inv);
-                slot
-            }
-            None => {
-                self.invocations.push(Some(inv));
-                self.invocations.len() - 1
-            }
-        }
-    }
-
-    fn begin_service(&mut self, inv: usize) {
-        let (si, ei, replica) = {
-            let i = self.invocations[inv].as_ref().unwrap();
-            (i.service, i.endpoint, i.replica)
-        };
-        if let Some(span) = self.invocations[inv].as_ref().unwrap().span {
-            self.trace_building[span].start = self.now;
-        }
-        self.invocations[inv].as_mut().unwrap().state = InvState::Executing;
-        let ep = &self.spec.services[si].endpoints[ei];
-        let demand = if ep.demand == 0.0 {
-            0.0
-        } else if ep.demand_cv == 0.0 {
-            ep.demand
-        } else if (ep.demand_cv - 1.0).abs() < 1e-12 {
-            self.rng.exponential(ep.demand)
-        } else {
-            self.rng.lognormal(ep.demand, ep.demand_cv)
-        };
-        if demand == 0.0 {
-            self.demand_done(inv);
-            return;
-        }
-        let pi = self.services[si].server;
-        let group = self.services[si].replicas[replica].group;
-        let job = self.processors[pi].add_job(self.now, group, demand);
-        self.proc_jobs[pi].insert(job, inv);
-        self.reschedule_processor(pi);
-    }
-
-    fn reschedule_processor(&mut self, pi: usize) {
-        if let Some((t, _)) = self.processors[pi].next_completion(self.now) {
-            let generation = self.processors[pi].generation();
-            self.events.push(
-                t,
-                Event::ProcessorCheck {
-                    proc: pi,
-                    generation,
-                },
-            );
-        }
-    }
-
-    fn processor_check(&mut self, pi: usize, generation: u64) {
-        if self.processors[pi].generation() != generation {
-            return;
-        }
-        loop {
-            match self.processors[pi].next_completion(self.now) {
-                Some((t, job)) if t <= self.now + 1e-12 => {
-                    self.processors[pi].remove_job(self.now, job);
-                    let inv = self.proc_jobs[pi].remove(&job).expect("job maps to inv");
-                    self.demand_done(inv);
-                }
-                _ => break,
-            }
-        }
-        self.reschedule_processor(pi);
-    }
-
-    fn demand_done(&mut self, inv: usize) {
-        // Pure-latency (I/O) stage before the downstream calls.
-        let (si, ei) = {
-            let i = self.invocations[inv].as_ref().unwrap();
-            (i.service, i.endpoint)
-        };
-        let latency = self.spec.services[si].endpoints[ei].latency;
-        if latency > 0.0 {
-            let wait = self.rng.exponential(latency);
-            self.events
-                .push(self.now + wait, Event::LatencyDone { inv });
-            return;
-        }
-        self.proceed_to_calls(inv);
-    }
-
-    fn proceed_to_calls(&mut self, inv: usize) {
-        let has_calls = !self.invocations[inv].as_ref().unwrap().calls.is_empty();
-        if has_calls {
-            self.invocations[inv].as_mut().unwrap().state = InvState::Calling { idx: 0 };
-            let (si, ei) = self.invocations[inv].as_ref().unwrap().calls[0];
-            self.start_call(si, ei, Some(inv), None);
-        } else {
-            self.finish_invocation(inv);
-        }
-    }
-
-    fn child_done(&mut self, inv: usize) {
-        let (next, total) = {
-            let i = self.invocations[inv].as_ref().unwrap();
-            let idx = match i.state {
-                InvState::Calling { idx } => idx + 1,
-                _ => unreachable!("caller must be in Calling state"),
-            };
-            (idx, i.calls.len())
-        };
-        if next < total {
-            self.invocations[inv].as_mut().unwrap().state = InvState::Calling { idx: next };
-            let (si, ei) = self.invocations[inv].as_ref().unwrap().calls[next];
-            self.start_call(si, ei, Some(inv), None);
-        } else {
-            self.finish_invocation(inv);
-        }
-    }
-
-    fn finish_invocation(&mut self, inv: usize) {
-        let (si, _ei, replica, caller, root, arrival, seen_queue, ei, span) = {
-            let i = self.invocations[inv].as_ref().unwrap();
-            (
-                i.service,
-                i.endpoint,
-                i.replica,
-                i.caller,
-                i.root,
-                i.arrival,
-                i.seen_queue,
-                i.endpoint,
-                i.span,
-            )
-        };
-        if let Some(span) = span {
-            self.trace_building[span].end = self.now;
-            if span == 0 && self.completed_trace.is_none() {
-                self.completed_trace = Some(RequestTrace {
-                    feature: self.trace_feature,
-                    spans: std::mem::take(&mut self.trace_building),
-                });
-            }
-        }
-        if self.monitor_observing() {
-            self.endpoint_counts[si][ei] += 1;
-            if let Some((ps, pe)) = self.probe {
-                if ps == si && pe == ei {
-                    self.probe_samples
-                        .push((seen_queue as f64, self.now - arrival));
-                }
-            }
-        }
-        self.invocations[inv] = None;
-        self.free_invs.push(inv);
-
-        // Release the thread / admit next.
-        let svc = &mut self.services[si];
-        let rep = &mut svc.replicas[replica];
-        if let Some(next) = rep.queue.pop_front() {
-            self.begin_service(next);
-        } else {
-            rep.busy_threads -= 1;
-            // A drained replica with no work left dies.
-            if matches!(rep.state, ReplicaState::Draining) && rep.busy_threads == 0 {
-                self.kill_replica(si, replica);
-            }
-        }
-
-        match (caller, root) {
-            (Some(parent), _) => self.child_done(parent),
-            (None, Some((feature, user))) => self.complete_request(feature, user, arrival),
-            (None, None) => unreachable!("invocation must have a caller or be a root"),
-        }
-    }
-
-    fn complete_request(&mut self, feature: usize, user: usize, arrival: f64) {
-        self.in_system = self.in_system.saturating_sub(1);
-        self.in_system_tw.update(self.now, self.in_system as f64);
-        if self.monitor_observing() {
-            self.feature_counts[feature] += 1;
-            self.feature_resp_sum[feature] += self.now - arrival;
-        }
-        if self.users_alive.get(user).copied().unwrap_or(false) {
-            let think = self.sample_think();
-            self.events
-                .push(self.now + think, Event::UserReady { user });
-        } else {
-            self.users_tw.update(
-                self.now,
-                self.users_alive.iter().filter(|&&a| a).count() as f64,
-            );
-        }
+        self.backend.set_population(&mut ctx, population);
     }
 
     // ------------------------------------------------------------------
-    // scaling
+    // hybrid switching policy
     // ------------------------------------------------------------------
 
-    fn apply_action(&mut self, action: ScaleAction) {
-        let si = action.service.0;
-        if si >= self.services.len() {
-            return; // ignore unknown service ids from buggy controllers
+    /// Marks a transient (scale actuation, fault, population spike): in
+    /// hybrid mode the cluster runs per-user from now until the hold
+    /// expires, then a `BackendCheck` considers handing back to fluid.
+    fn note_transient(&mut self) {
+        if self.options.backend != BackendMode::Hybrid {
+            return;
         }
-        let share = action.share.max(0.01);
-        let target = action.replicas.max(1);
-        // Vertical: retune every live replica's cap (bounded by the
-        // service's CPU parallelism).
-        let pi = self.services[si].server;
-        self.services[si].share = share;
-        let cap = effective_cap(share, self.spec.services[si].parallelism);
-        let groups: Vec<GroupId> = self.services[si]
-            .replicas
-            .iter()
-            .filter(|r| !matches!(r.state, ReplicaState::Dead))
-            .map(|r| r.group)
-            .collect();
-        for g in groups {
-            self.processors[pi].set_group_cap(self.now, g, cap);
+        self.transient_until = self.engine.now + HYBRID_HOLD;
+        if matches!(self.backend, Backend::Fluid(_)) {
+            self.switch_to_per_user();
         }
-        self.reschedule_processor(pi);
-
-        // Horizontal.
-        let live: Vec<usize> = self.services[si]
-            .replicas
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| !matches!(r.state, ReplicaState::Dead))
-            .map(|(i, _)| i)
-            .collect();
-        if target > live.len() {
-            let startup = self.spec.services[si].startup_delay * self.startup_factor();
-            for _ in 0..(target - live.len()) {
-                self.spawn_replica(si, self.now + startup);
-            }
-        } else if target < live.len() {
-            // Drain the newest replicas first.
-            for &idx in live.iter().rev().take(live.len() - target) {
-                let rep = &mut self.services[si].replicas[idx];
-                match rep.state {
-                    ReplicaState::Starting { .. } => {
-                        // Never served: kill immediately.
-                        rep.state = ReplicaState::Dead;
-                        let g = rep.group;
-                        self.processors[pi].set_group_cap(self.now, g, 0.0);
-                    }
-                    ReplicaState::Ready => {
-                        if rep.busy_threads == 0 && rep.queue.is_empty() {
-                            rep.state = ReplicaState::Dead;
-                            let g = rep.group;
-                            self.processors[pi].set_group_cap(self.now, g, 0.0);
-                        } else {
-                            rep.state = ReplicaState::Draining;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
-        self.update_alloc(si);
+        self.engine.push(self.transient_until, Event::BackendCheck);
     }
 
-    fn kill_replica(&mut self, si: usize, replica: usize) {
-        let pi = self.services[si].server;
-        let g = self.services[si].replicas[replica].group;
-        self.services[si].replicas[replica].state = ReplicaState::Dead;
-        self.processors[pi].set_group_cap(self.now, g, 0.0);
-        self.update_alloc(si);
-    }
-
-    fn replica_ready(&mut self, si: usize, replica: usize) {
-        let rep = &mut self.services[si].replicas[replica];
-        if let ReplicaState::Starting { .. } = rep.state {
-            rep.state = ReplicaState::Ready;
-            // Containers start with the service's current share.
-            let share = self.services[si].share;
-            let cap = effective_cap(share, self.spec.services[si].parallelism);
-            let pi = self.services[si].server;
-            let g = self.services[si].replicas[replica].group;
-            self.processors[pi].set_group_cap(self.now, g, cap);
-            self.update_alloc(si);
-            // Serve what queued while the replica was starting — without
-            // this, requests routed to a sole starting replica (the
-            // fallback path after a crash or outage) would wedge.
-            loop {
-                let svc = &mut self.services[si];
-                if svc.replicas[replica].busy_threads >= svc.threads {
-                    break;
-                }
-                let Some(next) = svc.replicas[replica].queue.pop_front() else {
-                    break;
-                };
-                svc.replicas[replica].busy_threads += 1;
-                self.begin_service(next);
-            }
-        }
-    }
-
-    fn update_alloc(&mut self, si: usize) {
-        let svc = &self.services[si];
-        let live = svc
-            .replicas
+    /// Fluid → per-user handover: integrate the fluid state up to now,
+    /// then materialise discrete users at the profile's current
+    /// population. In-flight request chains are unaffected (there are
+    /// none from the fluid side; residual ones from an earlier per-user
+    /// phase keep draining).
+    fn switch_to_per_user(&mut self) {
+        let now = self.engine.now;
+        self.fluid_step_to(now);
+        let users_tw = match &self.backend {
+            Backend::Fluid(p) => p.users_tw,
+            Backend::PerUser(_) => return,
+        };
+        // Invalidate pending FluidStep events for the retired pool.
+        self.fluid_gen += 1;
+        let mut per = PerUserDes::new(None);
+        per.adopt(users_tw);
+        self.backend = Backend::PerUser(per);
+        self.telemetry.backend_switches += 1;
+        self.accum.window_switches += 1;
+        // The fluid model kept an analytic in-system estimate; discrete
+        // accounting restarts from the live root invocations (none right
+        // after a pure-fluid phase).
+        let live_roots = self
+            .fabric
+            .invocations
             .iter()
-            .filter(|r| matches!(r.state, ReplicaState::Ready | ReplicaState::Draining))
+            .flatten()
+            .filter(|i| i.root.is_some())
             .count();
-        let ready = svc
-            .replicas
-            .iter()
-            .filter(|r| matches!(r.state, ReplicaState::Ready))
-            .count();
-        let value = live as f64 * svc.share;
-        self.services[si].alloc.update(self.now, value);
-        self.services[si]
-            .up
-            .update(self.now, if ready > 0 { 1.0 } else { 0.0 });
-    }
-
-    // ------------------------------------------------------------------
-    // fault injection
-    // ------------------------------------------------------------------
-
-    /// Current start-up delay multiplier (raised during a slow-start
-    /// fault episode).
-    fn startup_factor(&self) -> f64 {
-        if self.now < self.slow_start_until {
-            self.slow_start_factor
-        } else {
-            1.0
+        self.accum.in_system = live_roots;
+        self.accum.in_system_tw.update(now, live_roots as f64);
+        self.accum.peak_in_system = self.accum.peak_in_system.max(live_roots);
+        let pop = self.workload.profile.population_at(now);
+        self.backend_set_population(pop);
+        // The per-user backend needs the rest of this window's discrete
+        // change points (the fluid one read the profile directly).
+        for (t, p) in self
+            .workload
+            .profile
+            .change_points(now, self.current_window_end)
+        {
+            self.engine
+                .push(t, Event::PopulationChange { population: p });
         }
     }
 
-    /// Whether the monitoring plane currently sees events (false while
-    /// inside a monitor-dropout interval).
-    fn monitor_observing(&self) -> bool {
-        !self
-            .dark_intervals
-            .iter()
-            .any(|&(s, e)| self.now >= s && self.now < e)
-    }
-
-    fn apply_fault(&mut self, idx: usize) {
-        let event = self.options.faults.events()[idx];
-        match event.kind {
-            FaultKind::ReplicaCrash { service } => self.crash_replica(service),
-            FaultKind::ServerOutage { server, duration } => self.server_outage(server, duration),
-            FaultKind::MonitorDropout { duration } => {
-                self.dark_intervals.push((self.now, self.now + duration));
-            }
-            FaultKind::ActuationFailure { duration } => {
-                self.actuation_fail_until = self.actuation_fail_until.max(self.now + duration);
-            }
-            FaultKind::SlowStart { factor, duration } => {
-                self.slow_start_factor = factor.max(1.0);
-                self.slow_start_until = self.slow_start_until.max(self.now + duration);
-            }
-            // Kinds added to the non-exhaustive enum later are ignored
-            // by this cluster version rather than crashing replays.
-            _ => {}
-        }
-    }
-
-    /// Adds a `Starting` replica to `si` that becomes ready at
-    /// `ready_at` (start-up is already factored in by the caller).
-    fn spawn_replica(&mut self, si: usize, ready_at: f64) {
-        if let Some(issued) = self.scaling_issued_at {
-            self.telemetry.scale_latencies.push(ready_at - issued);
-        }
-        let pi = self.services[si].server;
-        let cap = effective_cap(self.services[si].share, self.spec.services[si].parallelism);
-        let group = self.processors[pi].add_group(cap);
-        self.services[si].replicas.push(Replica {
-            group,
-            state: ReplicaState::Starting { ready_at },
-            busy_threads: 0,
-            queue: VecDeque::new(),
-        });
-        let replica = self.services[si].replicas.len() - 1;
-        self.events.push(
-            ready_at,
-            Event::ReplicaReady {
-                service: si,
-                replica,
+    /// Per-user → fluid handover: the discrete users evaporate into the
+    /// aggregate. Their pending `UserReady` events stay in the calendar
+    /// but die against `user_live` = false; in-flight request chains
+    /// drain normally and their completions are no-ops on the pool.
+    fn switch_to_fluid(&mut self) {
+        let now = self.engine.now;
+        let (users_tw, population) = match &self.backend {
+            Backend::PerUser(p) => (p.users_tw(), p.users_at_end()),
+            Backend::Fluid(_) => return,
+        };
+        self.fluid_gen += 1;
+        let mut pool = FluidPool::new(&self.spec, &self.workload, now);
+        pool.adopt(users_tw, population, now);
+        self.backend = Backend::Fluid(pool);
+        self.telemetry.backend_switches += 1;
+        self.accum.window_switches += 1;
+        // First step on the next aggregation-grid point strictly ahead.
+        let next = (now / FluidPool::STEP).floor() * FluidPool::STEP + FluidPool::STEP;
+        self.engine.push(
+            next,
+            Event::FluidStep {
+                generation: self.fluid_gen,
             },
         );
     }
 
-    /// Kills `replica` of `si` abruptly and returns the invocations that
-    /// were queued or executing on it; callers re-dispatch them once
-    /// replacements are arranged. Requests that already moved past the
-    /// replica's CPU stage (waiting on a downstream call or I/O) finish
-    /// normally — their state lives downstream, not in the dead
-    /// container.
-    fn fail_replica(&mut self, si: usize, replica: usize) -> Vec<usize> {
-        let pi = self.services[si].server;
-        let group = self.services[si].replicas[replica].group;
-        self.services[si].replicas[replica].state = ReplicaState::Dead;
-        self.processors[pi].set_group_cap(self.now, group, 0.0);
-        let mut displaced: Vec<usize> = self.services[si].replicas[replica]
-            .queue
-            .drain(..)
-            .collect();
-        // Jobs executing on the victim. Sorted for determinism: HashMap
-        // iteration order is arbitrary and would leak into replica
-        // selection for the re-dispatched work.
-        let mut executing: Vec<(JobId, usize)> = self.proc_jobs[pi]
-            .iter()
-            .filter(|&(_, &inv)| {
-                let i = self.invocations[inv]
-                    .as_ref()
-                    .expect("job maps to live inv");
-                i.service == si && i.replica == replica
-            })
-            .map(|(&job, &inv)| (job, inv))
-            .collect();
-        executing.sort_unstable_by_key(|&(job, _)| job);
-        self.services[si].replicas[replica].busy_threads = self.services[si].replicas[replica]
-            .busy_threads
-            .saturating_sub(executing.len());
-        for (job, inv) in executing {
-            self.processors[pi].remove_job(self.now, job);
-            self.proc_jobs[pi].remove(&job);
-            displaced.push(inv);
-        }
-        self.update_alloc(si);
-        displaced
-    }
-
-    /// Re-dispatches a displaced invocation onto a live replica (the
-    /// request is retried from the start of its CPU stage; demand is
-    /// re-sampled).
-    fn requeue_invocation(&mut self, inv: usize) {
-        let si = self.invocations[inv].as_ref().unwrap().service;
-        let replica = self.pick_replica(si);
-        {
-            let i = self.invocations[inv].as_mut().unwrap();
-            i.replica = replica;
-            i.state = InvState::Queued;
-        }
-        let svc = &mut self.services[si];
-        let can_start = matches!(
-            svc.replicas[replica].state,
-            ReplicaState::Ready | ReplicaState::Draining
-        ) && svc.replicas[replica].busy_threads < svc.threads;
-        if can_start {
-            svc.replicas[replica].busy_threads += 1;
-            self.begin_service(inv);
-        } else {
-            svc.replicas[replica].queue.push_back(inv);
-        }
-    }
-
-    /// One replica of `si` dies; the orchestrator restarts a replacement
-    /// after the (possibly slowed) start-up delay. Prefers a ready
-    /// victim — crashing a container that never served would be a no-op.
-    fn crash_replica(&mut self, si: usize) {
-        if si >= self.services.len() {
-            return;
-        }
-        let victim = {
-            let reps = &self.services[si].replicas;
-            reps.iter()
-                .position(|r| matches!(r.state, ReplicaState::Ready))
-                .or_else(|| {
-                    reps.iter()
-                        .position(|r| !matches!(r.state, ReplicaState::Dead))
-                })
+    /// Advances the fluid integration to `t1` and, in hybrid mode,
+    /// treats a relative population jump of [`SPIKE_THRESHOLD`] or more
+    /// across the step as a transient (switching to the per-user
+    /// backend). No-op on the per-user backend.
+    fn fluid_advance(&mut self, t1: f64) {
+        let prev_pop = match &self.backend {
+            Backend::Fluid(p) => p.population,
+            Backend::PerUser(_) => return,
         };
-        let Some(victim) = victim else { return };
-        let displaced = self.fail_replica(si, victim);
-        // Replacement first, then re-dispatch: the service always keeps
-        // at least one live replica for pick_replica to land on.
-        let startup = self.spec.services[si].startup_delay * self.startup_factor();
-        self.spawn_replica(si, self.now + startup);
-        for inv in displaced {
-            self.requeue_invocation(inv);
+        self.fluid_step_to(t1);
+        if self.options.backend == BackendMode::Hybrid {
+            if let Backend::Fluid(p) = &self.backend {
+                let jump = (p.population as f64 - prev_pop as f64).abs() / prev_pop.max(1) as f64;
+                if jump >= SPIKE_THRESHOLD {
+                    self.note_transient();
+                }
+            }
         }
-        let pi = self.services[si].server;
-        self.reschedule_processor(pi);
     }
 
-    /// Every replica on server `pi` dies; replacements can only begin
-    /// their start-up once the server is back after `duration` seconds.
-    /// Displaced work backlogs on the starting replacements and drains
-    /// when they come up.
-    fn server_outage(&mut self, pi: usize, duration: f64) {
-        if pi >= self.processors.len() {
+    /// Advances the fluid pool's integration to `t1` (no-op on the
+    /// per-user backend or for a zero-length step).
+    fn fluid_step_to(&mut self, t1: f64) {
+        let last = match &self.backend {
+            Backend::Fluid(p) => p.last_step,
+            Backend::PerUser(_) => return,
+        };
+        if t1 <= last {
             return;
         }
-        let back_at = self.now + duration;
-        let mut displaced_all: Vec<usize> = Vec::new();
-        for si in 0..self.services.len() {
-            if self.services[si].server != pi {
-                continue;
-            }
-            let live: Vec<usize> = self.services[si]
-                .replicas
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| !matches!(r.state, ReplicaState::Dead))
-                .map(|(i, _)| i)
-                .collect();
-            if live.is_empty() {
-                continue;
-            }
-            for &idx in &live {
-                displaced_all.extend(self.fail_replica(si, idx));
-            }
-            let startup = self.spec.services[si].startup_delay * self.startup_factor();
-            for _ in 0..live.len() {
-                self.spawn_replica(si, back_at + startup);
-            }
-        }
-        // Re-dispatch only after every service has its replacements, so
-        // cross-service calls never observe a replica-less service.
-        for inv in displaced_all {
-            self.requeue_invocation(inv);
-        }
-        self.reschedule_processor(pi);
-    }
-
-    // ------------------------------------------------------------------
-    // monitoring
-    // ------------------------------------------------------------------
-
-    /// Multiplicative noise factor for one monitored reading.
-    fn monitor_noise_factor(&mut self) -> f64 {
-        if self.options.monitor_noise <= 0.0 {
-            1.0
-        } else {
-            (1.0 + self.options.monitor_noise * self.rng.standard_normal()).max(0.0)
+        let inputs = self.fluid_inputs(last, t1);
+        if let Backend::Fluid(pool) = &mut self.backend {
+            pool.integrate(t1, &inputs, &self.workload.profile, &mut self.accum);
         }
     }
 
-    fn collect_window(&mut self, end: f64) -> WindowReport {
-        let span = end - self.window_start;
-        let nf = self.spec.features.len();
-        let ns = self.services.len();
-        let np = self.processors.len();
-
-        let mut feature_tps = vec![0.0; nf];
-        let mut feature_response = vec![0.0; nf];
-        for f in 0..nf {
-            if self.feature_counts[f] > 0 {
-                feature_tps[f] = self.feature_counts[f] as f64 / span;
-                feature_response[f] = self.feature_resp_sum[f] / self.feature_counts[f] as f64;
-            }
-        }
-        let total_tps = self.feature_counts.iter().sum::<u64>() as f64 / span;
-
-        let endpoint_tps: Vec<Vec<f64>> = self
-            .endpoint_counts
+    /// Reads the live capacity configuration off the fabric for one
+    /// fluid step over `[t0, t1]`.
+    fn fluid_inputs(&self, t0: f64, t1: f64) -> crate::backend::fluid::FluidInputs {
+        let stations = self
+            .fabric
+            .services
             .iter()
-            .map(|svc| svc.iter().map(|&c| c as f64 / span).collect())
+            .enumerate()
+            .map(|(si, s)| crate::backend::fluid::FluidStation {
+                service: si,
+                server: s.server,
+                servers: s.ready_count().max(1),
+                cap: effective_cap(s.share, self.spec.services[si].parallelism),
+                speed: self.spec.servers[s.server].speed,
+            })
             .collect();
-        for svc in self.endpoint_counts.iter_mut() {
-            for c in svc.iter_mut() {
-                *c = 0;
-            }
-        }
-        let mut service_utilization = vec![0.0; ns];
-        let mut service_busy_cores = vec![0.0; ns];
-        let mut service_alloc_cores = vec![0.0; ns];
-        let mut service_replicas = vec![0; ns];
-        let mut service_ready_replicas = vec![0; ns];
-        let mut service_shares = vec![0.0; ns];
-        let mut service_availability = vec![0.0; ns];
-        for si in 0..ns {
-            let pi = self.services[si].server;
-            // Read-only projection to `end`: advancing here would split
-            // the remaining-work arithmetic at the window boundary and
-            // make the run's dynamics depend on how it is windowed.
-            let busy_now: f64 = self.services[si]
-                .replicas
-                .iter()
-                .map(|r| self.processors[pi].group_busy_core_seconds_at(end, r.group))
-                .sum();
-            let busy = busy_now - self.services[si].busy_at_window;
-            self.services[si].busy_at_window = busy_now;
-            service_busy_cores[si] = (busy / span) * self.monitor_noise_factor();
-            service_alloc_cores[si] = self.services[si].alloc.average(end);
-            if service_alloc_cores[si] > 0.0 {
-                service_utilization[si] = service_busy_cores[si] / service_alloc_cores[si];
-            }
-            self.services[si].alloc.reset(end);
-            service_availability[si] = self.services[si].up.average(end).clamp(0.0, 1.0);
-            self.services[si].up.reset(end);
-            service_replicas[si] = self.services[si]
-                .replicas
-                .iter()
-                .filter(|r| !matches!(r.state, ReplicaState::Dead))
-                .count();
-            service_ready_replicas[si] = self.services[si]
-                .replicas
-                .iter()
-                .filter(|r| matches!(r.state, ReplicaState::Ready))
-                .count();
-            service_shares[si] = self.services[si].share;
-        }
-
-        let mut server_utilization = vec![0.0; np];
-        #[allow(clippy::needless_range_loop)] // parallel arrays + &mut self call
-        for pi in 0..np {
-            let busy_now = self.processors[pi].busy_core_seconds_at(end);
-            let busy = busy_now - self.server_busy_at_window[pi];
-            self.server_busy_at_window[pi] = busy_now;
-            server_utilization[pi] =
-                busy / (self.processors[pi].cores() * span) * self.monitor_noise_factor();
-        }
-
-        self.roll_subinterval();
-        // Include the (possibly partial) trailing sub-interval.
-        let elapsed = (end - self.subinterval_start).max(1e-9);
-        if elapsed >= 0.5 * Self::SUBINTERVAL {
-            self.peak_subinterval_rate = self
-                .peak_subinterval_rate
-                .max(self.subinterval_arrivals as f64 / elapsed);
-        }
-        let peak_arrival_rate = self.peak_subinterval_rate;
-        self.peak_subinterval_rate = 0.0;
-        let peak_in_system = self.peak_in_system as f64;
-        let avg_in_system = self.in_system_tw.average(end);
-        self.in_system_tw.update(end, self.in_system as f64);
-        self.in_system_tw.reset(end);
-        self.peak_in_system = self.in_system;
-
-        let avg_users = self.users_tw.average(end);
-        self.users_tw.update(end, self.users_tw.current());
-        self.users_tw.reset(end);
-
-        // Monitoring darkness overlapping this window; spent intervals
-        // are pruned so the scan stays O(active faults).
-        let window_start = self.window_start;
+        let span = (t1 - t0).max(1e-12);
         let dark: f64 = self
+            .fabric
             .dark_intervals
             .iter()
-            .map(|&(s, e)| (e.min(end) - s.max(window_start)).max(0.0))
+            .map(|&(s, e)| (e.min(t1) - s.max(t0)).max(0.0))
             .sum();
-        self.dark_intervals.retain(|&(_, e)| e > end);
-        let monitor_dropout_fraction = (dark / span).clamp(0.0, 1.0);
-
-        let report = WindowReport {
-            start: self.window_start,
-            end,
-            feature_counts: std::mem::replace(&mut self.feature_counts, vec![0; nf]),
-            feature_tps,
-            feature_response,
-            endpoint_tps,
-            service_utilization,
-            service_busy_cores,
-            service_alloc_cores,
-            service_replicas,
-            service_ready_replicas,
-            service_shares,
-            service_availability,
-            server_utilization,
-            total_tps,
-            avg_users,
-            users_at_end: self.users_alive.iter().filter(|&&a| a).count(),
-            peak_arrival_rate,
-            peak_in_system,
-            avg_in_system,
-            monitor_dropout_fraction,
-            failed_actuations: std::mem::take(&mut self.failed_actuations),
-            scale_latency: self.telemetry.scale_latency_stats(),
-        };
-        self.feature_resp_sum = vec![0.0; nf];
-        self.window_start = end;
-        report
+        crate::backend::fluid::FluidInputs {
+            stations,
+            observed_frac: (1.0 - dark / span).clamp(0.0, 1.0),
+        }
     }
 }
 
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
-            .field("now", &self.now)
-            .field("services", &self.services.len())
-            .field("users", &self.users_alive.iter().filter(|&&a| a).count())
+            .field("now", &self.engine.now)
+            .field("services", &self.fabric.services.len())
+            .field("users", &self.backend.users_at_end())
+            .field("backend", &self.backend.kind())
             .finish()
     }
 }
@@ -1425,6 +715,7 @@ impl std::fmt::Debug for Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use atom_faults::FaultKind;
     use atom_workload::{LoadProfile, RequestMix};
 
     fn one_service_spec(demand: f64, share: f64, threads: usize) -> AppSpec {
@@ -2065,5 +1356,84 @@ mod tests {
             share: 1.5,
         };
         assert_eq!(a.to_string(), "service 2 -> 3 x 1.50 cores");
+    }
+
+    // ------------------------------------------------------------------
+    // fluid / hybrid backends
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn fluid_backend_reports_fluid_kind_and_serves() {
+        let spec = one_service_spec(0.01, 1.0, 64);
+        let mut cluster = Cluster::new(
+            &spec,
+            constant_workload(100, 1.0),
+            ClusterOptions::new().with_backend(BackendMode::Fluid),
+        )
+        .unwrap();
+        let r = cluster.run_window(300.0);
+        assert_eq!(r.backend, BackendKind::Fluid);
+        assert_eq!(cluster.backend_kind(), BackendKind::Fluid);
+        assert!(r.total_tps > 0.0, "fluid backend must synthesise traffic");
+        assert_eq!(r.users_at_end, 100);
+        assert!(cluster.telemetry().fluid_step_events > 0);
+        // No discrete users ever cycled.
+        assert_eq!(cluster.telemetry().user_ready_events, 0);
+    }
+
+    #[test]
+    fn hybrid_switches_to_per_user_on_scaling_and_back() {
+        let spec = one_service_spec(0.01, 0.5, 64);
+        let mut cluster = Cluster::new(
+            &spec,
+            constant_workload(100, 1.0),
+            ClusterOptions::new().with_backend(BackendMode::Hybrid),
+        )
+        .unwrap();
+        let r = cluster.run_window(300.0);
+        assert_eq!(r.backend, BackendKind::Fluid, "steady state runs fluid");
+        assert_eq!(r.backend_switches, 0);
+        cluster.schedule_scaling(
+            vec![ScaleAction {
+                service: ServiceId(0),
+                replicas: 2,
+                share: 0.5,
+            }],
+            0.0,
+        );
+        let r = cluster.run_window(60.0);
+        assert_eq!(r.backend, BackendKind::PerUser, "transient runs per-user");
+        assert_eq!(r.backend_switches, 1);
+        // After the hold expires the policy hands back to fluid.
+        let r = cluster.run_window(300.0);
+        assert_eq!(r.backend, BackendKind::Fluid);
+        assert_eq!(r.backend_switches, 1);
+        assert_eq!(cluster.telemetry().backend_switches, 2);
+        assert!(cluster.telemetry().backend_check_events > 0);
+    }
+
+    #[test]
+    fn hybrid_stays_per_user_under_burstiness() {
+        use atom_workload::BurstinessSpec;
+        let spec = one_service_spec(0.001, 4.0, 64);
+        let workload = WorkloadSpec {
+            mix: RequestMix::uniform(1),
+            think_time: 1.0,
+            profile: LoadProfile::Constant(50),
+            burstiness: Some(BurstinessSpec {
+                index_of_dispersion: 2000.0,
+                burst_fraction: 0.1,
+                burst_multiplier: 8.0,
+            }),
+        };
+        let mut cluster = Cluster::new(
+            &spec,
+            workload,
+            ClusterOptions::new().with_backend(BackendMode::Hybrid),
+        )
+        .unwrap();
+        let r = cluster.run_window(300.0);
+        assert_eq!(r.backend, BackendKind::PerUser);
+        assert_eq!(cluster.telemetry().backend_switches, 0);
     }
 }

@@ -42,6 +42,17 @@ pub struct ClusterTelemetry {
     pub latency_done_events: u64,
     /// `Fault` events dispatched (injected fault-schedule entries).
     pub fault_events: u64,
+    /// `FluidStep` events dispatched (fluid-backend aggregation steps,
+    /// including steps invalidated by a backend switch).
+    #[serde(default)]
+    pub fluid_step_events: u64,
+    /// `BackendCheck` events dispatched (hybrid-policy re-evaluations).
+    #[serde(default)]
+    pub backend_check_events: u64,
+    /// Backend handovers (fluid ↔ per-user) performed by the hybrid
+    /// policy over the cluster's lifetime.
+    #[serde(default)]
+    pub backend_switches: u64,
     /// Scaling batches rejected by an actuation-failure fault.
     pub dropped_batches: u64,
     /// Scale-action latency samples: seconds from a controller *issuing*
@@ -61,6 +72,8 @@ impl ClusterTelemetry {
             + self.apply_scaling_events
             + self.latency_done_events
             + self.fault_events
+            + self.fluid_step_events
+            + self.backend_check_events
     }
 
     /// Mean issue-to-ready scale latency (`None` with no samples).

@@ -407,6 +407,8 @@ impl Atom {
             peak_arrival_rate: report.peak_arrival_rate,
             monitor_dropout: report.monitor_dropout_fraction,
             degraded,
+            backend: report.backend.to_string(),
+            backend_switches: report.backend_switches as u64,
         }
     }
 

@@ -70,6 +70,13 @@ pub struct TelemetrySnapshot {
     /// Whether the controller classified the window as degraded (the
     /// scrape-based counters were untrustworthy).
     pub degraded: bool,
+    /// Population backend the window ran on ("per-user" or "fluid";
+    /// empty in journals written before the hybrid backend existed).
+    #[serde(default)]
+    pub backend: String,
+    /// Backend handovers the hybrid policy performed within the window.
+    #[serde(default)]
+    pub backend_switches: u64,
 }
 
 /// The analyze-phase workload forecast a proactive decision planned
@@ -220,6 +227,8 @@ mod tests {
                 peak_arrival_rate: 80.25,
                 monitor_dropout: 0.0,
                 degraded: false,
+                backend: "per-user".into(),
+                backend_switches: 0,
             },
             demands: vec![ServiceDemand {
                 service: "front-end".into(),

@@ -6,6 +6,9 @@
 //! The engine is deliberately small and allocation-light:
 //!
 //! * [`calendar::EventQueue`] — a stable (FIFO-on-ties) event calendar;
+//! * [`wheel::TimerWheel`] — a hierarchical timer-wheel calendar with the
+//!   same (time, insertion) pop order but O(1) amortised operations, for
+//!   simulations carrying very large pending-event populations;
 //! * [`processor::PsProcessor`] — a processor-sharing CPU with per-group
 //!   rate caps (containers with CPU shares) and per-job single-core caps,
 //!   solved by water-filling; this is what makes "CPU share 0.2 = at most
@@ -32,8 +35,10 @@ pub mod calendar;
 pub mod processor;
 pub mod random;
 pub mod stats;
+pub mod wheel;
 
 pub use calendar::EventQueue;
 pub use processor::{GroupId, JobId, PsProcessor};
 pub use random::{Distribution, SimRng};
 pub use stats::{BatchMeans, RunningStats, TimeWeighted};
+pub use wheel::TimerWheel;

@@ -164,6 +164,12 @@ impl TimeWeighted {
         self.last_value
     }
 
+    /// Time of the most recent update (callers merging signals from two
+    /// clocks use this to keep updates monotone).
+    pub fn last_time(&self) -> f64 {
+        self.last_time
+    }
+
     /// Resets the window to begin at `now`, keeping the current value.
     pub fn reset(&mut self, now: f64) {
         self.start = now;

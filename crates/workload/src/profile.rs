@@ -250,6 +250,128 @@ impl LoadProfile {
         }
         out
     }
+
+    /// Time-averaged population over `[t0, t1]` — the aggregate-arrival
+    /// view of the profile used by the fluid population backend, which
+    /// needs "how many users were there on average this step" without
+    /// enumerating per-unit change points (a million-user ramp has a
+    /// million of those).
+    ///
+    /// Computed analytically on the *continuous envelope* of each
+    /// profile (the unrounded ramp/sinusoid), so it can differ from the
+    /// average of `population_at` by sub-user amounts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use atom_workload::LoadProfile;
+    /// let ramp = LoadProfile::Ramp { from: 0, to: 100, start: 0.0, duration: 100.0 };
+    /// assert!((ramp.average_population(0.0, 100.0) - 50.0).abs() < 1e-9);
+    /// let spike = LoadProfile::Spike { baseline: 10, spike: 110, start: 50.0, duration: 50.0 };
+    /// assert!((spike.average_population(0.0, 100.0) - 60.0).abs() < 1e-9);
+    /// ```
+    pub fn average_population(&self, t0: f64, t1: f64) -> f64 {
+        if t1 <= t0 {
+            return self.population_at(t0) as f64;
+        }
+        let span = t1 - t0;
+        match self {
+            LoadProfile::Constant(n) => *n as f64,
+            LoadProfile::Ramp {
+                from,
+                to,
+                start,
+                duration,
+            } => {
+                let f = *from as f64;
+                let t = *to as f64;
+                if *duration <= 0.0 {
+                    // A step at `start`.
+                    let after = (t1 - start.max(t0)).clamp(0.0, span);
+                    (f * (span - after) + t * after) / span
+                } else {
+                    // Piecewise linear: trapezoid on each linear piece.
+                    let env = |x: f64| {
+                        if x <= *start {
+                            f
+                        } else if x >= start + duration {
+                            t
+                        } else {
+                            f + (x - start) / duration * (t - f)
+                        }
+                    };
+                    let mut pts = [
+                        t0,
+                        start.clamp(t0, t1),
+                        (start + duration).clamp(t0, t1),
+                        t1,
+                    ];
+                    pts.sort_by(f64::total_cmp);
+                    let mut area = 0.0;
+                    for w in pts.windows(2) {
+                        area += (env(w[0]) + env(w[1])) / 2.0 * (w[1] - w[0]);
+                    }
+                    area / span
+                }
+            }
+            LoadProfile::Steps(steps) => {
+                if steps.is_empty() {
+                    return 0.0;
+                }
+                let mut area = 0.0;
+                let mut t = t0;
+                let mut current = self.population_at(t0) as f64;
+                for &(time, pop) in steps {
+                    if time <= t0 {
+                        continue;
+                    }
+                    if time >= t1 {
+                        break;
+                    }
+                    area += current * (time - t);
+                    t = time;
+                    current = pop as f64;
+                }
+                area += current * (t1 - t);
+                area / span
+            }
+            LoadProfile::Diurnal { low, high, period } => {
+                if *period <= 0.0 {
+                    return *low as f64;
+                }
+                let mid = (*low as f64 + *high as f64) / 2.0;
+                let amp = (*high as f64 - *low as f64) / 2.0;
+                let w = std::f64::consts::TAU / period;
+                // ∫ mid − amp·cos(wt) dt over [t0, t1].
+                mid - amp * ((w * t1).sin() - (w * t0).sin()) / (w * span)
+            }
+            LoadProfile::Sinusoidal {
+                mean,
+                amplitude,
+                period,
+            } => {
+                if *period <= 0.0 {
+                    return *mean as f64;
+                }
+                let w = std::f64::consts::TAU / period;
+                // ∫ mean + amp·sin(wt) dt over [t0, t1]; the (rare)
+                // below-zero clamp of `population_at` is ignored here.
+                let avg = *mean as f64
+                    + *amplitude as f64 * ((w * t0).cos() - (w * t1).cos()) / (w * span);
+                avg.max(0.0)
+            }
+            LoadProfile::Spike {
+                baseline,
+                spike,
+                start,
+                duration,
+            } => {
+                let overlap =
+                    ((start + duration.max(0.0)).min(t1) - start.max(t0)).clamp(0.0, span);
+                (*spike as f64 * overlap + *baseline as f64 * (span - overlap)) / span
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -456,5 +578,71 @@ mod tests {
         assert_eq!(p.population_at(4.9), 1);
         assert_eq!(p.population_at(5.1), 9);
         assert_eq!(p.change_points(0.0, 10.0), vec![(5.0, 9)]);
+    }
+
+    /// The analytic average must agree with a fine Riemann sum of
+    /// `population_at` (up to the rounding of the integer envelope).
+    #[test]
+    fn average_population_matches_numeric_integral() {
+        let profiles = [
+            LoadProfile::Constant(250),
+            LoadProfile::Ramp {
+                from: 50,
+                to: 950,
+                start: 100.0,
+                duration: 400.0,
+            },
+            LoadProfile::Ramp {
+                from: 900,
+                to: 100,
+                start: 0.0,
+                duration: 0.0,
+            },
+            LoadProfile::Steps(vec![(0.0, 100), (200.0, 700), (500.0, 50)]),
+            LoadProfile::Diurnal {
+                low: 100,
+                high: 900,
+                period: 600.0,
+            },
+            LoadProfile::Sinusoidal {
+                mean: 500,
+                amplitude: 450,
+                period: 450.0,
+            },
+            LoadProfile::Spike {
+                baseline: 100,
+                spike: 1000,
+                start: 250.0,
+                duration: 125.0,
+            },
+        ];
+        for p in profiles {
+            for (t0, t1) in [(0.0, 600.0), (37.0, 222.0), (480.0, 510.0)] {
+                let steps = 20_000;
+                let dt = (t1 - t0) / steps as f64;
+                let numeric: f64 = (0..steps)
+                    .map(|k| p.population_at(t0 + (k as f64 + 0.5) * dt) as f64 * dt)
+                    .sum::<f64>()
+                    / (t1 - t0);
+                let analytic = p.average_population(t0, t1);
+                assert!(
+                    (analytic - numeric).abs() < 1.0,
+                    "{p:?} on [{t0}, {t1}]: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn average_population_degenerate_interval_reads_the_instant() {
+        let p = LoadProfile::Constant(7);
+        assert_eq!(p.average_population(5.0, 5.0), 7.0);
+        let ramp = LoadProfile::Ramp {
+            from: 0,
+            to: 100,
+            start: 0.0,
+            duration: 100.0,
+        };
+        assert_eq!(ramp.average_population(50.0, 50.0), 50.0);
     }
 }
