@@ -6,13 +6,13 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use atom_cluster::{Cluster, ClusterOptions};
 use atom_core::optimizer::search;
+use atom_core::workload::WorkloadSpec;
 use atom_ga::{Budget, GaOptions};
 use atom_lqn::analytic::{solve, SolverOptions};
 use atom_lqn::sim::{simulate, SimOptions};
 use atom_mva::closed::solve_exact;
 use atom_mva::{ClassSpec, ClosedNetwork, Station};
 use atom_sockshop::{scenarios, SockShop};
-use atom_workload::WorkloadSpec;
 
 fn bench_exact_mva(c: &mut Criterion) {
     let net = ClosedNetwork::new(

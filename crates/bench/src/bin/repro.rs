@@ -4,10 +4,11 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--out DIR] [--trace-out FILE]
-//!       [--metrics-out FILE] [--quiet] [--verbose] <command> [command...]
+//!       [--metrics-out FILE] [--trace-file FILE] [--format alibaba|google]
+//!       [--quiet] [--verbose] <command> [command...]
 //! commands: fig2 fig4 table3 fig5 table4 fig7 fig8 fig9 fig10 fig11
 //!           fig12 fig13 setup validation evaluation ablation chaos
-//!           forecast all
+//!           forecast trace all
 //! ```
 //!
 //! `repro --smoke` runs a short ATOM + UH pair, exports the decision
@@ -18,9 +19,11 @@
 
 use atom_bench::eval::{run_one, ScalerKind};
 use atom_bench::figures::{
-    ablation, chaos, fig11, fig12, fig13, fig2, fig4, fig7, fig8910, forecast, scale, validation,
+    ablation, chaos, fig11, fig12, fig13, fig2, fig4, fig7, fig8910, forecast, scale, trace_replay,
+    validation,
 };
 use atom_bench::{eval, trace, HarnessOptions};
+use atom_core::workload::TraceFormat;
 use atom_obs::{Journal, Record};
 use atom_sockshop::{scenarios, SockShop};
 
@@ -126,6 +129,8 @@ fn main() {
     let mut commands: Vec<String> = Vec::new();
     let mut run_smoke = false;
     let mut users: usize = 1_000_000;
+    let mut trace_file: Option<std::path::PathBuf> = None;
+    let mut trace_format: Option<TraceFormat> = None;
     let (mut quiet, mut verbose) = (false, false);
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -156,6 +161,16 @@ fn main() {
             "--trace-out" => {
                 opts.trace_out = Some(args.next().expect("--trace-out needs a file path").into());
             }
+            "--trace-file" => {
+                trace_file = Some(args.next().expect("--trace-file needs a file path").into());
+            }
+            "--format" => {
+                trace_format = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--format needs `alibaba` or `google`"),
+                );
+            }
             "--metrics-out" => {
                 opts.metrics_out =
                     Some(args.next().expect("--metrics-out needs a file path").into());
@@ -163,10 +178,14 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--smoke] [--seed N] [--users N] [--out DIR] \
-                     [--trace-out FILE] [--metrics-out FILE] [--quiet] [--verbose] <command>...\n\
+                     [--trace-out FILE] [--metrics-out FILE] [--trace-file FILE] \
+                     [--format alibaba|google] [--quiet] [--verbose] <command>...\n\
                      commands: setup fig2 fig4 table3 fig5 table4 validation fig7 \
                      fig8 fig9 fig10 evaluation fig11 fig12 fig13 ablation chaos forecast \
-                     scale all\n\
+                     trace scale all\n\
+                     trace: replay a production arrival trace (--trace-file, --format; \
+                     defaults to the bundled fixtures); `trace --smoke` enforces the \
+                     journal-schema, wedging, and proactive<=reactive gates\n\
                      scale: backend scaling trajectory up to --users (default 1000000); \
                      `scale --smoke` enforces the wall-clock and speedup gates"
                 );
@@ -177,11 +196,13 @@ fn main() {
     }
     atom_obs::log::configure(quiet, verbose);
     if run_smoke {
-        // `scale --smoke` is its own gate (wall-clock + speedup); the
+        // `scale --smoke` and `trace --smoke` are their own gates; the
         // bare `--smoke` remains the journal-schema gate.
         if commands.iter().any(|c| c == "scale") {
             std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
             scale::run(&opts, users, true);
+        } else if commands.iter().any(|c| c == "trace") {
+            trace_replay::smoke(&opts);
         } else {
             smoke(&opts);
         }
@@ -190,7 +211,7 @@ fn main() {
     if commands.is_empty() {
         commands.push("all".into());
     }
-    const KNOWN: [&str; 20] = [
+    const KNOWN: [&str; 21] = [
         "setup",
         "fig2",
         "fig4",
@@ -209,6 +230,7 @@ fn main() {
         "ablation",
         "chaos",
         "forecast",
+        "trace",
         "scale",
         "all",
     ];
@@ -284,6 +306,10 @@ fn main() {
     }
     if wants("forecast") {
         let results = forecast::run(&opts);
+        trace::emit(&opts, &results);
+    }
+    if wants("trace") {
+        let results = trace_replay::run(&opts, trace_file.as_deref(), trace_format);
         trace::emit(&opts, &results);
     }
     // `scale` is a performance trajectory, not a paper artefact: it runs

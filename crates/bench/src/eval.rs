@@ -3,13 +3,13 @@
 
 use atom_cluster::ClusterOptions;
 use atom_core::baselines::RuleConfig;
+use atom_core::workload::WorkloadSpec;
 use atom_core::{
     run_experiment, Atom, AtomConfig, Autoscaler, ExperimentConfig, ExperimentResult,
     ForecastConfig, PlannerMode, UhScaler, UvScaler,
 };
 use atom_ga::Budget;
 use atom_sockshop::{scenarios, SockShop};
-use atom_workload::WorkloadSpec;
 
 use crate::HarnessOptions;
 

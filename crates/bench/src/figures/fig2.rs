@@ -8,8 +8,8 @@
 //! TPS is recorded in one-minute windows for 30 minutes.
 
 use atom_cluster::{Cluster, ClusterOptions, ScaleAction, ServiceId};
+use atom_core::workload::WorkloadSpec;
 use atom_sockshop::{scenarios, SockShop, SVC_FRONT_END};
-use atom_workload::WorkloadSpec;
 
 use crate::output::{f, Table};
 use crate::HarnessOptions;

@@ -4,9 +4,9 @@
 //! leaf endpoint, so both methods estimate the same quantity).
 
 use atom_cluster::{Cluster, ClusterOptions, EndpointId};
+use atom_core::workload::{RequestMix, WorkloadSpec};
 use atom_estimation::{ResponseTimeEstimator, UtilizationLawEstimator};
 use atom_sockshop::SockShop;
-use atom_workload::{RequestMix, WorkloadSpec};
 
 use crate::output::{f, pct_err, Table};
 use crate::HarnessOptions;

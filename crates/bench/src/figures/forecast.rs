@@ -19,9 +19,9 @@
 //! gates CI on the ramp: proactive must meet or beat reactive on
 //! SLO-violation-seconds, and both must finish without wedging.
 
+use atom_core::workload::{LoadProfile, WorkloadSpec};
 use atom_core::ExperimentResult;
 use atom_sockshop::{scenarios, SockShop};
-use atom_workload::{LoadProfile, WorkloadSpec};
 
 use crate::eval::{run_one, ScalerKind, STATELESS};
 use crate::output::{f, Table};
@@ -49,14 +49,13 @@ pub fn scenarios_for(windows: usize, window_secs: f64) -> Vec<ForecastScenario> 
     // complete warm-up season and still has one to predict.
     let period = horizon / 2.0;
     let season_windows = (windows / 2).max(2);
-    let diurnal = WorkloadSpec {
-        profile: LoadProfile::Sinusoidal {
+    let diurnal = scenarios::evaluation_workload(scenarios::ordering_mix(), 2000).with_source(
+        LoadProfile::Sinusoidal {
             mean: 1200,
             amplitude: 800,
             period,
         },
-        ..scenarios::evaluation_workload(scenarios::ordering_mix(), 2000)
-    };
+    );
     vec![
         ForecastScenario {
             name: "ramp",

@@ -11,4 +11,5 @@ pub mod fig7;
 pub mod fig8910;
 pub mod forecast;
 pub mod scale;
+pub mod trace_replay;
 pub mod validation;

@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use atom_cluster::spec::AppSpec;
 use atom_cluster::{BackendMode, Cluster, ClusterOptions, ScaleAction, ServiceId};
-use atom_workload::{RequestMix, WorkloadSpec};
+use atom_core::workload::{RequestMix, WorkloadSpec};
 
 use crate::output::{f, Table};
 use crate::HarnessOptions;

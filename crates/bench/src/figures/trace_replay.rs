@@ -1,0 +1,332 @@
+//! Trace replay (beyond the paper): production cluster traces driving
+//! the Sock Shop.
+//!
+//! A replayed trace answers the question the synthetic profiles cannot:
+//! does the controller hold up under arrival dynamics nobody scripted?
+//! The streaming readers in `atom_core::workload::trace` bin the
+//! arrival records of an Alibaba `batch_task` or Google `task_events`
+//! CSV, map the per-bin weight onto a §V-style population ramp
+//! (`floor` = the 500 users the deployment is sized for, busiest bin =
+//! `target_peak`), and derive the request mix from the per-record
+//! class column. The resulting [`TraceSource`] is a first-class
+//! [`PopulationSource`]: the experiment wiring below is exactly the
+//! forecast experiment's, with the hand-written profiles swapped out.
+//!
+//! Reported per trace × scaler: SLO-violation-seconds and
+//! under-provisioned area over the stateless trio, time-to-stable, mean
+//! TPS, and the forecast ensemble's accounting (`trace.csv`); plus the
+//! proactive controller's window-by-window model selection and rolling
+//! sMAPE (`trace_windows.csv`) and the trace's own per-bin request-mix
+//! shifts (`trace_mix.csv`). `trace --smoke` gates CI: the journal must
+//! re-parse, neither controller may wedge, and proactive ATOM must meet
+//! or beat reactive ATOM on SLO-violation-seconds on the bundled
+//! Alibaba fixture.
+//!
+//! [`TraceSource`]: atom_core::workload::TraceSource
+//! [`PopulationSource`]: atom_core::workload::PopulationSource
+
+use std::path::{Path, PathBuf};
+
+use atom_core::workload::{
+    read_trace_file, RequestMix, TraceFormat, TraceOptions, TraceReplay, WorkloadSpec,
+};
+use atom_core::ExperimentResult;
+use atom_obs::{Journal, Record};
+use atom_sockshop::{scenarios, SockShop};
+
+use crate::eval::{run_one, ScalerKind};
+use crate::figures::{chaos, forecast};
+use crate::output::{f, Table};
+use crate::{trace, HarnessOptions};
+
+/// Bin width for trace aggregation (seconds). 30 s keeps ten bins per
+/// monitoring window in quick mode — enough resolution for the hybrid
+/// backend's spike hints without drowning the step list.
+const BIN_SECS: f64 = 30.0;
+
+/// Population the busiest trace bin maps to (the §V mid-range target).
+const TARGET_PEAK: usize = 2000;
+
+/// Mix floor: every request class keeps at least 5% so a trace that is
+/// all batch work still exercises carts and catalogue.
+const MIX_FLOOR: f64 = 0.05;
+
+/// The committed sample fixture for a format, resolved relative to the
+/// working directory when present (the CI case) and to the workspace
+/// root otherwise.
+pub fn fixture_path(format: TraceFormat) -> PathBuf {
+    let name = match format {
+        TraceFormat::Alibaba => "alibaba_sample.csv",
+        TraceFormat::Google => "google_sample.csv",
+    };
+    let relative = Path::new("assets/traces").join(name);
+    if relative.exists() {
+        relative
+    } else {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../assets/traces")
+            .join(name)
+    }
+}
+
+/// Reads `path`, rescaling the trace span onto a `windows ×
+/// window_secs` run with the experiment's standard mapping options.
+pub fn load(path: &Path, format: TraceFormat, windows: usize, window_secs: f64) -> TraceReplay {
+    let opts = TraceOptions::new()
+        .with_bin_secs(BIN_SECS)
+        .with_floor_users(scenarios::INITIAL_USERS)
+        .with_target_peak(TARGET_PEAK)
+        .with_duration(windows as f64 * window_secs)
+        .with_mix_floor(MIX_FLOOR);
+    let replay = read_trace_file(path, format, &opts).unwrap_or_else(|e| {
+        atom_obs::error!("error: reading trace {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let s = &replay.stats;
+    atom_obs::info!(
+        "  trace {}: {} records over {} bins ({} lines skipped), span {:.0} s, \
+         peak weight {:.0} -> {} users, mix {:.2}/{:.2}/{:.2}",
+        replay.source.name(),
+        s.records,
+        s.bins,
+        s.skipped,
+        s.span_secs,
+        s.peak_weight,
+        TARGET_PEAK,
+        replay.mix[0],
+        replay.mix[1],
+        replay.mix[2],
+    );
+    replay
+}
+
+/// The workload a replay drives: trace mix, paper think time, and the
+/// trace itself as the population source.
+pub fn workload_of(replay: &TraceReplay) -> WorkloadSpec {
+    WorkloadSpec::new(
+        RequestMix::new(replay.mix.clone()).expect("trace mix is normalised"),
+        scenarios::THINK_TIME,
+        replay.source.clone(),
+    )
+}
+
+/// Runs one replay under reactive and proactive ATOM (quick mode), plus
+/// the UH/UV baselines on the full protocol.
+pub fn run_replay(
+    opts: &HarnessOptions,
+    replay: &TraceReplay,
+    windows: usize,
+    window_secs: f64,
+) -> Vec<ExperimentResult> {
+    let shop = SockShop::default();
+    let kinds: Vec<ScalerKind> = if opts.quick {
+        vec![ScalerKind::Atom, ScalerKind::AtomP { season_windows: 0 }]
+    } else {
+        vec![
+            ScalerKind::Uh,
+            ScalerKind::Uv,
+            ScalerKind::Atom,
+            ScalerKind::AtomP { season_windows: 0 },
+        ]
+    };
+    kinds
+        .into_iter()
+        .map(|kind| {
+            atom_obs::progress!("  running trace {} {}", replay.source.name(), kind.name());
+            run_one(&shop, workload_of(replay), kind, windows, window_secs, opts)
+        })
+        .collect()
+}
+
+/// The full artefact: every bundled fixture (or the one file the user
+/// pointed at) under each scaler, as a table plus `trace.csv`,
+/// `trace_windows.csv`, and `trace_mix.csv`. Returns the results so
+/// callers can export the decision journal.
+pub fn run(
+    opts: &HarnessOptions,
+    file: Option<&Path>,
+    format: Option<TraceFormat>,
+) -> Vec<ExperimentResult> {
+    atom_obs::info!("\n== Trace replay: production arrival traces vs the autoscalers ==");
+    let (windows, window_secs) = if opts.quick {
+        (6usize, 120.0)
+    } else {
+        (opts.windows(), opts.window_secs())
+    };
+    let replays: Vec<TraceReplay> = match file {
+        Some(path) => {
+            let format = format.unwrap_or(TraceFormat::Alibaba);
+            vec![load(path, format, windows, window_secs)]
+        }
+        None => [TraceFormat::Alibaba, TraceFormat::Google]
+            .into_iter()
+            .map(|fmt| load(&fixture_path(fmt), fmt, windows, window_secs))
+            .collect(),
+    };
+
+    let mut table = Table::new(&[
+        "trace",
+        "scaler",
+        "SLO viol [s]",
+        "A_u [core-s]",
+        "stable at [s]",
+        "mean TPS",
+        "forecasts",
+        "fallbacks",
+        "clamped",
+        "#actions",
+    ]);
+    let mut windows_table = Table::new(&[
+        "trace", "scaler", "window", "t [s]", "observed", "planned", "model", "sMAPE", "fallback",
+        "clamped",
+    ]);
+    let mut mix_table = Table::new(&["trace", "t [s]", "browsing", "catalogue", "carts"]);
+    let mut all = Vec::new();
+    for replay in &replays {
+        for (t, mix) in &replay.mix_shifts {
+            mix_table.row(vec![
+                replay.source.name().to_string(),
+                f(*t, 0),
+                f(mix[0], 3),
+                f(mix[1], 3),
+                f(mix[2], 3),
+            ]);
+        }
+        for r in run_replay(opts, replay, windows, window_secs) {
+            let tally = forecast::forecast_tally(&r);
+            table.row(vec![
+                replay.source.name().to_string(),
+                r.scaler.clone(),
+                f(forecast::slo_violation_seconds(&r), 0),
+                f(r.underprovision_area(Some(&crate::eval::STATELESS)), 0),
+                f(forecast::time_to_stable(&r), 0),
+                f(r.mean_tps(0, windows), 1),
+                tally.windows.to_string(),
+                tally.fallbacks.to_string(),
+                tally.clamped.to_string(),
+                r.actions.len().to_string(),
+            ]);
+            for (w, d) in r.telemetry.decisions.iter().flatten().enumerate() {
+                if let Some(fc) = &d.forecast {
+                    windows_table.row(vec![
+                        replay.source.name().to_string(),
+                        r.scaler.clone(),
+                        w.to_string(),
+                        f(d.time, 0),
+                        f(fc.observed, 0),
+                        f(fc.planned, 0),
+                        fc.model.clone(),
+                        fc.rolling_smape
+                            .map_or("n/a".to_string(), |e| format!("{e:.3}")),
+                        fc.fallback.to_string(),
+                        fc.clamped.to_string(),
+                    ]);
+                }
+            }
+            all.push(r);
+        }
+    }
+    table.print();
+    table.write_csv(&opts.out_dir.join("trace.csv"));
+    windows_table.write_csv(&opts.out_dir.join("trace_windows.csv"));
+    mix_table.write_csv(&opts.out_dir.join("trace_mix.csv"));
+    all
+}
+
+/// The `trace --smoke` CI gate, on the bundled Alibaba fixture: the
+/// decision journal must re-parse through the `atom-obs` schema,
+/// neither controller may wedge, proactive ATOM must journal forecast
+/// records, and it must meet or beat reactive ATOM on
+/// SLO-violation-seconds. Exits non-zero on failure.
+pub fn smoke(opts: &HarnessOptions) {
+    let (windows, window_secs) = (6usize, 120.0);
+    let path = fixture_path(TraceFormat::Alibaba);
+    let replay = load(&path, TraceFormat::Alibaba, windows, window_secs);
+    let results = run_replay(opts, &replay, windows, window_secs);
+    trace::emit(opts, &results);
+
+    let mut failures = Vec::new();
+    let jsonl = match &opts.trace_out {
+        Some(path) => std::fs::read_to_string(path).expect("read back the emitted journal"),
+        None => trace::journal_of(&results).to_jsonl(),
+    };
+    match Journal::parse_jsonl(&jsonl) {
+        Ok(events) => {
+            let decisions = events
+                .iter()
+                .filter(|e| matches!(e.record, Record::Decision(_)))
+                .count();
+            if decisions != results.len() * windows {
+                failures.push(format!(
+                    "expected {} decision records, found {decisions}",
+                    results.len() * windows
+                ));
+            }
+        }
+        Err(e) => failures.push(format!("emitted journal does not re-parse: {e}")),
+    }
+
+    let reactive = results
+        .iter()
+        .find(|r| r.scaler == "ATOM")
+        .expect("ATOM ran");
+    let proactive = results
+        .iter()
+        .find(|r| r.scaler == "ATOM-P")
+        .expect("ATOM-P ran");
+    let (t_reactive, t_proactive) = (
+        forecast::slo_violation_seconds(reactive),
+        forecast::slo_violation_seconds(proactive),
+    );
+    if t_proactive > t_reactive {
+        failures.push(format!(
+            "proactive ATOM violated the SLO longer than reactive on the trace \
+             ({t_proactive:.0} s > {t_reactive:.0} s)"
+        ));
+    }
+    for r in &results {
+        if r.reports.len() != windows {
+            failures.push(format!(
+                "{}: run ended after {}/{} windows",
+                r.scaler,
+                r.reports.len(),
+                windows
+            ));
+        }
+        let idle = chaos::longest_idle_underprovisioned(r);
+        if idle > chaos::MAX_IDLE_UNDERPROVISIONED {
+            failures.push(format!(
+                "{} wedged: {idle} consecutive under-provisioned windows without an action \
+                 (allowed {})",
+                r.scaler,
+                chaos::MAX_IDLE_UNDERPROVISIONED
+            ));
+        }
+        atom_obs::progress!(
+            "smoke: {} SLO-violation={:.0}s stable-at={:.0}s actions={}",
+            r.scaler,
+            forecast::slo_violation_seconds(r),
+            forecast::time_to_stable(r),
+            r.actions.len()
+        );
+    }
+    let tally = forecast::forecast_tally(proactive);
+    if tally.windows == 0 {
+        failures.push("proactive ATOM journaled no forecast records".to_string());
+    }
+
+    if failures.is_empty() {
+        atom_obs::info!(
+            "smoke OK: trace {} replayed; proactive {t_proactive:.0} s <= reactive \
+             {t_reactive:.0} s SLO-violation ({} forecast windows, {} fallbacks)",
+            replay.source.name(),
+            tally.windows,
+            tally.fallbacks
+        );
+    } else {
+        for msg in &failures {
+            atom_obs::error!("smoke FAILED: {msg}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -3,10 +3,10 @@
 //! detail at workload 1, N = 3000).
 
 use atom_cluster::{Cluster, ClusterOptions, WindowReport};
+use atom_core::workload::{RequestMix, WorkloadSpec};
 use atom_lqn::analytic::{solve, SolverOptions};
 use atom_lqn::{LqnModel, LqnSolution};
 use atom_sockshop::{scenarios, SockShop};
-use atom_workload::{RequestMix, WorkloadSpec};
 
 use crate::output::{f, pct_err, Table};
 use crate::HarnessOptions;

@@ -20,6 +20,7 @@
 //! | `fig12`   | monitoring-window sweep (2/5/10 min) |
 //! | `fig13`   | bursty workload (I = 4000) |
 //! | `forecast`| beyond the paper: reactive vs proactive (forecast-driven) ATOM |
+//! | `trace`   | beyond the paper: Alibaba/Google production-trace replay |
 //! | `all`     | everything above |
 //!
 //! Results are printed as paper-style tables and also written as CSV

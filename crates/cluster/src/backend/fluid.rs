@@ -23,12 +23,12 @@
 //! * MMPP burstiness is ignored by the fluid model — its calibrated
 //!   mean matches the nominal rate, so throughput is right but bursts
 //!   are flattened (hybrid runs therefore stay per-user under MMPP);
-//! * population changes are read from the profile's continuous
-//!   envelope ([`LoadProfile::average_population`]) at step resolution.
+//! * population changes are read from the source's continuous envelope
+//!   ([`PopulationSource::average_population`]) at step resolution.
 
 use atom_mva::{closed::solve_exact, solve_amva, AmvaOptions, ClassSpec, ClosedNetwork, Station};
 use atom_sim::TimeWeighted;
-use atom_workload::{LoadProfile, WorkloadSpec};
+use atom_workload::{PopulationSource, WorkloadSpec};
 
 use super::{BackendKind, PopCtx, PopulationBackend};
 use crate::accum::WindowAccum;
@@ -310,7 +310,7 @@ impl FluidPool {
         &mut self,
         t1: f64,
         inputs: &FluidInputs,
-        profile: &LoadProfile,
+        source: &dyn PopulationSource,
         accum: &mut WindowAccum,
     ) {
         let t0 = self.last_step;
@@ -318,11 +318,11 @@ impl FluidPool {
         if dt <= 0.0 {
             return;
         }
-        let n_avg = profile.average_population(t0, t1);
+        let n_avg = source.average_population(t0, t1);
         // Integrate the population gauge: the previous value covers up
         // to t0, this step's average covers (t0, t1].
         self.users_tw.update(t0, n_avg);
-        self.population = profile.population_at(t1);
+        self.population = source.population_at(t1);
         self.last_step = t1;
 
         let n = n_avg.round() as usize;

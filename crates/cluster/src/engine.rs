@@ -32,6 +32,9 @@ pub(crate) enum Event {
     /// The fluid backend integrates up to the next aggregation step.
     /// `generation` invalidates steps scheduled before a backend switch.
     FluidStep { generation: u64 },
+    /// A population source announced an a-priori burst onset (trace
+    /// replay spike hints); the hybrid policy treats it as a transient.
+    SpikeHint,
     /// The hybrid policy re-evaluates whether the transient has passed.
     BackendCheck,
 }

@@ -254,8 +254,7 @@ impl Cluster {
         // preserved verbatim from the monolithic runtime so seeds map to
         // identical runs.
         let mmpp = workload.burstiness.map(|b| {
-            let nominal =
-                workload.profile.population_at(0.0) as f64 / workload.think_time.max(1e-9);
+            let nominal = workload.source.population_at(0.0) as f64 / workload.think_time.max(1e-9);
             Mmpp2::calibrated(nominal.max(1e-9), b, &mut rng)
         });
         // An MMPP-modulated workload has no steady state the fluid model
@@ -328,7 +327,7 @@ impl Cluster {
         // Spawn the initial population; future changes are scheduled
         // window by window (an unbounded upfront scan would blow up for
         // long-period or oscillating profiles).
-        let initial = cluster.workload.profile.population_at(0.0);
+        let initial = cluster.workload.source.population_at(0.0);
         cluster.backend_set_population(initial);
         Ok(cluster)
     }
@@ -428,9 +427,25 @@ impl Cluster {
         // continuous envelope directly, and a million-user ramp expanded
         // into discrete change points would defeat the aggregation.
         if matches!(self.backend, Backend::PerUser(_)) {
-            for (t, pop) in self.workload.profile.change_points(self.engine.now, end) {
+            for (t, pop) in self.workload.source.change_points(self.engine.now, end) {
                 self.engine
                     .push(t, Event::PopulationChange { population: pop });
+            }
+        }
+        // A source that classifies its own burst onsets (trace replay)
+        // schedules them as explicit hints; the hybrid policy then skips
+        // its sampled step-boundary jump check, which would otherwise
+        // read a busy trace's routine bin-to-bin steps as wall-to-wall
+        // spikes and pin the run in per-user mode.
+        if self.options.backend == BackendMode::Hybrid
+            && self.workload.source.provides_spike_hints()
+        {
+            for t in self
+                .workload
+                .source
+                .spike_points(self.engine.now, end, SPIKE_THRESHOLD)
+            {
+                self.engine.push(t, Event::SpikeHint);
             }
         }
         while let Some(t) = self.engine.peek_time() {
@@ -522,6 +537,10 @@ impl Cluster {
                     );
                 }
             }
+            Event::SpikeHint => {
+                self.telemetry.spike_hint_events += 1;
+                self.note_transient();
+            }
             Event::BackendCheck => {
                 self.telemetry.backend_check_events += 1;
                 if self.options.backend == BackendMode::Hybrid
@@ -595,13 +614,13 @@ impl Cluster {
         self.accum.in_system = live_roots;
         self.accum.in_system_tw.update(now, live_roots as f64);
         self.accum.peak_in_system = self.accum.peak_in_system.max(live_roots);
-        let pop = self.workload.profile.population_at(now);
+        let pop = self.workload.source.population_at(now);
         self.backend_set_population(pop);
         // The per-user backend needs the rest of this window's discrete
-        // change points (the fluid one read the profile directly).
+        // change points (the fluid one read the source directly).
         for (t, p) in self
             .workload
-            .profile
+            .source
             .change_points(now, self.current_window_end)
         {
             self.engine
@@ -645,7 +664,9 @@ impl Cluster {
             Backend::PerUser(_) => return,
         };
         self.fluid_step_to(t1);
-        if self.options.backend == BackendMode::Hybrid {
+        if self.options.backend == BackendMode::Hybrid
+            && !self.workload.source.provides_spike_hints()
+        {
             if let Backend::Fluid(p) = &self.backend {
                 let jump = (p.population as f64 - prev_pop as f64).abs() / prev_pop.max(1) as f64;
                 if jump >= SPIKE_THRESHOLD {
@@ -667,7 +688,7 @@ impl Cluster {
         }
         let inputs = self.fluid_inputs(last, t1);
         if let Backend::Fluid(pool) = &mut self.backend {
-            pool.integrate(t1, &inputs, &self.workload.profile, &mut self.accum);
+            pool.integrate(t1, &inputs, &*self.workload.source, &mut self.accum);
         }
     }
 
@@ -903,17 +924,16 @@ mod tests {
     #[test]
     fn ramp_profile_grows_population() {
         let spec = one_service_spec(0.001, 4.0, 64);
-        let workload = WorkloadSpec {
-            mix: RequestMix::uniform(1),
-            think_time: 1.0,
-            profile: LoadProfile::Ramp {
+        let workload = WorkloadSpec::new(
+            RequestMix::uniform(1),
+            1.0,
+            LoadProfile::Ramp {
                 from: 10,
                 to: 100,
                 start: 0.0,
                 duration: 100.0,
             },
-            burstiness: None,
-        };
+        );
         let mut cluster = Cluster::new(&spec, workload, ClusterOptions::default()).unwrap();
         let first = cluster.run_window(20.0);
         cluster.run_window(80.0);
@@ -926,12 +946,11 @@ mod tests {
     #[test]
     fn population_decrease_retires_users() {
         let spec = one_service_spec(0.001, 4.0, 64);
-        let workload = WorkloadSpec {
-            mix: RequestMix::uniform(1),
-            think_time: 0.5,
-            profile: LoadProfile::Steps(vec![(0.0, 50), (100.0, 5)]),
-            burstiness: None,
-        };
+        let workload = WorkloadSpec::new(
+            RequestMix::uniform(1),
+            0.5,
+            LoadProfile::Steps(vec![(0.0, 50), (100.0, 5)]),
+        );
         let mut cluster = Cluster::new(&spec, workload, ClusterOptions::default()).unwrap();
         cluster.run_window(100.0);
         cluster.run_window(50.0);
@@ -1036,16 +1055,12 @@ mod tests {
     fn bursty_peak_rate_far_exceeds_average() {
         use atom_workload::BurstinessSpec;
         let spec = one_service_spec(0.0001, 4.0, 64);
-        let workload = WorkloadSpec {
-            mix: RequestMix::uniform(1),
-            think_time: 1.0,
-            profile: LoadProfile::Constant(200),
-            burstiness: Some(BurstinessSpec {
+        let workload = WorkloadSpec::new(RequestMix::uniform(1), 1.0, LoadProfile::Constant(200))
+            .with_burstiness(BurstinessSpec {
                 index_of_dispersion: 2000.0,
                 burst_fraction: 0.1,
                 burst_multiplier: 8.0,
-            }),
-        };
+            });
         let mut cluster = Cluster::new(&spec, workload, ClusterOptions::default()).unwrap();
         let mut max_ratio = 0.0f64;
         for _ in 0..10 {
@@ -1145,16 +1160,12 @@ mod tests {
     fn bursty_workload_produces_surges() {
         use atom_workload::BurstinessSpec;
         let spec = one_service_spec(0.001, 4.0, 64);
-        let workload = WorkloadSpec {
-            mix: RequestMix::uniform(1),
-            think_time: 1.0,
-            profile: LoadProfile::Constant(50),
-            burstiness: Some(BurstinessSpec {
+        let workload = WorkloadSpec::new(RequestMix::uniform(1), 1.0, LoadProfile::Constant(50))
+            .with_burstiness(BurstinessSpec {
                 index_of_dispersion: 4000.0,
                 burst_fraction: 0.1,
                 burst_multiplier: 8.0,
-            }),
-        };
+            });
         let mut cluster = Cluster::new(&spec, workload, ClusterOptions::default()).unwrap();
         let mut tps = Vec::new();
         for _ in 0..60 {
@@ -1416,16 +1427,12 @@ mod tests {
     fn hybrid_stays_per_user_under_burstiness() {
         use atom_workload::BurstinessSpec;
         let spec = one_service_spec(0.001, 4.0, 64);
-        let workload = WorkloadSpec {
-            mix: RequestMix::uniform(1),
-            think_time: 1.0,
-            profile: LoadProfile::Constant(50),
-            burstiness: Some(BurstinessSpec {
+        let workload = WorkloadSpec::new(RequestMix::uniform(1), 1.0, LoadProfile::Constant(50))
+            .with_burstiness(BurstinessSpec {
                 index_of_dispersion: 2000.0,
                 burst_fraction: 0.1,
                 burst_multiplier: 8.0,
-            }),
-        };
+            });
         let mut cluster = Cluster::new(
             &spec,
             workload,

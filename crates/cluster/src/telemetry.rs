@@ -49,6 +49,11 @@ pub struct ClusterTelemetry {
     /// `BackendCheck` events dispatched (hybrid-policy re-evaluations).
     #[serde(default)]
     pub backend_check_events: u64,
+    /// `SpikeHint` events dispatched (a-priori burst onsets announced by
+    /// the population source — trace replays; synthetic profiles never
+    /// fire these).
+    #[serde(default)]
+    pub spike_hint_events: u64,
     /// Backend handovers (fluid ↔ per-user) performed by the hybrid
     /// policy over the cluster's lifetime.
     #[serde(default)]
@@ -74,6 +79,7 @@ impl ClusterTelemetry {
             + self.fault_events
             + self.fluid_step_events
             + self.backend_check_events
+            + self.spike_hint_events
     }
 
     /// Mean issue-to-ready scale latency (`None` with no samples).

@@ -1,10 +1,11 @@
 //! Cross-backend properties: the fluid aggregate must agree with the
-//! per-user DES on steady-state window statistics, and the hybrid
-//! policy must be deterministic in the seed.
+//! per-user DES on steady-state window statistics, the hybrid policy
+//! must be deterministic in the seed, and replayed traces must behave
+//! exactly like the equivalent hand-built step profiles.
 
 use atom_cluster::spec::AppSpec;
 use atom_cluster::{BackendKind, BackendMode, Cluster, ClusterOptions, WindowReport};
-use atom_workload::{LoadProfile, RequestMix, WorkloadSpec};
+use atom_workload::{LoadProfile, RequestMix, TraceFormat, TraceSource, WorkloadSpec};
 
 fn spec(demand: f64, share: f64) -> AppSpec {
     let mut spec = AppSpec::new();
@@ -67,16 +68,17 @@ fn backends_agree_on_constant_steady_state() {
 #[test]
 fn backends_agree_on_a_ramp_profile() {
     let app = spec(0.005, 1.0);
-    let workload = || WorkloadSpec {
-        mix: RequestMix::uniform(1),
-        think_time: 2.0,
-        profile: LoadProfile::Ramp {
-            from: 50,
-            to: 400,
-            start: 0.0,
-            duration: 600.0,
-        },
-        burstiness: None,
+    let workload = || {
+        WorkloadSpec::new(
+            RequestMix::uniform(1),
+            2.0,
+            LoadProfile::Ramp {
+                from: 50,
+                to: 400,
+                start: 0.0,
+                duration: 600.0,
+            },
+        )
     };
     let per_user = run(BackendMode::PerUser, workload(), &app, 4);
     let fluid = run(BackendMode::Fluid, workload(), &app, 4);
@@ -122,12 +124,11 @@ fn fluid_tracks_mean_response_time() {
 fn hybrid_run_is_deterministic_in_the_seed() {
     let app = spec(0.01, 0.5);
     let one = |seed: u64| {
-        let workload = WorkloadSpec {
-            mix: RequestMix::uniform(1),
-            think_time: 2.0,
-            profile: LoadProfile::Steps(vec![(0.0, 100), (500.0, 250), (900.0, 80)]),
-            burstiness: None,
-        };
+        let workload = WorkloadSpec::new(
+            RequestMix::uniform(1),
+            2.0,
+            LoadProfile::Steps(vec![(0.0, 100), (500.0, 250), (900.0, 80)]),
+        );
         let mut cluster = Cluster::new(
             &app,
             workload,
@@ -208,5 +209,90 @@ fn hybrid_switch_counters_reconcile() {
         *kinds.last().unwrap(),
         BackendKind::Fluid,
         "the hold expiry must hand back to fluid"
+    );
+}
+
+#[test]
+fn trace_source_is_bitwise_identical_to_equivalent_steps_profile() {
+    // A trace replayed through `PopulationSource` and the hand-built
+    // `LoadProfile::Steps` with the same (time, population) pairs must
+    // drive the per-user DES to bitwise-identical reports.
+    let app = spec(0.005, 1.0);
+    let steps = vec![(0.0, 40), (120.0, 90), (350.0, 70), (600.0, 140)];
+    let digest = |workload: WorkloadSpec| {
+        let mut cluster =
+            Cluster::new(&app, workload, ClusterOptions::new().with_seed(17)).expect("cluster");
+        let mut bits = Vec::new();
+        for _ in 0..3 {
+            let r = cluster.run_window(300.0);
+            bits.push((
+                r.total_tps.to_bits(),
+                r.avg_users.to_bits(),
+                r.feature_response[0].to_bits(),
+                r.users_at_end,
+            ));
+        }
+        bits
+    };
+    let via_profile = digest(WorkloadSpec::new(
+        RequestMix::uniform(1),
+        2.0,
+        LoadProfile::Steps(steps.clone()),
+    ));
+    let via_trace = digest(WorkloadSpec::new(
+        RequestMix::uniform(1),
+        2.0,
+        TraceSource::from_steps("replay", TraceFormat::Alibaba, steps),
+    ));
+    assert_eq!(via_profile, via_trace);
+}
+
+#[test]
+fn hybrid_trace_replay_switches_on_hints_without_pinning_per_user() {
+    // A trace steps every bin; only its genuine spike must drop the
+    // hybrid backend to per-user, and the hold must hand back to fluid
+    // afterwards instead of pinning the whole replay in per-user mode.
+    let app = spec(0.005, 1.0);
+    // Gentle sub-threshold drift (≤ 9% relative) every 60 s, plus one
+    // 3× spike at t = 650 decaying at t = 750.
+    let mut steps: Vec<(f64, usize)> = (0..30)
+        .map(|k| (k as f64 * 60.0, 100 + 3 * (k % 4)))
+        .filter(|&(t, _)| !(650.0..=750.0).contains(&t))
+        .collect();
+    steps.push((650.0, 330));
+    steps.push((750.0, 104));
+    steps.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let workload = WorkloadSpec::new(
+        RequestMix::uniform(1),
+        2.0,
+        TraceSource::from_steps("spiky", TraceFormat::Google, steps),
+    );
+    let mut cluster = Cluster::new(
+        &app,
+        workload,
+        ClusterOptions::new()
+            .with_seed(5)
+            .with_backend(BackendMode::Hybrid),
+    )
+    .expect("cluster");
+    let kinds: Vec<BackendKind> = (0..6).map(|_| cluster.run_window(300.0).backend).collect();
+    let telemetry = cluster.telemetry();
+    assert!(
+        telemetry.spike_hint_events >= 1,
+        "the 3× jump must fire a spike hint, got {telemetry:?}"
+    );
+    assert!(
+        telemetry.backend_switches >= 2,
+        "hint must switch to per-user and the hold back to fluid, got {telemetry:?}"
+    );
+    assert_eq!(
+        kinds[0],
+        BackendKind::Fluid,
+        "routine bin-to-bin drift must not read as a spike, got {kinds:?}"
+    );
+    assert_eq!(
+        *kinds.last().unwrap(),
+        BackendKind::Fluid,
+        "replay must not stay pinned per-user after the spike, got {kinds:?}"
     );
 }

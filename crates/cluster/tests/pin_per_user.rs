@@ -222,17 +222,16 @@ fn scenario_faults() -> u64 {
 /// The forecast-style shape: a ramp with noisy monitor readings.
 fn scenario_ramp_noise() -> u64 {
     let spec = one_service_spec(0.004, 2.0, 64);
-    let workload = WorkloadSpec {
-        mix: RequestMix::uniform(1),
-        think_time: 1.0,
-        profile: LoadProfile::Ramp {
+    let workload = WorkloadSpec::new(
+        RequestMix::uniform(1),
+        1.0,
+        LoadProfile::Ramp {
             from: 10,
             to: 200,
             start: 30.0,
             duration: 300.0,
         },
-        burstiness: None,
-    };
+    );
     let mut cluster = Cluster::new(
         &spec,
         workload,
@@ -250,16 +249,12 @@ fn scenario_ramp_noise() -> u64 {
 /// MMPP-modulated think times (the burstiness path draws extra RNG).
 fn scenario_bursty() -> u64 {
     let spec = one_service_spec(0.001, 4.0, 64);
-    let workload = WorkloadSpec {
-        mix: RequestMix::uniform(1),
-        think_time: 1.0,
-        profile: LoadProfile::Constant(100),
-        burstiness: Some(BurstinessSpec {
+    let workload = WorkloadSpec::new(RequestMix::uniform(1), 1.0, LoadProfile::Constant(100))
+        .with_burstiness(BurstinessSpec {
             index_of_dispersion: 2000.0,
             burst_fraction: 0.1,
             burst_multiplier: 8.0,
-        }),
-    };
+        });
     let mut cluster = Cluster::new(&spec, workload, ClusterOptions::new().with_seed(3)).unwrap();
     let mut d = Digest::new();
     for _ in 0..2 {
@@ -273,17 +268,16 @@ fn scenario_bursty() -> u64 {
 /// observational, and their sample streams are pinned too).
 fn scenario_spike_probe_trace() -> u64 {
     let spec = chain_spec();
-    let workload = WorkloadSpec {
-        mix: RequestMix::uniform(1),
-        think_time: 1.0,
-        profile: LoadProfile::Spike {
+    let workload = WorkloadSpec::new(
+        RequestMix::uniform(1),
+        1.0,
+        LoadProfile::Spike {
             baseline: 40,
             spike: 160,
             start: 60.0,
             duration: 60.0,
         },
-        burstiness: None,
-    };
+    );
     let mut cluster = Cluster::new(&spec, workload, ClusterOptions::new().with_seed(11)).unwrap();
     cluster.set_probe(ServiceId(1), EndpointId(0));
     cluster.arm_trace(Some(0));

@@ -151,12 +151,11 @@ proptest! {
         let svc = app.add_service("s", node, 64, 1, 4.0);
         let ep = app.add_endpoint(svc, "op", 0.0001, 1.0);
         app.add_feature("op", svc, ep);
-        let workload = WorkloadSpec {
-            mix: RequestMix::uniform(1),
-            think_time: 1.0,
-            profile: LoadProfile::Ramp { from, to, start: 0.0, duration: 100.0 },
-            burstiness: None,
-        };
+        let workload = WorkloadSpec::new(
+            RequestMix::uniform(1),
+            1.0,
+            LoadProfile::Ramp { from, to, start: 0.0, duration: 100.0 },
+        );
         let mut cluster = Cluster::new(
             &app,
             workload,

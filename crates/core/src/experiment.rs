@@ -243,17 +243,16 @@ mod tests {
     }
 
     fn ramp_workload() -> WorkloadSpec {
-        WorkloadSpec {
-            mix: RequestMix::uniform(1),
-            think_time: 2.0,
-            profile: LoadProfile::Ramp {
+        WorkloadSpec::new(
+            RequestMix::uniform(1),
+            2.0,
+            LoadProfile::Ramp {
                 from: 50,
                 to: 400,
                 start: 0.0,
                 duration: 600.0,
             },
-            burstiness: None,
-        }
+        )
     }
 
     fn config(windows: usize) -> ExperimentConfig {

@@ -54,6 +54,18 @@ pub mod solver {
     pub use atom_lqn::analytic::{solve, solve_with, SolverOptions, SolverWorkspace};
 }
 
+/// The workload surface, re-exported (like [`solver`]) so downstream
+/// crates — bench harnesses, scenario builders — don't need a direct
+/// `atom_workload` dependency: [`workload::WorkloadSpec`] and its
+/// builders, the open [`workload::PopulationSource`] abstraction with
+/// the synthetic [`workload::LoadProfile`]s and trace-replay
+/// [`workload::TraceSource`] implementations, and the streaming trace
+/// readers in [`workload::trace`].
+pub mod workload {
+    pub use atom_workload::*;
+    pub use atom_workload::{burstiness, mix, profile, source, trace};
+}
+
 pub use atom_controller::{Atom, AtomConfig, ForecastConfig};
 pub use autoscaler::Autoscaler;
 pub use baselines::{UhScaler, UvScaler};

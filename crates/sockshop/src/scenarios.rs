@@ -1,7 +1,7 @@
 //! Every workload and protocol the paper's experiments use
 //! (Tables I, II, VI and the §V-B protocol).
 
-use atom_workload::{BurstinessSpec, LoadProfile, RequestMix, WorkloadSpec};
+use atom_core::workload::{BurstinessSpec, LoadProfile, RequestMix, WorkloadSpec};
 
 /// Table VI browsing mix: 63% home, 32% catalogue, 5% carts.
 pub fn browsing_mix() -> RequestMix {
@@ -45,32 +45,28 @@ pub const INITIAL_USERS: usize = 500;
 /// The §V-B evaluation protocol: hold 500 users, ramp to `target_users`
 /// over the first 25 minutes, hold for the remaining 15.
 pub fn evaluation_workload(mix: RequestMix, target_users: usize) -> WorkloadSpec {
-    WorkloadSpec {
+    WorkloadSpec::new(
         mix,
-        think_time: THINK_TIME,
-        profile: LoadProfile::Ramp {
+        THINK_TIME,
+        LoadProfile::Ramp {
             from: INITIAL_USERS,
             to: target_users,
             start: 0.0,
             duration: RAMP_SECS,
         },
-        burstiness: None,
-    }
+    )
 }
 
 /// The burstiness experiment of Fig. 13: ordering mix, N = 500, index of
 /// dispersion `I` (the paper uses 400 and 4000).
 pub fn bursty_workload(index_of_dispersion: f64) -> WorkloadSpec {
-    WorkloadSpec {
-        mix: ordering_mix(),
-        think_time: THINK_TIME,
-        profile: LoadProfile::Constant(500),
-        burstiness: Some(BurstinessSpec {
+    WorkloadSpec::new(ordering_mix(), THINK_TIME, LoadProfile::Constant(500)).with_burstiness(
+        BurstinessSpec {
             index_of_dispersion,
             burst_fraction: 0.1,
             burst_multiplier: 8.0,
-        }),
-    }
+        },
+    )
 }
 
 /// One §III-C validation pattern (a row of Table II at one population).
@@ -161,9 +157,9 @@ mod tests {
     #[test]
     fn evaluation_workload_follows_protocol() {
         let w = evaluation_workload(browsing_mix(), 3000);
-        assert_eq!(w.profile.population_at(0.0), 500);
-        assert_eq!(w.profile.population_at(RAMP_SECS), 3000);
-        assert_eq!(w.profile.population_at(RUN_SECS), 3000);
+        assert_eq!(w.source.population_at(0.0), 500);
+        assert_eq!(w.source.population_at(RAMP_SECS), 3000);
+        assert_eq!(w.source.population_at(RUN_SECS), 3000);
         assert_eq!(w.think_time, 7.0);
     }
 
@@ -179,7 +175,7 @@ mod tests {
     fn bursty_workload_carries_index() {
         let w = bursty_workload(4000.0);
         assert_eq!(w.burstiness.unwrap().index_of_dispersion, 4000.0);
-        assert_eq!(w.profile.population_at(100.0), 500);
+        assert_eq!(w.source.population_at(100.0), 500);
     }
 
     #[test]

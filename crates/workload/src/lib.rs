@@ -11,8 +11,10 @@
 //! et al. [40]).
 //!
 //! * [`RequestMix`] — a normalised categorical distribution over features;
-//! * [`LoadProfile`] — population as a function of time (constant, linear
-//!   ramp, or step function);
+//! * [`PopulationSource`] — the open population-over-time abstraction,
+//!   with two built-in implementations: synthetic [`LoadProfile`]s and
+//!   replayed production traces ([`TraceSource`], read streaming from
+//!   Alibaba / Google cluster-trace CSVs by [`trace::read_trace`]);
 //! * [`burstiness::Mmpp2`] — a two-state Markov-modulated process whose
 //!   switching rates are calibrated in closed form to a target index of
 //!   dispersion; the cluster simulator modulates user think times with it;
@@ -21,14 +23,27 @@
 pub mod burstiness;
 pub mod mix;
 pub mod profile;
+pub mod source;
+pub mod trace;
 
 pub use burstiness::{BurstinessSpec, Mmpp2};
 pub use mix::RequestMix;
 pub use profile::LoadProfile;
+pub use source::{
+    register_source, PopulationHandle, PopulationSource, SourceDecodeFn, SourceRegistry,
+};
+pub use trace::{
+    read_trace, read_trace_file, TraceError, TraceFormat, TraceOptions, TraceReplay, TraceSource,
+    TraceStats,
+};
 
 use serde::{Deserialize, Serialize};
 
 /// A complete workload description for one experiment run.
+///
+/// Built with the workspace `with_*` convention; the struct is
+/// `#[non_exhaustive]`, so construct via [`WorkloadSpec::new`] /
+/// [`WorkloadSpec::constant`] and refine with the builders.
 ///
 /// # Examples
 ///
@@ -36,40 +51,74 @@ use serde::{Deserialize, Serialize};
 /// use atom_workload::{WorkloadSpec, RequestMix, LoadProfile};
 ///
 /// // The paper's browsing mix, ramping 500 → 3000 users over 25 min.
-/// let w = WorkloadSpec {
-///     mix: RequestMix::new(vec![0.63, 0.32, 0.05]).unwrap(),
-///     think_time: 7.0,
-///     profile: LoadProfile::Ramp {
+/// let w = WorkloadSpec::new(
+///     RequestMix::new(vec![0.63, 0.32, 0.05]).unwrap(),
+///     7.0,
+///     LoadProfile::Ramp {
 ///         from: 500,
 ///         to: 3000,
 ///         start: 0.0,
 ///         duration: 25.0 * 60.0,
 ///     },
-///     burstiness: None,
-/// };
-/// assert_eq!(w.profile.population_at(25.0 * 60.0), 3000);
+/// );
+/// assert_eq!(w.source.population_at(25.0 * 60.0), 3000);
 /// ```
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
     /// Fractions of requests per feature.
     pub mix: RequestMix,
     /// Mean think time between requests (seconds).
     pub think_time: f64,
-    /// Concurrent users over time.
-    pub profile: LoadProfile,
+    /// Concurrent users over time — synthetic profile, replayed trace,
+    /// or any registered [`PopulationSource`].
+    pub source: PopulationHandle,
     /// Optional burstiness injection.
     pub burstiness: Option<BurstinessSpec>,
 }
 
 impl WorkloadSpec {
-    /// A constant-population workload with no burstiness.
-    pub fn constant(mix: RequestMix, users: usize, think_time: f64) -> Self {
+    /// A workload over any population source, without burstiness.
+    pub fn new(mix: RequestMix, think_time: f64, source: impl Into<PopulationHandle>) -> Self {
         WorkloadSpec {
             mix,
             think_time,
-            profile: LoadProfile::Constant(users),
+            source: source.into(),
             burstiness: None,
         }
+    }
+
+    /// A constant-population workload with no burstiness.
+    pub fn constant(mix: RequestMix, users: usize, think_time: f64) -> Self {
+        WorkloadSpec::new(mix, think_time, LoadProfile::Constant(users))
+    }
+
+    /// Replaces the request mix.
+    #[must_use]
+    pub fn with_mix(mut self, mix: RequestMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Replaces the mean think time (seconds).
+    #[must_use]
+    pub fn with_think_time(mut self, think_time: f64) -> Self {
+        self.think_time = think_time;
+        self
+    }
+
+    /// Replaces the population source.
+    #[must_use]
+    pub fn with_source(mut self, source: impl Into<PopulationHandle>) -> Self {
+        self.source = source.into();
+        self
+    }
+
+    /// Enables burstiness injection.
+    #[must_use]
+    pub fn with_burstiness(mut self, burstiness: BurstinessSpec) -> Self {
+        self.burstiness = Some(burstiness);
+        self
     }
 
     /// Offered request rate (requests/second) at time `t`, ignoring
@@ -80,7 +129,7 @@ impl WorkloadSpec {
         if self.think_time <= 0.0 {
             return f64::INFINITY;
         }
-        self.profile.population_at(t) as f64 / self.think_time
+        self.source.population_at(t) as f64 / self.think_time
     }
 }
 
@@ -96,18 +145,36 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let w = WorkloadSpec {
-            mix: RequestMix::new(vec![0.5, 0.5]).unwrap(),
-            think_time: 5.0,
-            profile: LoadProfile::Steps(vec![(0.0, 10), (60.0, 50)]),
-            burstiness: Some(BurstinessSpec {
-                index_of_dispersion: 400.0,
-                burst_fraction: 0.1,
-                burst_multiplier: 8.0,
-            }),
-        };
+        let w = WorkloadSpec::new(
+            RequestMix::new(vec![0.5, 0.5]).unwrap(),
+            5.0,
+            LoadProfile::Steps(vec![(0.0, 10), (60.0, 50)]),
+        )
+        .with_burstiness(BurstinessSpec {
+            index_of_dispersion: 400.0,
+            burst_fraction: 0.1,
+            burst_multiplier: 8.0,
+        });
         let json = serde_json::to_string(&w).unwrap();
         let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(w, back);
+    }
+
+    #[test]
+    fn serde_roundtrip_trace_source() {
+        let w = WorkloadSpec::new(
+            RequestMix::new(vec![0.6, 0.4]).unwrap(),
+            7.0,
+            TraceSource::from_steps(
+                "sample",
+                TraceFormat::Alibaba,
+                vec![(0.0, 500), (300.0, 1800)],
+            ),
+        );
+        let json = serde_json::to_string(&w).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+        assert_eq!(back.source.kind(), "trace");
+        assert_eq!(back.source.population_at(400.0), 1800);
     }
 }

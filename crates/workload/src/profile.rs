@@ -112,20 +112,7 @@ impl LoadProfile {
                     (f + alpha * delta).round() as usize
                 }
             }
-            LoadProfile::Steps(steps) => {
-                if steps.is_empty() {
-                    return 0;
-                }
-                let mut current = steps[0].1;
-                for &(time, pop) in steps {
-                    if t >= time {
-                        current = pop;
-                    } else {
-                        break;
-                    }
-                }
-                current
-            }
+            LoadProfile::Steps(steps) => steps_population_at(steps, t),
             LoadProfile::Diurnal { low, high, period } => {
                 if *period <= 0.0 {
                     return *low;
@@ -168,7 +155,7 @@ impl LoadProfile {
         match self {
             LoadProfile::Constant(n) => *n,
             LoadProfile::Ramp { from, to, .. } => (*from).max(*to),
-            LoadProfile::Steps(steps) => steps.iter().map(|&(_, p)| p).max().unwrap_or(0),
+            LoadProfile::Steps(steps) => steps_peak(steps),
             LoadProfile::Diurnal { low, high, .. } => (*low).max(*high),
             LoadProfile::Sinusoidal {
                 mean, amplitude, ..
@@ -208,13 +195,7 @@ impl LoadProfile {
                     }
                 }
             }
-            LoadProfile::Steps(steps) => {
-                for &(time, pop) in steps {
-                    if time > t0 && time <= t1 {
-                        out.push((time, pop));
-                    }
-                }
-            }
+            LoadProfile::Steps(steps) => out.extend(steps_change_points(steps, t0, t1)),
             LoadProfile::Diurnal { period, .. } | LoadProfile::Sinusoidal { period, .. } => {
                 // Sample the sinusoid finely enough to catch every unit
                 // change (120 points per cycle suffices for the paper's
@@ -314,27 +295,7 @@ impl LoadProfile {
                     area / span
                 }
             }
-            LoadProfile::Steps(steps) => {
-                if steps.is_empty() {
-                    return 0.0;
-                }
-                let mut area = 0.0;
-                let mut t = t0;
-                let mut current = self.population_at(t0) as f64;
-                for &(time, pop) in steps {
-                    if time <= t0 {
-                        continue;
-                    }
-                    if time >= t1 {
-                        break;
-                    }
-                    area += current * (time - t);
-                    t = time;
-                    current = pop as f64;
-                }
-                area += current * (t1 - t);
-                area / span
-            }
+            LoadProfile::Steps(steps) => steps_average_population(steps, t0, t1),
             LoadProfile::Diurnal { low, high, period } => {
                 if *period <= 0.0 {
                     return *low as f64;
@@ -372,6 +333,73 @@ impl LoadProfile {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Shared piecewise-constant step arithmetic
+// ---------------------------------------------------------------------------
+//
+// These free functions carry the exact `Steps` semantics so that other
+// `PopulationSource` implementations built on `(time, population)` pairs
+// — notably replayed traces — are bitwise-identical to the equivalent
+// hand-built `LoadProfile::Steps`.
+
+/// Population of a step sequence at time `t`: the last step at or before
+/// `t`, the first step's value before any step, `0` when empty.
+pub(crate) fn steps_population_at(steps: &[(f64, usize)], t: f64) -> usize {
+    if steps.is_empty() {
+        return 0;
+    }
+    let mut current = steps[0].1;
+    for &(time, pop) in steps {
+        if t >= time {
+            current = pop;
+        } else {
+            break;
+        }
+    }
+    current
+}
+
+/// Largest population in a step sequence.
+pub(crate) fn steps_peak(steps: &[(f64, usize)]) -> usize {
+    steps.iter().map(|&(_, p)| p).max().unwrap_or(0)
+}
+
+/// Step entries strictly after `t0` and at or before `t1`.
+pub(crate) fn steps_change_points(steps: &[(f64, usize)], t0: f64, t1: f64) -> Vec<(f64, usize)> {
+    let mut out = Vec::new();
+    for &(time, pop) in steps {
+        if time > t0 && time <= t1 {
+            out.push((time, pop));
+        }
+    }
+    out
+}
+
+/// Time-averaged population of a step sequence over `[t0, t1]`; the
+/// caller guarantees `t1 > t0`.
+pub(crate) fn steps_average_population(steps: &[(f64, usize)], t0: f64, t1: f64) -> f64 {
+    if steps.is_empty() {
+        return 0.0;
+    }
+    let span = t1 - t0;
+    let mut area = 0.0;
+    let mut t = t0;
+    let mut current = steps_population_at(steps, t0) as f64;
+    for &(time, pop) in steps {
+        if time <= t0 {
+            continue;
+        }
+        if time >= t1 {
+            break;
+        }
+        area += current * (time - t);
+        t = time;
+        current = pop as f64;
+    }
+    area += current * (t1 - t);
+    area / span
 }
 
 #[cfg(test)]

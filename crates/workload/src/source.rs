@@ -1,0 +1,373 @@
+//! The open workload-source abstraction.
+//!
+//! [`LoadProfile`] used to be the *only* way to drive a cluster's
+//! population, which made every call site — the per-user DES backend,
+//! the fluid backend, the controller's `users_at_end` observation, the
+//! bench harness — closed over one enum. [`PopulationSource`] inverts
+//! that: any provider of "concurrent users over time" (synthetic
+//! profiles, replayed production traces, future learned sources)
+//! implements the trait, and [`WorkloadSpec`](crate::WorkloadSpec)
+//! carries a boxed [`PopulationHandle`] so the implementations are
+//! interchangeable at every call site.
+//!
+//! Serialisation is kind-tagged: a handle serialises as
+//! `{ "kind": <name>, "spec": <params> }` and deserialisation routes
+//! through the process-wide [`SourceRegistry`], so downstream crates can
+//! [`register_source`] their own kinds and still round-trip through the
+//! existing `WorkloadSpec` serde tests. For backwards compatibility a
+//! bare (untagged) [`LoadProfile`] value still deserialises.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{OnceLock, PoisonError, RwLock};
+
+use serde::{Content, DeError, Deserialize, Serialize};
+
+use crate::profile::LoadProfile;
+use crate::trace::TraceSource;
+
+/// Concurrent user population as a function of time, from any provider.
+///
+/// The four required query methods mirror the historical `LoadProfile`
+/// API one-for-one; the spike-hint pair is the extension traces need so
+/// the hybrid backend can distinguish routine bin-to-bin drift from
+/// genuine bursts (see [`PopulationSource::spike_points`]).
+pub trait PopulationSource: fmt::Debug + Send + Sync {
+    /// Population at time `t` (seconds).
+    fn population_at(&self, t: f64) -> usize;
+
+    /// Largest population the source ever reaches.
+    fn peak(&self) -> usize;
+
+    /// The `(time, population)` instants in `(t0, t1]` at which the
+    /// integer population changes, for scheduling user arrivals and
+    /// departures in the simulator.
+    fn change_points(&self, t0: f64, t1: f64) -> Vec<(f64, usize)>;
+
+    /// Time-averaged population over `[t0, t1]` — the aggregate-arrival
+    /// view used by the fluid population backend.
+    fn average_population(&self, t0: f64, t1: f64) -> f64;
+
+    /// Times in `(t0, t1]` at which the population jumps by at least
+    /// `threshold` (relative to the pre-jump level) — *a-priori* burst
+    /// onsets a hybrid backend should treat as transients. Sources that
+    /// cannot classify their own change points (synthetic profiles, by
+    /// default) return none and leave spike detection to the backend's
+    /// sampled step-boundary check.
+    fn spike_points(&self, _t0: f64, _t1: f64, _threshold: f64) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Whether [`PopulationSource::spike_points`] is authoritative. When
+    /// `true`, the hybrid backend trusts the source's burst
+    /// classification and skips its own sampled jump check (a busy trace
+    /// steps every bin; treating each step as a spike would pin the
+    /// backend in per-user mode).
+    fn provides_spike_hints(&self) -> bool {
+        false
+    }
+
+    /// Registry tag identifying the implementation (`"profile"`,
+    /// `"trace"`, ...).
+    fn kind(&self) -> &'static str;
+
+    /// Serialised parameters; together with [`PopulationSource::kind`]
+    /// this is the wire form a [`SourceRegistry`] decoder revives.
+    fn params(&self) -> Content;
+
+    /// Clones the source behind the object (object-safe `Clone`).
+    fn clone_source(&self) -> Box<dyn PopulationSource>;
+}
+
+impl PopulationSource for LoadProfile {
+    fn population_at(&self, t: f64) -> usize {
+        LoadProfile::population_at(self, t)
+    }
+
+    fn peak(&self) -> usize {
+        LoadProfile::peak(self)
+    }
+
+    fn change_points(&self, t0: f64, t1: f64) -> Vec<(f64, usize)> {
+        LoadProfile::change_points(self, t0, t1)
+    }
+
+    fn average_population(&self, t0: f64, t1: f64) -> f64 {
+        LoadProfile::average_population(self, t0, t1)
+    }
+
+    fn kind(&self) -> &'static str {
+        "profile"
+    }
+
+    fn params(&self) -> Content {
+        Serialize::to_content(self)
+    }
+
+    fn clone_source(&self) -> Box<dyn PopulationSource> {
+        Box::new(self.clone())
+    }
+}
+
+/// An owned, clonable handle to a boxed [`PopulationSource`].
+///
+/// This is what [`WorkloadSpec`](crate::WorkloadSpec) actually stores:
+/// it restores `Clone`/`Debug`/`PartialEq`/serde on top of the trait
+/// object. Equality compares the (kind, params) wire form, so two
+/// handles are equal exactly when they serialise identically.
+pub struct PopulationHandle(Box<dyn PopulationSource>);
+
+impl PopulationHandle {
+    /// Wraps a concrete source.
+    pub fn new(source: impl PopulationSource + 'static) -> Self {
+        PopulationHandle(Box::new(source))
+    }
+
+    /// Wraps an already-boxed source.
+    pub fn from_box(source: Box<dyn PopulationSource>) -> Self {
+        PopulationHandle(source)
+    }
+}
+
+impl Deref for PopulationHandle {
+    type Target = dyn PopulationSource;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl Clone for PopulationHandle {
+    fn clone(&self) -> Self {
+        PopulationHandle(self.0.clone_source())
+    }
+}
+
+impl fmt::Debug for PopulationHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl PartialEq for PopulationHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.kind() == other.0.kind() && self.0.params() == other.0.params()
+    }
+}
+
+impl From<LoadProfile> for PopulationHandle {
+    fn from(profile: LoadProfile) -> Self {
+        PopulationHandle::new(profile)
+    }
+}
+
+impl From<TraceSource> for PopulationHandle {
+    fn from(trace: TraceSource) -> Self {
+        PopulationHandle::new(trace)
+    }
+}
+
+impl From<Box<dyn PopulationSource>> for PopulationHandle {
+    fn from(source: Box<dyn PopulationSource>) -> Self {
+        PopulationHandle::from_box(source)
+    }
+}
+
+impl Serialize for PopulationHandle {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("kind".to_string(), Content::Str(self.0.kind().to_string())),
+            ("spec".to_string(), self.0.params()),
+        ])
+    }
+}
+
+impl Deserialize for PopulationHandle {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        if let Some(Content::Str(kind)) = content.get_field("kind") {
+            let spec = content.get_field("spec").unwrap_or(&Content::Null);
+            return global_registry()
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .decode(kind, spec);
+        }
+        // Legacy wire form: a bare externally-tagged `LoadProfile`.
+        LoadProfile::from_content(content).map(PopulationHandle::from)
+    }
+}
+
+/// Decoder reviving one source kind from its serialised `spec`.
+pub type SourceDecodeFn = fn(&Content) -> Result<Box<dyn PopulationSource>, DeError>;
+
+/// The table mapping source kinds to decoders.
+///
+/// Built with the `with_*` convention shared by `ClusterOptions` and
+/// `SolverOptions`: start from [`SourceRegistry::builtin`] (or
+/// [`SourceRegistry::empty`]) and chain [`SourceRegistry::with_source`].
+/// Registering an existing kind replaces its decoder.
+#[non_exhaustive]
+#[derive(Clone)]
+pub struct SourceRegistry {
+    entries: Vec<(String, SourceDecodeFn)>,
+}
+
+impl SourceRegistry {
+    /// A registry with no kinds at all.
+    pub fn empty() -> Self {
+        SourceRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The built-in kinds: `"profile"` (synthetic [`LoadProfile`]s) and
+    /// `"trace"` (replayed production traces, [`TraceSource`]).
+    pub fn builtin() -> Self {
+        SourceRegistry::empty()
+            .with_source("profile", decode_profile)
+            .with_source("trace", decode_trace)
+    }
+
+    /// Adds (or replaces) a kind.
+    #[must_use]
+    pub fn with_source(mut self, kind: impl Into<String>, decode: SourceDecodeFn) -> Self {
+        let kind = kind.into();
+        if let Some(entry) = self.entries.iter_mut().find(|(k, _)| *k == kind) {
+            entry.1 = decode;
+        } else {
+            self.entries.push((kind, decode));
+        }
+        self
+    }
+
+    /// Revives a handle from its `(kind, spec)` wire form.
+    pub fn decode(&self, kind: &str, spec: &Content) -> Result<PopulationHandle, DeError> {
+        match self.entries.iter().find(|(k, _)| k == kind) {
+            Some((_, decode)) => decode(spec).map(PopulationHandle::from_box),
+            None => Err(DeError::custom(format!(
+                "unknown population source kind `{kind}` (registered: {})",
+                self.kinds().join(", ")
+            ))),
+        }
+    }
+
+    /// The registered kind tags, in registration order.
+    pub fn kinds(&self) -> Vec<&str> {
+        self.entries.iter().map(|(k, _)| k.as_str()).collect()
+    }
+}
+
+impl Default for SourceRegistry {
+    fn default() -> Self {
+        SourceRegistry::builtin()
+    }
+}
+
+impl fmt::Debug for SourceRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SourceRegistry")
+            .field("kinds", &self.kinds())
+            .finish()
+    }
+}
+
+fn decode_profile(spec: &Content) -> Result<Box<dyn PopulationSource>, DeError> {
+    LoadProfile::from_content(spec).map(|p| Box::new(p) as Box<dyn PopulationSource>)
+}
+
+fn decode_trace(spec: &Content) -> Result<Box<dyn PopulationSource>, DeError> {
+    TraceSource::from_content(spec).map(|t| Box::new(t) as Box<dyn PopulationSource>)
+}
+
+fn global_registry() -> &'static RwLock<SourceRegistry> {
+    static REGISTRY: OnceLock<RwLock<SourceRegistry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(SourceRegistry::builtin()))
+}
+
+/// Registers a source kind process-wide, so `WorkloadSpec`
+/// deserialisation (which has no registry parameter) can revive it.
+/// The built-in `"profile"` and `"trace"` kinds are pre-registered.
+pub fn register_source(kind: impl Into<String>, decode: SourceDecodeFn) {
+    let mut registry = global_registry()
+        .write()
+        .unwrap_or_else(PoisonError::into_inner);
+    *registry = registry.clone().with_source(kind, decode);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_handle_round_trips_tagged() {
+        let h = PopulationHandle::from(LoadProfile::Ramp {
+            from: 500,
+            to: 3000,
+            start: 0.0,
+            duration: 1500.0,
+        });
+        let content = h.to_content();
+        assert_eq!(
+            content.get_field("kind"),
+            Some(&Content::Str("profile".to_string()))
+        );
+        let back = PopulationHandle::from_content(&content).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn legacy_bare_profile_still_deserialises() {
+        let legacy = Serialize::to_content(&LoadProfile::Constant(42));
+        let h = PopulationHandle::from_content(&legacy).unwrap();
+        assert_eq!(h.population_at(0.0), 42);
+        assert_eq!(h.kind(), "profile");
+    }
+
+    #[test]
+    fn handle_delegates_queries() {
+        let h = PopulationHandle::from(LoadProfile::Spike {
+            baseline: 100,
+            spike: 900,
+            start: 50.0,
+            duration: 25.0,
+        });
+        assert_eq!(h.population_at(60.0), 900);
+        assert_eq!(h.peak(), 900);
+        assert_eq!(h.change_points(0.0, 100.0).len(), 2);
+        assert!(!h.provides_spike_hints());
+        assert!(h.spike_points(0.0, 100.0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn unknown_kind_is_a_typed_error() {
+        let content = Content::Map(vec![
+            ("kind".to_string(), Content::Str("learned".to_string())),
+            ("spec".to_string(), Content::Null),
+        ]);
+        let err = PopulationHandle::from_content(&content).unwrap_err();
+        assert!(err.to_string().contains("learned"));
+    }
+
+    #[test]
+    fn registry_replaces_on_rebind() {
+        let reg = SourceRegistry::builtin().with_source("profile", decode_profile);
+        assert_eq!(reg.kinds(), vec!["profile", "trace"]);
+    }
+
+    #[test]
+    fn registered_custom_kind_round_trips() {
+        fn decode_fixed(spec: &Content) -> Result<Box<dyn PopulationSource>, DeError> {
+            let n = usize::from_content(spec)?;
+            Ok(Box::new(LoadProfile::Constant(n)))
+        }
+        register_source("fixed-for-test", decode_fixed);
+        let content = Content::Map(vec![
+            (
+                "kind".to_string(),
+                Content::Str("fixed-for-test".to_string()),
+            ),
+            ("spec".to_string(), Content::U64(7)),
+        ]);
+        let h = PopulationHandle::from_content(&content).unwrap();
+        assert_eq!(h.population_at(123.0), 7);
+    }
+}

@@ -42,17 +42,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     app.add_feature("book", gateway, g_book);
 
     // A lunchtime rush: 80/20 search/book, 200 -> 1200 users in 20 min.
-    let workload = WorkloadSpec {
-        mix: RequestMix::new(vec![0.8, 0.2])?,
-        think_time: 5.0,
-        profile: LoadProfile::Ramp {
+    let workload = WorkloadSpec::new(
+        RequestMix::new(vec![0.8, 0.2])?,
+        5.0,
+        LoadProfile::Ramp {
             from: 200,
             to: 1200,
             start: 0.0,
             duration: 1200.0,
         },
-        burstiness: None,
-    };
+    );
 
     // The knowledge base is derived straight from the topology.
     let binding = ModelBinding::from_app_spec(&app, 200, 5.0, workload.mix.fractions());

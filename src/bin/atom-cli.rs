@@ -83,7 +83,7 @@ fn example_scenario() -> Scenario {
 fn binding_for(scenario: &Scenario) -> ModelBinding {
     ModelBinding::from_app_spec(
         &scenario.app,
-        scenario.workload.profile.population_at(0.0),
+        scenario.workload.source.population_at(0.0),
         scenario.workload.think_time,
         scenario.workload.mix.fractions(),
     )
