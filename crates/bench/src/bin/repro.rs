@@ -19,8 +19,8 @@
 
 use atom_bench::eval::{run_one, ScalerKind};
 use atom_bench::figures::{
-    ablation, chaos, fig11, fig12, fig13, fig2, fig4, fig7, fig8910, forecast, scale, trace_replay,
-    validation,
+    ablation, chaos, contention, fig11, fig12, fig13, fig2, fig4, fig7, fig8910, forecast, scale,
+    trace_replay, validation,
 };
 use atom_bench::{eval, trace, HarnessOptions};
 use atom_core::workload::TraceFormat;
@@ -182,10 +182,13 @@ fn main() {
                      [--format alibaba|google] [--quiet] [--verbose] <command>...\n\
                      commands: setup fig2 fig4 table3 fig5 table4 validation fig7 \
                      fig8 fig9 fig10 evaluation fig11 fig12 fig13 ablation chaos forecast \
-                     trace scale all\n\
+                     trace contention scale all\n\
                      trace: replay a production arrival trace (--trace-file, --format; \
                      defaults to the bundled fixtures); `trace --smoke` enforces the \
                      journal-schema, wedging, and proactive<=reactive gates\n\
+                     contention: multi-tenant placement/admission matrix (2 and 4 \
+                     tenants on ample and tight pools); `contention --smoke` enforces \
+                     the fairness, ledger-reconciliation, and rejection gates\n\
                      scale: backend scaling trajectory up to --users (default 1000000); \
                      `scale --smoke` enforces the wall-clock and speedup gates"
                 );
@@ -203,6 +206,9 @@ fn main() {
             scale::run(&opts, users, true);
         } else if commands.iter().any(|c| c == "trace") {
             trace_replay::smoke(&opts);
+        } else if commands.iter().any(|c| c == "contention") {
+            std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
+            contention::smoke(&opts);
         } else {
             smoke(&opts);
         }
@@ -211,7 +217,7 @@ fn main() {
     if commands.is_empty() {
         commands.push("all".into());
     }
-    const KNOWN: [&str; 21] = [
+    const KNOWN: [&str; 22] = [
         "setup",
         "fig2",
         "fig4",
@@ -231,6 +237,7 @@ fn main() {
         "chaos",
         "forecast",
         "trace",
+        "contention",
         "scale",
         "all",
     ];
@@ -311,6 +318,9 @@ fn main() {
     if wants("trace") {
         let results = trace_replay::run(&opts, trace_file.as_deref(), trace_format);
         trace::emit(&opts, &results);
+    }
+    if wants("contention") {
+        contention::run(&opts);
     }
     // `scale` is a performance trajectory, not a paper artefact: it runs
     // only when asked for explicitly, never as part of `all`.

@@ -1,0 +1,395 @@
+//! `repro contention` — beyond the paper: 2–4 Sock Shop tenants with
+//! phase-shifted workloads contending for one fixed node pool.
+//!
+//! Each tenant is a full Sock Shop deployment with its own autoscaler
+//! (alternating UH / UV down the tenant list), placed onto the shared
+//! pool by `atom-placement`'s first-fit-decreasing scheduler. Every
+//! scale-up passes admission control: on the *ample* pools requests are
+//! admitted, on the *tight* ("exhaustion") pools they queue and — once a
+//! tenant's queue bound is hit or a target outgrows its node — are
+//! rejected with a typed reason.
+//!
+//! Reported per tenant: SLO-violation-seconds (under-provisioned time of
+//! the stateless services against the offered load, the paper's `T_u`
+//! restricted to the tenant), granted core-seconds, and the admission
+//! ledger (requests / admitted / queued / rejected / drained). Per
+//! scenario: the Jain fairness index over granted capacity.
+//!
+//! The scenario matrix fans out across worker threads with the same
+//! index-strided, worker-count-deterministic recipe as the candidate
+//! evaluator (`ATOM_EVAL_WORKERS`): every cell is self-contained, so the
+//! CSV is bitwise identical for any worker count.
+
+use atom_core::baselines::RuleConfig;
+use atom_core::{Autoscaler, UhScaler, UvScaler};
+use atom_metrics::jain_fairness_index;
+use atom_placement::{
+    run_multi_tenant, AdmissionVerdict, MultiTenantCluster, NodePool, TenantSpec,
+};
+use atom_sockshop::{scenarios, SockShop};
+
+use crate::output::{f, Table};
+use crate::HarnessOptions;
+
+use atom_cluster::ClusterOptions;
+
+/// Pool sizing of one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Enough nodes that staggered peaks mostly fit.
+    Ample,
+    /// The exhaustion case: scale-ups queue and get rejected.
+    Tight,
+}
+
+impl PoolKind {
+    fn name(self) -> &'static str {
+        match self {
+            PoolKind::Ample => "ample",
+            PoolKind::Tight => "tight",
+        }
+    }
+}
+
+/// One cell of the contention matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Number of Sock Shop tenants sharing the pool.
+    pub tenants: usize,
+    /// Pool sizing.
+    pub pool: PoolKind,
+}
+
+impl Scenario {
+    fn name(&self) -> String {
+        format!("{}x-{}", self.tenants, self.pool.name())
+    }
+
+    /// The shared pool: one node per tenant either way. `Ample` nodes
+    /// have 12 cores, so even after first-fit-decreasing consolidates
+    /// the initial deployments onto the first nodes there is headroom
+    /// for scaled-up peaks; `Tight` nodes have 4 cores — enough for
+    /// every initial deployment, not for the peaks.
+    fn pool_spec(&self) -> NodePool {
+        let cores = match self.pool {
+            PoolKind::Ample => 12,
+            PoolKind::Tight => 4,
+        };
+        let mut pool = NodePool::new();
+        for i in 0..self.tenants {
+            pool.add_node(format!("node-{i}"), cores, 1.0);
+        }
+        pool
+    }
+
+    /// Tight pools also bound each tenant's admission queue hard, so
+    /// exhaustion turns into *rejections*, not silent parking.
+    fn queue_limit(&self) -> usize {
+        match self.pool {
+            PoolKind::Ample => atom_placement::AdmissionController::DEFAULT_QUEUE_LIMIT,
+            PoolKind::Tight => 1,
+        }
+    }
+}
+
+/// The full matrix: {2, 4} tenants × {ample, tight} pools.
+pub fn matrix() -> Vec<Scenario> {
+    let mut cells = Vec::new();
+    for &tenants in &[2usize, 4] {
+        for &pool in &[PoolKind::Ample, PoolKind::Tight] {
+            cells.push(Scenario { tenants, pool });
+        }
+    }
+    cells
+}
+
+/// One tenant's outcome in one scenario.
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    /// Tenant name.
+    pub tenant: String,
+    /// Its controller.
+    pub scaler: String,
+    /// Seconds a stateless service of this tenant was under-provisioned
+    /// against its offered load.
+    pub slo_violation_s: f64,
+    /// Core-seconds actually granted to the tenant.
+    pub granted_core_s: f64,
+    /// Admission ledger for this tenant.
+    pub stats: atom_placement::AdmissionStats,
+    /// Rejections observed on this tenant's own verdicts (must agree
+    /// with `stats.rejected`).
+    pub rejected_seen: u64,
+}
+
+/// One scenario's outcome.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// Total pool capacity (cores).
+    pub pool_cores: f64,
+    /// Jain fairness index over granted core-seconds.
+    pub jain: f64,
+    /// Per-tenant rows.
+    pub tenants: Vec<TenantOutcome>,
+    /// Worst `committed − capacity` over nodes at the end (≤ 0 when the
+    /// ledger never over-committed).
+    pub worst_overcommit: f64,
+}
+
+fn windows(opts: &HarnessOptions) -> (usize, f64) {
+    if opts.quick {
+        (4, 120.0)
+    } else {
+        (opts.windows(), opts.window_secs())
+    }
+}
+
+fn populations(opts: &HarnessOptions) -> (usize, usize) {
+    if opts.quick {
+        (200, 1200)
+    } else {
+        (400, 2000)
+    }
+}
+
+/// Runs one scenario cell: place the tenants, drive one autoscaler per
+/// tenant through admission, and fold the per-tenant reports into the
+/// contention metrics.
+pub fn run_scenario(scenario: &Scenario, opts: &HarnessOptions) -> ScenarioOutcome {
+    let shop = SockShop::default();
+    let (n_windows, window_secs) = windows(opts);
+    let (baseline, peak) = populations(opts);
+    let run_secs = n_windows as f64 * window_secs;
+
+    // Tenant i: UH on even, UV on odd (UH gets the paper's
+    // stateful-full-core deployment, as everywhere else in the harness).
+    let mut tenants = Vec::with_capacity(scenario.tenants);
+    let mut scalers: Vec<Box<dyn Autoscaler>> = Vec::with_capacity(scenario.tenants);
+    for ti in 0..scenario.tenants {
+        let uses_uh = ti % 2 == 0;
+        let app = if uses_uh {
+            shop.app_spec_stateful_full_core()
+        } else {
+            shop.app_spec()
+        };
+        let workload =
+            scenarios::contention_workload(ti, scenario.tenants, baseline, peak, run_secs);
+        scalers.push(if uses_uh {
+            Box::new(UhScaler::new(&app, RuleConfig::default()))
+        } else {
+            Box::new(UvScaler::new(&app, RuleConfig::default()))
+        });
+        tenants.push(TenantSpec::new(format!("tenant-{ti}"), app, workload));
+    }
+
+    let pool = scenario.pool_spec();
+    let pool_cores = pool.capacity_cores();
+    let mut mtc =
+        MultiTenantCluster::new(&pool, &tenants, ClusterOptions::new().with_seed(opts.seed))
+            .expect("every initial deployment fits its pool")
+            .with_queue_limit(scenario.queue_limit());
+
+    let runs = run_multi_tenant(&mut mtc, &mut scalers, n_windows, window_secs);
+
+    let mut outcomes = Vec::with_capacity(runs.len());
+    for (ti, run) in runs.iter().enumerate() {
+        let app = &tenants[ti].app;
+        let think = tenants[ti].workload.think_time;
+        let mix = tenants[ti].workload.mix.fractions();
+        let (mut slo, mut granted) = (0.0f64, 0.0f64);
+        for report in &run.reports {
+            let dur = report.end - report.start;
+            let offered = report.avg_users / think;
+            let required = app.required_cores(mix, offered);
+            let violated = crate::eval::STATELESS
+                .iter()
+                .any(|&si| report.service_alloc_cores[si] + 1e-9 < required[si]);
+            if violated {
+                slo += dur;
+            }
+            granted += report.service_alloc_cores.iter().sum::<f64>() * dur;
+        }
+        let rejected_seen = run
+            .actions
+            .iter()
+            .filter(|(_, _, v)| matches!(v, AdmissionVerdict::Rejected { .. }))
+            .count() as u64;
+        outcomes.push(TenantOutcome {
+            tenant: run.tenant.clone(),
+            scaler: run.scaler.clone(),
+            slo_violation_s: slo,
+            granted_core_s: granted,
+            stats: mtc.admission_stats()[ti],
+            rejected_seen,
+        });
+    }
+
+    let granted: Vec<f64> = outcomes.iter().map(|t| t.granted_core_s).collect();
+    let worst_overcommit = (0..pool.len())
+        .map(|n| mtc.committed_cores(n) - pool.servers[n].cores as f64)
+        .fold(f64::NEG_INFINITY, f64::max);
+    ScenarioOutcome {
+        scenario: *scenario,
+        pool_cores,
+        jain: jain_fairness_index(&granted),
+        tenants: outcomes,
+        worst_overcommit,
+    }
+}
+
+/// Worker count for the scenario fan-out: the evaluator's
+/// `ATOM_EVAL_WORKERS` convention (results are bitwise independent of
+/// it — each cell is self-contained and merged by index).
+fn launcher_workers() -> usize {
+    std::env::var("ATOM_EVAL_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(1)
+}
+
+/// Runs the whole matrix, index-strided across `ATOM_EVAL_WORKERS`
+/// threads, results merged back in matrix order.
+pub fn run_matrix(opts: &HarnessOptions) -> Vec<ScenarioOutcome> {
+    let cells = matrix();
+    let n_workers = launcher_workers().min(cells.len());
+    let mut out: Vec<Option<ScenarioOutcome>> = vec![None; cells.len()];
+    if n_workers <= 1 {
+        for (i, cell) in cells.iter().enumerate() {
+            atom_obs::progress!("  contention: {}", cell.name());
+            out[i] = Some(run_scenario(cell, opts));
+        }
+    } else {
+        let results: Vec<(usize, ScenarioOutcome)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n_workers);
+            for w in 0..n_workers {
+                let cells = &cells;
+                handles.push(scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    let mut j = w;
+                    while j < cells.len() {
+                        mine.push((j, run_scenario(&cells[j], opts)));
+                        j += n_workers;
+                    }
+                    mine
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("contention worker panicked"))
+                .collect()
+        });
+        for (j, outcome) in results {
+            out[j] = Some(outcome);
+        }
+    }
+    out.into_iter().map(|o| o.expect("all cells ran")).collect()
+}
+
+/// Renders the matrix as a table and writes `contention.csv`.
+pub fn report(outcomes: &[ScenarioOutcome], opts: &HarnessOptions) {
+    let mut table = Table::new(&[
+        "scenario",
+        "pool",
+        "tenant",
+        "scaler",
+        "SLO-viol (s)",
+        "granted (core-s)",
+        "req",
+        "admit",
+        "queue",
+        "reject",
+        "jain",
+    ]);
+    for o in outcomes {
+        for t in &o.tenants {
+            table.row(vec![
+                o.scenario.name(),
+                format!("{} cores", f(o.pool_cores, 0)),
+                t.tenant.clone(),
+                t.scaler.clone(),
+                f(t.slo_violation_s, 0),
+                f(t.granted_core_s, 0),
+                t.stats.requests.to_string(),
+                t.stats.admitted.to_string(),
+                t.stats.queued.to_string(),
+                t.stats.rejected.to_string(),
+                f(o.jain, 4),
+            ]);
+        }
+    }
+    table.print();
+    table.write_csv(&opts.out_dir.join("contention.csv"));
+}
+
+/// `repro contention`: run the matrix and emit the artefacts.
+pub fn run(opts: &HarnessOptions) -> Vec<ScenarioOutcome> {
+    atom_obs::progress!(
+        "running the contention matrix ({} scenarios)...",
+        matrix().len()
+    );
+    let outcomes = run_matrix(opts);
+    report(&outcomes, opts);
+    outcomes
+}
+
+/// `repro contention --smoke`: the CI gate. Quick matrix, then require
+/// that (1) every scenario completed with a sane fairness index,
+/// (2) per-tenant admission accounting reconciles (`requests ==
+/// admitted + queued + rejected`, verdicts agree with the ledger),
+/// (3) the ledger never over-committed a node, and (4) the exhaustion
+/// scenarios produced at least one rejection.
+pub fn smoke(opts: &HarnessOptions) {
+    let mut opts = opts.clone();
+    opts.quick = true;
+    let outcomes = run(&opts);
+    let mut failures: Vec<String> = Vec::new();
+    let mut tight_rejections = 0u64;
+    for o in &outcomes {
+        let name = o.scenario.name();
+        if !(o.jain > 0.0 && o.jain <= 1.0 + 1e-9) {
+            failures.push(format!("{name}: Jain index {} outside (0, 1]", o.jain));
+        }
+        if o.worst_overcommit > 1e-9 {
+            failures.push(format!(
+                "{name}: admission over-committed a node by {:.3} cores",
+                o.worst_overcommit
+            ));
+        }
+        for t in &o.tenants {
+            let s = t.stats;
+            if s.requests != s.admitted + s.queued + s.rejected {
+                failures.push(format!(
+                    "{name}/{}: ledger does not reconcile ({} != {} + {} + {})",
+                    t.tenant, s.requests, s.admitted, s.queued, s.rejected
+                ));
+            }
+            if s.rejected != t.rejected_seen {
+                failures.push(format!(
+                    "{name}/{}: {} rejections in the ledger, {} in the verdicts",
+                    t.tenant, s.rejected, t.rejected_seen
+                ));
+            }
+            if o.scenario.pool == PoolKind::Tight {
+                tight_rejections += s.rejected;
+            }
+        }
+    }
+    if tight_rejections == 0 {
+        failures.push("no admission rejection in any exhaustion scenario".into());
+    }
+    if failures.is_empty() {
+        atom_obs::info!(
+            "contention smoke OK: {} scenarios, {} rejections under exhaustion",
+            outcomes.len(),
+            tight_rejections
+        );
+    } else {
+        for msg in &failures {
+            atom_obs::error!("contention smoke FAILED: {msg}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod chaos;
+pub mod contention;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;

@@ -20,6 +20,8 @@ use std::time::Instant;
 use atom_cluster::spec::AppSpec;
 use atom_cluster::{BackendMode, Cluster, ClusterOptions, ScaleAction, ServiceId};
 use atom_core::workload::{RequestMix, WorkloadSpec};
+use atom_placement::{MultiTenantCluster, NodePool, TenantSpec};
+use atom_sockshop::{scenarios, SockShop};
 
 use crate::output::{f, Table};
 use crate::HarnessOptions;
@@ -185,6 +187,64 @@ pub fn run_point(mode: BackendMode, users: usize, smoke: bool, seed: u64) -> Sca
     }
 }
 
+/// One multi-tenant wall-clock measurement: `tenants` full Sock Shop
+/// deployments, phase-shifted workloads, one shared pool.
+#[derive(Debug, Clone)]
+pub struct TenantPoint {
+    /// Number of Sock Shop tenants sharing the pool.
+    pub tenants: usize,
+    /// Simulated horizon (seconds).
+    pub sim_seconds: f64,
+    /// Wall-clock cost including placement and construction (seconds).
+    pub wall_seconds: f64,
+    /// Client requests completed across all tenants.
+    pub requests: u64,
+}
+
+impl TenantPoint {
+    /// The headline multi-tenant metric: wall-clock seconds per
+    /// simulated hour.
+    pub fn wall_s_per_sim_hour(&self) -> f64 {
+        self.wall_seconds * 3600.0 / self.sim_seconds.max(1e-9)
+    }
+}
+
+/// Runs `tenants` phase-shifted Sock Shop tenants on one ample pool
+/// (12-core node per tenant) and measures the wall-clock cost of the
+/// multi-tenant per-user simulation.
+pub fn run_tenant_point(tenants: usize, smoke: bool, seed: u64) -> TenantPoint {
+    let shop = SockShop::default();
+    let sim_seconds = if smoke { 600.0 } else { 3600.0 };
+    let mut pool = NodePool::new();
+    for i in 0..tenants {
+        pool.add_node(format!("node-{i}"), 12, 1.0);
+    }
+    let specs: Vec<TenantSpec> = (0..tenants)
+        .map(|ti| {
+            TenantSpec::new(
+                format!("tenant-{ti}"),
+                shop.app_spec(),
+                scenarios::contention_workload(ti, tenants, 300, 900, sim_seconds),
+            )
+        })
+        .collect();
+    let started = Instant::now();
+    let mut mtc = MultiTenantCluster::new(&pool, &specs, ClusterOptions::new().with_seed(seed))
+        .expect("the ample pool fits every tenant");
+    let windows = 12usize;
+    let mut requests = 0u64;
+    for _ in 0..windows {
+        let r = mtc.run_window(sim_seconds / windows as f64);
+        requests += r.feature_counts.iter().sum::<u64>();
+    }
+    TenantPoint {
+        tenants,
+        sim_seconds,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        requests,
+    }
+}
+
 fn speedup_vs_per_user(points: &[ScalePoint], p: &ScalePoint) -> Option<f64> {
     points
         .iter()
@@ -192,7 +252,7 @@ fn speedup_vs_per_user(points: &[ScalePoint], p: &ScalePoint) -> Option<f64> {
         .map(|base| p.req_per_wall_s() / base.req_per_wall_s().max(1e-9))
 }
 
-fn write_bench_json(points: &[ScalePoint], path: &std::path::Path) {
+fn write_bench_json(points: &[ScalePoint], tenant_points: &[TenantPoint], path: &std::path::Path) {
     let mut entries = Vec::new();
     for p in points {
         let speedup = match speedup_vs_per_user(points, p) {
@@ -219,15 +279,33 @@ fn write_bench_json(points: &[ScalePoint], path: &std::path::Path) {
             speedup,
         ));
     }
+    let mut tenant_entries = Vec::new();
+    for t in tenant_points {
+        tenant_entries.push(format!(
+            concat!(
+                "    {{\"tenants\": {}, \"sim_seconds\": {}, \"wall_seconds\": {:.3}, ",
+                "\"requests\": {}, \"wall_s_per_sim_hour\": {:.3}}}"
+            ),
+            t.tenants,
+            t.sim_seconds,
+            t.wall_seconds,
+            t.requests,
+            t.wall_s_per_sim_hour(),
+        ));
+    }
     let json = format!(
         concat!(
             "{{\n",
             "  \"benchmark\": \"cluster-backend-scale\",\n",
             "  \"metric\": \"completed client requests simulated per wall-clock second\",\n",
-            "  \"entries\": [\n{}\n  ]\n",
+            "  \"entries\": [\n{}\n  ],\n",
+            "  \"multi_tenant_metric\": \"wall-clock seconds per simulated hour, ",
+            "phase-shifted Sock Shop tenants on one shared pool\",\n",
+            "  \"multi_tenant\": [\n{}\n  ]\n",
             "}}\n"
         ),
-        entries.join(",\n")
+        entries.join(",\n"),
+        tenant_entries.join(",\n")
     );
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).expect("create results dir");
@@ -339,7 +417,27 @@ pub fn run(opts: &HarnessOptions, max_users: usize, smoke: bool) {
     table.print();
     let csv_path = opts.out_dir.join("scale.csv");
     table.write_csv(&csv_path);
-    write_bench_json(&points, &opts.out_dir.join("BENCH_cluster.json"));
+
+    // The multi-tenant wall-clock entries: 2 and 4 Sock Shop tenants
+    // through the placement layer, reported as wall-time per simulated
+    // hour.
+    let mut tenant_points = Vec::new();
+    for tenants in [2usize, 4] {
+        let t = run_tenant_point(tenants, smoke, opts.seed);
+        atom_obs::progress!(
+            "scale: {} tenants: {:.2}s wall per simulated hour ({} requests / {:.2}s wall)",
+            t.tenants,
+            t.wall_s_per_sim_hour(),
+            t.requests,
+            t.wall_seconds
+        );
+        tenant_points.push(t);
+    }
+    write_bench_json(
+        &points,
+        &tenant_points,
+        &opts.out_dir.join("BENCH_cluster.json"),
+    );
 
     for p in points.iter().filter(|p| p.mode != BackendMode::PerUser) {
         if let Some(s) = speedup_vs_per_user(&points, p) {

@@ -172,7 +172,15 @@ impl Cluster {
         self.accum.in_system_tw.reset(end);
         self.accum.peak_in_system = self.accum.in_system;
 
-        let avg_users = self.backend.window_users(end);
+        // Per-tenant window averages, in tenant order; the merged figure
+        // is their sum (bitwise the single value for one tenant, since
+        // a one-element sum is `0.0 + x`).
+        let tenant_avg_users: Vec<f64> = self
+            .tenants
+            .iter_mut()
+            .map(|t| t.backend.window_users(end))
+            .collect();
+        let avg_users = tenant_avg_users.iter().sum::<f64>();
 
         // Monitoring darkness overlapping this window; spent intervals
         // are pruned so the scan stays O(active faults).
@@ -203,18 +211,73 @@ impl Cluster {
             server_utilization,
             total_tps,
             avg_users,
-            users_at_end: self.backend.users_at_end(),
+            users_at_end: self.tenants.iter().map(|t| t.backend.users_at_end()).sum(),
             peak_arrival_rate,
             peak_in_system,
             avg_in_system,
             monitor_dropout_fraction,
             failed_actuations: std::mem::take(&mut self.fabric.failed_actuations),
             scale_latency: self.telemetry.scale_latency_stats(),
-            backend: self.backend.kind(),
+            backend: self.tenants[0].backend.kind(),
             backend_switches: std::mem::take(&mut self.accum.window_switches),
+            tenant: None,
         };
+        // Per-tenant views exist only for multi-tenant clusters, so the
+        // single-tenant collection path (and its artefacts) stays
+        // byte-identical to the pre-tenancy runtime.
+        if self.tenants.len() > 1 {
+            self.tenant_reports = (0..self.tenants.len())
+                .map(|ti| self.tenant_view(&report, ti, tenant_avg_users[ti], span))
+                .collect();
+        }
         self.accum.feature_resp_sum = vec![0.0; nf];
         self.accum.window_start = end;
         report
+    }
+
+    /// Slices one tenant's view out of the merged window report: its own
+    /// feature and service columns (re-indexed to tenant-local ids), its
+    /// own population figures, and the shared infrastructure columns
+    /// (server utilisation, dropout, scale latency) copied as-is.
+    fn tenant_view(
+        &self,
+        merged: &WindowReport,
+        ti: usize,
+        avg_users: f64,
+        span: f64,
+    ) -> WindowReport {
+        let t = &self.tenants[ti];
+        let fr = t.layout.features();
+        let sr = t.layout.services();
+        let feature_counts = merged.feature_counts[fr.clone()].to_vec();
+        let total_tps = feature_counts.iter().sum::<u64>() as f64 / span;
+        WindowReport {
+            start: merged.start,
+            end: merged.end,
+            feature_counts,
+            feature_tps: merged.feature_tps[fr.clone()].to_vec(),
+            feature_response: merged.feature_response[fr].to_vec(),
+            endpoint_tps: merged.endpoint_tps[sr.clone()].to_vec(),
+            service_utilization: merged.service_utilization[sr.clone()].to_vec(),
+            service_busy_cores: merged.service_busy_cores[sr.clone()].to_vec(),
+            service_alloc_cores: merged.service_alloc_cores[sr.clone()].to_vec(),
+            service_replicas: merged.service_replicas[sr.clone()].to_vec(),
+            service_ready_replicas: merged.service_ready_replicas[sr.clone()].to_vec(),
+            service_shares: merged.service_shares[sr.clone()].to_vec(),
+            service_availability: merged.service_availability[sr].to_vec(),
+            server_utilization: merged.server_utilization.clone(),
+            total_tps,
+            avg_users,
+            users_at_end: t.backend.users_at_end(),
+            peak_arrival_rate: merged.peak_arrival_rate,
+            peak_in_system: merged.peak_in_system,
+            avg_in_system: merged.avg_in_system,
+            monitor_dropout_fraction: merged.monitor_dropout_fraction,
+            failed_actuations: merged.failed_actuations,
+            scale_latency: merged.scale_latency,
+            backend: t.backend.kind(),
+            backend_switches: merged.backend_switches,
+            tenant: Some(ti),
+        }
     }
 }

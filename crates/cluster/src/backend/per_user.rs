@@ -23,16 +23,21 @@ pub(crate) struct PerUserDes {
     users_tw: TimeWeighted,
     /// MMPP-2 think-rate modulation, when the workload is bursty.
     mmpp: Option<Mmpp2>,
+    /// Tenant tag OR-ed into every scheduled user id (see
+    /// `runtime::TENANT_SHIFT`). Zero for tenant 0, so single-tenant
+    /// event streams are bitwise-identical to the pre-tenancy runtime.
+    user_base: usize,
 }
 
 impl PerUserDes {
-    pub fn new(mmpp: Option<Mmpp2>) -> Self {
+    pub fn new(mmpp: Option<Mmpp2>, user_base: usize) -> Self {
         PerUserDes {
             users_alive: Vec::new(),
             dead_slots: std::collections::BTreeSet::new(),
             alive: 0,
             users_tw: TimeWeighted::new(0.0, 0.0),
             mmpp,
+            user_base,
         }
     }
 
@@ -65,8 +70,12 @@ impl PerUserDes {
     /// request-completion path go through here).
     fn schedule_next_arrival(&mut self, ctx: &mut PopCtx<'_>, user: usize) {
         let think = self.sample_think(ctx);
-        ctx.engine
-            .push(ctx.engine.now + think, Event::UserReady { user });
+        ctx.engine.push(
+            ctx.engine.now + think,
+            Event::UserReady {
+                user: self.user_base | user,
+            },
+        );
     }
 }
 

@@ -17,8 +17,8 @@ use atom_sim::TimerWheel;
 pub(crate) enum Event {
     /// A user finished thinking and issues a request.
     UserReady { user: usize },
-    /// The load profile moves to a new target population.
-    PopulationChange { population: usize },
+    /// The load profile of one tenant moves to a new target population.
+    PopulationChange { tenant: usize, population: usize },
     /// A starting replica becomes ready.
     ReplicaReady { service: usize, replica: usize },
     /// A processor may have completed jobs (guarded by `generation`).

@@ -79,6 +79,6 @@ pub use atom_faults::{FaultEvent, FaultKind, FaultPlan, FaultSchedule};
 pub use backend::{BackendKind, BackendMode};
 pub use error::ClusterError;
 pub use monitor::WindowReport;
-pub use runtime::{Cluster, ClusterOptions, RequestTrace, ScaleAction, TraceSpan};
+pub use runtime::{Cluster, ClusterOptions, RequestTrace, ScaleAction, TenantLayout, TraceSpan};
 pub use spec::{AppSpec, EndpointId, ServerId, ServiceId};
 pub use telemetry::{ClusterTelemetry, ScaleLatencyStats};

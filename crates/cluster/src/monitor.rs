@@ -110,6 +110,11 @@ pub struct WindowReport {
     /// around transients in hybrid mode.
     #[serde(default)]
     pub backend_switches: usize,
+    /// Which tenant this report describes, when it is one tenant's view
+    /// of a multi-tenant window (`Cluster::take_tenant_reports`). `None`
+    /// for merged and single-tenant reports.
+    #[serde(default)]
+    pub tenant: Option<usize>,
 }
 
 impl WindowReport {
@@ -142,7 +147,15 @@ impl WindowReport {
             scale_latency: None,
             backend: BackendKind::default(),
             backend_switches: 0,
+            tenant: None,
         }
+    }
+
+    /// Tags the report as one tenant's view of a multi-tenant window.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: Option<usize>) -> Self {
+        self.tenant = tenant;
+        self
     }
 
     /// Sets the per-feature completed request counts.

@@ -11,11 +11,13 @@
 use crate::backend::PopCtx;
 use crate::engine::Event;
 use crate::fabric::{InvState, Invocation, ReplicaState};
-use crate::runtime::{Cluster, RequestTrace, TraceSpan};
+use crate::runtime::{Cluster, RequestTrace, TenantRt, TraceSpan, TENANT_LOCAL_MASK, TENANT_SHIFT};
 
 impl Cluster {
     pub(crate) fn user_ready(&mut self, user: usize) {
-        if !self.backend.user_live(user) {
+        let ti = user >> TENANT_SHIFT;
+        let local = user & TENANT_LOCAL_MASK;
+        if !self.tenants[ti].backend.user_live(local) {
             return; // retired while thinking
         }
         self.accum.roll_subinterval(self.engine.now);
@@ -29,7 +31,21 @@ impl Cluster {
             .in_system_tw
             .update(self.engine.now, self.accum.in_system as f64);
         self.accum.peak_in_system = self.accum.peak_in_system.max(self.accum.in_system);
-        let feature = self.rng.categorical(self.workload.mix.fractions());
+        // A trace-backed source can carry per-bin mix shifts; the static
+        // path (the default) draws from the aggregate mix exactly as
+        // before, preserving the RNG stream bitwise.
+        let feature = {
+            let workload = &self.tenants[ti].workload;
+            if workload.dynamic_mix {
+                match workload.source.mix_at(self.engine.now) {
+                    Some(mix) => self.rng.categorical(&mix),
+                    None => self.rng.categorical(workload.mix.fractions()),
+                }
+            } else {
+                self.rng.categorical(workload.mix.fractions())
+            }
+        };
+        let feature = self.tenants[ti].layout.feature_offset + feature;
         let f = &self.spec.features[feature];
         let (si, ei) = (f.service.0, f.endpoint.0);
         self.start_call(si, ei, None, Some((feature, user)));
@@ -342,11 +358,16 @@ impl Cluster {
             self.accum.feature_counts[feature] += 1;
             self.accum.feature_resp_sum[feature] += now - arrival;
         }
+        let ti = user >> TENANT_SHIFT;
+        let local = user & TENANT_LOCAL_MASK;
+        let TenantRt {
+            backend, workload, ..
+        } = &mut self.tenants[ti];
         let mut ctx = PopCtx {
             engine: &mut self.engine,
             rng: &mut self.rng,
-            workload: &self.workload,
+            workload,
         };
-        self.backend.request_complete(&mut ctx, user);
+        backend.request_complete(&mut ctx, local);
     }
 }

@@ -170,17 +170,78 @@ const HYBRID_HOLD: f64 = 120.0;
 /// policy treats as a spike (and drops to per-user for).
 const SPIKE_THRESHOLD: f64 = 0.5;
 
+/// User ids carry their tenant in the high bits: global id =
+/// `(tenant << TENANT_SHIFT) | local`. Tenant 0's ids are numerically
+/// identical to the pre-tenancy runtime's, which keeps single-tenant
+/// event streams (and the pinned scenario digests) bitwise stable.
+pub(crate) const TENANT_SHIFT: u32 = 32;
+pub(crate) const TENANT_LOCAL_MASK: usize = (1 << TENANT_SHIFT) - 1;
+
+/// The slice of a merged multi-tenant [`AppSpec`] owned by one tenant:
+/// `feature_count` features starting at `feature_offset`, and
+/// `service_count` services starting at `service_offset`. The layouts of
+/// a cluster's tenants must tile the merged spec contiguously and in
+/// tenant order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantLayout {
+    /// First merged-spec feature index owned by the tenant.
+    pub feature_offset: usize,
+    /// Number of consecutive features owned.
+    pub feature_count: usize,
+    /// First merged-spec service index owned by the tenant.
+    pub service_offset: usize,
+    /// Number of consecutive services owned.
+    pub service_count: usize,
+}
+
+impl TenantLayout {
+    /// The layout of a tenant that owns the whole spec (the
+    /// single-tenant case).
+    pub fn whole(spec: &AppSpec) -> Self {
+        TenantLayout {
+            feature_offset: 0,
+            feature_count: spec.features.len(),
+            service_offset: 0,
+            service_count: spec.services.len(),
+        }
+    }
+
+    /// The tenant's feature index range in the merged spec.
+    pub fn features(&self) -> std::ops::Range<usize> {
+        self.feature_offset..self.feature_offset + self.feature_count
+    }
+
+    /// The tenant's service index range in the merged spec.
+    pub fn services(&self) -> std::ops::Range<usize> {
+        self.service_offset..self.service_offset + self.service_count
+    }
+}
+
+/// One tenant's live state: its population backend, its workload, and
+/// the slice of the merged spec it owns.
+pub(crate) struct TenantRt {
+    pub(crate) backend: Backend,
+    pub(crate) workload: WorkloadSpec,
+    pub(crate) layout: TenantLayout,
+}
+
 /// The running cluster. See the [crate docs](crate).
 pub struct Cluster {
     pub(crate) spec: AppSpec,
-    pub(crate) workload: WorkloadSpec,
     pub(crate) rng: SimRng,
     pub(crate) engine: Engine,
     pub(crate) fabric: Fabric,
-    pub(crate) backend: Backend,
+    /// One entry per tenant, in tenant order. Single-tenant clusters
+    /// (the [`Cluster::new`] path) hold exactly one entry whose layout
+    /// covers the whole spec; the fluid/hybrid machinery operates on
+    /// tenant 0 only (multi-tenant clusters are per-user by contract).
+    pub(crate) tenants: Vec<TenantRt>,
     pub(crate) accum: WindowAccum,
     pub(crate) options: ClusterOptions,
     pub(crate) telemetry: ClusterTelemetry,
+    /// Per-tenant reports of the most recent window; populated only for
+    /// multi-tenant clusters so single-tenant runs stay byte-stable.
+    pub(crate) tenant_reports: Vec<WindowReport>,
     /// End of the window currently (or most recently) being run — the
     /// horizon up to which population changes must be (re)scheduled when
     /// the hybrid policy switches to the per-user backend mid-window.
@@ -203,12 +264,60 @@ impl Cluster {
         workload: WorkloadSpec,
         options: ClusterOptions,
     ) -> Result<Self, ClusterError> {
+        let layout = TenantLayout::whole(spec);
+        Cluster::new_multi_tenant(spec, vec![(workload, layout)], options)
+    }
+
+    /// Deploys a merged multi-tenant `spec`: one `(workload, layout)`
+    /// pair per tenant, in tenant order. The layouts must tile the
+    /// merged spec's features and services contiguously. Multi-tenant
+    /// clusters run the per-user backend only (the fluid aggregation has
+    /// no notion of per-tenant populations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AppSpec::validate`] failures; rejects empty tenant
+    /// lists, non-tiling layouts, per-tenant mix-length mismatches, and
+    /// non-`PerUser` backend modes with more than one tenant.
+    pub fn new_multi_tenant(
+        spec: &AppSpec,
+        tenants: Vec<(WorkloadSpec, TenantLayout)>,
+        options: ClusterOptions,
+    ) -> Result<Self, ClusterError> {
         spec.validate()?;
-        if workload.mix.len() != spec.features.len() {
+        if tenants.is_empty() {
+            return Err(ClusterError::invalid_parameter(
+                "a cluster needs at least one tenant",
+            ));
+        }
+        if tenants.len() > 1 && options.backend != BackendMode::PerUser {
+            return Err(ClusterError::invalid_parameter(
+                "multi-tenant clusters support only the per-user backend",
+            ));
+        }
+        let (mut next_feature, mut next_service) = (0usize, 0usize);
+        for (ti, (workload, layout)) in tenants.iter().enumerate() {
+            if layout.feature_offset != next_feature || layout.service_offset != next_service {
+                return Err(ClusterError::invalid_parameter(format!(
+                    "tenant {ti}'s layout does not tile the merged spec contiguously"
+                )));
+            }
+            next_feature += layout.feature_count;
+            next_service += layout.service_count;
+            if workload.mix.len() != layout.feature_count {
+                return Err(ClusterError::invalid_parameter(format!(
+                    "tenant {ti}'s workload mix has {} features, its layout owns {}",
+                    workload.mix.len(),
+                    layout.feature_count
+                )));
+            }
+        }
+        if next_feature != spec.features.len() || next_service != spec.services.len() {
             return Err(ClusterError::invalid_parameter(format!(
-                "workload mix has {} features, app has {}",
-                workload.mix.len(),
-                spec.features.len()
+                "tenant layouts cover {next_feature} features / {next_service} services, \
+                 the merged spec has {} / {}",
+                spec.features.len(),
+                spec.services.len()
             )));
         }
         if let Err(why) = options
@@ -250,25 +359,36 @@ impl Cluster {
                 up: TimeWeighted::new(0.0, if s.initial_replicas > 0 { 1.0 } else { 0.0 }),
             });
         }
-        // MMPP calibration draws the RNG before anything else does —
-        // preserved verbatim from the monolithic runtime so seeds map to
-        // identical runs.
-        let mmpp = workload.burstiness.map(|b| {
-            let nominal = workload.source.population_at(0.0) as f64 / workload.think_time.max(1e-9);
-            Mmpp2::calibrated(nominal.max(1e-9), b, &mut rng)
-        });
-        // An MMPP-modulated workload has no steady state the fluid model
-        // could represent, so hybrid starts (and stays) per-user there.
-        let start_fluid = match options.backend {
-            BackendMode::PerUser => false,
-            BackendMode::Fluid => true,
-            BackendMode::Hybrid => workload.burstiness.is_none(),
-        };
-        let backend = if start_fluid {
-            Backend::Fluid(FluidPool::new(spec, &workload, 0.0))
-        } else {
-            Backend::PerUser(PerUserDes::new(mmpp))
-        };
+        // MMPP calibration draws the RNG before anything else does — per
+        // tenant, in tenant order; preserved verbatim from the monolithic
+        // runtime so single-tenant seeds map to identical runs.
+        let mut tenant_rts: Vec<TenantRt> = Vec::with_capacity(tenants.len());
+        for (ti, (workload, layout)) in tenants.into_iter().enumerate() {
+            let mmpp = workload.burstiness.map(|b| {
+                let nominal =
+                    workload.source.population_at(0.0) as f64 / workload.think_time.max(1e-9);
+                Mmpp2::calibrated(nominal.max(1e-9), b, &mut rng)
+            });
+            // An MMPP-modulated workload has no steady state the fluid
+            // model could represent, so hybrid starts (and stays)
+            // per-user there.
+            let start_fluid = match options.backend {
+                BackendMode::PerUser => false,
+                BackendMode::Fluid => true,
+                BackendMode::Hybrid => workload.burstiness.is_none(),
+            };
+            let backend = if start_fluid {
+                Backend::Fluid(FluidPool::new(spec, &workload, 0.0))
+            } else {
+                Backend::PerUser(PerUserDes::new(mmpp, ti << TENANT_SHIFT))
+            };
+            tenant_rts.push(TenantRt {
+                backend,
+                workload,
+                layout,
+            });
+        }
+        let start_fluid = matches!(tenant_rts[0].backend, Backend::Fluid(_));
         let np = spec.servers.len();
         let ns = spec.services.len();
         let fabric = Fabric {
@@ -300,20 +420,26 @@ impl Cluster {
             np,
             ns,
         );
+        let n_tenants = tenant_rts.len();
         let mut cluster = Cluster {
             spec: spec.clone(),
-            workload,
             rng,
             engine: Engine::new(),
             fabric,
-            backend,
+            tenants: tenant_rts,
             accum,
             options,
             telemetry: ClusterTelemetry::default(),
+            tenant_reports: Vec::new(),
             current_window_end: 0.0,
             transient_until: 0.0,
             fluid_gen: 0,
         };
+        // Per-tenant counters exist only for multi-tenant clusters, so
+        // single-tenant telemetry stays byte-identical.
+        if n_tenants > 1 {
+            cluster.telemetry.tenant_user_ready_events = vec![0; n_tenants];
+        }
         // The whole fault schedule enters the calendar upfront: fault
         // times are absolute, known, and few.
         for (idx, e) in cluster.options.faults.events().iter().enumerate() {
@@ -327,8 +453,10 @@ impl Cluster {
         // Spawn the initial population; future changes are scheduled
         // window by window (an unbounded upfront scan would blow up for
         // long-period or oscillating profiles).
-        let initial = cluster.workload.source.population_at(0.0);
-        cluster.backend_set_population(initial);
+        for ti in 0..n_tenants {
+            let initial = cluster.tenants[ti].workload.source.population_at(0.0);
+            cluster.backend_set_population(ti, initial);
+        }
         Ok(cluster)
     }
 
@@ -350,7 +478,48 @@ impl Cluster {
     /// The population backend currently live (fixed for `PerUser` /
     /// `Fluid` modes; time-varying under `Hybrid`).
     pub fn backend_kind(&self) -> BackendKind {
-        self.backend.kind()
+        self.tenants[0].backend.kind()
+    }
+
+    /// Number of tenants sharing the cluster (1 for the
+    /// [`Cluster::new`] path).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The layout of one tenant within the merged spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn tenant_layout(&self, tenant: usize) -> TenantLayout {
+        self.tenants[tenant].layout
+    }
+
+    /// Per-tenant reports of the most recently completed window, in
+    /// tenant order. Empty for single-tenant clusters (the merged report
+    /// returned by `run_window` is the tenant's report there) and until
+    /// the first multi-tenant window completes. Draining resets the
+    /// buffer, so call once per window.
+    pub fn take_tenant_reports(&mut self) -> Vec<WindowReport> {
+        std::mem::take(&mut self.tenant_reports)
+    }
+
+    /// CPU cores currently committed on `server`: the sum over its
+    /// services of live replicas × per-replica share. Admission control
+    /// reconciles its own ledger against this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn server_committed_cores(&self, server: usize) -> f64 {
+        assert!(server < self.spec.servers.len(), "server out of range");
+        self.fabric
+            .services
+            .iter()
+            .filter(|s| s.server == server)
+            .map(|s| s.live_count() as f64 * s.share)
+            .sum()
     }
 
     /// Live (ready + starting + draining) replica count of a service.
@@ -426,11 +595,18 @@ impl Cluster {
         // for the per-user backend: the fluid one reads the profile's
         // continuous envelope directly, and a million-user ramp expanded
         // into discrete change points would defeat the aggregation.
-        if matches!(self.backend, Backend::PerUser(_)) {
-            for (t, pop) in self.workload.source.change_points(self.engine.now, end) {
-                self.engine
-                    .push(t, Event::PopulationChange { population: pop });
+        let now = self.engine.now;
+        let mut changes: Vec<(f64, usize, usize)> = Vec::new();
+        for (ti, tenant) in self.tenants.iter().enumerate() {
+            if matches!(tenant.backend, Backend::PerUser(_)) {
+                for (t, pop) in tenant.workload.source.change_points(now, end) {
+                    changes.push((t, ti, pop));
+                }
             }
+        }
+        for (t, tenant, population) in changes {
+            self.engine
+                .push(t, Event::PopulationChange { tenant, population });
         }
         // A source that classifies its own burst onsets (trace replay)
         // schedules them as explicit hints; the hybrid policy then skips
@@ -438,12 +614,13 @@ impl Cluster {
         // read a busy trace's routine bin-to-bin steps as wall-to-wall
         // spikes and pin the run in per-user mode.
         if self.options.backend == BackendMode::Hybrid
-            && self.workload.source.provides_spike_hints()
+            && self.tenants[0].workload.source.provides_spike_hints()
         {
-            for t in self
-                .workload
-                .source
-                .spike_points(self.engine.now, end, SPIKE_THRESHOLD)
+            for t in
+                self.tenants[0]
+                    .workload
+                    .source
+                    .spike_points(self.engine.now, end, SPIKE_THRESHOLD)
             {
                 self.engine.push(t, Event::SpikeHint);
             }
@@ -474,11 +651,14 @@ impl Cluster {
         match ev {
             Event::UserReady { user } => {
                 self.telemetry.user_ready_events += 1;
+                if !self.telemetry.tenant_user_ready_events.is_empty() {
+                    self.telemetry.tenant_user_ready_events[user >> TENANT_SHIFT] += 1;
+                }
                 self.user_ready(user);
             }
-            Event::PopulationChange { population } => {
+            Event::PopulationChange { tenant, population } => {
                 self.telemetry.population_change_events += 1;
-                self.backend_set_population(population);
+                self.backend_set_population(tenant, population);
             }
             Event::ReplicaReady { service, replica } => {
                 self.telemetry.replica_ready_events += 1;
@@ -528,7 +708,7 @@ impl Cluster {
                     return; // scheduled before a backend switch
                 }
                 self.fluid_advance(self.engine.now);
-                if matches!(self.backend, Backend::Fluid(_)) {
+                if matches!(self.tenants[0].backend, Backend::Fluid(_)) {
                     self.engine.push(
                         self.engine.now + FluidPool::STEP,
                         Event::FluidStep {
@@ -545,8 +725,8 @@ impl Cluster {
                 self.telemetry.backend_check_events += 1;
                 if self.options.backend == BackendMode::Hybrid
                     && self.engine.now + 1e-9 >= self.transient_until
-                    && matches!(self.backend, Backend::PerUser(_))
-                    && self.workload.burstiness.is_none()
+                    && matches!(self.tenants[0].backend, Backend::PerUser(_))
+                    && self.tenants[0].workload.burstiness.is_none()
                 {
                     self.switch_to_fluid();
                 }
@@ -554,14 +734,17 @@ impl Cluster {
         }
     }
 
-    /// Routes a population change through the live backend.
-    fn backend_set_population(&mut self, population: usize) {
+    /// Routes a population change through one tenant's live backend.
+    fn backend_set_population(&mut self, tenant: usize, population: usize) {
+        let TenantRt {
+            backend, workload, ..
+        } = &mut self.tenants[tenant];
         let mut ctx = PopCtx {
             engine: &mut self.engine,
             rng: &mut self.rng,
-            workload: &self.workload,
+            workload,
         };
-        self.backend.set_population(&mut ctx, population);
+        backend.set_population(&mut ctx, population);
     }
 
     // ------------------------------------------------------------------
@@ -576,7 +759,7 @@ impl Cluster {
             return;
         }
         self.transient_until = self.engine.now + HYBRID_HOLD;
-        if matches!(self.backend, Backend::Fluid(_)) {
+        if matches!(self.tenants[0].backend, Backend::Fluid(_)) {
             self.switch_to_per_user();
         }
         self.engine.push(self.transient_until, Event::BackendCheck);
@@ -590,15 +773,15 @@ impl Cluster {
     fn switch_to_per_user(&mut self) {
         let now = self.engine.now;
         self.fluid_step_to(now);
-        let users_tw = match &self.backend {
+        let users_tw = match &self.tenants[0].backend {
             Backend::Fluid(p) => p.users_tw,
             Backend::PerUser(_) => return,
         };
         // Invalidate pending FluidStep events for the retired pool.
         self.fluid_gen += 1;
-        let mut per = PerUserDes::new(None);
+        let mut per = PerUserDes::new(None, 0);
         per.adopt(users_tw);
-        self.backend = Backend::PerUser(per);
+        self.tenants[0].backend = Backend::PerUser(per);
         self.telemetry.backend_switches += 1;
         self.accum.window_switches += 1;
         // The fluid model kept an analytic in-system estimate; discrete
@@ -614,17 +797,22 @@ impl Cluster {
         self.accum.in_system = live_roots;
         self.accum.in_system_tw.update(now, live_roots as f64);
         self.accum.peak_in_system = self.accum.peak_in_system.max(live_roots);
-        let pop = self.workload.source.population_at(now);
-        self.backend_set_population(pop);
+        let pop = self.tenants[0].workload.source.population_at(now);
+        self.backend_set_population(0, pop);
         // The per-user backend needs the rest of this window's discrete
         // change points (the fluid one read the source directly).
-        for (t, p) in self
+        let changes: Vec<(f64, usize)> = self.tenants[0]
             .workload
             .source
-            .change_points(now, self.current_window_end)
-        {
-            self.engine
-                .push(t, Event::PopulationChange { population: p });
+            .change_points(now, self.current_window_end);
+        for (t, p) in changes {
+            self.engine.push(
+                t,
+                Event::PopulationChange {
+                    tenant: 0,
+                    population: p,
+                },
+            );
         }
     }
 
@@ -634,14 +822,14 @@ impl Cluster {
     /// drain normally and their completions are no-ops on the pool.
     fn switch_to_fluid(&mut self) {
         let now = self.engine.now;
-        let (users_tw, population) = match &self.backend {
+        let (users_tw, population) = match &self.tenants[0].backend {
             Backend::PerUser(p) => (p.users_tw(), p.users_at_end()),
             Backend::Fluid(_) => return,
         };
         self.fluid_gen += 1;
-        let mut pool = FluidPool::new(&self.spec, &self.workload, now);
+        let mut pool = FluidPool::new(&self.spec, &self.tenants[0].workload, now);
         pool.adopt(users_tw, population, now);
-        self.backend = Backend::Fluid(pool);
+        self.tenants[0].backend = Backend::Fluid(pool);
         self.telemetry.backend_switches += 1;
         self.accum.window_switches += 1;
         // First step on the next aggregation-grid point strictly ahead.
@@ -659,15 +847,15 @@ impl Cluster {
     /// across the step as a transient (switching to the per-user
     /// backend). No-op on the per-user backend.
     fn fluid_advance(&mut self, t1: f64) {
-        let prev_pop = match &self.backend {
+        let prev_pop = match &self.tenants[0].backend {
             Backend::Fluid(p) => p.population,
             Backend::PerUser(_) => return,
         };
         self.fluid_step_to(t1);
         if self.options.backend == BackendMode::Hybrid
-            && !self.workload.source.provides_spike_hints()
+            && !self.tenants[0].workload.source.provides_spike_hints()
         {
-            if let Backend::Fluid(p) = &self.backend {
+            if let Backend::Fluid(p) = &self.tenants[0].backend {
                 let jump = (p.population as f64 - prev_pop as f64).abs() / prev_pop.max(1) as f64;
                 if jump >= SPIKE_THRESHOLD {
                     self.note_transient();
@@ -679,7 +867,7 @@ impl Cluster {
     /// Advances the fluid pool's integration to `t1` (no-op on the
     /// per-user backend or for a zero-length step).
     fn fluid_step_to(&mut self, t1: f64) {
-        let last = match &self.backend {
+        let last = match &self.tenants[0].backend {
             Backend::Fluid(p) => p.last_step,
             Backend::PerUser(_) => return,
         };
@@ -687,8 +875,11 @@ impl Cluster {
             return;
         }
         let inputs = self.fluid_inputs(last, t1);
-        if let Backend::Fluid(pool) = &mut self.backend {
-            pool.integrate(t1, &inputs, &*self.workload.source, &mut self.accum);
+        let TenantRt {
+            backend, workload, ..
+        } = &mut self.tenants[0];
+        if let Backend::Fluid(pool) = backend {
+            pool.integrate(t1, &inputs, &*workload.source, &mut self.accum);
         }
     }
 
@@ -727,8 +918,15 @@ impl std::fmt::Debug for Cluster {
         f.debug_struct("Cluster")
             .field("now", &self.engine.now)
             .field("services", &self.fabric.services.len())
-            .field("users", &self.backend.users_at_end())
-            .field("backend", &self.backend.kind())
+            .field(
+                "users",
+                &self
+                    .tenants
+                    .iter()
+                    .map(|t| t.backend.users_at_end())
+                    .sum::<usize>(),
+            )
+            .field("backend", &self.tenants[0].backend.kind())
             .finish()
     }
 }

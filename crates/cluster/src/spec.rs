@@ -253,6 +253,36 @@ impl AppSpec {
         self.features.len() - 1
     }
 
+    /// Appends a fully-built service (endpoints, calls and all) and
+    /// returns its id. Placement layers use this to merge per-tenant
+    /// specs into one cluster-wide spec with re-based ids; the result
+    /// still goes through [`AppSpec::validate`] at deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service references an unknown server.
+    pub fn push_service(&mut self, svc: ServiceSpec) -> ServiceId {
+        assert!(svc.server.0 < self.servers.len(), "unknown server");
+        self.services.push(svc);
+        ServiceId(self.services.len() - 1)
+    }
+
+    /// Appends a fully-built feature and returns its index. Companion of
+    /// [`AppSpec::push_service`] for spec merging.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range service/endpoint ids.
+    pub fn push_feature(&mut self, f: FeatureSpec) -> usize {
+        assert!(f.service.0 < self.services.len(), "unknown service");
+        assert!(
+            f.endpoint.0 < self.services[f.service.0].endpoints.len(),
+            "unknown endpoint"
+        );
+        self.features.push(f);
+        self.features.len() - 1
+    }
+
     /// Mutable access to a service for tuning defaults.
     pub fn service_mut(&mut self, id: ServiceId) -> &mut ServiceSpec {
         &mut self.services[id.0]

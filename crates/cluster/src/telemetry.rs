@@ -60,6 +60,11 @@ pub struct ClusterTelemetry {
     pub backend_switches: u64,
     /// Scaling batches rejected by an actuation-failure fault.
     pub dropped_batches: u64,
+    /// Per-tenant `UserReady` breakdown, in tenant order. Empty for
+    /// single-tenant clusters (the merged counter above is the tenant's
+    /// count there), so single-tenant artefacts stay byte-identical.
+    #[serde(default)]
+    pub tenant_user_ready_events: Vec<u64>,
     /// Scale-action latency samples: seconds from a controller *issuing*
     /// a scale-up (`schedule_scaling`) to each newly spawned replica
     /// becoming ready — actuation delay plus start-up delay, the

@@ -1,0 +1,110 @@
+//! Per-bin request-mix shifts streamed from a `TraceSource` into the
+//! running workload.
+//!
+//! Two contracts: (1) the static-mix path is *unchanged* — attaching
+//! mix shifts to a source without opting into `dynamic_mix` must leave
+//! runs bitwise identical to a shift-free source; (2) opting in
+//! actually steers the drawn features towards the shifted mix.
+
+use atom_cluster::spec::AppSpec;
+use atom_cluster::{Cluster, ClusterOptions, WindowReport};
+use atom_workload::{RequestMix, TraceFormat, TraceSource, WorkloadSpec};
+use proptest::prelude::*;
+
+/// One service, three endpoints, three features — so the drawn mix is
+/// visible directly in `feature_counts`.
+fn spec() -> AppSpec {
+    let mut spec = AppSpec::new();
+    let node = spec.add_server("node", 8, 1.0);
+    let svc = spec.add_service("api", node, 64, 2, 2.0);
+    for name in ["a", "b", "c"] {
+        let ep = spec.add_endpoint(svc, name, 0.002, 1.0);
+        spec.add_feature(name, svc, ep);
+    }
+    spec
+}
+
+fn steps() -> Vec<(f64, usize)> {
+    vec![(0.0, 120), (300.0, 200), (600.0, 80)]
+}
+
+fn run(workload: WorkloadSpec, seed: u64, windows: usize) -> Vec<WindowReport> {
+    let mut cluster = Cluster::new(&spec(), workload, ClusterOptions::new().with_seed(seed))
+        .expect("cluster deploys");
+    (0..windows).map(|_| cluster.run_window(300.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Attaching mix shifts without `dynamic_mix` never perturbs a run:
+    /// the reports are equal field-for-field (f64 equality — the RNG
+    /// stream must be untouched, not merely statistically close).
+    #[test]
+    fn static_mix_path_is_bitwise_unchanged(
+        seed in 0u64..1024,
+        raw in proptest::collection::vec((0.0f64..900.0, 1u32..100, 1u32..100, 1u32..100), 0..6),
+    ) {
+        let shifts: Vec<(f64, Vec<f64>)> = raw
+            .into_iter()
+            .map(|(t, a, b, c)| {
+                let total = (a + b + c) as f64;
+                (t, vec![a as f64 / total, b as f64 / total, c as f64 / total])
+            })
+            .collect();
+        let plain = TraceSource::from_steps("t", TraceFormat::Alibaba, steps());
+        let shifted = plain.clone().with_mix_shifts(shifts);
+        let mix = RequestMix::uniform(3);
+        let think = 5.0;
+        let baseline = run(WorkloadSpec::new(mix.clone(), think, plain), seed, 3);
+        let with_shifts = run(WorkloadSpec::new(mix, think, shifted), seed, 3);
+        prop_assert_eq!(baseline, with_shifts);
+    }
+}
+
+#[test]
+fn dynamic_mix_follows_the_shifts() {
+    // The aggregate mix is uniform, but from t = 0 the trace says almost
+    // everything is feature "c"; a dynamic-mix run must follow the trace
+    // while the static run stays uniform.
+    let shifts = vec![(0.0, vec![0.05, 0.05, 0.90])];
+    let source =
+        TraceSource::from_steps("t", TraceFormat::Alibaba, steps()).with_mix_shifts(shifts);
+    let mix = RequestMix::uniform(3);
+
+    let static_run = run(WorkloadSpec::new(mix.clone(), 5.0, source.clone()), 7, 2);
+    let dynamic_run = run(
+        WorkloadSpec::new(mix, 5.0, source).with_dynamic_mix(true),
+        7,
+        2,
+    );
+
+    let share = |reports: &[WindowReport], f: usize| {
+        let one: u64 = reports.iter().map(|r| r.feature_counts[f]).sum();
+        let all: u64 = reports
+            .iter()
+            .map(|r| r.feature_counts.iter().sum::<u64>())
+            .sum();
+        one as f64 / all as f64
+    };
+    let static_c = share(&static_run, 2);
+    let dynamic_c = share(&dynamic_run, 2);
+    assert!(
+        (static_c - 1.0 / 3.0).abs() < 0.05,
+        "static run should stay uniform, feature c drew {static_c:.3}"
+    );
+    assert!(
+        dynamic_c > 0.8,
+        "dynamic run should follow the 90% shift, feature c drew {dynamic_c:.3}"
+    );
+}
+
+#[test]
+fn mix_shift_before_first_bin_falls_back_to_aggregate() {
+    use atom_workload::PopulationSource;
+    let source = TraceSource::from_steps("t", TraceFormat::Alibaba, steps())
+        .with_mix_shifts(vec![(100.0, vec![0.0, 0.0, 1.0])]);
+    assert_eq!(source.mix_at(50.0), None, "before the first shift");
+    assert_eq!(source.mix_at(100.0), Some(vec![0.0, 0.0, 1.0]));
+    assert_eq!(source.mix_at(1e9), Some(vec![0.0, 0.0, 1.0]));
+}

@@ -307,6 +307,29 @@ impl ActionLog {
     }
 }
 
+/// Jain's fairness index over per-tenant allocations: `(Σx)² / (n·Σx²)`.
+///
+/// 1.0 means every tenant received the same amount; `1/n` means one
+/// tenant received everything. Defined as 1.0 for an empty or all-zero
+/// slice (nothing was allocated, so nobody was treated unfairly).
+///
+/// # Panics
+///
+/// Panics on a negative allocation — fairness over signed quantities is
+/// undefined.
+pub fn jain_fairness_index(allocations: &[f64]) -> f64 {
+    assert!(
+        allocations.iter().all(|&x| x >= 0.0),
+        "allocations must be >= 0"
+    );
+    let sum: f64 = allocations.iter().sum();
+    let sq_sum: f64 = allocations.iter().map(|&x| x * x).sum();
+    if sq_sum == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (allocations.len() as f64 * sq_sum)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +454,23 @@ mod tests {
     fn availability_range_is_enforced() {
         let mut a = AvailabilityTrace::new();
         a.push(0.0, 10.0, 1.5);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_fairness_index(&[]), 1.0);
+        assert_eq!(jain_fairness_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_fairness_index(&[3.0, 3.0, 3.0]), 1.0);
+        // One tenant takes everything: 1/n.
+        assert!((jain_fairness_index(&[6.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        let j = jain_fairness_index(&[1.0, 2.0, 3.0]);
+        assert!(j > 1.0 / 3.0 && j < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocations must be >= 0")]
+    fn jain_index_rejects_negative() {
+        jain_fairness_index(&[1.0, -1.0]);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! The shared node pool tenants contend for.
+
+use atom_cluster::spec::ServerSpec;
+
+/// A fixed set of physical nodes. Unlike an [`AppSpec`]'s server list —
+/// which one application owns outright — a pool is shared: the
+/// scheduler places every tenant's services onto it, and the admission
+/// controller rations what is left.
+///
+/// [`AppSpec`]: atom_cluster::AppSpec
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodePool {
+    /// The nodes, in declaration order (placement is deterministic in
+    /// this order).
+    pub servers: Vec<ServerSpec>,
+}
+
+impl NodePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        NodePool::default()
+    }
+
+    /// Adds a node and returns its pool index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or `speed <= 0`.
+    pub fn add_node(&mut self, name: impl Into<String>, cores: usize, speed: f64) -> usize {
+        assert!(cores > 0, "node needs cores");
+        assert!(speed.is_finite() && speed > 0.0, "speed must be positive");
+        self.servers.push(ServerSpec {
+            name: name.into(),
+            cores,
+            speed,
+        });
+        self.servers.len() - 1
+    }
+
+    /// Total CPU cores across the pool.
+    pub fn capacity_cores(&self) -> f64 {
+        self.servers.iter().map(|s| s.cores as f64).sum()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the pool has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_sums_cores() {
+        let mut pool = NodePool::new();
+        pool.add_node("a", 4, 1.0);
+        pool.add_node("b", 8, 1.2);
+        assert_eq!(pool.capacity_cores(), 12.0);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "node needs cores")]
+    fn zero_cores_rejected() {
+        NodePool::new().add_node("a", 0, 1.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! The tenant abstraction: one application instance plus its workload.
+
+use atom_cluster::AppSpec;
+use atom_workload::WorkloadSpec;
+
+/// One tenant: an application spec (with its *own* service/feature id
+/// space — the scheduler re-bases ids when merging) and the workload its
+/// users offer. A tenant's spec declares servers only as placeholders;
+/// placement ignores them and assigns services to pool nodes instead.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (CSV rows, logs).
+    pub name: String,
+    /// The tenant's application, in tenant-local ids.
+    pub app: AppSpec,
+    /// The workload its users offer (mix indices are tenant-local).
+    pub workload: WorkloadSpec,
+}
+
+impl TenantSpec {
+    /// Bundles a named tenant.
+    pub fn new(name: impl Into<String>, app: AppSpec, workload: WorkloadSpec) -> Self {
+        TenantSpec {
+            name: name.into(),
+            app,
+            workload,
+        }
+    }
+}

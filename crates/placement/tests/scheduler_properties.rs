@@ -1,0 +1,258 @@
+//! Property tests for the scheduler layer: placement determinism,
+//! capacity safety, and per-tenant FIFO admission.
+
+use proptest::prelude::*;
+
+use atom_cluster::{AppSpec, ScaleAction, ServiceId};
+use atom_placement::{place, AdmissionController, AdmissionVerdict, NodePool, TenantSpec};
+
+/// A pool of `nodes` nodes with the given core counts.
+fn pool_of(cores: &[usize]) -> NodePool {
+    let mut pool = NodePool::new();
+    for (i, &c) in cores.iter().enumerate() {
+        pool.add_node(format!("node{i}"), c, 1.0);
+    }
+    pool
+}
+
+/// A tenant whose services have the given `(replicas, share)` footprints.
+fn tenant_of(name: &str, services: &[(usize, f64)]) -> TenantSpec {
+    let mut app = AppSpec::new();
+    let node = app.add_server("placeholder", 1024, 1.0);
+    for (i, &(replicas, share)) in services.iter().enumerate() {
+        let svc = app.add_service(format!("s{i}"), node, 8, replicas, share);
+        let ep = app.add_endpoint(svc, "op", 0.01, 1.0);
+        app.add_feature(format!("f{i}"), svc, ep);
+    }
+    let workload = atom_workload::WorkloadSpec::constant(
+        atom_workload::RequestMix::uniform(services.len().max(1)),
+        10,
+        5.0,
+    );
+    TenantSpec::new(name, app, workload)
+}
+
+/// Strategy: 1..4 tenants × 1..5 services each, shares drawn from a
+/// small grid so packings are non-trivial but usually feasible.
+fn arb_tenants() -> impl Strategy<Value = Vec<Vec<(usize, f64)>>> {
+    proptest::collection::vec(proptest::collection::vec((1usize..3, 1u32..5), 1..5), 1..4).prop_map(
+        |tenants| {
+            tenants
+                .into_iter()
+                .map(|svcs| {
+                    svcs.into_iter()
+                        .map(|(r, s)| (r, f64::from(s) * 0.5))
+                        .collect()
+                })
+                .collect()
+        },
+    )
+}
+
+fn build(tenants: &[Vec<(usize, f64)>]) -> Vec<TenantSpec> {
+    tenants
+        .iter()
+        .enumerate()
+        .map(|(i, svcs)| tenant_of(&format!("t{i}"), svcs))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same pool, tenants, and seed always give the same placement —
+    /// including when computed concurrently from many threads (the
+    /// worker-count-determinism the parallel launcher relies on).
+    #[test]
+    fn placement_is_deterministic_across_workers(
+        tenants in arb_tenants(),
+        cores in proptest::collection::vec(4usize..16, 1..4),
+        seed in 0u64..1024,
+    ) {
+        let pool = pool_of(&cores);
+        let specs = build(&tenants);
+        let reference = match place(&pool, &specs, seed) {
+            Ok(p) => p.assignments,
+            Err(_) => return Ok(()), // infeasible instance: nothing to pin
+        };
+        // Repeated sequential calls agree...
+        for _ in 0..3 {
+            let again = place(&pool, &specs, seed).unwrap().assignments;
+            prop_assert_eq!(&again, &reference);
+        }
+        // ...and so do concurrent ones, for any worker count.
+        for n_workers in [1usize, 2, 4] {
+            let results: Vec<_> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n_workers)
+                    .map(|_| scope.spawn(|| place(&pool, &specs, seed).unwrap().assignments))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for r in results {
+                prop_assert_eq!(&r, &reference);
+            }
+        }
+    }
+
+    /// A placement never over-commits a node: the initial footprints
+    /// assigned to each node sum to at most its capacity.
+    #[test]
+    fn placement_never_overcommits_a_node(
+        tenants in arb_tenants(),
+        cores in proptest::collection::vec(4usize..16, 1..4),
+        seed in 0u64..1024,
+    ) {
+        let pool = pool_of(&cores);
+        let specs = build(&tenants);
+        let placement = match place(&pool, &specs, seed) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        let mut used = vec![0.0f64; cores.len()];
+        for (ti, t) in tenants.iter().enumerate() {
+            for (si, &(replicas, share)) in t.iter().enumerate() {
+                used[placement.assignments[ti][si]] += replicas as f64 * share;
+            }
+        }
+        for (node, &u) in used.iter().enumerate() {
+            prop_assert!(
+                u <= cores[node] as f64 + 1e-9,
+                "node {} holds {:.2} cores of {}",
+                node, u, cores[node]
+            );
+        }
+    }
+
+    /// Whatever sequence of scale requests the tenants throw at the
+    /// admission controller, no node's committed cores ever exceed its
+    /// capacity, and the accounting identity
+    /// `requests == admitted + queued + rejected` holds per tenant.
+    #[test]
+    fn admission_never_overcommits(
+        tenants in arb_tenants(),
+        cores in proptest::collection::vec(4usize..16, 1..4),
+        seed in 0u64..1024,
+        requests in proptest::collection::vec(
+            (0usize..64, 0usize..64, 1usize..5, 1u32..5), 0..40
+        ),
+    ) {
+        let pool = pool_of(&cores);
+        let specs = build(&tenants);
+        let placement = match place(&pool, &specs, seed) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        let counts: Vec<usize> = placement.layouts.iter().map(|l| l.service_count).collect();
+        let mut ctrl = AdmissionController::new(&placement.spec, &counts, 4);
+        let n_services = placement.spec.services.len();
+        for (ti_raw, si_raw, replicas, share) in requests {
+            let service = si_raw % n_services;
+            let tenant = {
+                // Route to the owning tenant (the controller asserts it).
+                let mut owner = 0;
+                for (t, l) in placement.layouts.iter().enumerate() {
+                    if service >= l.service_offset && service < l.service_offset + l.service_count {
+                        owner = t;
+                    }
+                }
+                let _ = ti_raw;
+                owner
+            };
+            let action = ScaleAction {
+                service: ServiceId(service),
+                replicas,
+                share: f64::from(share) * 0.5,
+            };
+            let _ = ctrl.request(tenant, action, 10.0);
+            for (node, &c) in cores.iter().enumerate() {
+                prop_assert!(
+                    ctrl.committed_cores(node) <= c as f64 + 1e-9,
+                    "node {} committed {:.2} of {}",
+                    node, ctrl.committed_cores(node), c
+                );
+            }
+        }
+        for s in ctrl.stats() {
+            prop_assert_eq!(s.requests, s.admitted + s.queued + s.rejected);
+            prop_assert!(s.drained <= s.queued);
+        }
+    }
+
+    /// Queued scale-ups drain in FIFO order per tenant: when capacity
+    /// frees up, a tenant's requests are admitted in exactly the order
+    /// they queued.
+    #[test]
+    fn admission_queue_drains_fifo_per_tenant(
+        queue_sizes in proptest::collection::vec(1usize..4, 1..3),
+    ) {
+        // One big node; tenant 0's single service can occupy it fully.
+        let mut app = AppSpec::new();
+        let node = app.add_server("node", 16, 1.0);
+        let n_services = 1 + queue_sizes.len();
+        let counts = vec![1usize; n_services];
+        for i in 0..n_services {
+            let svc = app.add_service(format!("s{i}"), node, 8, 1, 1.0);
+            let ep = app.add_endpoint(svc, "op", 0.01, 1.0);
+            app.add_feature(format!("f{i}"), svc, ep);
+        }
+        let mut ctrl = AdmissionController::new(&app, &counts, 16);
+        // Tenant 0 hogs the node: n_services cores committed initially,
+        // grow service 0 to fill the remainder.
+        let hog = ScaleAction {
+            service: ServiceId(0),
+            replicas: 16 - (n_services - 1),
+            share: 1.0,
+        };
+        let (v, _) = ctrl.request(0, hog, 10.0);
+        prop_assert_eq!(v, AdmissionVerdict::Admitted);
+        // Each other tenant queues a ladder of growing scale-ups for its
+        // one service; positions must be assigned in arrival order.
+        for (t, &n) in queue_sizes.iter().enumerate() {
+            for k in 0..n {
+                let (v, _) = ctrl.request(
+                    t + 1,
+                    ScaleAction {
+                        service: ServiceId(t + 1),
+                        replicas: 2 + k,
+                        share: 1.0,
+                    },
+                    10.0,
+                );
+                prop_assert_eq!(v, AdmissionVerdict::Queued { position: k });
+            }
+        }
+        // Tenant 0 releases everything: the drain must admit each
+        // tenant's queue strictly front to back.
+        let (v, released) = ctrl.request(
+            0,
+            ScaleAction { service: ServiceId(0), replicas: 1, share: 1.0 },
+            10.0,
+        );
+        prop_assert_eq!(v, AdmissionVerdict::Admitted);
+        let drained: Vec<_> = released
+            .into_iter()
+            .filter(|(t, _)| *t != 0)
+            .collect();
+        let got: Vec<_> = drained
+            .iter()
+            .map(|(t, p)| (*t, p.action.replicas))
+            .collect();
+        // Per tenant, the drained order must equal the enqueue order.
+        for (t, &n) in queue_sizes.iter().enumerate() {
+            let per_tenant: Vec<_> = got
+                .iter()
+                .filter(|(dt, _)| *dt == t + 1)
+                .map(|(_, r)| *r)
+                .collect();
+            let want: Vec<_> = (0..n).map(|k| 2 + k).collect();
+            prop_assert_eq!(
+                per_tenant, want,
+                "tenant {}'s queue did not drain FIFO", t + 1
+            );
+        }
+        for (t, s) in ctrl.stats().iter().enumerate().skip(1) {
+            let n = queue_sizes[t - 1] as u64;
+            prop_assert_eq!(s.queued, n);
+        }
+    }
+}

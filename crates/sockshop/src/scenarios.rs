@@ -69,6 +69,43 @@ pub fn bursty_workload(index_of_dispersion: f64) -> WorkloadSpec {
     )
 }
 
+/// A phase-shifted tenant workload for the multi-tenant contention
+/// experiment: tenant `tenant` of `n_tenants` holds `baseline` users and
+/// spikes to `peak` during its own slice of the run, so at any moment at
+/// most one tenant (plus spill-over) is at peak — the pool is sized for
+/// staggered peaks, not for everyone peaking at once. The request mix
+/// rotates through the Table VI mixes so tenants also differ in *shape*.
+///
+/// # Panics
+///
+/// Panics unless `tenant < n_tenants` and `run_secs > 0`.
+pub fn contention_workload(
+    tenant: usize,
+    n_tenants: usize,
+    baseline: usize,
+    peak: usize,
+    run_secs: f64,
+) -> WorkloadSpec {
+    assert!(tenant < n_tenants, "tenant index out of range");
+    assert!(run_secs > 0.0, "run must have positive length");
+    let phase = run_secs / n_tenants as f64;
+    let mix = evaluation_mixes()
+        .into_iter()
+        .nth(tenant % 3)
+        .map(|(_, m)| m)
+        .expect("three mixes");
+    WorkloadSpec::new(
+        mix,
+        THINK_TIME,
+        LoadProfile::Spike {
+            baseline,
+            spike: peak,
+            start: tenant as f64 * phase,
+            duration: phase,
+        },
+    )
+}
+
 /// One §III-C validation pattern (a row of Table II at one population).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ValidationWorkload {
@@ -176,6 +213,23 @@ mod tests {
         let w = bursty_workload(4000.0);
         assert_eq!(w.burstiness.unwrap().index_of_dispersion, 4000.0);
         assert_eq!(w.source.population_at(100.0), 500);
+    }
+
+    #[test]
+    fn contention_workloads_are_phase_shifted() {
+        let w0 = contention_workload(0, 4, 200, 1000, 2400.0);
+        let w3 = contention_workload(3, 4, 200, 1000, 2400.0);
+        // Tenant 0 spikes in the first quarter, tenant 3 in the last.
+        assert_eq!(w0.source.population_at(1.0), 1000);
+        assert_eq!(w0.source.population_at(700.0), 200);
+        assert_eq!(w3.source.population_at(700.0), 200);
+        assert_eq!(w3.source.population_at(1801.0), 1000);
+        // Mixes rotate through the Table VI mixes.
+        assert_eq!(w0.mix.fractions(), w3.mix.fractions());
+        assert_ne!(
+            contention_workload(1, 4, 200, 1000, 2400.0).mix.fractions(),
+            w0.mix.fractions()
+        );
     }
 
     #[test]

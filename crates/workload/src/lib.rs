@@ -75,6 +75,12 @@ pub struct WorkloadSpec {
     pub source: PopulationHandle,
     /// Optional burstiness injection.
     pub burstiness: Option<BurstinessSpec>,
+    /// When `true`, runtimes draw each request's feature from the
+    /// source's time-varying mix ([`PopulationSource::mix_at`]) where
+    /// the source provides one, falling back to the static `mix`. Off by
+    /// default: the static path is bitwise-unchanged.
+    #[serde(default)]
+    pub dynamic_mix: bool,
 }
 
 impl WorkloadSpec {
@@ -85,6 +91,7 @@ impl WorkloadSpec {
             think_time,
             source: source.into(),
             burstiness: None,
+            dynamic_mix: false,
         }
     }
 
@@ -118,6 +125,13 @@ impl WorkloadSpec {
     #[must_use]
     pub fn with_burstiness(mut self, burstiness: BurstinessSpec) -> Self {
         self.burstiness = Some(burstiness);
+        self
+    }
+
+    /// Enables (or disables) the source's time-varying request mix.
+    #[must_use]
+    pub fn with_dynamic_mix(mut self, dynamic_mix: bool) -> Self {
+        self.dynamic_mix = dynamic_mix;
         self
     }
 

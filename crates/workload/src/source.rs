@@ -67,6 +67,15 @@ pub trait PopulationSource: fmt::Debug + Send + Sync {
         false
     }
 
+    /// The request mix in force at time `t`, for sources that carry
+    /// per-bin mix shifts (trace replays). `None` — the default, and
+    /// the answer of every synthetic profile — means "use the
+    /// workload's static aggregate mix". Runtimes only consult this
+    /// when the workload opts in via `WorkloadSpec::dynamic_mix`.
+    fn mix_at(&self, _t: f64) -> Option<Vec<f64>> {
+        None
+    }
+
     /// Registry tag identifying the implementation (`"profile"`,
     /// `"trace"`, ...).
     fn kind(&self) -> &'static str;

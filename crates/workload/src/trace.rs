@@ -214,6 +214,11 @@ pub struct TraceSource {
     name: String,
     format: TraceFormat,
     steps: Vec<(f64, usize)>,
+    /// Per-bin `(time, mix)` shifts, time-ascending; empty when the
+    /// trace carries no class information. Consulted only by workloads
+    /// that opt into `dynamic_mix`.
+    #[serde(default)]
+    mix_shifts: Vec<(f64, Vec<f64>)>,
 }
 
 impl TraceSource {
@@ -228,7 +233,21 @@ impl TraceSource {
             name: name.into(),
             format,
             steps,
+            mix_shifts: Vec::new(),
         }
+    }
+
+    /// Attaches per-bin request-mix shifts (time-ascending `(t, mix)`
+    /// pairs; the mix at `t` holds until the next shift).
+    #[must_use]
+    pub fn with_mix_shifts(mut self, mix_shifts: Vec<(f64, Vec<f64>)>) -> Self {
+        self.mix_shifts = mix_shifts;
+        self
+    }
+
+    /// The per-bin mix shifts the source carries (empty if none).
+    pub fn mix_shifts(&self) -> &[(f64, Vec<f64>)] {
+        &self.mix_shifts
     }
 
     /// The trace's name (file stem for file-backed replays).
@@ -285,6 +304,16 @@ impl PopulationSource for TraceSource {
 
     fn provides_spike_hints(&self) -> bool {
         true
+    }
+
+    fn mix_at(&self, t: f64) -> Option<Vec<f64>> {
+        // Last shift at or before `t`; before the first shift (or with
+        // none recorded) the aggregate mix applies.
+        self.mix_shifts
+            .iter()
+            .take_while(|(time, _)| *time <= t)
+            .last()
+            .map(|(_, mix)| mix.clone())
     }
 
     fn kind(&self) -> &'static str {
@@ -470,7 +499,7 @@ pub fn read_trace<R: BufRead>(
         peak_weight,
     };
     Ok(TraceReplay {
-        source: TraceSource::from_steps(name, format, steps),
+        source: TraceSource::from_steps(name, format, steps).with_mix_shifts(mix_shifts.clone()),
         mix: smooth_mix(class_total, opts.mix_floor),
         mix_shifts,
         stats,

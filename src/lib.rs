@@ -20,6 +20,9 @@
 //! * [`obs`] — deterministic sim-time telemetry: counters, histograms,
 //!   the per-window MAPE-K decision journal, and structured logging.
 //! * [`core`] — the ATOM controller itself plus the UH/UV baselines.
+//! * [`placement`] — multi-tenant layer: node pool, deterministic
+//!   first-fit-decreasing replica placement, admission control, and the
+//!   per-tenant MAPE-K driver.
 //! * [`sockshop`] — the Sock Shop case study and every paper scenario.
 //!
 //! # Quickstart
@@ -46,6 +49,7 @@ pub use atom_lqn as lqn;
 pub use atom_metrics as metrics;
 pub use atom_mva as mva;
 pub use atom_obs as obs;
+pub use atom_placement as placement;
 pub use atom_sim as sim;
 pub use atom_sockshop as sockshop;
 pub use atom_workload as workload;
