@@ -4,11 +4,11 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--out DIR] [--trace-out FILE]
-//!       [--metrics-out FILE] [--trace-file FILE] [--format alibaba|google]
-//!       [--quiet] [--verbose] <command> [command...]
+//!       [--metrics-out FILE] [--spans-out FILE] [--trace-file FILE]
+//!       [--format alibaba|google] [--quiet] [--verbose] <command> [command...]
 //! commands: fig2 fig4 table3 fig5 table4 fig7 fig8 fig9 fig10 fig11
 //!           fig12 fig13 setup validation evaluation ablation chaos
-//!           forecast trace all
+//!           forecast trace audit all
 //! ```
 //!
 //! `repro --smoke` runs a short ATOM + UH pair, exports the decision
@@ -19,8 +19,8 @@
 
 use atom_bench::eval::{run_one, ScalerKind};
 use atom_bench::figures::{
-    ablation, chaos, contention, fig11, fig12, fig13, fig2, fig4, fig7, fig8910, forecast, scale,
-    trace_replay, validation,
+    ablation, audit, chaos, contention, fig11, fig12, fig13, fig2, fig4, fig7, fig8910, forecast,
+    scale, trace_replay, validation,
 };
 use atom_bench::{eval, trace, HarnessOptions};
 use atom_core::workload::TraceFormat;
@@ -175,14 +175,18 @@ fn main() {
                 opts.metrics_out =
                     Some(args.next().expect("--metrics-out needs a file path").into());
             }
+            "--spans-out" => {
+                opts.spans_out = Some(args.next().expect("--spans-out needs a file path").into());
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--smoke] [--seed N] [--users N] [--out DIR] \
-                     [--trace-out FILE] [--metrics-out FILE] [--trace-file FILE] \
-                     [--format alibaba|google] [--quiet] [--verbose] <command>...\n\
+                     [--trace-out FILE] [--metrics-out FILE] [--spans-out FILE] \
+                     [--trace-file FILE] [--format alibaba|google] [--quiet] [--verbose] \
+                     <command>...\n\
                      commands: setup fig2 fig4 table3 fig5 table4 validation fig7 \
                      fig8 fig9 fig10 evaluation fig11 fig12 fig13 ablation chaos forecast \
-                     trace contention scale all\n\
+                     trace contention scale audit all\n\
                      trace: replay a production arrival trace (--trace-file, --format; \
                      defaults to the bundled fixtures); `trace --smoke` enforces the \
                      journal-schema, wedging, and proactive<=reactive gates\n\
@@ -190,7 +194,11 @@ fn main() {
                      tenants on ample and tight pools); `contention --smoke` enforces \
                      the fairness, ledger-reconciliation, and rejection gates\n\
                      scale: backend scaling trajectory up to --users (default 1000000); \
-                     `scale --smoke` enforces the wall-clock and speedup gates"
+                     `scale --smoke` enforces the wall-clock and speedup gates\n\
+                     audit: span sampling + LQN model-drift attribution (writes \
+                     drift.csv, audit_attribution.csv, and --spans-out as Chrome \
+                     trace-event JSON); `audit --smoke` enforces the drift-finiteness, \
+                     sMAPE-bound, attribution-reconciliation, and trace-re-parse gates"
                 );
                 return;
             }
@@ -209,6 +217,9 @@ fn main() {
         } else if commands.iter().any(|c| c == "contention") {
             std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
             contention::smoke(&opts);
+        } else if commands.iter().any(|c| c == "audit") {
+            std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
+            audit::smoke(&opts);
         } else {
             smoke(&opts);
         }
@@ -217,7 +228,7 @@ fn main() {
     if commands.is_empty() {
         commands.push("all".into());
     }
-    const KNOWN: [&str; 22] = [
+    const KNOWN: [&str; 23] = [
         "setup",
         "fig2",
         "fig4",
@@ -239,6 +250,7 @@ fn main() {
         "trace",
         "contention",
         "scale",
+        "audit",
         "all",
     ];
     for c in &commands {
@@ -317,6 +329,10 @@ fn main() {
     }
     if wants("trace") {
         let results = trace_replay::run(&opts, trace_file.as_deref(), trace_format);
+        trace::emit(&opts, &results);
+    }
+    if wants("audit") {
+        let results = audit::run(&opts);
         trace::emit(&opts, &results);
     }
     if wants("contention") {

@@ -120,6 +120,9 @@ pub struct TenantOutcome {
     /// Rejections observed on this tenant's own verdicts (must agree
     /// with `stats.rejected`).
     pub rejected_seen: u64,
+    /// Per-window decision records the tenant's controller journaled
+    /// (`None` entries for windows without one).
+    pub decisions: Vec<Option<atom_obs::DecisionRecord>>,
 }
 
 /// One scenario's outcome.
@@ -223,6 +226,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &HarnessOptions) -> ScenarioOutco
             granted_core_s: granted,
             stats: mtc.admission_stats()[ti],
             rejected_seen,
+            decisions: run.decisions.clone(),
         });
     }
 
@@ -324,6 +328,84 @@ pub fn report(outcomes: &[ScenarioOutcome], opts: &HarnessOptions) {
     table.write_csv(&opts.out_dir.join("contention.csv"));
 }
 
+/// Exports the matrix telemetry behind `--trace-out` / `--metrics-out`:
+/// every tenant-controller decision record as a JSONL journal, and the
+/// admission/fairness accounting as labeled Prometheus series
+/// (`contention_*{scenario=...,tenant=...}`). A no-op when neither flag
+/// was given.
+pub fn emit(opts: &HarnessOptions, outcomes: &[ScenarioOutcome]) {
+    use atom_obs::{with_labels, Journal, Record, Registry};
+    if let Some(path) = &opts.trace_out {
+        let mut journal = Journal::default();
+        for o in outcomes {
+            for t in &o.tenants {
+                for d in t.decisions.iter().flatten() {
+                    journal.push(d.time, Record::Decision(d.clone()));
+                }
+                journal.push(
+                    0.0,
+                    Record::Note(format!(
+                        "contention {} {} ({}): {} requests, {} admitted, {} queued, \
+                         {} rejected, {:.0} granted core-s, {:.0}s SLO violation",
+                        o.scenario.name(),
+                        t.tenant,
+                        t.scaler,
+                        t.stats.requests,
+                        t.stats.admitted,
+                        t.stats.queued,
+                        t.stats.rejected,
+                        t.granted_core_s,
+                        t.slo_violation_s
+                    )),
+                );
+            }
+        }
+        crate::trace::write_artefact(path, &journal.to_jsonl());
+        atom_obs::progress!("contention journal written to {}", path.display());
+    }
+    if let Some(path) = &opts.metrics_out {
+        let mut reg = Registry::new();
+        for o in outcomes {
+            let scenario = o.scenario.name();
+            reg.set_gauge(
+                &with_labels(
+                    "contention_jain_fairness",
+                    &[("scenario", scenario.as_str())],
+                ),
+                o.jain,
+            );
+            for t in &o.tenants {
+                let labels = [
+                    ("scenario", scenario.as_str()),
+                    ("tenant", t.tenant.as_str()),
+                ];
+                reg.add(
+                    &with_labels("contention_admitted_total", &labels),
+                    t.stats.admitted,
+                );
+                reg.add(
+                    &with_labels("contention_queued_total", &labels),
+                    t.stats.queued,
+                );
+                reg.add(
+                    &with_labels("contention_rejected_total", &labels),
+                    t.stats.rejected,
+                );
+                reg.set_gauge(
+                    &with_labels("contention_granted_core_seconds", &labels),
+                    t.granted_core_s,
+                );
+                reg.set_gauge(
+                    &with_labels("contention_slo_violation_seconds", &labels),
+                    t.slo_violation_s,
+                );
+            }
+        }
+        crate::trace::write_artefact(path, &reg.prometheus_text());
+        atom_obs::progress!("contention metrics written to {}", path.display());
+    }
+}
+
 /// `repro contention`: run the matrix and emit the artefacts.
 pub fn run(opts: &HarnessOptions) -> Vec<ScenarioOutcome> {
     atom_obs::progress!(
@@ -332,6 +414,7 @@ pub fn run(opts: &HarnessOptions) -> Vec<ScenarioOutcome> {
     );
     let outcomes = run_matrix(opts);
     report(&outcomes, opts);
+    emit(opts, &outcomes);
     outcomes
 }
 

@@ -1,6 +1,7 @@
 //! One module per paper artefact.
 
 pub mod ablation;
+pub mod audit;
 pub mod chaos;
 pub mod contention;
 pub mod fig11;

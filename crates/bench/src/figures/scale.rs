@@ -60,6 +60,8 @@ pub struct ScalePoint {
     pub tps: f64,
     /// Backend handovers performed (hybrid only).
     pub switches: u64,
+    /// Spans recorded over the run (0 unless span sampling was on).
+    pub spans: u64,
 }
 
 impl ScalePoint {
@@ -141,16 +143,27 @@ fn horizon(mode: BackendMode, users: usize, smoke: bool) -> f64 {
 
 /// Runs one backend × population point and measures it.
 pub fn run_point(mode: BackendMode, users: usize, smoke: bool, seed: u64) -> ScalePoint {
+    run_point_with(
+        mode,
+        users,
+        smoke,
+        ClusterOptions::new().with_seed(seed).with_backend(mode),
+    )
+}
+
+/// [`run_point`] with caller-supplied cluster options (the span-overhead
+/// measurement reruns a point with sampling enabled).
+fn run_point_with(
+    mode: BackendMode,
+    users: usize,
+    smoke: bool,
+    options: ClusterOptions,
+) -> ScalePoint {
     let spec = scale_spec(users);
     let workload = WorkloadSpec::constant(RequestMix::uniform(1), users, THINK_TIME);
     let sim_seconds = horizon(mode, users, smoke);
     let started = Instant::now();
-    let mut cluster = Cluster::new(
-        &spec,
-        workload,
-        ClusterOptions::new().with_seed(seed).with_backend(mode),
-    )
-    .expect("scale cluster");
+    let mut cluster = Cluster::new(&spec, workload, options).expect("scale cluster");
     // The hybrid point exercises a real handover: a (capacity-neutral)
     // scaling batch one third in forces the transient path, and the
     // hold-down expiry hands back to fluid.
@@ -173,6 +186,10 @@ pub fn run_point(mode: BackendMode, users: usize, smoke: bool, seed: u64) -> Sca
         requests += r.feature_counts.iter().sum::<u64>();
         tps_sum += r.total_tps;
         switches += r.backend_switches as u64;
+        // Drain sampled spans per window, exactly as the experiment
+        // driver does — the overhead measurement must pay the same
+        // costs. A no-op (empty vec) when sampling is off.
+        drop(cluster.take_spans());
     }
     let wall_seconds = started.elapsed().as_secs_f64();
     ScalePoint {
@@ -184,6 +201,56 @@ pub fn run_point(mode: BackendMode, users: usize, smoke: bool, seed: u64) -> Sca
         events: cluster.telemetry().total_events(),
         tps: tps_sum / windows as f64,
         switches,
+        spans: cluster.telemetry().spans_recorded,
+    }
+}
+
+/// The span-layer overhead measurement: the same per-user point run
+/// with sampling off and at 1%, wall clocks compared.
+#[derive(Debug, Clone)]
+pub struct OverheadPoint {
+    /// Closed-workload population.
+    pub users: usize,
+    /// Simulated horizon (seconds).
+    pub sim_seconds: f64,
+    /// Wall-clock with the span layer disabled (seconds).
+    pub wall_off: f64,
+    /// Wall-clock with 1% span sampling enabled (seconds).
+    pub wall_on: f64,
+    /// Spans recorded by the sampled run.
+    pub spans: u64,
+}
+
+impl OverheadPoint {
+    /// Sampling rate of the measurement.
+    pub const RATE: f64 = 0.01;
+
+    /// Wall-time overhead of the enabled span layer, percent.
+    pub fn overhead_pct(&self) -> f64 {
+        (self.wall_on / self.wall_off.max(1e-9) - 1.0) * 100.0
+    }
+}
+
+/// Measures the span layer's wall-time overhead on the per-user DES at
+/// `users`: one run with sampling disabled, one with 1% sampling, same
+/// seed and horizon.
+pub fn run_overhead_point(users: usize, smoke: bool, seed: u64) -> OverheadPoint {
+    let off = run_point(BackendMode::PerUser, users, smoke, seed);
+    let on = run_point_with(
+        BackendMode::PerUser,
+        users,
+        smoke,
+        ClusterOptions::new()
+            .with_seed(seed)
+            .with_backend(BackendMode::PerUser)
+            .with_span_sampling(OverheadPoint::RATE, seed),
+    );
+    OverheadPoint {
+        users,
+        sim_seconds: off.sim_seconds,
+        wall_off: off.wall_seconds,
+        wall_on: on.wall_seconds,
+        spans: on.spans,
     }
 }
 
@@ -245,6 +312,75 @@ pub fn run_tenant_point(tenants: usize, smoke: bool, seed: u64) -> TenantPoint {
     }
 }
 
+/// Exports the trajectory behind `--trace-out` / `--metrics-out`: one
+/// journal note per measurement and labeled Prometheus gauges
+/// (`scale_*{backend=...,users=...}`). A no-op when neither flag was
+/// given — `scale` has no MAPE-K loop, so the journal carries notes,
+/// not decision records.
+pub fn emit(opts: &HarnessOptions, points: &[ScalePoint], tenant_points: &[TenantPoint]) {
+    use atom_obs::{with_labels, Journal, Record, Registry};
+    if let Some(path) = &opts.trace_out {
+        let mut journal = Journal::default();
+        for p in points {
+            journal.push(
+                p.sim_seconds,
+                Record::Note(format!(
+                    "scale {} N={}: {} requests / {:.3}s wall ({:.0} req/wall-s, \
+                     {} events, {} switches)",
+                    p.mode_name(),
+                    p.users,
+                    p.requests,
+                    p.wall_seconds,
+                    p.req_per_wall_s(),
+                    p.events,
+                    p.switches
+                )),
+            );
+        }
+        for t in tenant_points {
+            journal.push(
+                t.sim_seconds,
+                Record::Note(format!(
+                    "scale {} tenants: {:.2}s wall per simulated hour ({} requests)",
+                    t.tenants,
+                    t.wall_s_per_sim_hour(),
+                    t.requests
+                )),
+            );
+        }
+        crate::trace::write_artefact(path, &journal.to_jsonl());
+        atom_obs::progress!("scale journal written to {}", path.display());
+    }
+    if let Some(path) = &opts.metrics_out {
+        let mut reg = Registry::new();
+        for p in points {
+            let users = p.users.to_string();
+            let labels = [("backend", p.mode_name()), ("users", users.as_str())];
+            reg.set_gauge(
+                &with_labels("scale_req_per_wall_second", &labels),
+                p.req_per_wall_s(),
+            );
+            reg.set_gauge(
+                &with_labels("scale_events_per_wall_second", &labels),
+                p.events_per_wall_s(),
+            );
+            reg.set_gauge(&with_labels("scale_wall_seconds", &labels), p.wall_seconds);
+            reg.add(&with_labels("scale_requests_total", &labels), p.requests);
+            reg.add(&with_labels("scale_events_total", &labels), p.events);
+        }
+        for t in tenant_points {
+            let tenants = t.tenants.to_string();
+            let labels = [("tenants", tenants.as_str())];
+            reg.set_gauge(
+                &with_labels("scale_tenant_wall_seconds_per_sim_hour", &labels),
+                t.wall_s_per_sim_hour(),
+            );
+        }
+        crate::trace::write_artefact(path, &reg.prometheus_text());
+        atom_obs::progress!("scale metrics written to {}", path.display());
+    }
+}
+
 fn speedup_vs_per_user(points: &[ScalePoint], p: &ScalePoint) -> Option<f64> {
     points
         .iter()
@@ -252,7 +388,12 @@ fn speedup_vs_per_user(points: &[ScalePoint], p: &ScalePoint) -> Option<f64> {
         .map(|base| p.req_per_wall_s() / base.req_per_wall_s().max(1e-9))
 }
 
-fn write_bench_json(points: &[ScalePoint], tenant_points: &[TenantPoint], path: &std::path::Path) {
+fn write_bench_json(
+    points: &[ScalePoint],
+    tenant_points: &[TenantPoint],
+    overhead: Option<&OverheadPoint>,
+    path: &std::path::Path,
+) {
     let mut entries = Vec::new();
     for p in points {
         let speedup = match speedup_vs_per_user(points, p) {
@@ -293,18 +434,37 @@ fn write_bench_json(points: &[ScalePoint], tenant_points: &[TenantPoint], path: 
             t.wall_s_per_sim_hour(),
         ));
     }
+    let overhead_json = overhead.map(|o| {
+        format!(
+            concat!(
+                "  \"span_overhead\": {{\"users\": {}, \"sim_seconds\": {}, ",
+                "\"sampling_rate\": {}, \"wall_seconds_off\": {:.3}, ",
+                "\"wall_seconds_on\": {:.3}, \"spans_recorded\": {}, ",
+                "\"overhead_pct\": {:.2}}},\n"
+            ),
+            o.users,
+            o.sim_seconds,
+            OverheadPoint::RATE,
+            o.wall_off,
+            o.wall_on,
+            o.spans,
+            o.overhead_pct(),
+        )
+    });
     let json = format!(
         concat!(
             "{{\n",
             "  \"benchmark\": \"cluster-backend-scale\",\n",
             "  \"metric\": \"completed client requests simulated per wall-clock second\",\n",
             "  \"entries\": [\n{}\n  ],\n",
+            "{}",
             "  \"multi_tenant_metric\": \"wall-clock seconds per simulated hour, ",
             "phase-shifted Sock Shop tenants on one shared pool\",\n",
             "  \"multi_tenant\": [\n{}\n  ]\n",
             "}}\n"
         ),
         entries.join(",\n"),
+        overhead_json.as_deref().unwrap_or(""),
         tenant_entries.join(",\n")
     );
     if let Some(parent) = path.parent() {
@@ -433,11 +593,25 @@ pub fn run(opts: &HarnessOptions, max_users: usize, smoke: bool) {
         );
         tenant_points.push(t);
     }
+    // The span-layer overhead check: per-user DES at 1e5 users (or the
+    // largest population the run allows), sampling off vs 1% on.
+    let overhead_users = 100_000.min(max_users).max(1_000);
+    let overhead = run_overhead_point(overhead_users, smoke, opts.seed);
+    atom_obs::progress!(
+        "scale: span overhead N={}: {:.3}s off vs {:.3}s at 1% ({:+.2}%, {} spans)",
+        overhead.users,
+        overhead.wall_off,
+        overhead.wall_on,
+        overhead.overhead_pct(),
+        overhead.spans
+    );
     write_bench_json(
         &points,
         &tenant_points,
+        Some(&overhead),
         &opts.out_dir.join("BENCH_cluster.json"),
     );
+    emit(opts, &points, &tenant_points);
 
     for p in points.iter().filter(|p| p.mode != BackendMode::PerUser) {
         if let Some(s) = speedup_vs_per_user(&points, p) {

@@ -21,6 +21,7 @@
 //! | `fig13`   | bursty workload (I = 4000) |
 //! | `forecast`| beyond the paper: reactive vs proactive (forecast-driven) ATOM |
 //! | `trace`   | beyond the paper: Alibaba/Google production-trace replay |
+//! | `audit`   | beyond the paper: span sampling + LQN model-drift attribution |
 //! | `all`     | everything above |
 //!
 //! Results are printed as paper-style tables and also written as CSV
@@ -48,6 +49,11 @@ pub struct HarnessOptions {
     /// Where to write the Prometheus-text metrics snapshot
     /// (`--metrics-out`); `None` disables it.
     pub metrics_out: Option<std::path::PathBuf>,
+    /// Where to write the sampled request spans as Chrome trace-event
+    /// JSON (`--spans-out`, Perfetto-loadable); `None` disables it.
+    /// Only experiments that enable span sampling (`audit`) produce
+    /// spans — elsewhere the file is an empty event array.
+    pub spans_out: Option<std::path::PathBuf>,
 }
 
 impl Default for HarnessOptions {
@@ -58,6 +64,7 @@ impl Default for HarnessOptions {
             out_dir: std::path::PathBuf::from("results"),
             trace_out: None,
             metrics_out: None,
+            spans_out: None,
         }
     }
 }

@@ -9,10 +9,96 @@
 
 use std::path::Path;
 
+use atom_cluster::spec::AppSpec;
+use atom_cluster::SampledSpan;
 use atom_core::{ExperimentResult, TelemetrySummary};
 use atom_obs::{Journal, Record, Registry};
 
 use crate::HarnessOptions;
+
+/// One Chrome trace-event ("Trace Event Format") complete event, the
+/// `ph: "X"` shape Perfetto and `chrome://tracing` load directly. Sim
+/// seconds become microseconds; the tenant is the `pid` lane and the
+/// sampled request the `tid` lane, so one request's hops stack on one
+/// track.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ChromeEvent {
+    /// `service.endpoint`, resolved against the app spec.
+    pub name: String,
+    /// The scaler slug of the run the span came from.
+    pub cat: String,
+    /// Event phase — always `"X"` (complete event).
+    pub ph: String,
+    /// Arrival at the service, microseconds of sim time.
+    pub ts: f64,
+    /// Residence (queue wait + occupancy), microseconds.
+    pub dur: f64,
+    /// Tenant index (0 for single-tenant runs).
+    pub pid: u64,
+    /// Sampled-request id: every hop of one request shares it.
+    pub tid: u64,
+    /// Placement and timing detail for the Perfetto args pane.
+    pub args: ChromeEventArgs,
+}
+
+/// The `args` payload of a [`ChromeEvent`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ChromeEventArgs {
+    /// Replica the hop executed on.
+    pub replica: u64,
+    /// Server hosting that replica.
+    pub server: u64,
+    /// Population backend live at arrival (`per-user` / `fluid`).
+    pub backend: String,
+    /// Seconds spent queued before a thread picked the call up.
+    pub queue_wait_s: f64,
+    /// Occupancy after the thread was acquired, seconds.
+    pub service_time_s: f64,
+}
+
+fn chrome_event(span: &SampledSpan, spec: &AppSpec, slug: &str) -> ChromeEvent {
+    let service = spec
+        .services
+        .get(span.service)
+        .map(|s| s.name.as_str())
+        .unwrap_or("svc");
+    let endpoint = spec
+        .services
+        .get(span.service)
+        .and_then(|s| s.endpoints.get(span.endpoint))
+        .map(|e| e.name.as_str())
+        .unwrap_or("ep");
+    ChromeEvent {
+        name: format!("{service}.{endpoint}"),
+        cat: slug.to_string(),
+        ph: "X".to_string(),
+        ts: span.arrival * 1e6,
+        dur: span.residence() * 1e6,
+        pid: span.tenant as u64,
+        tid: span.request,
+        args: ChromeEventArgs {
+            replica: span.replica as u64,
+            server: span.server as u64,
+            backend: span.backend.as_str().to_string(),
+            queue_wait_s: span.queue_wait(),
+            service_time_s: span.service_time(),
+        },
+    }
+}
+
+/// Converts every sampled span riding along `results` into a Chrome
+/// trace-event JSON array (the format Perfetto's "Open trace file"
+/// accepts), resolving service/endpoint names against `spec`.
+pub fn chrome_trace_json(results: &[ExperimentResult], spec: &AppSpec) -> String {
+    let mut events = Vec::new();
+    for r in results {
+        let slug = r.scaler.to_lowercase().replace('-', "_");
+        for span in &r.telemetry.spans {
+            events.push(chrome_event(span, spec, &slug));
+        }
+    }
+    serde_json::to_string(&events).expect("chrome trace events serialize")
+}
 
 /// Assembles the decision journal of a set of runs: every per-window
 /// [`atom_obs::DecisionRecord`] the scalers kept, each followed by the
@@ -62,9 +148,32 @@ pub fn registry_of(results: &[ExperimentResult]) -> Registry {
         for &latency in &c.scale_latencies {
             reg.observe(&format!("{slug}_scale_latency_seconds"), latency);
         }
+        // Span accounting exists only for runs with sampling enabled:
+        // every other run keeps its snapshot byte-identical.
+        if c.span_requests_sampled + c.spans_recorded + c.span_requests_dropped > 0 {
+            reg.add(
+                &format!("{slug}_span_requests_sampled_total"),
+                c.span_requests_sampled,
+            );
+            reg.add(&format!("{slug}_spans_recorded_total"), c.spans_recorded);
+            reg.add(
+                &format!("{slug}_span_requests_dropped_total"),
+                c.span_requests_dropped,
+            );
+        }
+        // Journal evictions: only surfaced when the ring actually
+        // dropped records.
+        if r.telemetry.journal_dropped > 0 {
+            reg.add(
+                &format!("{slug}_journal_dropped_total"),
+                r.telemetry.journal_dropped,
+            );
+        }
         let (mut held, mut reissued, mut abandoned) = (0u64, 0u64, 0u64);
         let (mut fc_windows, mut fc_fallbacks, mut fc_clamped) = (0u64, 0u64, 0u64);
         let mut fc_last_smape = None;
+        let mut drift_windows = 0u64;
+        let mut drift_last_smape = None;
         for d in r.telemetry.decisions.iter().flatten() {
             held += d.actuation.held as u64;
             reissued += d.actuation.reissued.len() as u64;
@@ -77,6 +186,22 @@ pub fn registry_of(results: &[ExperimentResult]) -> Registry {
                 if let Some(e) = fc.rolling_smape {
                     reg.observe(&format!("{slug}_forecast_smape"), e);
                     fc_last_smape = Some(e);
+                }
+            }
+            if let Some(drift) = &d.drift {
+                drift_windows += 1;
+                for s in &drift.services {
+                    reg.observe(
+                        &format!("{slug}_drift_abs_residence_error"),
+                        s.residence_error.abs(),
+                    );
+                    reg.observe(
+                        &format!("{slug}_drift_abs_utilization_error"),
+                        s.utilization_error.abs(),
+                    );
+                }
+                if let Some(e) = drift.rolling_smape {
+                    drift_last_smape = Some(e);
                 }
             }
             if let Some(ev) = &d.evaluator {
@@ -117,6 +242,14 @@ pub fn registry_of(results: &[ExperimentResult]) -> Registry {
                 reg.set_gauge(&format!("{slug}_forecast_rolling_smape"), e);
             }
         }
+        // Drift accounting exists only for audited runs (span sampling
+        // on): reactive runs without spans journal no drift records.
+        if drift_windows > 0 {
+            reg.add(&format!("{slug}_drift_windows_total"), drift_windows);
+            if let Some(e) = drift_last_smape {
+                reg.set_gauge(&format!("{slug}_drift_rolling_smape"), e);
+            }
+        }
         let windows = r.reports.len();
         reg.set_gauge(&format!("{slug}_mean_tps"), r.mean_tps(0, windows.max(1)));
         reg.set_gauge(&format!("{slug}_mean_availability"), r.mean_availability());
@@ -150,7 +283,25 @@ pub fn emit(opts: &HarnessOptions, results: &[ExperimentResult]) {
     }
 }
 
-fn write_artefact(path: &Path, content: &str) {
+/// Writes the sampled spans of `results` as Chrome trace-event JSON to
+/// `--spans-out`; a no-op when the flag was not given. Callers supply
+/// the app spec the spans' indices refer to.
+///
+/// # Panics
+///
+/// Panics on I/O errors, same policy as [`emit`].
+pub fn emit_spans(opts: &HarnessOptions, results: &[ExperimentResult], spec: &AppSpec) {
+    if let Some(path) = &opts.spans_out {
+        write_artefact(path, &chrome_trace_json(results, spec));
+        let count: usize = results.iter().map(|r| r.telemetry.spans.len()).sum();
+        atom_obs::progress!(
+            "{count} sampled spans written to {} (Chrome trace-event JSON)",
+            path.display()
+        );
+    }
+}
+
+pub(crate) fn write_artefact(path: &Path, content: &str) {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent).expect("create artefact dir");
@@ -229,6 +380,51 @@ mod tests {
         let reactive = registry_of(&[quick_run(ScalerKind::Atom)]);
         assert_eq!(reactive.counter("atom_forecast_windows_total"), 0);
         assert!(!reactive.prometheus_text().contains("forecast"));
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_and_names_resolve() {
+        let shop = SockShop::default();
+        let workload = scenarios::evaluation_workload(scenarios::ordering_mix(), 800);
+        let opts = HarnessOptions {
+            quick: true,
+            ..Default::default()
+        };
+        let r = run_one_with_cluster(
+            &shop,
+            workload,
+            ScalerKind::Atom,
+            2,
+            60.0,
+            &opts,
+            ClusterOptions::new()
+                .with_seed(7)
+                .with_span_sampling(1.0, 7),
+        );
+        assert!(!r.telemetry.spans.is_empty(), "full sampling records spans");
+        let spec = shop.app_spec();
+        let json = chrome_trace_json(std::slice::from_ref(&r), &spec);
+        let events: Vec<ChromeEvent> = serde_json::from_str(&json).expect("re-parses");
+        assert_eq!(events.len(), r.telemetry.spans.len());
+        for e in &events {
+            assert_eq!(e.ph, "X");
+            assert!(e.name.contains('.'), "name is service.endpoint: {}", e.name);
+            assert!(e.ts.is_finite() && e.ts >= 0.0);
+            assert!(e.dur.is_finite() && e.dur >= 0.0);
+            assert!(e.args.queue_wait_s >= 0.0 && e.args.service_time_s >= 0.0);
+        }
+        // The registry surfaces the span accounting for sampled runs...
+        let reg = registry_of(std::slice::from_ref(&r));
+        assert!(reg.counter("atom_span_requests_sampled_total") > 0);
+        assert!(reg.counter("atom_spans_recorded_total") > 0);
+        // ... and drift series once the controller has a prediction to
+        // audit (window 2 audits window 1's plan).
+        assert!(reg.counter("atom_drift_windows_total") > 0);
+        // Unsampled runs emit no span or drift series at all.
+        let plain = registry_of(&[quick_run(ScalerKind::Atom)]);
+        let text = plain.prometheus_text();
+        assert!(!text.contains("span"), "no span series without sampling");
+        assert!(!text.contains("drift"), "no drift series without sampling");
     }
 
     #[test]

@@ -91,6 +91,82 @@ fn tracing_on_vs_off_is_bitwise_identical() {
     assert!(metrics.contains("# TYPE atom_solves_total counter"));
 }
 
+/// Span sampling is observational: enabling it (even at rate 1.0, with
+/// the model audit running every window) leaves every experiment output
+/// byte identical, and a zero rate is inert no matter what seed the
+/// sampler was handed.
+#[test]
+fn span_sampling_on_vs_off_is_bitwise_identical() {
+    let windows = 3usize;
+    let window_secs = 60.0;
+    let opts = HarnessOptions {
+        quick: true,
+        ..Default::default()
+    };
+    let shop = SockShop::default();
+    let workload = || scenarios::evaluation_workload(scenarios::ordering_mix(), 1500);
+    let run = |cluster: ClusterOptions| {
+        run_one_with_cluster(
+            &shop,
+            workload(),
+            ScalerKind::Atom,
+            windows,
+            window_secs,
+            &opts,
+            cluster,
+        )
+    };
+
+    let base = run(ClusterOptions::new().with_seed(opts.seed));
+    let sampled = run(ClusterOptions::new()
+        .with_seed(opts.seed)
+        .with_span_sampling(1.0, opts.seed));
+    let zero_rate = run(ClusterOptions::new()
+        .with_seed(opts.seed)
+        .with_span_sampling(0.0, 0xDEAD_BEEF));
+
+    assert_eq!(
+        canonical_csv(std::slice::from_ref(&base)),
+        canonical_csv(std::slice::from_ref(&sampled)),
+        "span sampling must not change any output byte"
+    );
+    // A zero rate is fully disabled: even the journal (solver counters
+    // included) matches the unsampled run byte for byte.
+    assert_eq!(
+        canonical_csv(std::slice::from_ref(&base)),
+        canonical_csv(std::slice::from_ref(&zero_rate)),
+    );
+    assert_eq!(
+        trace::journal_of(std::slice::from_ref(&base)).to_jsonl(),
+        trace::journal_of(std::slice::from_ref(&zero_rate)).to_jsonl(),
+        "a zero-rate sampler must leave the journal bitwise identical"
+    );
+    assert!(zero_rate.telemetry.spans.is_empty());
+
+    // The sampled run actually produced the observability artefacts the
+    // inert runs lack: spans, per-window aggregates, and drift audits.
+    assert!(!sampled.telemetry.spans.is_empty());
+    assert!(sampled.reports.iter().all(|w| w.span_stats.is_some()));
+    let audited = sampled
+        .telemetry
+        .decisions
+        .iter()
+        .flatten()
+        .filter(|d| d.drift.is_some())
+        .count();
+    assert!(
+        audited > 0,
+        "span-sampled ATOM windows must audit the model"
+    );
+    assert!(base.telemetry.spans.is_empty());
+    assert!(base
+        .telemetry
+        .decisions
+        .iter()
+        .flatten()
+        .all(|d| d.drift.is_none()));
+}
+
 /// A `ForecastConfig` with `enabled: false` must be inert no matter how
 /// its other knobs are set: the seed path (default config) and a config
 /// with every forecast knob scrambled produce bitwise-identical

@@ -194,6 +194,10 @@ impl Cluster {
         self.fabric.dark_intervals.retain(|&(_, e)| e > end);
         let monitor_dropout_fraction = (dark / span).clamp(0.0, 1.0);
 
+        // `None` while span sampling is disabled, so reports (and every
+        // artefact serialised from them) stay byte-identical.
+        let span_stats = self.spans.window_stats();
+
         let report = WindowReport {
             start: self.accum.window_start,
             end,
@@ -221,6 +225,7 @@ impl Cluster {
             backend: self.tenants[0].backend.kind(),
             backend_switches: std::mem::take(&mut self.accum.window_switches),
             tenant: None,
+            span_stats,
         };
         // Per-tenant views exist only for multi-tenant clusters, so the
         // single-tenant collection path (and its artefacts) stays
@@ -264,7 +269,7 @@ impl Cluster {
             service_replicas: merged.service_replicas[sr.clone()].to_vec(),
             service_ready_replicas: merged.service_ready_replicas[sr.clone()].to_vec(),
             service_shares: merged.service_shares[sr.clone()].to_vec(),
-            service_availability: merged.service_availability[sr].to_vec(),
+            service_availability: merged.service_availability[sr.clone()].to_vec(),
             server_utilization: merged.server_utilization.clone(),
             total_tps,
             avg_users,
@@ -278,6 +283,7 @@ impl Cluster {
             backend: t.backend.kind(),
             backend_switches: merged.backend_switches,
             tenant: Some(ti),
+            span_stats: merged.span_stats.as_ref().map(|stats| stats[sr].to_vec()),
         }
     }
 }

@@ -84,6 +84,9 @@ pub(crate) struct Invocation {
     pub seen_queue: usize,
     /// Index of this invocation's span in the trace being captured.
     pub span: Option<usize>,
+    /// Handle `(slot, span index)` into the sampled span layer when this
+    /// invocation belongs to a sampled request.
+    pub sampled: Option<(usize, usize)>,
 }
 
 /// Usable rate cap of one replica: its share bounded by the service's

@@ -72,6 +72,7 @@ mod fabric;
 pub mod monitor;
 mod request;
 pub mod runtime;
+pub mod spans;
 pub mod spec;
 pub mod telemetry;
 
@@ -80,5 +81,6 @@ pub use backend::{BackendKind, BackendMode};
 pub use error::ClusterError;
 pub use monitor::WindowReport;
 pub use runtime::{Cluster, ClusterOptions, RequestTrace, ScaleAction, TenantLayout, TraceSpan};
+pub use spans::{SampledSpan, ServiceSpanStats};
 pub use spec::{AppSpec, EndpointId, ServerId, ServiceId};
 pub use telemetry::{ClusterTelemetry, ScaleLatencyStats};

@@ -16,6 +16,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::backend::BackendKind;
+use crate::spans::ServiceSpanStats;
 use crate::telemetry::ScaleLatencyStats;
 
 /// Metrics collected over one monitoring window (paper §IV-A: the
@@ -115,6 +116,14 @@ pub struct WindowReport {
     /// for merged and single-tenant reports.
     #[serde(default)]
     pub tenant: Option<usize>,
+    /// Per-service sampled-span aggregates for the window, one entry per
+    /// service: queue-wait and residence percentiles over the sampled
+    /// requests. `None` unless span sampling is enabled
+    /// ([`ClusterOptions::span_sample_rate`](crate::ClusterOptions) > 0),
+    /// so unsampled artefacts stay byte-stable. Scrape provenance: goes
+    /// dark with the monitor.
+    #[serde(default)]
+    pub span_stats: Option<Vec<ServiceSpanStats>>,
 }
 
 impl WindowReport {
@@ -148,6 +157,7 @@ impl WindowReport {
             backend: BackendKind::default(),
             backend_switches: 0,
             tenant: None,
+            span_stats: None,
         }
     }
 
@@ -319,6 +329,13 @@ impl WindowReport {
     #[must_use]
     pub fn with_backend_switches(mut self, v: usize) -> Self {
         self.backend_switches = v;
+        self
+    }
+
+    /// Sets the per-service sampled-span aggregates.
+    #[must_use]
+    pub fn with_span_stats(mut self, v: Option<Vec<ServiceSpanStats>>) -> Self {
+        self.span_stats = v;
         self
     }
 

@@ -139,6 +139,29 @@ impl Cluster {
         } else {
             None
         };
+        // Sampled span layer: roots pass the seeded sampling hash (never
+        // an RNG draw), children inherit their caller's handle. The whole
+        // branch is skipped while sampling is disabled, so the disabled
+        // path is bit-for-bit the pre-span code.
+        let sampled = if self.spans.enabled() {
+            let server = self.fabric.services[si].server;
+            if let Some((feature, user)) = root {
+                let ti = user >> TENANT_SHIFT;
+                let backend = self.tenants[ti].backend.kind();
+                self.spans
+                    .maybe_start(ti, feature, si, ei, replica, server, backend, now)
+            } else {
+                caller
+                    .and_then(|c| self.fabric.invocations[c].as_ref().and_then(|i| i.sampled))
+                    .map(|(slot, parent)| {
+                        let backend = self.tenants[0].backend.kind();
+                        self.spans
+                            .child(slot, parent, si, ei, replica, server, backend, now)
+                    })
+            }
+        } else {
+            None
+        };
         let inv = self.alloc_invocation(Invocation {
             service: si,
             endpoint: ei,
@@ -150,6 +173,7 @@ impl Cluster {
             arrival: now,
             seen_queue,
             span,
+            sampled,
         });
         let svc = &mut self.fabric.services[si];
         let can_start = matches!(
@@ -185,6 +209,9 @@ impl Cluster {
         };
         if let Some(span) = self.fabric.invocations[inv].as_ref().unwrap().span {
             self.fabric.trace_building[span].start = now;
+        }
+        if let Some(handle) = self.fabric.invocations[inv].as_ref().unwrap().sampled {
+            self.spans.begin(handle, now);
         }
         self.fabric.invocations[inv].as_mut().unwrap().state = InvState::Executing;
         let ep = &self.spec.services[si].endpoints[ei];
@@ -292,7 +319,7 @@ impl Cluster {
 
     fn finish_invocation(&mut self, inv: usize) {
         let now = self.engine.now;
-        let (si, _ei, replica, caller, root, arrival, seen_queue, ei, span) = {
+        let (si, _ei, replica, caller, root, arrival, seen_queue, ei, span, sampled) = {
             let i = self.fabric.invocations[inv].as_ref().unwrap();
             (
                 i.service,
@@ -304,6 +331,7 @@ impl Cluster {
                 i.seen_queue,
                 i.endpoint,
                 i.span,
+                i.sampled,
             )
         };
         if let Some(span) = span {
@@ -314,6 +342,11 @@ impl Cluster {
                     spans: std::mem::take(&mut self.fabric.trace_building),
                 });
             }
+        }
+        if let Some(handle) = sampled {
+            let observing = self.monitor_observing();
+            self.spans
+                .finish(handle, now, observing, &mut self.telemetry);
         }
         if self.monitor_observing() {
             self.accum.endpoint_counts[si][ei] += 1;

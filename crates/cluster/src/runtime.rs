@@ -27,6 +27,7 @@ use crate::engine::{Engine, Event};
 use crate::error::ClusterError;
 use crate::fabric::{effective_cap, Fabric, Replica, ReplicaState, ServiceRt};
 use crate::monitor::WindowReport;
+use crate::spans::{SampledSpan, SpanLayer};
 use crate::spec::{AppSpec, EndpointId, ServiceId};
 use crate::telemetry::ClusterTelemetry;
 
@@ -57,6 +58,13 @@ pub struct ClusterOptions {
     /// default), fluid aggregation, or the hybrid of the two. Million-
     /// user runs want [`BackendMode::Fluid`] or [`BackendMode::Hybrid`].
     pub backend: BackendMode,
+    /// Fraction of client requests captured as span trees (0 disables —
+    /// the default). The decision is a seeded hash, never a simulation
+    /// RNG draw, so sampled and unsampled runs share identical dynamics.
+    pub span_sample_rate: f64,
+    /// Seed of the span-sampling hash, independent of the simulation
+    /// seed so the sampled subset can be varied without changing a run.
+    pub span_seed: u64,
 }
 
 impl ClusterOptions {
@@ -69,6 +77,8 @@ impl ClusterOptions {
             monitor_noise: 0.0,
             faults: FaultSchedule::new(),
             backend: BackendMode::PerUser,
+            span_sample_rate: 0.0,
+            span_seed: 0,
         }
     }
 
@@ -104,6 +114,15 @@ impl ClusterOptions {
     #[must_use]
     pub fn with_backend(mut self, backend: BackendMode) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Enables span sampling: capture `rate` of client requests as span
+    /// trees, with the sampled subset keyed by `seed`.
+    #[must_use]
+    pub fn with_span_sampling(mut self, rate: f64, seed: u64) -> Self {
+        self.span_sample_rate = rate;
+        self.span_seed = seed;
         self
     }
 }
@@ -239,6 +258,9 @@ pub struct Cluster {
     pub(crate) accum: WindowAccum,
     pub(crate) options: ClusterOptions,
     pub(crate) telemetry: ClusterTelemetry,
+    /// The sampled span layer (`atom-trace`); inert when the sampling
+    /// rate is zero.
+    pub(crate) spans: SpanLayer,
     /// Per-tenant reports of the most recent window; populated only for
     /// multi-tenant clusters so single-tenant runs stay byte-stable.
     pub(crate) tenant_reports: Vec<WindowReport>,
@@ -421,6 +443,7 @@ impl Cluster {
             ns,
         );
         let n_tenants = tenant_rts.len();
+        let spans = SpanLayer::new(options.span_sample_rate, options.span_seed, ns);
         let mut cluster = Cluster {
             spec: spec.clone(),
             rng,
@@ -430,6 +453,7 @@ impl Cluster {
             accum,
             options,
             telemetry: ClusterTelemetry::default(),
+            spans,
             tenant_reports: Vec::new(),
             current_window_end: 0.0,
             transient_until: 0.0,
@@ -560,6 +584,19 @@ impl Cluster {
     /// The most recently completed trace, if any.
     pub fn take_trace(&mut self) -> Option<RequestTrace> {
         self.fabric.completed_trace.take()
+    }
+
+    /// Whether span sampling is enabled (a positive
+    /// [`ClusterOptions::span_sample_rate`]).
+    pub fn spans_enabled(&self) -> bool {
+        self.spans.enabled()
+    }
+
+    /// Drains the completed sampled spans accumulated since the last
+    /// drain (empty unless span sampling is enabled). Spans of one
+    /// request are contiguous, parents before children.
+    pub fn take_spans(&mut self) -> Vec<SampledSpan> {
+        self.spans.take_completed()
     }
 
     /// Schedules a batch of scaling actions to be applied `delay` seconds
@@ -1352,6 +1389,123 @@ mod tests {
         cluster.arm_trace(None);
         cluster.run_window(30.0);
         assert!(cluster.take_trace().is_some());
+    }
+
+    #[test]
+    fn sampled_spans_capture_call_trees() {
+        let mut spec = AppSpec::new();
+        let node = spec.add_server("node", 4, 1.0);
+        let web = spec.add_service("web", node, 32, 1, 1.0);
+        let db = spec.add_service("db", node, 8, 1, 1.0);
+        let page = spec.add_endpoint(web, "page", 0.002, 1.0);
+        let query = spec.add_endpoint(db, "query", 0.004, 1.0);
+        spec.add_call(web, page, db, query, 2.0);
+        spec.add_feature("page", web, page);
+        let mut cluster = Cluster::new(
+            &spec,
+            constant_workload(10, 1.0),
+            ClusterOptions::new().with_span_sampling(1.0, 7),
+        )
+        .unwrap();
+        assert!(cluster.spans_enabled());
+        let report = cluster.run_window(60.0);
+        let spans = cluster.take_spans();
+        assert!(!spans.is_empty());
+        // Roots lead their trees; children nest inside the root span and
+        // carry the root's request id.
+        let mut root = None;
+        for s in &spans {
+            match s.parent {
+                None => {
+                    assert_eq!(s.service, 0);
+                    root = Some(*s);
+                }
+                Some(p) => {
+                    let r = root.expect("parent precedes child");
+                    assert_eq!(s.request, r.request);
+                    assert_eq!(s.service, 1);
+                    assert_eq!(s.parent, Some(0));
+                    assert!(s.arrival >= r.start - 1e-9);
+                    assert!(s.end <= r.end + 1e-9);
+                    assert!(s.queue_wait() >= 0.0 && s.residence() >= s.service_time());
+                    let _ = p;
+                }
+            }
+        }
+        // Window aggregates cover both services and reconcile with the
+        // telemetry counters.
+        let stats = report.span_stats.as_ref().expect("sampling enabled");
+        assert_eq!(stats.len(), 2);
+        assert!(stats[0].samples > 0 && stats[1].samples > 0);
+        assert!(stats[0].residence_p50 <= stats[0].residence_p95);
+        let t = cluster.telemetry();
+        assert!(t.span_requests_sampled > 0);
+        assert_eq!(t.spans_recorded, spans.len() as u64);
+        assert_eq!(t.span_requests_dropped, 0);
+        // Drained: a second take is empty until more requests complete.
+        assert!(cluster.take_spans().is_empty());
+    }
+
+    #[test]
+    fn sampling_is_inert_on_the_dynamics() {
+        // Identical seeds with sampling off, at 30%, and at 100% must
+        // produce byte-identical window dynamics: the sampling decision
+        // is a hash, never an RNG draw.
+        let spec = one_service_spec(0.01, 0.5, 16);
+        let run = |rate: f64| {
+            let mut c = Cluster::new(
+                &spec,
+                constant_workload(50, 1.0),
+                ClusterOptions::new()
+                    .with_seed(11)
+                    .with_span_sampling(rate, 3),
+            )
+            .unwrap();
+            let mut reports = Vec::new();
+            for _ in 0..3 {
+                let mut r = c.run_window(120.0);
+                r.span_stats = None; // the only field allowed to differ
+                reports.push(r);
+            }
+            reports
+        };
+        let off = run(0.0);
+        let some = run(0.3);
+        let all = run(1.0);
+        assert_eq!(off, some);
+        assert_eq!(off, all);
+    }
+
+    #[test]
+    fn sampling_disabled_reports_no_span_stats() {
+        let spec = one_service_spec(0.01, 0.5, 16);
+        let mut cluster =
+            Cluster::new(&spec, constant_workload(20, 1.0), ClusterOptions::default()).unwrap();
+        assert!(!cluster.spans_enabled());
+        let r = cluster.run_window(60.0);
+        assert_eq!(r.span_stats, None);
+        assert!(cluster.take_spans().is_empty());
+        assert_eq!(cluster.telemetry().span_requests_sampled, 0);
+    }
+
+    #[test]
+    fn sampled_spans_are_deterministic_in_the_seeds() {
+        let spec = one_service_spec(0.01, 0.5, 16);
+        let run = || {
+            let mut c = Cluster::new(
+                &spec,
+                constant_workload(30, 1.0),
+                ClusterOptions::new()
+                    .with_seed(5)
+                    .with_span_sampling(0.5, 9),
+            )
+            .unwrap();
+            c.run_window(200.0);
+            c.take_spans()
+        };
+        let a = run();
+        assert!(!a.is_empty());
+        assert_eq!(a, run());
     }
 
     #[test]

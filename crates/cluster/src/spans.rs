@@ -1,0 +1,455 @@
+//! `atom-trace`: the deterministic sampled span layer.
+//!
+//! Every sampled client request records a span tree across its
+//! service-chain hops — queue wait, service occupancy, replica, server,
+//! tenant, and the population backend that produced it — accumulated
+//! entirely in sim-time (no wall-clock reads ever enter a span).
+//!
+//! Two disciplines keep the layer safe to leave compiled-in:
+//!
+//! * **Sampling never touches the simulation RNG.** The decision is a
+//!   seeded splitmix64 hash over `(span seed, root sequence number)`, so
+//!   enabling sampling adds and removes *zero* draws from the event
+//!   path — a sampled run's dynamics are bitwise identical to an
+//!   unsampled one (see the `sampling_is_inert_on_the_dynamics` test).
+//! * **Disabled means absent.** With a zero rate the layer keeps no
+//!   state, window reports carry `span_stats: None`, and every artefact
+//!   byte matches the pre-span runtime (the pinned scenario digests
+//!   enforce this).
+//!
+//! Aggregated per-window per-service percentiles feed the controller's
+//! model-audit stage; raw spans export as Chrome trace-event JSON via
+//! the bench harness (`--spans-out`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::backend::BackendKind;
+use crate::telemetry::ClusterTelemetry;
+
+/// Raw completed spans retained for export before the layer starts
+/// dropping whole requests (dropped requests are counted in
+/// [`ClusterTelemetry::span_requests_dropped`]).
+const SPAN_LOG_CAP: usize = 262_144;
+
+/// splitmix64: the same seeded-hash idiom the placement scheduler uses
+/// for tie-breaks. Deliberately *not* `SimRng` — the sampling decision
+/// must not consume event-path randomness.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One hop of a sampled request: where the call ran and when it queued,
+/// started, and finished (sim-time seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampledSpan {
+    /// Sampled-request id (the root sequence number at sampling time) —
+    /// shared by every span of one request tree.
+    pub request: u64,
+    /// Tenant that issued the root request.
+    pub tenant: usize,
+    /// Client-visible feature of the root request (merged-spec index).
+    pub feature: usize,
+    /// Index of the calling span within the same request, `None` for
+    /// the root hop.
+    pub parent: Option<usize>,
+    /// Service index (merged spec).
+    pub service: usize,
+    /// Endpoint index within the service.
+    pub endpoint: usize,
+    /// Replica the call executed on.
+    pub replica: usize,
+    /// Server hosting that replica.
+    pub server: usize,
+    /// Population backend live when the hop arrived.
+    pub backend: BackendKind,
+    /// Arrival at the service (enqueue time).
+    pub arrival: f64,
+    /// Service start (thread acquired).
+    pub start: f64,
+    /// Completion (reply sent).
+    pub end: f64,
+}
+
+impl SampledSpan {
+    /// Time spent queued before a thread picked the call up.
+    pub fn queue_wait(&self) -> f64 {
+        self.start - self.arrival
+    }
+
+    /// Occupancy after the thread was acquired (CPU demand, I/O latency,
+    /// and waiting on downstream calls).
+    pub fn service_time(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// End-to-end residence at this hop: queue wait plus occupancy.
+    pub fn residence(&self) -> f64 {
+        self.end - self.arrival
+    }
+}
+
+/// Per-window span aggregates for one service: what the model-audit
+/// stage compares against the LQN's predicted residence times.
+/// Percentiles are nearest-rank over the window's sampled hops.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSpanStats {
+    /// Sampled hops that completed at this service during the window.
+    pub samples: u64,
+    /// Median queue wait (seconds).
+    pub queue_wait_p50: f64,
+    /// 95th-percentile queue wait (seconds).
+    pub queue_wait_p95: f64,
+    /// Median residence (queue wait + occupancy, seconds).
+    pub residence_p50: f64,
+    /// 95th-percentile residence (seconds).
+    pub residence_p95: f64,
+    /// Mean residence (seconds) — the LQN predicts means, so drift is
+    /// measured against this.
+    pub residence_mean: f64,
+}
+
+impl ServiceSpanStats {
+    /// Stats of a service no sampled hop reached this window.
+    pub fn empty() -> Self {
+        ServiceSpanStats {
+            samples: 0,
+            queue_wait_p50: 0.0,
+            queue_wait_p95: 0.0,
+            residence_p50: 0.0,
+            residence_p95: 0.0,
+            residence_mean: 0.0,
+        }
+    }
+}
+
+/// Nearest-rank percentile of `sorted` (ascending, non-empty).
+fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// A sampled request's spans while any of its hops are still open. The
+/// whole tree flushes when the root hop finishes (calls are synchronous,
+/// so the root always completes last).
+struct InFlightTrace {
+    spans: Vec<SampledSpan>,
+}
+
+/// The sampled span layer: sampling decision, in-flight trees, the
+/// bounded export log, and the current window's per-service samples.
+pub(crate) struct SpanLayer {
+    rate: f64,
+    seed: u64,
+    /// Root requests seen since construction (sequence number fed to the
+    /// sampling hash). Only advanced while sampling is enabled, so a
+    /// disabled layer does literally nothing.
+    next_root: u64,
+    inflight: Vec<Option<InFlightTrace>>,
+    free: Vec<usize>,
+    /// Completed spans awaiting [`SpanLayer::take_completed`], bounded
+    /// by [`SPAN_LOG_CAP`].
+    completed: Vec<SampledSpan>,
+    /// Per-service `(queue_wait, residence)` samples this window.
+    window: Vec<Vec<(f64, f64)>>,
+}
+
+impl SpanLayer {
+    pub fn new(rate: f64, seed: u64, n_services: usize) -> Self {
+        SpanLayer {
+            rate: rate.clamp(0.0, 1.0),
+            seed,
+            next_root: 0,
+            inflight: Vec::new(),
+            free: Vec::new(),
+            completed: Vec::new(),
+            window: vec![Vec::new(); n_services],
+        }
+    }
+
+    /// Whether any request can be sampled at all. Callers gate every
+    /// span-path branch on this so a disabled layer costs nothing.
+    pub fn enabled(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// Sampling decision for one root request, plus span-tree start when
+    /// it passes. Returns the `(slot, span index)` handle to thread
+    /// through the invocation chain.
+    #[allow(clippy::too_many_arguments)] // one call site, plain hop facts
+    pub fn maybe_start(
+        &mut self,
+        tenant: usize,
+        feature: usize,
+        service: usize,
+        endpoint: usize,
+        replica: usize,
+        server: usize,
+        backend: BackendKind,
+        now: f64,
+    ) -> Option<(usize, usize)> {
+        let id = self.next_root;
+        self.next_root += 1;
+        // Uniform in [0, 1) from the top 53 bits of the hash; strictly
+        // below the rate samples. rate = 1.0 samples everything.
+        let u = (splitmix64(self.seed ^ id) >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= self.rate {
+            return None;
+        }
+        let root = SampledSpan {
+            request: id,
+            tenant,
+            feature,
+            parent: None,
+            service,
+            endpoint,
+            replica,
+            server,
+            backend,
+            arrival: now,
+            start: now,
+            end: now,
+        };
+        let trace = InFlightTrace { spans: vec![root] };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.inflight[slot] = Some(trace);
+                slot
+            }
+            None => {
+                self.inflight.push(Some(trace));
+                self.inflight.len() - 1
+            }
+        };
+        Some((slot, 0))
+    }
+
+    /// Adds a child hop under `parent` of the request in `slot`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn child(
+        &mut self,
+        slot: usize,
+        parent: usize,
+        service: usize,
+        endpoint: usize,
+        replica: usize,
+        server: usize,
+        backend: BackendKind,
+        now: f64,
+    ) -> (usize, usize) {
+        let trace = self.inflight[slot].as_mut().expect("sampled slot live");
+        let root = trace.spans[0];
+        trace.spans.push(SampledSpan {
+            request: root.request,
+            tenant: root.tenant,
+            feature: root.feature,
+            parent: Some(parent),
+            service,
+            endpoint,
+            replica,
+            server,
+            backend,
+            arrival: now,
+            start: now,
+            end: now,
+        });
+        (slot, trace.spans.len() - 1)
+    }
+
+    /// Marks a hop's service start (thread acquired). Re-dispatch after
+    /// a replica failure lands here again and overwrites the start — the
+    /// span then reports the retry's queue wait, matching what a tracing
+    /// client would observe.
+    pub fn begin(&mut self, handle: (usize, usize), now: f64) {
+        let (slot, idx) = handle;
+        self.inflight[slot]
+            .as_mut()
+            .expect("sampled slot live")
+            .spans[idx]
+            .start = now;
+    }
+
+    /// Marks a hop's completion. Finishing the root hop flushes the
+    /// whole tree: window aggregates and the export log only record
+    /// requests whose completion the monitoring plane observed
+    /// (`observing` — span collection is part of monitoring and goes
+    /// dark with it).
+    pub fn finish(
+        &mut self,
+        handle: (usize, usize),
+        now: f64,
+        observing: bool,
+        telemetry: &mut ClusterTelemetry,
+    ) {
+        let (slot, idx) = handle;
+        self.inflight[slot]
+            .as_mut()
+            .expect("sampled slot live")
+            .spans[idx]
+            .end = now;
+        if idx != 0 {
+            return;
+        }
+        let trace = self.inflight[slot].take().expect("sampled slot live");
+        self.free.push(slot);
+        if !observing {
+            return;
+        }
+        telemetry.span_requests_sampled += 1;
+        for span in &trace.spans {
+            self.window[span.service].push((span.queue_wait(), span.residence()));
+        }
+        if self.completed.len() + trace.spans.len() > SPAN_LOG_CAP {
+            telemetry.span_requests_dropped += 1;
+            return;
+        }
+        telemetry.spans_recorded += trace.spans.len() as u64;
+        self.completed.extend(trace.spans);
+    }
+
+    /// Drains the export log.
+    pub fn take_completed(&mut self) -> Vec<SampledSpan> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Summarises and clears the current window's per-service samples.
+    /// `None` while sampling is disabled, so reports (and everything
+    /// serialised from them) stay byte-identical to the pre-span layer.
+    pub fn window_stats(&mut self) -> Option<Vec<ServiceSpanStats>> {
+        if !self.enabled() {
+            return None;
+        }
+        Some(
+            self.window
+                .iter_mut()
+                .map(|samples| {
+                    if samples.is_empty() {
+                        return ServiceSpanStats::empty();
+                    }
+                    let mut waits: Vec<f64> = samples.iter().map(|s| s.0).collect();
+                    let mut residences: Vec<f64> = samples.iter().map(|s| s.1).collect();
+                    waits.sort_by(f64::total_cmp);
+                    residences.sort_by(f64::total_cmp);
+                    let n = residences.len();
+                    let stats = ServiceSpanStats {
+                        samples: n as u64,
+                        queue_wait_p50: nearest_rank(&waits, 0.50),
+                        queue_wait_p95: nearest_rank(&waits, 0.95),
+                        residence_p50: nearest_rank(&residences, 0.50),
+                        residence_p95: nearest_rank(&residences, 0.95),
+                        residence_mean: residences.iter().sum::<f64>() / n as f64,
+                    };
+                    samples.clear();
+                    stats
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_layer_samples_nothing_and_reports_none() {
+        let mut layer = SpanLayer::new(0.0, 7, 2);
+        assert!(!layer.enabled());
+        assert_eq!(layer.window_stats(), None);
+        assert!(layer.take_completed().is_empty());
+    }
+
+    #[test]
+    fn rate_one_samples_everything_deterministically() {
+        let run = || {
+            let mut layer = SpanLayer::new(1.0, 42, 1);
+            let mut t = ClusterTelemetry::default();
+            let mut ids = Vec::new();
+            for i in 0..10 {
+                let h = layer
+                    .maybe_start(0, 0, 0, 0, 0, 0, BackendKind::PerUser, i as f64)
+                    .expect("rate 1.0 samples all");
+                layer.begin(h, i as f64 + 0.1);
+                layer.finish(h, i as f64 + 0.5, true, &mut t);
+            }
+            for s in layer.take_completed() {
+                ids.push(s.request);
+            }
+            ids
+        };
+        assert_eq!(run(), (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn fractional_rate_hits_roughly_its_share() {
+        let mut layer = SpanLayer::new(0.1, 9, 1);
+        let hits = (0..10_000)
+            .filter(|_| {
+                layer
+                    .maybe_start(0, 0, 0, 0, 0, 0, BackendKind::PerUser, 0.0)
+                    .is_some()
+            })
+            .count();
+        assert!((800..1200).contains(&hits), "10% of 10k, got {hits}");
+    }
+
+    #[test]
+    fn window_stats_summarise_and_reset() {
+        let mut layer = SpanLayer::new(1.0, 1, 2);
+        let mut t = ClusterTelemetry::default();
+        for i in 0..20 {
+            let h = layer
+                .maybe_start(0, 0, 1, 0, 0, 0, BackendKind::PerUser, 0.0)
+                .unwrap();
+            layer.begin(h, 0.1);
+            layer.finish(h, 0.1 + i as f64 * 0.01, true, &mut t);
+        }
+        let stats = layer.window_stats().unwrap();
+        assert_eq!(stats[0].samples, 0);
+        let s = stats[1];
+        assert_eq!(s.samples, 20);
+        assert!((s.queue_wait_p50 - 0.1).abs() < 1e-12);
+        assert!(s.residence_p50 <= s.residence_p95);
+        assert!(s.residence_mean > 0.1);
+        // Second collection starts from a clean window.
+        assert_eq!(layer.window_stats().unwrap()[1].samples, 0);
+        assert_eq!(t.span_requests_sampled, 20);
+        assert_eq!(t.spans_recorded, 20);
+    }
+
+    #[test]
+    fn unobserved_completions_are_not_recorded() {
+        let mut layer = SpanLayer::new(1.0, 1, 1);
+        let mut t = ClusterTelemetry::default();
+        let h = layer
+            .maybe_start(0, 0, 0, 0, 0, 0, BackendKind::PerUser, 0.0)
+            .unwrap();
+        layer.finish(h, 1.0, false, &mut t);
+        assert_eq!(layer.window_stats().unwrap()[0].samples, 0);
+        assert!(layer.take_completed().is_empty());
+        assert_eq!(t.span_requests_sampled, 0);
+    }
+
+    #[test]
+    fn child_spans_inherit_root_identity() {
+        let mut layer = SpanLayer::new(1.0, 3, 3);
+        let mut t = ClusterTelemetry::default();
+        let root = layer
+            .maybe_start(2, 5, 0, 0, 1, 0, BackendKind::PerUser, 1.0)
+            .unwrap();
+        let child = layer.child(root.0, root.1, 1, 0, 0, 1, BackendKind::PerUser, 1.5);
+        layer.begin(child, 1.6);
+        layer.finish(child, 2.0, true, &mut t);
+        layer.finish(root, 2.5, true, &mut t);
+        let spans = layer.take_completed();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].tenant, 2);
+        assert_eq!(spans[1].feature, 5);
+        assert_eq!(spans[1].request, spans[0].request);
+        assert_eq!(spans[1].parent, Some(0));
+        assert!((spans[1].queue_wait() - 0.1).abs() < 1e-12);
+    }
+}

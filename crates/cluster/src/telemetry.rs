@@ -60,6 +60,17 @@ pub struct ClusterTelemetry {
     pub backend_switches: u64,
     /// Scaling batches rejected by an actuation-failure fault.
     pub dropped_batches: u64,
+    /// Sampled client requests whose span trees were recorded (root
+    /// completion observed by the monitoring plane).
+    #[serde(default)]
+    pub span_requests_sampled: u64,
+    /// Individual spans retained in the export log.
+    #[serde(default)]
+    pub spans_recorded: u64,
+    /// Sampled requests whose spans were dropped because the export log
+    /// was full (their window aggregates are still counted).
+    #[serde(default)]
+    pub span_requests_dropped: u64,
     /// Per-tenant `UserReady` breakdown, in tenant order. Empty for
     /// single-tenant clusters (the merged counter above is the tenant's
     /// count there), so single-tenant artefacts stay byte-identical.

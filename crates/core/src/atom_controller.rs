@@ -5,8 +5,8 @@ use atom_forecast::Ensemble;
 use atom_ga::{Budget, GaOptions};
 use atom_lqn::{DecisionVector, LqnModel, ScalingConfig};
 use atom_obs::{
-    ActuationOutcome, ChosenAction, DecisionRecord, ForecastRecord, ServiceDemand,
-    TelemetrySnapshot,
+    ActuationOutcome, ChosenAction, DecisionRecord, DriftRecord, ForecastRecord, ServiceDemand,
+    ServiceDrift, TelemetrySnapshot,
 };
 
 use crate::analyzer::WorkloadAnalyzer;
@@ -140,6 +140,18 @@ impl AtomConfig {
     }
 }
 
+/// The per-station prediction made when a configuration was planned,
+/// held until span aggregates observe the window it governed (the
+/// knowledge-phase model audit).
+#[derive(Debug, Clone)]
+struct StationPrediction {
+    /// Window the prediction was made in (0-based, journal numbering).
+    window: u64,
+    /// Per scalable service: name, cluster service index, LQN-predicted
+    /// mean residence per visit (s), and predicted task utilisation.
+    services: Vec<(String, usize, f64, f64)>,
+}
+
 /// A scaling action issued but not yet confirmed by the actuator state.
 #[derive(Debug, Clone, Copy)]
 struct PendingAction {
@@ -192,6 +204,13 @@ pub struct Atom {
     /// Non-degraded windows the ensemble has observed so far (gates the
     /// first trusted forecast behind `forecast.min_history`).
     forecast_history: usize,
+    /// The station-level prediction for the most recently planned
+    /// configuration, awaiting its span-observed outcome (`None` unless
+    /// span sampling feeds the monitor — the audit runs zero code
+    /// otherwise).
+    last_prediction: Option<StationPrediction>,
+    /// Per-window residence sMAPE of the last few audits (rolling drift).
+    drift_smape: std::collections::VecDeque<f64>,
 }
 
 impl Atom {
@@ -230,7 +249,114 @@ impl Atom {
             last_record: None,
             ensemble,
             forecast_history: 0,
+            last_prediction: None,
+            drift_smape: std::collections::VecDeque::new(),
         }
+    }
+
+    /// Audited windows averaged into the rolling drift sMAPE.
+    const DRIFT_SMAPE_WINDOW: usize = 8;
+
+    /// Knowledge: scores the prediction made for the previously planned
+    /// configuration against the span aggregates that observed it.
+    /// Returns `None` — and runs no arithmetic — unless the report
+    /// carries span statistics and a prediction is waiting.
+    fn audit_model(&mut self, report: &WindowReport) -> Option<DriftRecord> {
+        let stats = report.span_stats.as_ref()?;
+        let pred = self.last_prediction.take()?;
+        let mut services = Vec::new();
+        let mut smape_sum = 0.0;
+        let mut smape_n = 0usize;
+        for (name, si, p_res, p_util) in &pred.services {
+            let Some(s) = stats.get(*si) else { continue };
+            if s.samples == 0 {
+                // No sampled request touched the service this window;
+                // there is no observation to score against.
+                continue;
+            }
+            let o_res = s.residence_mean;
+            let o_util = report.service_utilization.get(*si).copied().unwrap_or(0.0);
+            let denom = p_res.abs() + o_res.abs();
+            if denom > 0.0 {
+                smape_sum += 2.0 * (p_res - o_res).abs() / denom;
+                smape_n += 1;
+            }
+            services.push(ServiceDrift {
+                service: name.clone(),
+                predicted_residence: *p_res,
+                observed_residence: o_res,
+                residence_error: if o_res > 0.0 {
+                    (p_res - o_res) / o_res
+                } else {
+                    0.0
+                },
+                predicted_utilization: *p_util,
+                observed_utilization: o_util,
+                utilization_error: p_util - o_util,
+                samples: s.samples,
+            });
+        }
+        if services.is_empty() {
+            return None;
+        }
+        if smape_n > 0 {
+            if self.drift_smape.len() == Self::DRIFT_SMAPE_WINDOW {
+                self.drift_smape.pop_front();
+            }
+            self.drift_smape.push_back(smape_sum / smape_n as f64);
+        }
+        let rolling_smape = (!self.drift_smape.is_empty())
+            .then(|| self.drift_smape.iter().sum::<f64>() / self.drift_smape.len() as f64);
+        Some(DriftRecord {
+            predicted_window: pred.window,
+            services,
+            rolling_smape,
+        })
+    }
+
+    /// Knowledge: solves the planned configuration once more and records
+    /// its per-station residence (per-entry residences weighted by entry
+    /// throughput) and utilisation, for the next window's audit.
+    fn predict_stations(
+        &self,
+        evaluator: &mut CandidateEvaluator<'_>,
+        planned: &DecisionVector,
+    ) -> Option<StationPrediction> {
+        let services = evaluator
+            .with_solution(&planned.to_config(), |model, sol| {
+                self.binding
+                    .scalable()
+                    .map(|s| {
+                        let (mut weighted, mut thru, mut plain, mut n) = (0.0, 0.0, 0.0, 0usize);
+                        for (ei, e) in model.entries().iter().enumerate() {
+                            if e.task == s.task {
+                                weighted += sol.entry_residence[ei] * sol.entry_throughput[ei];
+                                thru += sol.entry_throughput[ei];
+                                plain += sol.entry_residence[ei];
+                                n += 1;
+                            }
+                        }
+                        let residence = if thru > 0.0 {
+                            weighted / thru
+                        } else if n > 0 {
+                            plain / n as f64
+                        } else {
+                            0.0
+                        };
+                        (
+                            s.name.clone(),
+                            s.service.0,
+                            residence,
+                            sol.task_utilization(s.task),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .ok()?;
+        Some(StationPrediction {
+            window: self.window - 1,
+            services,
+        })
     }
 
     /// The knowledge base.
@@ -575,7 +701,12 @@ impl Autoscaler for Atom {
             chosen: Vec::new(),
             actuation: ActuationOutcome::hold("unreached"),
             forecast: None,
+            drift: None,
         };
+        // Knowledge: score last window's station predictions against the
+        // span aggregates that observed them (a no-op, and `None` in the
+        // journal, whenever span sampling is off).
+        record.drift = self.audit_model(report);
         let mut notes = Vec::new();
         if report.failed_actuations > 0 {
             notes.push(format!(
@@ -744,6 +875,14 @@ impl Autoscaler for Atom {
                 })
             })
             .collect();
+
+        // Knowledge: when spans feed the monitor, predict the planned
+        // configuration's station behaviour so the next audited window
+        // can score the model. With sampling off nothing solves and the
+        // decision path stays byte-identical.
+        if report.span_stats.is_some() {
+            self.last_prediction = self.predict_stations(&mut evaluator, &planned);
+        }
 
         // Execute: emit actions only where the decision changed — an
         // exact lattice comparison, no epsilon.
@@ -1214,6 +1353,98 @@ mod tests {
             out
         };
         assert_eq!(run(fast_config()), run(scrambled));
+    }
+
+    /// A report whose monitor was fed by 1%-sampled spans: every service
+    /// observed with plausible residence aggregates.
+    fn spanful_report(users: usize, replicas: usize, share: f64, mean: f64) -> WindowReport {
+        report(users, replicas, share).with_span_stats(Some(vec![atom_cluster::ServiceSpanStats {
+            samples: 40,
+            queue_wait_p50: mean * 0.2,
+            queue_wait_p95: mean * 0.6,
+            residence_p50: mean * 0.9,
+            residence_p95: mean * 1.8,
+            residence_mean: mean,
+        }]))
+    }
+
+    #[test]
+    fn span_stats_drive_a_model_audit() {
+        let mut atom = Atom::new(binding(0.5), fast_config());
+        let _ = atom.decide(&at_window(spanful_report(400, 1, 0.5, 0.03), 0));
+        let rec = atom.take_decision_record().expect("record");
+        assert!(rec.drift.is_none(), "no prediction existed to score yet");
+        let _ = atom.decide(&at_window(spanful_report(400, 1, 0.5, 0.03), 1));
+        let rec = atom.take_decision_record().expect("record");
+        let drift = rec.drift.expect("second window audits the first");
+        assert_eq!(drift.predicted_window, 0);
+        assert_eq!(drift.services.len(), 1);
+        let s = &drift.services[0];
+        assert_eq!(s.service, "web");
+        assert_eq!(s.samples, 40);
+        assert_eq!(s.observed_residence, 0.03);
+        assert!(s.predicted_residence.is_finite() && s.predicted_residence > 0.0);
+        assert!(s.residence_error.is_finite());
+        assert!(
+            (s.residence_error - (s.predicted_residence - 0.03) / 0.03).abs() < 1e-12,
+            "signed relative error definition"
+        );
+        assert!(s.utilization_error.is_finite());
+        let smape = drift.rolling_smape.expect("rolling drift after one audit");
+        assert!((0.0..=2.0).contains(&smape), "sMAPE out of range: {smape}");
+    }
+
+    #[test]
+    fn rolling_drift_smape_averages_recent_audits() {
+        let mut atom = Atom::new(binding(0.5), fast_config());
+        let mut last = None;
+        for k in 0..4 {
+            let _ = atom.decide(&at_window(spanful_report(400, 1, 0.5, 0.03), k));
+            last = atom.take_decision_record().expect("record").drift;
+        }
+        let drift = last.expect("audited");
+        assert_eq!(drift.predicted_window, 2);
+        assert!(drift.rolling_smape.is_some());
+        assert!(atom.drift_smape.len() <= Atom::DRIFT_SMAPE_WINDOW);
+    }
+
+    #[test]
+    fn spanless_windows_never_audit_and_stay_inert() {
+        // Without span stats the audit journals nothing, predicts
+        // nothing, and the decisions are byte-identical to a controller
+        // that never had the feature exercised.
+        let run = || {
+            let mut atom = Atom::new(binding(0.2), fast_config());
+            let mut out = Vec::new();
+            for (k, n) in [500usize, 1000, 2000].into_iter().enumerate() {
+                out.push(atom.decide(&at_window(report(n, 1, 0.2), k)));
+                let rec = atom.take_decision_record().expect("record");
+                assert!(rec.drift.is_none());
+            }
+            assert!(atom.last_prediction.is_none());
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_sample_services_are_skipped_by_the_audit() {
+        let mut atom = Atom::new(binding(0.5), fast_config());
+        let quiet = |k| {
+            at_window(
+                report(400, 1, 0.5)
+                    .with_span_stats(Some(vec![atom_cluster::ServiceSpanStats::empty()])),
+                k,
+            )
+        };
+        let _ = atom.decide(&quiet(0));
+        let _ = atom.take_decision_record();
+        let _ = atom.decide(&quiet(1));
+        let rec = atom.take_decision_record().expect("record");
+        assert!(
+            rec.drift.is_none(),
+            "an audit with no observed service journals nothing"
+        );
     }
 
     #[test]

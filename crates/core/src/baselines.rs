@@ -60,6 +60,7 @@ fn rule_record(
             reason: degraded.then(|| "monitor dark: utilisation readings untrusted".into()),
         },
         forecast: None,
+        drift: None,
     }
 }
 

@@ -2,10 +2,10 @@
 //! collects the §V-B metrics.
 
 use atom_cluster::{
-    AppSpec, Cluster, ClusterError, ClusterOptions, ClusterTelemetry, WindowReport,
+    AppSpec, Cluster, ClusterError, ClusterOptions, ClusterTelemetry, SampledSpan, WindowReport,
 };
 use atom_metrics::{ActionLog, AvailabilityTrace, CapacityTrace, CapacityWindow, TpsSeries};
-use atom_obs::{DecisionRecord, RunRecord};
+use atom_obs::{DecisionRecord, Journal, RunRecord};
 use atom_workload::WorkloadSpec;
 
 use crate::autoscaler::Autoscaler;
@@ -66,6 +66,14 @@ pub struct TelemetrySummary {
     pub decisions: Vec<Option<DecisionRecord>>,
     /// The cluster's event counters and scale-action latency samples.
     pub cluster: ClusterTelemetry,
+    /// Every sampled request span the cluster completed over the run
+    /// (empty unless [`ClusterOptions::with_span_sampling`] enabled the
+    /// span layer).
+    pub spans: Vec<SampledSpan>,
+    /// Decision records in excess of what a default-capacity [`Journal`]
+    /// retains: non-zero means a JSONL export of this run's journal is a
+    /// truncated view.
+    pub journal_dropped: u64,
 }
 
 impl TelemetrySummary {
@@ -167,9 +175,13 @@ pub fn run_experiment(
     let mut reports = Vec::with_capacity(config.windows);
     let mut explanations = Vec::with_capacity(config.windows);
     let mut decisions = Vec::with_capacity(config.windows);
+    let mut spans = Vec::new();
 
     for _ in 0..config.windows {
         let report = cluster.run_window(config.window_secs);
+        // Drain completed spans per window so the layer's bounded log
+        // never saturates over a long run (no-op while sampling is off).
+        spans.append(&mut cluster.take_spans());
         tps.push(report.start, report.end, report.total_tps);
         // Required capacity from the *offered* workload of this window
         // (avg users over the window at nominal think time).
@@ -220,8 +232,13 @@ pub fn run_experiment(
         actions: actions_log,
         explanations,
         telemetry: TelemetrySummary {
+            // One Run record rides along with the decisions when the
+            // journal is exported, hence the `+ 1`.
+            journal_dropped: (decisions.iter().flatten().count() as u64 + 1)
+                .saturating_sub(Journal::DEFAULT_CAPACITY as u64),
             decisions,
             cluster: cluster.telemetry().clone(),
+            spans,
         },
     })
 }
@@ -330,6 +347,29 @@ mod tests {
         let mut noop = NoopScaler;
         let base = run_experiment(&app(), ramp_workload(), &mut noop, config(4)).unwrap();
         assert!(base.telemetry.decisions.iter().all(|d| d.is_none()));
+    }
+
+    #[test]
+    fn span_sampling_populates_the_telemetry_sidecar() {
+        let cfg = ExperimentConfig {
+            windows: 4,
+            window_secs: 120.0,
+            cluster: ClusterOptions::new().with_span_sampling(1.0, 7),
+        };
+        let mut noop = NoopScaler;
+        let result = run_experiment(&app(), ramp_workload(), &mut noop, cfg).unwrap();
+        assert!(!result.telemetry.spans.is_empty(), "rate 1.0 must sample");
+        assert_eq!(result.telemetry.journal_dropped, 0);
+        assert!(result.reports.iter().all(|r| r.span_stats.is_some()));
+        // The layer is inert on the dynamics: the unsampled run matches
+        // once the observational span column is nulled out.
+        let base = run_experiment(&app(), ramp_workload(), &mut noop, config(4)).unwrap();
+        assert!(base.telemetry.spans.is_empty());
+        for (a, b) in base.reports.iter().zip(&result.reports) {
+            let mut b = b.clone();
+            b.span_stats = None;
+            assert_eq!(*a, b);
+        }
     }
 
     #[test]

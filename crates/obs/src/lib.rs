@@ -37,7 +37,7 @@ pub use histogram::Histogram;
 pub use journal::{Journal, JournalEvent};
 pub use log::Verbosity;
 pub use record::{
-    ActuationOutcome, ChosenAction, DecisionRecord, ForecastRecord, GaGenerations, Record,
-    RunRecord, ServiceDemand, SolveCounters, TelemetrySnapshot,
+    ActuationOutcome, ChosenAction, DecisionRecord, DriftRecord, ForecastRecord, GaGenerations,
+    Record, RunRecord, ServiceDemand, ServiceDrift, SolveCounters, TelemetrySnapshot,
 };
-pub use registry::{Registry, Span};
+pub use registry::{escape_label_value, with_labels, Registry, Span};

@@ -54,6 +54,12 @@ pub struct DecisionRecord {
     /// (`None` for reactive controllers or before forecasting warms up).
     #[serde(default)]
     pub forecast: Option<ForecastRecord>,
+    /// Knowledge: the model audit for this window — LQN predictions made
+    /// for the previously actuated configuration compared against the
+    /// span aggregates observed under it (`None` unless span sampling is
+    /// enabled and a prediction exists to score).
+    #[serde(default)]
+    pub drift: Option<DriftRecord>,
 }
 
 /// The monitor-phase snapshot a decision was based on.
@@ -104,6 +110,46 @@ pub struct ForecastRecord {
     pub fallback: bool,
     /// Whether the envelope clamp changed the prediction.
     pub clamped: bool,
+}
+
+/// The knowledge-phase model audit for one window: how far the LQN's
+/// per-station predictions drifted from what sampled spans observed.
+///
+/// The prediction is the one made when the scored configuration was
+/// *actuated* (one or more windows earlier), so each record compares a
+/// genuine forecast against its own outcome — not a postdiction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftRecord {
+    /// Monitoring window the *prediction* was made in (the observation
+    /// window is the enclosing [`DecisionRecord`]'s).
+    pub predicted_window: u64,
+    /// Per-service prediction-vs-observation rows.
+    pub services: Vec<ServiceDrift>,
+    /// Rolling mean sMAPE of per-service residence predictions over the
+    /// last few audited windows (`None` until the first audit).
+    pub rolling_smape: Option<f64>,
+}
+
+/// One service's model-vs-measurement drift in one audited window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceDrift {
+    /// Service name.
+    pub service: String,
+    /// LQN-predicted mean residence (queue wait + service) per visit (s).
+    pub predicted_residence: f64,
+    /// Span-observed mean residence per visit (s).
+    pub observed_residence: f64,
+    /// Signed relative residence error `(predicted - observed) /
+    /// observed` (positive = model overestimates).
+    pub residence_error: f64,
+    /// LQN-predicted station utilisation (0–1 per replica-thread pool).
+    pub predicted_utilization: f64,
+    /// Monitor-observed service utilisation over the window.
+    pub observed_utilization: f64,
+    /// Signed utilisation error `predicted - observed`.
+    pub utilization_error: f64,
+    /// Sampled spans the observation is based on.
+    pub samples: u64,
 }
 
 /// One service's estimated CPU demand (seconds per request).
@@ -276,6 +322,20 @@ mod tests {
                 fallback: false,
                 clamped: false,
             }),
+            drift: Some(DriftRecord {
+                predicted_window: 2,
+                services: vec![ServiceDrift {
+                    service: "front-end".into(),
+                    predicted_residence: 0.020,
+                    observed_residence: 0.025,
+                    residence_error: -0.2,
+                    predicted_utilization: 0.55,
+                    observed_utilization: 0.61,
+                    utilization_error: -0.06,
+                    samples: 42,
+                }],
+                rolling_smape: Some(0.18),
+            }),
         }
     }
 
@@ -311,6 +371,19 @@ mod tests {
         let mut line = serde_json::to_string(&Record::Decision(rec.clone())).unwrap();
         assert!(line.contains("\"forecast\":null"));
         line = line.replace(",\"forecast\":null", "");
+        let back: Record = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, Record::Decision(rec));
+    }
+
+    #[test]
+    fn driftless_lines_still_parse() {
+        // Journals written before the model audit existed (or with span
+        // sampling disabled) must keep parsing: the field defaults.
+        let mut rec = sample_decision();
+        rec.drift = None;
+        let mut line = serde_json::to_string(&Record::Decision(rec.clone())).unwrap();
+        assert!(line.contains("\"drift\":null"));
+        line = line.replace(",\"drift\":null", "");
         let back: Record = serde_json::from_str(&line).unwrap();
         assert_eq!(back, Record::Decision(rec));
     }

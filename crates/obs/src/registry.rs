@@ -11,6 +11,49 @@ use std::fmt::Write as _;
 
 use crate::histogram::Histogram;
 
+/// Escapes a label value for the Prometheus text exposition format:
+/// backslash, double quote, and newline become `\\`, `\"`, and `\n`.
+/// Everything else (including arbitrary UTF-8) passes through verbatim.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds a metric key `name{k1="v1",k2="v2"}` with every label value
+/// escaped via [`escape_label_value`]. With no labels the bare name is
+/// returned. Use this for the `name` argument of [`Registry::add`],
+/// [`Registry::set_gauge`], etc. so hostile label values (service names
+/// with quotes, say) cannot corrupt the exported text.
+pub fn with_labels(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::from(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// The metric family a (possibly labeled) key belongs to: everything
+/// before the first `{`.
+fn base_name(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
 /// A collection of named metrics.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Registry {
@@ -92,11 +135,26 @@ impl Registry {
     /// cumulative `_bucket{le="..."}` series with `_sum` and `_count`.
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
+        // Keys may carry a `{label="..."}` suffix (see [`with_labels`]);
+        // the `# TYPE` header names the family once, not each series
+        // (labeled series of one family need not be adjacent in key
+        // order: `'{'` sorts after every metric-name character, so
+        // `foo{...}` lands after a hypothetical `foob`).
+        let mut typed = std::collections::BTreeSet::new();
         for (name, v) in &self.counters {
-            let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+            let family = base_name(name);
+            if typed.insert(family) {
+                let _ = writeln!(out, "# TYPE {family} counter");
+            }
+            let _ = writeln!(out, "{name} {v}");
         }
+        typed.clear();
         for (name, v) in &self.gauges {
-            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+            let family = base_name(name);
+            if typed.insert(family) {
+                let _ = writeln!(out, "# TYPE {family} gauge");
+            }
+            let _ = writeln!(out, "{name} {v}");
         }
         for (name, h) in &self.histograms {
             let _ = writeln!(out, "# TYPE {name} histogram");
@@ -184,6 +242,42 @@ mod tests {
         assert!(text.contains("lat_bucket{le=\"2\"} 2"));
         assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("lat_count 3"));
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value(r#"say "hi""#), r#"say \"hi\""#);
+        assert_eq!(escape_label_value(r"C:\temp"), r"C:\\temp");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        // A value that combines all three hazards survives intact.
+        let key = with_labels("atom_req_total", &[("svc", "a\\\"b\nc")]);
+        assert_eq!(key, "atom_req_total{svc=\"a\\\\\\\"b\\nc\"}");
+    }
+
+    #[test]
+    fn labeled_series_export_one_type_line_per_family() {
+        let mut r = Registry::new();
+        r.inc(&with_labels("atom_req_total", &[("svc", "front-end")]));
+        r.add(&with_labels("atom_req_total", &[("svc", "orders")]), 2);
+        r.set_gauge(&with_labels("atom_drift", &[("svc", "x\"y")]), -0.25);
+        let text = r.prometheus_text();
+        assert_eq!(text.matches("# TYPE atom_req_total counter").count(), 1);
+        assert!(text.contains("atom_req_total{svc=\"front-end\"} 1"));
+        assert!(text.contains("atom_req_total{svc=\"orders\"} 2"));
+        assert!(text.contains("# TYPE atom_drift gauge"));
+        assert!(text.contains("atom_drift{svc=\"x\\\"y\"} -0.25"));
+        // No line may contain a raw (unescaped) quote inside a value:
+        // after discounting `\"` escapes, quote chars must pair up.
+        for line in text.lines() {
+            let raw = line.matches('"').count() - line.matches("\\\"").count();
+            assert_eq!(raw % 2, 0, "unbalanced quotes in {line:?}");
+        }
+    }
+
+    #[test]
+    fn with_labels_without_labels_is_the_bare_name() {
+        assert_eq!(with_labels("atom_solves", &[]), "atom_solves");
     }
 
     #[test]

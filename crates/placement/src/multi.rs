@@ -175,6 +175,9 @@ pub struct TenantRun {
     /// Every action the controller issued, with the admission verdict
     /// and the window-end time it was issued at.
     pub actions: Vec<(f64, ScaleAction, AdmissionVerdict)>,
+    /// One entry per window: the controller's decision record, if it
+    /// journals one (`None` entries for non-journaling scalers).
+    pub decisions: Vec<Option<atom_obs::DecisionRecord>>,
 }
 
 /// Drives one autoscaler per tenant against the shared cluster for
@@ -203,6 +206,7 @@ pub fn run_multi_tenant(
             scaler: scalers[ti].name().to_string(),
             reports: Vec::with_capacity(windows),
             actions: Vec::new(),
+            decisions: Vec::with_capacity(windows),
         })
         .collect();
     for _ in 0..windows {
@@ -214,6 +218,7 @@ pub fn run_multi_tenant(
         }
         for (ti, report) in per_tenant.into_iter().enumerate() {
             let actions = scalers[ti].decide(&report);
+            runs[ti].decisions.push(scalers[ti].take_decision_record());
             let end = report.end;
             runs[ti].reports.push(report);
             if !actions.is_empty() {
