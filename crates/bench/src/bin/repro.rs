@@ -20,7 +20,7 @@
 use atom_bench::eval::{run_one, ScalerKind};
 use atom_bench::figures::{
     ablation, audit, chaos, contention, fig11, fig12, fig13, fig2, fig4, fig7, fig8910, forecast,
-    scale, trace_replay, validation,
+    netlat, scale, trace_replay, validation,
 };
 use atom_bench::{eval, trace, HarnessOptions};
 use atom_core::workload::TraceFormat;
@@ -186,13 +186,16 @@ fn main() {
                      <command>...\n\
                      commands: setup fig2 fig4 table3 fig5 table4 validation fig7 \
                      fig8 fig9 fig10 evaluation fig11 fig12 fig13 ablation chaos forecast \
-                     trace contention scale audit all\n\
+                     trace contention netlat scale audit all\n\
                      trace: replay a production arrival trace (--trace-file, --format; \
                      defaults to the bundled fixtures); `trace --smoke` enforces the \
                      journal-schema, wedging, and proactive<=reactive gates\n\
                      contention: multi-tenant placement/admission matrix (2 and 4 \
                      tenants on ample and tight pools); `contention --smoke` enforces \
                      the fairness, ledger-reconciliation, and rejection gates\n\
+                     netlat: placement-sensitive scaling under the network fabric \
+                     (friendly vs adversarial rack assignment); `netlat --smoke` \
+                     enforces the placement-degradation and network-drift gates\n\
                      scale: backend scaling trajectory up to --users (default 1000000); \
                      `scale --smoke` enforces the wall-clock and speedup gates\n\
                      audit: span sampling + LQN model-drift attribution (writes \
@@ -220,6 +223,9 @@ fn main() {
         } else if commands.iter().any(|c| c == "audit") {
             std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
             audit::smoke(&opts);
+        } else if commands.iter().any(|c| c == "netlat") {
+            std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
+            netlat::smoke(&opts);
         } else {
             smoke(&opts);
         }
@@ -228,7 +234,7 @@ fn main() {
     if commands.is_empty() {
         commands.push("all".into());
     }
-    const KNOWN: [&str; 23] = [
+    const KNOWN: [&str; 24] = [
         "setup",
         "fig2",
         "fig4",
@@ -249,6 +255,7 @@ fn main() {
         "forecast",
         "trace",
         "contention",
+        "netlat",
         "scale",
         "audit",
         "all",
@@ -337,6 +344,9 @@ fn main() {
     }
     if wants("contention") {
         contention::run(&opts);
+    }
+    if wants("netlat") {
+        netlat::run(&opts);
     }
     // `scale` is a performance trajectory, not a paper artefact: it runs
     // only when asked for explicitly, never as part of `all`.

@@ -112,11 +112,20 @@ pub fn run_one_with_cluster(
             &mut uv
         }
         ScalerKind::Atom | ScalerKind::AtomT | ScalerKind::AtomS | ScalerKind::AtomP { .. } => {
-            let binding = shop.binding(
+            let mut binding = shop.binding(
                 scenarios::INITIAL_USERS,
                 workload.think_time,
                 workload.mix.fractions(),
             );
+            // A priced fabric enters the knowledge base: each
+            // service-to-service call's `net_delay` becomes the analytic
+            // round trip its placement pays, so the LQN predicts the
+            // same placement-dependent network residence the cluster
+            // charges (zero-delay topologies price to 0.0 and change
+            // nothing).
+            if let Some(topo) = &config.cluster.topology {
+                binding.apply_network(&atom_cluster::NetworkDelay::new(topo.clone()));
+            }
             let mut cfg = AtomConfig::new(shop.objective());
             cfg.ga.budget = Budget::Evaluations(opts.ga_budget());
             cfg.seed = opts.seed;

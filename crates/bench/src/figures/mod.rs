@@ -12,6 +12,7 @@ pub mod fig4;
 pub mod fig7;
 pub mod fig8910;
 pub mod forecast;
+pub mod netlat;
 pub mod scale;
 pub mod trace_replay;
 pub mod validation;

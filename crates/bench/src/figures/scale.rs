@@ -40,6 +40,9 @@ const SMOKE_WALL_BUDGET: f64 = 60.0;
 /// Smoke gate: minimum requests-per-wall-second speedup of the fluid
 /// backend over the per-user backend at the largest population.
 const SMOKE_SPEEDUP_FLOOR: f64 = 10.0;
+/// Smoke gate: ceiling on the network fabric's wall-time overhead,
+/// percent (the committed `BENCH_cluster.json` budget).
+const NET_OVERHEAD_BUDGET_PCT: f64 = 10.0;
 
 /// One backend × population measurement.
 #[derive(Debug, Clone)]
@@ -254,6 +257,94 @@ pub fn run_overhead_point(users: usize, smoke: bool, seed: u64) -> OverheadPoint
     }
 }
 
+/// The network-fabric overhead measurement: a two-service chain split
+/// across two servers (every request pays one cross-server round trip)
+/// run with no topology and with a cross-rack fabric, wall clocks
+/// compared.
+#[derive(Debug, Clone)]
+pub struct NetworkOverheadPoint {
+    /// Closed-workload population.
+    pub users: usize,
+    /// Simulated horizon (seconds).
+    pub sim_seconds: f64,
+    /// Wall-clock with no topology configured (seconds).
+    pub wall_off: f64,
+    /// Wall-clock with the cross-rack fabric priced on every call
+    /// (seconds).
+    pub wall_on: f64,
+    /// Round trips the fabric priced during the topology run.
+    pub transits: u64,
+}
+
+impl NetworkOverheadPoint {
+    /// Wall-time overhead of the enabled fabric, percent.
+    pub fn overhead_pct(&self) -> f64 {
+        (self.wall_on / self.wall_off.max(1e-9) - 1.0) * 100.0
+    }
+}
+
+/// A two-server chain sized like [`scale_spec`]: `api` on one server
+/// calls `backend` on the other once per request, so the topology run
+/// prices exactly one round trip per request through the longest
+/// (cross-rack) fabric path.
+fn network_spec(users: usize) -> AppSpec {
+    let offered = users as f64 / THINK_TIME;
+    let capacity = (offered * (DEMAND / 2.0) / TARGET_UTIL).max(0.5);
+    let cores = capacity.ceil() as usize + 2;
+    let mut spec = AppSpec::new();
+    let a = spec.add_server("hub-a", cores, 1.0);
+    let b = spec.add_server("hub-b", cores, 1.0);
+    let api = spec.add_service("api", a, 1 << 14, REPLICAS, capacity / REPLICAS as f64);
+    let backend = spec.add_service("backend", b, 1 << 14, REPLICAS, capacity / REPLICAS as f64);
+    let op = spec.add_endpoint(api, "op", DEMAND / 2.0, 1.0);
+    let work = spec.add_endpoint(backend, "work", DEMAND / 2.0, 1.0);
+    spec.add_call(api, op, backend, work, 1.0);
+    spec.add_feature("op", api, op);
+    spec.service_mut(api).max_replicas = REPLICAS.max(16);
+    spec.service_mut(backend).max_replicas = REPLICAS.max(16);
+    spec
+}
+
+/// Runs the two-server chain for the network-overhead measurement.
+fn run_network_point(users: usize, smoke: bool, options: ClusterOptions) -> (f64, f64, u64) {
+    let spec = network_spec(users);
+    let workload = WorkloadSpec::constant(RequestMix::uniform(1), users, THINK_TIME);
+    let sim_seconds = horizon(BackendMode::PerUser, users, smoke);
+    let started = Instant::now();
+    let mut cluster = Cluster::new(&spec, workload, options).expect("network-overhead cluster");
+    let windows = 4usize;
+    for _ in 0..windows {
+        cluster.run_window(sim_seconds / windows as f64);
+    }
+    let wall = started.elapsed().as_secs_f64();
+    (sim_seconds, wall, cluster.telemetry().net_transit_events)
+}
+
+/// Measures the fabric's wall-time overhead on the per-user DES at
+/// `users`: one run without a topology, one with the two servers in
+/// separate racks of a low-latency fabric (0.1 ms uplinks, 0.5 ms
+/// aggregation — small enough that the closed-loop dynamics stay
+/// comparable, while every call still pays the full pricing path).
+pub fn run_network_overhead_point(users: usize, smoke: bool, seed: u64) -> NetworkOverheadPoint {
+    let base = ClusterOptions::new()
+        .with_seed(seed)
+        .with_backend(BackendMode::PerUser);
+    let (sim_seconds, wall_off, _) = run_network_point(users, smoke, base.clone());
+    let topo = atom_cluster::TopologySpec::two_tier(
+        vec![0, 1],
+        atom_cluster::EdgeSpec::new(0.0001, 1.25e9),
+        atom_cluster::EdgeSpec::new(0.0005, 1.25e10),
+    );
+    let (_, wall_on, transits) = run_network_point(users, smoke, base.with_topology(topo));
+    NetworkOverheadPoint {
+        users,
+        sim_seconds,
+        wall_off,
+        wall_on,
+        transits,
+    }
+}
+
 /// One multi-tenant wall-clock measurement: `tenants` full Sock Shop
 /// deployments, phase-shifted workloads, one shared pool.
 #[derive(Debug, Clone)]
@@ -392,6 +483,7 @@ fn write_bench_json(
     points: &[ScalePoint],
     tenant_points: &[TenantPoint],
     overhead: Option<&OverheadPoint>,
+    net_overhead: Option<&NetworkOverheadPoint>,
     path: &std::path::Path,
 ) {
     let mut entries = Vec::new();
@@ -451,12 +543,28 @@ fn write_bench_json(
             o.overhead_pct(),
         )
     });
+    let net_overhead_json = net_overhead.map(|n| {
+        format!(
+            concat!(
+                "  \"network_overhead\": {{\"users\": {}, \"sim_seconds\": {}, ",
+                "\"wall_seconds_off\": {:.3}, \"wall_seconds_on\": {:.3}, ",
+                "\"transits\": {}, \"overhead_pct\": {:.2}}},\n"
+            ),
+            n.users,
+            n.sim_seconds,
+            n.wall_off,
+            n.wall_on,
+            n.transits,
+            n.overhead_pct(),
+        )
+    });
     let json = format!(
         concat!(
             "{{\n",
             "  \"benchmark\": \"cluster-backend-scale\",\n",
             "  \"metric\": \"completed client requests simulated per wall-clock second\",\n",
             "  \"entries\": [\n{}\n  ],\n",
+            "{}",
             "{}",
             "  \"multi_tenant_metric\": \"wall-clock seconds per simulated hour, ",
             "phase-shifted Sock Shop tenants on one shared pool\",\n",
@@ -465,6 +573,7 @@ fn write_bench_json(
         ),
         entries.join(",\n"),
         overhead_json.as_deref().unwrap_or(""),
+        net_overhead_json.as_deref().unwrap_or(""),
         tenant_entries.join(",\n")
     );
     if let Some(parent) = path.parent() {
@@ -605,10 +714,22 @@ pub fn run(opts: &HarnessOptions, max_users: usize, smoke: bool) {
         overhead.overhead_pct(),
         overhead.spans
     );
+    // The network-fabric overhead check: the two-server chain at the
+    // same population, topology off vs a cross-rack fabric on.
+    let net_overhead = run_network_overhead_point(overhead_users, smoke, opts.seed);
+    atom_obs::progress!(
+        "scale: network overhead N={}: {:.3}s off vs {:.3}s with fabric ({:+.2}%, {} transits)",
+        net_overhead.users,
+        net_overhead.wall_off,
+        net_overhead.wall_on,
+        net_overhead.overhead_pct(),
+        net_overhead.transits
+    );
     write_bench_json(
         &points,
         &tenant_points,
         Some(&overhead),
+        Some(&net_overhead),
         &opts.out_dir.join("BENCH_cluster.json"),
     );
     emit(opts, &points, &tenant_points);
@@ -656,6 +777,15 @@ pub fn run(opts: &HarnessOptions, max_users: usize, smoke: bool) {
             "hybrid N={} performed {} backend switches, expected the \
              round trip (fluid -> per-user -> fluid)",
             hybrid.users, hybrid.switches
+        ));
+    }
+    if net_overhead.transits == 0 {
+        failures.push("network-overhead run priced no transit".into());
+    }
+    if net_overhead.overhead_pct() > NET_OVERHEAD_BUDGET_PCT {
+        failures.push(format!(
+            "network fabric overhead {:+.2}% exceeds the {NET_OVERHEAD_BUDGET_PCT}% budget",
+            net_overhead.overhead_pct()
         ));
     }
     if failures.is_empty() {

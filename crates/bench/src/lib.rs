@@ -22,6 +22,7 @@
 //! | `forecast`| beyond the paper: reactive vs proactive (forecast-driven) ATOM |
 //! | `trace`   | beyond the paper: Alibaba/Google production-trace replay |
 //! | `audit`   | beyond the paper: span sampling + LQN model-drift attribution |
+//! | `netlat`  | beyond the paper: placement-sensitive scaling under the network fabric |
 //! | `all`     | everything above |
 //!
 //! Results are printed as paper-style tables and also written as CSV

@@ -161,6 +161,40 @@ pub fn registry_of(results: &[ExperimentResult]) -> Registry {
                 c.span_requests_dropped,
             );
         }
+        // Network fabric series exist only for topology-priced runs:
+        // topology-free runs keep their snapshots byte-identical.
+        let net_windows: Vec<_> = r
+            .reports
+            .iter()
+            .filter_map(|w| w.network.as_ref())
+            .collect();
+        if !net_windows.is_empty() {
+            reg.add(
+                &format!("{slug}_net_transit_events_total"),
+                c.net_transit_events,
+            );
+            for e in 0..net_windows[0].len() {
+                let name = net_windows[0][e].edge.as_str();
+                let util = net_windows.iter().map(|w| w[e].utilisation).sum::<f64>()
+                    / net_windows.len() as f64;
+                let depth = net_windows
+                    .iter()
+                    .map(|w| w[e].max_queue_depth)
+                    .max()
+                    .unwrap_or(0);
+                reg.set_gauge(
+                    &atom_obs::with_labels(
+                        &format!("{slug}_net_edge_utilisation"),
+                        &[("edge", name)],
+                    ),
+                    util,
+                );
+                reg.set_gauge(
+                    &atom_obs::with_labels(&format!("{slug}_net_queue_depth"), &[("edge", name)]),
+                    depth as f64,
+                );
+            }
+        }
         // Journal evictions: only surfaced when the ring actually
         // dropped records.
         if r.telemetry.journal_dropped > 0 {
@@ -425,6 +459,52 @@ mod tests {
         let text = plain.prometheus_text();
         assert!(!text.contains("span"), "no span series without sampling");
         assert!(!text.contains("drift"), "no drift series without sampling");
+    }
+
+    #[test]
+    fn network_gauges_exist_only_for_topology_runs() {
+        let shop = SockShop::default();
+        let workload = scenarios::evaluation_workload(scenarios::ordering_mix(), 800);
+        let opts = HarnessOptions {
+            quick: true,
+            ..Default::default()
+        };
+        // SockShop's two servers in separate racks: every cross-server
+        // call transits rack uplinks and the aggregation.
+        let topo = atom_cluster::TopologySpec::two_tier(
+            vec![0, 1],
+            atom_cluster::EdgeSpec::new(0.0005, 1.25e8),
+            atom_cluster::EdgeSpec::new(0.001, 1.25e9),
+        );
+        let r = run_one_with_cluster(
+            &shop,
+            workload,
+            ScalerKind::Uh,
+            2,
+            60.0,
+            &opts,
+            ClusterOptions::new().with_seed(7).with_topology(topo),
+        );
+        let reg = registry_of(std::slice::from_ref(&r));
+        assert!(reg.counter("uh_net_transit_events_total") > 0);
+        for edge in ["rack0", "rack1", "agg"] {
+            let util = reg
+                .gauge(&atom_obs::with_labels(
+                    "uh_net_edge_utilisation",
+                    &[("edge", edge)],
+                ))
+                .unwrap_or_else(|| panic!("utilisation gauge for {edge}"));
+            assert!(util >= 0.0);
+            assert!(reg
+                .gauge(&atom_obs::with_labels(
+                    "uh_net_queue_depth",
+                    &[("edge", edge)],
+                ))
+                .is_some());
+        }
+        // Topology-free runs emit no network series at all.
+        let plain = registry_of(&[quick_run(ScalerKind::Uh)]);
+        assert!(!plain.prometheus_text().contains("_net_"));
     }
 
     #[test]

@@ -143,6 +143,29 @@ fn span_sampling_on_vs_off_is_bitwise_identical() {
     );
     assert!(zero_rate.telemetry.spans.is_empty());
 
+    // Tail bias is equally observational: a zero rate with the tail
+    // keeper armed records exactly the slowest root per window and still
+    // changes no output byte.
+    let tail = run(ClusterOptions::new()
+        .with_seed(opts.seed)
+        .with_span_sampling(0.0, opts.seed)
+        .with_span_tail(true));
+    assert_eq!(
+        canonical_csv(std::slice::from_ref(&base)),
+        canonical_csv(std::slice::from_ref(&tail)),
+        "tail-biased sampling must not change any output byte"
+    );
+    assert!(tail.reports.iter().all(|w| w.span_stats.is_some()));
+    assert_eq!(
+        tail.telemetry
+            .spans
+            .iter()
+            .filter(|s| s.parent.is_none())
+            .count(),
+        windows,
+        "rate 0 + tail keeps exactly one root request per window"
+    );
+
     // The sampled run actually produced the observability artefacts the
     // inert runs lack: spans, per-window aggregates, and drift audits.
     assert!(!sampled.telemetry.spans.is_empty());

@@ -196,7 +196,9 @@ impl Cluster {
 
         // `None` while span sampling is disabled, so reports (and every
         // artefact serialised from them) stay byte-identical.
-        let span_stats = self.spans.window_stats();
+        let span_stats = self.spans.window_stats(&mut self.telemetry);
+        // Likewise `None` without a topology.
+        let network = self.net.as_mut().map(|f| f.collect_window(span));
 
         let report = WindowReport {
             start: self.accum.window_start,
@@ -226,6 +228,7 @@ impl Cluster {
             backend_switches: std::mem::take(&mut self.accum.window_switches),
             tenant: None,
             span_stats,
+            network,
         };
         // Per-tenant views exist only for multi-tenant clusters, so the
         // single-tenant collection path (and its artefacts) stays
@@ -284,6 +287,9 @@ impl Cluster {
             backend_switches: merged.backend_switches,
             tenant: Some(ti),
             span_stats: merged.span_stats.as_ref().map(|stats| stats[sr].to_vec()),
+            // The fabric is shared infrastructure, copied whole like the
+            // server-utilisation columns.
+            network: merged.network.clone(),
         }
     }
 }

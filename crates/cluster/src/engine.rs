@@ -32,6 +32,21 @@ pub(crate) enum Event {
     /// The fluid backend integrates up to the next aggregation step.
     /// `generation` invalidates steps scheduled before a backend switch.
     FluidStep { generation: u64 },
+    /// A cross-server call's network round trip (request out + response
+    /// back, priced once at issue time against the link queues)
+    /// completes; the call then enters the callee service. Only emitted
+    /// when a topology is configured and the priced delay is non-zero,
+    /// so topology-free runs keep their event stream bitwise intact.
+    NetTransit {
+        /// Callee service.
+        service: usize,
+        /// Callee endpoint.
+        endpoint: usize,
+        /// The blocked caller invocation awaiting the response.
+        caller: usize,
+        /// The priced round-trip delay (recorded on the callee's span).
+        wait: f64,
+    },
     /// A population source announced an a-priori burst onset (trace
     /// replay spike hints); the hybrid policy treats it as a transient.
     SpikeHint,

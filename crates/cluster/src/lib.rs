@@ -42,7 +42,11 @@
 //!   in steady state and drops to per-user around transients (scale
 //!   actuations, faults, population spikes);
 //! * `fabric` — servers, replicas, scaling actuation, fault injection;
-//! * `request` — request chains through the service call graph;
+//! * `request` — request chains through the service call graph. When a
+//!   network topology is configured
+//!   ([`runtime::ClusterOptions::with_topology`]), cross-server calls
+//!   additionally pay a round trip priced by the [`atom_net`] link
+//!   fabric (two-tier rack/aggregation, FIFO link queues);
 //! * `accum` — window accumulators feeding [`monitor::WindowReport`].
 //!
 //! # Example
@@ -77,6 +81,7 @@ pub mod spec;
 pub mod telemetry;
 
 pub use atom_faults::{FaultEvent, FaultKind, FaultPlan, FaultSchedule};
+pub use atom_net::{EdgeSpec, EdgeWindowStats, NetworkDelay, TopologySpec};
 pub use backend::{BackendKind, BackendMode};
 pub use error::ClusterError;
 pub use monitor::WindowReport;

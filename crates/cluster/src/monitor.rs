@@ -124,6 +124,13 @@ pub struct WindowReport {
     /// dark with the monitor.
     #[serde(default)]
     pub span_stats: Option<Vec<ServiceSpanStats>>,
+    /// Per-edge link-fabric statistics for the window (utilisation,
+    /// bytes, queueing), one entry per topology edge. `None` unless a
+    /// topology is configured ([`ClusterOptions::with_topology`]), so
+    /// topology-free artefacts stay byte-stable. Infrastructure
+    /// provenance: the link queues are simulated state, not scrapes.
+    #[serde(default)]
+    pub network: Option<Vec<atom_net::EdgeWindowStats>>,
 }
 
 impl WindowReport {
@@ -158,6 +165,7 @@ impl WindowReport {
             backend_switches: 0,
             tenant: None,
             span_stats: None,
+            network: None,
         }
     }
 
@@ -336,6 +344,13 @@ impl WindowReport {
     #[must_use]
     pub fn with_span_stats(mut self, v: Option<Vec<ServiceSpanStats>>) -> Self {
         self.span_stats = v;
+        self
+    }
+
+    /// Sets the per-edge link-fabric statistics.
+    #[must_use]
+    pub fn with_network(mut self, v: Option<Vec<atom_net::EdgeWindowStats>>) -> Self {
+        self.network = v;
         self
     }
 

@@ -48,7 +48,10 @@ impl Cluster {
         let feature = self.tenants[ti].layout.feature_offset + feature;
         let f = &self.spec.features[feature];
         let (si, ei) = (f.service.0, f.endpoint.0);
-        self.start_call(si, ei, None, Some((feature, user)));
+        // Client requests enter over the frontier, not the fabric: the
+        // closed population is external to the topology, so root calls
+        // never pay a network transit.
+        self.start_call_delivered(si, ei, None, Some((feature, user)), 0.0);
     }
 
     pub(crate) fn monitor_observing(&self) -> bool {
@@ -90,12 +93,47 @@ impl Cluster {
         unreachable!("a service always keeps at least one live replica");
     }
 
-    pub(crate) fn start_call(
+    /// Issues a child call from `caller` to `(si, ei)`, paying the
+    /// network round trip between the two services' servers when a
+    /// topology is configured. A zero-priced trip (no topology, same
+    /// server, or an all-free topology) proceeds inline with no calendar
+    /// event, keeping the event stream and RNG draw order bitwise
+    /// identical to pre-topology builds.
+    fn issue_call(&mut self, si: usize, ei: usize, caller: usize) {
+        if let Some(net) = self.net.as_mut() {
+            let from = {
+                let parent = self.fabric.invocations[caller].as_ref().unwrap().service;
+                self.fabric.services[parent].server
+            };
+            let to = self.fabric.services[si].server;
+            let now = self.engine.now;
+            let wait = net.round_trip(from, to, now);
+            if wait > 0.0 {
+                self.engine.push(
+                    now + wait,
+                    Event::NetTransit {
+                        service: si,
+                        endpoint: ei,
+                        caller,
+                        wait,
+                    },
+                );
+                return;
+            }
+        }
+        self.start_call_delivered(si, ei, Some(caller), None, 0.0);
+    }
+
+    /// Starts an invocation at `(si, ei)` once any network transit has
+    /// completed; `net_wait` is the round trip the call just paid (zero
+    /// for roots and co-located calls), recorded on its sampled span.
+    pub(crate) fn start_call_delivered(
         &mut self,
         si: usize,
         ei: usize,
         caller: Option<usize>,
         root: Option<(usize, usize)>,
+        net_wait: f64,
     ) {
         let now = self.engine.now;
         let replica = self.pick_replica(si);
@@ -155,8 +193,9 @@ impl Cluster {
                     .and_then(|c| self.fabric.invocations[c].as_ref().and_then(|i| i.sampled))
                     .map(|(slot, parent)| {
                         let backend = self.tenants[0].backend.kind();
-                        self.spans
-                            .child(slot, parent, si, ei, replica, server, backend, now)
+                        self.spans.child(
+                            slot, parent, si, ei, replica, server, backend, now, net_wait,
+                        )
                     })
             }
         } else {
@@ -293,7 +332,7 @@ impl Cluster {
         if has_calls {
             self.fabric.invocations[inv].as_mut().unwrap().state = InvState::Calling { idx: 0 };
             let (si, ei) = self.fabric.invocations[inv].as_ref().unwrap().calls[0];
-            self.start_call(si, ei, Some(inv), None);
+            self.issue_call(si, ei, inv);
         } else {
             self.finish_invocation(inv);
         }
@@ -311,7 +350,7 @@ impl Cluster {
         if next < total {
             self.fabric.invocations[inv].as_mut().unwrap().state = InvState::Calling { idx: next };
             let (si, ei) = self.fabric.invocations[inv].as_ref().unwrap().calls[next];
-            self.start_call(si, ei, Some(inv), None);
+            self.issue_call(si, ei, inv);
         } else {
             self.finish_invocation(inv);
         }

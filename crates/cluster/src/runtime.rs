@@ -65,6 +65,16 @@ pub struct ClusterOptions {
     /// Seed of the span-sampling hash, independent of the simulation
     /// seed so the sampled subset can be varied without changing a run.
     pub span_seed: u64,
+    /// Tail-biased span sampling: additionally keep the slowest root
+    /// request completing in each monitoring window, whatever the
+    /// sampling rate. Like rate sampling this never draws from the
+    /// simulation RNG, so enabling it is observationally inert.
+    pub span_tail: bool,
+    /// The network fabric between servers. `None` (the default) keeps
+    /// inter-service calls free and the simulation bitwise identical to
+    /// pre-topology builds; with a topology, cross-server calls pay
+    /// their round trip through the fabric's deterministic link queues.
+    pub topology: Option<atom_net::TopologySpec>,
 }
 
 impl ClusterOptions {
@@ -79,6 +89,8 @@ impl ClusterOptions {
             backend: BackendMode::PerUser,
             span_sample_rate: 0.0,
             span_seed: 0,
+            span_tail: false,
+            topology: None,
         }
     }
 
@@ -123,6 +135,23 @@ impl ClusterOptions {
     pub fn with_span_sampling(mut self, rate: f64, seed: u64) -> Self {
         self.span_sample_rate = rate;
         self.span_seed = seed;
+        self
+    }
+
+    /// Additionally keeps the slowest root request of every monitoring
+    /// window as a span tree (tail-biased sampling).
+    #[must_use]
+    pub fn with_span_tail(mut self, tail: bool) -> Self {
+        self.span_tail = tail;
+        self
+    }
+
+    /// Attaches a network topology: cross-server calls then pay their
+    /// round trip through deterministic per-edge link queues, and the
+    /// window reports carry per-edge utilisation.
+    #[must_use]
+    pub fn with_topology(mut self, topology: atom_net::TopologySpec) -> Self {
+        self.topology = Some(topology);
         self
     }
 }
@@ -261,6 +290,9 @@ pub struct Cluster {
     /// The sampled span layer (`atom-trace`); inert when the sampling
     /// rate is zero.
     pub(crate) spans: SpanLayer,
+    /// The simulated network fabric; `None` without a topology, in
+    /// which case no network code runs on the request path.
+    pub(crate) net: Option<atom_net::LinkFabric>,
     /// Per-tenant reports of the most recent window; populated only for
     /// multi-tenant clusters so single-tenant runs stay byte-stable.
     pub(crate) tenant_reports: Vec<WindowReport>,
@@ -341,6 +373,20 @@ impl Cluster {
                 spec.features.len(),
                 spec.services.len()
             )));
+        }
+        if let Some(topology) = &options.topology {
+            if let Err(why) = topology.validate() {
+                return Err(ClusterError::invalid_parameter(format!(
+                    "invalid topology: {why}"
+                )));
+            }
+            if topology.server_rack.len() != spec.servers.len() {
+                return Err(ClusterError::invalid_parameter(format!(
+                    "topology maps {} servers, the spec has {}",
+                    topology.server_rack.len(),
+                    spec.servers.len()
+                )));
+            }
         }
         if let Err(why) = options
             .faults
@@ -443,7 +489,13 @@ impl Cluster {
             ns,
         );
         let n_tenants = tenant_rts.len();
-        let spans = SpanLayer::new(options.span_sample_rate, options.span_seed, ns);
+        let spans = SpanLayer::new(
+            options.span_sample_rate,
+            options.span_seed,
+            ns,
+            options.span_tail,
+        );
+        let net = options.topology.clone().map(atom_net::LinkFabric::new);
         let mut cluster = Cluster {
             spec: spec.clone(),
             rng,
@@ -454,6 +506,7 @@ impl Cluster {
             options,
             telemetry: ClusterTelemetry::default(),
             spans,
+            net,
             tenant_reports: Vec::new(),
             current_window_end: 0.0,
             transient_until: 0.0,
@@ -733,6 +786,15 @@ impl Cluster {
             Event::LatencyDone { inv } => {
                 self.telemetry.latency_done_events += 1;
                 self.proceed_to_calls(inv);
+            }
+            Event::NetTransit {
+                service,
+                endpoint,
+                caller,
+                wait,
+            } => {
+                self.telemetry.net_transit_events += 1;
+                self.start_call_delivered(service, endpoint, Some(caller), None, wait);
             }
             Event::Fault { idx } => {
                 self.telemetry.fault_events += 1;

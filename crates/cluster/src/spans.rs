@@ -71,6 +71,12 @@ pub struct SampledSpan {
     pub start: f64,
     /// Completion (reply sent).
     pub end: f64,
+    /// Network round trip the call paid in transit before arriving
+    /// (zero for roots, co-located hops, and topology-free runs). Not
+    /// part of the hop's residence — the transit happens before
+    /// `arrival` — but the observed side of the network drift audit.
+    #[serde(default)]
+    pub net_wait: f64,
 }
 
 impl SampledSpan {
@@ -109,6 +115,11 @@ pub struct ServiceSpanStats {
     /// Mean residence (seconds) — the LQN predicts means, so drift is
     /// measured against this.
     pub residence_mean: f64,
+    /// Mean network transit paid by the window's sampled hops into this
+    /// service (seconds); zero without a topology. The observed side of
+    /// the network term in the drift audit.
+    #[serde(default)]
+    pub net_mean: f64,
 }
 
 impl ServiceSpanStats {
@@ -121,6 +132,7 @@ impl ServiceSpanStats {
             residence_p50: 0.0,
             residence_p95: 0.0,
             residence_mean: 0.0,
+            net_mean: 0.0,
         }
     }
 }
@@ -137,6 +149,9 @@ fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
 /// so the root always completes last).
 struct InFlightTrace {
     spans: Vec<SampledSpan>,
+    /// A tail-mode candidate that missed the rate hash: recorded only if
+    /// it turns out to be the window's slowest root.
+    provisional: bool,
 }
 
 /// The sampled span layer: sampling decision, in-flight trees, the
@@ -144,6 +159,9 @@ struct InFlightTrace {
 pub(crate) struct SpanLayer {
     rate: f64,
     seed: u64,
+    /// Tail bias: additionally keep the slowest root request completing
+    /// in each window, whatever the rate hash decided.
+    tail: bool,
     /// Root requests seen since construction (sequence number fed to the
     /// sampling hash). Only advanced while sampling is enabled, so a
     /// disabled layer does literally nothing.
@@ -153,27 +171,33 @@ pub(crate) struct SpanLayer {
     /// Completed spans awaiting [`SpanLayer::take_completed`], bounded
     /// by [`SPAN_LOG_CAP`].
     completed: Vec<SampledSpan>,
-    /// Per-service `(queue_wait, residence)` samples this window.
-    window: Vec<Vec<(f64, f64)>>,
+    /// Per-service `(queue_wait, residence, net_wait)` samples this
+    /// window.
+    window: Vec<Vec<(f64, f64, f64)>>,
+    /// Tail mode: the slowest provisional root completing this window,
+    /// as `(residence, spans)`; flushed at window collection.
+    slowest: Option<(f64, Vec<SampledSpan>)>,
 }
 
 impl SpanLayer {
-    pub fn new(rate: f64, seed: u64, n_services: usize) -> Self {
+    pub fn new(rate: f64, seed: u64, n_services: usize, tail: bool) -> Self {
         SpanLayer {
             rate: rate.clamp(0.0, 1.0),
             seed,
+            tail,
             next_root: 0,
             inflight: Vec::new(),
             free: Vec::new(),
             completed: Vec::new(),
             window: vec![Vec::new(); n_services],
+            slowest: None,
         }
     }
 
     /// Whether any request can be sampled at all. Callers gate every
     /// span-path branch on this so a disabled layer costs nothing.
     pub fn enabled(&self) -> bool {
-        self.rate > 0.0
+        self.rate > 0.0 || self.tail
     }
 
     /// Sampling decision for one root request, plus span-tree start when
@@ -196,7 +220,8 @@ impl SpanLayer {
         // Uniform in [0, 1) from the top 53 bits of the hash; strictly
         // below the rate samples. rate = 1.0 samples everything.
         let u = (splitmix64(self.seed ^ id) >> 11) as f64 / (1u64 << 53) as f64;
-        if u >= self.rate {
+        let provisional = u >= self.rate;
+        if provisional && !self.tail {
             return None;
         }
         let root = SampledSpan {
@@ -212,8 +237,12 @@ impl SpanLayer {
             arrival: now,
             start: now,
             end: now,
+            net_wait: 0.0,
         };
-        let trace = InFlightTrace { spans: vec![root] };
+        let trace = InFlightTrace {
+            spans: vec![root],
+            provisional,
+        };
         let slot = match self.free.pop() {
             Some(slot) => {
                 self.inflight[slot] = Some(trace);
@@ -227,7 +256,8 @@ impl SpanLayer {
         Some((slot, 0))
     }
 
-    /// Adds a child hop under `parent` of the request in `slot`.
+    /// Adds a child hop under `parent` of the request in `slot`;
+    /// `net_wait` is the network transit the call paid before arriving.
     #[allow(clippy::too_many_arguments)]
     pub fn child(
         &mut self,
@@ -239,6 +269,7 @@ impl SpanLayer {
         server: usize,
         backend: BackendKind,
         now: f64,
+        net_wait: f64,
     ) -> (usize, usize) {
         let trace = self.inflight[slot].as_mut().expect("sampled slot live");
         let root = trace.spans[0];
@@ -255,6 +286,7 @@ impl SpanLayer {
             arrival: now,
             start: now,
             end: now,
+            net_wait,
         });
         (slot, trace.spans.len() - 1)
     }
@@ -298,16 +330,32 @@ impl SpanLayer {
         if !observing {
             return;
         }
-        telemetry.span_requests_sampled += 1;
-        for span in &trace.spans {
-            self.window[span.service].push((span.queue_wait(), span.residence()));
+        if trace.provisional {
+            // Tail candidate: it only survives if it is the slowest
+            // root completing this window; accounting happens when the
+            // window closes and the winner is known.
+            let residence = trace.spans[0].residence();
+            if self.slowest.as_ref().is_none_or(|(r, _)| residence > *r) {
+                self.slowest = Some((residence, trace.spans));
+            }
+            return;
         }
-        if self.completed.len() + trace.spans.len() > SPAN_LOG_CAP {
+        self.record(trace.spans, telemetry);
+    }
+
+    /// Folds a completed request tree into the window aggregates and the
+    /// bounded export log.
+    fn record(&mut self, spans: Vec<SampledSpan>, telemetry: &mut ClusterTelemetry) {
+        telemetry.span_requests_sampled += 1;
+        for span in &spans {
+            self.window[span.service].push((span.queue_wait(), span.residence(), span.net_wait));
+        }
+        if self.completed.len() + spans.len() > SPAN_LOG_CAP {
             telemetry.span_requests_dropped += 1;
             return;
         }
-        telemetry.spans_recorded += trace.spans.len() as u64;
-        self.completed.extend(trace.spans);
+        telemetry.spans_recorded += spans.len() as u64;
+        self.completed.extend(spans);
     }
 
     /// Drains the export log.
@@ -318,9 +366,17 @@ impl SpanLayer {
     /// Summarises and clears the current window's per-service samples.
     /// `None` while sampling is disabled, so reports (and everything
     /// serialised from them) stay byte-identical to the pre-span layer.
-    pub fn window_stats(&mut self) -> Option<Vec<ServiceSpanStats>> {
+    /// In tail mode the window's slowest unsampled root is folded in
+    /// first — this is the point where the winner is known.
+    pub fn window_stats(
+        &mut self,
+        telemetry: &mut ClusterTelemetry,
+    ) -> Option<Vec<ServiceSpanStats>> {
         if !self.enabled() {
             return None;
+        }
+        if let Some((_, spans)) = self.slowest.take() {
+            self.record(spans, telemetry);
         }
         Some(
             self.window
@@ -341,6 +397,7 @@ impl SpanLayer {
                         residence_p50: nearest_rank(&residences, 0.50),
                         residence_p95: nearest_rank(&residences, 0.95),
                         residence_mean: residences.iter().sum::<f64>() / n as f64,
+                        net_mean: samples.iter().map(|s| s.2).sum::<f64>() / n as f64,
                     };
                     samples.clear();
                     stats
@@ -356,16 +413,17 @@ mod tests {
 
     #[test]
     fn disabled_layer_samples_nothing_and_reports_none() {
-        let mut layer = SpanLayer::new(0.0, 7, 2);
+        let mut layer = SpanLayer::new(0.0, 7, 2, false);
+        let mut t = ClusterTelemetry::default();
         assert!(!layer.enabled());
-        assert_eq!(layer.window_stats(), None);
+        assert_eq!(layer.window_stats(&mut t), None);
         assert!(layer.take_completed().is_empty());
     }
 
     #[test]
     fn rate_one_samples_everything_deterministically() {
         let run = || {
-            let mut layer = SpanLayer::new(1.0, 42, 1);
+            let mut layer = SpanLayer::new(1.0, 42, 1, false);
             let mut t = ClusterTelemetry::default();
             let mut ids = Vec::new();
             for i in 0..10 {
@@ -385,7 +443,7 @@ mod tests {
 
     #[test]
     fn fractional_rate_hits_roughly_its_share() {
-        let mut layer = SpanLayer::new(0.1, 9, 1);
+        let mut layer = SpanLayer::new(0.1, 9, 1, false);
         let hits = (0..10_000)
             .filter(|_| {
                 layer
@@ -398,7 +456,7 @@ mod tests {
 
     #[test]
     fn window_stats_summarise_and_reset() {
-        let mut layer = SpanLayer::new(1.0, 1, 2);
+        let mut layer = SpanLayer::new(1.0, 1, 2, false);
         let mut t = ClusterTelemetry::default();
         for i in 0..20 {
             let h = layer
@@ -407,40 +465,41 @@ mod tests {
             layer.begin(h, 0.1);
             layer.finish(h, 0.1 + i as f64 * 0.01, true, &mut t);
         }
-        let stats = layer.window_stats().unwrap();
+        let stats = layer.window_stats(&mut t).unwrap();
         assert_eq!(stats[0].samples, 0);
         let s = stats[1];
         assert_eq!(s.samples, 20);
         assert!((s.queue_wait_p50 - 0.1).abs() < 1e-12);
         assert!(s.residence_p50 <= s.residence_p95);
         assert!(s.residence_mean > 0.1);
+        assert_eq!(s.net_mean, 0.0);
         // Second collection starts from a clean window.
-        assert_eq!(layer.window_stats().unwrap()[1].samples, 0);
+        assert_eq!(layer.window_stats(&mut t).unwrap()[1].samples, 0);
         assert_eq!(t.span_requests_sampled, 20);
         assert_eq!(t.spans_recorded, 20);
     }
 
     #[test]
     fn unobserved_completions_are_not_recorded() {
-        let mut layer = SpanLayer::new(1.0, 1, 1);
+        let mut layer = SpanLayer::new(1.0, 1, 1, false);
         let mut t = ClusterTelemetry::default();
         let h = layer
             .maybe_start(0, 0, 0, 0, 0, 0, BackendKind::PerUser, 0.0)
             .unwrap();
         layer.finish(h, 1.0, false, &mut t);
-        assert_eq!(layer.window_stats().unwrap()[0].samples, 0);
+        assert_eq!(layer.window_stats(&mut t).unwrap()[0].samples, 0);
         assert!(layer.take_completed().is_empty());
         assert_eq!(t.span_requests_sampled, 0);
     }
 
     #[test]
     fn child_spans_inherit_root_identity() {
-        let mut layer = SpanLayer::new(1.0, 3, 3);
+        let mut layer = SpanLayer::new(1.0, 3, 3, false);
         let mut t = ClusterTelemetry::default();
         let root = layer
             .maybe_start(2, 5, 0, 0, 1, 0, BackendKind::PerUser, 1.0)
             .unwrap();
-        let child = layer.child(root.0, root.1, 1, 0, 0, 1, BackendKind::PerUser, 1.5);
+        let child = layer.child(root.0, root.1, 1, 0, 0, 1, BackendKind::PerUser, 1.5, 0.02);
         layer.begin(child, 1.6);
         layer.finish(child, 2.0, true, &mut t);
         layer.finish(root, 2.5, true, &mut t);
@@ -450,6 +509,69 @@ mod tests {
         assert_eq!(spans[1].feature, 5);
         assert_eq!(spans[1].request, spans[0].request);
         assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].net_wait, 0.02);
         assert!((spans[1].queue_wait() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn net_wait_feeds_the_window_mean() {
+        let mut layer = SpanLayer::new(1.0, 3, 2, false);
+        let mut t = ClusterTelemetry::default();
+        for net in [0.01, 0.03] {
+            let root = layer
+                .maybe_start(0, 0, 0, 0, 0, 0, BackendKind::PerUser, 0.0)
+                .unwrap();
+            let child = layer.child(root.0, root.1, 1, 0, 0, 1, BackendKind::PerUser, 0.5, net);
+            layer.begin(child, 0.5);
+            layer.finish(child, 0.6, true, &mut t);
+            layer.finish(root, 1.0, true, &mut t);
+        }
+        let stats = layer.window_stats(&mut t).unwrap();
+        assert_eq!(stats[0].net_mean, 0.0);
+        assert!((stats[1].net_mean - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_mode_keeps_only_the_windows_slowest_unsampled_root() {
+        // Rate 0 but tail on: every root is provisional; only the slowest
+        // per window survives, accounted when the window closes.
+        let mut layer = SpanLayer::new(0.0, 11, 1, true);
+        let mut t = ClusterTelemetry::default();
+        assert!(layer.enabled());
+        for (start, end) in [(0.0, 0.4), (1.0, 1.9), (2.0, 2.3)] {
+            let h = layer
+                .maybe_start(0, 0, 0, 0, 0, 0, BackendKind::PerUser, start)
+                .unwrap();
+            layer.begin(h, start);
+            layer.finish(h, end, true, &mut t);
+        }
+        // Nothing recorded until the window closes and the winner is known.
+        assert_eq!(t.span_requests_sampled, 0);
+        let stats = layer.window_stats(&mut t).unwrap();
+        assert_eq!(stats[0].samples, 1);
+        assert!((stats[0].residence_mean - 0.9).abs() < 1e-12);
+        assert_eq!(t.span_requests_sampled, 1);
+        let spans = layer.take_completed();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].request, 1);
+        // The next window starts with no tail candidate.
+        assert_eq!(layer.window_stats(&mut t).unwrap()[0].samples, 0);
+    }
+
+    #[test]
+    fn tail_candidates_ride_alongside_rate_sampled_roots() {
+        // Rate 1.0 + tail: every root already passes the rate hash, so
+        // tail mode must not double-count anything.
+        let mut layer = SpanLayer::new(1.0, 11, 1, true);
+        let mut t = ClusterTelemetry::default();
+        for i in 0..5 {
+            let h = layer
+                .maybe_start(0, 0, 0, 0, 0, 0, BackendKind::PerUser, i as f64)
+                .unwrap();
+            layer.begin(h, i as f64);
+            layer.finish(h, i as f64 + 0.1, true, &mut t);
+        }
+        assert_eq!(layer.window_stats(&mut t).unwrap()[0].samples, 5);
+        assert_eq!(t.span_requests_sampled, 5);
     }
 }

@@ -49,6 +49,10 @@ pub struct ClusterTelemetry {
     /// `BackendCheck` events dispatched (hybrid-policy re-evaluations).
     #[serde(default)]
     pub backend_check_events: u64,
+    /// `NetTransit` events dispatched (cross-server call round trips
+    /// priced by the link fabric; zero without a topology).
+    #[serde(default)]
+    pub net_transit_events: u64,
     /// `SpikeHint` events dispatched (a-priori burst onsets announced by
     /// the population source — trace replays; synthetic profiles never
     /// fire these).
@@ -96,6 +100,7 @@ impl ClusterTelemetry {
             + self.fluid_step_events
             + self.backend_check_events
             + self.spike_hint_events
+            + self.net_transit_events
     }
 
     /// Mean issue-to-ready scale latency (`None` with no samples).

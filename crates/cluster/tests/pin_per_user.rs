@@ -14,9 +14,22 @@
 
 use atom_cluster::{
     AppSpec, Cluster, ClusterOptions, ClusterTelemetry, EndpointId, FaultKind, FaultSchedule,
-    ScaleAction, ServiceId, WindowReport,
+    ScaleAction, ServiceId, TopologySpec, WindowReport,
 };
 use atom_workload::{BurstinessSpec, LoadProfile, RequestMix, WorkloadSpec};
+
+/// Optionally arms a zero-delay topology (every edge 0-latency with
+/// infinite bandwidth). Every cross-server round trip then prices at
+/// exactly 0.0 and takes the inline no-event path, so the run must stay
+/// bitwise identical to a topology-free one — the pinned digests double
+/// as the network fabric's inertness check.
+fn maybe_topology(options: ClusterOptions, spec: &AppSpec, topology: bool) -> ClusterOptions {
+    if topology {
+        options.with_topology(TopologySpec::zero_delay(spec.servers.len()))
+    } else {
+        options
+    }
+}
 
 /// FNV-1a over a stream of u64 words (f64s enter by their bit pattern).
 struct Digest(u64);
@@ -128,13 +141,17 @@ fn one_service_spec(demand: f64, share: f64, threads: usize) -> AppSpec {
 
 /// Multi-service chain with a mid-run scale-up (the repro-style shape:
 /// steady mix, controller actions landing between windows).
-fn scenario_chain_scaling() -> u64 {
+fn scenario_chain_scaling(topology: bool) -> u64 {
     let spec = chain_spec();
     let workload = WorkloadSpec::constant(RequestMix::uniform(1), 50, 1.0);
     let mut cluster = Cluster::new(
         &spec,
         workload,
-        ClusterOptions::new().with_seed(42).with_vertical_delay(2.0),
+        maybe_topology(
+            ClusterOptions::new().with_seed(42).with_vertical_delay(2.0),
+            &spec,
+            topology,
+        ),
     )
     .unwrap();
     let mut d = Digest::new();
@@ -162,7 +179,7 @@ fn scenario_chain_scaling() -> u64 {
 
 /// The chaos-style shape: every fault kind fires, one batch is dropped
 /// by an actuation failure, one lands during a slow-start episode.
-fn scenario_faults() -> u64 {
+fn scenario_faults(topology: bool) -> u64 {
     let spec = one_service_spec(0.01, 1.0, 16);
     let faults = FaultSchedule::new()
         .at(10.0, FaultKind::ReplicaCrash { service: 0 })
@@ -186,7 +203,11 @@ fn scenario_faults() -> u64 {
     let mut cluster = Cluster::new(
         &spec,
         workload,
-        ClusterOptions::new().with_seed(7).with_faults(faults),
+        maybe_topology(
+            ClusterOptions::new().with_seed(7).with_faults(faults),
+            &spec,
+            topology,
+        ),
     )
     .unwrap();
     let mut d = Digest::new();
@@ -220,7 +241,7 @@ fn scenario_faults() -> u64 {
 }
 
 /// The forecast-style shape: a ramp with noisy monitor readings.
-fn scenario_ramp_noise() -> u64 {
+fn scenario_ramp_noise(topology: bool) -> u64 {
     let spec = one_service_spec(0.004, 2.0, 64);
     let workload = WorkloadSpec::new(
         RequestMix::uniform(1),
@@ -235,7 +256,11 @@ fn scenario_ramp_noise() -> u64 {
     let mut cluster = Cluster::new(
         &spec,
         workload,
-        ClusterOptions::new().with_seed(9).with_monitor_noise(0.05),
+        maybe_topology(
+            ClusterOptions::new().with_seed(9).with_monitor_noise(0.05),
+            &spec,
+            topology,
+        ),
     )
     .unwrap();
     let mut d = Digest::new();
@@ -247,7 +272,7 @@ fn scenario_ramp_noise() -> u64 {
 }
 
 /// MMPP-modulated think times (the burstiness path draws extra RNG).
-fn scenario_bursty() -> u64 {
+fn scenario_bursty(topology: bool) -> u64 {
     let spec = one_service_spec(0.001, 4.0, 64);
     let workload = WorkloadSpec::new(RequestMix::uniform(1), 1.0, LoadProfile::Constant(100))
         .with_burstiness(BurstinessSpec {
@@ -255,7 +280,8 @@ fn scenario_bursty() -> u64 {
             burst_fraction: 0.1,
             burst_multiplier: 8.0,
         });
-    let mut cluster = Cluster::new(&spec, workload, ClusterOptions::new().with_seed(3)).unwrap();
+    let options = maybe_topology(ClusterOptions::new().with_seed(3), &spec, topology);
+    let mut cluster = Cluster::new(&spec, workload, options).unwrap();
     let mut d = Digest::new();
     for _ in 0..2 {
         digest_report(&mut d, &cluster.run_window(300.0));
@@ -266,7 +292,7 @@ fn scenario_bursty() -> u64 {
 
 /// Spike profile with the probe and tracing armed (both must stay
 /// observational, and their sample streams are pinned too).
-fn scenario_spike_probe_trace() -> u64 {
+fn scenario_spike_probe_trace(topology: bool) -> u64 {
     let spec = chain_spec();
     let workload = WorkloadSpec::new(
         RequestMix::uniform(1),
@@ -278,7 +304,8 @@ fn scenario_spike_probe_trace() -> u64 {
             duration: 60.0,
         },
     );
-    let mut cluster = Cluster::new(&spec, workload, ClusterOptions::new().with_seed(11)).unwrap();
+    let options = maybe_topology(ClusterOptions::new().with_seed(11), &spec, topology);
+    let mut cluster = Cluster::new(&spec, workload, options).unwrap();
     cluster.set_probe(ServiceId(1), EndpointId(0));
     cluster.arm_trace(Some(0));
     let mut d = Digest::new();
@@ -305,7 +332,7 @@ fn scenario_spike_probe_trace() -> u64 {
     d.0
 }
 
-type Scenario = (&'static str, fn() -> u64, u64);
+type Scenario = (&'static str, fn(bool) -> u64, u64);
 
 const SCENARIOS: [Scenario; 5] = [
     ("chain_scaling", scenario_chain_scaling, 0x45e2e7b1de463527),
@@ -322,11 +349,23 @@ const SCENARIOS: [Scenario; 5] = [
 #[test]
 fn per_user_backend_is_bitwise_identical_to_pre_refactor_runtime() {
     for (name, run, expected) in SCENARIOS {
-        let got = run();
+        let got = run(false);
         assert_eq!(
             got, expected,
             "scenario `{name}`: digest {got:#018x} != pinned {expected:#018x} — \
              the per-user DES no longer reproduces the pre-refactor runtime bitwise"
+        );
+    }
+}
+
+#[test]
+fn zero_delay_topology_reproduces_every_pinned_digest() {
+    for (name, run, expected) in SCENARIOS {
+        let got = run(true);
+        assert_eq!(
+            got, expected,
+            "scenario `{name}` with a zero-delay topology: digest {got:#018x} != pinned \
+             {expected:#018x} — pricing 0.0-cost round trips perturbed the event stream"
         );
     }
 }
@@ -336,6 +375,6 @@ fn per_user_backend_is_bitwise_identical_to_pre_refactor_runtime() {
 #[ignore = "golden capture helper, not a check"]
 fn print_golden_digests() {
     for (name, run, _) in SCENARIOS {
-        println!("(\"{name}\", ..., {:#018x}),", run());
+        println!("(\"{name}\", ..., {:#018x}),", run(false));
     }
 }

@@ -148,8 +148,10 @@ struct StationPrediction {
     /// Window the prediction was made in (0-based, journal numbering).
     window: u64,
     /// Per scalable service: name, cluster service index, LQN-predicted
-    /// mean residence per visit (s), and predicted task utilisation.
-    services: Vec<(String, usize, f64, f64)>,
+    /// mean residence per visit (s), predicted task utilisation, and
+    /// predicted mean network transit into the service per visit (s;
+    /// 0.0 without a priced topology).
+    services: Vec<(String, usize, f64, f64, f64)>,
 }
 
 /// A scaling action issued but not yet confirmed by the actuator state.
@@ -211,6 +213,10 @@ pub struct Atom {
     last_prediction: Option<StationPrediction>,
     /// Per-window residence sMAPE of the last few audits (rolling drift).
     drift_smape: std::collections::VecDeque<f64>,
+    /// Per-window *network*-residence sMAPE of the last few audits.
+    /// Never pushed to without a priced topology, so the reactive and
+    /// topology-free paths carry no network state at all.
+    net_smape: std::collections::VecDeque<f64>,
 }
 
 impl Atom {
@@ -251,6 +257,7 @@ impl Atom {
             forecast_history: 0,
             last_prediction: None,
             drift_smape: std::collections::VecDeque::new(),
+            net_smape: std::collections::VecDeque::new(),
         }
     }
 
@@ -267,7 +274,9 @@ impl Atom {
         let mut services = Vec::new();
         let mut smape_sum = 0.0;
         let mut smape_n = 0usize;
-        for (name, si, p_res, p_util) in &pred.services {
+        let mut net_smape_sum = 0.0;
+        let mut net_smape_n = 0usize;
+        for (name, si, p_res, p_util, p_net) in &pred.services {
             let Some(s) = stats.get(*si) else { continue };
             if s.samples == 0 {
                 // No sampled request touched the service this window;
@@ -280,6 +289,18 @@ impl Atom {
             if denom > 0.0 {
                 smape_sum += 2.0 * (p_res - o_res).abs() / denom;
                 smape_n += 1;
+            }
+            // The network term is audited only where it exists: with no
+            // priced topology both sides are exactly 0.0 and the row
+            // (and the rolling deque) stays empty, as before.
+            let o_net = s.net_mean;
+            let net_audited = *p_net > 0.0 || o_net > 0.0;
+            if net_audited {
+                let net_denom = p_net.abs() + o_net.abs();
+                if net_denom > 0.0 {
+                    net_smape_sum += 2.0 * (p_net - o_net).abs() / net_denom;
+                    net_smape_n += 1;
+                }
             }
             services.push(ServiceDrift {
                 service: name.clone(),
@@ -294,6 +315,8 @@ impl Atom {
                 observed_utilization: o_util,
                 utilization_error: p_util - o_util,
                 samples: s.samples,
+                predicted_network: net_audited.then_some(*p_net),
+                observed_network: net_audited.then_some(o_net),
             });
         }
         if services.is_empty() {
@@ -305,12 +328,21 @@ impl Atom {
             }
             self.drift_smape.push_back(smape_sum / smape_n as f64);
         }
+        if net_smape_n > 0 {
+            if self.net_smape.len() == Self::DRIFT_SMAPE_WINDOW {
+                self.net_smape.pop_front();
+            }
+            self.net_smape.push_back(net_smape_sum / net_smape_n as f64);
+        }
         let rolling_smape = (!self.drift_smape.is_empty())
             .then(|| self.drift_smape.iter().sum::<f64>() / self.drift_smape.len() as f64);
+        let network_rolling_smape = (!self.net_smape.is_empty())
+            .then(|| self.net_smape.iter().sum::<f64>() / self.net_smape.len() as f64);
         Some(DriftRecord {
             predicted_window: pred.window,
             services,
             rolling_smape,
+            network_rolling_smape,
         })
     }
 
@@ -343,11 +375,25 @@ impl Atom {
                         } else {
                             0.0
                         };
+                        // Predicted network transit into the service per
+                        // visit: the throughput-weighted `net_delay` its
+                        // callers pay, normalised by the service's own
+                        // throughput. Exactly 0.0 without a priced
+                        // topology (every `net_delay` is 0.0).
+                        let mut net_in = 0.0;
+                        for (ci, ce) in model.entries().iter().enumerate() {
+                            for call in &ce.calls {
+                                if model.entries()[call.target.0].task == s.task {
+                                    net_in += sol.entry_throughput[ci] * call.mean * call.net_delay;
+                                }
+                            }
+                        }
                         (
                             s.name.clone(),
                             s.service.0,
                             residence,
                             sol.task_utilization(s.task),
+                            if thru > 0.0 { net_in / thru } else { 0.0 },
                         )
                     })
                     .collect::<Vec<_>>()
@@ -1365,6 +1411,7 @@ mod tests {
             residence_p50: mean * 0.9,
             residence_p95: mean * 1.8,
             residence_mean: mean,
+            net_mean: 0.0,
         }]))
     }
 
@@ -1391,6 +1438,100 @@ mod tests {
         );
         assert!(s.utilization_error.is_finite());
         let smape = drift.rolling_smape.expect("rolling drift after one audit");
+        assert!((0.0..=2.0).contains(&smape), "sMAPE out of range: {smape}");
+        assert!(
+            s.predicted_network.is_none() && s.observed_network.is_none(),
+            "no priced topology: the network columns stay empty"
+        );
+        assert!(drift.network_rolling_smape.is_none());
+    }
+
+    /// A two-service chain (clients → web → db) whose web→db call pays a
+    /// 4 ms network round trip, as `apply_network` would price it for a
+    /// cross-rack placement.
+    fn netful_binding() -> ModelBinding {
+        let mut m = LqnModel::new();
+        let p = m.add_processor("p", 8, 1.0);
+        let web = m.add_task("web", p, 64, 1).unwrap();
+        m.set_cpu_share(web, Some(0.5)).unwrap();
+        let page = m.add_entry("page", web, 0.01).unwrap();
+        let db = m.add_task("db", p, 64, 1).unwrap();
+        m.set_cpu_share(db, Some(0.5)).unwrap();
+        let query = m.add_entry("query", db, 0.005).unwrap();
+        m.add_call(page, query, 1.0).unwrap();
+        m.set_call_net_delay(page, query, 0.004).unwrap();
+        let c = m.add_reference_task("users", 100, 2.0).unwrap();
+        m.add_call(m.reference_entry(c).unwrap(), page, 1.0)
+            .unwrap();
+        let service = |name: &str, service, task| ServiceBinding {
+            name: name.into(),
+            service,
+            task,
+            scalable: true,
+            max_replicas: 8,
+            share_bounds: (0.1, 1.0),
+        };
+        ModelBinding {
+            model: m,
+            client: c,
+            services: vec![
+                service("web", ServiceId(0), web),
+                service("db", ServiceId(1), db),
+            ],
+            feature_entries: vec![page],
+        }
+    }
+
+    #[test]
+    fn network_term_is_audited_when_priced() {
+        let mut atom = Atom::new(netful_binding(), fast_config());
+        let stats = |mean: f64, net: f64| atom_cluster::ServiceSpanStats {
+            samples: 40,
+            queue_wait_p50: mean * 0.2,
+            queue_wait_p95: mean * 0.6,
+            residence_p50: mean * 0.9,
+            residence_p95: mean * 1.8,
+            residence_mean: mean,
+            net_mean: net,
+        };
+        let spanful = |k| {
+            at_window(
+                WindowReport::for_span(0.0, 300.0)
+                    .with_feature_counts(vec![1000])
+                    .with_feature_tps(vec![1000.0 / 300.0])
+                    .with_feature_response(vec![0.05])
+                    .with_service_utilization(vec![0.9, 0.5])
+                    .with_service_busy_cores(vec![0.45, 0.25])
+                    .with_service_alloc_cores(vec![0.5, 0.5])
+                    .with_service_replicas(vec![1, 1])
+                    .with_service_shares(vec![0.5, 0.5])
+                    .with_server_utilization(vec![0.5])
+                    .with_total_tps(1000.0 / 300.0)
+                    .with_avg_users(400.0)
+                    .with_users_at_end(400)
+                    .with_span_stats(Some(vec![stats(0.03, 0.0), stats(0.02, 0.005)])),
+                k,
+            )
+        };
+        let _ = atom.decide(&spanful(0));
+        let _ = atom.take_decision_record();
+        let _ = atom.decide(&spanful(1));
+        let rec = atom.take_decision_record().expect("record");
+        let drift = rec.drift.expect("second window audits the first");
+        let web = drift.services.iter().find(|s| s.service == "web").unwrap();
+        assert!(
+            web.predicted_network.is_none() && web.observed_network.is_none(),
+            "roots pay no inbound network, so web has nothing to audit"
+        );
+        let db = drift.services.iter().find(|s| s.service == "db").unwrap();
+        let p = db.predicted_network.expect("db's inbound hop is priced");
+        // Every db visit arrives over the 4 ms round trip (1 visit per
+        // page), so the throughput-weighted prediction is exactly it.
+        assert!((p - 0.004).abs() < 1e-9, "one visit × 4 ms: {p}");
+        assert_eq!(db.observed_network, Some(0.005));
+        let smape = drift
+            .network_rolling_smape
+            .expect("rolling network sMAPE after one audit");
         assert!((0.0..=2.0).contains(&smape), "sMAPE out of range: {smape}");
     }
 

@@ -156,6 +156,58 @@ impl ModelBinding {
         binding
     }
 
+    /// Prices the deployment's placement into the model: every
+    /// task-to-task call gets `net_delay` set to the network round trip
+    /// its caller's and callee's *processors* pay under `delay`'s
+    /// topology (co-located pairs price at zero). Calls issued by the
+    /// reference task stay free, mirroring the simulated fabric, which
+    /// never charges root requests. The mapping is placement-intrinsic —
+    /// processor index `i` is server `i` of the topology, the invariant
+    /// every model-construction path in this workspace maintains — so it
+    /// works for hand-built LQNs and [`ModelBinding::from_app_spec`]
+    /// bindings alike.
+    ///
+    /// Call this whenever the cluster runs with
+    /// [`ClusterOptions::with_topology`] — the LQN then predicts the
+    /// same placement-dependent network residence the DES charges, and
+    /// the drift audit can score the network term.
+    ///
+    /// [`ClusterOptions::with_topology`]: atom_cluster::ClusterOptions::with_topology
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-reference task sits on a processor the topology
+    /// does not cover (a programming error: the topology was not built
+    /// for this deployment's servers).
+    pub fn apply_network(&mut self, delay: &atom_net::NetworkDelay) {
+        let pricing: Vec<(EntryId, EntryId, f64)> = self
+            .model
+            .entries()
+            .iter()
+            .enumerate()
+            .flat_map(|(ei, e)| {
+                let from_task = &self.model.tasks()[e.task.0];
+                if from_task.is_reference() {
+                    return Vec::new();
+                }
+                let from = from_task.processor.0;
+                e.calls
+                    .iter()
+                    .map(|c| {
+                        let callee = self.model.entries()[c.target.0].task;
+                        let to = self.model.tasks()[callee.0].processor.0;
+                        (EntryId(ei), c.target, delay.round_trip(from, to))
+                    })
+                    .collect()
+            })
+            .collect();
+        for (from, to, rt) in pricing {
+            self.model
+                .set_call_net_delay(from, to, rt)
+                .expect("call was just enumerated from the model");
+        }
+    }
+
     /// The binding controlling `task`, if any.
     pub fn by_task(&self, task: TaskId) -> Option<&ServiceBinding> {
         self.services.iter().find(|s| s.task == task)
@@ -248,5 +300,52 @@ mod tests {
         let mut b = binding();
         b.services[0].share_bounds = (1.0, 0.5);
         b.assert_consistent();
+    }
+
+    #[test]
+    fn apply_network_prices_cross_server_calls_only() {
+        let mut spec = AppSpec::new();
+        let a = spec.add_server("a", 4, 1.0);
+        let b = spec.add_server("b", 4, 1.0);
+        let web = spec.add_service("web", a, 8, 1, 1.0);
+        let db = spec.add_service("db", b, 8, 1, 1.0);
+        let cache = spec.add_service("cache", a, 8, 1, 1.0);
+        let page = spec.add_endpoint(web, "page", 0.002, 1.0);
+        let query = spec.add_endpoint(db, "query", 0.004, 1.0);
+        let get = spec.add_endpoint(cache, "get", 0.001, 1.0);
+        spec.add_call(web, page, db, query, 2.0);
+        spec.add_call(web, page, cache, get, 1.0);
+        spec.add_feature("page", web, page);
+
+        let mut binding = ModelBinding::from_app_spec(&spec, 10, 1.0, &[1.0]);
+        // Servers a and b in different racks: 0.5 ms rack uplinks, 1 ms
+        // aggregation, bandwidth high enough that payloads are free.
+        let topo = atom_net::TopologySpec::two_tier(
+            vec![0, 1],
+            atom_net::EdgeSpec::new(0.0005, f64::INFINITY),
+            atom_net::EdgeSpec::new(0.001, f64::INFINITY),
+        );
+        binding.apply_network(&atom_net::NetworkDelay::new(topo));
+
+        let call_delay = |from: &str, to: &str| {
+            let f = binding.model.entry_by_name(from).unwrap();
+            let t = binding.model.entry_by_name(to).unwrap();
+            binding.model.entries()[f.0]
+                .calls
+                .iter()
+                .find(|c| c.target == t)
+                .unwrap()
+                .net_delay
+        };
+        // web -> db crosses the aggregation: 2 × (0.5 + 1 + 0.5) ms.
+        assert!((call_delay("web.page", "db.query") - 0.004).abs() < 1e-12);
+        // web -> cache is co-located: free.
+        assert_eq!(call_delay("web.page", "cache.get"), 0.0);
+        // The client's feature call stays free.
+        let ce = binding.model.reference_entry(binding.client).unwrap();
+        assert!(binding.model.entries()[ce.0]
+            .calls
+            .iter()
+            .all(|c| c.net_delay == 0.0));
     }
 }

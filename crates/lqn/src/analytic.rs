@@ -526,7 +526,10 @@ fn inner_pass(
         let mut total = st.exec[eid.0] + e.latency;
         for c in &e.calls {
             let callee_task = model.entry(c.target).task.0;
-            total += c.mean * (st.w[callee_task] + st.s[c.target.0]);
+            // `net_delay` is the fabric round trip per invocation — an
+            // infinite-server delay station on the path, so it extends
+            // the caller's blocking time without contending anywhere.
+            total += c.mean * (st.w[callee_task] + st.s[c.target.0] + c.net_delay);
         }
         st.s[eid.0] = total;
     }
@@ -753,6 +756,39 @@ mod tests {
                 sol.client_throughput
             );
         }
+    }
+
+    #[test]
+    fn call_net_delay_acts_as_a_delay_station() {
+        // web -> db chain; pricing the call's network round trip should
+        // stretch the client response time by ~ visits x delay without
+        // adding CPU contention anywhere.
+        let make = |net: f64| {
+            let mut m = LqnModel::new();
+            let p = m.add_processor("cpu", 16, 1.0);
+            let web = m.add_task("web", p, 32, 1).unwrap();
+            let db = m.add_task("db", p, 32, 1).unwrap();
+            let page = m.add_entry("page", web, 0.004).unwrap();
+            let query = m.add_entry("query", db, 0.002).unwrap();
+            m.add_call(page, query, 2.0).unwrap();
+            m.set_call_net_delay(page, query, net).unwrap();
+            let c = m.add_reference_task("users", 50, 5.0).unwrap();
+            m.add_call(m.reference_entry(c).unwrap(), page, 1.0)
+                .unwrap();
+            m
+        };
+        let base = solve(&make(0.0), SolverOptions::default()).unwrap();
+        let net = solve(&make(0.025), SolverOptions::default()).unwrap();
+        let dr = net.client_response_time - base.client_response_time;
+        // Two db calls per page at 25 ms each: ~50 ms extra, give or
+        // take the closed-loop population shift.
+        assert!(
+            (0.030..0.075).contains(&dr),
+            "dR={dr} (base {}, net {})",
+            base.client_response_time,
+            net.client_response_time
+        );
+        assert!(net.client_throughput < base.client_throughput);
     }
 
     #[test]

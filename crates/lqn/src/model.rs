@@ -116,6 +116,13 @@ pub struct Call {
     pub target: EntryId,
     /// Mean calls per invocation of the source entry.
     pub mean: f64,
+    /// Network round-trip delay per invocation of this call, seconds —
+    /// an infinite-server delay station (no queueing) folded into the
+    /// caller's blocking time, pricing the fabric hops between the two
+    /// tasks' hosts. Zero (the default) for co-located tasks and for
+    /// models without a topology.
+    #[serde(default)]
+    pub net_delay: f64,
 }
 
 /// An entry: a service class / feature of a task.
@@ -309,9 +316,51 @@ impl LqnModel {
         if let Some(c) = calls.iter_mut().find(|c| c.target == to) {
             c.mean += mean;
         } else {
-            calls.push(Call { target: to, mean });
+            calls.push(Call {
+                target: to,
+                mean,
+                net_delay: 0.0,
+            });
         }
         Ok(())
+    }
+
+    /// Sets the per-invocation network round-trip delay of the existing
+    /// call `from → to` (see [`Call::net_delay`]).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown entry ids, a missing call, and negative or
+    /// non-finite delays.
+    pub fn set_call_net_delay(
+        &mut self,
+        from: EntryId,
+        to: EntryId,
+        net_delay: f64,
+    ) -> Result<(), LqnError> {
+        self.check_entry(from)?;
+        self.check_entry(to)?;
+        if !(net_delay.is_finite() && net_delay >= 0.0) {
+            return Err(LqnError::InvalidParameter {
+                what: format!("call net delay must be >= 0, got {net_delay}"),
+            });
+        }
+        match self.entries[from.0]
+            .calls
+            .iter_mut()
+            .find(|c| c.target == to)
+        {
+            Some(c) => {
+                c.net_delay = net_delay;
+                Ok(())
+            }
+            None => Err(LqnError::InvalidModel {
+                reason: format!(
+                    "no call `{}` → `{}` to price",
+                    self.entries[from.0].name, self.entries[to.0].name
+                ),
+            }),
+        }
     }
 
     /// Replaces the mean of an existing call, or creates it.
@@ -751,6 +800,30 @@ mod tests {
         m.set_parallelism(web, Some(1)).unwrap();
         assert_eq!(m.task(web).usable_cores_per_replica(), 1.0);
         assert!(m.set_parallelism(web, Some(0)).is_err());
+    }
+
+    #[test]
+    fn call_net_delay_is_set_and_validated() {
+        let (mut m, _, page, query) = tiny();
+        assert_eq!(m.entry(page).calls[0].net_delay, 0.0);
+        m.set_call_net_delay(page, query, 0.01).unwrap();
+        assert_eq!(m.entry(page).calls[0].net_delay, 0.01);
+        assert!(m.set_call_net_delay(page, query, -1.0).is_err());
+        assert!(
+            m.set_call_net_delay(query, page, 0.01).is_err(),
+            "no such call"
+        );
+        assert!(m.set_call_net_delay(EntryId(99), page, 0.01).is_err());
+    }
+
+    #[test]
+    fn calls_without_net_delay_still_parse() {
+        // Models serialized before the network term carry no `net_delay`
+        // field; it must default to zero.
+        let json = r#"{"target":1,"mean":2.0}"#;
+        let call: Call = serde_json::from_str(json).unwrap();
+        assert_eq!(call.net_delay, 0.0);
+        assert_eq!(call.target, EntryId(1));
     }
 
     #[test]

@@ -128,6 +128,12 @@ pub struct DriftRecord {
     /// Rolling mean sMAPE of per-service residence predictions over the
     /// last few audited windows (`None` until the first audit).
     pub rolling_smape: Option<f64>,
+    /// Rolling mean sMAPE of per-service *network* residence predictions
+    /// over the last few audited windows. `None` unless a network
+    /// topology gives the model a network term to be wrong about, so
+    /// topology-free journals are unchanged.
+    #[serde(default)]
+    pub network_rolling_smape: Option<f64>,
 }
 
 /// One service's model-vs-measurement drift in one audited window.
@@ -150,6 +156,16 @@ pub struct ServiceDrift {
     pub utilization_error: f64,
     /// Sampled spans the observation is based on.
     pub samples: u64,
+    /// LQN-predicted mean network transit into this service per visit
+    /// (s) — the analytic `net_delay` term, no link queueing. `None`
+    /// when neither side has a network figure (no topology configured).
+    #[serde(default)]
+    pub predicted_network: Option<f64>,
+    /// Span-observed mean network transit into this service per visit
+    /// (s), link queueing included. `None` alongside
+    /// [`ServiceDrift::predicted_network`].
+    #[serde(default)]
+    pub observed_network: Option<f64>,
 }
 
 /// One service's estimated CPU demand (seconds per request).
@@ -333,8 +349,11 @@ mod tests {
                     observed_utilization: 0.61,
                     utilization_error: -0.06,
                     samples: 42,
+                    predicted_network: Some(0.004),
+                    observed_network: Some(0.005),
                 }],
                 rolling_smape: Some(0.18),
+                network_rolling_smape: Some(0.22),
             }),
         }
     }
@@ -384,6 +403,28 @@ mod tests {
         let mut line = serde_json::to_string(&Record::Decision(rec.clone())).unwrap();
         assert!(line.contains("\"drift\":null"));
         line = line.replace(",\"drift\":null", "");
+        let back: Record = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, Record::Decision(rec));
+    }
+
+    #[test]
+    fn networkless_drift_lines_still_parse() {
+        // Journals written before the network term existed must keep
+        // parsing: every network field defaults to `None`.
+        let mut rec = sample_decision();
+        let drift = rec.drift.as_mut().unwrap();
+        drift.network_rolling_smape = None;
+        drift.services[0].predicted_network = None;
+        drift.services[0].observed_network = None;
+        let mut line = serde_json::to_string(&Record::Decision(rec.clone())).unwrap();
+        for field in [
+            "\"network_rolling_smape\":null",
+            "\"predicted_network\":null",
+            "\"observed_network\":null",
+        ] {
+            assert!(line.contains(field), "missing {field}");
+            line = line.replace(&format!(",{field}"), "");
+        }
         let back: Record = serde_json::from_str(&line).unwrap();
         assert_eq!(back, Record::Decision(rec));
     }

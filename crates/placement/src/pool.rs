@@ -1,11 +1,19 @@
 //! The shared node pool tenants contend for.
 
 use atom_cluster::spec::ServerSpec;
+use atom_net::{EdgeSpec, TopologySpec};
 
 /// A fixed set of physical nodes. Unlike an [`AppSpec`]'s server list —
 /// which one application owns outright — a pool is shared: the
 /// scheduler places every tenant's services onto it, and the admission
 /// controller rations what is left.
+///
+/// Every node sits in a *rack* (default: rack 0). Racks feed the
+/// scheduler's locality preference ([`place`](crate::schedule::place)
+/// keeps a tenant's services co-racked when capacity allows) and map
+/// directly onto the two-tier network topology the cluster's link
+/// fabric prices ([`NodePool::two_tier_topology`]). A single-rack pool
+/// behaves exactly like the pre-rack scheduler.
 ///
 /// [`AppSpec`]: atom_cluster::AppSpec
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -13,6 +21,8 @@ pub struct NodePool {
     /// The nodes, in declaration order (placement is deterministic in
     /// this order).
     pub servers: Vec<ServerSpec>,
+    /// `racks[i]` is the rack of `servers[i]`.
+    pub racks: Vec<usize>,
 }
 
 impl NodePool {
@@ -21,12 +31,27 @@ impl NodePool {
         NodePool::default()
     }
 
-    /// Adds a node and returns its pool index.
+    /// Adds a node in rack 0 and returns its pool index.
     ///
     /// # Panics
     ///
     /// Panics if `cores == 0` or `speed <= 0`.
     pub fn add_node(&mut self, name: impl Into<String>, cores: usize, speed: f64) -> usize {
+        self.add_node_in_rack(name, cores, speed, 0)
+    }
+
+    /// Adds a node in `rack` and returns its pool index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or `speed <= 0`.
+    pub fn add_node_in_rack(
+        &mut self,
+        name: impl Into<String>,
+        cores: usize,
+        speed: f64,
+        rack: usize,
+    ) -> usize {
         assert!(cores > 0, "node needs cores");
         assert!(speed.is_finite() && speed > 0.0, "speed must be positive");
         self.servers.push(ServerSpec {
@@ -34,7 +59,32 @@ impl NodePool {
             cores,
             speed,
         });
+        self.racks.push(rack);
         self.servers.len() - 1
+    }
+
+    /// Rack of node `i`.
+    pub fn rack_of(&self, i: usize) -> usize {
+        self.racks[i]
+    }
+
+    /// Number of racks (highest rack id + 1; 0 for an empty pool).
+    pub fn n_racks(&self) -> usize {
+        self.racks.iter().map(|&r| r + 1).max().unwrap_or(0)
+    }
+
+    /// The pool's two-tier network topology: every rack uplink gets
+    /// `rack`, the aggregation hop gets `aggregation`. Feed the result
+    /// to [`ClusterOptions::with_topology`] so the simulated link fabric
+    /// prices exactly the rack boundaries this pool's scheduler sees.
+    ///
+    /// [`ClusterOptions::with_topology`]: atom_cluster::ClusterOptions::with_topology
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty pool.
+    pub fn two_tier_topology(&self, rack: EdgeSpec, aggregation: EdgeSpec) -> TopologySpec {
+        TopologySpec::two_tier(self.racks.clone(), rack, aggregation)
     }
 
     /// Total CPU cores across the pool.
@@ -64,6 +114,26 @@ mod tests {
         pool.add_node("b", 8, 1.2);
         assert_eq!(pool.capacity_cores(), 12.0);
         assert_eq!(pool.len(), 2);
+        // Rack-less declaration lands everything in rack 0.
+        assert_eq!(pool.racks, vec![0, 0]);
+        assert_eq!(pool.n_racks(), 1);
+    }
+
+    #[test]
+    fn racks_map_onto_a_two_tier_topology() {
+        let mut pool = NodePool::new();
+        pool.add_node_in_rack("a", 4, 1.0, 0);
+        pool.add_node_in_rack("b", 4, 1.0, 1);
+        pool.add_node_in_rack("c", 4, 1.0, 1);
+        assert_eq!(pool.n_racks(), 2);
+        assert_eq!(pool.rack_of(2), 1);
+        let topo =
+            pool.two_tier_topology(EdgeSpec::new(0.0005, 1.25e9), EdgeSpec::new(0.002, 1.25e10));
+        assert_eq!(topo.n_racks(), 2);
+        assert_eq!(topo.rack_of(1), 1);
+        // Same-rack path crosses no aggregation hop; cross-rack does.
+        assert_eq!(topo.path(1, 2).edges(), &[1]);
+        assert_eq!(topo.path(0, 1).edges(), &[0, 2, 1]);
     }
 
     #[test]

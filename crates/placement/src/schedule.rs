@@ -8,6 +8,13 @@
 //! `(tenant, service)` pair as the final total order: the same pool,
 //! tenants, and seed always yield the same placement, regardless of how
 //! many worker threads a surrounding experiment fans out over.
+//!
+//! When the pool spans several racks the fit step is *rack-local*:
+//! among the nodes a service fits on, it prefers the rack already
+//! hosting the most of its tenant's placed footprint (declaration order
+//! breaks ties), so chatty intra-tenant calls stay off the aggregation
+//! uplinks the link fabric prices. A single-rack pool collapses to
+//! plain first-fit — rack awareness is free until racks exist.
 
 use atom_cluster::spec::{FeatureSpec, ServiceSpec};
 use atom_cluster::{AppSpec, ClusterError, ServerId, ServiceId, TenantLayout};
@@ -127,11 +134,28 @@ pub fn place(
         .iter()
         .map(|t| vec![usize::MAX; t.app.services.len()])
         .collect();
+    // Per-tenant placed footprint per rack, for the locality preference.
+    let mut rack_weight: Vec<Vec<f64>> = tenants
+        .iter()
+        .map(|_| vec![0.0; pool.n_racks().max(1)])
+        .collect();
     for &(ti, si, weight) in &order {
-        let node = free.iter().position(|&f| weight <= f + 1e-9);
+        // Rack locality: among fitting nodes, the rack already hosting
+        // the most of this tenant's footprint wins; declaration order
+        // breaks ties (on a single-rack pool every node ties, so this
+        // is exactly the original first-fit).
+        let node = (0..free.len())
+            .filter(|&n| weight <= free[n] + 1e-9)
+            .max_by(|&a, &b| {
+                rack_weight[ti][pool.rack_of(a)]
+                    .partial_cmp(&rack_weight[ti][pool.rack_of(b)])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| b.cmp(&a))
+            });
         match node {
             Some(n) => {
                 free[n] -= weight;
+                rack_weight[ti][pool.rack_of(n)] += weight;
                 assignments[ti][si] = n;
             }
             None => {
@@ -241,6 +265,35 @@ mod tests {
             }
             other => panic!("expected InsufficientCapacity, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn services_stay_co_racked_when_capacity_allows() {
+        let mut pool = NodePool::new();
+        // Plain first-fit would put the two 2-core services on node a
+        // (rack 0) and node b (rack 0 is full -> b); rack locality must
+        // instead keep the tenant inside one rack while room remains.
+        pool.add_node_in_rack("a0", 4, 1.0, 0);
+        pool.add_node_in_rack("a1", 4, 1.0, 0);
+        pool.add_node_in_rack("b0", 4, 1.0, 1);
+        let t = tenant("t", &[(1, 3.0), (1, 2.0), (1, 2.0)]);
+        let p = place(&pool, &[t], 1).expect("fits");
+        let racks: Vec<usize> = p.assignments[0].iter().map(|&n| pool.rack_of(n)).collect();
+        assert_eq!(racks, vec![0, 0, 0], "all three services share rack 0");
+    }
+
+    #[test]
+    fn second_tenant_prefers_its_own_rack() {
+        let mut pool = NodePool::new();
+        pool.add_node_in_rack("a", 4, 1.0, 0);
+        pool.add_node_in_rack("b", 4, 1.0, 1);
+        // Tenant 0 fills rack 0; tenant 1's second service must follow
+        // its first onto rack 1 rather than first-fitting back to a.
+        let t0 = tenant("t0", &[(1, 3.0)]);
+        let t1 = tenant("t1", &[(1, 2.0), (1, 1.0)]);
+        let p = place(&pool, &[t0, t1], 1).expect("fits");
+        assert_eq!(p.assignments[0], vec![0]);
+        assert_eq!(p.assignments[1], vec![1, 1]);
     }
 
     #[test]

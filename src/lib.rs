@@ -48,6 +48,7 @@ pub use atom_ga as ga;
 pub use atom_lqn as lqn;
 pub use atom_metrics as metrics;
 pub use atom_mva as mva;
+pub use atom_net as net;
 pub use atom_obs as obs;
 pub use atom_placement as placement;
 pub use atom_sim as sim;
